@@ -1,0 +1,337 @@
+(* The benchmark harness.
+
+   Running `dune exec bench/main.exe` regenerates the paper-reproduction
+   "evaluation" in two parts:
+
+   1. the experiment tables E1..E10 (one per paper claim/figure family;
+      these are the rows recorded in EXPERIMENTS.md), and
+   2. bechamel timing benchmarks — one group per cost claim: the Figure 7
+      decomposition algorithm, online stamping throughput (ours vs. the
+      Fidge-Mattern, Singhal-Kshemkalyani and Lamport baselines), the
+      offline Dilworth-realizer pipeline, O(d) vs. O(N) precedence tests
+      vs. the O(M) direct-dependency search, the brute-force oracle, and
+      the packet-level protocol ablation. *)
+
+open Bechamel
+open Toolkit
+module Rng = Synts_util.Rng
+module Graph = Synts_graph.Graph
+module Topology = Synts_graph.Topology
+module Vertex_cover = Synts_graph.Vertex_cover
+module Decomposition = Synts_graph.Decomposition
+module Trace = Synts_sync.Trace
+module Message_poset = Synts_sync.Message_poset
+module Dilworth = Synts_poset.Dilworth
+module Realizer = Synts_poset.Realizer
+module Vector = Synts_clock.Vector
+module Fm_sync = Synts_clock.Fm_sync
+module Lamport = Synts_clock.Lamport
+module Plausible = Synts_clock.Plausible
+module Direct_dependency = Synts_clock.Direct_dependency
+module Singhal_kshemkalyani = Synts_clock.Singhal_kshemkalyani
+module Online = Synts_core.Online
+module Offline = Synts_core.Offline
+module Workload = Synts_workload.Workload
+module Oracle = Synts_check.Oracle
+module Experiments = Synts_experiments.Experiments
+
+let seed = 42
+
+(* ---------- Part 1: experiment tables ---------- *)
+
+let print_tables () =
+  Format.printf "==================================================@.";
+  Format.printf " Part 1: experiment tables (seed %d)@." seed;
+  Format.printf "==================================================@.@.";
+  List.iter
+    (fun t -> Format.printf "%a@." Experiments.pp_table t)
+    (Experiments.all ~seed)
+
+(* ---------- Part 2: timing benchmarks ---------- *)
+
+let bench_topologies =
+  [
+    ("star:64", Topology.star 64);
+    ("cs:4x60", Topology.client_server ~servers:4 ~clients:60);
+    ("tree:64", Topology.random_tree (Rng.create seed) 64);
+    ("complete:32", Topology.complete 32);
+  ]
+
+let trace_of g messages =
+  Workload.random (Rng.create (seed + 1)) ~topology:g ~messages ()
+
+let decomposition_tests =
+  let tests =
+    List.concat_map
+      (fun (name, g) ->
+        [
+          Test.make
+            ~name:(Printf.sprintf "paper/%s" name)
+            (Staged.stage (fun () -> ignore (Decomposition.paper g)));
+          Test.make
+            ~name:(Printf.sprintf "sequential/%s" name)
+            (Staged.stage (fun () -> ignore (Decomposition.sequential g)));
+          Test.make
+            ~name:(Printf.sprintf "vertex-cover/%s" name)
+            (Staged.stage (fun () ->
+                 ignore
+                   (Decomposition.of_vertex_cover g (Vertex_cover.two_approx g))));
+        ])
+      bench_topologies
+  in
+  Test.make_grouped ~name:"decomposition" tests
+
+(* B2: whole-trace stamping throughput (2000 messages). *)
+let stamping_tests =
+  let tests =
+    List.concat_map
+      (fun (name, g) ->
+        let d = Decomposition.best g in
+        let trace = trace_of g 2000 in
+        [
+          Test.make
+            ~name:(Printf.sprintf "ours-d%d/%s" (Decomposition.size d) name)
+            (Staged.stage (fun () -> ignore (Online.timestamp_trace d trace)));
+          Test.make
+            ~name:(Printf.sprintf "fm-N%d/%s" (Graph.n g) name)
+            (Staged.stage (fun () -> ignore (Fm_sync.timestamp_trace trace)));
+          Test.make
+            ~name:(Printf.sprintf "sk/%s" name)
+            (Staged.stage (fun () ->
+                 ignore (Singhal_kshemkalyani.simulate trace)));
+          Test.make
+            ~name:(Printf.sprintf "lamport/%s" name)
+            (Staged.stage (fun () -> ignore (Lamport.timestamp_trace trace)));
+        ])
+      bench_topologies
+  in
+  Test.make_grouped ~name:"stamping-2000msg" tests
+
+(* B3: the offline pipeline on a 300-message trace. *)
+let offline_tests =
+  let g = Topology.gnp (Rng.create seed) 16 0.3 in
+  let trace = trace_of g 300 in
+  let poset = Message_poset.of_trace trace in
+  Test.make_grouped ~name:"offline-300msg"
+    [
+      Test.make ~name:"message-poset"
+        (Staged.stage (fun () -> ignore (Message_poset.of_trace trace)));
+      Test.make ~name:"width"
+        (Staged.stage (fun () -> ignore (Dilworth.width poset)));
+      Test.make ~name:"realizer"
+        (Staged.stage (fun () -> ignore (Realizer.dilworth poset)));
+      Test.make ~name:"full-offline"
+        (Staged.stage (fun () -> ignore (Offline.timestamp_trace trace)));
+    ]
+
+(* B4: a single precedence test: O(d) vs. O(N) vs. O(M) search. *)
+let precedence_tests =
+  let small = (Array.init 4 Fun.id, Array.init 4 (fun i -> i + 1)) in
+  let big = (Array.init 128 Fun.id, Array.init 128 (fun i -> i + 1)) in
+  let g = Topology.client_server ~servers:4 ~clients:124 in
+  let trace = trace_of g 2000 in
+  let log = Direct_dependency.of_trace trace in
+  Test.make_grouped ~name:"precedence-test"
+    [
+      Test.make ~name:"ours-d4"
+        (Staged.stage (fun () ->
+             let u, v = small in
+             ignore (Vector.lt u v)));
+      Test.make ~name:"fm-N128"
+        (Staged.stage (fun () ->
+             let u, v = big in
+             ignore (Vector.lt u v)));
+      Test.make ~name:"direct-dep-search-M2000"
+        (Staged.stage (fun () -> ignore (Direct_dependency.precedes log 3 1990)));
+    ]
+
+(* B5: the quadratic/cubic oracle, to justify using it only as a test
+   oracle. *)
+let oracle_tests =
+  let g = Topology.gnp (Rng.create seed) 12 0.4 in
+  let trace = trace_of g 400 in
+  Test.make_grouped ~name:"oracle-400msg"
+    [
+      Test.make ~name:"bitset-closure"
+        (Staged.stage (fun () -> ignore (Oracle.message_poset trace)));
+    ]
+
+(* B6 (ablation): the packet-faithful protocol vs. the collapsed sweep. *)
+let protocol_tests =
+  let g = Topology.client_server ~servers:4 ~clients:28 in
+  let d = Decomposition.best g in
+  let trace = trace_of g 2000 in
+  Test.make_grouped ~name:"protocol-ablation"
+    [
+      Test.make ~name:"collapsed-sweep"
+        (Staged.stage (fun () -> ignore (Online.timestamp_trace d trace)));
+      Test.make ~name:"explicit-msg-ack"
+        (Staged.stage (fun () ->
+             ignore (Online.timestamp_trace_protocol d trace)));
+    ]
+
+(* B7 (ablation): plausible clocks cost the same as ours at equal size but
+   give up exactness; measure stamping at r = d. *)
+let plausible_tests =
+  let g = Topology.client_server ~servers:4 ~clients:60 in
+  let trace = trace_of g 2000 in
+  Test.make_grouped ~name:"plausible-ablation"
+    [
+      Test.make ~name:"plausible-r4"
+        (Staged.stage (fun () -> ignore (Plausible.timestamp_trace ~r:4 trace)));
+      Test.make ~name:"plausible-r64"
+        (Staged.stage (fun () ->
+             ignore (Plausible.timestamp_trace ~r:64 trace)));
+    ]
+
+(* B8 (extension): adaptive stamping vs. full-knowledge stamping. *)
+let adaptive_tests =
+  let g = Topology.client_server ~servers:4 ~clients:60 in
+  let d = Decomposition.best g in
+  let trace = trace_of g 2000 in
+  let adaptive_stamp () =
+    let s = Synts_core.Adaptive_stamper.create (Graph.n g) in
+    Array.iter
+      (fun (m : Trace.message) ->
+        ignore
+          (Synts_core.Adaptive_stamper.stamp s ~src:m.Trace.src
+             ~dst:m.Trace.dst))
+      (Trace.messages trace)
+  in
+  Test.make_grouped ~name:"adaptive-ablation"
+    [
+      Test.make ~name:"static-decomposition"
+        (Staged.stage (fun () -> ignore (Online.timestamp_trace d trace)));
+      Test.make ~name:"adaptive-growth" (Staged.stage adaptive_stamp);
+    ]
+
+(* B9 (extension): streaming internal-event stamps. *)
+let stream_tests =
+  let g = Topology.star 16 in
+  let d = Decomposition.best g in
+  let trace =
+    Workload.random
+      (Rng.create (seed + 2))
+      ~topology:g ~messages:1000 ~internal_prob:0.5 ()
+  in
+  let message_ts = Online.timestamp_trace d trace in
+  let streaming () =
+    let s =
+      Synts_core.Event_stream.create ~dimension:(Decomposition.size d)
+        ~n:(Graph.n g)
+    in
+    let mid = ref 0 in
+    List.iter
+      (fun step ->
+        match step with
+        | Trace.Local p ->
+            ignore (Synts_core.Event_stream.record_internal s ~proc:p)
+        | Trace.Send (src, dst) ->
+            let ts = message_ts.(!mid) in
+            incr mid;
+            ignore (Synts_core.Event_stream.record_message s ~proc:src ts);
+            ignore (Synts_core.Event_stream.record_message s ~proc:dst ts))
+      (Trace.steps trace);
+    ignore (Synts_core.Event_stream.finish s)
+  in
+  Test.make_grouped ~name:"internal-events"
+    [
+      Test.make ~name:"batch"
+        (Staged.stage (fun () ->
+             ignore (Synts_core.Internal_events.of_trace_with message_ts trace)));
+      Test.make ~name:"streaming" (Staged.stage streaming);
+    ]
+
+(* B11: scaling series — stamping cost per 1000 messages as N grows, ours
+   (client-server topology, d = 4 constant) vs. Fidge–Mattern (d = N).
+   The crossover shape is the paper's practical argument. *)
+let scaling_tests =
+  let sizes = [ 8; 16; 32; 64; 128 ] in
+  let setup n =
+    let g = Topology.client_server ~servers:4 ~clients:(n - 4) in
+    (g, Decomposition.best g, trace_of g 1000)
+  in
+  let prepared = List.map (fun n -> (n, setup n)) sizes in
+  let ours =
+    Test.make_indexed ~name:"ours-cs4" ~args:sizes (fun n ->
+        let _, d, trace = List.assoc n prepared in
+        Staged.stage (fun () -> ignore (Online.timestamp_trace d trace)))
+  in
+  let fm =
+    Test.make_indexed ~name:"fm-cs4" ~args:sizes (fun n ->
+        let _, _, trace = List.assoc n prepared in
+        Staged.stage (fun () -> ignore (Fm_sync.timestamp_trace trace)))
+  in
+  Test.make_grouped ~name:"scaling-1000msg" [ ours; fm ]
+
+(* B10: the full protocol stack — rendezvous over the simulated network,
+   600 messages, with and without timestamping. *)
+let network_tests =
+  let g = Topology.client_server ~servers:2 ~clients:10 in
+  let d = Decomposition.best g in
+  let trace = trace_of g 600 in
+  let scripts = Synts_net.Script.of_trace trace in
+  Test.make_grouped ~name:"network-600msg"
+    [
+      Test.make ~name:"rendezvous-plain"
+        (Staged.stage (fun () -> ignore (Synts_net.Rendezvous.run scripts)));
+      Test.make ~name:"rendezvous-timestamped"
+        (Staged.stage (fun () ->
+             ignore (Synts_net.Rendezvous.run ~decomposition:d scripts)));
+    ]
+
+let all_groups =
+  [
+    decomposition_tests;
+    stamping_tests;
+    offline_tests;
+    precedence_tests;
+    oracle_tests;
+    protocol_tests;
+    plausible_tests;
+    adaptive_tests;
+    stream_tests;
+    network_tests;
+    scaling_tests;
+  ]
+
+let run_benchmarks () =
+  Format.printf "==================================================@.";
+  Format.printf " Part 2: timing benchmarks (bechamel, monotonic clock)@.";
+  Format.printf "==================================================@.@.";
+  let cfg = Benchmark.cfg ~limit:1500 ~quota:(Time.second 0.4) () in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun group ->
+      let raw = Benchmark.all cfg [ Instance.monotonic_clock ] group in
+      let results = Analyze.all ols Instance.monotonic_clock raw in
+      let rows =
+        Hashtbl.fold (fun name r acc -> (name, r) :: acc) results []
+        |> List.sort compare
+      in
+      List.iter
+        (fun (name, r) ->
+          let estimate =
+            match Analyze.OLS.estimates r with
+            | Some [ e ] -> e
+            | _ -> nan
+          in
+          let pretty =
+            if Float.is_nan estimate then "n/a"
+            else if estimate > 1_000_000.0 then
+              Printf.sprintf "%8.3f ms" (estimate /. 1_000_000.0)
+            else if estimate > 1_000.0 then
+              Printf.sprintf "%8.3f us" (estimate /. 1_000.0)
+            else Printf.sprintf "%8.1f ns" estimate
+          in
+          Format.printf "  %-55s %s/run@." name pretty)
+        rows;
+      Format.printf "@.")
+    all_groups
+
+let () =
+  print_tables ();
+  run_benchmarks ();
+  Format.printf "done.@."

@@ -1,0 +1,198 @@
+(* Randomized cross-validation fuzzer.
+
+   Each iteration draws a random topology and workload, then runs EVERY
+   timestamping path in the repository against the brute-force oracle and
+   against each other:
+
+     online (best and sequential decompositions), the packet-level
+     protocol, the adaptive stamper, the offline realizer algorithm,
+     internal-event stamps, the rendezvous protocol over the simulated
+     asynchronous network, Fidge-Mattern, and the monitoring frontier.
+
+   Any discrepancy prints a reproduction line and exits non-zero. Use a
+   high --iterations for soak testing:
+
+     dune exec bin/fuzz.exe -- --iterations 2000 *)
+
+module Rng = Synts_util.Rng
+module Graph = Synts_graph.Graph
+module Topology = Synts_graph.Topology
+module Decomposition = Synts_graph.Decomposition
+module Trace = Synts_sync.Trace
+module Poset = Synts_poset.Poset
+module Vector = Synts_clock.Vector
+module Fm_sync = Synts_clock.Fm_sync
+module Online = Synts_core.Online
+module Offline = Synts_core.Offline
+module Adaptive_stamper = Synts_core.Adaptive_stamper
+module Internal_events = Synts_core.Internal_events
+module Script = Synts_net.Script
+module Rendezvous = Synts_net.Rendezvous
+module Frontier = Synts_monitor.Frontier
+module Workload = Synts_workload.Workload
+module Validate = Synts_check.Validate
+module Oracle = Synts_check.Oracle
+
+open Cmdliner
+
+let random_spec rng max_n =
+  let n k = 2 + Rng.int rng (max 1 (k - 2)) in
+  match Rng.int rng 10 with
+  | 0 -> Topology.Star (max 2 (n max_n))
+  | 1 -> Topology.Triangle
+  | 2 -> Topology.Complete (max 3 (n (min max_n 9)))
+  | 3 -> Topology.Path (max 2 (n max_n))
+  | 4 -> Topology.Ring (max 3 (n max_n))
+  | 5 ->
+      Topology.Client_server
+        (1 + Rng.int rng 3, max 1 (n max_n - 2))
+  | 6 -> Topology.Disjoint_triangles (1 + Rng.int rng (max 1 (max_n / 3)))
+  | 7 -> Topology.Random_tree (max 2 (n max_n))
+  | 8 -> Topology.Gnp (max 3 (n max_n), 0.15 +. Rng.float rng *. 0.5)
+  | _ -> Topology.Random_connected (max 3 (n max_n), Rng.float rng *. 0.4)
+
+type failure = { iteration : int; what : string; repro : string }
+
+exception Failed of failure
+
+let check iteration repro what ok =
+  if not ok then raise (Failed { iteration; what; repro })
+
+let one_iteration ~iteration ~max_n ~max_messages rng =
+  let spec = random_spec rng max_n in
+  let topo_seed = Rng.int rng 1_000_000 in
+  let work_seed = Rng.int rng 1_000_000 in
+  let net_seed = Rng.int rng 1_000_000 in
+  let messages = Rng.int rng (max_messages + 1) in
+  let internal_prob = Rng.float rng *. 0.4 in
+  let repro =
+    Printf.sprintf
+      "topology=%s topo_seed=%d work_seed=%d net_seed=%d messages=%d internal=%.3f"
+      (Topology.spec_to_string spec)
+      topo_seed work_seed net_seed messages internal_prob
+  in
+  let check what ok = check iteration repro what ok in
+  let g = Topology.build ~rng:(Rng.create topo_seed) spec in
+  if Graph.m g > 0 then begin
+    let trace =
+      Workload.random (Rng.create work_seed) ~topology:g ~messages
+        ~internal_prob ()
+    in
+    let poset = Oracle.message_poset trace in
+    let d_best = Decomposition.best g in
+    let d_seq = Decomposition.sequential g in
+
+    (* Online, two decompositions, plus packet-level protocol. *)
+    let ts_best = Online.timestamp_trace d_best trace in
+    check "online/best exact"
+      (Validate.ok (Validate.message_timestamps trace ts_best));
+    let ts_seq = Online.timestamp_trace d_seq trace in
+    check "online/sequential exact"
+      (Validate.ok (Validate.message_timestamps trace ts_seq));
+    check "protocol agrees"
+      (Array.for_all2 Vector.equal ts_best
+         (Online.timestamp_trace_protocol d_best trace));
+
+    (* Offline realizer. *)
+    let ts_off = Offline.timestamp_trace trace in
+    check "offline exact"
+      (Validate.ok (Validate.message_timestamps trace ts_off));
+
+    (* Fidge-Mattern agreement on every ordered pair. *)
+    let fm = Fm_sync.timestamp_trace trace in
+    let agree = ref true in
+    Array.iteri
+      (fun i vi ->
+        Array.iteri
+          (fun j vj ->
+            if i <> j && Vector.lt vi vj <> Vector.lt fm.(i) fm.(j) then
+              agree := false)
+          ts_best)
+      ts_best;
+    check "fm agreement" !agree;
+
+    (* Adaptive stamper. *)
+    let s = Adaptive_stamper.create (Trace.n trace) in
+    let ts_adaptive =
+      Array.map
+        (fun (m : Trace.message) ->
+          Adaptive_stamper.stamp s ~src:m.Trace.src ~dst:m.Trace.dst)
+        (Trace.messages trace)
+    in
+    let adaptive_ok = ref true in
+    Array.iteri
+      (fun i vi ->
+        Array.iteri
+          (fun j vj ->
+            if i <> j && Poset.lt poset i j <> Adaptive_stamper.precedes vi vj
+            then adaptive_ok := false)
+          ts_adaptive)
+      ts_adaptive;
+    check "adaptive exact" !adaptive_ok;
+
+    (* Internal events. *)
+    check "internal events exact"
+      (Validate.ok
+         (Validate.internal_stamps trace (Internal_events.of_trace d_best trace)));
+
+    (* The rendezvous protocol over the async network — every other
+       iteration on a lossy link with retransmission. *)
+    let loss = if iteration mod 2 = 0 then 0.25 else 0.0 in
+    let o =
+      Rendezvous.run ~seed:net_seed ~loss ~retransmit:25.0
+        ~decomposition:d_best (Script.of_trace trace)
+    in
+    check "rendezvous completes" (o.Rendezvous.deadlocked = []);
+    (match o.Rendezvous.timestamps with
+    | Some ts ->
+        check "rendezvous exact"
+          (Validate.ok (Validate.message_timestamps o.Rendezvous.trace ts))
+    | None -> check "rendezvous produced timestamps" false);
+
+    (* Frontier = maximal elements. *)
+    let f = Frontier.create () in
+    Array.iteri (fun id v -> ignore (Frontier.insert f ~id v)) ts_best;
+    check "frontier = maxima"
+      (messages = 0
+      || List.sort compare (List.map fst (Frontier.frontier f))
+         = Poset.maximal_elements poset)
+  end
+
+let fuzz iterations seed max_n max_messages =
+  let rng = Rng.create seed in
+  let started = Unix.gettimeofday () in
+  match
+    for iteration = 1 to iterations do
+      one_iteration ~iteration ~max_n ~max_messages (Rng.split rng);
+      if iteration mod 100 = 0 then
+        Format.printf "  %d/%d iterations ok (%.1fs)@." iteration iterations
+          (Unix.gettimeofday () -. started)
+    done
+  with
+  | () ->
+      Format.printf
+        "fuzz: %d iterations, every scheme exact and mutually consistent@."
+        iterations
+  | exception Failed { iteration; what; repro } ->
+      Format.eprintf "fuzz FAILURE at iteration %d: %s@.  repro: %s@."
+        iteration what repro;
+      exit 1
+
+let () =
+  let iterations_t =
+    Arg.(value & opt int 300 & info [ "iterations"; "i" ] ~docv:"K")
+  in
+  let seed_t = Arg.(value & opt int 2002 & info [ "seed" ] ~docv:"SEED") in
+  let max_n_t = Arg.(value & opt int 14 & info [ "max-n" ] ~docv:"N") in
+  let max_messages_t =
+    Arg.(value & opt int 70 & info [ "max-messages" ] ~docv:"M")
+  in
+  let cmd =
+    Cmd.v
+      (Cmd.info "fuzz"
+         ~doc:
+           "Randomized cross-validation of every timestamping scheme \
+            against the oracle and each other.")
+      Term.(const fuzz $ iterations_t $ seed_t $ max_n_t $ max_messages_t)
+  in
+  exit (Cmd.eval cmd)

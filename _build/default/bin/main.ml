@@ -1,0 +1,508 @@
+(* The synts command-line interface.
+
+   synts figures [ID ...]        reproduce the paper's figures
+   synts experiments [ID ...]    run the experiment suite (EXPERIMENTS.md rows)
+   synts decompose TOPO          edge-decompose a topology
+   synts simulate TOPO           run a workload and print timestamps
+   synts verify TOPO             validate all schemes against the oracle *)
+
+module Rng = Synts_util.Rng
+module Graph = Synts_graph.Graph
+module Topology = Synts_graph.Topology
+module Vertex_cover = Synts_graph.Vertex_cover
+module Decomposition = Synts_graph.Decomposition
+module Trace = Synts_sync.Trace
+module Diagram = Synts_sync.Diagram
+module Message_poset = Synts_sync.Message_poset
+module Dilworth = Synts_poset.Dilworth
+module Vector = Synts_clock.Vector
+module Online = Synts_core.Online
+module Offline = Synts_core.Offline
+module Internal_events = Synts_core.Internal_events
+module Workload = Synts_workload.Workload
+module Validate = Synts_check.Validate
+module Experiments = Synts_experiments.Experiments
+
+open Cmdliner
+
+(* A topology argument is either a generator spec or @FILE pointing at a
+   saved adjacency list. *)
+type topo_arg = Spec of Topology.spec | From_file of string
+
+let topo_to_string = function
+  | Spec spec -> Topology.spec_to_string spec
+  | From_file path -> "@" ^ path
+
+let realize_topology seed = function
+  | Spec spec -> Topology.build ~rng:(Rng.create seed) spec
+  | From_file path -> (
+      match Topology.load_graph path with
+      | Ok g -> g
+      | Error e ->
+          prerr_endline e;
+          exit 1)
+
+let topology_conv =
+  let parse s =
+    if String.length s > 1 && s.[0] = '@' then
+      Ok (From_file (String.sub s 1 (String.length s - 1)))
+    else
+      Topology.spec_of_string s
+      |> Result.map (fun spec -> Spec spec)
+      |> Result.map_error (fun e -> `Msg e)
+  in
+  let print ppf t = Format.pp_print_string ppf (topo_to_string t) in
+  Arg.conv (parse, print)
+
+let seed_t =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let topology_t =
+  Arg.(
+    required
+    & pos 0 (some topology_conv) None
+    & info [] ~docv:"TOPOLOGY"
+        ~doc:
+          "Topology spec: star:N, triangle, complete:N, path:N, ring:N, \
+           grid:RxC, cs:SxC (client-server), triangles:T, btree:AxD, \
+           tree:N, gnp:N:P, connected:N:P, hypercube:D, fig4, fig2b — or \
+           @FILE for a saved adjacency list.")
+
+(* ---------- figures ---------- *)
+
+let figures_cmd =
+  let ids_t =
+    Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Figure ids (f1 f2 f3 f4 f6 f8 f9); all when omitted.")
+  in
+  let run ids =
+    let ids = if ids = [] then Experiments.figure_ids else ids in
+    let rc =
+      List.fold_left
+        (fun rc id ->
+          match Experiments.figure id with
+          | Ok text ->
+              print_string text;
+              print_newline ();
+              rc
+          | Error e ->
+              prerr_endline e;
+              1)
+        0 ids
+    in
+    exit rc
+  in
+  Cmd.v
+    (Cmd.info "figures" ~doc:"Reproduce the paper's figures textually.")
+    Term.(const run $ ids_t)
+
+(* ---------- experiments ---------- *)
+
+let experiments_cmd =
+  let ids_t =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"ID" ~doc:"Experiment ids (e1..e10); all when omitted.")
+  in
+  let run seed ids =
+    let tables = Experiments.all ~seed in
+    let wanted =
+      if ids = [] then tables
+      else
+        List.filter
+          (fun t ->
+            List.mem (String.lowercase_ascii t.Experiments.id) ids
+            || List.mem t.Experiments.id ids)
+          tables
+    in
+    if wanted = [] then begin
+      prerr_endline "no matching experiments";
+      exit 1
+    end;
+    List.iter
+      (fun t -> Format.printf "%a@." Experiments.pp_table t)
+      wanted
+  in
+  Cmd.v
+    (Cmd.info "experiments"
+       ~doc:"Run the experiment suite and print EXPERIMENTS.md tables.")
+    Term.(const run $ seed_t $ ids_t)
+
+(* ---------- decompose ---------- *)
+
+let decompose_cmd =
+  let method_t =
+    Arg.(
+      value
+      & opt (enum [ ("paper", `Paper); ("vc", `Vc); ("sequential", `Sequential);
+                    ("exact", `Exact); ("best", `Best) ])
+          `Paper
+      & info [ "method" ] ~docv:"METHOD"
+          ~doc:"paper (Fig. 7), vc (vertex-cover stars), sequential, exact, best.")
+  in
+  let dot_t =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz DOT instead of text.")
+  in
+  let run seed spec method_ dot =
+    let g = realize_topology seed spec in
+    let d =
+      match method_ with
+      | `Paper -> Some (Decomposition.paper g)
+      | `Sequential -> Some (Decomposition.sequential g)
+      | `Best -> Some (Decomposition.best g)
+      | `Exact -> Decomposition.exact g
+      | `Vc -> (
+          match Decomposition.of_vertex_cover g (Vertex_cover.two_approx g) with
+          | Ok d -> Some d
+          | Error e ->
+              prerr_endline e;
+              exit 1)
+    in
+    match d with
+    | None ->
+        prerr_endline "exact search budget exhausted; try a smaller topology";
+        exit 1
+    | Some d ->
+        if dot then print_string (Synts_export.Dot.decomposition g d)
+        else begin
+          Format.printf "topology %s: N=%d, M=%d@." (topo_to_string spec)
+            (Graph.n g) (Graph.m g);
+          Format.printf "%a@." (Decomposition.pp ?labels:None) d;
+          Format.printf "timestamp size d = %d (Fidge-Mattern would use %d)@."
+            (Decomposition.size d) (Graph.n g)
+        end
+  in
+  Cmd.v
+    (Cmd.info "decompose" ~doc:"Edge-decompose a communication topology.")
+    Term.(const run $ seed_t $ topology_t $ method_t $ dot_t)
+
+(* ---------- simulate ---------- *)
+
+let simulate_cmd =
+  let messages_t =
+    Arg.(value & opt int 20 & info [ "messages"; "m" ] ~docv:"M" ~doc:"Message count.")
+  in
+  let internal_t =
+    Arg.(
+      value & opt float 0.0
+      & info [ "internal" ] ~docv:"P" ~doc:"Internal-event probability.")
+  in
+  let offline_t =
+    Arg.(value & flag & info [ "offline" ] ~doc:"Use the offline (Dilworth realizer) algorithm.")
+  in
+  let diagram_t =
+    Arg.(value & flag & info [ "diagram" ] ~doc:"Render the time diagram.")
+  in
+  let save_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"FILE" ~doc:"Also write the trace to FILE.")
+  in
+  let run seed spec messages internal offline diagram save =
+    let g = realize_topology seed spec in
+    let trace =
+      Workload.random (Rng.create (seed + 1)) ~topology:g ~messages
+        ~internal_prob:internal ()
+    in
+    Option.iter (fun path -> Synts_sync.Trace_io.save path trace) save;
+    let ts =
+      if offline then Offline.timestamp_trace trace
+      else Online.timestamp_trace (Decomposition.best g) trace
+    in
+    if diagram then print_string (Diagram.render_with_timestamps trace ts)
+    else
+      Array.iter
+        (fun (m : Trace.message) ->
+          Format.printf "m%-3d P%d->P%d  %s@." (m.Trace.id + 1)
+            (m.Trace.src + 1) (m.Trace.dst + 1)
+            (Vector.to_string ts.(m.Trace.id)))
+        (Trace.messages trace);
+    let p = Message_poset.of_trace trace in
+    Format.printf
+      "@.%d messages, vector size %d, poset width %d, %s algorithm@."
+      (Trace.message_count trace)
+      (if Array.length ts > 0 then Vector.size ts.(0) else 0)
+      (Dilworth.width p)
+      (if offline then "offline" else "online")
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Generate a random synchronous computation and timestamp it.")
+    Term.(
+      const run $ seed_t $ topology_t $ messages_t $ internal_t $ offline_t
+      $ diagram_t $ save_t)
+
+(* ---------- analyze ---------- *)
+
+let analyze_cmd =
+  let file_t =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"A trace file (see synts simulate --save).")
+  in
+  let diagram_t =
+    Arg.(value & flag & info [ "diagram" ] ~doc:"Render the time diagram.")
+  in
+  let offline_t =
+    Arg.(value & flag & info [ "offline" ] ~doc:"Use the offline algorithm.")
+  in
+  let orphan_t =
+    Arg.(
+      value
+      & opt (some (pair ~sep:':' int int)) None
+      & info [ "orphan" ] ~docv:"PROC:SURVIVES"
+          ~doc:
+            "Report orphaned messages after process $(b,PROC) crashes \
+             keeping its first $(b,SURVIVES) message participations.")
+  in
+  let run file diagram offline orphan =
+    match Synts_sync.Trace_io.load file with
+    | Error e ->
+        prerr_endline e;
+        exit 1
+    | Ok trace ->
+        let topology = Trace.topology trace in
+        let d = Decomposition.best topology in
+        let ts =
+          if offline then Offline.timestamp_trace trace
+          else Online.timestamp_trace d trace
+        in
+        Format.printf
+          "%s: %d processes, %d messages, %d internal events, vector size %d@."
+          file (Trace.n trace)
+          (Trace.message_count trace)
+          (Trace.internal_count trace)
+          (if Array.length ts > 0 then Vector.size ts.(0) else 0);
+        if diagram then print_string (Diagram.render_with_timestamps trace ts);
+        let verdict = Validate.message_timestamps trace ts in
+        Format.printf "timestamps encode the message order: %s@."
+          (if Validate.ok verdict then "yes" else "NO");
+        (match orphan with
+        | None -> ()
+        | Some (proc, survives) ->
+            let failure = { Synts_detect.Orphan.proc; survives } in
+            let show ids =
+              String.concat ", "
+                (List.map (fun m -> Printf.sprintf "m%d" (m + 1)) ids)
+            in
+            Format.printf "crash of P%d keeping %d messages:@." (proc + 1)
+              survives;
+            Format.printf "  lost     : %s@."
+              (show (Synts_detect.Orphan.lost_messages trace failure));
+            Format.printf "  orphaned : %s@."
+              (show (Synts_detect.Orphan.orphans trace ts failure));
+            Format.printf "  rollback : %s@."
+              (String.concat ", "
+                 (List.map
+                    (fun p -> Printf.sprintf "P%d" (p + 1))
+                    (Synts_detect.Orphan.rollback_processes trace ts failure))))
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Load a saved trace, timestamp it and answer queries.")
+    Term.(const run $ file_t $ diagram_t $ offline_t $ orphan_t)
+
+(* ---------- monitor ---------- *)
+
+let monitor_cmd =
+  let file_t =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"A trace file to feed through a session.")
+  in
+  let adaptive_t =
+    Arg.(
+      value & flag
+      & info [ "adaptive" ]
+          ~doc:"Pretend the topology is unknown (adaptive stamping).")
+  in
+  let window_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "window" ] ~docv:"W" ~doc:"Sliding window for statistics.")
+  in
+  let run file adaptive window =
+    match Synts_sync.Trace_io.load file with
+    | Error e ->
+        prerr_endline e;
+        exit 1
+    | Ok trace ->
+        let session =
+          if adaptive then
+            Synts_session.Session.adaptive ?window ~n:(Trace.n trace) ()
+          else Synts_session.Session.of_topology ?window (Trace.topology trace)
+        in
+        List.iter
+          (fun step ->
+            match step with
+            | Trace.Send (src, dst) ->
+                ignore (Synts_session.Session.message session ~src ~dst)
+            | Trace.Local p ->
+                ignore (Synts_session.Session.internal session ~proc:p))
+          (Trace.steps trace);
+        let resolved = Synts_session.Session.finish_events session in
+        Format.printf "monitored %d messages, %d internal events@."
+          (Synts_session.Session.messages_observed session)
+          (List.length resolved);
+        Format.printf "vector size        : %d (FM would use %d)@."
+          (Synts_session.Session.dimension session)
+          (Trace.n trace);
+        Format.printf "poset width so far : %d@."
+          (Synts_session.Session.width session);
+        Format.printf "concurrency ratio  : %.3f@."
+          (Synts_session.Session.concurrency_ratio session);
+        Format.printf "longest causal chain: %d@."
+          (Synts_session.Session.longest_chain session);
+        Format.printf "frontier (%d maximal messages):@."
+          (List.length (Synts_session.Session.frontier session));
+        List.iter
+          (fun (id, v) ->
+            Format.printf "  m%d %s@." (id + 1) (Vector.to_string v))
+          (Synts_session.Session.frontier session)
+  in
+  Cmd.v
+    (Cmd.info "monitor"
+       ~doc:"Feed a trace through a monitoring session and print the live \
+             statistics.")
+    Term.(const run $ file_t $ adaptive_t $ window_t)
+
+(* ---------- protocol ---------- *)
+
+let protocol_cmd =
+  let file_t =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "A process-system file: one `P<id>: intents` line per process, \
+             intents separated by dots — !k (send to k), ?k (receive from \
+             k), ?* (receive from anyone), # (internal event). // comments.")
+  in
+  let min_delay_t =
+    Arg.(value & opt float 1.0 & info [ "min-delay" ] ~docv:"D")
+  in
+  let max_delay_t =
+    Arg.(value & opt float 10.0 & info [ "max-delay" ] ~docv:"D")
+  in
+  let diagram_t =
+    Arg.(value & flag & info [ "diagram" ] ~doc:"Render the induced diagram.")
+  in
+  let run seed file min_delay max_delay diagram =
+    let text = In_channel.with_open_text file In_channel.input_all in
+    match Synts_net.Script.parse_system text with
+    | Error e ->
+        prerr_endline e;
+        exit 1
+    | Ok scripts ->
+        let n = Array.length scripts in
+        (* The topology is whatever channels the scripts mention. *)
+        let g =
+          let edges = ref [] in
+          Array.iteri
+            (fun src script ->
+              List.iter
+                (function
+                  | Synts_net.Script.Send_to dst ->
+                      edges := (src, dst) :: !edges
+                  | _ -> ())
+                script)
+            scripts;
+          Graph.of_edges n !edges
+        in
+        let d = Decomposition.best g in
+        let o =
+          Synts_net.Rendezvous.run ~seed ~min_delay ~max_delay
+            ~decomposition:d scripts
+        in
+        Format.printf
+          "executed %d messages over the simulated network (%d packets, \
+           makespan %.1f), vectors of size %d@."
+          (Trace.message_count o.Synts_net.Rendezvous.trace)
+          o.Synts_net.Rendezvous.packets o.Synts_net.Rendezvous.makespan
+          (Decomposition.size d);
+        (match o.Synts_net.Rendezvous.deadlocked with
+        | [] -> ()
+        | stuck ->
+            Format.printf "DEADLOCK: %s never completed@."
+              (String.concat ", "
+                 (List.map (fun p -> Printf.sprintf "P%d" p) stuck)));
+        (match o.Synts_net.Rendezvous.timestamps with
+        | Some ts when diagram ->
+            print_string
+              (Diagram.render_with_timestamps o.Synts_net.Rendezvous.trace ts)
+        | Some ts ->
+            Array.iter
+              (fun (m : Trace.message) ->
+                Format.printf "m%-3d P%d->P%d  %s@." (m.Trace.id + 1)
+                  (m.Trace.src + 1) (m.Trace.dst + 1)
+                  (Vector.to_string ts.(m.Trace.id)))
+              (Trace.messages o.Synts_net.Rendezvous.trace)
+        | None -> ());
+        if o.Synts_net.Rendezvous.deadlocked <> [] then exit 2
+  in
+  Cmd.v
+    (Cmd.info "protocol"
+       ~doc:
+         "Run a process-system file over the simulated asynchronous \
+          network with the REQ/ACK rendezvous protocol.")
+    Term.(
+      const run $ seed_t $ file_t $ min_delay_t $ max_delay_t $ diagram_t)
+
+(* ---------- verify ---------- *)
+
+let verify_cmd =
+  let messages_t =
+    Arg.(value & opt int 60 & info [ "messages"; "m" ] ~docv:"M" ~doc:"Messages per run.")
+  in
+  let runs_t =
+    Arg.(value & opt int 10 & info [ "runs" ] ~docv:"R" ~doc:"Number of runs.")
+  in
+  let run seed spec messages runs =
+    let g = realize_topology seed spec in
+    let d = Decomposition.best g in
+    let rng = Rng.create (seed + 1) in
+    let failures = ref 0 in
+    for r = 1 to runs do
+      let trace =
+        Workload.random (Rng.split rng) ~topology:g ~messages
+          ~internal_prob:0.25 ()
+      in
+      let online = Validate.message_timestamps trace (Online.timestamp_trace d trace) in
+      let offline = Validate.message_timestamps trace (Offline.timestamp_trace trace) in
+      let internal = Validate.internal_stamps trace (Internal_events.of_trace d trace) in
+      let ok = Validate.ok online && Validate.ok offline && Validate.ok internal in
+      if not ok then incr failures;
+      Format.printf "run %2d: online %a | offline %a | internal %a@." r
+        Validate.pp online Validate.pp offline Validate.pp internal
+    done;
+    if !failures = 0 then
+      Format.printf "@.all %d runs verified against the brute-force oracle@."
+        runs
+    else begin
+      Format.printf "@.%d runs FAILED@." !failures;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Validate online, offline and internal-event timestamps against \
+             the oracle.")
+    Term.(const run $ seed_t $ topology_t $ messages_t $ runs_t)
+
+let () =
+  let doc =
+    "Timestamping messages in synchronous computations (Garg & \
+     Skawratananond, ICDCS 2002)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "synts" ~version:"1.0.0" ~doc)
+          [
+            figures_cmd; experiments_cmd; decompose_cmd; simulate_cmd;
+            analyze_cmd; monitor_cmd; protocol_cmd; verify_cmd;
+          ]))

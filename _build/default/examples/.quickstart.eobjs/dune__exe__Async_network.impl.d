@@ -1,0 +1,1 @@
+examples/async_network.ml: Array Format List Option Synts_check Synts_graph Synts_net Synts_sync Synts_util Synts_workload

@@ -1,0 +1,1 @@
+examples/client_server.ml: Array Format List Synts_check Synts_clock Synts_core Synts_graph Synts_sync Synts_util Synts_workload

@@ -1,0 +1,1 @@
+examples/csp_pipeline.ml: Array Format Option Synts_check Synts_core Synts_csp Synts_graph Synts_sync

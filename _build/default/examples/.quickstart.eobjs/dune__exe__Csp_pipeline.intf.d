@@ -1,0 +1,1 @@
+examples/csp_pipeline.mli:

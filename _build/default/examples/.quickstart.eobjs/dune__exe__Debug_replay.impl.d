@@ -1,0 +1,1 @@
+examples/debug_replay.ml: Array Format Synts_check Synts_core Synts_graph Synts_poset Synts_sync Synts_util Synts_workload

@@ -1,0 +1,1 @@
+examples/full_stack.ml: Array Filename Format List Option Printf String Synts_check Synts_core Synts_csp Synts_detect Synts_export Synts_graph Synts_poset Synts_sync Sys

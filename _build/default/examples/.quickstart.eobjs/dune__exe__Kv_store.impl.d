@@ -1,0 +1,1 @@
+examples/kv_store.ml: Array Format Hashtbl List Option Printf Synts_check Synts_clock Synts_core Synts_csp Synts_graph Synts_sync

@@ -1,0 +1,1 @@
+examples/philosophers.ml: Array Format Fun List Synts_check Synts_core Synts_csp Synts_graph Synts_sync

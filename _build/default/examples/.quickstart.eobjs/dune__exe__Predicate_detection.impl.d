@@ -1,0 +1,1 @@
+examples/predicate_detection.ml: Array Format List Synts_clock Synts_core Synts_detect Synts_graph Synts_sync

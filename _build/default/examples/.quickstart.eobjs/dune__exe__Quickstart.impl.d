@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format Synts_clock Synts_core Synts_graph Synts_sync

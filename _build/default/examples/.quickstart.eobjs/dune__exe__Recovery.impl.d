@@ -1,0 +1,1 @@
+examples/recovery.ml: Format List Printf String Synts_core Synts_detect Synts_graph Synts_sync Synts_util Synts_workload

@@ -1,0 +1,1 @@
+examples/tree_monitor.ml: Array Format Synts_clock Synts_core Synts_graph Synts_poset Synts_sync Synts_workload

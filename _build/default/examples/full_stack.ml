@@ -1,0 +1,116 @@
+(* The whole stack in one pipeline.
+
+   1. A concurrent CSP program runs on the effects runtime (workers + two
+      aggregators), with the Figure 5 middleware stamping every rendezvous.
+   2. The recorded trace is saved to disk in the text format.
+   3. A separate "debugger" loads it back, re-timestamps it offline with
+      the Dilworth realizer, answers predicate and recovery queries, and
+      emits Graphviz artifacts.
+
+   Run with: dune exec examples/full_stack.exe *)
+
+module Topology = Synts_graph.Topology
+module Decomposition = Synts_graph.Decomposition
+module Trace = Synts_sync.Trace
+module Trace_io = Synts_sync.Trace_io
+module Message_poset = Synts_sync.Message_poset
+module Dilworth = Synts_poset.Dilworth
+module Online = Synts_core.Online
+module Offline = Synts_core.Offline
+module Internal_events = Synts_core.Internal_events
+module Predicate = Synts_detect.Predicate
+module Orphan = Synts_detect.Orphan
+module Dot = Synts_export.Dot
+module Validate = Synts_check.Validate
+
+module R = Synts_csp.Runtime.Make (struct
+  type msg = int
+end)
+
+let workers = 4
+
+(* Two aggregators (P0, P1); workers P2.. report to both, alternating, and
+   mark a local checkpoint (internal event) between the two reports. *)
+let program pid api =
+  if pid < 2 then
+    R.Pattern.rpc_server ~requests:workers ~handler:(fun _ v -> v + 1) api
+  else begin
+    let reply1, _ = R.Pattern.rpc_call api ~server:0 pid in
+    api.R.internal ();
+    let reply2, _ = R.Pattern.rpc_call api ~server:1 reply1 in
+    assert (reply2 = pid + 2)
+  end
+
+let () =
+  let n = 2 + workers in
+  let topology = Topology.client_server ~servers:2 ~clients:workers in
+  let decomposition = Decomposition.best topology in
+
+  (* --- 1. live run --- *)
+  let outcome = R.run ~seed:21 ~decomposition ~n (Array.init n program) in
+  assert (outcome.R.deadlocked = [] && outcome.R.failures = []);
+  let trace = outcome.R.trace in
+  let live_ts = Option.get outcome.R.timestamps in
+  Format.printf "live run: %d messages, %d checkpoints, d = %d, exact: %b@."
+    (Trace.message_count trace)
+    (Trace.internal_count trace)
+    (Decomposition.size decomposition)
+    (Validate.ok (Validate.message_timestamps trace live_ts));
+
+  (* --- 2. persist --- *)
+  let path = Filename.temp_file "synts_fullstack" ".trace" in
+  Trace_io.save path trace;
+  Format.printf "trace saved to %s@." path;
+
+  (* --- 3. offline analysis --- *)
+  let loaded =
+    match Trace_io.load path with Ok t -> t | Error e -> failwith e
+  in
+  Sys.remove path;
+  assert (Trace.steps loaded = Trace.steps trace);
+  let off_ts = Offline.timestamp_trace loaded in
+  let width = Dilworth.width (Message_poset.of_trace loaded) in
+  Format.printf
+    "offline: width %d (bound %d), %d-component rank vectors, exact: %b@."
+    width
+    (Offline.width_bound ~n)
+    width
+    (Validate.ok (Validate.message_timestamps loaded off_ts));
+
+  (* Were all worker checkpoints possibly simultaneous? *)
+  let stamps = Internal_events.of_trace_with off_ts loaded in
+  let monitored =
+    List.init workers (fun i ->
+        let p = 2 + i in
+        ( p,
+          Array.to_list stamps
+          |> List.filter (fun s -> s.Internal_events.proc = p)
+          |> List.map Predicate.interval_of_internal ))
+  in
+  Format.printf "all %d checkpoints possibly simultaneous: %b@." workers
+    (Predicate.possibly monitored <> None);
+
+  (* If aggregator P1 lost its last two messages, who rolls back? *)
+  let survives =
+    max 0
+      (List.length
+         (List.filter
+            (function Trace.Msg _ -> true | Trace.Int _ -> false)
+            (Trace.process_history loaded 1))
+      - 2)
+  in
+  let failure = { Orphan.proc = 1; survives } in
+  Format.printf "crash of P2 losing 2 messages orphans %d, rolls back %s@."
+    (List.length (Orphan.orphans loaded off_ts failure))
+    (String.concat ","
+       (List.map
+          (fun p -> Printf.sprintf "P%d" (p + 1))
+          (Orphan.rollback_processes loaded off_ts failure)));
+
+  (* --- artifacts --- *)
+  let dot = Dot.decomposition topology decomposition in
+  Format.printf "@.Graphviz (decomposition), first lines:@.";
+  String.split_on_char '\n' dot
+  |> List.filteri (fun i _ -> i < 6)
+  |> List.iter print_endline;
+  Format.printf "...@."

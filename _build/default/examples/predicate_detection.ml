@@ -1,0 +1,92 @@
+(* Weak conjunctive predicate detection - the paper's first motivating
+   application.
+
+   Three worker processes plus a coordinator run a synchronous computation;
+   each worker occasionally enters a "critical" local state (an internal
+   event between two messages). The monitor asks: was there a consistent
+   global state in which ALL THREE workers were critical at once?
+   With exact message timestamps, the answer needs only vector
+   comparisons on the intervals between messages.
+
+   Run with: dune exec examples/predicate_detection.exe *)
+
+module Topology = Synts_graph.Topology
+module Decomposition = Synts_graph.Decomposition
+module Trace = Synts_sync.Trace
+module Diagram = Synts_sync.Diagram
+module Internal_events = Synts_core.Internal_events
+module Predicate = Synts_detect.Predicate
+module Vector = Synts_clock.Vector
+
+let () =
+  (* Coordinator is P0; workers P1..P3; star topology (d = 1!). *)
+  let topology = Topology.star 4 in
+  let decomposition = Decomposition.best topology in
+  Format.printf "Star topology: timestamps are single integers (d = %d)@.@."
+    (Decomposition.size decomposition);
+
+  (* A computation where the workers' critical sections (internal events)
+     do overlap: every worker goes critical right after the coordinator's
+     first round of pings, before the second round collects. *)
+  let trace =
+    Trace.of_steps_exn ~n:4
+      [
+        Send (0, 1); Local 1 (* P1 critical *);
+        Send (0, 2); Local 2 (* P2 critical *);
+        Send (0, 3); Local 3 (* P3 critical *);
+        Send (1, 0); Send (2, 0); Send (3, 0);
+      ]
+  in
+  print_string (Diagram.render trace);
+
+  let stamps = Internal_events.of_trace decomposition trace in
+  let monitored =
+    List.map
+      (fun p ->
+        ( p,
+          Array.to_list stamps
+          |> List.filter (fun s -> s.Internal_events.proc = p)
+          |> List.map Predicate.interval_of_internal ))
+      [ 1; 2; 3 ]
+  in
+  (match Predicate.possibly monitored with
+  | Some witness ->
+      Format.printf
+        "@.POSSIBLY(all critical): yes — witness intervals:@.";
+      List.iter
+        (fun iv ->
+          Format.printf "  P%d critical after %s until %s@."
+            (iv.Predicate.proc + 1)
+            (Vector.to_string iv.Predicate.since)
+            (match iv.Predicate.until with
+            | Some v -> Vector.to_string v
+            | None -> "end"))
+        witness
+  | None -> Format.printf "@.POSSIBLY(all critical): no@.");
+
+  (* Now a serialized computation: each worker is critical only while
+     holding a token the coordinator circulates - no overlap possible. *)
+  let serialized =
+    Trace.of_steps_exn ~n:4
+      [
+        Send (0, 1); Local 1; Send (1, 0);
+        Send (0, 2); Local 2; Send (2, 0);
+        Send (0, 3); Local 3; Send (3, 0);
+      ]
+  in
+  let stamps = Internal_events.of_trace decomposition serialized in
+  let monitored =
+    List.map
+      (fun p ->
+        ( p,
+          Array.to_list stamps
+          |> List.filter (fun s -> s.Internal_events.proc = p)
+          |> List.map Predicate.interval_of_internal ))
+      [ 1; 2; 3 ]
+  in
+  match Predicate.possibly monitored with
+  | Some _ -> Format.printf "token round: POSSIBLY = yes (UNEXPECTED)@."
+  | None ->
+      Format.printf
+        "token round: POSSIBLY(all critical) = no — the token serializes \
+         the critical sections, and the timestamps prove it.@."

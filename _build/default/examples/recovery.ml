@@ -1,0 +1,59 @@
+(* Orphan detection for optimistic recovery - the paper's second
+   motivating application.
+
+   A client-server system processes RPCs; server 0 crashes and loses its
+   recent state. Which messages are orphaned (causally depend on the lost
+   computation) and who has to roll back? With the paper's timestamps this
+   is one O(d) vector comparison per message against the first lost
+   message.
+
+   Run with: dune exec examples/recovery.exe *)
+
+module Topology = Synts_graph.Topology
+module Decomposition = Synts_graph.Decomposition
+module Trace = Synts_sync.Trace
+module Diagram = Synts_sync.Diagram
+module Online = Synts_core.Online
+module Orphan = Synts_detect.Orphan
+module Workload = Synts_workload.Workload
+module Rng = Synts_util.Rng
+
+let () =
+  let servers = 2 and clients = 4 in
+  let topology = Topology.client_server ~servers ~clients in
+  let decomposition = Decomposition.best topology in
+  let trace =
+    Workload.client_server (Rng.create 11) ~servers ~clients ~requests:12
+      ~think:false ()
+  in
+  let ts = Online.timestamp_trace decomposition trace in
+  Format.printf
+    "Client-server run: %d messages, %d-entry timestamps (one per server)@.@."
+    (Trace.message_count trace)
+    (Decomposition.size decomposition);
+  print_string (Diagram.render trace);
+
+  (* Server 0 crashes, losing everything after its 4th message. *)
+  let failure = { Orphan.proc = 0; survives = 4 } in
+  let lost = Orphan.lost_messages trace failure in
+  let orphaned = Orphan.orphans trace ts failure in
+  let rollback = Orphan.rollback_processes trace ts failure in
+  let stable = Orphan.stable_messages trace ts failure in
+
+  let show ids =
+    String.concat ", " (List.map (fun m -> Printf.sprintf "m%d" (m + 1)) ids)
+  in
+  Format.printf "@.Server P1 crashes keeping its first %d messages.@."
+    failure.Orphan.survives;
+  Format.printf "  lost at the server : %s@." (show lost);
+  Format.printf "  orphaned messages  : %s@." (show orphaned);
+  Format.printf "  still stable       : %s@." (show stable);
+  Format.printf "  processes to roll back: %s@."
+    (String.concat ", "
+       (List.map (fun p -> Printf.sprintf "P%d" (p + 1)) rollback));
+  Format.printf
+    "@.Each orphan was identified by a single %d-entry vector comparison;@."
+    (Decomposition.size decomposition);
+  Format.printf
+    "Fidge-Mattern would have compared %d-entry vectors for the same answer.@."
+    (Trace.n trace)

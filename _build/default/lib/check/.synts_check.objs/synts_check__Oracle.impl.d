@@ -1,0 +1,1 @@
+lib/check/oracle.ml: Array Synts_poset Synts_sync Synts_util

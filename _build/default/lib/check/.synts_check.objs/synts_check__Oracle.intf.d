@@ -1,0 +1,1 @@
+lib/check/oracle.mli: Synts_poset Synts_sync

@@ -1,0 +1,1 @@
+lib/check/validate.ml: Array Format List Oracle Synts_clock Synts_core Synts_poset Synts_sync

@@ -1,0 +1,1 @@
+lib/check/validate.mli: Format Synts_clock Synts_core Synts_poset Synts_sync

@@ -1,0 +1,26 @@
+module Trace = Synts_sync.Trace
+module Happened_before = Synts_sync.Happened_before
+module Poset = Synts_poset.Poset
+module Bitmatrix = Synts_util.Bitmatrix
+
+let message_poset trace =
+  let msgs = Trace.messages trace in
+  let k = Array.length msgs in
+  let m = Bitmatrix.create k in
+  for i = 0 to k - 1 do
+    for j = 0 to k - 1 do
+      if i <> j then begin
+        let a = msgs.(i) and b = msgs.(j) in
+        let shares =
+          Trace.involves b a.Trace.src || Trace.involves b a.Trace.dst
+        in
+        if shares && a.Trace.pos < b.Trace.pos then Bitmatrix.set m i j true
+      end
+    done
+  done;
+  Bitmatrix.transitive_closure m;
+  Poset.of_closed_matrix m
+
+let happened_before_internal trace =
+  let hb = Happened_before.of_trace trace in
+  fun i j -> Happened_before.internal_hb trace hb i j

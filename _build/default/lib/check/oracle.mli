@@ -1,0 +1,18 @@
+(** Brute-force ground truth, implemented independently of the library's
+    fast paths.
+
+    {!Synts_sync.Message_poset} builds [(M, ↦)] from consecutive
+    per-process pairs; this oracle instead materializes the {e full} direct
+    relation [▷] — every pair of messages sharing a participant — and
+    closes it with Warshall over a bit-matrix. Agreement between the two is
+    itself a test; every timestamping scheme is validated against this
+    one. *)
+
+val message_poset : Synts_sync.Trace.t -> Synts_poset.Poset.t
+(** [(M, ↦)] from the full quadratic direct relation. *)
+
+val happened_before_internal :
+  Synts_sync.Trace.t -> (int -> int -> bool)
+(** [happened_before_internal t] is a query [i j] deciding whether internal
+    event [i] happened before internal event [j], from the merged-node
+    event DAG ({!Synts_sync.Happened_before}). *)

@@ -1,0 +1,90 @@
+module Trace = Synts_sync.Trace
+module Poset = Synts_poset.Poset
+module Vector = Synts_clock.Vector
+module Internal_events = Synts_core.Internal_events
+
+type verdict = {
+  pairs : int;
+  false_orders : int;
+  missed_orders : int;
+  examples : (int * int) list;
+}
+
+let ok v = v.false_orders = 0 && v.missed_orders = 0
+
+let pp ppf v =
+  Format.fprintf ppf "pairs=%d false_orders=%d missed_orders=%d%s" v.pairs
+    v.false_orders v.missed_orders
+    (if ok v then " [ok]" else " [FAIL]")
+
+let max_examples = 10
+
+let compare_relations ~count ~expected ~claimed =
+  let pairs = ref 0 and false_orders = ref 0 and missed = ref 0 in
+  let examples = ref [] in
+  for i = 0 to count - 1 do
+    for j = 0 to count - 1 do
+      if i <> j then begin
+        incr pairs;
+        let e = expected i j and c = claimed i j in
+        if c && not e then begin
+          incr false_orders;
+          if List.length !examples < max_examples then
+            examples := (i, j) :: !examples
+        end;
+        if e && not c then begin
+          incr missed;
+          if List.length !examples < max_examples then
+            examples := (i, j) :: !examples
+        end
+      end
+    done
+  done;
+  {
+    pairs = !pairs;
+    false_orders = !false_orders;
+    missed_orders = !missed;
+    examples = List.rev !examples;
+  }
+
+let vectors_encode_poset poset vectors =
+  if Array.length vectors <> Poset.size poset then
+    invalid_arg "Validate.vectors_encode_poset: size mismatch";
+  compare_relations ~count:(Poset.size poset)
+    ~expected:(Poset.lt poset)
+    ~claimed:(fun i j -> Vector.lt vectors.(i) vectors.(j))
+
+let message_timestamps trace vectors =
+  vectors_encode_poset (Oracle.message_poset trace) vectors
+
+let internal_stamps trace stamps =
+  if Array.length stamps <> Trace.internal_count trace then
+    invalid_arg "Validate.internal_stamps: stamp count mismatch";
+  let hb = Oracle.happened_before_internal trace in
+  compare_relations ~count:(Array.length stamps) ~expected:hb
+    ~claimed:(fun i j -> Internal_events.happened_before stamps.(i) stamps.(j))
+
+let sound_only trace scalars =
+  let poset = Oracle.message_poset trace in
+  if Array.length scalars <> Poset.size poset then
+    invalid_arg "Validate.sound_only: size mismatch";
+  let pairs = ref 0 and violations = ref 0 in
+  let examples = ref [] in
+  for i = 0 to Poset.size poset - 1 do
+    for j = 0 to Poset.size poset - 1 do
+      if i <> j then begin
+        incr pairs;
+        if Poset.lt poset i j && scalars.(i) >= scalars.(j) then begin
+          incr violations;
+          if List.length !examples < max_examples then
+            examples := (i, j) :: !examples
+        end
+      end
+    done
+  done;
+  {
+    pairs = !pairs;
+    false_orders = !violations;
+    missed_orders = 0;
+    examples = List.rev !examples;
+  }

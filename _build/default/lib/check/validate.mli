@@ -1,0 +1,37 @@
+(** Validation of timestamping schemes against the oracle.
+
+    The central check of the reproduction: a scheme {e encodes} the message
+    poset when its vectors order exactly the ↦-related pairs (paper
+    Equation (1)). Reports count every ordered pair and list the first few
+    offending ones for debugging. *)
+
+type verdict = {
+  pairs : int;  (** Ordered pairs (i ≠ j) examined. *)
+  false_orders : int;
+      (** Concurrent (or reverse-ordered) pairs the scheme orders. *)
+  missed_orders : int;  (** ↦-related pairs the scheme fails to order. *)
+  examples : (int * int) list;  (** Up to 10 offending pairs. *)
+}
+
+val ok : verdict -> bool
+(** No false and no missed orders. *)
+
+val pp : Format.formatter -> verdict -> unit
+
+val vectors_encode_poset :
+  Synts_poset.Poset.t -> Synts_clock.Vector.t array -> verdict
+(** Compare vector order with an arbitrary poset (sizes must match). *)
+
+val message_timestamps :
+  Synts_sync.Trace.t -> Synts_clock.Vector.t array -> verdict
+(** Compare vector order with the oracle message poset of the trace. *)
+
+val internal_stamps :
+  Synts_sync.Trace.t -> Synts_core.Internal_events.stamp array -> verdict
+(** Compare the Theorem 9 test with the oracle happened-before relation on
+    internal events. *)
+
+val sound_only : Synts_sync.Trace.t -> int array -> verdict
+(** For scalar (Lamport) clocks: only the [m1 ↦ m2 ⇒ c1 < c2] direction
+    is demanded; [false_orders] then counts order violations (c1 ≥ c2 on a
+    related pair) and [missed_orders] stays 0. *)

@@ -1,0 +1,1 @@
+lib/clock/direct_dependency.ml: Array List Synts_sync

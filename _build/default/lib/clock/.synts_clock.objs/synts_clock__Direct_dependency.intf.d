@@ -1,0 +1,1 @@
+lib/clock/direct_dependency.mli: Synts_sync

@@ -1,0 +1,1 @@
+lib/clock/fm_event.ml: Array List Synts_sync Vector

@@ -1,0 +1,1 @@
+lib/clock/fm_event.mli: Synts_sync Vector

@@ -1,0 +1,1 @@
+lib/clock/fm_sync.ml: Array Synts_sync Vector

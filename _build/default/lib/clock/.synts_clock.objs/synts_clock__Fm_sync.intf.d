@@ -1,0 +1,1 @@
+lib/clock/fm_sync.mli: Synts_sync Vector

@@ -1,0 +1,1 @@
+lib/clock/lamport.ml: Array Synts_poset Synts_sync

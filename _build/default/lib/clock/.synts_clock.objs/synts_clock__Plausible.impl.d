@@ -1,0 +1,1 @@
+lib/clock/plausible.ml: Array Synts_poset Synts_sync Vector

@@ -1,0 +1,1 @@
+lib/clock/plausible.mli: Synts_sync Vector

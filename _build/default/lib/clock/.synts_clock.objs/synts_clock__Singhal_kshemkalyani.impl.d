@@ -1,0 +1,1 @@
+lib/clock/singhal_kshemkalyani.ml: Array Synts_sync Vector

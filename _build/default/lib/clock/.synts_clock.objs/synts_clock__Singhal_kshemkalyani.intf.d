@@ -1,0 +1,1 @@
+lib/clock/singhal_kshemkalyani.mli: Synts_sync Vector

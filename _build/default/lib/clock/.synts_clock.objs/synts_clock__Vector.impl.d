@@ -1,0 +1,1 @@
+lib/clock/vector.ml: Array Format List String

@@ -1,0 +1,1 @@
+lib/clock/vector.mli: Format

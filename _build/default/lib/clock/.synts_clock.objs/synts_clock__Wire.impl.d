@@ -1,0 +1,1 @@
+lib/clock/wire.ml: Array Buffer Char List String

@@ -1,0 +1,1 @@
+lib/clock/wire.mli: Vector

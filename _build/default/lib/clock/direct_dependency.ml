@@ -1,0 +1,44 @@
+module Trace = Synts_sync.Trace
+
+type log = { preds : int list array }
+
+let of_trace trace =
+  let n = Trace.n trace in
+  let last = Array.make n (-1) in
+  let preds = Array.make (Trace.message_count trace) [] in
+  Array.iter
+    (fun (m : Trace.message) ->
+      let ps =
+        List.sort_uniq compare
+          (List.filter (fun x -> x >= 0)
+             [ last.(m.Trace.src); last.(m.Trace.dst) ])
+      in
+      preds.(m.Trace.id) <- ps;
+      last.(m.Trace.src) <- m.Trace.id;
+      last.(m.Trace.dst) <- m.Trace.id)
+    (Trace.messages trace);
+  { preds }
+
+let precedes log m1 m2 =
+  let count = Array.length log.preds in
+  if m1 < 0 || m1 >= count || m2 < 0 || m2 >= count then
+    invalid_arg "Direct_dependency.precedes: id out of range";
+  (* Walk the predecessor DAG backwards from m2; ids decrease along
+     predecessor edges, so pruning at m <= m1 and marking visited ids
+     bounds the search. *)
+  let visited = Array.make count false in
+  let rec reaches m =
+    m = m1
+    || (m > m1
+       && List.exists
+            (fun p ->
+              (not visited.(p))
+              && begin
+                   visited.(p) <- true;
+                   reaches p
+                 end)
+            log.preds.(m))
+  in
+  m1 <> m2 && reaches m2
+
+let entries_per_message = 2

@@ -1,0 +1,22 @@
+(** Fowler–Zwaenepoel direct-dependency tracking.
+
+    Instead of piggybacking whole vectors, each message carries only a
+    constant amount of data and every process logs, per message, its
+    immediate predecessor messages. Precedence is then decided by a
+    recursive search through the log — cheap on the wire, expensive (and
+    offline) to query, exactly the trade-off the paper's related-work
+    section describes. *)
+
+type log
+(** The dependency log of a completed computation: for each message, the
+    ids of its at-most-two immediate predecessors (the previous message of
+    each participant). *)
+
+val of_trace : Synts_sync.Trace.t -> log
+
+val precedes : log -> int -> int -> bool
+(** [precedes log m1 m2] is the transitive search [m1 ↦ m2]. O(M) worst
+    case per query (memoised within one call). *)
+
+val entries_per_message : int
+(** Piggyback cost in entries: 2 (one sequence number each way). *)

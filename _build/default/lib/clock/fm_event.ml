@@ -1,0 +1,64 @@
+module Async_trace = Synts_sync.Async_trace
+
+let timestamps t =
+  let n = Async_trace.n t in
+  let local = Array.init n (fun _ -> Vector.zero n) in
+  let remaining = Array.init n (fun p -> Async_trace.history t p) in
+  let out = Array.make n [] in
+  let sent = Array.make (Async_trace.message_count t) None in
+  (* Replay a causally-consistent interleaving: an event is enabled unless
+     it is a receive whose matching send has not been replayed. *)
+  let progress = ref true in
+  let pending = ref 0 in
+  Array.iter (fun evs -> pending := !pending + List.length evs) remaining;
+  while !pending > 0 do
+    if not !progress then
+      invalid_arg "Fm_event.timestamps: no causally consistent interleaving";
+    progress := false;
+    for p = 0 to n - 1 do
+      let continue = ref true in
+      while !continue do
+        match remaining.(p) with
+        | [] -> continue := false
+        | ev :: rest ->
+            let enabled =
+              match ev with
+              | Async_trace.ARecv m -> sent.(m) <> None
+              | Async_trace.ASend _ | Async_trace.ALocal -> true
+            in
+            if not enabled then continue := false
+            else begin
+              (match ev with
+              | Async_trace.ARecv m ->
+                  (match sent.(m) with
+                  | Some v -> Vector.max_into ~dst:local.(p) v
+                  | None -> assert false)
+              | Async_trace.ASend _ | Async_trace.ALocal -> ());
+              Vector.incr local.(p) p;
+              (match ev with
+              | Async_trace.ASend m -> sent.(m) <- Some (Vector.copy local.(p))
+              | Async_trace.ARecv _ | Async_trace.ALocal -> ());
+              out.(p) <- Vector.copy local.(p) :: out.(p);
+              remaining.(p) <- rest;
+              decr pending;
+              progress := true
+            end
+      done
+    done
+  done;
+  Array.map List.rev out
+
+let message_vectors t =
+  let per_process = timestamps t in
+  let out = Array.make (Async_trace.message_count t) [||] in
+  for p = 0 to Async_trace.n t - 1 do
+    List.iter2
+      (fun ev v ->
+        match ev with
+        | Async_trace.ARecv m -> out.(m) <- v
+        | Async_trace.ASend _ | Async_trace.ALocal -> ())
+      (Async_trace.history t p) per_process.(p)
+  done;
+  out
+
+let happened_before = Vector.lt

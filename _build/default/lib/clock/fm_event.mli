@@ -1,0 +1,18 @@
+(** Classic (asynchronous) Fidge–Mattern event clocks.
+
+    The textbook algorithm over explicit send/receive/internal events:
+    process [Pi] increments its own component at every event and merges the
+    sender's vector on receives. For two events [e], [f],
+    [e → f ⟺ v(e) < v(f)] — the event-level ground relation the paper's
+    Sec. 5 extension is compared against once a synchronous trace is viewed
+    with its acknowledgement messages. *)
+
+val timestamps : Synts_sync.Async_trace.t -> Vector.t list array
+(** [timestamps t].(p) is the vector of each of [p]'s events, aligned with
+    [Async_trace.history t p]. *)
+
+val message_vectors : Synts_sync.Async_trace.t -> Vector.t array
+(** The vector of each message's {e receive} event. *)
+
+val happened_before : Vector.t -> Vector.t -> bool
+(** [Vector.lt]. *)

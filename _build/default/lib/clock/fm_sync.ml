@@ -1,0 +1,20 @@
+module Trace = Synts_sync.Trace
+
+let timestamp_trace trace =
+  let n = Trace.n trace in
+  let local = Array.init n (fun _ -> Vector.zero n) in
+  let out = Array.make (Trace.message_count trace) [||] in
+  Array.iter
+    (fun (m : Trace.message) ->
+      let src = m.Trace.src and dst = m.Trace.dst in
+      let v = Vector.merge local.(src) local.(dst) in
+      Vector.incr v src;
+      Vector.incr v dst;
+      local.(src) <- Vector.copy v;
+      local.(dst) <- v;
+      out.(m.Trace.id) <- Vector.copy v)
+    (Trace.messages trace);
+  out
+
+let precedes = Vector.lt
+let entries_per_message ~n = 2 * n

@@ -1,0 +1,18 @@
+(** Fidge–Mattern message timestamps for synchronous computations — the
+    N-component baseline the paper improves on.
+
+    One component per process. For a message between [Pi] and [Pj], the two
+    processes exchange vectors (the message and its acknowledgement), take
+    the componentwise maximum and each increments its own component; the
+    resulting common vector is the message's timestamp. This encodes
+    [(M, ↦)] exactly, at O(N) space and piggyback cost per message. *)
+
+val timestamp_trace : Synts_sync.Trace.t -> Vector.t array
+(** One N-sized vector per message id. *)
+
+val precedes : Vector.t -> Vector.t -> bool
+(** [Vector.lt]. *)
+
+val entries_per_message : n:int -> int
+(** Piggyback cost in vector entries for one message + acknowledgement:
+    [2 * n]. *)

@@ -1,0 +1,30 @@
+module Trace = Synts_sync.Trace
+module Message_poset = Synts_sync.Message_poset
+module Poset = Synts_poset.Poset
+
+let timestamp_trace trace =
+  let n = Trace.n trace in
+  let local = Array.make n 0 in
+  let out = Array.make (Trace.message_count trace) 0 in
+  Array.iter
+    (fun (m : Trace.message) ->
+      let c = 1 + max local.(m.Trace.src) local.(m.Trace.dst) in
+      local.(m.Trace.src) <- c;
+      local.(m.Trace.dst) <- c;
+      out.(m.Trace.id) <- c)
+    (Trace.messages trace);
+  out
+
+let consistent_with trace ts =
+  let p = Message_poset.of_trace trace in
+  let k = Poset.size p in
+  Array.length ts = k
+  && begin
+       let ok = ref true in
+       for i = 0 to k - 1 do
+         for j = 0 to k - 1 do
+           if Poset.lt p i j && ts.(i) >= ts.(j) then ok := false
+         done
+       done;
+       !ok
+     end

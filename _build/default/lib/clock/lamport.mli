@@ -1,0 +1,12 @@
+(** Lamport scalar clocks on synchronous computations.
+
+    The cheapest baseline: one integer per message,
+    [c(m) = max(c_src, c_dst) + 1]. Sound but not complete:
+    [m1 ↦ m2 ⇒ c(m1) < c(m2)], while concurrent messages may get ordered
+    values — the gap the vector schemes close. *)
+
+val timestamp_trace : Synts_sync.Trace.t -> int array
+(** One integer per message id. *)
+
+val consistent_with : Synts_sync.Trace.t -> int array -> bool
+(** Checks the soundness direction against the trace's message poset. *)

@@ -1,0 +1,42 @@
+module Trace = Synts_sync.Trace
+
+type stats = { messages : int; entries_sent : int; full_entries : int }
+
+let simulate trace =
+  let n = Trace.n trace in
+  let local = Array.init n (fun _ -> Vector.zero n) in
+  (* last_sent.(i).(j) is a copy of i's vector as of the last payload i sent
+     to j; only entries differing from it are transmitted. *)
+  let last_sent = Array.init n (fun _ -> Array.make n [||]) in
+  let changed_entries src dst v =
+    let prev = last_sent.(src).(dst) in
+    let count = ref 0 in
+    for k = 0 to n - 1 do
+      let old = if prev = [||] then 0 else prev.(k) in
+      if v.(k) <> old then incr count
+    done;
+    last_sent.(src).(dst) <- Vector.copy v;
+    !count
+  in
+  let out = Array.make (Trace.message_count trace) [||] in
+  let entries = ref 0 in
+  Array.iter
+    (fun (m : Trace.message) ->
+      let src = m.Trace.src and dst = m.Trace.dst in
+      (* Program message carries src's diff; the ack carries dst's diff
+         (of dst's pre-merge vector, as in the paper's Figure 5 line 04). *)
+      entries := !entries + changed_entries src dst local.(src);
+      entries := !entries + changed_entries dst src local.(dst);
+      let v = Vector.merge local.(src) local.(dst) in
+      Vector.incr v src;
+      Vector.incr v dst;
+      local.(src) <- Vector.copy v;
+      local.(dst) <- v;
+      out.(m.Trace.id) <- Vector.copy v)
+    (Trace.messages trace);
+  let messages = Trace.message_count trace in
+  (out, { messages; entries_sent = !entries; full_entries = 2 * n * messages })
+
+let average_entries_per_message stats =
+  if stats.messages = 0 then 0.0
+  else float_of_int stats.entries_sent /. float_of_int stats.messages

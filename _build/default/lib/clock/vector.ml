@@ -1,0 +1,50 @@
+type t = int array
+
+let zero n = Array.make n 0
+let copy = Array.copy
+let size = Array.length
+
+let check a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Vector: size mismatch"
+
+let compare_order u v =
+  check u v;
+  let some_lt = ref false and some_gt = ref false in
+  for k = 0 to Array.length u - 1 do
+    if u.(k) < v.(k) then some_lt := true;
+    if u.(k) > v.(k) then some_gt := true
+  done;
+  match (!some_lt, !some_gt) with
+  | true, false -> `Lt
+  | false, true -> `Gt
+  | false, false -> `Eq
+  | true, true -> `Concurrent
+
+let lt u v = compare_order u v = `Lt
+let leq u v = match compare_order u v with `Lt | `Eq -> true | _ -> false
+let concurrent u v = compare_order u v = `Concurrent
+
+let max_into ~dst src =
+  check dst src;
+  for k = 0 to Array.length dst - 1 do
+    if src.(k) > dst.(k) then dst.(k) <- src.(k)
+  done
+
+let merge u v =
+  let w = copy u in
+  max_into ~dst:w v;
+  w
+
+let incr v k =
+  if k < 0 || k >= Array.length v then invalid_arg "Vector.incr: out of range";
+  v.(k) <- v.(k) + 1
+
+let equal u v =
+  check u v;
+  u = v
+
+let to_string v =
+  "(" ^ String.concat "," (List.map string_of_int (Array.to_list v)) ^ ")"
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)

@@ -1,0 +1,38 @@
+(** Vector-order algebra (paper Equation (2)).
+
+    Timestamps throughout the library are plain [int array]s compared with
+    the strict vector order: [u < v] iff every component of [u] is ≤ the
+    matching component of [v] and some component is strictly smaller. *)
+
+type t = int array
+
+val zero : int -> t
+val copy : t -> t
+val size : t -> int
+
+val lt : t -> t -> bool
+(** Strict vector order. Raises [Invalid_argument] on size mismatch. *)
+
+val leq : t -> t -> bool
+(** [lt] or structurally equal. *)
+
+val concurrent : t -> t -> bool
+(** Incomparable and distinct. *)
+
+val compare_order : t -> t -> [ `Lt | `Gt | `Eq | `Concurrent ]
+(** One-pass classification of the pair. *)
+
+val max_into : dst:t -> t -> unit
+(** Componentwise maximum, written into [dst]. *)
+
+val merge : t -> t -> t
+(** Fresh componentwise maximum. *)
+
+val incr : t -> int -> unit
+(** Increment one component in place. *)
+
+val equal : t -> t -> bool
+val to_string : t -> string
+(** [(1,0,2)] style. *)
+
+val pp : Format.formatter -> t -> unit

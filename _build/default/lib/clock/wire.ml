@@ -1,0 +1,86 @@
+let varint_bytes v =
+  let rec go v acc = if v < 0x80 then acc + 1 else go (v lsr 7) (acc + 1) in
+  if v < 0 then invalid_arg "Wire: negative value" else go v 0
+
+let put_varint buf v =
+  if v < 0 then invalid_arg "Wire: negative value";
+  let rec go v =
+    if v < 0x80 then Buffer.add_char buf (Char.chr v)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (v land 0x7f)));
+      go (v lsr 7)
+    end
+  in
+  go v
+
+(* Returns (value, next offset) or raises Exit on truncation/overflow. *)
+let get_varint s off =
+  let len = String.length s in
+  let rec go off shift acc =
+    if off >= len || shift > 56 then raise Exit
+    else begin
+      let b = Char.code s.[off] in
+      let acc = acc lor ((b land 0x7f) lsl shift) in
+      if acc < 0 then raise Exit
+      else if b land 0x80 = 0 then (acc, off + 1)
+      else go (off + 1) (shift + 7) acc
+    end
+  in
+  go off 0 0
+
+let encode v =
+  let buf = Buffer.create (Array.length v + 1) in
+  put_varint buf (Array.length v);
+  Array.iter (put_varint buf) v;
+  Buffer.contents buf
+
+let encoded_bytes v =
+  Array.fold_left (fun acc x -> acc + varint_bytes x) (varint_bytes (Array.length v)) v
+
+let decode s =
+  match
+    let count, off = get_varint s 0 in
+    if count > String.length s then raise Exit;
+    let v = Array.make count 0 in
+    let off = ref off in
+    for i = 0 to count - 1 do
+      let x, next = get_varint s !off in
+      v.(i) <- x;
+      off := next
+    done;
+    if !off <> String.length s then Error "trailing bytes" else Ok v
+  with
+  | result -> result
+  | exception Exit -> Error "truncated or malformed varint"
+
+let encode_diff ~prev v =
+  if Array.length prev <> Array.length v then
+    invalid_arg "Wire.encode_diff: size mismatch";
+  let changed = ref [] in
+  Array.iteri (fun i x -> if x <> prev.(i) then changed := (i, x) :: !changed) v;
+  let changed = List.rev !changed in
+  let buf = Buffer.create 16 in
+  put_varint buf (List.length changed);
+  List.iter
+    (fun (i, x) ->
+      put_varint buf i;
+      put_varint buf x)
+    changed;
+  Buffer.contents buf
+
+let decode_diff ~prev s =
+  match
+    let count, off = get_varint s 0 in
+    let v = Array.copy prev in
+    let off = ref off in
+    for _ = 1 to count do
+      let i, next = get_varint s !off in
+      let x, next = get_varint s next in
+      if i >= Array.length v then raise Exit;
+      v.(i) <- x;
+      off := next
+    done;
+    if !off <> String.length s then Error "trailing bytes" else Ok v
+  with
+  | result -> result
+  | exception Exit -> Error "truncated or malformed diff"

@@ -1,0 +1,25 @@
+(** Wire encoding of timestamp vectors.
+
+    Makes the piggyback-cost comparisons concrete at the byte level:
+    vectors are LEB128-varint encoded with a length prefix, so a fresh
+    clock costs one byte per component and mature clocks grow
+    logarithmically with their counters. {!encode_diff} is the
+    Singhal–Kshemkalyani transmission: only [(index, value)] pairs that
+    changed since the peer last saw the vector. *)
+
+val encode : Vector.t -> string
+(** Length-prefixed varint encoding. *)
+
+val decode : string -> (Vector.t, string) result
+(** Inverse of {!encode}; descriptive errors on truncated or trailing
+    input. *)
+
+val encoded_bytes : Vector.t -> int
+(** [String.length (encode v)] without building the string. *)
+
+val encode_diff : prev:Vector.t -> Vector.t -> string
+(** Sparse encoding of the entries where [v] differs from [prev] (count,
+    then (index, value) varint pairs). Sizes must match. *)
+
+val decode_diff : prev:Vector.t -> string -> (Vector.t, string) result
+(** Apply a sparse diff to the previously known vector (fresh copy). *)

@@ -1,0 +1,1 @@
+lib/core/adaptive_stamper.ml: Array Synts_clock Synts_graph

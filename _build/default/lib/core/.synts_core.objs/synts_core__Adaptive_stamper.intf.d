@@ -1,0 +1,1 @@
+lib/core/adaptive_stamper.mli: Synts_clock Synts_graph

@@ -1,0 +1,1 @@
+lib/core/edge_clock.ml: Printf Synts_clock Synts_graph

@@ -1,0 +1,1 @@
+lib/core/edge_clock.mli: Synts_clock Synts_graph

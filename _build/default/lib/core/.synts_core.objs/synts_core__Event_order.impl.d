@@ -1,0 +1,1 @@
+lib/core/event_order.ml: Array Internal_events Online Synts_clock

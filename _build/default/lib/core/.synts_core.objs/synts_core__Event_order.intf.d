@@ -1,0 +1,1 @@
+lib/core/event_order.mli: Internal_events Synts_clock Synts_graph Synts_sync

@@ -1,0 +1,1 @@
+lib/core/event_stream.ml: Array Internal_events List Synts_clock

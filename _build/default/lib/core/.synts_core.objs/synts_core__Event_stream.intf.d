@@ -1,0 +1,1 @@
+lib/core/event_stream.mli: Internal_events Synts_clock

@@ -1,0 +1,1 @@
+lib/core/internal_events.ml: Array List Online Synts_clock Synts_sync

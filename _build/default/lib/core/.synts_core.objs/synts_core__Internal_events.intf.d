@@ -1,0 +1,1 @@
+lib/core/internal_events.mli: Synts_clock Synts_graph Synts_sync

@@ -1,0 +1,1 @@
+lib/core/offline.ml: Array Synts_clock Synts_poset Synts_sync

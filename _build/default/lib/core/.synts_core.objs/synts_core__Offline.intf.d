@@ -1,0 +1,1 @@
+lib/core/offline.mli: Synts_clock Synts_poset Synts_sync

@@ -1,0 +1,1 @@
+lib/core/online.ml: Array Edge_clock Printf Synts_clock Synts_graph Synts_sync

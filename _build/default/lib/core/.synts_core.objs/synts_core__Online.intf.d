@@ -1,0 +1,1 @@
+lib/core/online.mli: Synts_clock Synts_graph Synts_sync

@@ -1,0 +1,43 @@
+module Adaptive = Synts_graph.Adaptive
+module Vector = Synts_clock.Vector
+
+type t = {
+  adaptive : Adaptive.t;
+  locals : Vector.t array;  (* per process, sized to the current dimension *)
+}
+
+let create n =
+  if n < 1 then invalid_arg "Adaptive_stamper.create: need n >= 1";
+  { adaptive = Adaptive.create n; locals = Array.make n [||] }
+
+let pad v dim =
+  let cur = Vector.size v in
+  if cur >= dim then v
+  else begin
+    let w = Vector.zero dim in
+    Array.blit v 0 w 0 cur;
+    w
+  end
+
+let stamp t ~src ~dst =
+  let g =
+    match Adaptive.add_edge t.adaptive src dst with
+    | `Known g | `Extended g | `Opened g -> g
+  in
+  let dim = Adaptive.size t.adaptive in
+  let v = pad t.locals.(src) dim in
+  Vector.max_into ~dst:v (pad t.locals.(dst) dim);
+  Vector.incr v g;
+  t.locals.(src) <- Vector.copy v;
+  t.locals.(dst) <- v;
+  Vector.copy v
+
+let dimension t = Adaptive.size t.adaptive
+let decomposition t = Adaptive.snapshot t.adaptive
+
+let compare_padded u v =
+  let dim = max (Vector.size u) (Vector.size v) in
+  Vector.compare_order (pad u dim) (pad v dim)
+
+let precedes u v = compare_padded u v = `Lt
+let concurrent u v = compare_padded u v = `Concurrent

@@ -1,0 +1,39 @@
+(** Online timestamping without prior topology knowledge.
+
+    The paper's algorithm assumes every process knows the edge
+    decomposition in advance. This extension drops that assumption: the
+    decomposition is grown incrementally ({!Synts_graph.Adaptive}) as
+    channels are first used, and vectors grow with it. A timestamp issued
+    when [d] groups existed has [d] components; comparisons pad the
+    shorter vector with zeros.
+
+    Why this stays exact: a run of the adaptive stamper produces, message
+    for message, the same values as running the standard algorithm with
+    the {e final} decomposition from the start — components of groups that
+    do not exist yet would have been 0 anyway. Padding reads those zeros
+    back, so Theorem 4 transfers verbatim. The property tests check
+    exactness against the oracle on random unknown-topology runs. *)
+
+type t
+
+val create : int -> t
+(** [create n] for [n] processes; no channels known yet. *)
+
+val stamp : t -> src:int -> dst:int -> Synts_clock.Vector.t
+(** Timestamp the next message (in linearization order). First use of a
+    channel may grow the decomposition; the returned vector has as many
+    components as there are groups at that moment. *)
+
+val dimension : t -> int
+(** Current number of groups. *)
+
+val decomposition : t -> Synts_graph.Decomposition.t
+(** Snapshot of the grown decomposition. *)
+
+val compare_padded :
+  Synts_clock.Vector.t -> Synts_clock.Vector.t ->
+  [ `Lt | `Gt | `Eq | `Concurrent ]
+(** Vector order after zero-padding the shorter vector. *)
+
+val precedes : Synts_clock.Vector.t -> Synts_clock.Vector.t -> bool
+val concurrent : Synts_clock.Vector.t -> Synts_clock.Vector.t -> bool

@@ -1,0 +1,38 @@
+module Decomposition = Synts_graph.Decomposition
+module Vector = Synts_clock.Vector
+
+type t = { pid : int; v : Vector.t; decomposition : Decomposition.t }
+
+let create decomposition ~pid =
+  if pid < 0 || pid >= Decomposition.graph_vertices decomposition then
+    invalid_arg "Edge_clock.create: pid out of range";
+  { pid; v = Vector.zero (Decomposition.size decomposition); decomposition }
+
+let pid t = t.pid
+let vector t = Vector.copy t.v
+let dimension t = Vector.size t.v
+
+let group t peer =
+  match Decomposition.group_of_edge t.decomposition t.pid peer with
+  | g -> g
+  | exception Not_found ->
+      invalid_arg
+        (Printf.sprintf
+           "Edge_clock: channel (%d,%d) is not in the edge decomposition"
+           t.pid peer)
+
+let on_send t ~dst =
+  ignore (group t dst);
+  Vector.copy t.v
+
+let merge_and_increment t peer incoming =
+  Vector.max_into ~dst:t.v incoming;
+  Vector.incr t.v (group t peer);
+  Vector.copy t.v
+
+let receive t ~src incoming =
+  let ack = Vector.copy t.v in
+  let timestamp = merge_and_increment t src incoming in
+  (`Ack ack, timestamp)
+
+let on_ack t ~dst ack = merge_and_increment t dst ack

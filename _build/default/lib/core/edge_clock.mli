@@ -1,0 +1,46 @@
+(** The per-process protocol of the paper's online algorithm (Figure 5).
+
+    Each process keeps a vector with one component per edge group of an
+    agreed-upon edge decomposition. To send a synchronous message it
+    piggybacks its vector; the receiver first replies with an
+    acknowledgement carrying its own {e pre-merge} vector (Figure 5 line
+    04), then both sides take the componentwise maximum and increment the
+    component of the group containing the channel. Both sides thus compute
+    the same vector — the message's timestamp.
+
+    This module is the faithful, packet-level state machine (used by the
+    CSP runtime middleware); {!Online} provides the equivalent whole-trace
+    stamper. *)
+
+type t
+(** The clock state of one process. *)
+
+val create : Synts_graph.Decomposition.t -> pid:int -> t
+(** [pid] must be a vertex of the decomposed topology. *)
+
+val pid : t -> int
+
+val vector : t -> Synts_clock.Vector.t
+(** A copy of the current local vector [v_i]. *)
+
+val dimension : t -> int
+(** Number of components = decomposition size. *)
+
+val on_send : t -> dst:int -> Synts_clock.Vector.t
+(** Figure 5 lines 01–02: the payload to piggyback on a message to [dst].
+    Does not modify the state (the sender completes the protocol in
+    {!on_ack}). *)
+
+val receive :
+  t -> src:int -> Synts_clock.Vector.t ->
+  [ `Ack of Synts_clock.Vector.t ] * Synts_clock.Vector.t
+(** Figure 5 lines 03–07: process a message from [src] carrying the
+    sender's vector. Returns the acknowledgement payload (the receiver's
+    pre-merge vector) and the message's timestamp; the local vector is
+    updated to that timestamp. Raises [Invalid_argument] when the channel
+    [(src, pid)] belongs to no edge group. *)
+
+val on_ack : t -> dst:int -> Synts_clock.Vector.t -> Synts_clock.Vector.t
+(** Figure 5 lines 08–11: process the acknowledgement (carrying the
+    receiver's pre-merge vector) for a message this process sent to [dst];
+    returns the message's timestamp and updates the local vector. *)

@@ -1,0 +1,43 @@
+module Vector = Synts_clock.Vector
+
+type event = Message of int | Internal of int
+
+type t = {
+  message_vectors : Vector.t array;
+  internal_stamps : Internal_events.stamp array;
+}
+
+let of_stamps ~message_vectors ~internal_stamps =
+  { message_vectors; internal_stamps }
+
+let of_trace decomposition trace =
+  let message_vectors = Online.timestamp_trace decomposition trace in
+  {
+    message_vectors;
+    internal_stamps = Internal_events.of_trace_with message_vectors trace;
+  }
+
+let vector t m =
+  if m < 0 || m >= Array.length t.message_vectors then
+    invalid_arg "Event_order: message id out of range";
+  t.message_vectors.(m)
+
+let stamp t e =
+  if e < 0 || e >= Array.length t.internal_stamps then
+    invalid_arg "Event_order: internal id out of range";
+  t.internal_stamps.(e)
+
+let happened_before t a b =
+  match (a, b) with
+  | Message m1, Message m2 -> Vector.lt (vector t m1) (vector t m2)
+  | Internal e1, Internal e2 ->
+      Internal_events.happened_before (stamp t e1) (stamp t e2)
+  | Internal e, Message m -> (
+      match (stamp t e).Internal_events.succ with
+      | Some s -> Vector.leq s (vector t m)
+      | None -> false)
+  | Message m, Internal f ->
+      Vector.leq (vector t m) (stamp t f).Internal_events.prev
+
+let concurrent t a b =
+  a <> b && (not (happened_before t a b)) && not (happened_before t b a)

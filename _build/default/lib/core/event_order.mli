@@ -1,0 +1,37 @@
+(** Happened-before between arbitrary events — messages and internal
+    events uniformly (the full Sec. 5 picture).
+
+    A synchronous message acts as a single synchronization event shared by
+    its two participants (its send and receive are mutually ordered with
+    everything through the acknowledgement), so the event universe is
+    {e message events} (one per message) plus {e internal events}. This
+    module decides happened-before between any two of them from the
+    message timestamps and the internal stamps alone:
+
+    - message × message: [v(m1) < v(m2)] (Theorem 4);
+    - internal × internal: the Theorem 9 test;
+    - internal [e] × message [m]: [succ(e) ≤ v(m)];
+    - message [m] × internal [f]: [v(m) ≤ prev(f)].
+
+    Validated against the merged-node event DAG oracle over the whole
+    event universe. *)
+
+type event =
+  | Message of int  (** Message id. *)
+  | Internal of int  (** Internal-event id. *)
+
+type t
+
+val of_trace :
+  Synts_graph.Decomposition.t -> Synts_sync.Trace.t -> t
+(** Precompute message timestamps (online algorithm) and internal
+    stamps. *)
+
+val of_stamps :
+  message_vectors:Synts_clock.Vector.t array ->
+  internal_stamps:Internal_events.stamp array ->
+  t
+(** From precomputed data (e.g. offline vectors). *)
+
+val happened_before : t -> event -> event -> bool
+val concurrent : t -> event -> event -> bool

@@ -1,0 +1,87 @@
+module Vector = Synts_clock.Vector
+
+type ticket = int
+
+type proc_state = {
+  mutable prev : Vector.t;
+  mutable counter : int;
+  mutable pending : (ticket * Vector.t * int) list;
+      (* (ticket, prev-at-announce, counter-at-announce), newest first *)
+}
+
+type t = {
+  dimension : int;
+  procs : proc_state array;
+  mutable next_ticket : int;
+  mutable pending_total : int;
+}
+
+let create ~dimension ~n =
+  if n < 1 then invalid_arg "Event_stream.create: need n >= 1";
+  if dimension < 1 then invalid_arg "Event_stream.create: need dimension >= 1";
+  {
+    dimension;
+    procs =
+      Array.init n (fun _ ->
+          { prev = Vector.zero dimension; counter = 0; pending = [] });
+    next_ticket = 0;
+    pending_total = 0;
+  }
+
+let proc_state t proc =
+  if proc < 0 || proc >= Array.length t.procs then
+    invalid_arg "Event_stream: process out of range";
+  t.procs.(proc)
+
+let record_internal t ~proc =
+  let st = proc_state t proc in
+  let ticket = t.next_ticket in
+  t.next_ticket <- ticket + 1;
+  st.pending <- (ticket, st.prev, st.counter) :: st.pending;
+  st.counter <- st.counter + 1;
+  t.pending_total <- t.pending_total + 1;
+  ticket
+
+let pad v dim =
+  if Vector.size v >= dim then v
+  else begin
+    let w = Vector.zero dim in
+    Array.blit v 0 w 0 (Vector.size v);
+    w
+  end
+
+let stamp_of proc ~succ (ticket, prev, counter) =
+  (* With an adaptive stamper vectors grow over time; older [prev]
+     vectors are zero-padded to the successor's width so each stamp is
+     internally consistent. *)
+  let prev =
+    match succ with Some s -> pad prev (Vector.size s) | None -> prev
+  in
+  (ticket, { Internal_events.proc; prev; succ; counter })
+
+let record_message t ~proc timestamp =
+  let st = proc_state t proc in
+  if Vector.size timestamp < t.dimension then
+    invalid_arg "Event_stream.record_message: vector narrower than created dimension";
+  let resolved =
+    List.rev_map (stamp_of proc ~succ:(Some timestamp)) st.pending
+  in
+  t.pending_total <- t.pending_total - List.length st.pending;
+  st.pending <- [];
+  st.prev <- timestamp;
+  st.counter <- 0;
+  resolved
+
+let finish t =
+  let out = ref [] in
+  Array.iteri
+    (fun proc st ->
+      List.iter
+        (fun entry -> out := stamp_of proc ~succ:None entry :: !out)
+        st.pending;
+      st.pending <- [])
+    t.procs;
+  t.pending_total <- 0;
+  List.sort compare !out
+
+let pending t = t.pending_total

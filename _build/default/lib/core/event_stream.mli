@@ -1,0 +1,42 @@
+(** Streaming assignment of internal-event stamps (online Sec. 5).
+
+    The batch {!Internal_events.of_trace} needs the whole trace; a running
+    monitor does not have it. This module stamps internal events {e as the
+    computation unfolds}: an internal event's [prev] and [counter] are
+    known immediately, but its stamp is only complete once the process's
+    {e next} message fixes [succ] — the inherent latency the paper notes
+    ("an internal event can be assigned a timestamp only after the process
+    knows the timestamp of the message after e"). Events still pending at
+    shutdown are flushed with [succ = +∞].
+
+    Tickets number internal events per {!t} in announcement order, so when
+    a trace is replayed in order they coincide with the trace's internal
+    ids. *)
+
+type t
+
+type ticket = int
+
+val create : dimension:int -> n:int -> t
+(** [n] processes, vectors of [dimension] components (the decomposition
+    size), no events yet. *)
+
+val record_internal : t -> proc:int -> ticket
+(** Announce an internal event on [proc]; its stamp is deferred. *)
+
+val record_message :
+  t -> proc:int -> Synts_clock.Vector.t ->
+  (ticket * Internal_events.stamp) list
+(** Announce that [proc] just participated in a message with the given
+    timestamp. Returns the stamps this resolves — every pending internal
+    event of [proc], in occurrence order. Call once per participant (twice
+    per message). Vectors at least [dimension] wide are accepted (they
+    may grow when fed by an adaptive stamper); each resolved stamp's
+    [prev] is zero-padded to its [succ]'s width. *)
+
+val finish : t -> (ticket * Internal_events.stamp) list
+(** Flush every still-pending event with [succ = +∞], in ticket order.
+    The stream must not be used afterwards. *)
+
+val pending : t -> int
+(** Number of announced-but-unresolved events. *)

@@ -1,0 +1,60 @@
+module Trace = Synts_sync.Trace
+module Vector = Synts_clock.Vector
+
+type stamp = {
+  proc : int;
+  prev : Vector.t;
+  succ : Vector.t option;
+  counter : int;
+}
+
+let of_trace_with message_vectors trace =
+  let dim =
+    if Array.length message_vectors > 0 then
+      Vector.size message_vectors.(0)
+    else 1
+  in
+  let zero = Vector.zero dim in
+  let out =
+    Array.make (Trace.internal_count trace)
+      { proc = 0; prev = zero; succ = None; counter = 0 }
+  in
+  (* Walk each process history once: [prev] and [counter] are known at the
+     event; [succ] is patched when the next message occurs. *)
+  for p = 0 to Trace.n trace - 1 do
+    let prev = ref zero and counter = ref 0 and pending = ref [] in
+    List.iter
+      (fun occ ->
+        match occ with
+        | Trace.Msg m ->
+            let v = message_vectors.(m.Trace.id) in
+            List.iter
+              (fun id -> out.(id) <- { (out.(id)) with succ = Some v })
+              (List.rev !pending);
+            pending := [];
+            prev := v;
+            counter := 0
+        | Trace.Int e ->
+            out.(e.Trace.id) <-
+              { proc = p; prev = !prev; succ = None; counter = !counter };
+            incr counter;
+            pending := e.Trace.id :: !pending)
+      (Trace.process_history trace p)
+  done;
+  out
+
+let of_trace decomposition trace =
+  of_trace_with (Online.timestamp_trace decomposition trace) trace
+
+let happened_before e f =
+  (match e.succ with Some se -> Vector.leq se f.prev | None -> false)
+  || (e.proc = f.proc
+     && Vector.equal e.prev f.prev
+     && (match (e.succ, f.succ) with
+        | Some a, Some b -> Vector.equal a b
+        | None, None -> true
+        | Some _, None | None, Some _ -> false)
+     && e.counter < f.counter)
+
+let concurrent e f =
+  (not (happened_before e f)) && not (happened_before f e) && e <> f

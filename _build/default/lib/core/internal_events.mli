@@ -1,0 +1,39 @@
+(** Timestamping internal events (paper Sec. 5, Theorem 9).
+
+    Each internal event [e] receives the triple
+    [(prev e, succ e, counter e)]: the timestamp of the last message on
+    [e]'s process before [e] (the zero vector when none), the timestamp of
+    the first message after [e] ([None], i.e. +∞, when none), and the
+    count of internal events since the last external event. Then for
+    events of {e different} processes
+
+    [e → f ⟺ succ e ≤ prev f]
+
+    and for events of the {e same} process, [e → f] additionally when both
+    surrounding messages coincide and [counter e < counter f]. (The
+    paper's counter comparison implicitly concerns same-process events: two
+    events of different processes can share both surrounding messages —
+    when those two messages connect the same pair of processes — yet be
+    concurrent, so we make the same-process condition explicit.) *)
+
+type stamp = {
+  proc : int;
+  prev : Synts_clock.Vector.t;  (** Zero vector when no message precedes. *)
+  succ : Synts_clock.Vector.t option;  (** [None] means +∞. *)
+  counter : int;
+}
+
+val of_trace :
+  Synts_graph.Decomposition.t -> Synts_sync.Trace.t -> stamp array
+(** One stamp per internal-event id, using the online algorithm's message
+    timestamps. *)
+
+val of_trace_with :
+  Synts_clock.Vector.t array -> Synts_sync.Trace.t -> stamp array
+(** Same, but from precomputed message timestamps (e.g. the offline
+    algorithm's); all vectors must share one dimension. *)
+
+val happened_before : stamp -> stamp -> bool
+(** The Theorem 9 test. *)
+
+val concurrent : stamp -> stamp -> bool

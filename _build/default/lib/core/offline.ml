@@ -1,0 +1,22 @@
+module Poset = Synts_poset.Poset
+module Realizer = Synts_poset.Realizer
+module Dilworth = Synts_poset.Dilworth
+module Message_poset = Synts_sync.Message_poset
+module Vector = Synts_clock.Vector
+
+let width_bound ~n = n / 2
+
+let timestamp_poset p =
+  let vecs = Realizer.vectors (Realizer.dilworth p) in
+  (* Shift ranks to 1-based so the all-zero vector stays strictly below
+     every timestamp — the Section 5 internal-event stamps use zero as the
+     "no preceding message" bottom element. *)
+  Array.map (Array.map succ) vecs
+
+let timestamp_trace trace = timestamp_poset (Message_poset.of_trace trace)
+
+let dimension_used trace =
+  max 1 (Dilworth.width (Message_poset.of_trace trace))
+
+let precedes = Vector.lt
+let concurrent = Vector.concurrent

@@ -1,0 +1,26 @@
+(** The offline algorithm (paper Sec. 4, Figure 9).
+
+    Given a completed computation: (1) the message poset has width
+    [w ≤ ⌊N/2⌋] because every message occupies two of the N processes
+    (Theorem 8); (2) a Dilworth chain partition yields a realizer
+    [{L1, …, Lw}] with [∩ Li = (M, ↦)]; (3) message [m] is timestamped
+    with [V_m], [V_m[i]] = number of elements below [m] in [Li] (its
+    rank). Then [m1 ↦ m2 ⟺ V_m1 < V_m2]. *)
+
+val width_bound : n:int -> int
+(** [⌊N/2⌋]. *)
+
+val timestamp_poset : Synts_poset.Poset.t -> Synts_clock.Vector.t array
+(** Rank vectors from the Dilworth realizer of an arbitrary poset, shifted
+    to 1-based so every timestamp is strictly above the zero vector (the
+    bottom element used by the internal-event stamps of Sec. 5). *)
+
+val timestamp_trace : Synts_sync.Trace.t -> Synts_clock.Vector.t array
+(** Timestamps for all messages of a synchronous trace; vector size is
+    [max 1 (width of the message poset)] ≤ ⌊N/2⌋. *)
+
+val dimension_used : Synts_sync.Trace.t -> int
+(** The realizer size the offline algorithm would use on this trace. *)
+
+val precedes : Synts_clock.Vector.t -> Synts_clock.Vector.t -> bool
+val concurrent : Synts_clock.Vector.t -> Synts_clock.Vector.t -> bool

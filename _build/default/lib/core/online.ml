@@ -1,0 +1,65 @@
+module Decomposition = Synts_graph.Decomposition
+module Graph = Synts_graph.Graph
+module Trace = Synts_sync.Trace
+module Vector = Synts_clock.Vector
+
+let group decomposition u v =
+  match Decomposition.group_of_edge decomposition u v with
+  | g -> g
+  | exception Not_found ->
+      invalid_arg
+        (Printf.sprintf
+           "Online: channel (%d,%d) is not in the edge decomposition" u v)
+
+let timestamp_trace decomposition trace =
+  let n = Trace.n trace in
+  if n > Decomposition.graph_vertices decomposition then
+    invalid_arg "Online.timestamp_trace: more processes than topology vertices";
+  let d = Decomposition.size decomposition in
+  let local = Array.init n (fun _ -> Vector.zero d) in
+  let out = Array.make (Trace.message_count trace) [||] in
+  Array.iter
+    (fun (m : Trace.message) ->
+      let src = m.Trace.src and dst = m.Trace.dst in
+      let v = Vector.merge local.(src) local.(dst) in
+      Vector.incr v (group decomposition src dst);
+      local.(src) <- Vector.copy v;
+      local.(dst) <- v;
+      out.(m.Trace.id) <- Vector.copy v)
+    (Trace.messages trace);
+  out
+
+let timestamp_trace_protocol decomposition trace =
+  let n = Trace.n trace in
+  let clocks = Array.init n (fun pid -> Edge_clock.create decomposition ~pid) in
+  let out = Array.make (Trace.message_count trace) [||] in
+  Array.iter
+    (fun (m : Trace.message) ->
+      let src = m.Trace.src and dst = m.Trace.dst in
+      let payload = Edge_clock.on_send clocks.(src) ~dst in
+      let `Ack ack, ts_receiver = Edge_clock.receive clocks.(dst) ~src payload in
+      let ts_sender = Edge_clock.on_ack clocks.(src) ~dst ack in
+      assert (Vector.equal ts_sender ts_receiver);
+      out.(m.Trace.id) <- ts_receiver)
+    (Trace.messages trace);
+  out
+
+let stamper decomposition =
+  let n = Decomposition.graph_vertices decomposition in
+  let d = Decomposition.size decomposition in
+  let local = Array.init n (fun _ -> Vector.zero d) in
+  fun ~src ~dst ->
+    if src < 0 || src >= n || dst < 0 || dst >= n then
+      invalid_arg "Online.stamper: process out of range";
+    let v = Vector.merge local.(src) local.(dst) in
+    Vector.incr v (group decomposition src dst);
+    local.(src) <- Vector.copy v;
+    local.(dst) <- v;
+    Vector.copy v
+
+let precedes = Vector.lt
+let concurrent = Vector.concurrent
+
+let for_topology g =
+  let d = Decomposition.best g in
+  (d, stamper d)

@@ -1,0 +1,36 @@
+(** The online algorithm over whole traces (paper Sec. 3, Theorem 4).
+
+    Timestamps every message of a synchronous computation with a
+    [d]-component vector, [d] the size of the chosen edge decomposition,
+    such that [m1 ↦ m2 ⟺ v(m1) < v(m2)]. Two implementations are
+    provided: a direct one (both endpoints' merge + increment collapsed
+    into one step of a left-to-right sweep) and a packet-faithful one that
+    drives two {!Edge_clock} state machines through the explicit
+    message/ack exchange; the test suite asserts they agree. *)
+
+val timestamp_trace :
+  Synts_graph.Decomposition.t -> Synts_sync.Trace.t -> Synts_clock.Vector.t array
+(** One vector per message id. Raises [Invalid_argument] when some used
+    channel is absent from the decomposition. *)
+
+val timestamp_trace_protocol :
+  Synts_graph.Decomposition.t -> Synts_sync.Trace.t -> Synts_clock.Vector.t array
+(** Same result via the explicit Figure 5 protocol (message then
+    acknowledgement); additionally asserts that sender and receiver derive
+    the same timestamp. *)
+
+val stamper :
+  Synts_graph.Decomposition.t -> (src:int -> dst:int -> Synts_clock.Vector.t)
+(** A stateful streaming stamper: feed messages in a linearization order,
+    get each message's timestamp. Useful for online monitoring loops. *)
+
+val precedes : Synts_clock.Vector.t -> Synts_clock.Vector.t -> bool
+(** The O(d) precedence test: [m1 ↦ m2 ⟺ precedes v1 v2]. *)
+
+val concurrent : Synts_clock.Vector.t -> Synts_clock.Vector.t -> bool
+
+val for_topology :
+  Synts_graph.Graph.t ->
+  Synts_graph.Decomposition.t * (src:int -> dst:int -> Synts_clock.Vector.t)
+(** Convenience: pick the best polynomial decomposition for a topology and
+    return it with a streaming stamper. *)

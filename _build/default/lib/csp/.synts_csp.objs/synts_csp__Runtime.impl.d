@@ -1,0 +1,1 @@
+lib/csp/runtime.ml: Array Effect Fun Hashtbl List Option Printf Synts_clock Synts_core Synts_sync Synts_util

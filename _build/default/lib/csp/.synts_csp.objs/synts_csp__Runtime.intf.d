@@ -1,0 +1,1 @@
+lib/csp/runtime.mli: Synts_clock Synts_graph Synts_sync

@@ -1,0 +1,307 @@
+module Rng = Synts_util.Rng
+module Trace = Synts_sync.Trace
+module Vector = Synts_clock.Vector
+module Edge_clock = Synts_core.Edge_clock
+
+module Make (M : sig
+  type msg
+end) =
+struct
+  type api = {
+    self : int;
+    send : int -> M.msg -> Vector.t option;
+    recv : unit -> int * M.msg * Vector.t option;
+    recv_from : int -> M.msg * Vector.t option;
+    yield : unit -> unit;
+    internal : unit -> unit;
+  }
+
+  type outcome = {
+    trace : Trace.t;
+    timestamps : Vector.t array option;
+    deadlocked : int list;
+    failures : (int * exn) list;
+  }
+
+  exception Step_limit_exceeded
+
+  type _ Effect.t +=
+    | Send : int * M.msg -> Vector.t option Effect.t
+    | Recv : int option -> (int * M.msg * Vector.t option) Effect.t
+    | Yield : unit Effect.t
+    | Internal : unit Effect.t
+
+  (* What a fiber is doing between scheduler dispatches. *)
+  type step =
+    | Finished
+    | Failed of exn
+    | Wants_send of int * M.msg * (Vector.t option, step) Effect.Deep.continuation
+    | Wants_recv of
+        int option * (int * M.msg * Vector.t option, step) Effect.Deep.continuation
+    | Wants_yield of (unit, step) Effect.Deep.continuation
+    | Wants_internal of (unit, step) Effect.Deep.continuation
+
+  type status =
+    | Runnable of (unit -> step)
+    | Send_blocked of int * M.msg * (Vector.t option, step) Effect.Deep.continuation
+    | Recv_blocked of
+        int option * (int * M.msg * Vector.t option, step) Effect.Deep.continuation
+    | Done
+
+  let start program api () =
+    Effect.Deep.match_with program api
+      {
+        retc = (fun () -> Finished);
+        exnc = (fun e -> Failed e);
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Send (dst, m) ->
+                Some
+                  (fun (k : (a, step) Effect.Deep.continuation) ->
+                    Wants_send (dst, m, k))
+            | Recv filter ->
+                Some (fun k -> Wants_recv (filter, k))
+            | Yield -> Some (fun k -> Wants_yield k)
+            | Internal -> Some (fun k -> Wants_internal k)
+            | _ -> None);
+      }
+
+  let api_of pid =
+    {
+      self = pid;
+      send = (fun dst m -> Effect.perform (Send (dst, m)));
+      recv = (fun () -> Effect.perform (Recv None));
+      recv_from =
+        (fun src ->
+          let s, m, ts = Effect.perform (Recv (Some src)) in
+          assert (s = src);
+          (m, ts));
+      yield = (fun () -> Effect.perform Yield);
+      internal = (fun () -> Effect.perform Internal);
+    }
+
+  (* The Figure 5 exchange for one rendezvous; both sides must agree. *)
+  let protocol_stamp clocks ~src ~dst =
+    let payload = Edge_clock.on_send clocks.(src) ~dst in
+    let `Ack ack, ts = Edge_clock.receive clocks.(dst) ~src payload in
+    let ts' = Edge_clock.on_ack clocks.(src) ~dst ack in
+    assert (Vector.equal ts ts');
+    ts
+
+  let run ?(seed = 0) ?decomposition ?max_steps ~n programs =
+    if Array.length programs <> n then
+      invalid_arg "Runtime.run: need exactly one program per process";
+    let rng = Rng.create seed in
+    let clocks =
+      Option.map
+        (fun d -> Array.init n (fun pid -> Edge_clock.create d ~pid))
+        decomposition
+    in
+    let status = Array.make n Done in
+    let steps = ref [] and message_stamps = ref [] in
+    let failures = ref [] in
+    let dispatches = ref 0 in
+    let record_rendezvous ~src ~dst =
+      steps := Trace.Send (src, dst) :: !steps;
+      match clocks with
+      | None -> None
+      | Some clocks ->
+          let ts = protocol_stamp clocks ~src ~dst in
+          message_stamps := ts :: !message_stamps;
+          Some ts
+    in
+    let filter_accepts filter src =
+      match filter with None -> true | Some p -> p = src
+    in
+    (* Advance one fiber and act on the step it returns. *)
+    let rec handle pid = function
+      | Finished -> status.(pid) <- Done
+      | Failed e ->
+          failures := (pid, e) :: !failures;
+          status.(pid) <- Done
+      | Wants_yield k ->
+          status.(pid) <- Runnable (fun () -> Effect.Deep.continue k ())
+      | Wants_internal k ->
+          steps := Trace.Local pid :: !steps;
+          status.(pid) <- Runnable (fun () -> Effect.Deep.continue k ())
+      | Wants_send (dst, m, k) ->
+          if dst < 0 || dst >= n || dst = pid then
+            (* Resume the fiber with the error so its own handler reports
+               it as a failure (or lets the program catch it). *)
+            handle pid
+              (Effect.Deep.discontinue k
+                 (Invalid_argument "Runtime.send: bad destination"))
+          else begin
+            match status.(dst) with
+            | Recv_blocked (filter, krecv) when filter_accepts filter pid ->
+                let ts = record_rendezvous ~src:pid ~dst in
+                status.(dst) <-
+                  Runnable (fun () -> Effect.Deep.continue krecv (pid, m, ts));
+                status.(pid) <- Runnable (fun () -> Effect.Deep.continue k ts)
+            | _ -> status.(pid) <- Send_blocked (dst, m, k)
+          end
+      | Wants_recv (filter, k) ->
+          (* Look for a sender already blocked on us. *)
+          let candidates = ref [] in
+          for p = n - 1 downto 0 do
+            match status.(p) with
+            | Send_blocked (dst, _, _) when dst = pid && filter_accepts filter p
+              ->
+                candidates := p :: !candidates
+            | _ -> ()
+          done;
+          (match !candidates with
+          | [] -> status.(pid) <- Recv_blocked (filter, k)
+          | cs ->
+              let src = Rng.pick rng cs in
+              (match status.(src) with
+              | Send_blocked (_, m, ksend) ->
+                  let ts = record_rendezvous ~src ~dst:pid in
+                  status.(src) <-
+                    Runnable (fun () -> Effect.Deep.continue ksend ts);
+                  status.(pid) <-
+                    Runnable (fun () -> Effect.Deep.continue k (src, m, ts))
+              | _ -> assert false))
+    in
+    (* Boot every fiber. *)
+    for pid = 0 to n - 1 do
+      status.(pid) <- Runnable (start programs.(pid) (api_of pid))
+    done;
+    let runnable () =
+      List.filter
+        (fun p -> match status.(p) with Runnable _ -> true | _ -> false)
+        (List.init n Fun.id)
+    in
+    let continue = ref true in
+    while !continue do
+      match runnable () with
+      | [] -> continue := false
+      | rs ->
+          incr dispatches;
+          (match max_steps with
+          | Some lim when !dispatches > lim -> raise Step_limit_exceeded
+          | _ -> ());
+          let pid = Rng.pick rng rs in
+          (match status.(pid) with
+          | Runnable thunk ->
+              status.(pid) <- Done;
+              (* placeholder during execution *)
+              handle pid (thunk ())
+          | _ -> assert false)
+    done;
+    let deadlocked =
+      List.filter
+        (fun p -> match status.(p) with Done -> false | _ -> true)
+        (List.init n Fun.id)
+    in
+    let trace = Trace.of_steps_exn ~n (List.rev !steps) in
+    let timestamps =
+      Option.map
+        (fun _ -> Array.of_list (List.rev !message_stamps))
+        clocks
+    in
+    { trace; timestamps; deadlocked; failures = List.rev !failures }
+
+  let explore ?decomposition ?max_steps ~n ~seeds programs =
+    let seen = Hashtbl.create 16 in
+    List.filter_map
+      (fun seed ->
+        let outcome = run ~seed ?decomposition ?max_steps ~n programs in
+        let key = Trace.steps outcome.trace in
+        if Hashtbl.mem seen key then None
+        else begin
+          Hashtbl.replace seen key ();
+          Some (seed, outcome)
+        end)
+      seeds
+
+  exception Replay_divergence of string
+
+  let replay ?decomposition ~trace programs =
+    let n = Trace.n trace in
+    if Array.length programs <> n then
+      invalid_arg "Runtime.replay: need exactly one program per process";
+    let clocks =
+      Option.map
+        (fun d -> Array.init n (fun pid -> Edge_clock.create d ~pid))
+        decomposition
+    in
+    let failures = ref [] and message_stamps = ref [] in
+    (* Each fiber's current request; None once finished or failed. *)
+    let wants : step option array = Array.make n None in
+    let rec settle pid = function
+      | Finished -> wants.(pid) <- None
+      | Failed e ->
+          failures := (pid, e) :: !failures;
+          wants.(pid) <- None
+      | Wants_yield k -> settle pid (Effect.Deep.continue k ())
+      | other -> wants.(pid) <- Some other
+    in
+    let diverge fmt = Printf.ksprintf (fun s -> raise (Replay_divergence s)) fmt in
+    for pid = 0 to n - 1 do
+      settle pid (start programs.(pid) (api_of pid) ())
+    done;
+    let executed = ref [] in
+    List.iter
+      (fun step ->
+        (match step with
+        | Trace.Local p -> (
+            match wants.(p) with
+            | Some (Wants_internal k) -> settle p (Effect.Deep.continue k ())
+            | _ -> diverge "P%d: trace expects an internal event" p)
+        | Trace.Send (src, dst) -> (
+            match (wants.(src), wants.(dst)) with
+            | Some (Wants_send (d, m, ks)), Some (Wants_recv (filter, kr))
+              when d = dst
+                   && (match filter with None -> true | Some p -> p = src) ->
+                let ts =
+                  match clocks with
+                  | None -> None
+                  | Some clocks ->
+                      let ts = protocol_stamp clocks ~src ~dst in
+                      message_stamps := ts :: !message_stamps;
+                      Some ts
+                in
+                settle dst (Effect.Deep.continue kr (src, m, ts));
+                settle src (Effect.Deep.continue ks ts)
+            | _ -> diverge "trace expects rendezvous P%d -> P%d" src dst));
+        executed := step :: !executed)
+      (Trace.steps trace);
+    let deadlocked =
+      List.filter (fun p -> wants.(p) <> None) (List.init n Fun.id)
+    in
+    {
+      trace = Trace.of_steps_exn ~n (List.rev !executed);
+      timestamps =
+        Option.map (fun _ -> Array.of_list (List.rev !message_stamps)) clocks;
+      deadlocked;
+      failures = List.rev !failures;
+    }
+
+  module Pattern = struct
+    let rpc_server ~requests ~handler api =
+      for _ = 1 to requests do
+        let client, payload, _ = api.recv () in
+        ignore (api.send client (handler client payload))
+      done
+
+    let rpc_call api ~server payload =
+      ignore (api.send server payload);
+      api.recv_from server
+
+    let relay ~next ~items ~transform api =
+      for _ = 1 to items do
+        let _, payload, _ = api.recv () in
+        ignore (api.send next (transform payload))
+      done
+
+    let broadcast api recipients payload =
+      List.iter (fun dst -> ignore (api.send dst payload)) recipients
+
+    let gather api k =
+      List.init k (fun _ ->
+          let src, payload, _ = api.recv () in
+          (src, payload))
+  end
+end

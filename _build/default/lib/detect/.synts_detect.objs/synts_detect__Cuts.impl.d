@@ -1,0 +1,1 @@
+lib/detect/cuts.ml: Array Hashtbl List Option Queue Set Synts_sync

@@ -1,0 +1,1 @@
+lib/detect/cuts.mli: Synts_sync

@@ -1,0 +1,1 @@
+lib/detect/orphan.ml: Array Fun Hashtbl List Synts_clock Synts_sync

@@ -1,0 +1,1 @@
+lib/detect/orphan.mli: Synts_clock Synts_sync

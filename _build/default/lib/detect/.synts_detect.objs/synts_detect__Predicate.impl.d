@@ -1,0 +1,1 @@
+lib/detect/predicate.ml: Array Cuts List Queue Set Synts_clock Synts_core

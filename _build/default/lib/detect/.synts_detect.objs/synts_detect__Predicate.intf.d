@@ -1,0 +1,1 @@
+lib/detect/predicate.mli: Cuts Synts_clock Synts_core Synts_sync

@@ -1,0 +1,1 @@
+lib/detect/wcp_monitor.ml: Array List Predicate

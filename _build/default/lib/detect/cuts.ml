@@ -1,0 +1,110 @@
+module Trace = Synts_sync.Trace
+
+type cut = int array
+
+(* Per-process occurrence arrays, cached per call via closures would be
+   cleaner; recomputing is fine at test scale. *)
+let histories trace =
+  Array.init (Trace.n trace) (fun p ->
+      Array.of_list (Trace.process_history trace p))
+
+let initial trace = Array.make (Trace.n trace) 0
+let final trace = Array.map Array.length (histories trace)
+let is_final trace cut = cut = final trace
+
+let consistent trace cut =
+  let hists = histories trace in
+  Array.length cut = Trace.n trace
+  && Array.for_all2 (fun k h -> 0 <= k && k <= Array.length h) cut hists
+  && begin
+       (* Each executed message occurrence must be executed on the other
+          side too. *)
+       let executed_msg p k =
+         match hists.(p).(k) with
+         | Trace.Msg m -> Some m.Trace.id
+         | Trace.Int _ -> None
+       in
+       let executed = Hashtbl.create 16 in
+       Array.iteri
+         (fun p kp ->
+           for k = 0 to kp - 1 do
+             match executed_msg p k with
+             | Some id ->
+                 Hashtbl.replace executed id
+                   (1 + Option.value ~default:0 (Hashtbl.find_opt executed id))
+             | None -> ()
+           done)
+         cut;
+       Hashtbl.fold (fun _ c acc -> acc && c = 2) executed true
+     end
+
+let successors trace cut =
+  let hists = histories trace in
+  let n = Trace.n trace in
+  let next p = if cut.(p) < Array.length hists.(p) then Some hists.(p).(cut.(p)) else None in
+  let out = ref [] in
+  for p = 0 to n - 1 do
+    match next p with
+    | None -> ()
+    | Some (Trace.Int _) ->
+        let c = Array.copy cut in
+        c.(p) <- c.(p) + 1;
+        out := c :: !out
+    | Some (Trace.Msg m) ->
+        (* Advance both endpoints together; only emit once (from the
+           src side) and only when the peer is also ready. *)
+        let peer = if m.Trace.src = p then m.Trace.dst else m.Trace.src in
+        if p = min m.Trace.src m.Trace.dst then begin
+          match next peer with
+          | Some (Trace.Msg m') when m'.Trace.id = m.Trace.id ->
+              let c = Array.copy cut in
+              c.(p) <- c.(p) + 1;
+              c.(peer) <- c.(peer) + 1;
+              out := c :: !out
+          | _ -> ()
+        end
+  done;
+  List.rev !out
+
+module CutSet = Set.Make (struct
+  type t = int array
+
+  let compare = compare
+end)
+
+let count trace =
+  let seen = ref CutSet.empty in
+  let queue = Queue.create () in
+  let push c =
+    if not (CutSet.mem c !seen) then begin
+      seen := CutSet.add c !seen;
+      Queue.add c queue
+    end
+  in
+  push (initial trace);
+  while not (Queue.is_empty queue) do
+    let c = Queue.pop queue in
+    List.iter push (successors trace c)
+  done;
+  CutSet.cardinal !seen
+
+let reachable trace ~through ~from target =
+  if not (through from) then false
+  else begin
+    let seen = ref CutSet.empty in
+    let queue = Queue.create () in
+    let found = ref false in
+    let push c =
+      if (not (CutSet.mem c !seen)) && through c then begin
+        seen := CutSet.add c !seen;
+        Queue.add c queue
+      end
+    in
+    push from;
+    while (not !found) && not (Queue.is_empty queue) do
+      let c = Queue.pop queue in
+      if c = target then found := true
+      else List.iter push (successors trace c)
+    done;
+    !found
+  end

@@ -1,0 +1,38 @@
+(** The lattice of consistent cuts of a synchronous computation.
+
+    A cut assigns each process a prefix of its local occurrence history;
+    it is consistent when every message is on the same side for both of
+    its participants (a synchronous message is atomic: its two local
+    occurrences advance together). Consistent cuts form a distributive
+    lattice; global-predicate detection ({!Predicate.definitely}) walks it
+    level by level.
+
+    Cuts are [int array]s: [cut.(p)] = number of occurrences of process
+    [p] already executed. State-space size is exponential in general; the
+    walkers here are meant for the modest traces used in monitoring
+    windows and tests. *)
+
+type cut = int array
+
+val initial : Synts_sync.Trace.t -> cut
+val final : Synts_sync.Trace.t -> cut
+val is_final : Synts_sync.Trace.t -> cut -> bool
+
+val consistent : Synts_sync.Trace.t -> cut -> bool
+(** Prefix lengths in range and every message entirely in or out. *)
+
+val successors : Synts_sync.Trace.t -> cut -> cut list
+(** Consistent cuts reachable by executing one more occurrence: an
+    internal event advances one process; a message advances both of its
+    participants atomically (enabled only when it is the next occurrence
+    of each). Every returned cut is consistent. *)
+
+val count : Synts_sync.Trace.t -> int
+(** Number of consistent cuts (BFS with dedup; beware exponential
+    growth). *)
+
+val reachable :
+  Synts_sync.Trace.t -> through:(cut -> bool) -> from:cut -> cut -> bool
+(** [reachable t ~through ~from target]: can [target] be reached from
+    [from] stepping only on cuts satisfying [through] (endpoints
+    included)? *)

@@ -1,0 +1,131 @@
+module Trace = Synts_sync.Trace
+module Vector = Synts_clock.Vector
+
+type failure = { proc : int; survives : int }
+
+let check trace { proc; survives } =
+  if proc < 0 || proc >= Trace.n trace then
+    invalid_arg "Orphan: process out of range";
+  if survives < 0 then invalid_arg "Orphan: negative survivor count"
+
+let messages_of_proc trace proc =
+  List.filter_map
+    (function
+      | Trace.Msg m -> Some m.Trace.id
+      | Trace.Int _ -> None)
+    (Trace.process_history trace proc)
+
+let lost_messages trace failure =
+  check trace failure;
+  let all = messages_of_proc trace failure.proc in
+  List.filteri (fun i _ -> i >= failure.survives) all
+
+let orphans trace timestamps failure =
+  if Array.length timestamps <> Trace.message_count trace then
+    invalid_arg "Orphan.orphans: timestamp count mismatch";
+  match lost_messages trace failure with
+  | [] -> []
+  | first_lost :: _ ->
+      let v0 = timestamps.(first_lost) in
+      List.filter
+        (fun m -> Vector.leq v0 timestamps.(m))
+        (List.init (Trace.message_count trace) Fun.id)
+
+let orphans_multi trace timestamps failures =
+  List.concat_map (orphans trace timestamps) failures
+  |> List.sort_uniq compare
+
+let rollback_processes trace timestamps failure =
+  let orphaned = orphans trace timestamps failure in
+  List.sort_uniq compare
+    (List.concat_map
+       (fun m ->
+         let msg = Trace.message trace m in
+         [ msg.Trace.src; msg.Trace.dst ])
+       orphaned)
+
+(* History index of each message occurrence, per participant. *)
+let message_positions trace =
+  let positions = Hashtbl.create 32 in
+  for p = 0 to Trace.n trace - 1 do
+    List.iteri
+      (fun idx occ ->
+        match occ with
+        | Trace.Msg m -> Hashtbl.replace positions (m.Trace.id, p) idx
+        | Trace.Int _ -> ())
+      (Trace.process_history trace p)
+  done;
+  positions
+
+let recovery_line trace ~checkpoints failure =
+  check trace failure;
+  let n = Trace.n trace in
+  if Array.length checkpoints <> n then
+    invalid_arg "Orphan.recovery_line: need one checkpoint list per process";
+  let history_len p = List.length (Trace.process_history trace p) in
+  Array.iteri
+    (fun p cps ->
+      let rec sorted_in_range last = function
+        | [] -> true
+        | c :: rest -> last <= c && c <= history_len p && sorted_in_range c rest
+      in
+      if not (sorted_in_range 0 cps) then
+        invalid_arg "Orphan.recovery_line: checkpoints unsorted or out of range")
+    checkpoints;
+  (* The crash wipes everything after the failed process's [survives]-th
+     message participation, internal events included. *)
+  let failed_limit =
+    let msgs = ref 0 and limit = ref (history_len failure.proc) in
+    List.iteri
+      (fun idx occ ->
+        match occ with
+        | Trace.Msg _ ->
+            incr msgs;
+            if !msgs = failure.survives + 1 && !limit > idx then limit := idx
+        | Trace.Int _ -> ())
+      (Trace.process_history trace failure.proc);
+    !limit
+  in
+  let candidates p =
+    let base = 0 :: checkpoints.(p) in
+    let all =
+      if p = failure.proc then List.filter (fun c -> c <= failed_limit) base
+      else base @ [ history_len p ]
+    in
+    List.sort_uniq compare all
+  in
+  let cut = Array.init n (fun p -> List.fold_left max 0 (candidates p)) in
+  let fall_back p below =
+    (* Largest candidate <= below. *)
+    cut.(p) <-
+      List.fold_left
+        (fun acc c -> if c <= below then max acc c else acc)
+        0 (candidates p)
+  in
+  let positions = message_positions trace in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun (m : Trace.message) ->
+        let ip = Hashtbl.find positions (m.Trace.id, m.Trace.src) in
+        let iq = Hashtbl.find positions (m.Trace.id, m.Trace.dst) in
+        let exec_p = ip < cut.(m.Trace.src) in
+        let exec_q = iq < cut.(m.Trace.dst) in
+        if exec_p && not exec_q then begin
+          fall_back m.Trace.src ip;
+          changed := true
+        end
+        else if exec_q && not exec_p then begin
+          fall_back m.Trace.dst iq;
+          changed := true
+        end)
+      (Trace.messages trace)
+  done;
+  cut
+
+let stable_messages trace timestamps failure =
+  let orphaned = orphans trace timestamps failure in
+  List.filter
+    (fun m -> not (List.mem m orphaned))
+    (List.init (Trace.message_count trace) Fun.id)

@@ -1,0 +1,65 @@
+(** Orphan detection for optimistic recovery.
+
+    The paper's second motivating application (Sec. 1, refs [19, 2]): when
+    a process crashes and loses its recent state, every message that
+    causally depends on the lost computation is an {e orphan} and its
+    recipients must roll back. Because the lost messages of the failed
+    process are totally ordered (they all involve that process), a message
+    is orphaned iff it causally depends on the {e earliest} lost message —
+    a single O(d) vector comparison per message with the paper's
+    timestamps. *)
+
+type failure = {
+  proc : int;
+  survives : int;
+      (** How many of the process's message participations survive the
+          crash; everything after its [survives]-th message involvement is
+          lost. *)
+}
+
+val lost_messages : Synts_sync.Trace.t -> failure -> int list
+(** Ids of the failed process's messages wiped by the crash, in
+    occurrence order. *)
+
+val orphans :
+  Synts_sync.Trace.t -> Synts_clock.Vector.t array -> failure -> int list
+(** Ids of every orphaned message — the lost messages themselves plus all
+    messages causally after any of them — computed purely from the
+    timestamps ([v(first lost) ≤ v(m)]). Sorted. *)
+
+val rollback_processes :
+  Synts_sync.Trace.t -> Synts_clock.Vector.t array -> failure -> int list
+(** The processes that participated in any orphaned message and therefore
+    must roll back (always includes the failed process when it lost
+    anything). Sorted. *)
+
+val stable_messages :
+  Synts_sync.Trace.t -> Synts_clock.Vector.t array -> failure -> int list
+(** Complement of {!orphans}: the messages whose effects survive. *)
+
+val orphans_multi :
+  Synts_sync.Trace.t ->
+  Synts_clock.Vector.t array ->
+  failure list ->
+  int list
+(** Orphans of several simultaneous failures: messages causally after any
+    failure's earliest lost message — still one vector comparison per
+    (message, failure) pair. Sorted. *)
+
+val recovery_line :
+  Synts_sync.Trace.t -> checkpoints:int list array -> failure -> int array
+(** The latest consistent recovery line at or before the crash.
+
+    [checkpoints.(p)] lists the occurrence indices of process [p]'s
+    checkpoints, increasing; index [k] means "p saved its state after its
+    first [k] occurrences" (0 = initial state, always implicitly
+    available). The failed process restarts from its latest checkpoint
+    with at most [survives] message participations; rollback then
+    propagates: whenever some message was sent after a process's chosen
+    checkpoint but received before another's, the receiver must fall back
+    to an earlier checkpoint (synchronous messages are atomic, so a
+    message {e crossing} a line in either direction invalidates it).
+    Returns the chosen occurrence count per process — the classic
+    rollback-propagation fixpoint, here decided entirely with local
+    occurrence counts. Raises [Invalid_argument] on unsorted or
+    out-of-range checkpoint indices. *)

@@ -1,0 +1,92 @@
+module Vector = Synts_clock.Vector
+module Internal_events = Synts_core.Internal_events
+
+type interval = {
+  proc : int;
+  since : Vector.t;
+  until : Vector.t option;
+}
+
+let interval_of_internal (s : Internal_events.stamp) =
+  { proc = s.Internal_events.proc;
+    since = s.Internal_events.prev;
+    until = s.Internal_events.succ }
+
+let definitely_ordered a b =
+  match a.until with
+  | Some u -> Vector.leq u b.since
+  | None -> false
+
+let overlap a b =
+  a.proc <> b.proc
+  && (not (definitely_ordered a b))
+  && not (definitely_ordered b a)
+
+type witness = interval list
+
+let possibly by_process =
+  let queues = Array.of_list (List.map snd by_process) in
+  let k = Array.length queues in
+  let exception No_witness in
+  let head i =
+    match queues.(i) with [] -> raise No_witness | h :: _ -> h
+  in
+  let rec search () =
+    let heads = Array.init k head in
+    (* Every head that is definitely before some other head cannot take
+       part in a witness containing the current (or any later) heads of
+       the other queues: drop it. *)
+    let dropped = ref false in
+    for i = 0 to k - 1 do
+      let ordered_before_someone =
+        Array.exists (fun h -> definitely_ordered heads.(i) h) heads
+      in
+      if ordered_before_someone then begin
+        queues.(i) <- List.tl queues.(i);
+        dropped := true
+      end
+    done;
+    if !dropped then search ()
+    else begin
+      (* No head precedes another: with exact timestamps this means every
+         cross-process pair overlaps. *)
+      Array.to_list heads
+    end
+  in
+  match search () with
+  | witness -> Some witness
+  | exception No_witness -> None
+
+let possibly_cut trace pred =
+  let exception Found in
+  let module CutSet = Set.Make (struct
+    type t = int array
+
+    let compare = compare
+  end) in
+  let seen = ref CutSet.empty in
+  let queue = Queue.create () in
+  let push c =
+    if not (CutSet.mem c !seen) then begin
+      seen := CutSet.add c !seen;
+      Queue.add c queue
+    end
+  in
+  push (Cuts.initial trace);
+  match
+    while not (Queue.is_empty queue) do
+      let c = Queue.pop queue in
+      if pred c then raise Found;
+      List.iter push (Cuts.successors trace c)
+    done
+  with
+  | () -> false
+  | exception Found -> true
+
+let definitely trace pred =
+  (* Every execution is a maximal path from the initial to the final cut;
+     the predicate definitely holds iff no such path avoids it. *)
+  not
+    (Cuts.reachable trace
+       ~through:(fun c -> not (pred c))
+       ~from:(Cuts.initial trace) (Cuts.final trace))

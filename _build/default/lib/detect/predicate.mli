@@ -1,0 +1,63 @@
+(** Weak conjunctive predicate detection over timestamped computations.
+
+    The paper's first motivating application (Sec. 1, refs [5, 9]): decide
+    whether a conjunction of local predicates {e possibly} held — i.e.
+    whether there is a consistent global state in which every named
+    process's local predicate is simultaneously true. With exact message
+    timestamps this reduces to finding one interval per process such that
+    the chosen intervals are pairwise concurrent (Garg & Waldecker's weak
+    conjunctive predicate algorithm).
+
+    A process's local predicate is abstracted as the set of {e intervals}
+    between consecutive external events during which it held; an interval
+    is identified by the surrounding message timestamps, exactly like the
+    internal-event stamps of paper Sec. 5. *)
+
+type interval = {
+  proc : int;
+  since : Synts_clock.Vector.t;
+      (** Timestamp of the last message before the predicate became true
+          (zero vector if none). *)
+  until : Synts_clock.Vector.t option;
+      (** Timestamp of the first message after it stopped holding; [None]
+          while it still holds at the end of the trace (+∞). *)
+}
+
+val interval_of_internal : Synts_core.Internal_events.stamp -> interval
+(** View an internal event (the instant the predicate was sampled true) as
+    the interval between its surrounding messages. *)
+
+val overlap : interval -> interval -> bool
+(** Two intervals on different processes can belong to one consistent
+    global state iff neither ends before the other begins:
+    [not (until a <= since b) && not (until b <= since a)] in vector
+    order. Same-process intervals never overlap (a process occupies one
+    interval at a time). *)
+
+type witness = interval list
+(** One interval per monitored process, pairwise overlapping. *)
+
+val possibly :
+  (int * interval list) list -> witness option
+(** [possibly by_process] takes, per monitored process, the intervals in
+    which its local predicate held (in occurrence order) and returns a
+    witness if the conjunction possibly held. Runs the standard
+    queue-elimination algorithm: repeatedly test the heads; any head that
+    ends before another head begins can never be part of a witness and is
+    dropped. O(total intervals × processes). *)
+
+val definitely_ordered : interval -> interval -> bool
+(** [definitely_ordered a b]: interval [a] ends before [b] begins in every
+    execution consistent with the order ([until a <= since b]). *)
+
+val possibly_cut : Synts_sync.Trace.t -> (Cuts.cut -> bool) -> bool
+(** Lattice-based {e possibly}: is there a consistent cut satisfying the
+    state predicate? Exhaustive (exponential in the worst case) — the
+    generic fallback when the predicate is not a conjunction of local
+    interval predicates; also the cross-check oracle for {!possibly}. *)
+
+val definitely : Synts_sync.Trace.t -> (Cuts.cut -> bool) -> bool
+(** Cooper–Marzullo {e definitely}: does every execution (maximal path in
+    the cut lattice) pass through a cut satisfying the predicate?
+    Implemented as unreachability of the final cut through ¬predicate
+    cuts. *)

@@ -1,0 +1,62 @@
+type t = {
+  processes : int array;
+  queues : Predicate.interval list array;  (* oldest first, per process *)
+  mutable found : Predicate.witness option;
+}
+
+let create ~processes =
+  let ps = Array.of_list processes in
+  if Array.length ps = 0 then invalid_arg "Wcp_monitor.create: no processes";
+  let sorted = List.sort_uniq compare processes in
+  if List.length sorted <> Array.length ps then
+    invalid_arg "Wcp_monitor.create: duplicate processes";
+  { processes = ps; queues = Array.make (Array.length ps) []; found = None }
+
+let slot t proc =
+  let rec find i =
+    if i >= Array.length t.processes then
+      invalid_arg "Wcp_monitor: interval for an unmonitored process"
+    else if t.processes.(i) = proc then i
+    else find (i + 1)
+  in
+  find 0
+
+(* Drop queue heads that are definitely before some other current head;
+   when no queue is empty and nothing can be dropped, the heads overlap
+   pairwise and form a witness. *)
+let rec stabilize t =
+  match t.found with
+  | Some _ -> ()
+  | None ->
+      if Array.for_all (fun q -> q <> []) t.queues then begin
+        let heads = Array.map List.hd t.queues in
+        let dropped = ref false in
+        Array.iteri
+          (fun i h ->
+            if
+              Array.exists (fun h' -> Predicate.definitely_ordered h h') heads
+            then begin
+              t.queues.(i) <- List.tl t.queues.(i);
+              dropped := true
+            end)
+          heads;
+        if !dropped then stabilize t
+        else begin
+          t.found <- Some (Array.to_list heads);
+          Array.iteri (fun i _ -> t.queues.(i) <- []) t.queues
+        end
+      end
+
+let add t interval =
+  (match t.found with
+  | Some _ -> ()
+  | None ->
+      let i = slot t interval.Predicate.proc in
+      t.queues.(i) <- t.queues.(i) @ [ interval ];
+      stabilize t);
+  t.found
+
+let witness t = t.found
+
+let pending_intervals t =
+  Array.fold_left (fun acc q -> acc + List.length q) 0 t.queues

@@ -1,0 +1,31 @@
+(** Online weak-conjunctive-predicate detection.
+
+    The streaming counterpart of {!Predicate.possibly}: local-predicate
+    intervals arrive one at a time (per monitored process, in occurrence
+    order) and the monitor reports the first witness — one overlapping
+    interval per monitored process — as soon as one exists, the standard
+    centralized-monitor formulation of Garg–Waldecker detection.
+
+    The incremental invariant: an interval is discarded only when it is
+    {e definitely before} the head interval of some other queue, which
+    certifies it can join no witness with that queue's current or later
+    intervals. Hence the monitor's verdict always agrees with the offline
+    algorithm on the intervals seen so far (property-tested). *)
+
+type t
+
+val create : processes:int list -> t
+(** The monitored processes (distinct). *)
+
+val add : t -> Predicate.interval -> Predicate.witness option
+(** Feed the next interval of its process ([interval.proc] must be
+    monitored; intervals of one process must arrive in occurrence order).
+    Returns the witness the first time one is detected; afterwards the
+    same witness is returned by {!witness} and further intervals are
+    ignored. *)
+
+val witness : t -> Predicate.witness option
+(** The detected witness, if any. *)
+
+val pending_intervals : t -> int
+(** Intervals currently queued (0 once a witness was found). *)

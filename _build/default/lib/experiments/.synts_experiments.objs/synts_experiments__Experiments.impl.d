@@ -1,0 +1,1 @@
+lib/experiments/experiments.ml: Array Buffer Format List Option Printf String Synts_check Synts_clock Synts_core Synts_detect Synts_graph Synts_poset Synts_sync Synts_util Synts_workload

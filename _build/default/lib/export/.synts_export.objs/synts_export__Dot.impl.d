@@ -1,0 +1,1 @@
+lib/export/dot.ml: Array Buffer List Printf Synts_graph Synts_poset Synts_sync

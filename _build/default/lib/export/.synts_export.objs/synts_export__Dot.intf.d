@@ -1,0 +1,1 @@
+lib/export/dot.mli: Synts_graph Synts_poset Synts_sync

@@ -1,0 +1,1 @@
+lib/export/svg.ml: Array Buffer Fun List Printf Synts_clock Synts_graph Synts_sync

@@ -1,0 +1,1 @@
+lib/export/svg.mli: Synts_clock Synts_graph Synts_sync

@@ -1,0 +1,89 @@
+module Graph = Synts_graph.Graph
+module Decomposition = Synts_graph.Decomposition
+module Poset = Synts_poset.Poset
+module Trace = Synts_sync.Trace
+module Message_poset = Synts_sync.Message_poset
+
+let vertex_name labels v =
+  match List.assoc_opt v labels with
+  | Some s -> s
+  | None -> Printf.sprintf "P%d" (v + 1)
+
+(* A qualitative palette that stays readable on white. *)
+let palette =
+  [|
+    "#1b9e77"; "#d95f02"; "#7570b3"; "#e7298a"; "#66a61e"; "#e6ab02";
+    "#a6761d"; "#666666"; "#1f78b4"; "#b2df8a"; "#fb9a99"; "#cab2d6";
+  |]
+
+let color g = palette.(g mod Array.length palette)
+
+let topology ?(labels = []) g =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "graph topology {\n  node [shape=circle];\n";
+  List.iter
+    (fun v ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %d [label=\"%s\"];\n" v (vertex_name labels v)))
+    (Graph.vertices g);
+  Graph.iter_edges
+    (fun u v -> Buffer.add_string buf (Printf.sprintf "  %d -- %d;\n" u v))
+    g;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let decomposition ?(labels = []) g d =
+  (* Validate coverage up front so the output is never misleading. *)
+  Graph.iter_edges
+    (fun u v ->
+      match Decomposition.group_of_edge d u v with
+      | _ -> ()
+      | exception Not_found ->
+          invalid_arg "Dot.decomposition: decomposition does not cover the graph")
+    g;
+  let centers =
+    List.filter_map
+      (function
+        | Decomposition.Star { center; _ } -> Some center
+        | Decomposition.Triangle _ -> None)
+      (Decomposition.groups d)
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "graph decomposition {\n  node [shape=circle];\n";
+  List.iter
+    (fun v ->
+      let peripheries = if List.mem v centers then 2 else 1 in
+      Buffer.add_string buf
+        (Printf.sprintf "  %d [label=\"%s\", peripheries=%d];\n" v
+           (vertex_name labels v) peripheries))
+    (Graph.vertices g);
+  Graph.iter_edges
+    (fun u v ->
+      let grp = Decomposition.group_of_edge d u v in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  %d -- %d [color=\"%s\", label=\"E%d\", fontcolor=\"%s\"];\n" u v
+           (color grp) (grp + 1) (color grp)))
+    g;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let poset ?(names = fun i -> Printf.sprintf "m%d" (i + 1)) p =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "digraph poset {\n  rankdir=BT;\n  node [shape=box];\n";
+  for i = 0 to Poset.size p - 1 do
+    Buffer.add_string buf (Printf.sprintf "  %d [label=\"%s\"];\n" i (names i))
+  done;
+  List.iter
+    (fun (i, j) -> Buffer.add_string buf (Printf.sprintf "  %d -> %d;\n" i j))
+    (Poset.covers p);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let message_poset trace =
+  let p = Message_poset.of_trace trace in
+  let names i =
+    let m = Trace.message trace i in
+    Printf.sprintf "m%d: P%d->P%d" (i + 1) (m.Trace.src + 1) (m.Trace.dst + 1)
+  in
+  poset ~names p

@@ -1,0 +1,28 @@
+(** Graphviz (DOT) export.
+
+    Visual artifacts for papers and debugging: topologies with edges
+    colored by decomposition group (the visual version of the paper's
+    Figures 3, 4 and 8), and Hasse diagrams of message posets (the partial
+    orders of Figures 1 and 6). Output is plain DOT text; render with
+    `dot -Tsvg`. *)
+
+val topology : ?labels:(int * string) list -> Synts_graph.Graph.t -> string
+(** Undirected topology, one line per edge. *)
+
+val decomposition :
+  ?labels:(int * string) list ->
+  Synts_graph.Graph.t ->
+  Synts_graph.Decomposition.t ->
+  string
+(** Topology with each edge colored and labelled by its group [E1..Ed];
+    star centers get a doubled border. Raises [Invalid_argument] if the
+    decomposition does not cover the graph. *)
+
+val poset :
+  ?names:(int -> string) -> Synts_poset.Poset.t -> string
+(** Hasse diagram (transitive reduction) of a poset, edges pointing
+    upward. [names] defaults to [m1, m2, …]. *)
+
+val message_poset : Synts_sync.Trace.t -> string
+(** Hasse diagram of a trace's message poset, nodes labelled
+    [m<i>: Pa->Pb]. *)

@@ -1,0 +1,103 @@
+module Trace = Synts_sync.Trace
+module Vector = Synts_clock.Vector
+module Decomposition = Synts_graph.Decomposition
+
+let palette =
+  [|
+    "#1b9e77"; "#d95f02"; "#7570b3"; "#e7298a"; "#66a61e"; "#e6ab02";
+    "#a6761d"; "#666666"; "#1f78b4"; "#b2df8a"; "#fb9a99"; "#cab2d6";
+  |]
+
+let column_width = 46
+let row_height = 44
+let left_margin = 64
+let top_margin = 40
+
+let x_of col = left_margin + (col * column_width)
+let y_of row = top_margin + (row * row_height)
+
+let diagram ?timestamps ?decomposition trace =
+  (match timestamps with
+  | Some ts when Array.length ts <> Trace.message_count trace ->
+      invalid_arg "Svg.diagram: timestamp count mismatch"
+  | _ -> ());
+  let n = Trace.n trace in
+  let steps = Trace.steps trace in
+  let columns = List.length steps in
+  let width = left_margin + ((columns + 1) * column_width) in
+  let height = top_margin + (n * row_height) + 20 in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" \
+        font-family=\"monospace\" font-size=\"12\">\n"
+       width height);
+  Buffer.add_string buf
+    "  <defs><marker id=\"arrow\" viewBox=\"0 0 10 10\" refX=\"9\" \
+     refY=\"5\" markerWidth=\"7\" markerHeight=\"7\" orient=\"auto\"><path \
+     d=\"M 0 0 L 10 5 L 0 10 z\"/></marker></defs>\n";
+  (* Process lines with labels. *)
+  for p = 0 to n - 1 do
+    let y = y_of p in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  <text x=\"8\" y=\"%d\" dominant-baseline=\"middle\">P%d</text>\n"
+         y (p + 1));
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  <line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" \
+          stroke=\"#999\"/>\n"
+         (x_of 0 - 10) y
+         (x_of columns)
+         y)
+  done;
+  (* Actions. *)
+  let mid = ref 0 in
+  List.iteri
+    (fun col step ->
+      let x = x_of col in
+      match step with
+      | Trace.Local p ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "  <circle cx=\"%d\" cy=\"%d\" r=\"4\" fill=\"#444\"/>\n" x
+               (y_of p))
+      | Trace.Send (src, dst) ->
+          let id = !mid in
+          incr mid;
+          let color =
+            match decomposition with
+            | None -> "#1f78b4"
+            | Some d -> (
+                match Decomposition.group_of_edge d src dst with
+                | g -> palette.(g mod Array.length palette)
+                | exception Not_found ->
+                    invalid_arg
+                      "Svg.diagram: decomposition does not cover a used channel")
+          in
+          Buffer.add_string buf
+            (Printf.sprintf
+               "  <line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" \
+                stroke=\"%s\" stroke-width=\"2\" \
+                marker-end=\"url(#arrow)\"/>\n"
+               x (y_of src) x (y_of dst) color);
+          let label =
+            match timestamps with
+            | Some ts -> Vector.to_string ts.(id)
+            | None -> Printf.sprintf "m%d" (id + 1)
+          in
+          let label_y = min (y_of src) (y_of dst) - 8 in
+          Buffer.add_string buf
+            (Printf.sprintf
+               "  <text x=\"%d\" y=\"%d\" text-anchor=\"middle\" \
+                fill=\"%s\">%s</text>\n"
+               x label_y color label))
+    steps;
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
+let save ?timestamps ?decomposition path trace =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (diagram ?timestamps ?decomposition trace))

@@ -1,0 +1,23 @@
+(** SVG time diagrams — the publication-quality version of
+    {!Synts_sync.Diagram}.
+
+    Horizontal process lines, vertical message arrows (the defining visual
+    of synchronous computations), dots for internal events, optional
+    timestamp labels, edges colored by decomposition group when one is
+    supplied. Output is a standalone [<svg>] document. *)
+
+val diagram :
+  ?timestamps:Synts_clock.Vector.t array ->
+  ?decomposition:Synts_graph.Decomposition.t ->
+  Synts_sync.Trace.t ->
+  string
+(** Raises [Invalid_argument] when [timestamps] does not match the
+    message count or the decomposition misses a used channel. *)
+
+val save :
+  ?timestamps:Synts_clock.Vector.t array ->
+  ?decomposition:Synts_graph.Decomposition.t ->
+  string ->
+  Synts_sync.Trace.t ->
+  unit
+(** [save path trace] writes the SVG to a file. *)

@@ -1,0 +1,1 @@
+lib/graph/adaptive.ml: Decomposition Graph Hashtbl List

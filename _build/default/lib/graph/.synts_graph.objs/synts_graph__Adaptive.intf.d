@@ -1,0 +1,1 @@
+lib/graph/adaptive.mli: Decomposition Graph

@@ -1,0 +1,1 @@
+lib/graph/decomposition.ml: Array Format Graph Hashtbl List Option Printf String Vertex_cover

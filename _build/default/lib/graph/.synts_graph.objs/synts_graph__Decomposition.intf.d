@@ -1,0 +1,1 @@
+lib/graph/decomposition.mli: Format Graph

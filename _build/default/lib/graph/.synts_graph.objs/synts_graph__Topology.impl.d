@@ -1,0 +1,1 @@
+lib/graph/topology.ml: Buffer Char Fun Graph In_channel List Printf String Synts_util

@@ -1,0 +1,85 @@
+module ITbl = Hashtbl
+
+type t = {
+  n : int;
+  mutable graph : Graph.t;
+  assignment : (Graph.edge, int) ITbl.t;
+  center_group : (int, int) ITbl.t;  (* star center -> group index *)
+  groups : (int, int * int list ref) ITbl.t;  (* index -> (center, leaves) *)
+  mutable count : int;
+}
+
+let create n =
+  if n < 0 then invalid_arg "Adaptive.create: negative vertex count";
+  {
+    n;
+    graph = Graph.empty n;
+    assignment = ITbl.create 64;
+    center_group = ITbl.create 16;
+    groups = ITbl.create 16;
+    count = 0;
+  }
+
+let vertices t = t.n
+
+let group_of_edge t u v =
+  match ITbl.find_opt t.assignment (Graph.normalize_edge u v) with
+  | Some g -> g
+  | None -> raise Not_found
+
+let extend t g leaf =
+  match ITbl.find_opt t.groups g with
+  | Some (_, leaves) -> leaves := leaf :: !leaves
+  | None -> assert false
+
+let open_star t center leaf =
+  let g = t.count in
+  t.count <- g + 1;
+  ITbl.replace t.groups g (center, ref [ leaf ]);
+  ITbl.replace t.center_group center g;
+  g
+
+let add_edge t u v =
+  let u, v = Graph.normalize_edge u v in
+  if u < 0 || v >= t.n then invalid_arg "Adaptive.add_edge: vertex out of range";
+  match ITbl.find_opt t.assignment (u, v) with
+  | Some g -> `Known g
+  | None ->
+      t.graph <- Graph.add_edge t.graph u v;
+      let outcome =
+        match
+          (ITbl.find_opt t.center_group u, ITbl.find_opt t.center_group v)
+        with
+        | Some g, _ ->
+            extend t g v;
+            `Extended g
+        | None, Some g ->
+            extend t g u;
+            `Extended g
+        | None, None ->
+            (* Root the new star at the endpoint with higher current
+               degree: hubs keep absorbing their future edges. *)
+            let center, leaf =
+              if Graph.degree t.graph u >= Graph.degree t.graph v then (u, v)
+              else (v, u)
+            in
+            `Opened (open_star t center leaf)
+      in
+      let g =
+        match outcome with `Extended g | `Opened g -> g | `Known g -> g
+      in
+      ITbl.replace t.assignment (u, v) g;
+      outcome
+
+let size t = t.count
+let graph t = t.graph
+
+let snapshot t =
+  let groups =
+    List.init t.count (fun g ->
+        match ITbl.find_opt t.groups g with
+        | Some (center, leaves) ->
+            Decomposition.Star { center; leaves = List.sort compare !leaves }
+        | None -> assert false)
+  in
+  Decomposition.make_exn t.graph groups

@@ -1,0 +1,40 @@
+(** Incrementally maintained edge decompositions for dynamic topologies.
+
+    The paper assumes the communication topology — and its edge
+    decomposition — is known to all processes up front. Real systems
+    discover channels as they are first used. This module maintains a
+    star-only decomposition online: when a new edge arrives it joins the
+    star of an endpoint that is already a center, and only otherwise opens
+    a new star (rooted at its higher-degree endpoint). The group of an
+    existing edge never changes, which is exactly what the timestamping
+    algorithm needs ({!Synts_core.Adaptive_stamper}).
+
+    The size is within the quality of a greedy vertex cover of the final
+    graph — not the 2-approximation of the offline algorithm, the price of
+    never reassigning an edge. *)
+
+type t
+(** Mutable. *)
+
+val create : int -> t
+(** [create n]: [n] vertices, no edges yet. *)
+
+val vertices : t -> int
+
+val group_of_edge : t -> int -> int -> int
+(** Raises [Not_found] for an edge not yet added. *)
+
+val add_edge : t -> int -> int -> [ `Known of int | `Extended of int | `Opened of int ]
+(** Record a (possibly new) edge and return its group index:
+    [`Known g] when the edge was already assigned, [`Extended g] when it
+    joined the existing star [g], [`Opened g] when a new star was
+    created. *)
+
+val size : t -> int
+(** Current number of groups. *)
+
+val graph : t -> Graph.t
+(** Edges added so far. *)
+
+val snapshot : t -> Decomposition.t
+(** The current decomposition, validated against {!graph}. *)

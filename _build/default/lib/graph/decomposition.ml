@@ -1,0 +1,417 @@
+type group =
+  | Star of { center : int; leaves : int list }
+  | Triangle of int * int * int
+
+type t = {
+  graph_n : int;
+  groups : group list;
+  index : (Graph.edge, int) Hashtbl.t;
+}
+
+let edges_of_group = function
+  | Star { center; leaves } ->
+      List.map (fun leaf -> Graph.normalize_edge center leaf) leaves
+  | Triangle (x, y, z) -> [ (x, y); (x, z); (y, z) ]
+
+let well_formed_group n = function
+  | Star { center; leaves } ->
+      if leaves = [] then Error "star with no edges"
+      else if List.exists (fun l -> l = center) leaves then
+        Error "star leaf equal to its center"
+      else if
+        List.exists (fun l -> l < 0 || l >= n) (center :: leaves)
+      then Error "star vertex out of range"
+      else if List.sort_uniq compare leaves <> leaves then
+        Error "star leaves not sorted or not distinct"
+      else Ok ()
+  | Triangle (x, y, z) ->
+      if not (0 <= x && x < y && y < z && z < n) then
+        Error "triangle vertices not ordered or out of range"
+      else Ok ()
+
+let make g groups =
+  let n = Graph.n g in
+  let index = Hashtbl.create (2 * Graph.m g) in
+  let rec check i = function
+    | [] ->
+        if Hashtbl.length index = Graph.m g then
+          Ok { graph_n = n; groups; index }
+        else Error "decomposition does not cover every edge"
+    | grp :: rest -> (
+        match well_formed_group n grp with
+        | Error _ as e -> e
+        | Ok () ->
+            let dup =
+              List.find_opt
+                (fun (u, v) ->
+                  if Hashtbl.mem index (u, v) then true
+                  else if not (Graph.has_edge g u v) then true
+                  else begin
+                    Hashtbl.replace index (u, v) i;
+                    false
+                  end)
+                (edges_of_group grp)
+            in
+            (match dup with
+            | Some (u, v) ->
+                Error
+                  (Printf.sprintf
+                     "edge (%d,%d) duplicated or absent from the graph" u v)
+            | None -> check (i + 1) rest))
+  in
+  check 0 groups
+
+let make_exn g groups =
+  match make g groups with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Decomposition.make: " ^ msg)
+
+let groups t = t.groups
+let size t = List.length t.groups
+let graph_vertices t = t.graph_n
+
+let group_of_edge t u v =
+  match Hashtbl.find_opt t.index (Graph.normalize_edge u v) with
+  | Some i -> i
+  | None -> raise Not_found
+
+let stars t =
+  List.length (List.filter (function Star _ -> true | _ -> false) t.groups)
+
+let triangles t =
+  List.length
+    (List.filter (function Triangle _ -> true | _ -> false) t.groups)
+
+type step = { phase : int; group : group }
+
+let star_of_vertex g center =
+  match Graph.neighbors g center with
+  | [] -> None
+  | leaves -> Some (Star { center; leaves })
+
+(* The three steps of the paper's Figure 7 algorithm, each returning the
+   residual graph after removing the emitted group's edges. *)
+
+let find_pendant g =
+  List.find_opt (fun v -> Graph.degree g v = 1) (Graph.vertices g)
+
+let step1 g emit =
+  let g = ref g in
+  let continue = ref true in
+  while !continue do
+    match find_pendant !g with
+    | None -> continue := false
+    | Some x ->
+        let y = List.hd (Graph.neighbors !g x) in
+        (match star_of_vertex !g y with
+        | Some grp -> emit { phase = 1; group = grp }
+        | None -> assert false);
+        g := Graph.remove_vertex_edges !g y
+  done;
+  !g
+
+(* A step-2 triangle (x, y, z) needs two of its vertices to have degree
+   exactly 2, i.e. no edges outside the triangle. *)
+let find_step2_triangle g =
+  let found = ref None in
+  Graph.iter_edges
+    (fun u v ->
+      if !found = None && Graph.degree g u = 2 && Graph.degree g v = 2 then
+        match Graph.find_triangle_through g u v with
+        | w :: _ ->
+            let[@warning "-8"] [ x; y; z ] = List.sort compare [ u; v; w ] in
+            found := Some (x, y, z)
+        | [] -> ())
+    g;
+  !found
+
+let step2 g emit =
+  let g = ref g in
+  let continue = ref true in
+  while !continue do
+    match find_step2_triangle !g with
+    | None -> continue := false
+    | Some (x, y, z) ->
+        emit { phase = 2; group = Triangle (x, y, z) };
+        g := Graph.remove_edge !g x y;
+        g := Graph.remove_edge !g x z;
+        g := Graph.remove_edge !g y z
+  done;
+  !g
+
+let step3 g emit =
+  if Graph.m g = 0 then g
+  else begin
+    let best = ref None and best_count = ref (-1) in
+    Graph.iter_edges
+      (fun u v ->
+        let c = Graph.adjacent_edge_count g (u, v) in
+        if c > !best_count then begin
+          best := Some (u, v);
+          best_count := c
+        end)
+      g;
+    match !best with
+    | None -> assert false
+    | Some (x, y) ->
+        (* Star rooted at y takes all of y's edges (including (x, y)); the
+           star rooted at x takes the rest of x's edges, if any. *)
+        (match star_of_vertex g y with
+        | Some grp -> emit { phase = 3; group = grp }
+        | None -> assert false);
+        let g = Graph.remove_vertex_edges g y in
+        let g =
+          match star_of_vertex g x with
+          | Some grp ->
+              emit { phase = 3; group = grp };
+              Graph.remove_vertex_edges g x
+          | None -> g
+        in
+        g
+  end
+
+let paper_trace g =
+  let steps = ref [] in
+  let emit s = steps := s :: !steps in
+  let g = ref g in
+  while Graph.m !g > 0 do
+    g := step1 !g emit;
+    g := step2 !g emit;
+    g := step3 !g emit
+  done;
+  List.rev !steps
+
+let paper g = make_exn g (List.map (fun s -> s.group) (paper_trace g))
+
+let of_vertex_cover g cover =
+  if not (Vertex_cover.is_cover g cover) then
+    Error "the given vertex set is not a vertex cover"
+  else begin
+    let cover = List.sort_uniq compare cover in
+    let rank = Hashtbl.create 16 in
+    List.iteri (fun i v -> Hashtbl.replace rank v i) cover;
+    let leaves = Hashtbl.create 16 in
+    Graph.iter_edges
+      (fun u v ->
+        (* Assign the edge to its smallest-ranked covering endpoint. *)
+        let center =
+          match (Hashtbl.find_opt rank u, Hashtbl.find_opt rank v) with
+          | Some ru, Some rv -> if ru <= rv then u else v
+          | Some _, None -> u
+          | None, Some _ -> v
+          | None, None -> assert false
+        in
+        let other = if center = u then v else u in
+        Hashtbl.replace leaves center
+          (other :: Option.value ~default:[] (Hashtbl.find_opt leaves center)))
+      g;
+    let gs =
+      List.filter_map
+        (fun center ->
+          match Hashtbl.find_opt leaves center with
+          | None -> None
+          | Some ls -> Some (Star { center; leaves = List.sort compare ls }))
+        cover
+    in
+    make g gs
+  end
+
+let sequential g =
+  (* Emitting the star of each vertex in increasing order leaves, after
+     vertex N-4, only edges among the last three vertices — one final star
+     or triangle. Detecting the star/triangle endgame as soon as it appears
+     keeps the group count at max(1, N-2) on every graph (Theorem 5's
+     fallback bound). *)
+  let rec go g acc =
+    if Graph.m g = 0 then List.rev acc
+    else
+      match Graph.star_center g with
+      | Some c ->
+          let grp =
+            match star_of_vertex g c with Some s -> s | None -> assert false
+          in
+          List.rev (grp :: acc)
+      | None -> (
+          match Graph.triangle_of g with
+          | Some (x, y, z) -> List.rev (Triangle (x, y, z) :: acc)
+          | None ->
+              let v =
+                List.find (fun v -> Graph.degree g v > 0) (Graph.vertices g)
+              in
+              let grp =
+                match star_of_vertex g v with
+                | Some s -> s
+                | None -> assert false
+              in
+              go (Graph.remove_vertex_edges g v) (grp :: acc))
+  in
+  make_exn g (go g [])
+
+let triangles_first g =
+  (* Carve disjoint triangles greedily (smallest-vertex first for
+     determinism), then star-cover the leftovers. *)
+  let rec carve g acc =
+    let found = ref None in
+    Graph.iter_edges
+      (fun u v ->
+        if !found = None then
+          match Graph.find_triangle_through g u v with
+          | w :: _ ->
+              let[@warning "-8"] [ x; y; z ] = List.sort compare [ u; v; w ] in
+              found := Some (x, y, z)
+          | [] -> ())
+      g;
+    match !found with
+    | Some (x, y, z) ->
+        let g =
+          Graph.remove_edge (Graph.remove_edge (Graph.remove_edge g x y) x z)
+            y z
+        in
+        carve g (Triangle (x, y, z) :: acc)
+    | None -> (g, List.rev acc)
+  in
+  let rest, triangles = carve g [] in
+  let stars =
+    match of_vertex_cover rest (Vertex_cover.greedy rest) with
+    | Ok d -> groups d
+    | Error _ -> assert false
+  in
+  make_exn g (triangles @ stars)
+
+let min_size_lower_bound = Vertex_cover.size_lower_bound
+
+exception Budget_exhausted
+
+let exact ?(limit = 2_000_000) g =
+  let initial = sequential g in
+  let best = ref (groups initial) and best_size = ref (size initial) in
+  (match paper g with
+  | p when size p < !best_size ->
+      best := groups p;
+      best_size := size p
+  | _ -> ());
+  let nodes = ref 0 in
+  let rec go g taken count =
+    incr nodes;
+    if !nodes > limit then raise Budget_exhausted;
+    if count + min_size_lower_bound g < !best_size then
+      match Graph.edges g with
+      | [] ->
+          best := List.rev taken;
+          best_size := count
+      | (u, v) :: _ ->
+          (* The group holding (u, v) is a triangle through it or a maximal
+             star at one endpoint (exchange argument: growing a star never
+             increases the group count). *)
+          List.iter
+            (fun w ->
+              let[@warning "-8"] [ x; y; z ] = List.sort compare [ u; v; w ] in
+              let g' =
+                Graph.remove_edge
+                  (Graph.remove_edge (Graph.remove_edge g x y) x z)
+                  y z
+              in
+              go g' (Triangle (x, y, z) :: taken) (count + 1))
+            (Graph.find_triangle_through g u v);
+          List.iter
+            (fun center ->
+              match star_of_vertex g center with
+              | Some grp ->
+                  go
+                    (Graph.remove_vertex_edges g center)
+                    (grp :: taken) (count + 1)
+              | None -> assert false)
+            [ u; v ]
+  in
+  match go g [] 0 with
+  | () -> Some (make_exn g !best)
+  | exception Budget_exhausted -> None
+
+let best g =
+  let candidates =
+    [ paper g; sequential g ]
+    @ (match of_vertex_cover g (Vertex_cover.greedy g) with
+      | Ok d -> [ d ]
+      | Error _ -> [])
+    @
+    match of_vertex_cover g (Vertex_cover.two_approx g) with
+    | Ok d -> [ d ]
+    | Error _ -> []
+  in
+  match candidates with
+  | [] -> assert false
+  | first :: rest ->
+      List.fold_left (fun acc d -> if size d < size acc then d else acc) first rest
+
+let group_of_edge_set n edges =
+  (* A single group covering exactly [edges], if one exists. *)
+  let g = Graph.of_edges n edges in
+  match Graph.triangle_of g with
+  | Some (x, y, z) -> Some (Triangle (x, y, z))
+  | None -> (
+      match Graph.star_center g with
+      | Some center when Graph.m g > 0 ->
+          Some
+            (Star
+               {
+                 center;
+                 leaves =
+                   List.map
+                     (fun (u, v) -> if u = center then v else u)
+                     (Graph.edges g)
+                   |> List.sort compare;
+               })
+      | _ -> None)
+
+let improve graph t =
+  let n = graph_vertices t in
+  let rec pass groups =
+    let arr = Array.of_list groups in
+    let merged = ref None in
+    let k = Array.length arr in
+    (try
+       for i = 0 to k - 1 do
+         for j = i + 1 to k - 1 do
+           if !merged = None then
+             match
+               group_of_edge_set n
+                 (edges_of_group arr.(i) @ edges_of_group arr.(j))
+             with
+             | Some g -> merged := Some (i, j, g)
+             | None -> ()
+         done
+       done
+     with Exit -> ());
+    match !merged with
+    | None -> groups
+    | Some (i, j, g) ->
+        let rest =
+          List.filteri (fun idx _ -> idx <> i && idx <> j) groups
+        in
+        pass (g :: rest)
+  in
+  make_exn graph (pass (groups t))
+
+let vertex_name labels v =
+  match List.assoc_opt v labels with Some s -> s | None -> string_of_int v
+
+let pp_group ?(labels = []) ppf = function
+  | Star { center; leaves } ->
+      Format.fprintf ppf "star@%s {%s}" (vertex_name labels center)
+        (String.concat ", "
+           (List.map
+              (fun l ->
+                Printf.sprintf "%s-%s" (vertex_name labels center)
+                  (vertex_name labels l))
+              leaves))
+  | Triangle (x, y, z) ->
+      Format.fprintf ppf "triangle (%s, %s, %s)" (vertex_name labels x)
+        (vertex_name labels y) (vertex_name labels z)
+
+let pp ?(labels = []) ppf t =
+  Format.fprintf ppf "@[<v>decomposition d=%d@," (size t);
+  List.iteri
+    (fun i grp ->
+      Format.fprintf ppf "  E%d = %a@," (i + 1) (pp_group ~labels) grp)
+    t.groups;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,166 @@
+module ISet = Set.Make (Int)
+
+type t = { adj : ISet.t array; m : int }
+type edge = int * int
+
+let normalize_edge u v =
+  if u = v then invalid_arg "Graph: self-loop"
+  else if u < v then (u, v)
+  else (v, u)
+
+let empty n =
+  if n < 0 then invalid_arg "Graph.empty: negative vertex count";
+  { adj = Array.make n ISet.empty; m = 0 }
+
+let n g = Array.length g.adj
+let m g = g.m
+
+let check_vertex g v =
+  if v < 0 || v >= n g then invalid_arg "Graph: vertex out of range"
+
+let has_edge g u v =
+  check_vertex g u;
+  check_vertex g v;
+  u <> v && ISet.mem v g.adj.(u)
+
+let add_edge g u v =
+  check_vertex g u;
+  check_vertex g v;
+  let u, v = normalize_edge u v in
+  if ISet.mem v g.adj.(u) then g
+  else begin
+    let adj = Array.copy g.adj in
+    adj.(u) <- ISet.add v adj.(u);
+    adj.(v) <- ISet.add u adj.(v);
+    { adj; m = g.m + 1 }
+  end
+
+let remove_edge g u v =
+  check_vertex g u;
+  check_vertex g v;
+  if u = v || not (ISet.mem v g.adj.(u)) then g
+  else begin
+    let adj = Array.copy g.adj in
+    adj.(u) <- ISet.remove v adj.(u);
+    adj.(v) <- ISet.remove u adj.(v);
+    { adj; m = g.m - 1 }
+  end
+
+let remove_vertex_edges g v =
+  check_vertex g v;
+  let removed = ISet.cardinal g.adj.(v) in
+  if removed = 0 then g
+  else begin
+    let adj = Array.copy g.adj in
+    ISet.iter (fun u -> adj.(u) <- ISet.remove v adj.(u)) adj.(v);
+    adj.(v) <- ISet.empty;
+    { adj; m = g.m - removed }
+  end
+
+let of_edges count edge_list =
+  List.fold_left (fun g (u, v) -> add_edge g u v) (empty count) edge_list
+
+let degree g v =
+  check_vertex g v;
+  ISet.cardinal g.adj.(v)
+
+let neighbors g v =
+  check_vertex g v;
+  ISet.elements g.adj.(v)
+
+let iter_edges f g =
+  Array.iteri
+    (fun u s -> ISet.iter (fun v -> if u < v then f u v) s)
+    g.adj
+
+let edges g =
+  let acc = ref [] in
+  iter_edges (fun u v -> acc := (u, v) :: !acc) g;
+  List.rev !acc
+
+let vertices g = List.init (n g) Fun.id
+
+let adjacent_edge_count g (u, v) =
+  if not (has_edge g u v) then invalid_arg "Graph.adjacent_edge_count: no such edge";
+  degree g u + degree g v - 2
+
+let max_degree g = Array.fold_left (fun acc s -> max acc (ISet.cardinal s)) 0 g.adj
+
+let connected_components g =
+  let seen = Array.make (n g) false in
+  let comps = ref [] in
+  for v = 0 to n g - 1 do
+    if not seen.(v) then begin
+      let comp = ref [] in
+      let stack = Stack.create () in
+      Stack.push v stack;
+      seen.(v) <- true;
+      while not (Stack.is_empty stack) do
+        let u = Stack.pop stack in
+        comp := u :: !comp;
+        ISet.iter
+          (fun w ->
+            if not seen.(w) then begin
+              seen.(w) <- true;
+              Stack.push w stack
+            end)
+          g.adj.(u)
+      done;
+      comps := List.sort compare !comp :: !comps
+    end
+  done;
+  List.rev !comps
+
+let is_connected g =
+  let non_isolated =
+    List.filter (fun c -> match c with [ v ] -> degree g v > 0 | _ -> true)
+      (connected_components g)
+  in
+  List.length non_isolated <= 1
+
+let is_forest g =
+  (* A graph is a forest iff every component has |edges| = |vertices| - 1;
+     globally: m = n - #components. *)
+  m g = n g - List.length (connected_components g)
+
+let star_center g =
+  if n g = 0 then None
+  else
+    match edges g with
+    | [] -> Some 0
+    | (u, v) :: _ ->
+        (* Every edge must touch the center, so the center is an endpoint of
+           the first edge. *)
+        let incident_to x =
+          List.for_all (fun (a, b) -> a = x || b = x) (edges g)
+        in
+        if incident_to u then Some u else if incident_to v then Some v else None
+
+let is_star g = Option.is_some (star_center g)
+
+let triangle_of g =
+  if m g <> 3 then None
+  else
+    match edges g with
+    | [ (a, b); (c, d); (e, f) ] ->
+        let vs = List.sort_uniq compare [ a; b; c; d; e; f ] in
+        (match vs with
+        | [ x; y; z ]
+          when has_edge g x y && has_edge g y z && has_edge g x z ->
+            Some (x, y, z)
+        | _ -> None)
+    | _ -> None
+
+let is_triangle g = Option.is_some (triangle_of g)
+
+let find_triangle_through g u v =
+  check_vertex g u;
+  check_vertex g v;
+  ISet.elements (ISet.inter g.adj.(u) g.adj.(v))
+
+let equal a b = n a = n b && edges a = edges b
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>graph n=%d m=%d@," (n g) (m g);
+  iter_edges (fun u v -> Format.fprintf ppf "  %d -- %d@," u v) g;
+  Format.fprintf ppf "@]"

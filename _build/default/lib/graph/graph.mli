@@ -1,0 +1,92 @@
+(** Simple undirected graphs over vertices [0 .. n-1].
+
+    This is the communication-topology substrate of the paper: vertices are
+    processes, an edge [(i, j)] means processes [Pi] and [Pj] may exchange
+    (synchronous) messages. Graphs are immutable; updates return new
+    graphs. Self-loops are rejected, parallel edges are collapsed. *)
+
+type t
+
+type edge = int * int
+(** Always normalized so the smaller endpoint comes first. *)
+
+val normalize_edge : int -> int -> edge
+(** [normalize_edge u v] is [(min u v, max u v)]. Raises [Invalid_argument]
+    on a self-loop. *)
+
+val empty : int -> t
+(** [empty n] has [n] vertices and no edges. Raises [Invalid_argument] when
+    [n < 0]. *)
+
+val of_edges : int -> (int * int) list -> t
+(** [of_edges n edges] builds a graph on [n] vertices. Raises
+    [Invalid_argument] on out-of-range endpoints or self-loops. Duplicate
+    edges are collapsed. *)
+
+val n : t -> int
+(** Vertex count. *)
+
+val m : t -> int
+(** Edge count. *)
+
+val add_edge : t -> int -> int -> t
+val remove_edge : t -> int -> int -> t
+
+val remove_vertex_edges : t -> int -> t
+(** [remove_vertex_edges g v] deletes every edge incident to [v] (the vertex
+    itself remains, isolated). *)
+
+val has_edge : t -> int -> int -> bool
+val degree : t -> int -> int
+
+val neighbors : t -> int -> int list
+(** Sorted increasing. *)
+
+val edges : t -> edge list
+(** All edges, normalized and sorted lexicographically. *)
+
+val iter_edges : (int -> int -> unit) -> t -> unit
+(** Iterate normalized edges in sorted order. *)
+
+val vertices : t -> int list
+(** [0; 1; ...; n-1]. *)
+
+val adjacent_edge_count : t -> edge -> int
+(** Number of edges sharing an endpoint with the given edge (excluding
+    itself) — the selection criterion of step 3 of the paper's decomposition
+    algorithm. *)
+
+val max_degree : t -> int
+
+val is_connected : t -> bool
+(** Vertices with degree 0 are ignored; the empty edge set counts as
+    connected. *)
+
+val connected_components : t -> int list list
+(** Components as sorted vertex lists, including isolated vertices. *)
+
+val is_forest : t -> bool
+(** True iff the graph is acyclic. *)
+
+val star_center : t -> int option
+(** [star_center g] is [Some x] when every edge of [g] is incident to [x]
+    (the paper's definition of a star, rooted at [x]); [None] otherwise.
+    A graph with no edges is a star rooted at vertex 0 (or returns [Some 0]
+    when [n > 0], [None] when [n = 0]). With a single edge, the smaller
+    endpoint is reported. *)
+
+val is_star : t -> bool
+
+val triangle_of : t -> (int * int * int) option
+(** [Some (x, y, z)] when the edge set is exactly the three edges of a
+    triangle on [x < y < z]. *)
+
+val is_triangle : t -> bool
+
+val find_triangle_through : t -> int -> int -> int list
+(** [find_triangle_through g u v] lists every vertex [w] such that
+    [(u, w)] and [(v, w)] are both edges (so [(u, v, w)] is a triangle when
+    [(u, v)] is an edge). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,337 @@
+module Rng = Synts_util.Rng
+
+let star n =
+  if n < 1 then invalid_arg "Topology.star: need at least one vertex";
+  Graph.of_edges n (List.init (n - 1) (fun i -> (0, i + 1)))
+
+let triangle () = Graph.of_edges 3 [ (0, 1); (1, 2); (0, 2) ]
+
+let complete n =
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      edges := (i, j) :: !edges
+    done
+  done;
+  Graph.of_edges n !edges
+
+let path n =
+  if n < 1 then invalid_arg "Topology.path: need at least one vertex";
+  Graph.of_edges n (List.init (n - 1) (fun i -> (i, i + 1)))
+
+let ring n =
+  if n < 3 then invalid_arg "Topology.ring: need at least three vertices";
+  Graph.of_edges n (List.init n (fun i -> (i, (i + 1) mod n)))
+
+let grid rows cols =
+  if rows < 1 || cols < 1 then invalid_arg "Topology.grid: empty grid";
+  let id r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then edges := (id r c, id r (c + 1)) :: !edges;
+      if r + 1 < rows then edges := (id r c, id (r + 1) c) :: !edges
+    done
+  done;
+  Graph.of_edges (rows * cols) !edges
+
+let client_server ~servers ~clients =
+  if servers < 1 || clients < 0 then
+    invalid_arg "Topology.client_server: need servers >= 1, clients >= 0";
+  let edges = ref [] in
+  for s = 0 to servers - 1 do
+    for c = 0 to clients - 1 do
+      edges := (s, servers + c) :: !edges
+    done
+  done;
+  Graph.of_edges (servers + clients) !edges
+
+let disjoint_triangles t =
+  if t < 1 then invalid_arg "Topology.disjoint_triangles: need t >= 1";
+  let edges = ref [] in
+  for i = 0 to t - 1 do
+    let base = 3 * i in
+    edges :=
+      (base, base + 1) :: (base + 1, base + 2) :: (base, base + 2) :: !edges
+  done;
+  Graph.of_edges (3 * t) !edges
+
+let hypercube d =
+  if d < 0 || d > 20 then invalid_arg "Topology.hypercube: dimension out of range";
+  let n = 1 lsl d in
+  let edges = ref [] in
+  for v = 0 to n - 1 do
+    for b = 0 to d - 1 do
+      let u = v lxor (1 lsl b) in
+      if v < u then edges := (v, u) :: !edges
+    done
+  done;
+  Graph.of_edges n !edges
+
+let balanced_tree ~arity ~depth =
+  if arity < 1 || depth < 0 then
+    invalid_arg "Topology.balanced_tree: need arity >= 1, depth >= 0";
+  (* Breadth-first numbering: node v has children arity*v+1 .. arity*v+arity
+     (the classic heap layout generalized to any arity). *)
+  let rec size d = if d = 0 then 1 else 1 + (arity * size (d - 1)) in
+  let n = size depth in
+  let edges = ref [] in
+  let rec add v d =
+    if d < depth then
+      for c = 1 to arity do
+        let child = (arity * v) + c in
+        edges := (v, child) :: !edges;
+        add child (d + 1)
+      done
+  in
+  add 0 0;
+  Graph.of_edges n !edges
+
+let random_tree rng n =
+  if n < 1 then invalid_arg "Topology.random_tree: need n >= 1";
+  Graph.of_edges n (List.init (n - 1) (fun i -> (Rng.int rng (i + 1), i + 1)))
+
+let gnp rng n p =
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Rng.chance rng p then edges := (i, j) :: !edges
+    done
+  done;
+  Graph.of_edges n !edges
+
+let random_connected rng n p =
+  let g = random_tree rng n in
+  let g = ref g in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if (not (Graph.has_edge !g i j)) && Rng.chance rng p then
+        g := Graph.add_edge !g i j
+    done
+  done;
+  !g
+
+let fig4_tree () =
+  (* Three star centers 0 - 1 - 2; 0 and 1 carry six leaves each, 2 carries
+     five: 3 + 6 + 6 + 5 = 20 vertices, 19 edges, decomposable into the
+     three stars rooted at 0, 1, 2 as in the paper's figure. *)
+  let edges =
+    [ (0, 1); (1, 2) ]
+    @ List.init 6 (fun i -> (0, 3 + i))
+    @ List.init 6 (fun i -> (1, 9 + i))
+    @ List.init 5 (fun i -> (2, 15 + i))
+  in
+  Graph.of_edges 20 edges
+
+let fig4_expected_groups = 3
+
+let fig2b () =
+  (* a=0 .. k=10. Designed so the decomposition algorithm's run matches the
+     narrative of Figure 8; see the .mli. *)
+  Graph.of_edges 11
+    [
+      (0, 1) (* a-b *);
+      (1, 2) (* b-c *);
+      (1, 3) (* b-d *);
+      (4, 5) (* e-f *);
+      (4, 6) (* e-g *);
+      (5, 6) (* f-g *);
+      (6, 7) (* g-h *);
+      (6, 9) (* g-j *);
+      (7, 8) (* h-i *);
+      (7, 10) (* h-k *);
+      (8, 9) (* i-j *);
+      (8, 10) (* i-k *);
+      (9, 10) (* j-k *);
+    ]
+
+let fig2b_labels =
+  List.init 11 (fun i -> (i, String.make 1 (Char.chr (Char.code 'a' + i))))
+
+let fig6_topology () = complete 5
+
+type spec =
+  | Star of int
+  | Triangle
+  | Complete of int
+  | Path of int
+  | Ring of int
+  | Grid of int * int
+  | Client_server of int * int
+  | Disjoint_triangles of int
+  | Balanced_tree of int * int
+  | Random_tree of int
+  | Gnp of int * float
+  | Random_connected of int * float
+  | Hypercube of int
+  | Fig4
+  | Fig2b
+
+let build ?rng spec =
+  let rng = match rng with Some r -> r | None -> Rng.create 42 in
+  match spec with
+  | Star n -> star n
+  | Triangle -> triangle ()
+  | Complete n -> complete n
+  | Path n -> path n
+  | Ring n -> ring n
+  | Grid (r, c) -> grid r c
+  | Client_server (s, c) -> client_server ~servers:s ~clients:c
+  | Disjoint_triangles t -> disjoint_triangles t
+  | Balanced_tree (a, d) -> balanced_tree ~arity:a ~depth:d
+  | Random_tree n -> random_tree rng n
+  | Gnp (n, p) -> gnp rng n p
+  | Random_connected (n, p) -> random_connected rng n p
+  | Hypercube d -> hypercube d
+  | Fig4 -> fig4_tree ()
+  | Fig2b -> fig2b ()
+
+let spec_to_string = function
+  | Star n -> Printf.sprintf "star:%d" n
+  | Triangle -> "triangle"
+  | Complete n -> Printf.sprintf "complete:%d" n
+  | Path n -> Printf.sprintf "path:%d" n
+  | Ring n -> Printf.sprintf "ring:%d" n
+  | Grid (r, c) -> Printf.sprintf "grid:%dx%d" r c
+  | Client_server (s, c) -> Printf.sprintf "cs:%dx%d" s c
+  | Disjoint_triangles t -> Printf.sprintf "triangles:%d" t
+  | Balanced_tree (a, d) -> Printf.sprintf "btree:%dx%d" a d
+  | Random_tree n -> Printf.sprintf "tree:%d" n
+  | Gnp (n, p) -> Printf.sprintf "gnp:%d:%g" n p
+  | Random_connected (n, p) -> Printf.sprintf "connected:%d:%g" n p
+  | Hypercube d -> Printf.sprintf "hypercube:%d" d
+  | Fig4 -> "fig4"
+  | Fig2b -> "fig2b"
+
+let spec_of_string s =
+  let int_of x = int_of_string_opt x in
+  let float_of x = float_of_string_opt x in
+  let pair x =
+    match String.split_on_char 'x' x with
+    | [ a; b ] -> (
+        match (int_of a, int_of b) with
+        | Some a, Some b -> Some (a, b)
+        | _ -> None)
+    | _ -> None
+  in
+  let err () = Error (Printf.sprintf "unrecognized topology spec %S" s) in
+  match String.split_on_char ':' s with
+  | [ "triangle" ] -> Ok Triangle
+  | [ "fig4" ] -> Ok Fig4
+  | [ "fig2b" ] -> Ok Fig2b
+  | [ "star"; n ] -> (
+      match int_of n with Some n -> Ok (Star n) | None -> err ())
+  | [ "complete"; n ] -> (
+      match int_of n with Some n -> Ok (Complete n) | None -> err ())
+  | [ "path"; n ] -> (
+      match int_of n with Some n -> Ok (Path n) | None -> err ())
+  | [ "ring"; n ] -> (
+      match int_of n with Some n -> Ok (Ring n) | None -> err ())
+  | [ "tree"; n ] -> (
+      match int_of n with Some n -> Ok (Random_tree n) | None -> err ())
+  | [ "triangles"; t ] -> (
+      match int_of t with Some t -> Ok (Disjoint_triangles t) | None -> err ())
+  | [ "hypercube"; d ] -> (
+      match int_of d with Some d -> Ok (Hypercube d) | None -> err ())
+  | [ "grid"; rc ] -> (
+      match pair rc with Some (r, c) -> Ok (Grid (r, c)) | None -> err ())
+  | [ "cs"; sc ] -> (
+      match pair sc with
+      | Some (s, c) -> Ok (Client_server (s, c))
+      | None -> err ())
+  | [ "btree"; ad ] -> (
+      match pair ad with
+      | Some (a, d) -> Ok (Balanced_tree (a, d))
+      | None -> err ())
+  | [ "gnp"; n; p ] -> (
+      match (int_of n, float_of p) with
+      | Some n, Some p -> Ok (Gnp (n, p))
+      | _ -> err ())
+  | [ "connected"; n; p ] -> (
+      match (int_of n, float_of p) with
+      | Some n, Some p -> Ok (Random_connected (n, p))
+      | _ -> err ())
+  | _ -> err ()
+
+let topology_magic = "synts-topology 1"
+
+let graph_to_string g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf topology_magic;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (Printf.sprintf "n %d\n" (Graph.n g));
+  Graph.iter_edges
+    (fun u v -> Buffer.add_string buf (Printf.sprintf "e %d %d\n" u v))
+    g;
+  Buffer.contents buf
+
+let graph_of_string s =
+  let strip line =
+    let line =
+      match String.index_opt line '#' with
+      | Some i -> String.sub line 0 i
+      | None -> line
+    in
+    String.trim line
+  in
+  let err lineno msg = Error (Printf.sprintf "line %d: %s" lineno msg) in
+  let rec parse lineno n edges = function
+    | [] -> (
+        match n with
+        | None -> Error "missing vertex-count line (n <N>)"
+        | Some n -> (
+            match Graph.of_edges n (List.rev edges) with
+            | g -> Ok g
+            | exception Invalid_argument msg -> Error msg))
+    | line :: rest -> (
+        let lineno = lineno + 1 in
+        match strip line with
+        | "" -> parse lineno n edges rest
+        | line when line = topology_magic -> parse lineno n edges rest
+        | line -> (
+            match (String.split_on_char ' ' line, n) with
+            | [ "n"; count ], None -> (
+                match int_of_string_opt count with
+                | Some c -> parse lineno (Some c) edges rest
+                | None -> err lineno "bad vertex count")
+            | [ "n"; _ ], Some _ -> err lineno "duplicate vertex count"
+            | _, None -> err lineno "edges before the vertex count"
+            | [ "e"; a; b ], Some _ -> (
+                match (int_of_string_opt a, int_of_string_opt b) with
+                | Some a, Some b -> parse lineno n ((a, b) :: edges) rest
+                | _ -> err lineno "bad edge endpoints")
+            | _ -> err lineno (Printf.sprintf "unrecognized line %S" line)))
+  in
+  parse 0 None [] (String.split_on_char '\n' s)
+
+let save_graph path g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (graph_to_string g))
+
+let load_graph path =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> graph_of_string (In_channel.input_all ic))
+
+let all_families =
+  [
+    ("star:8", Star 8);
+    ("triangle", Triangle);
+    ("complete:6", Complete 6);
+    ("path:8", Path 8);
+    ("ring:8", Ring 8);
+    ("grid:3x4", Grid (3, 4));
+    ("cs:2x10", Client_server (2, 10));
+    ("triangles:3", Disjoint_triangles 3);
+    ("btree:2x3", Balanced_tree (2, 3));
+    ("tree:12", Random_tree 12);
+    ("connected:10:0.3", Random_connected (10, 0.3));
+    ("hypercube:3", Hypercube 3);
+    ("fig4", Fig4);
+    ("fig2b", Fig2b);
+  ]

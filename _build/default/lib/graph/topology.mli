@@ -1,0 +1,125 @@
+(** Communication-topology generators.
+
+    Families used throughout the paper's discussion and our experiments:
+    stars, triangles, trees, complete graphs, client–server (complete
+    bipartite), rings, grids, random graphs, disjoint triangles (the
+    tight case for the star-only bound β(G) ≤ 2α(G)), plus faithful
+    reconstructions of the paper's Figure 4 tree and Figure 2(b) graph. *)
+
+val star : int -> Graph.t
+(** [star n] is the star on [n >= 1] vertices rooted at vertex 0. *)
+
+val triangle : unit -> Graph.t
+(** The 3-cycle on vertices 0, 1, 2. *)
+
+val complete : int -> Graph.t
+(** [complete n] is K_n. *)
+
+val path : int -> Graph.t
+(** [path n] is the path 0 — 1 — … — (n-1). *)
+
+val ring : int -> Graph.t
+(** [ring n] is the cycle on [n >= 3] vertices. *)
+
+val grid : int -> int -> Graph.t
+(** [grid rows cols]: vertex [(r, c)] is [r * cols + c]. *)
+
+val client_server : servers:int -> clients:int -> Graph.t
+(** Complete bipartite K_{servers,clients}; servers are vertices
+    [0 .. servers-1], clients follow. Every client can call every server,
+    clients never talk to each other — the synchronous-RPC scenario of
+    paper Sec. 3.3. *)
+
+val disjoint_triangles : int -> Graph.t
+(** [disjoint_triangles t] is [t] vertex-disjoint triangles — the graph
+    family witnessing β(G) = 2α(G) (paper Sec. 3.3). *)
+
+val hypercube : int -> Graph.t
+(** [hypercube d] is the d-dimensional hypercube on [2^d] vertices
+    (vertices adjacent iff their ids differ in one bit) — the topology of
+    butterfly allreduce/allgather collectives. *)
+
+val balanced_tree : arity:int -> depth:int -> Graph.t
+(** Rooted tree where every internal node has [arity] children and leaves
+    are at distance [depth] from the root (vertex 0, breadth-first
+    numbering). [depth = 0] is a single vertex. *)
+
+val random_tree : Synts_util.Rng.t -> int -> Graph.t
+(** Uniform random attachment tree on [n >= 1] vertices: vertex [i > 0]
+    connects to a uniform vertex in [\[0, i)]. *)
+
+val gnp : Synts_util.Rng.t -> int -> float -> Graph.t
+(** Erdős–Rényi G(n, p). *)
+
+val random_connected : Synts_util.Rng.t -> int -> float -> Graph.t
+(** A random attachment tree plus each remaining edge independently with
+    probability [p]; always connected, never empty. *)
+
+val fig4_tree : unit -> Graph.t
+(** The paper's Figure 4: a 20-process tree whose edges decompose into
+    exactly 3 stars (centers 0, 1, 2). *)
+
+val fig4_expected_groups : int
+(** = 3, the decomposition size shown in the paper. *)
+
+val fig2b : unit -> Graph.t
+(** Reconstruction of the paper's Figure 2(b)/Figure 8 topology on 11
+    vertices labelled a..k (= 0..10). The original image is unavailable in
+    the paper text, so this graph is built to reproduce the described run
+    of the decomposition algorithm: step 1 emits one star, step 2 one
+    triangle, step 3 two stars, and the loop back to step 1 emits the star
+    containing edge (j, k); the optimal decomposition is 4 stars + 1
+    triangle (size 5). *)
+
+val fig2b_labels : (int * string) list
+(** Vertex-to-letter labels a..k for printing Figure 8 runs. *)
+
+val fig6_topology : unit -> Graph.t
+(** The fully-connected 5-process system of the paper's Figure 6. *)
+
+type spec =
+  | Star of int
+  | Triangle
+  | Complete of int
+  | Path of int
+  | Ring of int
+  | Grid of int * int
+  | Client_server of int * int
+  | Disjoint_triangles of int
+  | Balanced_tree of int * int
+  | Random_tree of int
+  | Gnp of int * float
+  | Random_connected of int * float
+  | Hypercube of int
+  | Fig4
+  | Fig2b
+
+val build : ?rng:Synts_util.Rng.t -> spec -> Graph.t
+(** Materialize a spec; random families draw from [rng] (default seed 42). *)
+
+val spec_of_string : string -> (spec, string) result
+(** Parse CLI specs such as ["star:10"], ["complete:6"], ["grid:3x4"],
+    ["cs:2x20"] (client–server), ["tree:15"], ["gnp:20:0.3"], ["fig4"],
+    ["fig2b"], ["ring:8"], ["triangles:4"], ["btree:2x3"],
+    ["connected:12:0.2"], ["path:7"], ["triangle"], ["hypercube:4"]. *)
+
+val spec_to_string : spec -> string
+val all_families : (string * spec) list
+(** Representative instances of every family, used by the experiment
+    drivers. *)
+
+val graph_to_string : Graph.t -> string
+(** Plain-text adjacency format:
+    {v
+    synts-topology 1
+    n 6
+    e 0 1
+    e 0 2
+    v} *)
+
+val graph_of_string : string -> (Graph.t, string) result
+(** Inverse of {!graph_to_string}; blank lines and [#] comments ignored;
+    errors carry a line number. *)
+
+val save_graph : string -> Graph.t -> unit
+val load_graph : string -> (Graph.t, string) result

@@ -1,0 +1,76 @@
+let is_cover g cover =
+  let in_cover = Array.make (Graph.n g) false in
+  List.iter
+    (fun v ->
+      if v < 0 || v >= Graph.n g then invalid_arg "Vertex_cover.is_cover";
+      in_cover.(v) <- true)
+    cover;
+  let ok = ref true in
+  Graph.iter_edges (fun u v -> if not (in_cover.(u) || in_cover.(v)) then ok := false) g;
+  !ok
+
+let max_degree_vertex g =
+  let best = ref (-1) and best_deg = ref 0 in
+  List.iter
+    (fun v ->
+      let d = Graph.degree g v in
+      if d > !best_deg then begin
+        best := v;
+        best_deg := d
+      end)
+    (Graph.vertices g);
+  if !best_deg = 0 then None else Some !best
+
+let greedy g =
+  let rec go g acc =
+    match max_degree_vertex g with
+    | None -> List.sort compare acc
+    | Some v -> go (Graph.remove_vertex_edges g v) (v :: acc)
+  in
+  go g []
+
+let greedy_maximal_matching g =
+  let used = Array.make (Graph.n g) false in
+  let matching = ref [] in
+  Graph.iter_edges
+    (fun u v ->
+      if (not used.(u)) && not used.(v) then begin
+        used.(u) <- true;
+        used.(v) <- true;
+        matching := (u, v) :: !matching
+      end)
+    g;
+  List.rev !matching
+
+let two_approx g =
+  greedy_maximal_matching g
+  |> List.concat_map (fun (u, v) -> [ u; v ])
+  |> List.sort_uniq compare
+
+let size_lower_bound g = List.length (greedy_maximal_matching g)
+
+exception Budget_exhausted
+
+let exact ?(limit = 1_000_000) g =
+  let best = ref (two_approx g) in
+  let nodes = ref 0 in
+  (* Branch and bound: either the max-degree vertex is in the cover, or all
+     its neighbours are. Prune with the matching lower bound. *)
+  let rec go g taken count =
+    incr nodes;
+    if !nodes > limit then raise Budget_exhausted;
+    if count + size_lower_bound g < List.length !best then
+      match max_degree_vertex g with
+      | None -> best := List.sort compare taken
+      | Some v ->
+          let neighbours = Graph.neighbors g v in
+          go (Graph.remove_vertex_edges g v) (v :: taken) (count + 1);
+          (* Excluding v forces all its neighbours in. *)
+          let g' =
+            List.fold_left (fun g u -> Graph.remove_vertex_edges g u) g neighbours
+          in
+          go g' (neighbours @ taken) (count + List.length neighbours)
+  in
+  match go g [] 0 with
+  | () -> Some !best
+  | exception Budget_exhausted -> None

@@ -1,0 +1,28 @@
+(** Vertex covers of communication topologies.
+
+    Theorem 5 of the paper bounds the timestamp size by
+    [min (β(G), N - 2)] where [β(G)] is the minimum vertex-cover size; the
+    pure-star edge decomposition of Theorem 5 is exactly a vertex cover with
+    each edge assigned to a covering endpoint. Minimum vertex cover is
+    NP-hard, so we provide the two standard polynomial heuristics plus an
+    exact branch-and-bound solver for the small instances used to measure
+    approximation ratios. *)
+
+val is_cover : Graph.t -> int list -> bool
+(** Every edge has at least one endpoint in the list. *)
+
+val greedy : Graph.t -> int list
+(** Repeatedly take a maximum-degree vertex and delete its edges. Sorted
+    output. No worst-case guarantee (Θ(log n) ratio) but good in practice. *)
+
+val two_approx : Graph.t -> int list
+(** Endpoints of a maximal matching: at most 2β(G) vertices. Sorted. *)
+
+val exact : ?limit:int -> Graph.t -> int list option
+(** Minimum vertex cover by branch and bound (branch on a max-degree
+    vertex: either it or all its neighbours join the cover). Returns [None]
+    when the search exceeds [limit] explored nodes (default 1_000_000).
+    Intended for graphs with up to a few dozen vertices. *)
+
+val size_lower_bound : Graph.t -> int
+(** Size of a greedy maximal matching — a lower bound on β(G). *)

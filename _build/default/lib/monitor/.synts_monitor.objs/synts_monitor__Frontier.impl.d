@@ -1,0 +1,1 @@
+lib/monitor/frontier.ml: Array List Synts_clock

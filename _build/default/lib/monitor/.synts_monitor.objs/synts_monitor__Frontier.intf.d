@@ -1,0 +1,1 @@
+lib/monitor/frontier.mli: Synts_clock

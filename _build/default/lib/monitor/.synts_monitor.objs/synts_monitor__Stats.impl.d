@@ -1,0 +1,1 @@
+lib/monitor/stats.ml: Array List Synts_clock

@@ -1,0 +1,47 @@
+module Vector = Synts_clock.Vector
+
+type t = {
+  mutable elements : (int * Vector.t) list;  (* newest last *)
+  mutable observed : int;
+}
+
+let create () = { elements = []; observed = 0 }
+
+(* Vectors from an adaptive stamper grow over time; missing trailing
+   components are zero, so comparisons zero-pad the shorter vector. *)
+let padded_pair u v =
+  let dim = max (Vector.size u) (Vector.size v) in
+  let pad w =
+    if Vector.size w = dim then w
+    else begin
+      let x = Vector.zero dim in
+      Array.blit w 0 x 0 (Vector.size w);
+      x
+    end
+  in
+  (pad u, pad v)
+
+let plt u v =
+  let u, v = padded_pair u v in
+  Vector.lt u v
+
+let pleq u v =
+  let u, v = padded_pair u v in
+  Vector.leq u v
+
+let insert t ~id v =
+  if List.mem_assoc id t.elements then invalid_arg "Frontier.insert: duplicate id";
+  t.observed <- t.observed + 1;
+  let dominated = List.exists (fun (_, w) -> plt v w) t.elements in
+  if dominated then `Dominated
+  else begin
+    t.elements <-
+      List.filter (fun (_, w) -> not (pleq w v)) t.elements @ [ (id, v) ];
+    `Maximal
+  end
+
+let frontier t = t.elements
+let size t = List.length t.elements
+let observed t = t.observed
+let dominated_by t v = List.exists (fun (_, w) -> plt v w) t.elements
+let covers t v = List.exists (fun (_, w) -> pleq v w) t.elements

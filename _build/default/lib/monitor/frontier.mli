@@ -1,0 +1,37 @@
+(** The causal frontier of a monitored computation.
+
+    A monitoring station receives timestamped messages (possibly out of
+    order across sources) and maintains the set of {e maximal} messages
+    seen so far — the computation's frontier. With exact timestamps the
+    frontier is computed with vector comparisons only; it is what a
+    debugger shows as "the current global state's latest events" and what
+    garbage-collection of observation logs keys on.
+
+    Every stored element is identified by a caller-chosen id. *)
+
+type t
+
+val create : unit -> t
+
+val insert : t -> id:int -> Synts_clock.Vector.t -> [ `Maximal | `Dominated ]
+(** Add an observation. [`Dominated] means some already-seen message
+    causally follows it (it joins the history but not the frontier);
+    [`Maximal] means it enters the frontier, evicting any elements it
+    dominates. Ids must be unique; vectors must share one dimension. *)
+
+val frontier : t -> (int * Synts_clock.Vector.t) list
+(** Current maximal elements, in insertion order. Pairwise concurrent by
+    construction. *)
+
+val size : t -> int
+(** Frontier size (≤ the poset's width). *)
+
+val observed : t -> int
+(** Total insertions. *)
+
+val dominated_by : t -> Synts_clock.Vector.t -> bool
+(** Would a message with this vector be dominated by the frontier? *)
+
+val covers : t -> Synts_clock.Vector.t -> bool
+(** Is this vector ≤ some frontier element (i.e. already in the observed
+    causal past)? *)

@@ -1,0 +1,76 @@
+module Vector = Synts_clock.Vector
+
+type entry = { vector : Vector.t; chain : int }
+
+type t = {
+  window : int option;
+  mutable retained : entry list;  (* newest first *)
+  mutable messages : int;
+  mutable ordered : int;
+  mutable concurrent : int;
+  mutable longest : int;
+}
+
+let create ?window () =
+  (match window with
+  | Some w when w < 1 -> invalid_arg "Stats.create: window must be >= 1"
+  | _ -> ());
+  {
+    window;
+    retained = [];
+    messages = 0;
+    ordered = 0;
+    concurrent = 0;
+    longest = 0;
+  }
+
+let truncate t =
+  match t.window with
+  | None -> ()
+  | Some w ->
+      if List.length t.retained > w then
+        t.retained <- List.filteri (fun i _ -> i < w) t.retained
+
+(* Zero-pad for vectors that grew under an adaptive stamper. *)
+let padded_compare u v =
+  let dim = max (Vector.size u) (Vector.size v) in
+  let pad w =
+    if Vector.size w = dim then w
+    else begin
+      let x = Vector.zero dim in
+      Array.blit w 0 x 0 (Vector.size w);
+      x
+    end
+  in
+  Vector.compare_order (pad u) (pad v)
+
+let observe t v =
+  t.messages <- t.messages + 1;
+  let best_pred = ref 0 in
+  List.iter
+    (fun { vector; chain } ->
+      match padded_compare vector v with
+      | `Lt ->
+          t.ordered <- t.ordered + 1;
+          if chain > !best_pred then best_pred := chain
+      | `Gt ->
+          (* Possible when observations arrive out of linearization
+             order; still an ordered pair. *)
+          t.ordered <- t.ordered + 1
+      | `Eq -> ()
+      | `Concurrent -> t.concurrent <- t.concurrent + 1)
+    t.retained;
+  let chain = !best_pred + 1 in
+  if chain > t.longest then t.longest <- chain;
+  t.retained <- { vector = v; chain } :: t.retained;
+  truncate t
+
+let messages t = t.messages
+let ordered_pairs t = t.ordered
+let concurrent_pairs t = t.concurrent
+
+let concurrency_ratio t =
+  let total = t.ordered + t.concurrent in
+  if total = 0 then 0.0 else float_of_int t.concurrent /. float_of_int total
+
+let longest_chain t = t.longest

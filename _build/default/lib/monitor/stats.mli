@@ -1,0 +1,32 @@
+(** Online causal-order statistics.
+
+    Streaming counters over timestamped messages: ordered vs. concurrent
+    pair counts (the concurrency ratio is a standard parallelism metric),
+    per-group activity, and longest-chain tracking — all from vector
+    comparisons, no trace reconstruction. Exact but O(history) per
+    insertion; use {!create ~window} to bound memory with a sliding window
+    (statistics then refer to pairs within the window). *)
+
+type t
+
+val create : ?window:int -> unit -> t
+(** [window] bounds how many recent messages are retained (default:
+    unbounded). *)
+
+val observe : t -> Synts_clock.Vector.t -> unit
+(** Feed the next message's timestamp (in any linearization order
+    consistent with observation). *)
+
+val messages : t -> int
+(** Total observed. *)
+
+val ordered_pairs : t -> int
+val concurrent_pairs : t -> int
+
+val concurrency_ratio : t -> float
+(** concurrent / (ordered + concurrent) among compared pairs; 0 when no
+    pairs. *)
+
+val longest_chain : t -> int
+(** Length of the longest causal chain among retained messages (longest
+    path in the comparison DAG, computed incrementally). *)

@@ -1,0 +1,1 @@
+lib/net/rendezvous.ml: Array Fun Hashtbl List Option Script Simulator Synts_clock Synts_core Synts_sync

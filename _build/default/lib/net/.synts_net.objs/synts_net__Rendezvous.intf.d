@@ -1,0 +1,1 @@
+lib/net/rendezvous.mli: Script Synts_clock Synts_graph Synts_sync

@@ -1,0 +1,1 @@
+lib/net/script.ml: Array Buffer Format List Option Printf String Synts_sync

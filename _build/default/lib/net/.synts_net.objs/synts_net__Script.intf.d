@@ -1,0 +1,1 @@
+lib/net/script.mli: Format Synts_sync

@@ -1,0 +1,1 @@
+lib/net/simulator.ml: Array Float Synts_util

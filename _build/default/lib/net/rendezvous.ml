@@ -1,0 +1,182 @@
+module Trace = Synts_sync.Trace
+module Vector = Synts_clock.Vector
+module Edge_clock = Synts_core.Edge_clock
+
+(* Sequence numbers make REQ/ACK idempotent under loss and
+   retransmission: seq is unique per sender, the receiver remembers what
+   it already consumed and replays the stored ACK for duplicates. *)
+type packet =
+  | Req of { seq : int; vector : Vector.t option }
+  | Ack of { seq : int; vector : Vector.t option }
+  | Timeout of { dst : int; seq : int; attempts : int }
+
+type status =
+  | Idle
+  | Awaiting_ack of { dst : int; seq : int; vector : Vector.t option }
+  | Awaiting_req of int option  (* receive filter *)
+  | Finished
+
+type process = {
+  pid : int;
+  mutable script : Script.t;
+  mutable status : status;
+  mutable inbox : (int * int * Vector.t option) list;
+      (* queued REQs: (src, seq, vector), arrival order, deduplicated *)
+  mutable next_seq : int;
+  completed : (int * int, Vector.t option) Hashtbl.t;
+      (* (src, seq) -> stored ACK payload, for duplicate REQs *)
+  clock : Edge_clock.t option;
+}
+
+type outcome = {
+  trace : Trace.t;
+  timestamps : Vector.t array option;
+  deadlocked : int list;
+  packets : int;
+  lost : int;
+  makespan : float;
+}
+
+let filter_accepts filter src =
+  match filter with None -> true | Some p -> p = src
+
+let run ?(seed = 0) ?min_delay ?max_delay ?fifo ?(loss = 0.0)
+    ?(retransmit = 40.0) ?(max_retransmits = 60) ?decomposition scripts =
+  let n = Array.length scripts in
+  if n < 1 then invalid_arg "Rendezvous.run: need at least one process";
+  let net = Simulator.create ~seed ?min_delay ?max_delay ?fifo ~loss ~n () in
+  let procs =
+    Array.init n (fun pid ->
+        {
+          pid;
+          script = scripts.(pid);
+          status = Idle;
+          inbox = [];
+          next_seq = 0;
+          completed = Hashtbl.create 16;
+          clock =
+            Option.map (fun d -> Edge_clock.create d ~pid) decomposition;
+        })
+  in
+  let steps = ref [] and stamps = ref [] in
+  (* Receiver half of a rendezvous: record the message, update the clock,
+     store and send the ACK. *)
+  let consume_req receiver ~src ~seq payload =
+    steps := Trace.Send (src, receiver.pid) :: !steps;
+    let ack_payload =
+      match (receiver.clock, payload) with
+      | Some clock, Some v ->
+          let `Ack ack, timestamp = Edge_clock.receive clock ~src v in
+          stamps := timestamp :: !stamps;
+          Some ack
+      | None, _ -> None
+      | Some _, None ->
+          invalid_arg "Rendezvous: REQ without a vector while timestamping"
+    in
+    Hashtbl.replace receiver.completed (src, seq) ack_payload;
+    Simulator.send net ~src:receiver.pid ~dst:src (Ack { seq; vector = ack_payload })
+  in
+  let rec advance p =
+    match p.script with
+    | [] -> p.status <- Finished
+    | Script.Internal :: rest ->
+        steps := Trace.Local p.pid :: !steps;
+        p.script <- rest;
+        advance p
+    | Script.Send_to dst :: rest ->
+        let vector =
+          Option.map (fun clock -> Edge_clock.on_send clock ~dst) p.clock
+        in
+        let seq = p.next_seq in
+        p.next_seq <- seq + 1;
+        Simulator.send net ~src:p.pid ~dst (Req { seq; vector });
+        if loss > 0.0 then
+          Simulator.timer net ~delay:retransmit ~proc:p.pid
+            (Timeout { dst; seq; attempts = 1 });
+        p.script <- rest;
+        p.status <- Awaiting_ack { dst; seq; vector }
+    | (Script.Recv_from _ | Script.Recv_any) :: rest as all -> (
+        let filter =
+          match all with
+          | Script.Recv_from src :: _ -> Some src
+          | _ -> None
+        in
+        let rec split acc = function
+          | [] -> None
+          | ((src, _, _) as hd) :: tl when filter_accepts filter src ->
+              Some (hd, List.rev_append acc tl)
+          | hd :: tl -> split (hd :: acc) tl
+        in
+        match split [] p.inbox with
+        | Some ((src, seq, payload), remaining) ->
+            p.inbox <- remaining;
+            p.script <- rest;
+            consume_req p ~src ~seq payload;
+            advance p
+        | None -> p.status <- Awaiting_req filter)
+  in
+  let on_deliver ~src ~dst packet =
+    let p = procs.(dst) in
+    match packet with
+    | Req { seq; vector } -> (
+        if Hashtbl.mem p.completed (src, seq) then
+          (* Duplicate of an already-consumed REQ: the ACK was lost;
+             replay it. *)
+          Simulator.send net ~src:p.pid ~dst:src
+            (Ack { seq; vector = Hashtbl.find p.completed (src, seq) })
+        else
+          match p.status with
+          | Awaiting_req filter when filter_accepts filter src ->
+              p.script <- List.tl p.script;
+              p.status <- Idle;
+              consume_req p ~src ~seq vector;
+              advance p
+          | Idle | Awaiting_ack _ | Awaiting_req _ | Finished ->
+              if
+                not
+                  (List.exists
+                     (fun (s, q, _) -> s = src && q = seq)
+                     p.inbox)
+              then p.inbox <- p.inbox @ [ (src, seq, vector) ])
+    | Ack { seq; vector } -> (
+        match p.status with
+        | Awaiting_ack { dst = expected; seq = awaited; vector = _ }
+          when expected = src && awaited = seq ->
+            (match (p.clock, vector) with
+            | Some clock, Some ack -> ignore (Edge_clock.on_ack clock ~dst:src ack)
+            | None, _ -> ()
+            | Some _, None ->
+                invalid_arg "Rendezvous: ACK without a vector while timestamping");
+            p.status <- Idle;
+            advance p
+        | _ -> () (* stale duplicate ACK *))
+    | Timeout { dst = to_; seq; attempts } -> (
+        match p.status with
+        | Awaiting_ack { dst = expected; seq = awaited; vector }
+          when expected = to_ && awaited = seq ->
+            if attempts < max_retransmits then begin
+              Simulator.send net ~src:p.pid ~dst:to_ (Req { seq; vector });
+              Simulator.timer net ~delay:retransmit ~proc:p.pid
+                (Timeout { dst = to_; seq; attempts = attempts + 1 })
+            end
+        | _ -> () (* completed meanwhile *))
+  in
+  Array.iter advance procs;
+  let makespan = Simulator.run net ~on_deliver in
+  let deadlocked =
+    List.filter
+      (fun pid -> procs.(pid).status <> Finished)
+      (List.init n Fun.id)
+  in
+  let trace = Trace.of_steps_exn ~n (List.rev !steps) in
+  let timestamps =
+    Option.map (fun _ -> Array.of_list (List.rev !stamps)) decomposition
+  in
+  {
+    trace;
+    timestamps;
+    deadlocked;
+    packets = Simulator.packets net;
+    lost = Simulator.lost net;
+    makespan;
+  }

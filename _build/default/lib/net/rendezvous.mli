@@ -1,0 +1,57 @@
+(** Synchronous messaging over an asynchronous network — the protocol
+    layer the paper presupposes.
+
+    Synchronous sends are implemented the standard way (Murty & Garg,
+    paper ref. [16]): the sender transmits a REQ packet and {e blocks};
+    the receiver, once it reaches a matching receive, consumes the REQ and
+    replies with an ACK, unblocking the sender. The paper's Figure 5
+    piggybacks its vectors on exactly these two packets: the REQ carries
+    the sender's vector, the ACK the receiver's pre-merge vector, and both
+    sides then agree on the message's timestamp.
+
+    Running a set of {!Script} processes yields the {e induced}
+    synchronous computation: messages ordered by their rendezvous instants
+    (the moment the receiver consumes the REQ). The sender is blocked
+    around that instant, so per-process event orders are consistent and
+    the induced computation is always synchronizable — property-tested.
+
+    Deadlock note: scripts projected from a valid synchronous trace with
+    [Recv_from] pairing never deadlock (the original linearization
+    schedules them); with [Recv_any] matching is first-come-first-served
+    and remains deadlock-free for projected scripts, but hand-written
+    scripts can of course deadlock — the outcome reports who got stuck and
+    the induced prefix is still a valid computation. *)
+
+type outcome = {
+  trace : Synts_sync.Trace.t;
+      (** The induced synchronous computation (rendezvous order), including
+          the prefix executed before any deadlock. *)
+  timestamps : Synts_clock.Vector.t array option;
+      (** Per message of [trace], when a decomposition was supplied. *)
+  deadlocked : int list;  (** Processes whose script did not complete. *)
+  packets : int;  (** Packets transmitted (2 per message when lossless). *)
+  lost : int;  (** Packets the network dropped. *)
+  makespan : float;  (** Simulated completion time. *)
+}
+
+val run :
+  ?seed:int ->
+  ?min_delay:float ->
+  ?max_delay:float ->
+  ?fifo:bool ->
+  ?loss:float ->
+  ?retransmit:float ->
+  ?max_retransmits:int ->
+  ?decomposition:Synts_graph.Decomposition.t ->
+  Script.t array ->
+  outcome
+(** Execute the scripts (index = process id) over the simulated network.
+    Deterministic from [seed].
+
+    With [loss > 0] (default 0), each packet independently drops with
+    that probability; senders then retransmit unacknowledged REQs every
+    [retransmit] time units (default 40), up to [max_retransmits] times,
+    and receivers deduplicate by per-sender sequence number, replaying
+    the stored ACK for already-consumed requests — so each rendezvous
+    still happens exactly once and timestamps stay exact (property
+    tested). *)

@@ -1,0 +1,137 @@
+module Trace = Synts_sync.Trace
+
+type intent = Send_to of int | Recv_from of int | Recv_any | Internal
+type t = intent list
+
+let of_trace ?(recv_any = false) trace =
+  Array.init (Trace.n trace) (fun p ->
+      List.map
+        (function
+          | Trace.Msg m ->
+              if m.Trace.src = p then Send_to m.Trace.dst
+              else if recv_any then Recv_any
+              else Recv_from m.Trace.src
+          | Trace.Int _ -> Internal)
+        (Trace.process_history trace p))
+
+let sends t =
+  List.length (List.filter (function Send_to _ -> true | _ -> false) t)
+
+let recvs t =
+  List.length
+    (List.filter (function Recv_from _ | Recv_any -> true | _ -> false) t)
+
+let intent_to_string = function
+  | Send_to d -> Printf.sprintf "!%d" d
+  | Recv_from s -> Printf.sprintf "?%d" s
+  | Recv_any -> "?*"
+  | Internal -> "#"
+
+let system_to_string scripts =
+  let buf = Buffer.create 256 in
+  Array.iteri
+    (fun p script ->
+      Buffer.add_string buf
+        (Printf.sprintf "P%d: %s\n" p
+           (String.concat " . " (List.map intent_to_string script))))
+    scripts;
+  Buffer.contents buf
+
+let parse_intent token =
+  let arg s =
+    match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+    | Some k when k >= 0 -> Some k
+    | _ -> None
+  in
+  if token = "#" then Some Internal
+  else if token = "?*" then Some Recv_any
+  else if String.length token >= 2 && token.[0] = '!' then
+    Option.map (fun k -> Send_to k) (arg token)
+  else if String.length token >= 2 && token.[0] = '?' then
+    Option.map (fun k -> Recv_from k) (arg token)
+  else None
+
+let parse_system text =
+  let strip line =
+    let line =
+      (* Comments run from "//" to end of line. *)
+      let rec find i =
+        if i + 1 >= String.length line then None
+        else if line.[i] = '/' && line.[i + 1] = '/' then Some i
+        else find (i + 1)
+      in
+      match find 0 with Some i -> String.sub line 0 i | None -> line
+    in
+    String.trim line
+  in
+  let entries = ref [] in
+  let error = ref None in
+  List.iteri
+    (fun idx raw ->
+      let lineno = idx + 1 in
+      let fail msg =
+        if !error = None then
+          error := Some (Printf.sprintf "line %d: %s" lineno msg)
+      in
+      match strip raw with
+      | "" -> ()
+      | line -> (
+          match String.index_opt line ':' with
+          | None -> fail "expected `P<id>: intents`"
+          | Some colon ->
+              let head = String.trim (String.sub line 0 colon) in
+              let body =
+                String.trim
+                  (String.sub line (colon + 1) (String.length line - colon - 1))
+              in
+              let pid =
+                if String.length head >= 2 && head.[0] = 'P' then
+                  int_of_string_opt (String.sub head 1 (String.length head - 1))
+                else None
+              in
+              (match pid with
+              | None -> fail "process names look like P0, P1, ..."
+              | Some pid when pid < 0 -> fail "negative process id"
+              | Some pid ->
+                  if List.mem_assoc pid !entries then
+                    fail (Printf.sprintf "duplicate process P%d" pid)
+                  else begin
+                    let tokens =
+                      String.split_on_char '.' body
+                      |> List.map String.trim
+                      |> List.filter (fun s -> s <> "")
+                    in
+                    let intents =
+                      List.map
+                        (fun tok ->
+                          match parse_intent tok with
+                          | Some i -> i
+                          | None ->
+                              fail (Printf.sprintf "unrecognized intent %S" tok);
+                              Internal)
+                        tokens
+                    in
+                    entries := (pid, intents) :: !entries
+                  end)))
+    (String.split_on_char '\n' text);
+  match !error with
+  | Some e -> Error e
+  | None ->
+      if !entries = [] then Error "no processes declared"
+      else begin
+        let n = 1 + List.fold_left (fun acc (p, _) -> max acc p) 0 !entries in
+        Ok
+          (Array.init n (fun p ->
+               Option.value ~default:[] (List.assoc_opt p !entries)))
+      end
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>%a@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+       (fun ppf -> function
+         | Send_to d -> Format.fprintf ppf "!%d" d
+         | Recv_from s -> Format.fprintf ppf "?%d" s
+         | Recv_any -> Format.fprintf ppf "?*"
+         | Internal -> Format.fprintf ppf "#"))
+    t

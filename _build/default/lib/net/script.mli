@@ -1,0 +1,42 @@
+(** Per-process communication scripts.
+
+    The network layer runs each process against a fixed script of
+    communication intents — the projection of a synchronous computation
+    onto one process. Scripts are what a real CSP program's communication
+    skeleton looks like to the protocol. *)
+
+type intent =
+  | Send_to of int  (** Blocking synchronous send. *)
+  | Recv_from of int  (** Receive from one specific peer. *)
+  | Recv_any  (** Receive from whoever offers first. *)
+  | Internal  (** A local event. *)
+
+type t = intent list
+
+val of_trace : ?recv_any:bool -> Synts_sync.Trace.t -> t array
+(** Project a synchronous trace: each process's participations become
+    [Send_to]/[Recv_from] intents in local order ([Recv_any] instead when
+    [recv_any], default false). Replaying the scripts over the rendezvous
+    protocol realizes a computation with the same per-process orders. *)
+
+val sends : t -> int
+val recvs : t -> int
+val pp : Format.formatter -> t -> unit
+
+val system_to_string : t array -> string
+(** A parseable description of a whole system, one process per line:
+
+    {v
+    P0: !1 . # . ?2
+    P1: ?0 . !2
+    P2: ?1 . ?*
+    v}
+
+    [!k] sends to process [k], [?k] receives from [k], [?*] receives from
+    anyone, [#] is an internal event. *)
+
+val parse_system : string -> (t array, string) result
+(** Inverse of {!system_to_string}. Blank lines and [//]-to-end-of-line
+    comments are ignored. Every process in [P0 .. Pmax] must be declared
+    at most once; undeclared ids below the maximum get empty scripts.
+    Errors carry a line number. *)

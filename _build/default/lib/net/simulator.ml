@@ -1,0 +1,82 @@
+module Rng = Synts_util.Rng
+module Heap = Synts_util.Heap
+
+type 'p pending = { src : int; dst : int; payload : 'p }
+
+type 'p t = {
+  n : int;
+  rng : Rng.t;
+  min_delay : float;
+  max_delay : float;
+  fifo : bool;
+  loss : float;
+  queue : 'p pending Heap.t;
+  last_delivery : float array array;  (* per (src, dst) for FIFO ordering *)
+  mutable clock : float;
+  mutable packets : int;
+  mutable lost : int;
+}
+
+let create ?(seed = 0) ?(min_delay = 1.0) ?(max_delay = 10.0) ?(fifo = true)
+    ?(loss = 0.0) ~n () =
+  if n < 1 then invalid_arg "Simulator.create: need n >= 1";
+  if min_delay < 0.0 || max_delay < min_delay then
+    invalid_arg "Simulator.create: bad delay range";
+  if loss < 0.0 || loss >= 1.0 then
+    invalid_arg "Simulator.create: loss must be in [0, 1)";
+  {
+    n;
+    rng = Rng.create seed;
+    min_delay;
+    max_delay;
+    fifo;
+    loss;
+    queue = Heap.create ();
+    last_delivery = Array.make_matrix n n 0.0;
+    clock = 0.0;
+    packets = 0;
+    lost = 0;
+  }
+
+let n t = t.n
+let now t = t.clock
+let packets t = t.packets
+let lost t = t.lost
+
+let send t ~src ~dst payload =
+  if src < 0 || src >= t.n || dst < 0 || dst >= t.n || src = dst then
+    invalid_arg "Simulator.send: bad endpoints";
+  t.packets <- t.packets + 1;
+  if t.loss > 0.0 && Rng.chance t.rng t.loss then t.lost <- t.lost + 1
+  else begin
+    let delay =
+      t.min_delay +. (Rng.float t.rng *. (t.max_delay -. t.min_delay))
+    in
+    let arrival = t.clock +. delay in
+    let arrival =
+      if t.fifo then begin
+        let at = Float.max arrival (t.last_delivery.(src).(dst) +. 1e-9) in
+        t.last_delivery.(src).(dst) <- at;
+        at
+      end
+      else arrival
+    in
+    Heap.push t.queue ~priority:arrival { src; dst; payload }
+  end
+
+let timer t ~delay ~proc payload =
+  if proc < 0 || proc >= t.n then invalid_arg "Simulator.timer: bad process";
+  if delay < 0.0 then invalid_arg "Simulator.timer: negative delay";
+  Heap.push t.queue ~priority:(t.clock +. delay)
+    { src = proc; dst = proc; payload }
+
+let run t ~on_deliver =
+  let continue = ref true in
+  while !continue do
+    match Heap.pop t.queue with
+    | None -> continue := false
+    | Some (at, { src; dst; payload }) ->
+        t.clock <- at;
+        on_deliver ~src ~dst payload
+  done;
+  t.clock

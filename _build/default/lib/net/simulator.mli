@@ -1,0 +1,49 @@
+(** Discrete-event asynchronous network simulator.
+
+    The substrate under the rendezvous protocol: point-to-point packets
+    with pseudo-random delivery delays (deterministic from the seed),
+    optionally FIFO per directed channel. Protocols are callback-driven:
+    {!run} drains the event queue, invoking the handler for each delivery;
+    the handler may {!send} further packets. *)
+
+type 'p t
+
+val create :
+  ?seed:int ->
+  ?min_delay:float ->
+  ?max_delay:float ->
+  ?fifo:bool ->
+  ?loss:float ->
+  n:int ->
+  unit ->
+  'p t
+(** [n] processes. Delays are uniform in [\[min_delay, max_delay\]]
+    (defaults 1.0 and 10.0); [fifo] (default true) forces per-channel
+    in-order delivery; [loss] (default 0) drops each packet independently
+    with that probability (timers never drop). *)
+
+val n : 'p t -> int
+
+val send : 'p t -> src:int -> dst:int -> 'p -> unit
+(** Schedule a packet delivery. Raises [Invalid_argument] on bad
+    endpoints (self-sends included — the network is for remote pairs). *)
+
+val now : 'p t -> float
+(** Current simulation time (the delivery time of the packet being
+    handled, or 0 before the first). *)
+
+val packets : 'p t -> int
+(** Packets sent so far (lost ones included — they consumed bandwidth). *)
+
+val lost : 'p t -> int
+(** Packets dropped by the network. *)
+
+val timer : 'p t -> delay:float -> proc:int -> 'p -> unit
+(** Schedule a local timer: after exactly [delay], the handler fires with
+    [src = dst = proc] and the payload. Timers are reliable and bypass
+    FIFO ordering. *)
+
+val run : 'p t -> on_deliver:(src:int -> dst:int -> 'p -> unit) -> float
+(** Drain the queue; returns the makespan (time of the last delivery).
+    The handler runs sequentially — one delivery at a time — so protocol
+    state needs no synchronization. *)

@@ -1,0 +1,1 @@
+lib/poset/dilworth.ml: Array Fun List Matching Poset

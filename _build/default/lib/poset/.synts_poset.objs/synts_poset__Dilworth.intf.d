@@ -1,0 +1,1 @@
+lib/poset/dilworth.mli: Poset

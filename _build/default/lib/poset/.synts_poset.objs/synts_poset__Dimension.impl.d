@@ -1,0 +1,1 @@
+lib/poset/dimension.ml: Array Fun List Map Poset Synts_util

@@ -1,0 +1,1 @@
+lib/poset/dimension.mli: Poset

@@ -1,0 +1,1 @@
+lib/poset/incremental_width.ml: Array Int List Set

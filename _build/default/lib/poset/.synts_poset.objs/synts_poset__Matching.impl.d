@@ -1,0 +1,1 @@
+lib/poset/matching.ml: Array List Queue

@@ -1,0 +1,1 @@
+lib/poset/poset.ml: Array Format Fun List Synts_util

@@ -1,0 +1,1 @@
+lib/poset/poset.mli: Format Synts_util

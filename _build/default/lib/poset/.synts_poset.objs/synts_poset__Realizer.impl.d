@@ -1,0 +1,1 @@
+lib/poset/realizer.ml: Array Dilworth List Poset

@@ -1,0 +1,1 @@
+lib/poset/realizer.mli: Poset

@@ -1,0 +1,74 @@
+let comparability_edges p =
+  let n = Poset.size p in
+  let acc = ref [] in
+  for i = n - 1 downto 0 do
+    for j = n - 1 downto 0 do
+      if Poset.lt p i j then acc := (i, j) :: !acc
+    done
+  done;
+  !acc
+
+let matching p =
+  let n = Poset.size p in
+  Matching.maximum ~left:n ~right:n (comparability_edges p)
+
+let min_chain_partition p =
+  let n = Poset.size p in
+  let { Matching.pair_left; pair_right; size = _ } = matching p in
+  (* Chain heads are elements whose right copy is unmatched (no matched
+     predecessor); follow pair_left successor links. *)
+  let chains = ref [] in
+  for head = n - 1 downto 0 do
+    if pair_right.(head) = -1 then begin
+      let rec follow v acc =
+        let acc = v :: acc in
+        if pair_left.(v) = -1 then List.rev acc else follow pair_left.(v) acc
+      in
+      chains := follow head [] :: !chains
+    end
+  done;
+  !chains
+
+let width p =
+  let n = Poset.size p in
+  if n = 0 then 0 else n - (matching p).Matching.size
+
+let max_antichain p =
+  let n = Poset.size p in
+  let edges = comparability_edges p in
+  let m = Matching.maximum ~left:n ~right:n edges in
+  let cover_left, cover_right = Matching.min_vertex_cover ~left:n ~right:n edges m in
+  (* An element exposed on both sides of the cover is incomparable to every
+     other exposed element. *)
+  List.filter
+    (fun v -> (not cover_left.(v)) && not cover_right.(v))
+    (List.init n Fun.id)
+
+let is_chain p l =
+  let arr = Array.of_list l in
+  let ok = ref true in
+  Array.iteri
+    (fun i x ->
+      Array.iteri
+        (fun j y -> if i < j && not (Poset.comparable p x y) then ok := false)
+        arr)
+    arr;
+  !ok
+
+let is_antichain p l =
+  let arr = Array.of_list l in
+  let ok = ref true in
+  Array.iteri
+    (fun i x ->
+      Array.iteri
+        (fun j y ->
+          if i < j && (x = y || Poset.comparable p x y) then ok := false)
+        arr)
+    arr;
+  !ok
+
+let is_chain_partition p chains =
+  let n = Poset.size p in
+  let all = List.concat chains in
+  List.sort compare all = List.init n Fun.id
+  && List.for_all (is_chain p) chains

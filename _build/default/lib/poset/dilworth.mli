@@ -1,0 +1,35 @@
+(** Dilworth decompositions: width, minimum chain partitions, maximum
+    antichains.
+
+    Theorem 8 of the paper: the message poset of a synchronous computation
+    on N processes has width ≤ ⌊N/2⌋, hence (Dilworth) a chain partition —
+    and by the classic [dim ≤ width] argument a realizer — of that size.
+    The minimum chain partition is computed by Hopcroft–Karp matching on
+    the split bipartite graph of the order relation; the maximum antichain
+    falls out of König's theorem. *)
+
+val comparability_edges : Poset.t -> (int * int) list
+(** All pairs [(i, j)] with [i < j] in the order — the split bipartite
+    graph's edges. *)
+
+val min_chain_partition : Poset.t -> int list list
+(** A partition of the elements into the minimum number of chains; each
+    chain is listed in increasing poset order. The number of chains equals
+    {!width}. Deterministic. *)
+
+val width : Poset.t -> int
+(** Size of the largest antichain = size of the minimum chain partition.
+    Zero for the empty poset. *)
+
+val max_antichain : Poset.t -> int list
+(** A maximum antichain (sorted), extracted from the König vertex cover of
+    the matching. Its length equals {!width}. *)
+
+val is_chain : Poset.t -> int list -> bool
+(** The listed elements are pairwise comparable. *)
+
+val is_antichain : Poset.t -> int list -> bool
+(** The listed elements are pairwise incomparable (and distinct). *)
+
+val is_chain_partition : Poset.t -> int list list -> bool
+(** The lists partition [0 .. n-1] and each is a chain. *)

@@ -1,0 +1,161 @@
+module Bitset = Synts_util.Bitset
+
+exception Cap_exceeded
+
+let all_linear_extensions ?(cap = 20_000) p =
+  let n = Poset.size p in
+  let acc = ref [] in
+  let count = ref 0 in
+  (* Backtracking topological enumeration over the (closed) relation:
+     an element is placeable when all its strict predecessors are placed. *)
+  let pending = Array.make n 0 in
+  for i = 0 to n - 1 do
+    List.iter (fun j -> pending.(j) <- pending.(j) + 1) (Poset.up_set p i)
+  done;
+  let order = Array.make n 0 in
+  let rec go idx =
+    if idx = n then begin
+      incr count;
+      if !count > cap then raise Cap_exceeded;
+      acc := Array.copy order :: !acc
+    end
+    else
+      for v = 0 to n - 1 do
+        if pending.(v) = 0 then begin
+          order.(idx) <- v;
+          pending.(v) <- -1;
+          let succs = Poset.up_set p v in
+          List.iter (fun j -> pending.(j) <- pending.(j) - 1) succs;
+          go (idx + 1);
+          List.iter (fun j -> pending.(j) <- pending.(j) + 1) succs;
+          pending.(v) <- 0
+        end
+      done
+  in
+  match go 0 with
+  | () -> Some (List.rev !acc)
+  | exception Cap_exceeded -> None
+
+let count_linear_extensions ?(max_ideals = 200_000) p =
+  let n = Poset.size p in
+  (* DP over downsets: the number of linear extensions of the elements in
+     ideal I is the sum over maximal elements x of I of the count for
+     I \ {x}. Ideals are encoded as sorted element lists (bitmask-free so
+     n > 62 still works; sizes are bounded by max_ideals anyway). *)
+  let module M = Map.Make (struct
+    type t = int list
+
+    let compare = compare
+  end) in
+  let exception Too_big in
+  let table = ref M.empty in
+  let rec count ideal =
+    match M.find_opt ideal !table with
+    | Some c -> c
+    | None ->
+        let c =
+          match ideal with
+          | [] -> 1
+          | _ ->
+              (* Maximal elements of the ideal: members none of whose
+                 ideal-successors remain. *)
+              List.fold_left
+                (fun acc x ->
+                  let is_maximal =
+                    List.for_all (fun y -> x = y || not (Poset.lt p x y)) ideal
+                  in
+                  if is_maximal then
+                    acc + count (List.filter (fun y -> y <> x) ideal)
+                  else acc)
+                0 ideal
+        in
+        table := M.add ideal c !table;
+        if M.cardinal !table > max_ideals then raise Too_big;
+        c
+  in
+  match count (List.init n Fun.id) with
+  | c -> Some c
+  | exception Too_big -> None
+
+(* Exact set cover over "reversal sets": each linear extension covers the
+   incomparable ordered pairs (i, j) it places with j below i; a realizer
+   is a family covering every such pair. Returns the chosen extensions. *)
+let search ~cap ~max_k p =
+  let n = Poset.size p in
+  if n <= 1 then Some (Some [ Poset.linear_extension p ])
+  else
+    match all_linear_extensions ~cap p with
+    | None -> None
+    | Some exts ->
+        let pairs = ref [] in
+        for i = 0 to n - 1 do
+          for j = 0 to n - 1 do
+            if i <> j && not (Poset.leq p i j) && not (Poset.lt p j i) then
+              pairs := (i, j) :: !pairs
+          done
+        done;
+        let pairs = Array.of_list (List.rev !pairs) in
+        let np = Array.length pairs in
+        if np = 0 then Some (Some [ Poset.linear_extension p ])
+        else begin
+          let cover_set ext =
+            let pos = Array.make n 0 in
+            Array.iteri (fun idx e -> pos.(e) <- idx) ext;
+            let s = Bitset.create np in
+            Array.iteri
+              (fun k (i, j) -> if pos.(j) < pos.(i) then Bitset.add s k)
+              pairs;
+            s
+          in
+          let candidates =
+            List.map (fun ext -> (cover_set ext, ext)) exts
+            |> List.sort_uniq (fun (a, _) (b, _) ->
+                   compare (Bitset.elements a) (Bitset.elements b))
+            |> Array.of_list
+          in
+          let full = Bitset.create np in
+          Bitset.fill full;
+          let rec solve covered chosen depth limit =
+            if Bitset.equal covered full then Some (List.rev chosen)
+            else if depth = limit then None
+            else begin
+              let missing = Bitset.copy full in
+              Bitset.diff_into ~dst:missing covered;
+              match Bitset.choose_opt missing with
+              | None -> Some (List.rev chosen)
+              | Some pair ->
+                  Array.fold_left
+                    (fun acc (s, ext) ->
+                      match acc with
+                      | Some _ -> acc
+                      | None ->
+                          if Bitset.mem s pair then begin
+                            let covered' = Bitset.copy covered in
+                            Bitset.union_into ~dst:covered' s;
+                            solve covered' (ext :: chosen) (depth + 1) limit
+                          end
+                          else None)
+                    None candidates
+            end
+          in
+          let rec try_k k =
+            if k > max_k then Some None
+            else
+              match solve (Bitset.create np) [] 0 k with
+              | Some chosen -> Some (Some chosen)
+              | None -> try_k (k + 1)
+          in
+          (* Any poset with an incomparable pair needs at least 2. *)
+          try_k 2
+        end
+
+let dimension ?(cap = 20_000) ?(max_k = 8) p =
+  match search ~cap ~max_k p with
+  | None -> None
+  | Some None -> None
+  | Some (Some chosen) -> Some (List.length chosen)
+
+let minimum_realizer ?(cap = 20_000) ?(max_k = 8) p =
+  match search ~cap ~max_k p with
+  | None | Some None -> None
+  | Some (Some chosen) -> Some chosen

@@ -1,0 +1,32 @@
+(** Exact order dimension for tiny posets.
+
+    Computing dimension is NP-complete (Yannakakis 1982, paper ref. [24]),
+    which is precisely why the paper's online algorithm avoids dimension
+    theory; we still want the exact value on tiny posets to validate the
+    [dim ≤ width] bound that the offline algorithm relies on. The solver
+    enumerates all linear extensions (capped), views each as the set of
+    incomparable ordered pairs it reverses, and solves the resulting
+    set-cover problem exactly. *)
+
+val all_linear_extensions : ?cap:int -> Poset.t -> int array list option
+(** Every linear extension, or [None] if there are more than [cap]
+    (default 20_000). *)
+
+val count_linear_extensions : ?max_ideals:int -> Poset.t -> int option
+(** Number of linear extensions, by dynamic programming over the ideal
+    (downset) lattice — exponentially faster than enumeration when the
+    width is modest: e(P) = Σ over ideals of paths from ∅. [None] when
+    more than [max_ideals] ideals are encountered (default 200_000). *)
+
+val dimension : ?cap:int -> ?max_k:int -> Poset.t -> int option
+(** Exact dimension, or [None] when the extension enumeration exceeds
+    [cap] or no realizer of size ≤ [max_k] (default 8) exists within the
+    cap. The dimension of an empty or one-element poset is 1 by
+    convention here (a single extension realizes it). *)
+
+val minimum_realizer :
+  ?cap:int -> ?max_k:int -> Poset.t -> int array list option
+(** A realizer of exactly {!dimension} extensions (same caps). The paper's
+    PODC'01 companion shows dimension-sized vectors are necessary and
+    sufficient for timestamping; this exposes the witness, at NP-hard
+    cost — the contrast motivating both of the paper's algorithms. *)

@@ -1,0 +1,31 @@
+(** Online poset width.
+
+    Elements arrive in some linear-extension order (each new element is
+    maximal on arrival, declared with a generating set of predecessors —
+    e.g. a message's immediate predecessors on its two processes). The
+    structure maintains a maximum matching of the split bipartite graph
+    incrementally — one augmenting-path search per insertion — so the
+    current width (Dilworth) is available at every moment:
+
+    [width = elements − matching].
+
+    A monitor uses this to watch how much genuine concurrency a live
+    computation exhibits, and to know the smallest realizer an offline
+    re-timestamping of the prefix would need. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> preds:int list -> int
+(** Insert the next element, given any subset of its predecessors whose
+    closure is the full ancestor set (immediate predecessors suffice).
+    Returns the element's id (0, 1, …). Raises [Invalid_argument] on
+    out-of-range predecessor ids. *)
+
+val size : t -> int
+val width : t -> int
+(** Width of the poset inserted so far (0 when empty). *)
+
+val lt : t -> int -> int -> bool
+(** Ancestor query on the inserted prefix. *)

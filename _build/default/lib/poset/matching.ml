@@ -1,0 +1,106 @@
+type result = { pair_left : int array; pair_right : int array; size : int }
+
+let build_adjacency ~left ~right edges =
+  let adj = Array.make left [] in
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= left || v < 0 || v >= right then
+        invalid_arg "Matching: edge endpoint out of range";
+      adj.(u) <- v :: adj.(u))
+    edges;
+  (* Reverse so neighbours come out in input order; sort for determinism. *)
+  Array.map (List.sort_uniq compare) adj
+
+let infinity_dist = max_int
+
+let maximum ~left ~right edges =
+  let adj = build_adjacency ~left ~right edges in
+  let pair_left = Array.make left (-1) in
+  let pair_right = Array.make right (-1) in
+  let dist = Array.make left infinity_dist in
+  let queue = Queue.create () in
+  (* BFS layering from free left vertices; returns true if an augmenting
+     path exists. *)
+  let bfs () =
+    Queue.clear queue;
+    let found = ref false in
+    for u = 0 to left - 1 do
+      if pair_left.(u) = -1 then begin
+        dist.(u) <- 0;
+        Queue.add u queue
+      end
+      else dist.(u) <- infinity_dist
+    done;
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      List.iter
+        (fun v ->
+          match pair_right.(v) with
+          | -1 -> found := true
+          | u' ->
+              if dist.(u') = infinity_dist then begin
+                dist.(u') <- dist.(u) + 1;
+                Queue.add u' queue
+              end)
+        adj.(u)
+    done;
+    !found
+  in
+  let rec dfs u =
+    List.exists
+      (fun v ->
+        let take () =
+          pair_left.(u) <- v;
+          pair_right.(v) <- u;
+          true
+        in
+        match pair_right.(v) with
+        | -1 -> take ()
+        | u' ->
+            if dist.(u') = dist.(u) + 1 && dfs u' then take ()
+            else false)
+      adj.(u)
+    ||
+    begin
+      dist.(u) <- infinity_dist;
+      false
+    end
+  in
+  let size = ref 0 in
+  while bfs () do
+    for u = 0 to left - 1 do
+      if pair_left.(u) = -1 && dfs u then incr size
+    done
+  done;
+  { pair_left; pair_right; size = !size }
+
+let min_vertex_cover ~left ~right edges { pair_left; pair_right; size = _ } =
+  let adj = build_adjacency ~left ~right edges in
+  (* König: alternate BFS from unmatched left vertices; cover = unvisited
+     left + visited right. *)
+  let visited_left = Array.make left false in
+  let visited_right = Array.make right false in
+  let queue = Queue.create () in
+  for u = 0 to left - 1 do
+    if pair_left.(u) = -1 then begin
+      visited_left.(u) <- true;
+      Queue.add u queue
+    end
+  done;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    List.iter
+      (fun v ->
+        if not visited_right.(v) then begin
+          visited_right.(v) <- true;
+          match pair_right.(v) with
+          | -1 -> ()
+          | u' ->
+              if not visited_left.(u') then begin
+                visited_left.(u') <- true;
+                Queue.add u' queue
+              end
+        end)
+      adj.(u)
+  done;
+  (Array.map not visited_left, visited_right)

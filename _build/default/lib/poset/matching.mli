@@ -1,0 +1,27 @@
+(** Maximum bipartite matching (Hopcroft–Karp).
+
+    Dilworth's theorem reduces minimum chain partitions — and hence the
+    width bound of the paper's offline algorithm — to maximum matching in
+    the bipartite "split" graph of the order relation; this module is that
+    solver. Runs in O(E √V). *)
+
+type result = {
+  pair_left : int array;
+      (** [pair_left.(u)] is the right vertex matched to left [u], or -1. *)
+  pair_right : int array;
+      (** [pair_right.(v)] is the left vertex matched to right [v], or -1. *)
+  size : int;  (** Number of matched pairs. *)
+}
+
+val maximum : left:int -> right:int -> (int * int) list -> result
+(** [maximum ~left ~right edges] computes a maximum matching of the
+    bipartite graph with [left] left vertices, [right] right vertices and
+    the given (left, right) edges. Raises [Invalid_argument] on
+    out-of-range endpoints. Deterministic. *)
+
+val min_vertex_cover :
+  left:int -> right:int -> (int * int) list -> result -> bool array * bool array
+(** König's theorem: from a maximum matching, a minimum vertex cover
+    [(cover_left, cover_right)] of the same bipartite graph. Its complement
+    is a maximum independent set — which {!Dilworth} uses to extract a
+    maximum antichain. *)

@@ -1,0 +1,176 @@
+module Bitmatrix = Synts_util.Bitmatrix
+module Rng = Synts_util.Rng
+
+type t = { lt : Bitmatrix.t; n : int }
+
+exception Cyclic of int
+
+let of_relation n pairs =
+  let m = Bitmatrix.create n in
+  List.iter
+    (fun (i, j) ->
+      if i < 0 || i >= n || j < 0 || j >= n then
+        invalid_arg "Poset.of_relation: element out of range";
+      if i = j then raise (Cyclic i);
+      Bitmatrix.set m i j true)
+    pairs;
+  Bitmatrix.transitive_closure m;
+  for i = 0 to n - 1 do
+    if Bitmatrix.get m i i then raise (Cyclic i)
+  done;
+  { lt = m; n }
+
+let of_closed_matrix m =
+  let n = Bitmatrix.dim m in
+  let c = Bitmatrix.copy m in
+  Bitmatrix.transitive_closure c;
+  if not (Bitmatrix.equal c m) then
+    invalid_arg "Poset.of_closed_matrix: matrix is not transitively closed";
+  for i = 0 to n - 1 do
+    if Bitmatrix.get m i i then
+      invalid_arg "Poset.of_closed_matrix: matrix is reflexive"
+  done;
+  { lt = Bitmatrix.copy m; n }
+
+let size t = t.n
+let lt t i j = Bitmatrix.get t.lt i j
+let leq t i j = i = j || lt t i j
+let comparable t i j = lt t i j || lt t j i
+let concurrent t i j = i <> j && not (comparable t i j)
+let relation_count t = Bitmatrix.count t.lt
+
+let covers t =
+  let acc = ref [] in
+  for i = 0 to t.n - 1 do
+    Bitmatrix.row_iter t.lt i (fun j ->
+        let between = ref false in
+        Bitmatrix.row_iter t.lt i (fun k ->
+            if (not !between) && k <> j && lt t k j then between := true);
+        if not !between then acc := (i, j) :: !acc)
+  done;
+  List.rev !acc
+
+let minimal_elements t =
+  let has_pred = Array.make t.n false in
+  for i = 0 to t.n - 1 do
+    Bitmatrix.row_iter t.lt i (fun j -> has_pred.(j) <- true)
+  done;
+  List.filter (fun v -> not has_pred.(v)) (List.init t.n Fun.id)
+
+let maximal_elements t =
+  List.filter
+    (fun i ->
+      let has_succ = ref false in
+      Bitmatrix.row_iter t.lt i (fun _ -> has_succ := true);
+      not !has_succ)
+    (List.init t.n Fun.id)
+
+let down_set t j =
+  List.filter (fun i -> lt t i j) (List.init t.n Fun.id)
+
+let up_set t i =
+  let acc = ref [] in
+  Bitmatrix.row_iter t.lt i (fun j -> acc := j :: !acc);
+  List.rev !acc
+
+let is_linear_extension t order =
+  Array.length order = t.n
+  && begin
+       let pos = Array.make t.n (-1) in
+       let ok = ref true in
+       Array.iteri
+         (fun idx e ->
+           if e < 0 || e >= t.n || pos.(e) >= 0 then ok := false
+           else pos.(e) <- idx)
+         order;
+       if !ok then
+         for i = 0 to t.n - 1 do
+           Bitmatrix.row_iter t.lt i (fun j ->
+               if pos.(i) > pos.(j) then ok := false)
+         done;
+       !ok
+     end
+
+(* Kahn topological sort where the choice among current minimal elements is
+   delegated to [choose], enabling both the plain extension and the
+   chain-avoiding extension of the realizer construction. *)
+let extension_with t choose =
+  let indeg = Array.make t.n 0 in
+  for i = 0 to t.n - 1 do
+    Bitmatrix.row_iter t.lt i (fun j -> indeg.(j) <- indeg.(j) + 1)
+  done;
+  let available = Array.make t.n false in
+  Array.iteri (fun v d -> if d = 0 then available.(v) <- true) indeg;
+  let order = Array.make t.n 0 in
+  for idx = 0 to t.n - 1 do
+    let v = choose available in
+    available.(v) <- false;
+    order.(idx) <- v;
+    Bitmatrix.row_iter t.lt v (fun j ->
+        indeg.(j) <- indeg.(j) - 1;
+        if indeg.(j) = 0 then available.(j) <- true)
+  done;
+  order
+
+let first_available ?(skip = fun _ -> false) available =
+  let n = Array.length available in
+  let rec scan i fallback =
+    if i >= n then fallback
+    else if available.(i) then
+      if skip i then scan (i + 1) (if fallback < 0 then i else fallback)
+      else i
+    else scan (i + 1) fallback
+  in
+  let v = scan 0 (-1) in
+  if v < 0 then invalid_arg "Poset: no available element (cyclic input?)"
+  else v
+
+let linear_extension t =
+  extension_with t (fun available -> first_available available)
+
+let linear_extension_avoiding t ~avoid =
+  if Array.length avoid <> t.n then
+    invalid_arg "Poset.linear_extension_avoiding: avoid length mismatch";
+  extension_with t (fun available ->
+      first_available ~skip:(fun i -> avoid.(i)) available)
+
+let equal a b = a.n = b.n && Bitmatrix.equal a.lt b.lt
+
+let of_total_order order =
+  let n = Array.length order in
+  let pairs = ref [] in
+  for i = 0 to n - 2 do
+    pairs := (order.(i), order.(i + 1)) :: !pairs
+  done;
+  of_relation n !pairs
+
+let intersection = function
+  | [] -> invalid_arg "Poset.intersection: empty list"
+  | first :: rest ->
+      let n = first.n in
+      List.iter
+        (fun p ->
+          if p.n <> n then invalid_arg "Poset.intersection: size mismatch")
+        rest;
+      let m = Bitmatrix.create n in
+      for i = 0 to n - 1 do
+        Bitmatrix.row_iter first.lt i (fun j ->
+            if List.for_all (fun p -> lt p i j) rest then
+              Bitmatrix.set m i j true)
+      done;
+      (* An intersection of transitively-closed relations is closed. *)
+      { lt = m; n }
+
+let random rng n p =
+  let pairs = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Rng.chance rng p then pairs := (i, j) :: !pairs
+    done
+  done;
+  of_relation n !pairs
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>poset n=%d@," t.n;
+  List.iter (fun (i, j) -> Format.fprintf ppf "  %d < %d@," i j) (covers t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,85 @@
+(** Finite strict partial orders over elements [0 .. n-1].
+
+    The message order [(M, ↦)] of a synchronous computation is stored here
+    as an [n × n] reachability bit-matrix, transitively closed at
+    construction. This is the substrate of the offline algorithm
+    (paper Sec. 4): width, Dilworth chain partitions and realizers are all
+    computed against this representation. *)
+
+type t
+
+exception Cyclic of int
+(** Raised by {!of_relation} when the input relation has a directed cycle;
+    the payload is a vertex on some cycle. *)
+
+val of_relation : int -> (int * int) list -> t
+(** [of_relation n pairs] is the transitive closure of [pairs] (each
+    [(i, j)] meaning [i < j]). Raises {!Cyclic} if the closure would be
+    reflexive, [Invalid_argument] on out-of-range elements. *)
+
+val of_closed_matrix : Synts_util.Bitmatrix.t -> t
+(** Adopt an already transitively-closed, irreflexive matrix (checked;
+    raises [Invalid_argument] if not closed or not irreflexive). The matrix
+    is copied. *)
+
+val size : t -> int
+(** Number of elements [n]. *)
+
+val lt : t -> int -> int -> bool
+(** Strict order test. *)
+
+val leq : t -> int -> int -> bool
+(** [lt] or equal. *)
+
+val comparable : t -> int -> int -> bool
+val concurrent : t -> int -> int -> bool
+(** Distinct and incomparable. *)
+
+val relation_count : t -> int
+(** Number of ordered pairs [(i, j)] with [i < j] in the order. *)
+
+val covers : t -> (int * int) list
+(** Transitive reduction: pairs [(i, j)] with [i < j] and no [k] strictly
+    between. *)
+
+val minimal_elements : t -> int list
+val maximal_elements : t -> int list
+
+val down_set : t -> int -> int list
+(** Elements strictly below the given one. *)
+
+val up_set : t -> int -> int list
+
+val is_linear_extension : t -> int array -> bool
+(** [is_linear_extension p order] checks that [order] is a permutation of
+    [0 .. n-1] that respects every relation of [p]. *)
+
+val linear_extension : t -> int array
+(** A deterministic linear extension (topological order, smallest-index
+    minimal element first). *)
+
+val linear_extension_avoiding : t -> avoid:bool array -> int array
+(** The construction behind [dim ≤ width]: a linear extension built by
+    repeatedly removing a minimal element of the remainder, choosing one
+    with [avoid.(e) = false] whenever any exists (ties towards smaller
+    index). When all remaining minimal elements are avoided and the avoided
+    set is a chain, the chain element is the {e unique} minimal element, so
+    every element incomparable to a chain element [c] is placed {e before}
+    [c]. *)
+
+val equal : t -> t -> bool
+(** Same size and same order relation. *)
+
+val intersection : t list -> t
+(** Common order of a non-empty list of same-size posets (used to check
+    realizers: the intersection of the extensions must equal the poset). *)
+
+val of_total_order : int array -> t
+(** The chain poset induced by a permutation. *)
+
+val random : Synts_util.Rng.t -> int -> float -> t
+(** Random poset: each pair [(i, j)] with [i < j] (as integers) is related
+    with probability [p], then closed transitively. Always acyclic by
+    construction. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,44 @@
+let dilworth p =
+  let n = Poset.size p in
+  if n = 0 then [ [||] ]
+  else
+    match Dilworth.min_chain_partition p with
+    | [] | [ _ ] -> [ Poset.linear_extension p ]
+    | chains ->
+        List.map
+          (fun chain ->
+            let avoid = Array.make n false in
+            List.iter (fun v -> avoid.(v) <- true) chain;
+            Poset.linear_extension_avoiding p ~avoid)
+          chains
+
+let is_realizer p exts =
+  exts <> []
+  && List.for_all (Poset.is_linear_extension p) exts
+  && Poset.equal p (Poset.intersection (List.map Poset.of_total_order exts))
+
+let vectors exts =
+  match exts with
+  | [] -> invalid_arg "Realizer.vectors: empty realizer"
+  | first :: _ ->
+      let n = Array.length first in
+      let k = List.length exts in
+      if List.exists (fun e -> Array.length e <> n) exts then
+        invalid_arg "Realizer.vectors: extension length mismatch";
+      let vecs = Array.init n (fun _ -> Array.make k 0) in
+      List.iteri
+        (fun i ext -> Array.iteri (fun rank e -> vecs.(e).(i) <- rank) ext)
+        exts;
+      vecs
+
+let vector_lt u v =
+  let n = Array.length u in
+  if Array.length v <> n then invalid_arg "Realizer.vector_lt: length mismatch";
+  let all_leq = ref true and some_lt = ref false in
+  for k = 0 to n - 1 do
+    if u.(k) > v.(k) then all_leq := false;
+    if u.(k) < v.(k) then some_lt := true
+  done;
+  !all_leq && !some_lt
+
+let vector_concurrent u v = (not (vector_lt u v)) && not (vector_lt v u) && u <> v

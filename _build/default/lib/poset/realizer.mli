@@ -1,0 +1,33 @@
+(** Chain realizers: families of linear extensions whose intersection is
+    the poset.
+
+    The offline algorithm (paper Fig. 9) timestamps message [m] with the
+    vector of [m]'s ranks in the extensions of a realizer of size
+    [width ≤ ⌊N/2⌋]. The construction here is the classic proof of
+    [dim(P) ≤ width(P)]: for each chain [C] of a Dilworth partition, build
+    a linear extension that places every element incomparable to a chain
+    element below it ({!Poset.linear_extension_avoiding}). *)
+
+val dilworth : Poset.t -> int array list
+(** A realizer with exactly [max 1 (width p)] extensions (a single
+    extension for empty or chain posets). Deterministic. *)
+
+val is_realizer : Poset.t -> int array list -> bool
+(** Every member is a linear extension of the poset and their intersection
+    equals the poset exactly. *)
+
+val vectors : int array list -> int array array
+(** [vectors exts] assigns each element its rank vector:
+    [(vectors exts).(e).(i)] is the position of [e] in extension [i]. For a
+    realizer, element [x] is below [y] iff its vector is componentwise
+    strictly smaller — the offline timestamp property (Fig. 9 step 3 counts
+    elements strictly below, which is exactly the rank). Raises
+    [Invalid_argument] on an empty list or mismatched lengths. *)
+
+val vector_lt : int array -> int array -> bool
+(** Strict vector order of Equation (2) of the paper: every component ≤ and
+    some component <. For rank vectors this simplifies to all-components-<,
+    but we keep the paper's definition. *)
+
+val vector_concurrent : int array -> int array -> bool
+(** Neither [vector_lt a b] nor [vector_lt b a], and [a <> b]. *)

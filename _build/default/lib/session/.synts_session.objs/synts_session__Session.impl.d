@@ -1,0 +1,1 @@
+lib/session/session.ml: Array List Option Synts_clock Synts_core Synts_graph Synts_monitor Synts_poset

@@ -1,0 +1,1 @@
+lib/session/session.mli: Synts_clock Synts_core Synts_graph

@@ -1,0 +1,141 @@
+module Graph = Synts_graph.Graph
+module Decomposition = Synts_graph.Decomposition
+module Vector = Synts_clock.Vector
+module Online = Synts_core.Online
+module Adaptive_stamper = Synts_core.Adaptive_stamper
+module Event_stream = Synts_core.Event_stream
+module Internal_events = Synts_core.Internal_events
+module Frontier = Synts_monitor.Frontier
+module Stats = Synts_monitor.Stats
+
+type stamper =
+  | Static of Decomposition.t * (src:int -> dst:int -> Vector.t)
+  | Adaptive of Adaptive_stamper.t
+
+type t = {
+  n : int;
+  stamper : stamper;
+  events : Event_stream.t;
+  frontier : Frontier.t;
+  stats : Stats.t;
+  width : Synts_poset.Incremental_width.t;
+  last_message : int array;  (* per process, -1 when none *)
+  mutable resolved : (Event_stream.ticket * Internal_events.stamp) list;
+      (* oldest first, drained by the caller *)
+  mutable observed : int;
+}
+
+let make ?window ~n stamper dimension =
+  {
+    n;
+    stamper;
+    events = Event_stream.create ~dimension ~n;
+    frontier = Frontier.create ();
+    stats = Stats.create ?window ();
+    width = Synts_poset.Incremental_width.create ();
+    last_message = Array.make n (-1);
+    resolved = [];
+    observed = 0;
+  }
+
+let of_decomposition ?window d =
+  let n = Decomposition.graph_vertices d in
+  make ?window ~n
+    (Static (d, Online.stamper d))
+    (max 1 (Decomposition.size d))
+
+let of_topology ?window g = of_decomposition ?window (Decomposition.best g)
+let adaptive ?window ~n () = make ?window ~n (Adaptive (Adaptive_stamper.create n)) 1
+
+let processes t = t.n
+
+let dimension t =
+  match t.stamper with
+  | Static (d, _) -> Decomposition.size d
+  | Adaptive s -> max 1 (Adaptive_stamper.dimension s)
+
+let message t ~src ~dst =
+  let v =
+    match t.stamper with
+    | Static (_, stamp) -> stamp ~src ~dst
+    | Adaptive s -> Adaptive_stamper.stamp s ~src ~dst
+  in
+  let id = t.observed in
+  t.observed <- id + 1;
+  ignore (Frontier.insert t.frontier ~id v);
+  Stats.observe t.stats v;
+  let preds =
+    List.filter (fun m -> m >= 0) [ t.last_message.(src); t.last_message.(dst) ]
+  in
+  ignore (Synts_poset.Incremental_width.add t.width ~preds);
+  t.last_message.(src) <- id;
+  t.last_message.(dst) <- id;
+  t.resolved <-
+    t.resolved
+    @ Event_stream.record_message t.events ~proc:src v
+    @ Event_stream.record_message t.events ~proc:dst v;
+  v
+
+let internal t ~proc = Event_stream.record_internal t.events ~proc
+
+let drain_events t =
+  let out = t.resolved in
+  t.resolved <- [];
+  out
+
+let finish_events t = drain_events t @ Event_stream.finish t.events
+
+let messages_observed t = t.observed
+let width t = Synts_poset.Incremental_width.width t.width
+let frontier t = Frontier.frontier t.frontier
+let concurrency_ratio t = Stats.concurrency_ratio t.stats
+let longest_chain t = Stats.longest_chain t.stats
+
+let pad v dim =
+  if Vector.size v >= dim then v
+  else begin
+    let w = Vector.zero dim in
+    Array.blit v 0 w 0 (Vector.size v);
+    w
+  end
+
+let common u v =
+  let dim = max (Vector.size u) (Vector.size v) in
+  (pad u dim, pad v dim)
+
+let precedes _t u v =
+  let u, v = common u v in
+  Vector.lt u v
+
+let concurrent _t u v =
+  let u, v = common u v in
+  Vector.concurrent u v
+
+let happened_before t a b =
+  (* Bring every vector of both stamps to one width, then apply the
+     Theorem 9 test. *)
+  let dim =
+    List.fold_left max 1
+      (List.filter_map
+         (Option.map Vector.size)
+         [
+           Some a.Internal_events.prev;
+           a.Internal_events.succ;
+           Some b.Internal_events.prev;
+           b.Internal_events.succ;
+         ])
+  in
+  ignore t;
+  let widen (s : Internal_events.stamp) =
+    {
+      s with
+      Internal_events.prev = pad s.Internal_events.prev dim;
+      succ = Option.map (fun v -> pad v dim) s.Internal_events.succ;
+    }
+  in
+  Internal_events.happened_before (widen a) (widen b)
+
+let decomposition t =
+  match t.stamper with
+  | Static (d, _) -> d
+  | Adaptive s -> Adaptive_stamper.decomposition s

@@ -1,0 +1,66 @@
+(** The one-object embedding API for live monitoring.
+
+    A [Session.t] owns everything a monitoring integration needs: the
+    decomposition (fixed from a known topology, or grown adaptively), the
+    per-process clocks, the causal frontier, streaming order statistics
+    and the deferred internal-event stamps. Feed it the observation stream
+    — one call per message (in any linearization order of the real run)
+    and per internal event — and query it at any time.
+
+    All vectors returned by one session are mutually comparable with
+    {!precedes}/{!concurrent}/{!happened_before}, which zero-pad when the
+    adaptive decomposition has grown between two stamps. *)
+
+type t
+
+val of_topology : ?window:int -> Synts_graph.Graph.t -> t
+(** Known topology: uses [Decomposition.best]. [window] bounds the
+    statistics' retained history. *)
+
+val of_decomposition : ?window:int -> Synts_graph.Decomposition.t -> t
+(** Known topology with a caller-chosen decomposition. *)
+
+val adaptive : ?window:int -> n:int -> unit -> t
+(** Unknown topology: channels register on first use. *)
+
+val processes : t -> int
+val dimension : t -> int
+(** Current vector size (constant unless adaptive). *)
+
+val message : t -> src:int -> dst:int -> Synts_clock.Vector.t
+(** Observe the next message; returns its timestamp. Raises
+    [Invalid_argument] for channels outside a fixed decomposition. *)
+
+val internal : t -> proc:int -> Synts_core.Event_stream.ticket
+(** Observe an internal event; its stamp is deferred until the process's
+    next message ({!drain_events}). *)
+
+val drain_events :
+  t -> (Synts_core.Event_stream.ticket * Synts_core.Internal_events.stamp) list
+(** Internal-event stamps resolved since the last drain, oldest first. *)
+
+val finish_events :
+  t -> (Synts_core.Event_stream.ticket * Synts_core.Internal_events.stamp) list
+(** Flush still-pending internal events with [succ = +∞]. *)
+
+val messages_observed : t -> int
+val frontier : t -> (int * Synts_clock.Vector.t) list
+(** Current maximal messages as [(sequence number, timestamp)]; sequence
+    numbers count messages in observation order from 0. *)
+
+val concurrency_ratio : t -> float
+val longest_chain : t -> int
+
+val width : t -> int
+(** Width of the message poset observed so far (maintained incrementally;
+    always ≤ {!dimension}). The size an offline re-timestamping of the
+    prefix would need. *)
+
+val precedes : t -> Synts_clock.Vector.t -> Synts_clock.Vector.t -> bool
+val concurrent : t -> Synts_clock.Vector.t -> Synts_clock.Vector.t -> bool
+val happened_before :
+  t -> Synts_core.Internal_events.stamp -> Synts_core.Internal_events.stamp -> bool
+(** Padded comparisons, valid across the session's whole lifetime. *)
+
+val decomposition : t -> Synts_graph.Decomposition.t
+(** The current decomposition (a snapshot when adaptive). *)

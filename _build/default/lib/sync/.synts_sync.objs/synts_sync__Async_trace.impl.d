@@ -1,0 +1,1 @@
+lib/sync/async_trace.ml: Array Fun List Printf Trace

@@ -1,0 +1,1 @@
+lib/sync/async_trace.mli: Trace

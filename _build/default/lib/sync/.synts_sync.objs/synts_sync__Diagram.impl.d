@@ -1,0 +1,1 @@
+lib/sync/diagram.ml: Array Buffer Fun List Printf String Trace

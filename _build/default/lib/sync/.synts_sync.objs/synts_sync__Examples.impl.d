@@ -1,0 +1,1 @@
+lib/sync/examples.ml: Synts_graph Trace

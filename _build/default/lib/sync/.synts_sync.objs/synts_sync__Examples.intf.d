@@ -1,0 +1,1 @@
+lib/sync/examples.mli: Synts_graph Trace

@@ -1,0 +1,1 @@
+lib/sync/happened_before.ml: Synts_poset Trace

@@ -1,0 +1,1 @@
+lib/sync/happened_before.mli: Synts_poset Trace

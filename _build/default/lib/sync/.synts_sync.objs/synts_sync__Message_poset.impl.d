@@ -1,0 +1,1 @@
+lib/sync/message_poset.ml: Array Fun List Synts_poset Trace

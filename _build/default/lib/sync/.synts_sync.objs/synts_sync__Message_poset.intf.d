@@ -1,0 +1,1 @@
+lib/sync/message_poset.mli: Synts_poset Trace

@@ -1,0 +1,1 @@
+lib/sync/synchronous.ml: Array Async_trace Int List Set Trace

@@ -1,0 +1,1 @@
+lib/sync/synchronous.mli: Async_trace Trace

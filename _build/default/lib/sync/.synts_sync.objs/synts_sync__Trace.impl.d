@@ -1,0 +1,1 @@
+lib/sync/trace.ml: Array Format List Printf Synts_graph

@@ -1,0 +1,1 @@
+lib/sync/trace.mli: Format Synts_graph

@@ -1,0 +1,1 @@
+lib/sync/trace_io.ml: Buffer Fun In_channel List Printf String Trace

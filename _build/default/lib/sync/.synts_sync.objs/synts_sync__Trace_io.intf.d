@@ -1,0 +1,1 @@
+lib/sync/trace_io.mli: Trace

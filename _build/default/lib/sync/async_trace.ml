@@ -1,0 +1,100 @@
+type event = ASend of int | ARecv of int | ALocal
+
+type t = {
+  n : int;
+  histories : event list array;
+  senders : int array;
+  receivers : int array;
+}
+
+let make ~n histories =
+  if n < 1 then Error "need at least one process"
+  else if Array.length histories <> n then Error "history count <> n"
+  else begin
+    let ids =
+      Array.to_list histories
+      |> List.concat_map
+           (List.filter_map (function
+             | ASend m | ARecv m -> Some m
+             | ALocal -> None))
+      |> List.sort_uniq compare
+    in
+    let k = List.length ids in
+    if ids <> List.init k Fun.id then
+      Error "message ids must be exactly 0 .. k-1"
+    else begin
+      let senders = Array.make k (-1) and receivers = Array.make k (-1) in
+      let error = ref None in
+      Array.iteri
+        (fun p evs ->
+          List.iter
+            (fun ev ->
+              match ev with
+              | ALocal -> ()
+              | ASend m ->
+                  if senders.(m) >= 0 then
+                    error := Some (Printf.sprintf "message %d sent twice" m)
+                  else senders.(m) <- p
+              | ARecv m ->
+                  if receivers.(m) >= 0 then
+                    error := Some (Printf.sprintf "message %d received twice" m)
+                  else receivers.(m) <- p)
+            evs)
+        histories;
+      match !error with
+      | Some e -> Error e
+      | None ->
+          let missing =
+            List.find_opt
+              (fun m -> senders.(m) < 0 || receivers.(m) < 0)
+              (List.init k Fun.id)
+          in
+          (match missing with
+          | Some m -> Error (Printf.sprintf "message %d lacks send or receive" m)
+          | None ->
+              if
+                List.exists
+                  (fun m -> senders.(m) = receivers.(m))
+                  (List.init k Fun.id)
+              then Error "a message is sent and received by the same process"
+              else
+                Ok { n; histories = Array.map Fun.id histories; senders; receivers })
+    end
+  end
+
+let make_exn ~n histories =
+  match make ~n histories with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Async_trace.make: " ^ msg)
+
+let n t = t.n
+let message_count t = Array.length t.senders
+
+let history t p =
+  if p < 0 || p >= t.n then invalid_arg "Async_trace.history";
+  t.histories.(p)
+
+let sender t m =
+  if m < 0 || m >= message_count t then invalid_arg "Async_trace.sender";
+  t.senders.(m)
+
+let receiver t m =
+  if m < 0 || m >= message_count t then invalid_arg "Async_trace.receiver";
+  t.receivers.(m)
+
+let of_trace trace =
+  let n = Trace.n trace in
+  let histories = Array.make n [] in
+  for p = 0 to n - 1 do
+    histories.(p) <-
+      List.map
+        (function
+          | Trace.Msg m ->
+              if m.Trace.src = p then ASend m.Trace.id else ARecv m.Trace.id
+          | Trace.Int _ -> ALocal)
+        (Trace.process_history trace p)
+  done;
+  make_exn ~n histories
+
+let crown () =
+  make_exn ~n:2 [| [ ASend 0; ARecv 1 ]; [ ASend 1; ARecv 0 ] |]

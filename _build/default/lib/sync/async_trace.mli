@@ -1,0 +1,36 @@
+(** Asynchronous computations with explicit send/receive events.
+
+    Used to state and check {e synchronizability}: a computation can be
+    drawn with vertical message arrows (i.e. could have been produced with
+    synchronous messages) iff its messages admit integer timestamps that
+    increase along each process and coincide on each send/receive pair
+    (Charron-Bost, Mattern & Tel) — see {!Synchronous}. *)
+
+type event =
+  | ASend of int  (** Send of the message with this id. *)
+  | ARecv of int  (** Receive of the message with this id. *)
+  | ALocal  (** Internal event (ignored by the synchronizability check). *)
+
+type t
+
+val make : n:int -> event list array -> (t, string) result
+(** [make ~n histories] with [histories.(p)] process [p]'s local event
+    sequence. Each message id in [0 .. k-1] must be sent exactly once and
+    received exactly once, on two different processes. *)
+
+val make_exn : n:int -> event list array -> t
+
+val n : t -> int
+val message_count : t -> int
+val history : t -> int -> event list
+val sender : t -> int -> int
+val receiver : t -> int -> int
+
+val of_trace : Trace.t -> t
+(** A synchronous trace viewed asynchronously: each message's send is
+    immediately followed by its receive in the linearization order (so the
+    result is always synchronizable). *)
+
+val crown : unit -> t
+(** The classic non-synchronizable two-process computation: each process
+    sends before it receives, and the two messages cross. *)

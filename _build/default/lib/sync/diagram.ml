@@ -1,0 +1,71 @@
+let default_label p = Printf.sprintf "P%d" (p + 1)
+
+let vector_to_string v =
+  "("
+  ^ String.concat "," (List.map string_of_int (Array.to_list v))
+  ^ ")"
+
+let build ?(labels = default_label) trace header_of_message =
+  let n = Trace.n trace in
+  let steps = Trace.steps trace in
+  let columns = List.length steps in
+  let label_width =
+    List.fold_left
+      (fun w p -> max w (String.length (labels p)))
+      0
+      (List.init n Fun.id)
+  in
+  (* Column widths: wide enough for that column's header. *)
+  let widths = Array.make columns 4 in
+  let headers = Array.make columns "" in
+  let mid = ref 0 in
+  List.iteri
+    (fun c step ->
+      match step with
+      | Trace.Send _ ->
+          let h = header_of_message !mid in
+          incr mid;
+          headers.(c) <- h;
+          widths.(c) <- max 4 (String.length h + 1)
+      | Trace.Local _ -> ())
+    steps;
+  let buf = Buffer.create 1024 in
+  (* Header row. *)
+  Buffer.add_string buf (String.make (label_width + 1) ' ');
+  Array.iteri
+    (fun c h ->
+      Buffer.add_string buf h;
+      Buffer.add_string buf (String.make (widths.(c) - String.length h) ' '))
+    headers;
+  Buffer.add_char buf '\n';
+  (* Process rows. *)
+  for p = 0 to n - 1 do
+    let l = labels p in
+    Buffer.add_string buf l;
+    Buffer.add_string buf (String.make (label_width - String.length l + 1) ' ');
+    List.iteri
+      (fun c step ->
+        let cell =
+          match step with
+          | Trace.Send (src, dst) ->
+              let lo = min src dst and hi = max src dst in
+              if p = src then '*'
+              else if p = dst then if dst > src then 'v' else '^'
+              else if p > lo && p < hi then '|'
+              else '-'
+          | Trace.Local q -> if p = q then '#' else '-'
+        in
+        Buffer.add_char buf cell;
+        Buffer.add_string buf (String.make (widths.(c) - 1) '-'))
+      steps;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let render ?labels trace =
+  build ?labels trace (fun m -> Printf.sprintf "m%d" (m + 1))
+
+let render_with_timestamps trace vectors =
+  if Array.length vectors <> Trace.message_count trace then
+    invalid_arg "Diagram.render_with_timestamps: vector count mismatch";
+  build trace (fun m -> vector_to_string vectors.(m))

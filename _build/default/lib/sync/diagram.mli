@@ -1,0 +1,16 @@
+(** ASCII time diagrams with vertical message arrows (paper Fig. 1/6
+    style).
+
+    Each global action occupies one column; a message is a vertical arrow
+    from its sender's row to its receiver's row ('^' or 'v' marks the
+    receiving end), an internal event is a '#'. The header row labels
+    message columns m1, m2, … in occurrence order. *)
+
+val render : ?labels:(int -> string) -> Trace.t -> string
+(** [labels] overrides process row labels (default [P1], [P2], …, matching
+    the paper's 1-based process naming). *)
+
+val render_with_timestamps : Trace.t -> int array array -> string
+(** Like {!render} with each message column's vector printed vertically
+    under the header, e.g. [(1,1,1)] for the paper's Figure 6. The array is
+    indexed by message id. *)

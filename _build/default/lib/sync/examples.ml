@@ -1,0 +1,44 @@
+module Decomposition = Synts_graph.Decomposition
+module Topology = Synts_graph.Topology
+
+(* Processes are 0-based internally: paper's P1..P4 are 0..3. *)
+let fig1 () =
+  Trace.of_steps_exn ~n:4
+    [
+      Send (0, 1) (* m1 : P1 -> P2 *);
+      Send (3, 2) (* m2 : P4 -> P3 *);
+      Send (1, 2) (* m3 : P2 -> P3 *);
+      Send (2, 3) (* m4 : P3 -> P4 *);
+      Send (2, 3) (* m5 : P3 -> P4 *);
+      Send (1, 2) (* m6 : P2 -> P3 *);
+    ]
+
+let fig6 () =
+  Trace.of_steps_exn ~n:5
+    [
+      Send (0, 1) (* P1 -> P2, edge in E1 *);
+      Send (2, 3) (* P3 -> P4, edge in E3 *);
+      Send (1, 2) (* P2 -> P3, edge in E2: gets (1,1,1) *);
+      Send (3, 4) (* P4 -> P5, edge in E3 *);
+      Send (0, 4) (* P1 -> P5, edge in E1 *);
+      Send (1, 4) (* P2 -> P5, edge in E2 *);
+    ]
+
+let fig6_decomposition () =
+  Decomposition.make_exn
+    (Topology.fig6_topology ())
+    [
+      Star { center = 0; leaves = [ 1; 2; 3; 4 ] };
+      Star { center = 1; leaves = [ 2; 3; 4 ] };
+      Triangle (2, 3, 4);
+    ]
+
+let fig6_expected =
+  [
+    (0, [| 1; 0; 0 |]);
+    (1, [| 0; 0; 1 |]);
+    (2, [| 1; 1; 1 |]);
+    (3, [| 0; 0; 2 |]);
+    (4, [| 2; 0; 2 |]);
+    (5, [| 2; 2; 2 |]);
+  ]

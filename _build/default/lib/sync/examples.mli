@@ -1,0 +1,26 @@
+(** The paper's worked examples, reconstructed as concrete traces.
+
+    The published figures are images absent from the source text, so these
+    traces are rebuilt from the properties the paper states about them; the
+    test suite asserts exactly those properties. *)
+
+val fig1 : unit -> Trace.t
+(** A 4-process synchronous computation with 6 messages m1..m6 (ids 0..5)
+    satisfying everything Sec. 2 says about Figure 1: [m1 ∥ m2],
+    [m1 ▷ m3], [m2 ↦ m6], [m3 ↦ m5], and a synchronous chain of size 4
+    from m1 to m5. *)
+
+val fig6 : unit -> Trace.t
+(** A synchronous computation on the fully-connected 5-process system of
+    Figure 6. Under {!fig6_decomposition} the message P2→P3 receives
+    timestamp (1,1,1) from local vectors (1,0,0) at P2 and (0,0,1) at P3,
+    exactly as the paper narrates. *)
+
+val fig6_decomposition : unit -> Synts_graph.Decomposition.t
+(** K5 as 2 stars + 1 triangle (Figure 3(a)): E1 = star at P1,
+    E2 = star at P2, E3 = triangle (P3, P4, P5). *)
+
+val fig6_expected : (int * int array) list
+(** Expected (message id, timestamp) pairs for {!fig6} under
+    {!fig6_decomposition}, computed by hand from the algorithm of
+    Figure 5. *)

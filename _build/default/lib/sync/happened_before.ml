@@ -1,0 +1,32 @@
+module Poset = Synts_poset.Poset
+
+let node_of_message t m =
+  if m < 0 || m >= Trace.message_count t then
+    invalid_arg "Happened_before.node_of_message";
+  m
+
+let node_of_internal t i =
+  if i < 0 || i >= Trace.internal_count t then
+    invalid_arg "Happened_before.node_of_internal";
+  Trace.message_count t + i
+
+let node_of_occurrence t = function
+  | Trace.Msg m -> node_of_message t m.Trace.id
+  | Trace.Int e -> node_of_internal t e.Trace.id
+
+let of_trace t =
+  let nodes = Trace.message_count t + Trace.internal_count t in
+  let pairs = ref [] in
+  for p = 0 to Trace.n t - 1 do
+    let rec chain = function
+      | a :: (b :: _ as rest) ->
+          pairs := (node_of_occurrence t a, node_of_occurrence t b) :: !pairs;
+          chain rest
+      | [] | [ _ ] -> ()
+    in
+    chain (Trace.process_history t p)
+  done;
+  Poset.of_relation nodes !pairs
+
+let internal_hb t hb i j =
+  Poset.lt hb (node_of_internal t i) (node_of_internal t j)

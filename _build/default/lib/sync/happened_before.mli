@@ -1,0 +1,25 @@
+(** Ground-truth happened-before over the events of a synchronous
+    computation (paper Sec. 5).
+
+    With synchronous messages every program message is acknowledged, so the
+    causal past of anything after a message's send event includes everything
+    before the matching receive event and vice versa. For ordering purposes
+    the send/receive pair therefore acts as a single synchronization point:
+    we build a DAG whose nodes are messages (one merged node per message)
+    and internal events, with an edge between consecutive occurrences of
+    each process, and take its closure. This is an oracle — deliberately
+    independent of the paper's timestamping algorithms — used to validate
+    Theorem 9.
+
+    Node numbering: message [m] is node [m]; internal event [i] is node
+    [message_count + i]. *)
+
+val node_of_message : Trace.t -> int -> int
+val node_of_internal : Trace.t -> int -> int
+
+val of_trace : Trace.t -> Synts_poset.Poset.t
+(** The happened-before poset over all nodes. *)
+
+val internal_hb : Trace.t -> Synts_poset.Poset.t -> int -> int -> bool
+(** [internal_hb t hb i j]: internal event [i] happened before internal
+    event [j] ([hb] must come from {!of_trace} on the same trace). *)

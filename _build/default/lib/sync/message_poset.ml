@@ -1,0 +1,72 @@
+module Poset = Synts_poset.Poset
+
+let direct_pairs t =
+  let pairs = ref [] in
+  for p = 0 to Trace.n t - 1 do
+    let msgs =
+      List.filter_map
+        (function Trace.Msg m -> Some m.Trace.id | Trace.Int _ -> None)
+        (Trace.process_history t p)
+    in
+    let rec chain = function
+      | a :: (b :: _ as rest) ->
+          pairs := (a, b) :: !pairs;
+          chain rest
+      | [] | [ _ ] -> ()
+    in
+    chain msgs
+  done;
+  List.rev !pairs
+
+let directly_precedes t m1 m2 =
+  let a = Trace.message t m1 and b = Trace.message t m2 in
+  a.Trace.pos < b.Trace.pos
+  && (Trace.involves b a.Trace.src || Trace.involves b a.Trace.dst)
+
+let of_trace t = Poset.of_relation (Trace.message_count t) (direct_pairs t)
+
+let chain_between t m1 m2 =
+  let count = Trace.message_count t in
+  if m1 < 0 || m1 >= count || m2 < 0 || m2 >= count then
+    invalid_arg "Message_poset.chain_between: id out of range";
+  if m1 = m2 then Some [ m1 ]
+  else begin
+    (* Longest ▷-path from m1 to m2, by dynamic programming in position
+       order over the full direct relation. *)
+    let by_pos =
+      List.sort
+        (fun a b -> compare (Trace.message t a).Trace.pos (Trace.message t b).Trace.pos)
+        (List.init count Fun.id)
+    in
+    let best = Array.make count min_int in
+    let pred = Array.make count (-1) in
+    best.(m1) <- 1;
+    List.iter
+      (fun m ->
+        if best.(m) > min_int then
+          List.iter
+            (fun m' ->
+              if directly_precedes t m m' && best.(m) + 1 > best.(m') then begin
+                best.(m') <- best.(m) + 1;
+                pred.(m') <- m
+              end)
+            by_pos)
+      by_pos;
+    if best.(m2) = min_int then None
+    else begin
+      let rec collect m acc =
+        if m = m1 then m1 :: acc else collect pred.(m) (m :: acc)
+      in
+      Some (collect m2 [])
+    end
+  end
+
+let is_total_order p =
+  let n = Poset.size p in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if not (Poset.comparable p i j) then ok := false
+    done
+  done;
+  !ok

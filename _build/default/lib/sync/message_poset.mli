@@ -1,0 +1,28 @@
+(** The poset [(M, ↦)] of a synchronous computation (paper Sec. 2).
+
+    The direct relation [▷] holds between two messages when they share a
+    participant process and the first occurs before the second in that
+    process's local order; [↦] ("synchronously precedes") is its transitive
+    closure. Because each process's messages are totally ordered, closing
+    only the consecutive per-process pairs yields the same poset, which is
+    how {!of_trace} stays near-linear before the closure. *)
+
+val direct_pairs : Trace.t -> (int * int) list
+(** The per-process consecutive pairs [(m1.id, m2.id)] generating [▷]'s
+    closure. *)
+
+val directly_precedes : Trace.t -> int -> int -> bool
+(** The full [m1 ▷ m2] test (shared participant, earlier position). *)
+
+val of_trace : Trace.t -> Synts_poset.Poset.t
+(** The poset [(M, ↦)] over message ids. *)
+
+val chain_between : Trace.t -> int -> int -> int list option
+(** [chain_between t m1 m2] is a synchronous chain
+    [m1 ▷ … ▷ m2] (list of message ids, inclusive) when [m1 ↦ m2] or
+    [m1 = m2]; [None] otherwise. The chain returned is a longest one, so
+    its length witnesses the "synchronous chain of size k" notion used in
+    the paper's Figure 1 discussion. *)
+
+val is_total_order : Synts_poset.Poset.t -> bool
+(** No two distinct elements are concurrent (Lemma 1's conclusion). *)

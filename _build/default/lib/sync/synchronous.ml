@@ -1,0 +1,113 @@
+let message_events_of_history evs =
+  List.filter_map
+    (function
+      | Async_trace.ASend m | Async_trace.ARecv m -> Some m
+      | Async_trace.ALocal -> None)
+    evs
+
+let direct_message_pairs t =
+  let pairs = ref [] in
+  for p = 0 to Async_trace.n t - 1 do
+    let rec chain = function
+      | a :: (b :: _ as rest) ->
+          pairs := (a, b) :: !pairs;
+          chain rest
+      | [] | [ _ ] -> ()
+    in
+    chain (message_events_of_history (Async_trace.history t p))
+  done;
+  List.rev !pairs
+
+let topological_order t =
+  let k = Async_trace.message_count t in
+  let adj = Array.make k [] and indeg = Array.make k 0 in
+  List.iter
+    (fun (a, b) ->
+      adj.(a) <- b :: adj.(a);
+      indeg.(b) <- indeg.(b) + 1)
+    (direct_message_pairs t);
+  (* Deterministic Kahn: always pop the smallest available id. *)
+  let module IS = Set.Make (Int) in
+  let avail = ref IS.empty in
+  Array.iteri (fun m d -> if d = 0 then avail := IS.add m !avail) indeg;
+  let order = ref [] in
+  let placed = ref 0 in
+  while not (IS.is_empty !avail) do
+    let m = IS.min_elt !avail in
+    avail := IS.remove m !avail;
+    order := m :: !order;
+    incr placed;
+    List.iter
+      (fun b ->
+        indeg.(b) <- indeg.(b) - 1;
+        if indeg.(b) = 0 then avail := IS.add b !avail)
+      adj.(m)
+  done;
+  if !placed = k then Some (List.rev !order) else None
+
+let integer_timestamps t =
+  match topological_order t with
+  | None -> None
+  | Some order ->
+      let ts = Array.make (Async_trace.message_count t) 0 in
+      List.iteri (fun i m -> ts.(m) <- i) order;
+      Some ts
+
+let is_synchronous t = topological_order t <> None
+
+let respects t ts =
+  Array.length ts = Async_trace.message_count t
+  && begin
+       let ok = ref true in
+       for p = 0 to Async_trace.n t - 1 do
+         let rec check = function
+           | a :: (b :: _ as rest) ->
+               if ts.(a) >= ts.(b) then ok := false;
+               check rest
+           | [] | [ _ ] -> ()
+         in
+         check (message_events_of_history (Async_trace.history t p))
+       done;
+       !ok
+     end
+
+let to_trace t =
+  match topological_order t with
+  | None -> None
+  | Some order ->
+      (* Per-process queues of remaining events; emitting message m first
+         flushes the local events preceding it on both endpoints. *)
+      let remaining = Array.init (Async_trace.n t) (Async_trace.history t) in
+      let steps = ref [] in
+      let flush_locals p upto_msg =
+        let rec go evs =
+          match evs with
+          | Async_trace.ALocal :: rest ->
+              steps := Trace.Local p :: !steps;
+              go rest
+          | (Async_trace.ASend m | Async_trace.ARecv m) :: rest
+            when m = upto_msg ->
+              rest
+          | _ ->
+              invalid_arg
+                "Synchronous.to_trace: history inconsistent with topological order"
+        in
+        remaining.(p) <- go remaining.(p)
+      in
+      List.iter
+        (fun m ->
+          let src = Async_trace.sender t m and dst = Async_trace.receiver t m in
+          flush_locals src m;
+          flush_locals dst m;
+          steps := Trace.Send (src, dst) :: !steps)
+        order;
+      Array.iteri
+        (fun p evs ->
+          List.iter
+            (function
+              | Async_trace.ALocal -> steps := Trace.Local p :: !steps
+              | Async_trace.ASend _ | Async_trace.ARecv _ ->
+                  invalid_arg "Synchronous.to_trace: unplaced message event")
+            evs)
+        remaining;
+      Some (Trace.of_steps_exn ~n:(Async_trace.n t) (List.rev !steps))

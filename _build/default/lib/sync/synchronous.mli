@@ -1,0 +1,31 @@
+(** Synchronizability: when can a computation be drawn with vertical
+    arrows?
+
+    Paper Sec. 2: a computation is synchronous iff its send and receive
+    events can be timestamped with integers that (1) increase within each
+    process and (2) coincide on the two events of each message. That holds
+    exactly when the direct message-precedence digraph is acyclic, in which
+    case any topological numbering of the messages is such a timestamping
+    and yields a linearization with instantaneous messages. *)
+
+val direct_message_pairs : Async_trace.t -> (int * int) list
+(** Pairs [(m1, m2)] with [m1 ▷ m2] generated from consecutive events of
+    each process (their closure is the full ▷ closure). *)
+
+val integer_timestamps : Async_trace.t -> int array option
+(** [Some ts] with [ts.(m)] the integer timestamp of message [m] when the
+    computation is synchronizable, [None] otherwise. Timestamps are
+    distinct (a strict topological numbering), which is sufficient for the
+    two conditions above. *)
+
+val is_synchronous : Async_trace.t -> bool
+
+val to_trace : Async_trace.t -> Trace.t option
+(** A synchronous trace with the same messages and per-process message
+    orders, when synchronizable. Internal events are preserved in their
+    local positions. *)
+
+val respects : Async_trace.t -> int array -> bool
+(** Check conditions (1)–(2) for an arbitrary candidate assignment: along
+    each process the (per-event) timestamps strictly increase, where the
+    timestamp of an event is the assignment of its message. *)

@@ -1,0 +1,113 @@
+type step = Send of int * int | Local of int
+type message = { id : int; src : int; dst : int; pos : int }
+type internal = { id : int; proc : int; pos : int }
+type occurrence = Msg of message | Int of internal
+
+type t = {
+  n : int;
+  steps : step array;
+  messages : message array;
+  internals : internal array;
+  histories : occurrence list array;  (* per process, in local order *)
+}
+
+let of_steps ~n steps =
+  if n < 1 then Error "trace needs at least one process"
+  else begin
+    let bad = ref None in
+    let msgs = ref [] and ints = ref [] in
+    let mcount = ref 0 and icount = ref 0 in
+    let histories = Array.make n [] in
+    List.iteri
+      (fun pos step ->
+        if !bad = None then
+          match step with
+          | Send (src, dst) ->
+              if src < 0 || src >= n || dst < 0 || dst >= n then
+                bad := Some (Printf.sprintf "step %d: process out of range" pos)
+              else if src = dst then
+                bad := Some (Printf.sprintf "step %d: self-message" pos)
+              else begin
+                let m = { id = !mcount; src; dst; pos } in
+                incr mcount;
+                msgs := m :: !msgs;
+                histories.(src) <- Msg m :: histories.(src);
+                histories.(dst) <- Msg m :: histories.(dst)
+              end
+          | Local p ->
+              if p < 0 || p >= n then
+                bad := Some (Printf.sprintf "step %d: process out of range" pos)
+              else begin
+                let e = { id = !icount; proc = p; pos } in
+                incr icount;
+                ints := e :: !ints;
+                histories.(p) <- Int e :: histories.(p)
+              end)
+      steps;
+    match !bad with
+    | Some msg -> Error msg
+    | None ->
+        Ok
+          {
+            n;
+            steps = Array.of_list steps;
+            messages = Array.of_list (List.rev !msgs);
+            internals = Array.of_list (List.rev !ints);
+            histories = Array.map List.rev histories;
+          }
+  end
+
+let of_steps_exn ~n steps =
+  match of_steps ~n steps with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Trace.of_steps: " ^ msg)
+
+let n t = t.n
+let message_count t = Array.length t.messages
+let internal_count t = Array.length t.internals
+let messages t = t.messages
+let internals t = t.internals
+
+let message t id =
+  if id < 0 || id >= Array.length t.messages then
+    invalid_arg "Trace.message: id out of range";
+  t.messages.(id)
+
+let steps t = Array.to_list t.steps
+
+let process_history t p =
+  if p < 0 || p >= t.n then invalid_arg "Trace.process_history: out of range";
+  t.histories.(p)
+
+let participants (m : message) = (m.src, m.dst)
+let involves (m : message) p = m.src = p || m.dst = p
+
+let topology t =
+  Array.fold_left
+    (fun g (m : message) -> Synts_graph.Graph.add_edge g m.src m.dst)
+    (Synts_graph.Graph.empty t.n)
+    t.messages
+
+let restrict_messages t =
+  of_steps_exn ~n:t.n
+    (List.filter_map
+       (function Send _ as s -> Some s | Local _ -> None)
+       (steps t))
+
+let append t extra =
+  of_steps ~n:t.n (steps t @ extra)
+
+let concat_steps a b =
+  if n a <> n b then Error "process counts differ"
+  else of_steps ~n:(n a) (steps a @ steps b)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>trace n=%d messages=%d internals=%d@," t.n
+    (message_count t) (internal_count t);
+  Array.iteri
+    (fun pos step ->
+      match step with
+      | Send (s, d) -> Format.fprintf ppf "  %3d: P%d -> P%d@," pos s d
+      | Local p -> Format.fprintf ppf "  %3d: P%d internal@," pos p)
+    t.steps;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,69 @@
+(** Synchronous computation traces.
+
+    A computation whose messages are all synchronous is logically equivalent
+    to one where messages are instantaneous (Charron-Bost et al.): its time
+    diagram can be drawn with vertical arrows. We therefore represent a
+    synchronous computation as one global sequence of instantaneous
+    actions — each either a message atomically involving its two endpoint
+    processes, or an internal event of one process. Per-process event orders
+    are the projections of this sequence.
+
+    Messages and internal events are numbered 0, 1, … in order of
+    occurrence; those ids index every derived structure (message poset,
+    timestamp arrays). *)
+
+type step =
+  | Send of int * int  (** [Send (src, dst)]: a synchronous message. *)
+  | Local of int  (** [Local p]: an internal event of process [p]. *)
+
+type message = { id : int; src : int; dst : int; pos : int }
+(** [pos] is the action's index in the global sequence. *)
+
+type internal = { id : int; proc : int; pos : int }
+
+type occurrence = Msg of message | Int of internal
+(** One entry of a process's local history. *)
+
+type t
+
+val of_steps : n:int -> step list -> (t, string) result
+(** Validates process indices, [src <> dst], [n >= 1]. *)
+
+val of_steps_exn : n:int -> step list -> t
+
+val n : t -> int
+(** Process count. *)
+
+val message_count : t -> int
+val internal_count : t -> int
+val messages : t -> message array
+val internals : t -> internal array
+val message : t -> int -> message
+(** By id. *)
+
+val steps : t -> step list
+(** The original global sequence. *)
+
+val process_history : t -> int -> occurrence list
+(** The occurrences involving a process, in its local order. *)
+
+val participants : message -> int * int
+(** [(src, dst)]. *)
+
+val involves : message -> int -> bool
+
+val topology : t -> Synts_graph.Graph.t
+(** The communication graph actually used: one edge per communicating
+    pair. *)
+
+val restrict_messages : t -> t
+(** The trace with internal events dropped (message ids preserved). *)
+
+val append : t -> step list -> (t, string) result
+(** Extend a trace with further steps. *)
+
+val concat_steps : t -> t -> (t, string) result
+(** Sequential composition (same process count); message ids of the second
+    trace are shifted. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,74 @@
+let magic = "synts-trace 1"
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (Printf.sprintf "n %d\n" (Trace.n t));
+  List.iter
+    (fun step ->
+      Buffer.add_string buf
+        (match step with
+        | Trace.Send (src, dst) -> Printf.sprintf "s %d %d\n" src dst
+        | Trace.Local p -> Printf.sprintf "l %d\n" p))
+    (Trace.steps t);
+  Buffer.contents buf
+
+let strip line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  String.trim line
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let err lineno msg = Error (Printf.sprintf "line %d: %s" lineno msg) in
+  let rec parse lineno n steps = function
+    | [] -> (
+        match n with
+        | None -> Error "missing process-count line (n <N>)"
+        | Some n -> (
+            match Trace.of_steps ~n (List.rev steps) with
+            | Ok t -> Ok t
+            | Error e -> Error e))
+    | line :: rest -> (
+        let lineno = lineno + 1 in
+        match strip line with
+        | "" -> parse lineno n steps rest
+        | line when line = magic -> parse lineno n steps rest
+        | line -> (
+            match (String.split_on_char ' ' line, n) with
+            | [ "n"; count ], None -> (
+                match int_of_string_opt count with
+                | Some c -> parse lineno (Some c) steps rest
+                | None -> err lineno "bad process count")
+            | [ "n"; _ ], Some _ -> err lineno "duplicate process count"
+            | _, None -> err lineno "steps before the process count"
+            | [ "s"; a; b ], Some _ -> (
+                match (int_of_string_opt a, int_of_string_opt b) with
+                | Some a, Some b ->
+                    parse lineno n (Trace.Send (a, b) :: steps) rest
+                | _ -> err lineno "bad message endpoints")
+            | [ "l"; p ], Some _ -> (
+                match int_of_string_opt p with
+                | Some p -> parse lineno n (Trace.Local p :: steps) rest
+                | None -> err lineno "bad process id")
+            | _ -> err lineno (Printf.sprintf "unrecognized line %S" line)))
+  in
+  parse 0 None [] lines
+
+let save path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t))
+
+let load path =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> of_string (In_channel.input_all ic))

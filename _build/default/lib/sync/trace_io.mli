@@ -1,0 +1,23 @@
+(** Plain-text serialization of traces.
+
+    A small line format so recorded computations can be saved, shared and
+    re-analyzed by the CLI (`synts` reads and writes it):
+
+    {v
+    synts-trace 1
+    n 4
+    s 0 1      # synchronous message P0 -> P1
+    l 2        # internal event on P2
+    v}
+
+    Blank lines and [#] comments are ignored. *)
+
+val to_string : Trace.t -> string
+
+val of_string : string -> (Trace.t, string) result
+(** Errors carry a 1-based line number. *)
+
+val save : string -> Trace.t -> unit
+(** [save path trace]. *)
+
+val load : string -> (Trace.t, string) result

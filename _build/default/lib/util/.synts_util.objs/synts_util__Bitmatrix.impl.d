@@ -1,0 +1,1 @@
+lib/util/bitmatrix.ml: Array Format Queue Sys

@@ -1,0 +1,91 @@
+type t = { words : int array; n : int; stride : int }
+
+let bits_per_word = Sys.int_size
+
+let create n =
+  if n < 0 then invalid_arg "Bitmatrix.create: negative dimension";
+  let stride = (n + bits_per_word - 1) / bits_per_word in
+  { words = Array.make (max 1 (n * stride)) 0; n; stride }
+
+let dim t = t.n
+
+let check t i j =
+  if i < 0 || i >= t.n || j < 0 || j >= t.n then
+    invalid_arg "Bitmatrix: index out of range"
+
+let get t i j =
+  check t i j;
+  t.words.((i * t.stride) + (j / bits_per_word))
+  land (1 lsl (j mod bits_per_word))
+  <> 0
+
+let set t i j v =
+  check t i j;
+  let w = (i * t.stride) + (j / bits_per_word) in
+  let bit = 1 lsl (j mod bits_per_word) in
+  if v then t.words.(w) <- t.words.(w) lor bit
+  else t.words.(w) <- t.words.(w) land lnot bit
+
+let copy t = { t with words = Array.copy t.words }
+
+let equal a b =
+  if a.n <> b.n then invalid_arg "Bitmatrix.equal: dimension mismatch";
+  a.words = b.words
+
+let or_row_into t ~dst ~src =
+  if dst < 0 || dst >= t.n || src < 0 || src >= t.n then
+    invalid_arg "Bitmatrix.or_row_into: row out of range";
+  let d = dst * t.stride and s = src * t.stride in
+  for w = 0 to t.stride - 1 do
+    t.words.(d + w) <- t.words.(d + w) lor t.words.(s + w)
+  done
+
+let row_iter t i f =
+  if i < 0 || i >= t.n then invalid_arg "Bitmatrix.row_iter: row out of range";
+  let base = i * t.stride in
+  for w = 0 to t.stride - 1 do
+    let word = t.words.(base + w) in
+    if word <> 0 then
+      for b = 0 to bits_per_word - 1 do
+        if word land (1 lsl b) <> 0 then f ((w * bits_per_word) + b)
+      done
+  done
+
+let transitive_closure t =
+  for k = 0 to t.n - 1 do
+    for i = 0 to t.n - 1 do
+      if get t i k then or_row_into t ~dst:i ~src:k
+    done
+  done
+
+let popcount x =
+  let rec go acc x = if x = 0 then acc else go (acc + 1) (x land (x - 1)) in
+  go 0 x
+
+let count t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+
+let is_acyclic t =
+  (* Kahn's algorithm on the digraph of true cells. *)
+  let indeg = Array.make t.n 0 in
+  for i = 0 to t.n - 1 do
+    row_iter t i (fun j -> indeg.(j) <- indeg.(j) + 1)
+  done;
+  let queue = Queue.create () in
+  Array.iteri (fun v d -> if d = 0 then Queue.add v queue) indeg;
+  let removed = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    incr removed;
+    row_iter t v (fun j ->
+        indeg.(j) <- indeg.(j) - 1;
+        if indeg.(j) = 0 then Queue.add j queue)
+  done;
+  !removed = t.n
+
+let pp ppf t =
+  for i = 0 to t.n - 1 do
+    for j = 0 to t.n - 1 do
+      Format.pp_print_char ppf (if get t i j then '1' else '0')
+    done;
+    Format.pp_print_newline ppf ()
+  done

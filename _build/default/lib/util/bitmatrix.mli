@@ -1,0 +1,50 @@
+(** Square boolean matrices with word-parallel row operations.
+
+    The poset library stores order relations as an [n × n] reachability
+    matrix; Warshall's transitive closure then runs in O(n³ / word-size)
+    thanks to [or_row_into]. *)
+
+type t
+(** An [n × n] boolean matrix, all-false initially. Mutable. *)
+
+val create : int -> t
+(** [create n] is the [n × n] zero matrix. *)
+
+val dim : t -> int
+(** The side length [n]. *)
+
+val get : t -> int -> int -> bool
+(** [get m i j] reads cell [(i, j)]. Raises [Invalid_argument] if out of
+    range. *)
+
+val set : t -> int -> int -> bool -> unit
+(** [set m i j v] writes cell [(i, j)]. *)
+
+val copy : t -> t
+(** Deep copy. *)
+
+val equal : t -> t -> bool
+(** Structural equality; dimensions must match. *)
+
+val or_row_into : t -> dst:int -> src:int -> unit
+(** [or_row_into m ~dst ~src] sets row [dst] to the bitwise OR of rows [dst]
+    and [src]. The workhorse of [transitive_closure]. *)
+
+val row_iter : t -> int -> (int -> unit) -> unit
+(** [row_iter m i f] calls [f j] for each true cell [(i, j)], increasing
+    [j]. *)
+
+val transitive_closure : t -> unit
+(** In-place Warshall closure: afterwards [get m i j] is true iff [j] was
+    reachable from [i] through true cells (not reflexive unless cycles make
+    it so). *)
+
+val count : t -> int
+(** Number of true cells. *)
+
+val is_acyclic : t -> bool
+(** True iff the relation, viewed as a digraph, has no directed cycle.
+    Leaves the matrix unmodified. *)
+
+val pp : Format.formatter -> t -> unit
+(** Grid of [0]/[1] rows, for debugging. *)

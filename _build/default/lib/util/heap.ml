@@ -1,0 +1,75 @@
+(* Entries carry an insertion sequence number so equal priorities pop in
+   FIFO order. *)
+type 'a entry = { priority : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable entries : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { entries = [||]; size = 0; next_seq = 0 }
+let is_empty t = t.size = 0
+let size t = t.size
+
+let less a b =
+  a.priority < b.priority || (a.priority = b.priority && a.seq < b.seq)
+
+let grow t =
+  let cap = Array.length t.entries in
+  if t.size = cap then begin
+    let dummy = t.entries.(0) in
+    let bigger = Array.make (max 8 (2 * cap)) dummy in
+    Array.blit t.entries 0 bigger 0 t.size;
+    t.entries <- bigger
+  end
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less t.entries.(i) t.entries.(parent) then begin
+      let tmp = t.entries.(i) in
+      t.entries.(i) <- t.entries.(parent);
+      t.entries.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && less t.entries.(l) t.entries.(!smallest) then smallest := l;
+  if r < t.size && less t.entries.(r) t.entries.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = t.entries.(i) in
+    t.entries.(i) <- t.entries.(!smallest);
+    t.entries.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let push t ~priority value =
+  let entry = { priority; seq = t.next_seq; value } in
+  t.next_seq <- t.next_seq + 1;
+  if Array.length t.entries = 0 then t.entries <- Array.make 8 entry;
+  grow t;
+  t.entries.(t.size) <- entry;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let peek t =
+  if t.size = 0 then None
+  else
+    let e = t.entries.(0) in
+    Some (e.priority, e.value)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let e = t.entries.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.entries.(0) <- t.entries.(t.size);
+      sift_down t 0
+    end;
+    Some (e.priority, e.value)
+  end

@@ -1,0 +1,20 @@
+(** Binary min-heaps with explicit priorities.
+
+    Drives the discrete-event network simulator: pending packet deliveries
+    keyed by arrival time. Ties are broken by insertion order (FIFO), which
+    keeps simulations deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val push : 'a t -> priority:float -> 'a -> unit
+(** Insert an element. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the smallest-priority element; among equal
+    priorities, the earliest-inserted. *)
+
+val peek : 'a t -> (float * 'a) option

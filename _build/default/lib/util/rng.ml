@@ -1,0 +1,87 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+let copy t = { state = t.state }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let s = bits64 t in
+  { state = mix64 s }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling on the top bits to avoid modulo bias. *)
+  let mask = Int64.of_int max_int in
+  let rec go () =
+    let r = Int64.to_int (Int64.logand (bits64 t) mask) in
+    let v = r mod bound in
+    if r - v > max_int - bound + 1 then go () else v
+  in
+  go ()
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let float t =
+  let r = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  r *. 0x1p-53
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+let chance t p = float t < p
+
+let pick t = function
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | l -> List.nth l (int t (List.length l))
+
+let pick_array t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.pick_array: empty array";
+  arr.(int t (Array.length arr))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let shuffle_list t l =
+  let arr = Array.of_list l in
+  shuffle t arr;
+  Array.to_list arr
+
+let sample t k arr =
+  let n = Array.length arr in
+  if k < 0 || k > n then invalid_arg "Rng.sample: k out of range";
+  if k = 0 then [||]
+  else begin
+  let chosen = Hashtbl.create (2 * k) in
+  (* Floyd's algorithm: for j in n-k..n-1, pick r in [0..j]; take r unless
+     already taken, in which case take j. *)
+  for j = n - k to n - 1 do
+    let r = int t (j + 1) in
+    if Hashtbl.mem chosen r then Hashtbl.replace chosen j ()
+    else Hashtbl.replace chosen r ()
+  done;
+  let out = Array.make k arr.(0) in
+  let i = ref 0 in
+  Array.iteri
+    (fun idx x ->
+      if Hashtbl.mem chosen idx then begin
+        out.(!i) <- x;
+        incr i
+      end)
+    arr;
+  out
+  end

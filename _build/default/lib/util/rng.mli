@@ -1,0 +1,61 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomized components of the library (workload generators, random
+    topologies, property tests' auxiliary draws) use this SplitMix64-based
+    generator so that every experiment is exactly reproducible from a seed.
+    The generator is a small mutable state; [split] derives an independent
+    stream, which keeps generators used by different subsystems decoupled
+    even when the call order between them changes. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] returns a fresh generator. Two generators created with the
+    same seed produce identical streams. *)
+
+val copy : t -> t
+(** [copy t] is a generator that will produce the same future stream as [t]
+    without affecting [t]. *)
+
+val split : t -> t
+(** [split t] advances [t] once and returns a new generator whose stream is
+    statistically independent of the remainder of [t]'s stream. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Raises [Invalid_argument] if
+    [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive. Raises
+    [Invalid_argument] if [hi < lo]. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val chance : t -> float -> bool
+(** [chance t p] is true with probability [p] (clamped to [\[0,1\]]). *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. Raises [Invalid_argument] on []. *)
+
+val pick_array : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. Raises [Invalid_argument] on
+    [||]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val shuffle_list : t -> 'a list -> 'a list
+(** Fresh shuffled copy of a list. *)
+
+val sample : t -> int -> 'a array -> 'a array
+(** [sample t k arr] draws [k] distinct elements uniformly (Floyd's
+    algorithm); raises [Invalid_argument] if [k > Array.length arr] or
+    [k < 0]. *)

@@ -1,0 +1,1 @@
+lib/workload/workload.ml: Array Fun List Queue Synts_graph Synts_sync Synts_util

@@ -1,0 +1,1 @@
+lib/workload/workload.mli: Synts_graph Synts_sync Synts_util

@@ -1,0 +1,128 @@
+module Rng = Synts_util.Rng
+module Graph = Synts_graph.Graph
+module Trace = Synts_sync.Trace
+
+let random rng ~topology ~messages ?(internal_prob = 0.0) () =
+  let edges = Array.of_list (Graph.edges topology) in
+  if Array.length edges = 0 && messages > 0 then
+    invalid_arg "Workload.random: topology has no edges";
+  let steps = ref [] in
+  for _ = 1 to messages do
+    if Rng.chance rng internal_prob then
+      steps := Trace.Local (Rng.int rng (Graph.n topology)) :: !steps;
+    let u, v = Rng.pick_array rng edges in
+    let src, dst = if Rng.bool rng then (u, v) else (v, u) in
+    steps := Trace.Send (src, dst) :: !steps
+  done;
+  Trace.of_steps_exn ~n:(Graph.n topology) (List.rev !steps)
+
+let client_server rng ~servers ~clients ~requests ?(think = true) () =
+  if servers < 1 || clients < 1 then
+    invalid_arg "Workload.client_server: need servers >= 1 and clients >= 1";
+  let n = servers + clients in
+  let steps = ref [] in
+  for _ = 1 to requests do
+    let client = servers + Rng.int rng clients in
+    let server = Rng.int rng servers in
+    steps := Trace.Send (client, server) :: !steps;
+    if think then steps := Trace.Local server :: !steps;
+    steps := Trace.Send (server, client) :: !steps
+  done;
+  Trace.of_steps_exn ~n (List.rev !steps)
+
+let pipeline ~stages ~items =
+  if stages < 2 || items < 1 then
+    invalid_arg "Workload.pipeline: need stages >= 2 and items >= 1";
+  (* Diagonal schedule: at "tick" t, item i moves from stage t-i to t-i+1.
+     Within a tick, even stages fire before odd ones — any monotone stage
+     order would place the stage s+1 transfer between the stage s and
+     stage s+2 transfers, transitively chaining them, whereas the real
+     pipeline performs the simultaneous transfers concurrently. *)
+  let steps = ref [] in
+  for t = 0 to items + stages - 3 do
+    let eligible =
+      List.filter
+        (fun s -> 0 <= t - s && t - s <= items - 1)
+        (List.init (stages - 1) Fun.id)
+    in
+    let evens, odds = List.partition (fun s -> s mod 2 = 0) eligible in
+    List.iter
+      (fun s -> steps := Trace.Send (s, s + 1) :: !steps)
+      (evens @ odds)
+  done;
+  Trace.of_steps_exn ~n:stages (List.rev !steps)
+
+let ring_token ~n ~laps =
+  if n < 2 || laps < 1 then
+    invalid_arg "Workload.ring_token: need n >= 2 and laps >= 1";
+  let steps = ref [] in
+  for _ = 1 to laps do
+    for p = 0 to n - 1 do
+      steps := Trace.Send (p, (p + 1) mod n) :: !steps
+    done
+  done;
+  Trace.of_steps_exn ~n (List.rev !steps)
+
+let tree_sweep tree ~root ~rounds =
+  if root < 0 || root >= Graph.n tree then
+    invalid_arg "Workload.tree_sweep: root out of range";
+  if not (Graph.is_forest tree) then
+    invalid_arg "Workload.tree_sweep: graph is not a forest";
+  (* Children by BFS from the root; unreachable vertices are ignored. *)
+  let parent = Array.make (Graph.n tree) (-1) in
+  let order = ref [] in
+  let queue = Queue.create () in
+  Queue.add root queue;
+  parent.(root) <- root;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    order := v :: !order;
+    List.iter
+      (fun w ->
+        if parent.(w) < 0 then begin
+          parent.(w) <- v;
+          Queue.add w queue
+        end)
+      (Graph.neighbors tree v)
+  done;
+  let pre_order = List.rev !order in
+  let post_order = !order in
+  let steps = ref [] in
+  for _ = 1 to rounds do
+    (* Up-sweep: every non-root node reports to its parent, children
+       first. *)
+    List.iter
+      (fun v -> if v <> root then steps := Trace.Send (v, parent.(v)) :: !steps)
+      post_order;
+    (* Down-sweep: the root's decision propagates back down. *)
+    List.iter
+      (fun v -> if v <> root then steps := Trace.Send (parent.(v), v) :: !steps)
+      pre_order
+  done;
+  Trace.of_steps_exn ~n:(Graph.n tree) (List.rev !steps)
+
+let allreduce ~dim ~rounds =
+  if dim < 1 || rounds < 1 then
+    invalid_arg "Workload.allreduce: need dim >= 1 and rounds >= 1";
+  let n = 1 lsl dim in
+  let steps = ref [] in
+  for _ = 1 to rounds do
+    for b = 0 to dim - 1 do
+      for v = 0 to n - 1 do
+        let peer = v lxor (1 lsl b) in
+        if v < peer then begin
+          steps := Trace.Send (v, peer) :: !steps;
+          steps := Trace.Send (peer, v) :: !steps
+        end
+      done
+    done
+  done;
+  Trace.of_steps_exn ~n (List.rev !steps)
+
+let all_directions g =
+  let steps =
+    List.concat_map
+      (fun (u, v) -> [ Trace.Send (u, v); Trace.Send (v, u) ])
+      (Graph.edges g)
+  in
+  Trace.of_steps_exn ~n:(Graph.n g) steps

@@ -1,0 +1,59 @@
+(** Synchronous-computation workload generators.
+
+    Every generator is deterministic from its {!Synts_util.Rng.t} and emits
+    a linearized {!Synts_sync.Trace.t}. Any interleaving of instantaneous
+    messages along a topology is a valid synchronous computation, so
+    generation is simply: repeatedly pick a channel and a direction
+    (respecting the topology), occasionally inserting internal events. *)
+
+val random :
+  Synts_util.Rng.t ->
+  topology:Synts_graph.Graph.t ->
+  messages:int ->
+  ?internal_prob:float ->
+  unit ->
+  Synts_sync.Trace.t
+(** Uniform random edge + direction per message; before each message an
+    internal event of a random process is inserted with probability
+    [internal_prob] (default 0). Raises [Invalid_argument] if the topology
+    has no edges and [messages > 0]. *)
+
+val client_server :
+  Synts_util.Rng.t ->
+  servers:int ->
+  clients:int ->
+  requests:int ->
+  ?think:bool ->
+  unit ->
+  Synts_sync.Trace.t
+(** Synchronous-RPC workload on the complete bipartite topology: each
+    request is a client→server call immediately answered by a server→client
+    reply; [think] (default true) adds an internal "handler" event at the
+    server between call and reply. Processes 0..servers-1 are servers. *)
+
+val pipeline : stages:int -> items:int -> Synts_sync.Trace.t
+(** Each of [items] items traverses [P0 → P1 → … → P_(stages-1)];
+    consecutive items overlap (item i+1 enters stage s after item i left
+    it), giving genuinely concurrent messages between distant stages. *)
+
+val ring_token : n:int -> laps:int -> Synts_sync.Trace.t
+(** A token circulating a ring [laps] times — a fully sequential
+    computation: its message poset is a chain. *)
+
+val tree_sweep :
+  Synts_graph.Graph.t -> root:int -> rounds:int -> Synts_sync.Trace.t
+(** On a tree: [rounds] repetitions of an aggregation up-sweep (post-order,
+    child→parent) followed by a broadcast down-sweep (pre-order,
+    parent→child) — the hierarchical monitoring pattern of paper Fig. 4.
+    Raises [Invalid_argument] when the graph is not a tree containing
+    [root]. *)
+
+val allreduce : dim:int -> rounds:int -> Synts_sync.Trace.t
+(** Butterfly allreduce on the [2^dim]-process hypercube: in phase [b]
+    every pair of processes differing in bit [b] exchanges (lower id sends
+    first); [rounds] full reductions. The classic HPC collective whose
+    message order a monitor may want to check. *)
+
+val all_directions : Synts_graph.Graph.t -> Synts_sync.Trace.t
+(** One message in each direction over every edge, in a fixed order —
+    a cheap deterministic smoke workload exercising every channel. *)

@@ -1,0 +1,1 @@
+test/test_clock.ml: Alcotest Array Fun List QCheck2 QCheck_alcotest String Synts_check Synts_clock Synts_poset Synts_sync Synts_test_support

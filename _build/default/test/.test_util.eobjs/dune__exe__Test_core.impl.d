@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Hashtbl List Option Printf QCheck2 QCheck_alcotest Synts_check Synts_clock Synts_core Synts_graph Synts_poset Synts_sync Synts_test_support Synts_util Synts_workload

@@ -1,0 +1,1 @@
+test/test_csp.ml: Alcotest Array Fun List Printf Synts_check Synts_clock Synts_csp Synts_graph Synts_sync

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest List Printf QCheck2 QCheck_alcotest String Synts_graph Synts_test_support Synts_util

@@ -1,0 +1,1 @@
+test/test_poset.ml: Alcotest Array Bool Format Fun List Printf QCheck2 QCheck_alcotest String Synts_poset Synts_test_support

@@ -1,0 +1,1 @@
+test/test_sync.ml: Alcotest Array Filename Fun List Option Printf QCheck2 QCheck_alcotest String Synts_check Synts_graph Synts_poset Synts_sync Synts_test_support Synts_util Synts_workload Sys

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Printf QCheck2 QCheck_alcotest Synts_graph Synts_poset Synts_sync Synts_util Synts_workload

@@ -1,0 +1,1 @@
+test/support/gen.ml: List Printf QCheck2 String Synts_graph Synts_poset Synts_sync Synts_util Synts_workload

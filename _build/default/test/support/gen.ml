@@ -1,0 +1,99 @@
+(* QCheck generators shared by the test suites. *)
+
+module Rng = Synts_util.Rng
+module Graph = Synts_graph.Graph
+module Topology = Synts_graph.Topology
+module Trace = Synts_sync.Trace
+module Workload = Synts_workload.Workload
+
+(* A deterministic Rng seeded from QCheck's random state, so shrinking and
+   reproduction work through a single integer. *)
+let rng_seed = QCheck2.Gen.int_bound 1_000_000
+
+let topology_spec : Topology.spec QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  oneof
+    [
+      map (fun n -> Topology.Star (n + 2)) (int_bound 10);
+      return Topology.Triangle;
+      map (fun n -> Topology.Complete (n + 3)) (int_bound 5);
+      map (fun n -> Topology.Path (n + 2)) (int_bound 10);
+      map (fun n -> Topology.Ring (n + 3)) (int_bound 8);
+      map2
+        (fun s c -> Topology.Client_server (s + 1, c + 1))
+        (int_bound 3) (int_bound 8);
+      map (fun t -> Topology.Disjoint_triangles (t + 1)) (int_bound 3);
+      map (fun n -> Topology.Random_tree (n + 2)) (int_bound 12);
+      map2
+        (fun n p -> Topology.Random_connected (n + 3, 0.1 +. p))
+        (int_bound 8)
+        (float_bound_inclusive 0.5);
+      return Topology.Fig4;
+      return Topology.Fig2b;
+    ]
+
+let graph_of_spec seed spec = Topology.build ~rng:(Rng.create seed) spec
+
+(* A random synchronous computation: topology + message count + seed. *)
+type computation = {
+  spec : Topology.spec;
+  seed : int;
+  messages : int;
+  internal_prob : float;
+}
+
+let computation : computation QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let* spec = topology_spec in
+  let* seed = rng_seed in
+  let* messages = int_range 0 80 in
+  let* internal_prob = float_bound_inclusive 0.4 in
+  return { spec; seed; messages; internal_prob }
+
+let computation_print c =
+  Printf.sprintf "{topology=%s; seed=%d; messages=%d; internal=%.2f}"
+    (Topology.spec_to_string c.spec)
+    c.seed c.messages c.internal_prob
+
+let build_computation c =
+  let g = graph_of_spec c.seed c.spec in
+  let trace =
+    Workload.random (Rng.create (c.seed + 1)) ~topology:g ~messages:c.messages
+      ~internal_prob:c.internal_prob ()
+  in
+  (g, trace)
+
+(* Small sparse-ish random graphs for exact-solver comparisons. *)
+let small_graph : (int * (int * int) list) QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let* n = int_range 2 9 in
+  let* seed = rng_seed in
+  let rng = Rng.create seed in
+  let* p = float_range 0.15 0.7 in
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Rng.chance rng p then edges := (i, j) :: !edges
+    done
+  done;
+  return (n, !edges)
+
+let small_graph_print (n, edges) =
+  Printf.sprintf "n=%d edges=[%s]" n
+    (String.concat "; "
+       (List.map (fun (u, v) -> Printf.sprintf "(%d,%d)" u v) edges))
+
+(* Random posets for realizer / width properties. *)
+let poset : Synts_poset.Poset.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let* n = int_range 0 40 in
+  let* seed = rng_seed in
+  let* p = float_bound_inclusive 0.5 in
+  return (Synts_poset.Poset.random (Rng.create seed) n p)
+
+let tiny_poset : Synts_poset.Poset.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let* n = int_range 1 6 in
+  let* seed = rng_seed in
+  let* p = float_bound_inclusive 0.6 in
+  return (Synts_poset.Poset.random (Rng.create seed) n p)

@@ -1,0 +1,366 @@
+module Vector = Synts_clock.Vector
+module Fm_sync = Synts_clock.Fm_sync
+module Fm_event = Synts_clock.Fm_event
+module Lamport = Synts_clock.Lamport
+module Plausible = Synts_clock.Plausible
+module Direct_dependency = Synts_clock.Direct_dependency
+module Singhal_kshemkalyani = Synts_clock.Singhal_kshemkalyani
+module Trace = Synts_sync.Trace
+module Async_trace = Synts_sync.Async_trace
+module Message_poset = Synts_sync.Message_poset
+module Poset = Synts_poset.Poset
+module Validate = Synts_check.Validate
+module Oracle = Synts_check.Oracle
+module Gen = Synts_test_support.Gen
+
+let qtest ?(count = 150) name gen print f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name ~print gen f)
+
+(* ---------- Vector algebra ---------- *)
+
+let vec_gen =
+  QCheck2.Gen.(
+    let* n = int_range 1 6 in
+    let* u = array_size (return n) (int_bound 5) in
+    let* v = array_size (return n) (int_bound 5) in
+    return (u, v))
+
+let vec_print (u, v) = Vector.to_string u ^ " vs " ^ Vector.to_string v
+
+let test_vector_classify =
+  qtest "compare_order consistent with lt/leq/concurrent" vec_gen vec_print
+    (fun (u, v) ->
+      match Vector.compare_order u v with
+      | `Lt -> Vector.lt u v && Vector.leq u v && not (Vector.concurrent u v)
+      | `Gt -> Vector.lt v u && not (Vector.lt u v)
+      | `Eq -> Vector.equal u v && Vector.leq u v && not (Vector.lt u v)
+      | `Concurrent ->
+          Vector.concurrent u v
+          && (not (Vector.lt u v))
+          && not (Vector.lt v u))
+
+let test_vector_antisymmetry =
+  qtest "lt is antisymmetric" vec_gen vec_print (fun (u, v) ->
+      not (Vector.lt u v && Vector.lt v u))
+
+let test_vector_merge_is_lub =
+  qtest "merge is the least upper bound" vec_gen vec_print (fun (u, v) ->
+      let m = Vector.merge u v in
+      Vector.leq u m && Vector.leq v m
+      && Array.for_all Fun.id (Array.mapi (fun i x -> x = max u.(i) v.(i)) m))
+
+let test_vector_ops () =
+  let v = Vector.zero 3 in
+  Vector.incr v 1;
+  Alcotest.(check string) "incr" "(0,1,0)" (Vector.to_string v);
+  Vector.max_into ~dst:v [| 2; 0; 0 |];
+  Alcotest.(check string) "max_into" "(2,1,0)" (Vector.to_string v);
+  Alcotest.check_raises "size mismatch" (Invalid_argument "Vector: size mismatch")
+    (fun () -> ignore (Vector.lt v [| 1 |]))
+
+(* ---------- Fidge–Mattern (sync) ---------- *)
+
+let test_fm_sync_exact =
+  qtest "FM sync timestamps encode the message poset" Gen.computation
+    Gen.computation_print (fun c ->
+      let _, trace = Gen.build_computation c in
+      Validate.ok (Validate.message_timestamps trace (Fm_sync.timestamp_trace trace)))
+
+let test_fm_sync_size () =
+  let trace = Trace.of_steps_exn ~n:7 [ Send (0, 1); Send (5, 6) ] in
+  let ts = Fm_sync.timestamp_trace trace in
+  Alcotest.(check int) "vector size is N" 7 (Vector.size ts.(0));
+  Alcotest.(check int) "2N entries per message" 14
+    (Fm_sync.entries_per_message ~n:7)
+
+(* ---------- Fidge–Mattern (event) ---------- *)
+
+let test_fm_event_chain () =
+  (* P0 sends to P1, P1 then sends to P2: receive vectors grow. *)
+  let a =
+    Async_trace.make_exn ~n:3
+      [|
+        [ Async_trace.ASend 0 ];
+        [ Async_trace.ARecv 0; Async_trace.ASend 1 ];
+        [ Async_trace.ARecv 1 ];
+      |]
+  in
+  let vs = Fm_event.message_vectors a in
+  Alcotest.(check bool) "v(m0) < v(m1)" true (Vector.lt vs.(0) vs.(1))
+
+let test_fm_event_concurrent () =
+  let a =
+    Async_trace.make_exn ~n:4
+      [|
+        [ Async_trace.ASend 0 ];
+        [ Async_trace.ARecv 0 ];
+        [ Async_trace.ASend 1 ];
+        [ Async_trace.ARecv 1 ];
+      |]
+  in
+  let vs = Fm_event.message_vectors a in
+  Alcotest.(check bool) "disjoint messages concurrent" true
+    (Vector.concurrent vs.(0) vs.(1))
+
+let test_fm_event_internal_count () =
+  let a =
+    Async_trace.make_exn ~n:2
+      [|
+        [ Async_trace.ALocal; Async_trace.ASend 0; Async_trace.ALocal ];
+        [ Async_trace.ARecv 0 ];
+      |]
+  in
+  let per = Fm_event.timestamps a in
+  Alcotest.(check int) "P0 events" 3 (List.length per.(0));
+  Alcotest.(check int) "P1 events" 1 (List.length per.(1));
+  (* P0's clock ticks at each event. *)
+  let last = List.nth per.(0) 2 in
+  Alcotest.(check int) "P0 own component" 3 last.(0)
+
+(* ---------- Lamport ---------- *)
+
+let test_lamport_sound =
+  qtest "Lamport clocks are sound" Gen.computation Gen.computation_print
+    (fun c ->
+      let _, trace = Gen.build_computation c in
+      let ts = Lamport.timestamp_trace trace in
+      Lamport.consistent_with trace ts
+      && Validate.ok (Validate.sound_only trace ts))
+
+let test_lamport_not_complete () =
+  (* Two concurrent messages get comparable integers: completeness fails. *)
+  let trace = Trace.of_steps_exn ~n:4 [ Send (0, 1); Send (2, 3); Send (2, 3) ] in
+  let ts = Lamport.timestamp_trace trace in
+  let p = Message_poset.of_trace trace in
+  Alcotest.(check bool) "m0 || m2" true (Poset.concurrent p 0 2);
+  Alcotest.(check bool) "but scalar orders them" true (ts.(0) < ts.(2))
+
+(* ---------- Plausible clocks ---------- *)
+
+let test_plausible_sound =
+  qtest "plausible clocks never miss a real ordering" Gen.computation
+    Gen.computation_print (fun c ->
+      let _, trace = Gen.build_computation c in
+      let r = max 1 (Trace.n trace / 2) in
+      let vs = Plausible.timestamp_trace ~r trace in
+      let v = Validate.message_timestamps trace vs in
+      (* Soundness = no missed orders; false orders are expected. *)
+      v.Validate.missed_orders = 0)
+
+let test_plausible_full_size_exact =
+  qtest "plausible with r = N degenerates to exact FM" Gen.computation
+    Gen.computation_print (fun c ->
+      let _, trace = Gen.build_computation c in
+      let vs = Plausible.timestamp_trace ~r:(Trace.n trace) trace in
+      Validate.ok (Validate.message_timestamps trace vs))
+
+let test_plausible_classes =
+  qtest ~count:100 "arbitrary class mappings stay sound" Gen.computation
+    Gen.computation_print (fun c ->
+      let _, trace = Gen.build_computation c in
+      (* Cluster processes into pairs. *)
+      let classes = Array.init (Trace.n trace) (fun p -> p / 2) in
+      let vs = Plausible.timestamp_trace_with ~classes trace in
+      (Validate.message_timestamps trace vs).Validate.missed_orders = 0)
+
+let test_plausible_identity_classes_exact =
+  qtest ~count:80 "identity classes recover exact FM" Gen.computation
+    Gen.computation_print (fun c ->
+      let _, trace = Gen.build_computation c in
+      let classes = Array.init (Trace.n trace) Fun.id in
+      let vs = Plausible.timestamp_trace_with ~classes trace in
+      Validate.ok (Validate.message_timestamps trace vs))
+
+let test_plausible_errs () =
+  (* Folding 4 processes into r=1 orders everything: concurrent pairs get
+     falsely ordered. *)
+  let trace =
+    Trace.of_steps_exn ~n:4 [ Send (0, 1); Send (2, 3); Send (0, 1); Send (2, 3) ]
+  in
+  let rate = Plausible.ordering_error_rate ~r:1 trace in
+  Alcotest.(check bool) "r=1 has errors" true (rate > 0.0);
+  let exact = Plausible.ordering_error_rate ~r:4 trace in
+  Alcotest.(check (float 0.0)) "r=N exact" 0.0 exact
+
+(* ---------- Direct dependency ---------- *)
+
+let test_direct_dependency_exact =
+  qtest "direct-dependency search equals oracle precedence" Gen.computation
+    Gen.computation_print (fun c ->
+      let _, trace = Gen.build_computation c in
+      let log = Direct_dependency.of_trace trace in
+      let p = Oracle.message_poset trace in
+      let k = Trace.message_count trace in
+      let ok = ref true in
+      for i = 0 to k - 1 do
+        for j = 0 to k - 1 do
+          if i <> j && Direct_dependency.precedes log i j <> Poset.lt p i j
+          then ok := false
+        done
+      done;
+      !ok)
+
+let test_direct_dependency_cost () =
+  Alcotest.(check int) "constant piggyback" 2
+    Direct_dependency.entries_per_message
+
+(* ---------- Singhal–Kshemkalyani ---------- *)
+
+let test_sk_same_timestamps =
+  qtest "SK compression produces FM's timestamps" Gen.computation
+    Gen.computation_print (fun c ->
+      let _, trace = Gen.build_computation c in
+      let sk, _ = Singhal_kshemkalyani.simulate trace in
+      let fm = Fm_sync.timestamp_trace trace in
+      Array.for_all2 Vector.equal sk fm)
+
+let test_sk_compresses =
+  qtest "SK never sends more than full vectors" Gen.computation
+    Gen.computation_print (fun c ->
+      let _, trace = Gen.build_computation c in
+      let _, stats = Singhal_kshemkalyani.simulate trace in
+      stats.Singhal_kshemkalyani.entries_sent
+      <= stats.Singhal_kshemkalyani.full_entries)
+
+let test_sk_repeated_channel () =
+  (* Repeated exchanges over one channel touch few components: strong
+     compression. *)
+  let trace =
+    Trace.of_steps_exn ~n:6
+      (List.concat (List.init 20 (fun _ -> [ Trace.Send (0, 1) ])))
+  in
+  let _, stats = Singhal_kshemkalyani.simulate trace in
+  let avg = Singhal_kshemkalyani.average_entries_per_message stats in
+  Alcotest.(check bool) "average well below 2N = 12" true (avg < 6.0)
+
+(* ---------- Wire encoding ---------- *)
+
+module Wire = Synts_clock.Wire
+
+let small_vec =
+  QCheck2.Gen.(array_size (int_range 0 10) (int_bound 1_000_000))
+
+let test_wire_roundtrip =
+  qtest ~count:300 "encode/decode round-trips" small_vec Vector.to_string
+    (fun v ->
+      match Wire.decode (Wire.encode v) with
+      | Ok v' -> v = v'
+      | Error _ -> false)
+
+let test_wire_size =
+  qtest ~count:200 "encoded_bytes matches actual encoding" small_vec
+    Vector.to_string (fun v ->
+      Wire.encoded_bytes v = String.length (Wire.encode v))
+
+let test_wire_small_vectors_cheap () =
+  (* A fresh 4-entry clock costs 5 bytes; a fresh 128-entry FM clock 129. *)
+  Alcotest.(check int) "d=4" 5 (Wire.encoded_bytes (Vector.zero 4));
+  Alcotest.(check int) "N=128" 130 (Wire.encoded_bytes (Vector.zero 128));
+  Alcotest.(check int) "big counters grow log" 3
+    (String.length (Wire.encode [| 300 |]))
+
+let test_wire_rejects () =
+  (match Wire.decode "" with Error _ -> () | Ok _ -> Alcotest.fail "empty");
+  (match Wire.decode "\x02\x01" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated");
+  (match Wire.decode (Wire.encode [| 1; 2 |] ^ "\x00") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing");
+  match Wire.decode "\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "overflowing varint"
+
+let test_wire_diff =
+  qtest ~count:300 "diff round-trips against the previous vector"
+    QCheck2.Gen.(
+      let* n = int_range 0 10 in
+      let* prev = array_size (return n) (int_bound 100) in
+      let* v = array_size (return n) (int_bound 100) in
+      return (prev, v))
+    (fun (p, v) -> Vector.to_string p ^ " -> " ^ Vector.to_string v)
+    (fun (prev, v) ->
+      match Wire.decode_diff ~prev (Wire.encode_diff ~prev v) with
+      | Ok v' -> v' = v
+      | Error _ -> false)
+
+let test_wire_diff_compresses () =
+  let prev = Array.make 64 7 in
+  let v = Array.copy prev in
+  v.(10) <- 8;
+  let diff = Wire.encode_diff ~prev v in
+  let full = Wire.encode v in
+  Alcotest.(check bool) "diff much smaller" true
+    (String.length diff < String.length full / 4);
+  Alcotest.(check int) "single change costs 3 bytes" 3 (String.length diff)
+
+let () =
+  Alcotest.run "clock"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "small vectors cheap" `Quick
+            test_wire_small_vectors_cheap;
+          Alcotest.test_case "rejects malformed" `Quick test_wire_rejects;
+          Alcotest.test_case "diff compresses" `Quick test_wire_diff_compresses;
+          test_wire_roundtrip;
+          test_wire_size;
+          test_wire_diff;
+          (let gen =
+             QCheck2.Gen.(
+               string_size ~gen:(char_range '\000' '\255') (int_bound 40))
+           in
+           qtest ~count:300 "decoder never raises on junk" gen String.escaped
+             (fun junk ->
+               (match Wire.decode junk with Ok _ | Error _ -> true)
+               &&
+               match Wire.decode_diff ~prev:[| 1; 2; 3 |] junk with
+               | Ok _ | Error _ -> true));
+        ] );
+      ( "vector",
+        [
+          Alcotest.test_case "ops" `Quick test_vector_ops;
+          test_vector_classify;
+          test_vector_antisymmetry;
+          test_vector_merge_is_lub;
+        ] );
+      ( "fm-sync",
+        [
+          Alcotest.test_case "size is N" `Quick test_fm_sync_size;
+          test_fm_sync_exact;
+        ] );
+      ( "fm-event",
+        [
+          Alcotest.test_case "causal chain" `Quick test_fm_event_chain;
+          Alcotest.test_case "concurrency" `Quick test_fm_event_concurrent;
+          Alcotest.test_case "event counting" `Quick
+            test_fm_event_internal_count;
+        ] );
+      ( "lamport",
+        [
+          Alcotest.test_case "incompleteness witness" `Quick
+            test_lamport_not_complete;
+          test_lamport_sound;
+        ] );
+      ( "plausible",
+        [
+          Alcotest.test_case "error rates" `Quick test_plausible_errs;
+          test_plausible_sound;
+          test_plausible_full_size_exact;
+          test_plausible_classes;
+          test_plausible_identity_classes_exact;
+        ] );
+      ( "direct-dependency",
+        [
+          Alcotest.test_case "piggyback cost" `Quick
+            test_direct_dependency_cost;
+          test_direct_dependency_exact;
+        ] );
+      ( "singhal-kshemkalyani",
+        [
+          Alcotest.test_case "compression on hot channel" `Quick
+            test_sk_repeated_channel;
+          test_sk_same_timestamps;
+          test_sk_compresses;
+        ] );
+    ]

@@ -1,0 +1,511 @@
+module Graph = Synts_graph.Graph
+module Topology = Synts_graph.Topology
+module Decomposition = Synts_graph.Decomposition
+module Trace = Synts_sync.Trace
+module Message_poset = Synts_sync.Message_poset
+module Vector = Synts_clock.Vector
+module Validate = Synts_check.Validate
+module R = Synts_csp.Runtime.Make (struct
+  type msg = int
+end)
+
+let run = R.run
+
+let clean outcome =
+  Alcotest.(check (list int)) "no deadlock" [] outcome.R.deadlocked;
+  Alcotest.(check int) "no failures" 0 (List.length outcome.R.failures);
+  outcome
+
+(* ---------- Rendezvous semantics ---------- *)
+
+let test_single_message () =
+  let o =
+    clean
+      (run ~n:2
+         [|
+           (fun api -> ignore (api.R.send 1 42));
+           (fun api ->
+             let src, v, _ = api.R.recv () in
+             assert (src = 0 && v = 42));
+         |])
+  in
+  Alcotest.(check int) "one message" 1 (Trace.message_count o.R.trace);
+  let m = Trace.message o.R.trace 0 in
+  Alcotest.(check (pair int int)) "endpoints" (0, 1) (Trace.participants m)
+
+let test_send_blocks_until_recv () =
+  (* P0 sends then flags; P1 yields many times before receiving. If send
+     did not block, P0's flag event would precede the message. *)
+  let o =
+    clean
+      (run ~n:2
+         [|
+           (fun api ->
+             ignore (api.R.send 1 1);
+             api.R.internal ());
+           (fun api ->
+             for _ = 1 to 5 do
+               api.R.yield ()
+             done;
+             ignore (api.R.recv ()));
+         |])
+  in
+  let m = Trace.message o.R.trace 0 in
+  let e = (Trace.internals o.R.trace).(0) in
+  Alcotest.(check bool) "flag after rendezvous" true
+    (m.Trace.pos < e.Trace.pos)
+
+let test_recv_from_filters () =
+  (* P2 insists on receiving from P1 first even though P0 offers first. *)
+  let o =
+    clean
+      (run ~n:3
+         [|
+           (fun api -> ignore (api.R.send 2 100));
+           (fun api ->
+             for _ = 1 to 3 do
+               api.R.yield ()
+             done;
+             ignore (api.R.send 2 200));
+           (fun api ->
+             let v1, _ = api.R.recv_from 1 in
+             let v0, _ = api.R.recv_from 0 in
+             assert (v1 = 200 && v0 = 100));
+         |])
+  in
+  let m0 = Trace.message o.R.trace 0 in
+  Alcotest.(check (pair int int)) "P1's message delivered first" (1, 2)
+    (Trace.participants m0)
+
+let test_deadlock_detected () =
+  (* Two processes both sending to each other: classic rendezvous
+     deadlock. *)
+  let o =
+    run ~n:2
+      [|
+        (fun api -> ignore (api.R.send 1 0));
+        (fun api -> ignore (api.R.send 0 0));
+      |]
+  in
+  Alcotest.(check (list int)) "both stuck" [ 0; 1 ] o.R.deadlocked;
+  Alcotest.(check int) "nothing recorded" 0 (Trace.message_count o.R.trace)
+
+let test_partial_deadlock () =
+  let o =
+    run ~n:3
+      [|
+        (fun api -> ignore (api.R.recv ()));
+        (fun _ -> ());
+        (fun _ -> ());
+      |]
+  in
+  Alcotest.(check (list int)) "only P0 stuck" [ 0 ] o.R.deadlocked
+
+let test_failure_capture () =
+  let o =
+    run ~n:2 [| (fun _ -> failwith "boom"); (fun _ -> ()) |]
+  in
+  (match o.R.failures with
+  | [ (0, Failure msg) ] when msg = "boom" -> ()
+  | _ -> Alcotest.fail "expected the fiber failure to be captured");
+  Alcotest.(check (list int)) "no deadlock" [] o.R.deadlocked
+
+let test_bad_destination () =
+  let o = run ~n:2 [| (fun api -> ignore (api.R.send 5 0)); (fun _ -> ()) |] in
+  match o.R.failures with
+  | [ (0, Invalid_argument _) ] -> ()
+  | _ -> Alcotest.fail "expected invalid destination failure"
+
+let test_step_limit () =
+  match
+    run ~max_steps:50 ~n:1
+      [| (fun api -> while true do api.R.yield () done) |]
+  with
+  | exception R.Step_limit_exceeded -> ()
+  | _ -> Alcotest.fail "expected step limit"
+
+(* ---------- Determinism ---------- *)
+
+let ping_pong_programs n rounds =
+  Array.init n (fun pid ->
+      if pid = 0 then (fun api ->
+        for _ = 1 to rounds * (n - 1) do
+          let src, v, _ = api.R.recv () in
+          ignore (api.R.send src (v + 1))
+        done)
+      else
+        fun api ->
+        for r = 1 to rounds do
+          ignore (api.R.send 0 r);
+          ignore (api.R.recv_from 0)
+        done)
+
+let test_deterministic_same_seed () =
+  let a = clean (run ~seed:11 ~n:4 (ping_pong_programs 4 3)) in
+  let b = clean (run ~seed:11 ~n:4 (ping_pong_programs 4 3)) in
+  Alcotest.(check bool) "identical traces" true
+    (Trace.steps a.R.trace = Trace.steps b.R.trace)
+
+let test_seeds_differ () =
+  let traces =
+    List.map
+      (fun seed ->
+        Trace.steps (clean (run ~seed ~n:4 (ping_pong_programs 4 3))).R.trace)
+      [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+  in
+  Alcotest.(check bool) "some interleaving differs" true
+    (List.length (List.sort_uniq compare traces) > 1)
+
+(* ---------- Timestamping middleware ---------- *)
+
+let star_service ~clients ~calls =
+  Array.init (clients + 1) (fun pid ->
+      if pid = 0 then (fun api ->
+        for _ = 1 to clients * calls do
+          let src, v, _ = api.R.recv () in
+          api.R.internal ();
+          ignore (api.R.send src (v * v))
+        done)
+      else
+        fun api ->
+        for c = 1 to calls do
+          let ts = api.R.send 0 c in
+          assert (ts <> None);
+          let v, _ = api.R.recv_from 0 in
+          assert (v = c * c)
+        done)
+
+let test_timestamps_valid () =
+  let g = Topology.star 5 in
+  let d = Decomposition.best g in
+  Alcotest.(check int) "star: an integer suffices" 1 (Decomposition.size d);
+  let o = clean (run ~seed:5 ~decomposition:d ~n:5 (star_service ~clients:4 ~calls:3)) in
+  match o.R.timestamps with
+  | None -> Alcotest.fail "expected timestamps"
+  | Some ts ->
+      Alcotest.(check int) "one per message" (Trace.message_count o.R.trace)
+        (Array.length ts);
+      Alcotest.(check bool) "encode the poset" true
+        (Validate.ok (Validate.message_timestamps o.R.trace ts))
+
+let test_timestamps_many_seeds () =
+  let g = Topology.complete 4 in
+  let d = Decomposition.best g in
+  List.iter
+    (fun seed ->
+      let programs =
+        Array.init 4 (fun pid ->
+            fun api ->
+              (* Everyone pings its successor ring-wise twice. *)
+              let next = (pid + 1) mod 4 and prev = (pid + 3) mod 4 in
+              for _ = 1 to 2 do
+                if pid mod 2 = 0 then begin
+                  ignore (api.R.send next 1);
+                  ignore (api.R.recv_from prev)
+                end
+                else begin
+                  ignore (api.R.recv_from prev);
+                  ignore (api.R.send next 1)
+                end
+              done)
+      in
+      let o = clean (run ~seed ~decomposition:d ~n:4 programs) in
+      match o.R.timestamps with
+      | Some ts ->
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %d valid" seed)
+            true
+            (Validate.ok (Validate.message_timestamps o.R.trace ts))
+      | None -> Alcotest.fail "timestamps expected")
+    [ 0; 1; 2; 3; 4 ]
+
+let test_trace_topology_subset () =
+  let g = Topology.star 5 in
+  let d = Decomposition.best g in
+  let o = clean (run ~seed:1 ~decomposition:d ~n:5 (star_service ~clients:4 ~calls:2)) in
+  let used = Trace.topology o.R.trace in
+  Graph.iter_edges
+    (fun u v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "edge (%d,%d) in topology" u v)
+        true (Graph.has_edge g u v))
+    used
+
+let test_internal_events_recorded () =
+  let o =
+    clean
+      (run ~n:2
+         [|
+           (fun api ->
+             api.R.internal ();
+             ignore (api.R.send 1 0);
+             api.R.internal ());
+           (fun api -> ignore (api.R.recv ()));
+         |])
+  in
+  Alcotest.(check int) "two internal events" 2
+    (Trace.internal_count o.R.trace)
+
+(* A bigger integration: a two-server/four-client RPC system, validated
+   end-to-end including message poset checks. *)
+let test_client_server_integration () =
+  let servers = 2 and clients = 4 and calls = 3 in
+  let n = servers + clients in
+  let g = Topology.client_server ~servers ~clients in
+  let d = Decomposition.best g in
+  Alcotest.(check int) "d = #servers" servers (Decomposition.size d);
+  let programs =
+    Array.init n (fun pid ->
+        if pid < servers then (fun api ->
+          for _ = 1 to clients * calls / servers do
+            let src, v, _ = api.R.recv () in
+            ignore (api.R.send src (v + 1000))
+          done)
+        else
+          fun api ->
+          for c = 1 to calls do
+            (* Clients alternate servers deterministically. *)
+            let server = (pid + c) mod servers in
+            ignore (api.R.send server c);
+            let v, _ = api.R.recv_from server in
+            assert (v = c + 1000)
+          done)
+  in
+  (* Each server must serve exactly clients*calls/servers requests for the
+     program to terminate: with 4 clients, 3 calls, 2 servers each client
+     alternates so each server gets 6. *)
+  let o = clean (run ~seed:9 ~decomposition:d ~n programs) in
+  Alcotest.(check int) "message count" (2 * clients * calls)
+    (Trace.message_count o.R.trace);
+  match o.R.timestamps with
+  | Some ts ->
+      Alcotest.(check bool) "timestamps valid" true
+        (Validate.ok (Validate.message_timestamps o.R.trace ts));
+      Alcotest.(check int) "constant-size vectors" servers
+        (Vector.size ts.(0))
+  | None -> Alcotest.fail "timestamps expected"
+
+(* ---------- Replay ---------- *)
+
+let test_replay_reproduces () =
+  let g = Topology.complete 4 in
+  let d = Decomposition.best g in
+  let programs = ping_pong_programs 4 3 in
+  let original = clean (run ~seed:17 ~decomposition:d ~n:4 programs) in
+  let replayed =
+    R.replay ~decomposition:d ~trace:original.R.trace programs
+  in
+  Alcotest.(check bool) "same trace" true
+    (Trace.steps replayed.R.trace = Trace.steps original.R.trace);
+  Alcotest.(check (list int)) "no deadlock" [] replayed.R.deadlocked;
+  match (original.R.timestamps, replayed.R.timestamps) with
+  | Some a, Some b ->
+      Alcotest.(check bool) "same timestamps" true
+        (Array.for_all2 Vector.equal a b)
+  | _ -> Alcotest.fail "timestamps expected"
+
+let test_replay_many_seeds () =
+  let programs = ping_pong_programs 3 2 in
+  List.iter
+    (fun seed ->
+      let o = clean (run ~seed ~n:3 programs) in
+      let r = R.replay ~trace:o.R.trace programs in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d replays" seed)
+        true
+        (Trace.steps r.R.trace = Trace.steps o.R.trace
+        && r.R.deadlocked = []))
+    [ 0; 1; 2; 3; 4; 5 ]
+
+let test_replay_divergence () =
+  (* Trace says P0 sends to P1; the program receives instead. *)
+  let trace = Trace.of_steps_exn ~n:2 [ Send (0, 1) ] in
+  let programs =
+    [| (fun api -> ignore (api.R.recv ())); (fun api -> ignore (api.R.recv ())) |]
+  in
+  (match R.replay ~trace programs with
+  | exception R.Replay_divergence _ -> ()
+  | _ -> Alcotest.fail "divergence not detected");
+  (* Trace says internal; program sends. *)
+  let trace2 = Trace.of_steps_exn ~n:2 [ Local 0 ] in
+  let programs2 =
+    [| (fun api -> ignore (api.R.send 1 0)); (fun _ -> ()) |]
+  in
+  match R.replay ~trace:trace2 programs2 with
+  | exception R.Replay_divergence _ -> ()
+  | _ -> Alcotest.fail "internal divergence not detected"
+
+let test_replay_truncated_trace () =
+  (* A trace shorter than the program leaves fibers pending. *)
+  let programs =
+    [|
+      (fun api ->
+        ignore (api.R.send 1 1);
+        ignore (api.R.send 1 2));
+      (fun api ->
+        ignore (api.R.recv ());
+        ignore (api.R.recv ()));
+    |]
+  in
+  let trace = Trace.of_steps_exn ~n:2 [ Send (0, 1) ] in
+  let r = R.replay ~trace programs in
+  Alcotest.(check (list int)) "both pending" [ 0; 1 ] r.R.deadlocked;
+  Alcotest.(check int) "prefix executed" 1 (Trace.message_count r.R.trace)
+
+let test_replay_yields_transparent () =
+  let programs =
+    [|
+      (fun api ->
+        api.R.yield ();
+        ignore (api.R.send 1 9);
+        api.R.yield ());
+      (fun api ->
+        api.R.yield ();
+        ignore (api.R.recv ()));
+    |]
+  in
+  let trace = Trace.of_steps_exn ~n:2 [ Send (0, 1) ] in
+  let r = R.replay ~trace programs in
+  Alcotest.(check (list int)) "completed through yields" [] r.R.deadlocked
+
+(* ---------- Patterns ---------- *)
+
+let test_pattern_rpc () =
+  let g = Topology.star 4 in
+  let d = Decomposition.best g in
+  let programs =
+    Array.init 4 (fun pid ->
+        if pid = 0 then
+          R.Pattern.rpc_server ~requests:6 ~handler:(fun _client v -> v * 10)
+        else fun api ->
+          for c = 1 to 2 do
+            let reply, ts = R.Pattern.rpc_call api ~server:0 (pid + c) in
+            assert (reply = (pid + c) * 10);
+            assert (ts <> None)
+          done)
+  in
+  let o = clean (run ~seed:2 ~decomposition:d ~n:4 programs) in
+  Alcotest.(check int) "12 messages" 12 (Trace.message_count o.R.trace)
+
+let test_pattern_pipeline () =
+  let stages = 4 and items = 5 in
+  let programs =
+    Array.init stages (fun pid ->
+        if pid = 0 then (fun api ->
+          for i = 1 to items do
+            ignore (api.R.send 1 i)
+          done)
+        else if pid = stages - 1 then (fun api ->
+          let total = ref 0 in
+          List.iter (fun (_, v) -> total := !total + v)
+            (R.Pattern.gather api items);
+          (* Each item was incremented once per middle stage. *)
+          assert (!total = (items * (items + 1) / 2) + (items * (stages - 2))))
+        else R.Pattern.relay ~next:(pid + 1) ~items ~transform:(fun v -> v + 1))
+  in
+  let o = clean (run ~seed:4 ~n:stages programs) in
+  Alcotest.(check int) "messages" (items * (stages - 1))
+    (Trace.message_count o.R.trace)
+
+let test_pattern_broadcast_gather () =
+  let n = 5 in
+  let programs =
+    Array.init n (fun pid ->
+        if pid = 0 then (fun api ->
+          R.Pattern.broadcast api [ 1; 2; 3; 4 ] 99;
+          let acks = R.Pattern.gather api 4 in
+          assert (List.length acks = 4);
+          List.iter (fun (_, v) -> assert (v = 100)) acks)
+        else fun api ->
+          let v, _ = api.R.recv_from 0 in
+          ignore (api.R.send 0 (v + 1)))
+  in
+  let o = clean (run ~seed:8 ~n programs) in
+  Alcotest.(check int) "8 messages" 8 (Trace.message_count o.R.trace)
+
+let () =
+  Alcotest.run "csp"
+    [
+      ( "explore",
+        [
+          Alcotest.test_case "dedups schedules" `Quick (fun () ->
+              let programs = ping_pong_programs 4 2 in
+              let outcomes =
+                R.explore ~n:4 ~seeds:(List.init 30 Fun.id) programs
+              in
+              Alcotest.(check bool) "several distinct schedules" true
+                (List.length outcomes > 1);
+              Alcotest.(check bool) "strictly fewer than seeds" true
+                (List.length outcomes < 30);
+              (* Each retained outcome has a unique trace. *)
+              let traces =
+                List.map (fun (_, o) -> Trace.steps o.R.trace) outcomes
+              in
+              Alcotest.(check int) "unique"
+                (List.length traces)
+                (List.length (List.sort_uniq compare traces)));
+          Alcotest.test_case "finds deadlocks" `Quick (fun () ->
+              (* Two processes both send first: deadlock under every
+                 schedule; explore must surface it. *)
+              let programs =
+                [|
+                  (fun api -> ignore (api.R.send 1 0));
+                  (fun api -> ignore (api.R.send 0 0));
+                |]
+              in
+              let outcomes = R.explore ~n:2 ~seeds:[ 0; 1; 2 ] programs in
+              Alcotest.(check bool) "deadlock found" true
+                (List.exists (fun (_, o) -> o.R.deadlocked <> []) outcomes));
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "reproduces a run" `Quick test_replay_reproduces;
+          Alcotest.test_case "across seeds" `Quick test_replay_many_seeds;
+          Alcotest.test_case "divergence detection" `Quick
+            test_replay_divergence;
+          Alcotest.test_case "truncated trace" `Quick
+            test_replay_truncated_trace;
+          Alcotest.test_case "yields transparent" `Quick
+            test_replay_yields_transparent;
+        ] );
+      ( "patterns",
+        [
+          Alcotest.test_case "rpc" `Quick test_pattern_rpc;
+          Alcotest.test_case "pipeline relay/gather" `Quick
+            test_pattern_pipeline;
+          Alcotest.test_case "broadcast/gather" `Quick
+            test_pattern_broadcast_gather;
+        ] );
+      ( "rendezvous",
+        [
+          Alcotest.test_case "single message" `Quick test_single_message;
+          Alcotest.test_case "send blocks" `Quick test_send_blocks_until_recv;
+          Alcotest.test_case "recv_from filters" `Quick test_recv_from_filters;
+          Alcotest.test_case "internal events" `Quick
+            test_internal_events_recorded;
+        ] );
+      ( "failure-modes",
+        [
+          Alcotest.test_case "deadlock" `Quick test_deadlock_detected;
+          Alcotest.test_case "partial deadlock" `Quick test_partial_deadlock;
+          Alcotest.test_case "fiber failure" `Quick test_failure_capture;
+          Alcotest.test_case "bad destination" `Quick test_bad_destination;
+          Alcotest.test_case "step limit" `Quick test_step_limit;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "same seed same trace" `Quick
+            test_deterministic_same_seed;
+          Alcotest.test_case "seeds explore interleavings" `Quick
+            test_seeds_differ;
+        ] );
+      ( "timestamping",
+        [
+          Alcotest.test_case "star service" `Quick test_timestamps_valid;
+          Alcotest.test_case "many seeds" `Quick test_timestamps_many_seeds;
+          Alcotest.test_case "trace topology" `Quick
+            test_trace_topology_subset;
+          Alcotest.test_case "client-server integration" `Quick
+            test_client_server_integration;
+        ] );
+    ]

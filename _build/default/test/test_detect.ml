@@ -1,0 +1,644 @@
+module Graph = Synts_graph.Graph
+module Topology = Synts_graph.Topology
+module Decomposition = Synts_graph.Decomposition
+module Trace = Synts_sync.Trace
+module Poset = Synts_poset.Poset
+module Vector = Synts_clock.Vector
+module Online = Synts_core.Online
+module Internal_events = Synts_core.Internal_events
+module Predicate = Synts_detect.Predicate
+module Orphan = Synts_detect.Orphan
+module Oracle = Synts_check.Oracle
+module Workload = Synts_workload.Workload
+module Rng = Synts_util.Rng
+module Gen = Synts_test_support.Gen
+
+let qtest ?(count = 150) name gen print f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name ~print gen f)
+
+let stamps_of c =
+  let g, trace = Gen.build_computation c in
+  let d = Decomposition.best g in
+  (trace, Internal_events.of_trace d trace)
+
+(* ---------- Predicate intervals ---------- *)
+
+let test_overlap_basics () =
+  let v a b = [| a; b |] in
+  let i ~proc since until = { Predicate.proc; since; until } in
+  let a = i ~proc:0 (v 0 0) (Some (v 2 1)) in
+  let b = i ~proc:1 (v 1 0) (Some (v 3 1)) in
+  Alcotest.(check bool) "overlapping" true (Predicate.overlap a b);
+  let c = i ~proc:2 (v 2 1) None in
+  Alcotest.(check bool) "a definitely before c" true
+    (Predicate.definitely_ordered a c);
+  Alcotest.(check bool) "no overlap a c" false (Predicate.overlap a c);
+  Alcotest.(check bool) "c unbounded overlaps b" true (Predicate.overlap b c);
+  Alcotest.(check bool) "same process never overlaps" false
+    (Predicate.overlap a { a with since = v 0 0 })
+
+let test_overlap_equals_concurrency =
+  (* For internal events of different processes, interval overlap must
+     coincide with happened-before concurrency (Theorem 9 rephrased). *)
+  qtest ~count:200 "interval overlap = event concurrency" Gen.computation
+    Gen.computation_print (fun c ->
+      let trace, stamps = stamps_of c in
+      let hb = Oracle.happened_before_internal trace in
+      let k = Array.length stamps in
+      let ok = ref true in
+      for i = 0 to k - 1 do
+        for j = 0 to k - 1 do
+          if
+            i <> j
+            && stamps.(i).Internal_events.proc
+               <> stamps.(j).Internal_events.proc
+          then begin
+            let a = Predicate.interval_of_internal stamps.(i) in
+            let b = Predicate.interval_of_internal stamps.(j) in
+            let concurrent = (not (hb i j)) && not (hb j i) in
+            if Predicate.overlap a b <> concurrent then ok := false
+          end
+        done
+      done;
+      !ok)
+
+(* Brute-force witness search for cross-validation. *)
+let brute_possibly queues =
+  let rec go chosen = function
+    | [] ->
+        if
+          List.for_all
+            (fun a ->
+              List.for_all
+                (fun b -> a == b || Predicate.overlap a b)
+                chosen)
+            chosen
+        then Some chosen
+        else None
+    | q :: rest ->
+        List.find_map (fun iv -> go (iv :: chosen) rest) q
+  in
+  go [] queues
+
+let test_possibly_matches_brute =
+  qtest ~count:200 "possibly agrees with brute-force search" Gen.computation
+    Gen.computation_print (fun c ->
+      let _trace, stamps = stamps_of c in
+      if Array.length stamps = 0 then true
+      else begin
+        (* Monitor up to 3 processes that actually have internal events,
+           with up to 4 intervals each. *)
+        let by_proc = Hashtbl.create 8 in
+        Array.iter
+          (fun s ->
+            let p = s.Internal_events.proc in
+            let cur = Option.value ~default:[] (Hashtbl.find_opt by_proc p) in
+            if List.length cur < 4 then
+              Hashtbl.replace by_proc p
+                (cur @ [ Predicate.interval_of_internal s ]))
+          stamps;
+        let monitored =
+          Hashtbl.fold (fun p ivs acc -> (p, ivs) :: acc) by_proc []
+          |> List.sort compare
+          |> fun l -> List.filteri (fun i _ -> i < 3) l
+        in
+        if monitored = [] then true
+        else begin
+          let fast = Predicate.possibly monitored in
+          let brute = brute_possibly (List.map snd monitored) in
+          (match (fast, brute) with
+          | Some w, Some _ ->
+              (* The witness itself must be pairwise overlapping. *)
+              List.for_all
+                (fun a ->
+                  List.for_all
+                    (fun b -> a == b || Predicate.overlap a b)
+                    w)
+                w
+          | None, None -> true
+          | Some _, None | None, Some _ -> false)
+        end
+      end)
+
+let test_possibly_simple () =
+  (* P0 predicate true only before any message; P1 only after a message
+     that P0's interval precedes. *)
+  let trace =
+    Trace.of_steps_exn ~n:2 [ Local 0; Send (0, 1); Local 1 ]
+  in
+  let d = Decomposition.best (Trace.topology trace) in
+  let stamps = Internal_events.of_trace d trace in
+  let iv i = Predicate.interval_of_internal stamps.(i) in
+  (match Predicate.possibly [ (0, [ iv 0 ]); (1, [ iv 1 ]) ] with
+  | None -> ()
+  | Some _ -> Alcotest.fail "ordered events accepted as witness");
+  (* Concurrent events: both after the sync point. *)
+  let trace2 = Trace.of_steps_exn ~n:2 [ Send (0, 1); Local 0; Local 1 ] in
+  let stamps2 = Internal_events.of_trace d trace2 in
+  let iv2 i = Predicate.interval_of_internal stamps2.(i) in
+  match Predicate.possibly [ (0, [ iv2 0 ]); (1, [ iv2 1 ]) ] with
+  | Some _ -> ()
+  | None -> Alcotest.fail "concurrent events rejected"
+
+(* ---------- Orphans ---------- *)
+
+let failure_gen =
+  QCheck2.Gen.(
+    let* c = Gen.computation in
+    let* proc_pick = int_bound 1000 in
+    let* survives = int_bound 20 in
+    return (c, proc_pick, survives))
+
+let failure_print (c, p, s) =
+  Printf.sprintf "%s proc_pick=%d survives=%d" (Gen.computation_print c) p s
+
+let test_orphans_match_oracle =
+  qtest ~count:200 "timestamp-based orphans = poset-based orphans"
+    failure_gen failure_print (fun (c, proc_pick, survives) ->
+      let g, trace = Gen.build_computation c in
+      let d = Decomposition.best g in
+      let ts = Online.timestamp_trace d trace in
+      let failure =
+        { Orphan.proc = proc_pick mod Trace.n trace; survives }
+      in
+      let fast = Orphan.orphans trace ts failure in
+      let lost = Orphan.lost_messages trace failure in
+      let poset = Oracle.message_poset trace in
+      let slow =
+        List.filter
+          (fun m ->
+            List.exists (fun l -> l = m || Poset.lt poset l m) lost)
+          (List.init (Trace.message_count trace) Fun.id)
+      in
+      fast = slow)
+
+let test_orphan_properties =
+  qtest ~count:150 "orphan set sanity" failure_gen failure_print
+    (fun (c, proc_pick, survives) ->
+      let g, trace = Gen.build_computation c in
+      let d = Decomposition.best g in
+      let ts = Online.timestamp_trace d trace in
+      let failure = { Orphan.proc = proc_pick mod Trace.n trace; survives } in
+      let lost = Orphan.lost_messages trace failure in
+      let orphaned = Orphan.orphans trace ts failure in
+      let stable = Orphan.stable_messages trace ts failure in
+      let rollback = Orphan.rollback_processes trace ts failure in
+      (* Lost ⊆ orphans; orphans ∪ stable partitions the messages; the
+         failed process rolls back whenever it lost anything. *)
+      List.for_all (fun l -> List.mem l orphaned) lost
+      && List.sort compare (orphaned @ stable)
+         = List.init (Trace.message_count trace) Fun.id
+      && (lost = [] || List.mem failure.Orphan.proc rollback))
+
+let test_orphans_multi =
+  qtest ~count:100 "multi-failure orphans are the union of single failures"
+    failure_gen failure_print (fun (c, proc_pick, survives) ->
+      let g, trace = Gen.build_computation c in
+      if Trace.n trace < 2 then true
+      else begin
+        let d = Decomposition.best g in
+        let ts = Online.timestamp_trace d trace in
+        let f1 = { Orphan.proc = proc_pick mod Trace.n trace; survives } in
+        let f2 =
+          { Orphan.proc = (proc_pick + 1) mod Trace.n trace;
+            survives = survives / 2 }
+        in
+        Orphan.orphans_multi trace ts [ f1; f2 ]
+        = List.sort_uniq compare
+            (Orphan.orphans trace ts f1 @ Orphan.orphans trace ts f2)
+      end)
+
+let test_orphan_no_loss () =
+  let trace = Trace.of_steps_exn ~n:3 [ Send (0, 1); Send (1, 2) ] in
+  let d = Decomposition.best (Trace.topology trace) in
+  let ts = Online.timestamp_trace d trace in
+  let failure = { Orphan.proc = 0; survives = 5 } in
+  Alcotest.(check (list int)) "nothing lost" []
+    (Orphan.lost_messages trace failure);
+  Alcotest.(check (list int)) "no orphans" []
+    (Orphan.orphans trace ts failure)
+
+let test_orphan_cascade () =
+  (* P0 -> P1, then P1 -> P2: losing P0's message orphans the chain. *)
+  let trace = Trace.of_steps_exn ~n:3 [ Send (0, 1); Send (1, 2) ] in
+  let d = Decomposition.best (Trace.topology trace) in
+  let ts = Online.timestamp_trace d trace in
+  let failure = { Orphan.proc = 0; survives = 0 } in
+  Alcotest.(check (list int)) "both orphaned" [ 0; 1 ]
+    (Orphan.orphans trace ts failure);
+  Alcotest.(check (list int)) "everyone rolls back" [ 0; 1; 2 ]
+    (Orphan.rollback_processes trace ts failure)
+
+let test_orphan_independent_survives () =
+  (* A concurrent message on disjoint processes survives. *)
+  let trace = Trace.of_steps_exn ~n:4 [ Send (0, 1); Send (2, 3) ] in
+  let d = Decomposition.best (Trace.topology trace) in
+  let ts = Online.timestamp_trace d trace in
+  let failure = { Orphan.proc = 0; survives = 0 } in
+  Alcotest.(check (list int)) "only m0 orphaned" [ 0 ]
+    (Orphan.orphans trace ts failure);
+  Alcotest.(check (list int)) "m1 stable" [ 1 ]
+    (Orphan.stable_messages trace ts failure)
+
+(* ---------- Online WCP monitor ---------- *)
+
+module Wcp_monitor = Synts_detect.Wcp_monitor
+
+let monitored_intervals stamps =
+  let by_proc = Hashtbl.create 8 in
+  Array.iter
+    (fun s ->
+      let p = s.Internal_events.proc in
+      Hashtbl.replace by_proc p
+        (Predicate.interval_of_internal s
+        :: Option.value ~default:[] (Hashtbl.find_opt by_proc p)))
+    stamps;
+  Hashtbl.fold (fun p ivs acc -> (p, List.rev ivs) :: acc) by_proc []
+  |> List.sort compare
+
+let test_wcp_monitor_matches_offline =
+  qtest ~count:200 "online monitor verdict = offline possibly"
+    Gen.computation Gen.computation_print (fun c ->
+      let _trace, stamps = stamps_of c in
+      let monitored = monitored_intervals stamps in
+      if monitored = [] then true
+      else begin
+        let offline = Predicate.possibly monitored in
+        let monitor =
+          Wcp_monitor.create ~processes:(List.map fst monitored)
+        in
+        (* Feed interleaved by occurrence order across processes: round
+           robin over the original per-process lists. *)
+        let queues = ref (List.map snd monitored) in
+        let continue = ref true in
+        while !continue do
+          let fed = ref false in
+          queues :=
+            List.map
+              (function
+                | [] -> []
+                | iv :: rest ->
+                    ignore (Wcp_monitor.add monitor iv);
+                    fed := true;
+                    rest)
+              !queues;
+          if not !fed then continue := false
+        done;
+        match (offline, Wcp_monitor.witness monitor) with
+        | Some _, Some w ->
+            List.for_all
+              (fun a -> List.for_all (fun b -> a == b || Predicate.overlap a b) w)
+              w
+        | None, None -> true
+        | Some _, None | None, Some _ -> false
+      end)
+
+let test_wcp_monitor_early_detection () =
+  let iv ~proc since until =
+    { Predicate.proc; since = [| since |]; until = Option.map (fun u -> [| u |]) until }
+  in
+  let m = Wcp_monitor.create ~processes:[ 0; 1 ] in
+  Alcotest.(check bool) "one queue empty: pending" true
+    (Wcp_monitor.add m (iv ~proc:0 0 (Some 5)) = None);
+  (* Overlapping interval on P1 completes the witness immediately. *)
+  (match Wcp_monitor.add m (iv ~proc:1 2 (Some 7)) with
+  | Some [ _; _ ] -> ()
+  | _ -> Alcotest.fail "witness expected");
+  Alcotest.(check int) "queues cleared" 0 (Wcp_monitor.pending_intervals m);
+  (* Further intervals are ignored, witness latched. *)
+  Alcotest.(check bool) "latched" true (Wcp_monitor.witness m <> None)
+
+let test_wcp_monitor_elimination () =
+  let iv ~proc since until =
+    { Predicate.proc; since = [| since |]; until = Option.map (fun u -> [| u |]) until }
+  in
+  let m = Wcp_monitor.create ~processes:[ 0; 1 ] in
+  (* P0's interval ends before P1's begins: eliminated, no witness. *)
+  ignore (Wcp_monitor.add m (iv ~proc:0 0 (Some 2)));
+  Alcotest.(check bool) "ordered pair: no witness" true
+    (Wcp_monitor.add m (iv ~proc:1 2 None) = None);
+  (* A later P0 interval overlapping P1's open interval wins. *)
+  (match Wcp_monitor.add m (iv ~proc:0 3 None) with
+  | Some _ -> ()
+  | None -> Alcotest.fail "witness expected after elimination")
+
+(* ---------- Recovery lines ---------- *)
+
+let test_recovery_line_simple () =
+  (* P0 checkpoints after its first message; P1 after its first two
+     occurrences. Crash of P0 keeping 1 message. *)
+  let trace =
+    Trace.of_steps_exn ~n:2 [ Send (0, 1); Local 1; Send (0, 1); Send (1, 0) ]
+  in
+  let checkpoints = [| [ 1 ]; [ 2 ] |] in
+  let line =
+    Orphan.recovery_line trace ~checkpoints { Orphan.proc = 0; survives = 1 }
+  in
+  (* P0 restarts from its checkpoint (1 occurrence); P1 keeps only the
+     part before the second message: its checkpoint at 2. *)
+  Alcotest.(check (array int)) "line" [| 1; 2 |] line
+
+let test_recovery_line_cascade () =
+  (* No checkpoints anywhere: everything collapses to the start. *)
+  let trace =
+    Trace.of_steps_exn ~n:3 [ Send (0, 1); Send (1, 2); Send (2, 0) ]
+  in
+  let line =
+    Orphan.recovery_line trace ~checkpoints:[| []; []; [] |]
+      { Orphan.proc = 0; survives = 0 }
+  in
+  Alcotest.(check (array int)) "domino to zero" [| 0; 0; 0 |] line
+
+let test_recovery_line_unaffected () =
+  (* A disjoint pair keeps its state. *)
+  let trace = Trace.of_steps_exn ~n:4 [ Send (0, 1); Send (2, 3) ] in
+  let line =
+    Orphan.recovery_line trace ~checkpoints:[| []; []; []; [] |]
+      { Orphan.proc = 0; survives = 0 }
+  in
+  Alcotest.(check (array int)) "P2,P3 keep everything" [| 0; 0; 1; 1 |] line
+
+let recovery_gen =
+  QCheck2.Gen.(
+    let* n = int_range 2 4 in
+    let* seed = int_bound 100000 in
+    let* messages = int_range 0 10 in
+    let* proc_pick = int_bound 100 in
+    let* survives = int_bound 6 in
+    return (n, seed, messages, proc_pick, survives))
+
+let recovery_print (n, seed, messages, p, s) =
+  Printf.sprintf "n=%d seed=%d msgs=%d proc=%d survives=%d" n seed messages p s
+
+let test_recovery_line_maximal =
+  qtest ~count:150 "recovery line is the maximum consistent candidate line"
+    recovery_gen recovery_print (fun (n, seed, messages, proc_pick, survives) ->
+      let rng = Rng.create seed in
+      let g = Topology.complete n in
+      let trace =
+        Workload.random rng ~topology:g ~messages ~internal_prob:0.3 ()
+      in
+      let failure = { Orphan.proc = proc_pick mod n; survives } in
+      (* Random checkpoint placements. *)
+      let history_len p = List.length (Trace.process_history trace p) in
+      let checkpoints =
+        Array.init n (fun p ->
+            List.sort_uniq compare
+              (List.init (Rng.int rng 3) (fun _ ->
+                   Rng.int rng (history_len p + 1))))
+      in
+      let line = Orphan.recovery_line trace ~checkpoints failure in
+      (* Brute force: enumerate all candidate combinations, keep the
+         consistent ones respecting the failure limit, take the maximum. *)
+      let failed_limit =
+        let msgs = ref 0 and limit = ref (history_len failure.Orphan.proc) in
+        List.iteri
+          (fun idx occ ->
+            match occ with
+            | Trace.Msg _ ->
+                incr msgs;
+                if !msgs = failure.Orphan.survives + 1 && !limit > idx then
+                  limit := idx
+            | Trace.Int _ -> ())
+          (Trace.process_history trace failure.Orphan.proc);
+        !limit
+      in
+      let candidates p =
+        let base = 0 :: checkpoints.(p) in
+        List.sort_uniq compare
+          (if p = failure.Orphan.proc then
+             List.filter (fun c -> c <= failed_limit) base
+           else base @ [ history_len p ])
+      in
+      let rec combos p =
+        if p = n then [ [] ]
+        else
+          List.concat_map
+            (fun rest -> List.map (fun c -> c :: rest) (candidates p))
+            (combos (p + 1))
+      in
+      let consistent_lines =
+        List.filter
+          (fun cs -> Synts_detect.Cuts.consistent trace (Array.of_list cs))
+          (combos 0)
+      in
+      (* The pointwise maximum of consistent lines is itself consistent
+         (lattice property); the algorithm must return exactly it. *)
+      let maximum =
+        List.fold_left
+          (fun acc cs -> Array.map2 max acc (Array.of_list cs))
+          (Array.make n 0) consistent_lines
+      in
+      line = maximum && Synts_detect.Cuts.consistent trace line)
+
+(* ---------- Consistent cuts and definitely ---------- *)
+
+module Cuts = Synts_detect.Cuts
+
+(* Tiny computations so lattice walks stay cheap. *)
+let tiny_computation =
+  QCheck2.Gen.(
+    let* n = int_range 2 4 in
+    let* seed = int_bound 100000 in
+    let* messages = int_range 0 8 in
+    return (n, seed, messages))
+
+let tiny_print (n, seed, messages) =
+  Printf.sprintf "n=%d seed=%d messages=%d" n seed messages
+
+let build_tiny (n, seed, messages) =
+  let rng = Rng.create seed in
+  let g = Topology.complete n in
+  Workload.random rng ~topology:g ~messages ~internal_prob:0.4 ()
+
+let test_cuts_known () =
+  let t = Trace.of_steps_exn ~n:2 [ Send (0, 1) ] in
+  Alcotest.(check int) "single message: 2 cuts" 2 (Cuts.count t);
+  let t2 = Trace.of_steps_exn ~n:2 [ Local 0; Local 1 ] in
+  Alcotest.(check int) "two independent events: 4 cuts" 4 (Cuts.count t2);
+  let t3 = Trace.of_steps_exn ~n:2 [ Local 0; Send (0, 1); Local 1 ] in
+  (* P0: e0, m; P1: m, e1. Cuts: 00,10,11(m),21,22 -> wait P0 len 2, P1
+     len 2; consistent cuts: (0,0),(1,0),(2,1)? m is P0's 2nd, P1's 1st:
+     (0,0),(1,0),(2,1),(2,2). *)
+  Alcotest.(check int) "chain: 4 cuts" 4 (Cuts.count t3)
+
+let test_cuts_successors_consistent =
+  qtest ~count:100 "successors of consistent cuts are consistent"
+    tiny_computation tiny_print (fun params ->
+      let t = build_tiny params in
+      (* BFS a few levels, checking consistency along the way. *)
+      let ok = ref true in
+      let frontier = ref [ Cuts.initial t ] in
+      for _ = 1 to 6 do
+        frontier :=
+          List.concat_map
+            (fun c ->
+              let succs = Cuts.successors t c in
+              List.iter
+                (fun s -> if not (Cuts.consistent t s) then ok := false)
+                succs;
+              succs)
+            !frontier
+          |> List.sort_uniq compare
+      done;
+      !ok)
+
+let test_cuts_count_matches_bruteforce =
+  qtest ~count:60 "cut count matches brute-force enumeration"
+    QCheck2.Gen.(
+      let* n = int_range 2 3 in
+      let* seed = int_bound 100000 in
+      let* messages = int_range 0 5 in
+      return (n, seed, messages))
+    tiny_print
+    (fun params ->
+      let t = build_tiny params in
+      let final = Cuts.final t in
+      (* Enumerate every vector <= final and count the consistent ones. *)
+      let rec enumerate acc p =
+        if p = Array.length final then [ Array.of_list (List.rev acc) ]
+        else
+          List.concat_map
+            (fun k -> enumerate (k :: acc) (p + 1))
+            (List.init (final.(p) + 1) Fun.id)
+      in
+      let brute =
+        List.length (List.filter (Cuts.consistent t) (enumerate [] 0))
+      in
+      brute = Cuts.count t)
+
+let test_definitely_known () =
+  (* The post-message cut is unavoidable. *)
+  let t = Trace.of_steps_exn ~n:2 [ Send (0, 1) ] in
+  Alcotest.(check bool) "message cut unavoidable" true
+    (Predicate.definitely t (fun c -> c = [| 1; 1 |]));
+  (* An off-diagonal cut of two independent events is avoidable. *)
+  let t2 = Trace.of_steps_exn ~n:2 [ Local 0; Local 1 ] in
+  Alcotest.(check bool) "corner avoidable" false
+    (Predicate.definitely t2 (fun c -> c = [| 1; 0 |]));
+  Alcotest.(check bool) "but possible" true
+    (Predicate.possibly_cut t2 (fun c -> c = [| 1; 0 |]));
+  Alcotest.(check bool) "never-true predicate" false
+    (Predicate.possibly_cut t2 (fun _ -> false));
+  Alcotest.(check bool) "always-true predicate definite" true
+    (Predicate.definitely t2 (fun _ -> true))
+
+let test_definitely_implies_possibly =
+  qtest ~count:60 "definitely implies possibly" tiny_computation tiny_print
+    (fun params ->
+      let t = build_tiny params in
+      (* A nontrivial derived predicate: some process has executed at
+         least half its occurrences while another has not started. *)
+      let final = Cuts.final t in
+      let pred c =
+        Array.exists2 (fun k f -> f > 0 && 2 * k >= f) c final
+        && Array.exists (fun k -> k = 0) c
+      in
+      (not (Predicate.definitely t pred)) || Predicate.possibly_cut t pred)
+
+let test_possibly_cut_agrees_with_wcp =
+  (* The interval-based possibly and the lattice-based possibly must agree
+     when the predicate is "each monitored process sits at one of its
+     internal events". *)
+  qtest ~count:100 "lattice possibly = interval possibly" tiny_computation
+    tiny_print (fun params ->
+      let t = build_tiny params in
+      if Trace.internal_count t = 0 then true
+      else begin
+        let d = Decomposition.best (Topology.complete (Trace.n t)) in
+        let stamps = Internal_events.of_trace d t in
+        (* Monitored processes: those with at least one internal event. *)
+        let by_proc = Hashtbl.create 8 in
+        Array.iteri
+          (fun id s ->
+            let p = s.Internal_events.proc in
+            Hashtbl.replace by_proc p
+              (id :: Option.value ~default:[] (Hashtbl.find_opt by_proc p)))
+          stamps;
+        let monitored =
+          Hashtbl.fold (fun p ids acc -> (p, List.rev ids) :: acc) by_proc []
+          |> List.sort compare
+        in
+        (* Interval-based. *)
+        let interval_ans =
+          Predicate.possibly
+            (List.map
+               (fun (p, ids) ->
+                 (p, List.map (fun id -> Predicate.interval_of_internal stamps.(id)) ids))
+               monitored)
+          <> None
+        in
+        (* Lattice-based: local index of each internal event within its
+           process history. *)
+        let local_index = Hashtbl.create 16 in
+        List.iter
+          (fun p ->
+            List.iteri
+              (fun k occ ->
+                match occ with
+                | Trace.Int e -> Hashtbl.replace local_index e.Trace.id (p, k)
+                | Trace.Msg _ -> ())
+              (Trace.process_history t p))
+          (List.init (Trace.n t) Fun.id)
+        |> ignore;
+        let cut_pred c =
+          List.for_all
+            (fun (p, ids) ->
+              c.(p) > 0
+              && List.exists
+                   (fun id -> Hashtbl.find local_index id = (p, c.(p) - 1))
+                   ids)
+            monitored
+        in
+        let lattice_ans = Predicate.possibly_cut t cut_pred in
+        interval_ans = lattice_ans
+      end)
+
+let () =
+  Alcotest.run "detect"
+    [
+      ( "cuts",
+        [
+          Alcotest.test_case "known counts" `Quick test_cuts_known;
+          Alcotest.test_case "definitely/possibly basics" `Quick
+            test_definitely_known;
+          test_cuts_successors_consistent;
+          test_cuts_count_matches_bruteforce;
+          test_definitely_implies_possibly;
+          test_possibly_cut_agrees_with_wcp;
+        ] );
+      ( "predicate",
+        [
+          Alcotest.test_case "overlap basics" `Quick test_overlap_basics;
+          Alcotest.test_case "possibly on tiny traces" `Quick
+            test_possibly_simple;
+          test_overlap_equals_concurrency;
+          test_possibly_matches_brute;
+        ] );
+      ( "wcp-monitor",
+        [
+          Alcotest.test_case "early detection" `Quick
+            test_wcp_monitor_early_detection;
+          Alcotest.test_case "head elimination" `Quick
+            test_wcp_monitor_elimination;
+          test_wcp_monitor_matches_offline;
+        ] );
+      ( "recovery-line",
+        [
+          Alcotest.test_case "simple" `Quick test_recovery_line_simple;
+          Alcotest.test_case "cascade" `Quick test_recovery_line_cascade;
+          Alcotest.test_case "unaffected pair" `Quick
+            test_recovery_line_unaffected;
+          test_recovery_line_maximal;
+        ] );
+      ( "orphan",
+        [
+          Alcotest.test_case "no loss" `Quick test_orphan_no_loss;
+          Alcotest.test_case "cascade" `Quick test_orphan_cascade;
+          Alcotest.test_case "independent survivor" `Quick
+            test_orphan_independent_survives;
+          test_orphans_match_oracle;
+          test_orphan_properties;
+          test_orphans_multi;
+        ] );
+    ]

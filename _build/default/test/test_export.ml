@@ -1,0 +1,126 @@
+module Graph = Synts_graph.Graph
+module Topology = Synts_graph.Topology
+module Decomposition = Synts_graph.Decomposition
+module Trace = Synts_sync.Trace
+module Poset = Synts_poset.Poset
+module Dot = Synts_export.Dot
+module Gen = Synts_test_support.Gen
+
+let qtest ?(count = 100) name gen print f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name ~print gen f)
+
+let count_occurrences needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i acc =
+    if i + n > h then acc
+    else if String.sub haystack i n = needle then go (i + 1) (acc + 1)
+    else go (i + 1) acc
+  in
+  go 0 0
+
+let test_topology_dot () =
+  let g = Topology.triangle () in
+  let s = Dot.topology g in
+  Alcotest.(check int) "three edges" 3 (count_occurrences " -- " s);
+  Alcotest.(check bool) "graph header" true
+    (String.length s > 0 && String.sub s 0 5 = "graph");
+  Alcotest.(check int) "three nodes labelled" 3 (count_occurrences "label=\"P" s)
+
+let test_decomposition_dot () =
+  let g = Topology.fig4_tree () in
+  let d = Decomposition.paper g in
+  let s = Dot.decomposition g d in
+  Alcotest.(check int) "one colored line per edge" (Graph.m g)
+    (count_occurrences "color=" s / 2 (* color + fontcolor per edge *));
+  Alcotest.(check int) "three centers doubled" 3
+    (count_occurrences "peripheries=2" s);
+  Alcotest.(check bool) "groups named" true
+    (count_occurrences "label=\"E1\"" s > 0
+    && count_occurrences "label=\"E3\"" s > 0)
+
+let test_decomposition_dot_rejects () =
+  let g = Topology.complete 4 in
+  let d = Decomposition.paper (Topology.star 4) in
+  match Dot.decomposition g d with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "uncovered graph accepted"
+
+let test_poset_dot () =
+  let p = Poset.of_relation 3 [ (0, 1); (1, 2) ] in
+  let s = Dot.poset p in
+  (* Transitive reduction: only the two cover edges. *)
+  Alcotest.(check int) "cover edges only" 2 (count_occurrences " -> " s)
+
+let test_message_poset_dot () =
+  let trace = Synts_sync.Examples.fig1 () in
+  let s = Dot.message_poset trace in
+  Alcotest.(check bool) "labels carry endpoints" true
+    (count_occurrences "m1: P1->P2" s = 1);
+  Alcotest.(check bool) "digraph" true (String.sub s 0 7 = "digraph")
+
+let test_decomposition_dot_total =
+  qtest "decomposition export covers every edge exactly once"
+    Gen.small_graph Gen.small_graph_print (fun (n, edges) ->
+      let g = Graph.of_edges n edges in
+      let d = Decomposition.paper g in
+      let s = Dot.decomposition g d in
+      count_occurrences " -- " s = Graph.m g)
+
+(* ---------- SVG ---------- *)
+
+module Svg = Synts_export.Svg
+
+let test_svg_structure () =
+  let trace = Synts_sync.Examples.fig6 () in
+  let d = Synts_sync.Examples.fig6_decomposition () in
+  let ts = Synts_core.Online.timestamp_trace d trace in
+  let s = Svg.diagram ~timestamps:ts ~decomposition:d trace in
+  Alcotest.(check bool) "svg root" true (String.sub s 0 4 = "<svg");
+  (* One arrow line per message, one horizontal line per process. *)
+  Alcotest.(check int) "arrows" 6 (count_occurrences "marker-end" s);
+  Alcotest.(check int) "process lines" 5 (count_occurrences "stroke=\"#999\"" s);
+  Alcotest.(check int) "timestamp labels" 1
+    (count_occurrences ">(1,1,1)<" s);
+  Alcotest.(check bool) "closes" true
+    (String.length s > 6
+    && String.sub s (String.length s - 7) 6 = "</svg>")
+
+let test_svg_internal_events () =
+  let trace =
+    Synts_sync.Trace.of_steps_exn ~n:2 [ Local 0; Send (0, 1); Local 1 ]
+  in
+  let s = Svg.diagram trace in
+  Alcotest.(check int) "two event dots" 2 (count_occurrences "<circle" s);
+  Alcotest.(check int) "default message label" 1 (count_occurrences ">m1<" s)
+
+let test_svg_rejects () =
+  let trace = Synts_sync.Trace.of_steps_exn ~n:2 [ Send (0, 1) ] in
+  (match Svg.diagram ~timestamps:[||] trace with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "bad timestamp count accepted");
+  let d = Decomposition.paper (Topology.star 4) in
+  let foreign = Synts_sync.Trace.of_steps_exn ~n:4 [ Send (1, 2) ] in
+  match Svg.diagram ~decomposition:d foreign with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "uncovered channel accepted"
+
+let () =
+  Alcotest.run "export"
+    [
+      ( "svg",
+        [
+          Alcotest.test_case "structure" `Quick test_svg_structure;
+          Alcotest.test_case "internal events" `Quick test_svg_internal_events;
+          Alcotest.test_case "rejects" `Quick test_svg_rejects;
+        ] );
+      ( "dot",
+        [
+          Alcotest.test_case "topology" `Quick test_topology_dot;
+          Alcotest.test_case "decomposition" `Quick test_decomposition_dot;
+          Alcotest.test_case "rejects uncovered" `Quick
+            test_decomposition_dot_rejects;
+          Alcotest.test_case "poset hasse" `Quick test_poset_dot;
+          Alcotest.test_case "message poset" `Quick test_message_poset_dot;
+          test_decomposition_dot_total;
+        ] );
+    ]

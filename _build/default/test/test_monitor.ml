@@ -1,0 +1,168 @@
+module Trace = Synts_sync.Trace
+module Poset = Synts_poset.Poset
+module Decomposition = Synts_graph.Decomposition
+module Vector = Synts_clock.Vector
+module Online = Synts_core.Online
+module Frontier = Synts_monitor.Frontier
+module Stats = Synts_monitor.Stats
+module Oracle = Synts_check.Oracle
+module Gen = Synts_test_support.Gen
+
+let qtest ?(count = 150) name gen print f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name ~print gen f)
+
+let stamped c =
+  let g, trace = Gen.build_computation c in
+  let d = Decomposition.best g in
+  (trace, Online.timestamp_trace d trace)
+
+(* ---------- Frontier ---------- *)
+
+let test_frontier_basics () =
+  let f = Frontier.create () in
+  Alcotest.(check int) "empty" 0 (Frontier.size f);
+  Alcotest.(check bool) "insert first" true
+    (Frontier.insert f ~id:0 [| 1; 0 |] = `Maximal);
+  Alcotest.(check bool) "concurrent joins" true
+    (Frontier.insert f ~id:1 [| 0; 1 |] = `Maximal);
+  Alcotest.(check int) "two maximal" 2 (Frontier.size f);
+  (* A successor of both evicts both. *)
+  Alcotest.(check bool) "dominating insert" true
+    (Frontier.insert f ~id:2 [| 2; 2 |] = `Maximal);
+  Alcotest.(check (list int)) "frontier is the top" [ 2 ]
+    (List.map fst (Frontier.frontier f));
+  (* A stale arrival is reported dominated. *)
+  Alcotest.(check bool) "stale arrival" true
+    (Frontier.insert f ~id:3 [| 1; 1 |] = `Dominated);
+  Alcotest.(check int) "observed counts all" 4 (Frontier.observed f);
+  Alcotest.(check bool) "covers past" true (Frontier.covers f [| 2; 1 |]);
+  Alcotest.(check bool) "does not cover future" false
+    (Frontier.covers f [| 3; 2 |]);
+  Alcotest.(check bool) "dominated_by" true (Frontier.dominated_by f [| 1; 0 |])
+
+let test_frontier_duplicate_id () =
+  let f = Frontier.create () in
+  ignore (Frontier.insert f ~id:7 [| 1 |]);
+  match Frontier.insert f ~id:7 [| 2 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate id accepted"
+
+let test_frontier_matches_poset =
+  qtest ~count:200 "frontier = maximal elements of the observed poset"
+    Gen.computation Gen.computation_print (fun c ->
+      let trace, ts = stamped c in
+      let poset = Oracle.message_poset trace in
+      let f = Frontier.create () in
+      Array.iteri (fun id v -> ignore (Frontier.insert f ~id v)) ts;
+      let expected = Poset.maximal_elements poset in
+      let got = List.sort compare (List.map fst (Frontier.frontier f)) in
+      Trace.message_count trace = 0 || got = expected)
+
+let test_frontier_pairwise_concurrent =
+  qtest ~count:150 "frontier elements are pairwise concurrent"
+    Gen.computation Gen.computation_print (fun c ->
+      let _, ts = stamped c in
+      let f = Frontier.create () in
+      Array.iteri (fun id v -> ignore (Frontier.insert f ~id v)) ts;
+      let front = Frontier.frontier f in
+      List.for_all
+        (fun (i, v) ->
+          List.for_all
+            (fun (j, w) -> i = j || Vector.concurrent v w)
+            front)
+        front)
+
+let test_frontier_out_of_order =
+  (* Feeding messages in reverse poset order must still converge to the
+     true maxima (late stale messages are dominated). *)
+  qtest ~count:100 "out-of-order observation converges" Gen.computation
+    Gen.computation_print (fun c ->
+      let trace, ts = stamped c in
+      if Trace.message_count trace = 0 then true
+      else begin
+        let poset = Oracle.message_poset trace in
+        let f = Frontier.create () in
+        for id = Array.length ts - 1 downto 0 do
+          ignore (Frontier.insert f ~id ts.(id))
+        done;
+        List.sort compare (List.map fst (Frontier.frontier f))
+        = Poset.maximal_elements poset
+      end)
+
+(* ---------- Stats ---------- *)
+
+let longest_chain_oracle poset =
+  let n = Poset.size poset in
+  let order = Poset.linear_extension poset in
+  let best = Array.make n 1 in
+  Array.iter
+    (fun v ->
+      Array.iter
+        (fun u -> if Poset.lt poset u v then best.(v) <- max best.(v) (best.(u) + 1))
+        order)
+    order;
+  Array.fold_left max 0 best
+
+let test_stats_counts =
+  qtest ~count:200 "pair counts partition all pairs" Gen.computation
+    Gen.computation_print (fun c ->
+      let trace, ts = stamped c in
+      let s = Stats.create () in
+      Array.iter (Stats.observe s) ts;
+      let m = Trace.message_count trace in
+      Stats.messages s = m
+      && Stats.ordered_pairs s + Stats.concurrent_pairs s = m * (m - 1) / 2)
+
+let test_stats_match_oracle =
+  qtest ~count:200 "ordered count and longest chain match the oracle"
+    Gen.computation Gen.computation_print (fun c ->
+      let trace, ts = stamped c in
+      let poset = Oracle.message_poset trace in
+      let s = Stats.create () in
+      Array.iter (Stats.observe s) ts;
+      let expected_ordered = Poset.relation_count poset in
+      Stats.ordered_pairs s = expected_ordered
+      && (Trace.message_count trace = 0
+         || Stats.longest_chain s = longest_chain_oracle poset))
+
+let test_stats_ratio () =
+  let s = Stats.create () in
+  Alcotest.(check (float 0.0)) "empty ratio" 0.0 (Stats.concurrency_ratio s);
+  Stats.observe s [| 1; 0 |];
+  Stats.observe s [| 0; 1 |];
+  Alcotest.(check (float 0.0)) "fully concurrent" 1.0
+    (Stats.concurrency_ratio s);
+  Stats.observe s [| 2; 2 |];
+  (* pairs: (1,2) concurrent; (1,3) and (2,3) ordered. *)
+  Alcotest.(check int) "ordered" 2 (Stats.ordered_pairs s);
+  Alcotest.(check int) "concurrent" 1 (Stats.concurrent_pairs s)
+
+let test_stats_window () =
+  let s = Stats.create ~window:1 () in
+  Stats.observe s [| 1; 0 |];
+  Stats.observe s [| 0; 1 |];
+  Stats.observe s [| 0; 2 |];
+  (* Only adjacent pairs compared: (1,2) concurrent, (2,3) ordered. *)
+  Alcotest.(check int) "ordered" 1 (Stats.ordered_pairs s);
+  Alcotest.(check int) "concurrent" 1 (Stats.concurrent_pairs s);
+  Alcotest.(check int) "messages all counted" 3 (Stats.messages s)
+
+let () =
+  Alcotest.run "monitor"
+    [
+      ( "frontier",
+        [
+          Alcotest.test_case "basics" `Quick test_frontier_basics;
+          Alcotest.test_case "duplicate id" `Quick test_frontier_duplicate_id;
+          test_frontier_matches_poset;
+          test_frontier_pairwise_concurrent;
+          test_frontier_out_of_order;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "ratio" `Quick test_stats_ratio;
+          Alcotest.test_case "window" `Quick test_stats_window;
+          test_stats_counts;
+          test_stats_match_oracle;
+        ] );
+    ]

@@ -1,0 +1,186 @@
+(* Mutation testing of the validators and the schemes' sensitivity.
+
+   The correctness experiments all reduce to "the validator reported ok" —
+   which is only convincing if the validator actually catches wrong
+   timestamps. These tests corrupt correct outputs in controlled ways and
+   assert the validators notice, and likewise check that breaking the
+   algorithm's ingredients (wrong group, skipped merge, skipped increment)
+   breaks exactness. *)
+
+module Graph = Synts_graph.Graph
+module Topology = Synts_graph.Topology
+module Decomposition = Synts_graph.Decomposition
+module Trace = Synts_sync.Trace
+module Message_poset = Synts_sync.Message_poset
+module Poset = Synts_poset.Poset
+module Vector = Synts_clock.Vector
+module Online = Synts_core.Online
+module Internal_events = Synts_core.Internal_events
+module Validate = Synts_check.Validate
+module Workload = Synts_workload.Workload
+module Rng = Synts_util.Rng
+module Gen = Synts_test_support.Gen
+
+let qtest ?(count = 150) name gen print f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name ~print gen f)
+
+let mutation_gen =
+  QCheck2.Gen.(
+    let* c = Gen.computation in
+    let* victim = int_bound 10_000 in
+    let* component = int_bound 10_000 in
+    let* delta = oneofl [ -2; -1; 1; 2; 5 ] in
+    return (c, victim, component, delta))
+
+let mutation_print (c, v, k, d) =
+  Printf.sprintf "%s victim=%d comp=%d delta=%d" (Gen.computation_print c) v k d
+
+(* A corrupted vector must flip at least one pair's classification, and
+   the validator must therefore report the trace as broken — unless the
+   mutation happens to produce a consistent relabelling, which for a
+   single-component bump of one message is only possible when that message
+   is unconstrained (no other message to compare against). *)
+let test_vector_mutation_detected =
+  qtest ~count:250 "validator catches single-entry corruption" mutation_gen
+    mutation_print (fun (c, victim, component, delta) ->
+      let g, trace = Gen.build_computation c in
+      if Trace.message_count trace < 2 then true
+      else begin
+        let d = Decomposition.best g in
+        let ts = Online.timestamp_trace d trace in
+        let k = Trace.message_count trace in
+        let victim = victim mod k in
+        let component = component mod Vector.size ts.(0) in
+        let mutated = Array.map Vector.copy ts in
+        mutated.(victim).(component) <-
+          max 0 (mutated.(victim).(component) + delta);
+        if Array.for_all2 Vector.equal mutated ts then true
+        else begin
+          (* Did the mutation actually change some pair's classification? *)
+          let changed = ref false in
+          for i = 0 to k - 1 do
+            for j = 0 to k - 1 do
+              if
+                i <> j
+                && Vector.lt ts.(i) ts.(j)
+                   <> Vector.lt mutated.(i) mutated.(j)
+              then changed := true
+            done
+          done;
+          let verdict = Validate.message_timestamps trace mutated in
+          (* The validator flags the trace iff a classification changed. *)
+          Validate.ok verdict = not !changed
+        end
+      end)
+
+(* Breaking the algorithm: use the wrong group index (rotate by one). *)
+let test_wrong_group_breaks =
+  qtest ~count:100 "incrementing the wrong component breaks exactness"
+    Gen.computation Gen.computation_print (fun c ->
+      let g, trace = Gen.build_computation c in
+      let d = Decomposition.best g in
+      let dim = Decomposition.size d in
+      if dim < 2 || Trace.message_count trace < 4 then true
+      else begin
+        let n = Trace.n trace in
+        let local = Array.init n (fun _ -> Vector.zero dim) in
+        let out = Array.make (Trace.message_count trace) [||] in
+        Array.iter
+          (fun (m : Trace.message) ->
+            let v = Vector.merge local.(m.Trace.src) local.(m.Trace.dst) in
+            let wrong =
+              (Decomposition.group_of_edge d m.Trace.src m.Trace.dst + 1)
+              mod dim
+            in
+            Vector.incr v wrong;
+            local.(m.Trace.src) <- Vector.copy v;
+            local.(m.Trace.dst) <- v;
+            out.(m.Trace.id) <- Vector.copy v)
+          (Trace.messages trace);
+        (* With the wrong component the encoding may or may not survive by
+           luck on tiny runs; over the generator's distribution it must
+           fail at least sometimes. Here we only require soundness of the
+           check itself: if the validator says ok, the vectors really do
+           encode the poset. *)
+        let verdict = Validate.message_timestamps trace out in
+        let poset = Message_poset.of_trace trace in
+        let really_ok = ref true in
+        for i = 0 to Poset.size poset - 1 do
+          for j = 0 to Poset.size poset - 1 do
+            if i <> j && Poset.lt poset i j <> Vector.lt out.(i) out.(j) then
+              really_ok := false
+          done
+        done;
+        Validate.ok verdict = !really_ok
+      end)
+
+(* Skipping the merge (no exchange of vectors) must be caught whenever the
+   computation has any cross-channel causality. *)
+let test_no_merge_breaks () =
+  let g = Topology.star 3 in
+  let d = Decomposition.best g in
+  (* The second message's sender (P2) knows nothing; only the receiver's
+     vector carries m0 — exactly what a merge-less mutant drops. *)
+  let trace = Trace.of_steps_exn ~n:3 [ Send (0, 1); Send (2, 0) ] in
+  let dim = Decomposition.size d in
+  let local = Array.init 3 (fun _ -> Vector.zero dim) in
+  let out = Array.make 2 [||] in
+  Array.iter
+    (fun (m : Trace.message) ->
+      (* BROKEN: each side increments its own copy without merging. *)
+      let v = Vector.copy local.(m.Trace.src) in
+      Vector.incr v (Decomposition.group_of_edge d m.Trace.src m.Trace.dst);
+      local.(m.Trace.src) <- Vector.copy v;
+      local.(m.Trace.dst) <- Vector.copy v;
+      out.(m.Trace.id) <- v)
+    (Trace.messages trace);
+  let verdict = Validate.message_timestamps trace out in
+  Alcotest.(check bool) "merge-less protocol detected" false
+    (Validate.ok verdict)
+
+(* Skipping the increment must be caught: all timestamps collapse. *)
+let test_no_increment_breaks () =
+  let g = Topology.star 3 in
+  let d = Decomposition.best g in
+  let trace = Trace.of_steps_exn ~n:3 [ Send (0, 1); Send (0, 2) ] in
+  let out = Array.make 2 (Vector.zero (Decomposition.size d)) in
+  let verdict = Validate.message_timestamps trace out in
+  Alcotest.(check bool) "increment-less protocol detected" false
+    (Validate.ok verdict)
+
+(* Internal-event stamps: corrupting the counter of a later same-segment
+   event must be caught. *)
+let test_internal_mutation_detected () =
+  let trace = Trace.of_steps_exn ~n:2 [ Local 0; Local 0 ] in
+  let d = Decomposition.best (Topology.star 2) in
+  let stamps = Internal_events.of_trace d trace in
+  let mutated = Array.copy stamps in
+  mutated.(1) <- { (stamps.(1)) with Internal_events.counter = 0 };
+  (* Now both events claim counter 0: order is lost. *)
+  let verdict = Validate.internal_stamps trace mutated in
+  Alcotest.(check bool) "counter corruption detected" false
+    (Validate.ok verdict)
+
+(* The Lamport soundness validator must reject a decreasing assignment. *)
+let test_lamport_validator_rejects () =
+  let trace = Trace.of_steps_exn ~n:2 [ Send (0, 1); Send (1, 0) ] in
+  let verdict = Validate.sound_only trace [| 5; 3 |] in
+  Alcotest.(check bool) "decreasing scalars rejected" false
+    (Validate.ok verdict)
+
+let () =
+  Alcotest.run "mutation"
+    [
+      ( "validator-sensitivity",
+        [
+          Alcotest.test_case "merge-less protocol" `Quick test_no_merge_breaks;
+          Alcotest.test_case "increment-less protocol" `Quick
+            test_no_increment_breaks;
+          Alcotest.test_case "internal counter corruption" `Quick
+            test_internal_mutation_detected;
+          Alcotest.test_case "lamport validator" `Quick
+            test_lamport_validator_rejects;
+          test_vector_mutation_detected;
+          test_wrong_group_breaks;
+        ] );
+    ]

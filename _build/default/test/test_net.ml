@@ -1,0 +1,406 @@
+module Trace = Synts_sync.Trace
+module Message_poset = Synts_sync.Message_poset
+module Poset = Synts_poset.Poset
+module Decomposition = Synts_graph.Decomposition
+module Vector = Synts_clock.Vector
+module Online = Synts_core.Online
+module Script = Synts_net.Script
+module Simulator = Synts_net.Simulator
+module Rendezvous = Synts_net.Rendezvous
+module Validate = Synts_check.Validate
+module Workload = Synts_workload.Workload
+module Rng = Synts_util.Rng
+module Gen = Synts_test_support.Gen
+
+let qtest ?(count = 150) name gen print f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name ~print gen f)
+
+(* ---------- Simulator ---------- *)
+
+let test_sim_delivers_all () =
+  let sim = Simulator.create ~seed:1 ~n:3 () in
+  for i = 0 to 9 do
+    Simulator.send sim ~src:0 ~dst:(1 + (i mod 2)) i
+  done;
+  let received = ref [] in
+  let makespan =
+    Simulator.run sim ~on_deliver:(fun ~src:_ ~dst:_ payload ->
+        received := payload :: !received)
+  in
+  Alcotest.(check int) "all delivered" 10 (List.length !received);
+  Alcotest.(check int) "packets counted" 10 (Simulator.packets sim);
+  Alcotest.(check bool) "positive makespan" true (makespan > 0.0)
+
+let test_sim_fifo =
+  qtest ~count:100 "FIFO channels deliver in send order"
+    QCheck2.Gen.(pair (int_bound 100000) (int_range 2 40))
+    (fun (s, k) -> Printf.sprintf "seed=%d k=%d" s k)
+    (fun (seed, k) ->
+      let sim = Simulator.create ~seed ~fifo:true ~n:2 () in
+      for i = 0 to k - 1 do
+        Simulator.send sim ~src:0 ~dst:1 i
+      done;
+      let received = ref [] in
+      ignore
+        (Simulator.run sim ~on_deliver:(fun ~src:_ ~dst:_ payload ->
+             received := payload :: !received));
+      List.rev !received = List.init k Fun.id)
+
+let test_sim_chained_sends () =
+  (* Handlers may send further packets: a 5-hop relay. *)
+  let sim = Simulator.create ~seed:3 ~n:6 () in
+  Simulator.send sim ~src:0 ~dst:1 ();
+  let hops = ref 0 in
+  ignore
+    (Simulator.run sim ~on_deliver:(fun ~src:_ ~dst payload ->
+         incr hops;
+         if dst < 5 then Simulator.send sim ~src:dst ~dst:(dst + 1) payload));
+  Alcotest.(check int) "five hops" 5 !hops
+
+let test_sim_rejects () =
+  let sim = Simulator.create ~n:2 () in
+  Alcotest.check_raises "self send"
+    (Invalid_argument "Simulator.send: bad endpoints") (fun () ->
+      Simulator.send sim ~src:1 ~dst:1 ());
+  Alcotest.check_raises "range"
+    (Invalid_argument "Simulator.send: bad endpoints") (fun () ->
+      Simulator.send sim ~src:0 ~dst:2 ())
+
+let test_sim_delay_bounds =
+  qtest ~count:100 "non-FIFO delivery times respect the delay window"
+    QCheck2.Gen.(pair (int_bound 100000) (int_range 1 30))
+    (fun (s, k) -> Printf.sprintf "seed=%d k=%d" s k)
+    (fun (seed, k) ->
+      let min_delay = 2.0 and max_delay = 7.0 in
+      let sim =
+        Simulator.create ~seed ~min_delay ~max_delay ~fifo:false ~n:2 ()
+      in
+      (* All sent at time 0: every arrival must land in the window. *)
+      for i = 0 to k - 1 do
+        Simulator.send sim ~src:0 ~dst:1 i
+      done;
+      let ok = ref true in
+      ignore
+        (Simulator.run sim ~on_deliver:(fun ~src:_ ~dst:_ _ ->
+             let t = Simulator.now sim in
+             if t < min_delay || t > max_delay then ok := false));
+      !ok)
+
+let test_sim_deterministic () =
+  let run seed =
+    let sim = Simulator.create ~seed ~fifo:false ~n:4 () in
+    for i = 0 to 20 do
+      Simulator.send sim ~src:(i mod 3) ~dst:3 i
+    done;
+    let order = ref [] in
+    ignore
+      (Simulator.run sim ~on_deliver:(fun ~src:_ ~dst:_ p ->
+           order := p :: !order));
+    !order
+  in
+  Alcotest.(check (list int)) "same seed" (run 5) (run 5);
+  Alcotest.(check bool) "different seeds differ" true (run 5 <> run 6)
+
+(* ---------- Script ---------- *)
+
+let test_script_projection () =
+  let trace =
+    Trace.of_steps_exn ~n:3 [ Send (0, 1); Local 1; Send (2, 1); Send (1, 0) ]
+  in
+  let scripts = Script.of_trace trace in
+  Alcotest.(check bool) "P0" true
+    (scripts.(0) = [ Script.Send_to 1; Script.Recv_from 1 ]);
+  Alcotest.(check bool) "P1" true
+    (scripts.(1)
+    = [ Script.Recv_from 0; Script.Internal; Script.Recv_from 2;
+        Script.Send_to 0 ]);
+  Alcotest.(check bool) "P2" true (scripts.(2) = [ Script.Send_to 1 ]);
+  let any = Script.of_trace ~recv_any:true trace in
+  Alcotest.(check bool) "recv_any" true
+    (any.(0) = [ Script.Send_to 1; Script.Recv_any ]);
+  Alcotest.(check int) "sends" 1 (Script.sends scripts.(0));
+  Alcotest.(check int) "recvs" 3
+    (Script.recvs scripts.(1) + Script.recvs scripts.(0))
+
+let test_script_dsl_roundtrip =
+  qtest ~count:150 "system_to_string / parse_system round-trips"
+    Gen.computation Gen.computation_print (fun c ->
+      let _, trace = Gen.build_computation c in
+      let scripts = Script.of_trace ~recv_any:true trace in
+      match Script.parse_system (Script.system_to_string scripts) with
+      | Ok parsed -> parsed = scripts
+      | Error _ -> false)
+
+let test_script_dsl_parse () =
+  let text =
+    "// a three-process system\nP0: !1 . # . ?2\n\nP2: ?1 // trailing comment\nP1: ?0 . !2\n"
+  in
+  match Script.parse_system text with
+  | Error e -> Alcotest.fail e
+  | Ok scripts ->
+      Alcotest.(check int) "three processes" 3 (Array.length scripts);
+      Alcotest.(check bool) "P0" true
+        (scripts.(0) = [ Script.Send_to 1; Script.Internal; Script.Recv_from 2 ]);
+      Alcotest.(check bool) "P2" true (scripts.(2) = [ Script.Recv_from 1 ])
+
+let test_script_dsl_errors () =
+  let cases =
+    [
+      ("", "empty");
+      ("Q0: !1", "bad name");
+      ("P0: !1\nP0: ?1", "duplicate");
+      ("P0: foo", "bad intent");
+      ("P0 !1", "missing colon");
+      ("P0: !x", "bad argument");
+    ]
+  in
+  List.iter
+    (fun (text, label) ->
+      match Script.parse_system text with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail ("accepted: " ^ label))
+    cases
+
+let test_script_dsl_gap_processes () =
+  match Script.parse_system "P2: #\n" with
+  | Ok scripts ->
+      Alcotest.(check int) "three processes" 3 (Array.length scripts);
+      Alcotest.(check bool) "P0 empty" true (scripts.(0) = [])
+  | Error e -> Alcotest.fail e
+
+(* ---------- Rendezvous protocol ---------- *)
+
+let channel_sequence trace =
+  (* Message ids per directed channel, in occurrence order. *)
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun (m : Trace.message) ->
+      let key = (m.Trace.src, m.Trace.dst) in
+      Hashtbl.replace tbl key
+        (m.Trace.id :: Option.value ~default:[] (Hashtbl.find_opt tbl key)))
+    (Trace.messages trace);
+  Hashtbl.fold (fun k v acc -> (k, List.rev v) :: acc) tbl []
+  |> List.sort compare
+
+let net_params =
+  QCheck2.Gen.(
+    let* c = Gen.computation in
+    let* seed = int_bound 100000 in
+    let* fifo = bool in
+    return (c, seed, fifo))
+
+let net_print (c, seed, fifo) =
+  Printf.sprintf "%s net_seed=%d fifo=%b" (Gen.computation_print c) seed fifo
+
+let test_rendezvous_completes =
+  qtest ~count:150 "projected scripts never deadlock (fixed pairing)"
+    net_params net_print (fun (c, seed, fifo) ->
+      let g, trace = Gen.build_computation c in
+      let d = Decomposition.best g in
+      let o =
+        Rendezvous.run ~seed ~fifo ~decomposition:d (Script.of_trace trace)
+      in
+      o.Rendezvous.deadlocked = []
+      && Trace.message_count o.Rendezvous.trace = Trace.message_count trace
+      && o.Rendezvous.packets = 2 * Trace.message_count trace)
+
+let test_rendezvous_preserves_poset =
+  qtest ~count:150 "induced computation has the same message poset"
+    net_params net_print (fun (c, seed, fifo) ->
+      let _, trace = Gen.build_computation c in
+      let o = Rendezvous.run ~seed ~fifo (Script.of_trace trace) in
+      if o.Rendezvous.deadlocked <> [] then false
+      else begin
+        let induced = o.Rendezvous.trace in
+        (* Fixed pairing: the k-th message of each directed channel in the
+           induced run corresponds to the k-th in the original. *)
+        let orig_seq = channel_sequence trace in
+        let ind_seq = channel_sequence induced in
+        List.map fst orig_seq = List.map fst ind_seq
+        && List.for_all2
+             (fun (_, a) (_, b) -> List.length a = List.length b)
+             orig_seq ind_seq
+        &&
+        let map = Array.make (Trace.message_count trace) (-1) in
+        List.iter2
+          (fun (_, orig_ids) (_, ind_ids) ->
+            List.iter2 (fun o i -> map.(o) <- i) orig_ids ind_ids)
+          orig_seq ind_seq;
+        let p_orig = Message_poset.of_trace trace in
+        let p_ind = Message_poset.of_trace induced in
+        let ok = ref true in
+        for i = 0 to Poset.size p_orig - 1 do
+          for j = 0 to Poset.size p_orig - 1 do
+            if
+              i <> j
+              && Poset.lt p_orig i j <> Poset.lt p_ind map.(i) map.(j)
+            then ok := false
+          done
+        done;
+        !ok
+      end)
+
+let test_rendezvous_timestamps_exact =
+  qtest ~count:150 "piggybacked timestamps encode the induced poset"
+    net_params net_print (fun (c, seed, fifo) ->
+      let g, trace = Gen.build_computation c in
+      let d = Decomposition.best g in
+      let o =
+        Rendezvous.run ~seed ~fifo ~decomposition:d (Script.of_trace trace)
+      in
+      match o.Rendezvous.timestamps with
+      | None -> false
+      | Some ts ->
+          Validate.ok (Validate.message_timestamps o.Rendezvous.trace ts)
+          && Array.for_all2 Vector.equal ts
+               (Online.timestamp_trace d o.Rendezvous.trace))
+
+let test_rendezvous_recv_any =
+  qtest ~count:150 "recv-any runs remain exact (matching may differ)"
+    net_params net_print (fun (c, seed, fifo) ->
+      let g, trace = Gen.build_computation c in
+      let d = Decomposition.best g in
+      let o =
+        Rendezvous.run ~seed ~fifo ~decomposition:d
+          (Script.of_trace ~recv_any:true trace)
+      in
+      (* Whatever prefix executed is a valid synchronous computation and
+         its timestamps are exact. *)
+      match o.Rendezvous.timestamps with
+      | None -> false
+      | Some ts ->
+          Validate.ok (Validate.message_timestamps o.Rendezvous.trace ts))
+
+let test_rendezvous_projection_roundtrip =
+  qtest ~count:100 "induced trace projects back to the scripts" net_params
+    net_print (fun (c, seed, fifo) ->
+      let _, trace = Gen.build_computation c in
+      let scripts = Script.of_trace trace in
+      let o = Rendezvous.run ~seed ~fifo scripts in
+      o.Rendezvous.deadlocked = []
+      && Script.of_trace o.Rendezvous.trace = scripts)
+
+let test_rendezvous_deadlock_reported () =
+  (* P0 waits for a message P1 never sends. *)
+  let o = Rendezvous.run [| [ Script.Recv_from 1 ]; [] |] in
+  Alcotest.(check (list int)) "P0 stuck" [ 0 ] o.Rendezvous.deadlocked;
+  (* Crossing sends with fixed receive order CAN deadlock if scripts are
+     written badly (not projections): P0 sends to P1 which insists on
+     first receiving from P2 which never sends. *)
+  let o2 =
+    Rendezvous.run
+      [| [ Script.Send_to 1 ]; [ Script.Recv_from 2; Script.Recv_from 0 ]; [] |]
+  in
+  Alcotest.(check (list int)) "P0 and P1 stuck" [ 0; 1 ]
+    o2.Rendezvous.deadlocked;
+  Alcotest.(check int) "nothing executed" 0
+    (Trace.message_count o2.Rendezvous.trace)
+
+let test_rendezvous_deterministic () =
+  let trace =
+    Workload.random (Rng.create 3)
+      ~topology:(Synts_graph.Topology.complete 5)
+      ~messages:40 ()
+  in
+  let scripts = Script.of_trace ~recv_any:true trace in
+  let a = Rendezvous.run ~seed:9 scripts in
+  let b = Rendezvous.run ~seed:9 scripts in
+  Alcotest.(check bool) "same trace" true
+    (Trace.steps a.Rendezvous.trace = Trace.steps b.Rendezvous.trace)
+
+(* ---------- Lossy network ---------- *)
+
+let lossy_params =
+  QCheck2.Gen.(
+    let* c = Gen.computation in
+    let* seed = int_bound 100000 in
+    let* loss = float_range 0.05 0.4 in
+    return (c, seed, loss))
+
+let lossy_print (c, seed, loss) =
+  Printf.sprintf "%s net_seed=%d loss=%.2f" (Gen.computation_print c) seed loss
+
+let test_lossy_completes_exactly_once =
+  qtest ~count:120 "loss + retransmission: every rendezvous exactly once"
+    lossy_params lossy_print (fun (c, seed, loss) ->
+      let g, trace = Gen.build_computation c in
+      let d = Decomposition.best g in
+      let o =
+        Rendezvous.run ~seed ~loss ~retransmit:30.0
+          ~decomposition:d (Script.of_trace trace)
+      in
+      o.Rendezvous.deadlocked = []
+      && Trace.message_count o.Rendezvous.trace = Trace.message_count trace
+      &&
+      match o.Rendezvous.timestamps with
+      | Some ts ->
+          Validate.ok (Validate.message_timestamps o.Rendezvous.trace ts)
+      | None -> false)
+
+let test_lossy_costs_more_packets () =
+  let trace =
+    Workload.random (Rng.create 5)
+      ~topology:(Synts_graph.Topology.complete 5)
+      ~messages:60 ()
+  in
+  let scripts = Script.of_trace trace in
+  let clean = Rendezvous.run ~seed:8 scripts in
+  let lossy = Rendezvous.run ~seed:8 ~loss:0.3 scripts in
+  Alcotest.(check (list int)) "clean completes" [] clean.Rendezvous.deadlocked;
+  Alcotest.(check (list int)) "lossy completes" [] lossy.Rendezvous.deadlocked;
+  Alcotest.(check int) "lossless = 2 per message" 120 clean.Rendezvous.packets;
+  Alcotest.(check int) "no losses when loss=0" 0 clean.Rendezvous.lost;
+  Alcotest.(check bool) "retransmissions cost packets" true
+    (lossy.Rendezvous.packets > 120);
+  Alcotest.(check bool) "some were dropped" true (lossy.Rendezvous.lost > 0)
+
+let test_rendezvous_internal_events_kept =
+  qtest ~count:80 "internal events survive the round trip" net_params
+    net_print (fun (c, seed, fifo) ->
+      let _, trace = Gen.build_computation c in
+      let o = Rendezvous.run ~seed ~fifo (Script.of_trace trace) in
+      o.Rendezvous.deadlocked = []
+      && Trace.internal_count o.Rendezvous.trace
+         = Trace.internal_count trace)
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "simulator",
+        [
+          Alcotest.test_case "delivers all" `Quick test_sim_delivers_all;
+          Alcotest.test_case "chained sends" `Quick test_sim_chained_sends;
+          Alcotest.test_case "rejects bad endpoints" `Quick test_sim_rejects;
+          Alcotest.test_case "deterministic" `Quick test_sim_deterministic;
+          test_sim_fifo;
+          test_sim_delay_bounds;
+        ] );
+      ( "script",
+        [
+          Alcotest.test_case "projection" `Quick test_script_projection;
+          Alcotest.test_case "DSL parse" `Quick test_script_dsl_parse;
+          Alcotest.test_case "DSL errors" `Quick test_script_dsl_errors;
+          Alcotest.test_case "DSL gap processes" `Quick
+            test_script_dsl_gap_processes;
+          test_script_dsl_roundtrip;
+        ] );
+      ( "rendezvous",
+        [
+          Alcotest.test_case "deadlock reporting" `Quick
+            test_rendezvous_deadlock_reported;
+          Alcotest.test_case "deterministic" `Quick
+            test_rendezvous_deterministic;
+          test_rendezvous_completes;
+          test_rendezvous_preserves_poset;
+          test_rendezvous_timestamps_exact;
+          test_rendezvous_recv_any;
+          test_rendezvous_projection_roundtrip;
+          test_rendezvous_internal_events_kept;
+        ] );
+      ( "lossy-network",
+        [
+          Alcotest.test_case "packet accounting" `Quick
+            test_lossy_costs_more_packets;
+          test_lossy_completes_exactly_once;
+        ] );
+    ]

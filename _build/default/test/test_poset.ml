@@ -1,0 +1,440 @@
+module Poset = Synts_poset.Poset
+module Matching = Synts_poset.Matching
+module Dilworth = Synts_poset.Dilworth
+module Realizer = Synts_poset.Realizer
+module Dimension = Synts_poset.Dimension
+module Gen = Synts_test_support.Gen
+
+let qtest ?(count = 200) name gen print f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name ~print gen f)
+
+let poset_print p = Format.asprintf "%a" Poset.pp p
+
+(* ---------- Poset construction and queries ---------- *)
+
+let test_poset_basic () =
+  (* 0 < 1 < 3, 0 < 2 < 3, 1 || 2 (the diamond). *)
+  let p = Poset.of_relation 4 [ (0, 1); (0, 2); (1, 3); (2, 3) ] in
+  Alcotest.(check bool) "0<3 by transitivity" true (Poset.lt p 0 3);
+  Alcotest.(check bool) "1||2" true (Poset.concurrent p 1 2);
+  Alcotest.(check bool) "not 3<0" false (Poset.lt p 3 0);
+  Alcotest.(check bool) "leq reflexive" true (Poset.leq p 2 2);
+  Alcotest.(check (list int)) "minimal" [ 0 ] (Poset.minimal_elements p);
+  Alcotest.(check (list int)) "maximal" [ 3 ] (Poset.maximal_elements p);
+  Alcotest.(check (list int)) "down set of 3" [ 0; 1; 2 ] (Poset.down_set p 3);
+  Alcotest.(check (list int)) "up set of 0" [ 1; 2; 3 ] (Poset.up_set p 0);
+  Alcotest.(check int) "relation count" 5 (Poset.relation_count p)
+
+let test_poset_cycle () =
+  (match Poset.of_relation 3 [ (0, 1); (1, 2); (2, 0) ] with
+  | exception Poset.Cyclic _ -> ()
+  | _ -> Alcotest.fail "cycle accepted");
+  match Poset.of_relation 2 [ (0, 0) ] with
+  | exception Poset.Cyclic 0 -> ()
+  | _ -> Alcotest.fail "self-loop accepted"
+
+let test_poset_covers () =
+  let p = Poset.of_relation 4 [ (0, 1); (1, 2); (2, 3) ] in
+  Alcotest.(check (list (pair int int)))
+    "chain covers"
+    [ (0, 1); (1, 2); (2, 3) ]
+    (Poset.covers p)
+
+let test_covers_reconstruct =
+  qtest "covers regenerate the poset" Gen.poset poset_print (fun p ->
+      Poset.equal p (Poset.of_relation (Poset.size p) (Poset.covers p)))
+
+let test_linear_extension_valid =
+  qtest "linear_extension is a linear extension" Gen.poset poset_print
+    (fun p -> Poset.is_linear_extension p (Poset.linear_extension p))
+
+let test_is_linear_extension_rejects () =
+  let p = Poset.of_relation 3 [ (0, 1) ] in
+  Alcotest.(check bool) "reversed order rejected" false
+    (Poset.is_linear_extension p [| 1; 0; 2 |]);
+  Alcotest.(check bool) "not a permutation" false
+    (Poset.is_linear_extension p [| 0; 0; 1 |]);
+  Alcotest.(check bool) "wrong length" false
+    (Poset.is_linear_extension p [| 0; 1 |])
+
+let test_avoiding_property =
+  (* The key lemma behind the realizer: elements incomparable to a chain
+     element are placed before it. *)
+  qtest ~count:150 "avoid-chain extension places incomparables below"
+    Gen.poset poset_print (fun p ->
+      let chains = Dilworth.min_chain_partition p in
+      List.for_all
+        (fun chain ->
+          let avoid = Array.make (Poset.size p) false in
+          List.iter (fun v -> avoid.(v) <- true) chain;
+          let ext = Poset.linear_extension_avoiding p ~avoid in
+          let pos = Array.make (Poset.size p) 0 in
+          Array.iteri (fun i e -> pos.(e) <- i) ext;
+          Poset.is_linear_extension p ext
+          && List.for_all
+               (fun c ->
+                 List.for_all
+                   (fun x ->
+                     (not (Poset.concurrent p x c)) || pos.(x) < pos.(c))
+                   (List.init (Poset.size p) Fun.id))
+               chain)
+        chains)
+
+let test_intersection () =
+  let l1 = Poset.of_total_order [| 0; 1; 2 |] in
+  let l2 = Poset.of_total_order [| 1; 0; 2 |] in
+  let p = Poset.intersection [ l1; l2 ] in
+  Alcotest.(check bool) "0||1" true (Poset.concurrent p 0 1);
+  Alcotest.(check bool) "0<2" true (Poset.lt p 0 2);
+  Alcotest.(check bool) "1<2" true (Poset.lt p 1 2)
+
+let test_random_poset_valid =
+  qtest ~count:60 "random posets are transitive and irreflexive" Gen.tiny_poset
+    poset_print (fun p ->
+      let n = Poset.size p in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        if Poset.lt p i i then ok := false;
+        for j = 0 to n - 1 do
+          for k = 0 to n - 1 do
+            if Poset.lt p i j && Poset.lt p j k && not (Poset.lt p i k) then
+              ok := false
+          done
+        done
+      done;
+      !ok)
+
+(* ---------- Matching ---------- *)
+
+let test_matching_known () =
+  let edges =
+    List.concat_map (fun u -> List.map (fun v -> (u, v)) [ 0; 1; 2 ]) [ 0; 1; 2 ]
+  in
+  let r = Matching.maximum ~left:3 ~right:3 edges in
+  Alcotest.(check int) "K33 perfect" 3 r.Matching.size;
+  let r = Matching.maximum ~left:2 ~right:2 [ (0, 0); (1, 0); (1, 1) ] in
+  Alcotest.(check int) "path matching" 2 r.Matching.size;
+  let r = Matching.maximum ~left:3 ~right:1 [ (0, 0); (1, 0); (2, 0) ] in
+  Alcotest.(check int) "star matching" 1 r.Matching.size
+
+let matching_gen =
+  QCheck2.Gen.(
+    let* l = int_range 1 12 in
+    let* r = int_range 1 12 in
+    let* edges =
+      list_size (int_bound 40) (pair (int_bound (l - 1)) (int_bound (r - 1)))
+    in
+    return (l, r, edges))
+
+let matching_print (l, r, edges) =
+  Printf.sprintf "left=%d right=%d edges=%s" l r
+    (String.concat ";"
+       (List.map (fun (u, v) -> Printf.sprintf "(%d,%d)" u v) edges))
+
+let test_matching_is_matching =
+  qtest "matching output is consistent" matching_gen matching_print
+    (fun (l, r, edges) ->
+      let m = Matching.maximum ~left:l ~right:r edges in
+      let count = ref 0 in
+      let ok = ref true in
+      Array.iteri
+        (fun u v ->
+          if v >= 0 then begin
+            incr count;
+            if m.Matching.pair_right.(v) <> u then ok := false;
+            if not (List.mem (u, v) edges) then ok := false
+          end)
+        m.Matching.pair_left;
+      !ok && !count = m.Matching.size)
+
+(* Brute-force maximum matching for cross-validation. *)
+let brute_matching edges =
+  let edges = List.sort_uniq compare edges in
+  let rec go used_l used_r = function
+    | [] -> 0
+    | (u, v) :: rest ->
+        let skip = go used_l used_r rest in
+        if List.mem u used_l || List.mem v used_r then skip
+        else max skip (1 + go (u :: used_l) (v :: used_r) rest)
+  in
+  go [] [] edges
+
+let test_matching_maximum =
+  qtest ~count:100 "Hopcroft-Karp matches brute force"
+    QCheck2.Gen.(
+      let* l = int_range 1 6 in
+      let* r = int_range 1 6 in
+      let* edges =
+        list_size (int_bound 12) (pair (int_bound (l - 1)) (int_bound (r - 1)))
+      in
+      return (l, r, edges))
+    matching_print
+    (fun (l, r, edges) ->
+      (Matching.maximum ~left:l ~right:r edges).Matching.size
+      = brute_matching edges)
+
+let test_koenig_cover =
+  qtest ~count:150 "König cover covers every edge with matching-many vertices"
+    matching_gen matching_print (fun (l, r, edges) ->
+      let m = Matching.maximum ~left:l ~right:r edges in
+      let cl, cr = Matching.min_vertex_cover ~left:l ~right:r edges m in
+      let covered = List.for_all (fun (u, v) -> cl.(u) || cr.(v)) edges in
+      let size =
+        Array.fold_left (fun a b -> a + Bool.to_int b) 0 cl
+        + Array.fold_left (fun a b -> a + Bool.to_int b) 0 cr
+      in
+      covered && size = m.Matching.size)
+
+(* ---------- Dilworth ---------- *)
+
+let test_width_known () =
+  let chain = Poset.of_total_order [| 0; 1; 2; 3 |] in
+  Alcotest.(check int) "chain width" 1 (Dilworth.width chain);
+  let antichain = Poset.of_relation 5 [] in
+  Alcotest.(check int) "antichain width" 5 (Dilworth.width antichain);
+  let diamond = Poset.of_relation 4 [ (0, 1); (0, 2); (1, 3); (2, 3) ] in
+  Alcotest.(check int) "diamond width" 2 (Dilworth.width diamond);
+  Alcotest.(check int) "empty width" 0 (Dilworth.width (Poset.of_relation 0 []))
+
+let test_chain_partition_valid =
+  qtest "min chain partition is a chain partition of width size" Gen.poset
+    poset_print (fun p ->
+      let chains = Dilworth.min_chain_partition p in
+      Dilworth.is_chain_partition p chains
+      && (Poset.size p = 0 || List.length chains = Dilworth.width p))
+
+let test_max_antichain_valid =
+  qtest "max antichain is an antichain of width size" Gen.poset poset_print
+    (fun p ->
+      let a = Dilworth.max_antichain p in
+      Dilworth.is_antichain p a && List.length a = Dilworth.width p)
+
+let test_chains_sorted =
+  qtest "chains are listed in increasing order" Gen.poset poset_print (fun p ->
+      List.for_all
+        (fun chain ->
+          let rec ordered = function
+            | a :: (b :: _ as rest) -> Poset.lt p a b && ordered rest
+            | [] | [ _ ] -> true
+          in
+          ordered chain)
+        (Dilworth.min_chain_partition p))
+
+(* ---------- Realizer ---------- *)
+
+let test_realizer_known () =
+  let antichain = Poset.of_relation 3 [] in
+  let r = Realizer.dilworth antichain in
+  Alcotest.(check int) "antichain realizer size" 3 (List.length r);
+  Alcotest.(check bool) "is realizer" true (Realizer.is_realizer antichain r);
+  let chain = Poset.of_total_order [| 2; 0; 1 |] in
+  let r = Realizer.dilworth chain in
+  Alcotest.(check int) "chain realizer size" 1 (List.length r);
+  Alcotest.(check bool) "is realizer" true (Realizer.is_realizer chain r)
+
+let test_realizer_property =
+  qtest ~count:300 "Dilworth realizer realizes the poset" Gen.poset
+    poset_print (fun p ->
+      let r = Realizer.dilworth p in
+      List.length r = max 1 (Dilworth.width p) && Realizer.is_realizer p r)
+
+let test_realizer_vectors =
+  qtest ~count:200 "rank vectors encode the poset" Gen.poset poset_print
+    (fun p ->
+      let vecs = Realizer.vectors (Realizer.dilworth p) in
+      let ok = ref true in
+      for i = 0 to Poset.size p - 1 do
+        for j = 0 to Poset.size p - 1 do
+          if i <> j then
+            if Poset.lt p i j <> Realizer.vector_lt vecs.(i) vecs.(j) then
+              ok := false
+        done
+      done;
+      !ok)
+
+let test_vector_order () =
+  Alcotest.(check bool) "lt" true (Realizer.vector_lt [| 0; 1 |] [| 1; 1 |]);
+  Alcotest.(check bool) "not lt equal" false
+    (Realizer.vector_lt [| 1; 1 |] [| 1; 1 |]);
+  Alcotest.(check bool) "concurrent" true
+    (Realizer.vector_concurrent [| 0; 2 |] [| 1; 1 |])
+
+let test_is_realizer_rejects () =
+  let p = Poset.of_relation 2 [] in
+  Alcotest.(check bool) "single ext insufficient" false
+    (Realizer.is_realizer p [ [| 0; 1 |] ]);
+  Alcotest.(check bool) "empty list" false (Realizer.is_realizer p [])
+
+(* ---------- Dimension ---------- *)
+
+let test_all_linear_extensions () =
+  let antichain = Poset.of_relation 3 [] in
+  (match Dimension.all_linear_extensions antichain with
+  | Some exts -> Alcotest.(check int) "3! extensions" 6 (List.length exts)
+  | None -> Alcotest.fail "cap hit");
+  let chain = Poset.of_total_order [| 0; 1; 2; 3 |] in
+  (match Dimension.all_linear_extensions chain with
+  | Some exts -> Alcotest.(check int) "chain has 1" 1 (List.length exts)
+  | None -> Alcotest.fail "cap hit");
+  match Dimension.all_linear_extensions ~cap:3 antichain with
+  | None -> ()
+  | Some _ -> Alcotest.fail "cap should trigger"
+
+let test_dimension_known () =
+  let chain = Poset.of_total_order [| 0; 1; 2 |] in
+  Alcotest.(check (option int)) "chain dim" (Some 1) (Dimension.dimension chain);
+  let antichain = Poset.of_relation 4 [] in
+  Alcotest.(check (option int)) "antichain dim" (Some 2)
+    (Dimension.dimension antichain);
+  (* The 2-crown a0<b1, a1<b0 has dimension 2. *)
+  let crown = Poset.of_relation 4 [ (0, 3); (1, 2) ] in
+  Alcotest.(check (option int)) "crown S2" (Some 2) (Dimension.dimension crown)
+
+let test_dimension_leq_width =
+  qtest ~count:80 "dim <= width on tiny posets" Gen.tiny_poset poset_print
+    (fun p ->
+      match Dimension.dimension p with
+      | None -> QCheck2.assume_fail ()
+      | Some d -> d <= max 1 (Dilworth.width p))
+
+let test_dimension_realized =
+  qtest ~count:60 "Dilworth realizer size >= true dimension" Gen.tiny_poset
+    poset_print (fun p ->
+      match Dimension.dimension p with
+      | None -> QCheck2.assume_fail ()
+      | Some d -> List.length (Realizer.dilworth p) >= d)
+
+let test_count_linear_extensions =
+  qtest ~count:80 "ideal-lattice count = enumeration count" Gen.tiny_poset
+    poset_print (fun p ->
+      match
+        (Dimension.count_linear_extensions p,
+         Dimension.all_linear_extensions p)
+      with
+      | Some c, Some exts -> c = List.length exts
+      | None, _ | _, None -> QCheck2.assume_fail ())
+
+let test_count_known () =
+  Alcotest.(check (option int)) "antichain of 4: 4!" (Some 24)
+    (Dimension.count_linear_extensions (Poset.of_relation 4 []));
+  Alcotest.(check (option int)) "chain: 1" (Some 1)
+    (Dimension.count_linear_extensions (Poset.of_total_order [| 0; 1; 2; 3 |]));
+  let diamond = Poset.of_relation 4 [ (0, 1); (0, 2); (1, 3); (2, 3) ] in
+  Alcotest.(check (option int)) "diamond: 2" (Some 2)
+    (Dimension.count_linear_extensions diamond)
+
+let test_minimum_realizer_valid =
+  qtest ~count:60 "minimum_realizer is a realizer of dimension size"
+    Gen.tiny_poset poset_print (fun p ->
+      match (Dimension.minimum_realizer p, Dimension.dimension p) with
+      | Some r, Some d ->
+          List.length r = d && Realizer.is_realizer p r
+      | None, None -> true
+      | _ -> false)
+
+(* ---------- Incremental width ---------- *)
+
+module Incremental_width = Synts_poset.Incremental_width
+
+let test_incremental_width_known () =
+  let t = Incremental_width.create () in
+  Alcotest.(check int) "empty" 0 (Incremental_width.width t);
+  let a = Incremental_width.add t ~preds:[] in
+  let b = Incremental_width.add t ~preds:[] in
+  Alcotest.(check int) "two incomparable" 2 (Incremental_width.width t);
+  let c = Incremental_width.add t ~preds:[ a; b ] in
+  Alcotest.(check int) "joined" 2 (Incremental_width.width t);
+  Alcotest.(check bool) "a < c" true (Incremental_width.lt t a c);
+  Alcotest.(check bool) "not c < a" false (Incremental_width.lt t c a);
+  let _ = Incremental_width.add t ~preds:[ c ] in
+  Alcotest.(check int) "chain extension keeps width" 2
+    (Incremental_width.width t)
+
+let test_incremental_width_matches_batch =
+  qtest ~count:150 "incremental width = Dilworth width on every prefix"
+    Gen.poset poset_print (fun p ->
+      let n = Poset.size p in
+      let order = Poset.linear_extension p in
+      (* Map original ids to insertion ids. *)
+      let insert_id = Array.make n (-1) in
+      let t = Incremental_width.create () in
+      let ok = ref true in
+      Array.iteri
+        (fun idx v ->
+          let preds =
+            List.filter_map
+              (fun u ->
+                if Poset.lt p u v then Some insert_id.(u) else None)
+              (Array.to_list (Array.sub order 0 idx))
+          in
+          insert_id.(v) <- Incremental_width.add t ~preds;
+          (* Check against batch width of the inserted prefix. *)
+          let prefix_pairs = ref [] in
+          for a = 0 to idx do
+            for b = 0 to idx do
+              let x = order.(a) and y = order.(b) in
+              if Poset.lt p x y then
+                prefix_pairs := (insert_id.(x), insert_id.(y)) :: !prefix_pairs
+            done
+          done;
+          let batch = Poset.of_relation (idx + 1) !prefix_pairs in
+          if Incremental_width.width t <> Dilworth.width batch then ok := false)
+        order;
+      !ok)
+
+let () =
+  Alcotest.run "poset"
+    [
+      ( "incremental-width",
+        [
+          Alcotest.test_case "known" `Quick test_incremental_width_known;
+          test_incremental_width_matches_batch;
+        ] );
+      ( "poset",
+        [
+          Alcotest.test_case "basics" `Quick test_poset_basic;
+          Alcotest.test_case "cycle rejection" `Quick test_poset_cycle;
+          Alcotest.test_case "covers" `Quick test_poset_covers;
+          Alcotest.test_case "intersection" `Quick test_intersection;
+          Alcotest.test_case "is_linear_extension rejects" `Quick
+            test_is_linear_extension_rejects;
+          test_covers_reconstruct;
+          test_linear_extension_valid;
+          test_avoiding_property;
+          test_random_poset_valid;
+        ] );
+      ( "matching",
+        [
+          Alcotest.test_case "known matchings" `Quick test_matching_known;
+          test_matching_is_matching;
+          test_matching_maximum;
+          test_koenig_cover;
+        ] );
+      ( "dilworth",
+        [
+          Alcotest.test_case "known widths" `Quick test_width_known;
+          test_chain_partition_valid;
+          test_max_antichain_valid;
+          test_chains_sorted;
+        ] );
+      ( "realizer",
+        [
+          Alcotest.test_case "known realizers" `Quick test_realizer_known;
+          Alcotest.test_case "vector order" `Quick test_vector_order;
+          Alcotest.test_case "is_realizer rejects" `Quick
+            test_is_realizer_rejects;
+          test_realizer_property;
+          test_realizer_vectors;
+        ] );
+      ( "dimension",
+        [
+          Alcotest.test_case "extension enumeration" `Quick
+            test_all_linear_extensions;
+          Alcotest.test_case "known dimensions" `Quick test_dimension_known;
+          Alcotest.test_case "extension counts" `Quick test_count_known;
+          test_dimension_leq_width;
+          test_dimension_realized;
+          test_minimum_realizer_valid;
+          test_count_linear_extensions;
+        ] );
+    ]

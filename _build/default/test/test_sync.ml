@@ -1,0 +1,479 @@
+module Trace = Synts_sync.Trace
+module Message_poset = Synts_sync.Message_poset
+module Happened_before = Synts_sync.Happened_before
+module Async_trace = Synts_sync.Async_trace
+module Synchronous = Synts_sync.Synchronous
+module Diagram = Synts_sync.Diagram
+module Examples = Synts_sync.Examples
+module Poset = Synts_poset.Poset
+module Graph = Synts_graph.Graph
+module Topology = Synts_graph.Topology
+module Workload = Synts_workload.Workload
+module Oracle = Synts_check.Oracle
+module Rng = Synts_util.Rng
+module Gen = Synts_test_support.Gen
+
+let qtest ?(count = 150) name gen print f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name ~print gen f)
+
+(* ---------- Trace construction ---------- *)
+
+let test_trace_build () =
+  let t =
+    Trace.of_steps_exn ~n:3
+      [ Send (0, 1); Local 2; Send (1, 2); Local 1; Send (2, 0) ]
+  in
+  Alcotest.(check int) "n" 3 (Trace.n t);
+  Alcotest.(check int) "messages" 3 (Trace.message_count t);
+  Alcotest.(check int) "internals" 2 (Trace.internal_count t);
+  let m1 = Trace.message t 1 in
+  Alcotest.(check (pair int int)) "participants" (1, 2)
+    (Trace.participants m1);
+  Alcotest.(check bool) "involves 1" true (Trace.involves m1 1);
+  Alcotest.(check bool) "not involves 0" false (Trace.involves m1 0);
+  Alcotest.(check int) "pos" 2 m1.Trace.pos;
+  let top = Trace.topology t in
+  Alcotest.(check int) "topology edges" 3 (Graph.m top)
+
+let test_trace_rejects () =
+  (match Trace.of_steps ~n:2 [ Send (0, 0) ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "self-message accepted");
+  (match Trace.of_steps ~n:2 [ Send (0, 2) ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "out of range accepted");
+  match Trace.of_steps ~n:0 [] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "n=0 accepted"
+
+let test_trace_histories () =
+  let t =
+    Trace.of_steps_exn ~n:3 [ Send (0, 1); Local 1; Send (2, 1); Send (0, 2) ]
+  in
+  let ids =
+    List.map
+      (function
+        | Trace.Msg m -> `M m.Trace.id
+        | Trace.Int e -> `I e.Trace.id)
+      (Trace.process_history t 1)
+  in
+  Alcotest.(check bool) "history of P1" true (ids = [ `M 0; `I 0; `M 1 ])
+
+let test_restrict_messages () =
+  let t =
+    Trace.of_steps_exn ~n:2 [ Local 0; Send (0, 1); Local 1; Send (1, 0) ]
+  in
+  let t' = Trace.restrict_messages t in
+  Alcotest.(check int) "no internals" 0 (Trace.internal_count t');
+  Alcotest.(check int) "messages kept" 2 (Trace.message_count t')
+
+let test_concat () =
+  let a = Trace.of_steps_exn ~n:2 [ Send (0, 1) ] in
+  let b = Trace.of_steps_exn ~n:2 [ Send (1, 0) ] in
+  match Trace.concat_steps a b with
+  | Ok t -> Alcotest.(check int) "concat messages" 2 (Trace.message_count t)
+  | Error e -> Alcotest.fail e
+
+(* ---------- Figure 1 ---------- *)
+
+let test_fig1_relations () =
+  let t = Examples.fig1 () in
+  let p = Message_poset.of_trace t in
+  (* Paper ids m1..m6 are 0..5. *)
+  Alcotest.(check bool) "m1 || m2" true (Poset.concurrent p 0 1);
+  Alcotest.(check bool) "m1 |> m3" true (Message_poset.directly_precedes t 0 2);
+  Alcotest.(check bool) "m2 -> m6" true (Poset.lt p 1 5);
+  Alcotest.(check bool) "m3 -> m5" true (Poset.lt p 2 4);
+  match Message_poset.chain_between t 0 4 with
+  | Some chain -> Alcotest.(check int) "chain size 4" 4 (List.length chain)
+  | None -> Alcotest.fail "expected a chain m1 -> m5"
+
+let test_chain_between_none () =
+  let t = Examples.fig1 () in
+  (* m2 comes after m1 on no shared process: no chain m5 -> m1. *)
+  Alcotest.(check bool) "no backwards chain" true
+    (Message_poset.chain_between t 4 0 = None);
+  match Message_poset.chain_between t 3 3 with
+  | Some [ 3 ] -> ()
+  | _ -> Alcotest.fail "reflexive chain"
+
+(* ---------- Message poset vs oracle ---------- *)
+
+let test_poset_matches_oracle =
+  qtest "consecutive-pair poset equals full-relation oracle" Gen.computation
+    Gen.computation_print (fun c ->
+      let _, trace = Gen.build_computation c in
+      Poset.equal (Message_poset.of_trace trace) (Oracle.message_poset trace))
+
+(* ---------- Linearization independence ---------- *)
+
+let test_linearization_independence =
+  (* The model stores one interleaving, but (M, ↦) — and therefore every
+     timestamp-derived relation — depends only on per-process orders and
+     pairing. Re-linearizing the same poset must preserve it. *)
+  qtest ~count:150 "the poset is linearization-independent"
+    QCheck2.Gen.(pair Gen.computation (int_bound 100000))
+    (fun (c, s) -> Printf.sprintf "%s relin_seed=%d" (Gen.computation_print c) s)
+    (fun ((c, relin_seed) : Gen.computation * int) ->
+      let _, trace = Gen.build_computation c in
+      let trace = Trace.restrict_messages trace in
+      let p = Message_poset.of_trace trace in
+      let k = Trace.message_count trace in
+      if k = 0 then true
+      else begin
+        (* Random topological re-linearization of the messages. *)
+        let rng = Rng.create relin_seed in
+        let indeg = Array.make k 0 in
+        for i = 0 to k - 1 do
+          for j = 0 to k - 1 do
+            if i <> j && Poset.lt p i j then indeg.(j) <- indeg.(j) + 1
+          done
+        done;
+        let available = ref [] in
+        Array.iteri (fun m d -> if d = 0 then available := m :: !available) indeg;
+        let order = ref [] in
+        while !available <> [] do
+          let m = Rng.pick rng !available in
+          available := List.filter (fun x -> x <> m) !available;
+          order := m :: !order;
+          for j = 0 to k - 1 do
+            if m <> j && Poset.lt p m j then begin
+              indeg.(j) <- indeg.(j) - 1;
+              if indeg.(j) = 0 then available := j :: !available
+            end
+          done
+        done;
+        let order = List.rev !order in
+        let steps =
+          List.map
+            (fun m ->
+              let msg = Trace.message trace m in
+              Trace.Send (msg.Trace.src, msg.Trace.dst))
+            order
+        in
+        let trace' = Trace.of_steps_exn ~n:(Trace.n trace) steps in
+        let p' = Message_poset.of_trace trace' in
+        (* Map original id -> new id via position in the new order. *)
+        let new_id = Array.make k 0 in
+        List.iteri (fun idx m -> new_id.(m) <- idx) order;
+        let ok = ref true in
+        for i = 0 to k - 1 do
+          for j = 0 to k - 1 do
+            if i <> j && Poset.lt p i j <> Poset.lt p' new_id.(i) new_id.(j)
+            then ok := false
+          done
+        done;
+        !ok
+      end)
+
+(* ---------- Lemma 1 ---------- *)
+
+let test_lemma1_star_triangle =
+  qtest "Lemma 1: star and triangle topologies give total orders"
+    QCheck2.Gen.(
+      let* star = bool in
+      let* n = int_range 2 8 in
+      let* seed = int_bound 100000 in
+      let* messages = int_range 0 40 in
+      return (star, n, seed, messages))
+    (fun (star, n, seed, messages) ->
+      Printf.sprintf "star=%b n=%d seed=%d msgs=%d" star n seed messages)
+    (fun (star, n, seed, messages) ->
+      let g = if star then Topology.star n else Topology.triangle () in
+      let trace =
+        Workload.random (Rng.create seed) ~topology:g ~messages ()
+      in
+      Message_poset.is_total_order (Message_poset.of_trace trace))
+
+let test_lemma1_converse () =
+  (* Any topology that is neither a star nor a triangle has two disjoint
+     edges; sending over both concurrently yields incomparable messages. *)
+  let witnesses =
+    [
+      Topology.path 4;
+      Topology.complete 4;
+      Topology.ring 5;
+      Topology.client_server ~servers:2 ~clients:2;
+      Topology.fig2b ();
+    ]
+  in
+  List.iter
+    (fun g ->
+      let edges = Graph.edges g in
+      let (u1, v1), (u2, v2) =
+        let rec find = function
+          | (a, b) :: rest -> (
+              match
+                List.find_opt
+                  (fun (c, d) ->
+                    a <> c && a <> d && b <> c && b <> d)
+                  rest
+              with
+              | Some e -> ((a, b), e)
+              | None -> find rest)
+          | [] -> Alcotest.fail "no disjoint edges found"
+        in
+        find edges
+      in
+      let trace =
+        Trace.of_steps_exn ~n:(Graph.n g) [ Send (u1, v1); Send (u2, v2) ]
+      in
+      let p = Message_poset.of_trace trace in
+      Alcotest.(check bool) "concurrent pair exists" true
+        (Poset.concurrent p 0 1))
+    witnesses
+
+(* ---------- Happened-before oracle ---------- *)
+
+let test_hb_basics () =
+  (* P0: e0, m0(P0->P1); P1: m0, e1. So e0 -> e1 through the message. *)
+  let t = Trace.of_steps_exn ~n:2 [ Local 0; Send (0, 1); Local 1 ] in
+  let hb = Happened_before.of_trace t in
+  Alcotest.(check bool) "e0 -> e1" true (Happened_before.internal_hb t hb 0 1);
+  Alcotest.(check bool) "not e1 -> e0" false
+    (Happened_before.internal_hb t hb 1 0)
+
+let test_hb_sender_side () =
+  (* With synchronous messages the acknowledgement also creates order:
+     an internal event after the *receive* happens-before an event after
+     the *send* side's next activity... here: P0: m0, e0; P1: m0, e1.
+     e0 and e1 are both after the sync point and concurrent. *)
+  let t = Trace.of_steps_exn ~n:2 [ Send (0, 1); Local 0; Local 1 ] in
+  let hb = Happened_before.of_trace t in
+  Alcotest.(check bool) "e0 || e1" true
+    ((not (Happened_before.internal_hb t hb 0 1))
+    && not (Happened_before.internal_hb t hb 1 0))
+
+(* ---------- Synchronizability ---------- *)
+
+let test_sync_traces_are_synchronous =
+  qtest "every synchronous trace is synchronizable" Gen.computation
+    Gen.computation_print (fun c ->
+      let _, trace = Gen.build_computation c in
+      let a = Async_trace.of_trace trace in
+      Synchronous.is_synchronous a
+      &&
+      match Synchronous.integer_timestamps a with
+      | Some ts -> Synchronous.respects a ts
+      | None -> false)
+
+let test_crown_not_synchronous () =
+  let a = Async_trace.crown () in
+  Alcotest.(check bool) "crown rejected" false (Synchronous.is_synchronous a);
+  Alcotest.(check (option (list int))) "no timestamps" None
+    (Option.map Array.to_list (Synchronous.integer_timestamps a))
+
+let test_to_trace_roundtrip =
+  qtest "to_trace preserves the message poset" Gen.computation
+    Gen.computation_print (fun c ->
+      let _, trace = Gen.build_computation c in
+      let a = Async_trace.of_trace trace in
+      match Synchronous.to_trace a with
+      | None -> false
+      | Some t' ->
+          (* Message ids may be renumbered; compare poset sizes and
+             per-process message orders instead. *)
+          Trace.message_count t' = Trace.message_count trace
+          && Trace.internal_count t' = Trace.internal_count trace
+          && Poset.relation_count (Message_poset.of_trace t')
+             = Poset.relation_count (Message_poset.of_trace trace))
+
+let test_respects_rejects () =
+  let a =
+    Async_trace.make_exn ~n:2
+      [| [ Async_trace.ASend 0; Async_trace.ASend 1 ];
+         [ Async_trace.ARecv 0; Async_trace.ARecv 1 ] |]
+  in
+  Alcotest.(check bool) "decreasing assignment rejected" false
+    (Synchronous.respects a [| 1; 0 |]);
+  Alcotest.(check bool) "increasing accepted" true
+    (Synchronous.respects a [| 0; 1 |])
+
+let test_async_make_rejects () =
+  (match
+     Async_trace.make ~n:2 [| [ Async_trace.ASend 0 ]; [] |]
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing receive accepted");
+  (match
+     Async_trace.make ~n:1 [| [ Async_trace.ASend 0; Async_trace.ARecv 0 ] |]
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "self delivery accepted");
+  match
+    Async_trace.make ~n:2
+      [| [ Async_trace.ASend 1 ]; [ Async_trace.ARecv 1 ] |]
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-contiguous ids accepted"
+
+(* ---------- Diagram ---------- *)
+
+let test_diagram_fig1 () =
+  let s = Diagram.render (Examples.fig1 ()) in
+  let lines = String.split_on_char '\n' s in
+  (* Header + 4 process rows (and a trailing empty line). *)
+  Alcotest.(check int) "line count" 6 (List.length lines);
+  Alcotest.(check bool) "has sender marks" true (String.contains s '*');
+  Alcotest.(check bool) "has header labels" true
+    (String.length (List.hd lines) > 0);
+  List.iteri
+    (fun i line ->
+      if i >= 1 && i <= 4 then
+        Alcotest.(check bool)
+          (Printf.sprintf "row %d starts with P%d" i i)
+          true
+          (String.length line >= 2 && line.[0] = 'P'))
+    lines
+
+let test_diagram_well_formed =
+  qtest ~count:150 "rendered diagram is structurally sound" Gen.computation
+    Gen.computation_print (fun c ->
+      let _, trace = Gen.build_computation c in
+      let rendering = Diagram.render trace in
+      let lines =
+        List.filter (fun l -> l <> "") (String.split_on_char '\n' rendering)
+      in
+      (* Header + one row per process. *)
+      List.length lines = Trace.n trace + 1
+      && begin
+           let rows = List.tl lines in
+           let count ch line =
+             String.fold_left
+               (fun acc c -> if c = ch then acc + 1 else acc)
+               0 line
+           in
+           let total ch = List.fold_left (fun a l -> a + count ch l) 0 rows in
+           (* One sender mark per message, one arrowhead per message, one
+              hash per internal event. *)
+           total '*' = Trace.message_count trace
+           && total 'v' + total '^' = Trace.message_count trace
+           && total '#' = Trace.internal_count trace
+         end)
+
+let test_diagram_timestamps () =
+  let t = Examples.fig6 () in
+  let vectors = Array.make 6 [| 0; 0; 0 |] in
+  let s = Diagram.render_with_timestamps t vectors in
+  Alcotest.(check bool) "contains vector text" true
+    (String.length s > 0
+    && String.length s > String.length (Diagram.render t) - 50)
+
+(* ---------- Trace_io ---------- *)
+
+module Trace_io = Synts_sync.Trace_io
+
+let test_io_roundtrip =
+  qtest "serialization round-trips" Gen.computation Gen.computation_print
+    (fun c ->
+      let _, trace = Gen.build_computation c in
+      match Trace_io.of_string (Trace_io.to_string trace) with
+      | Ok t' -> Trace.steps t' = Trace.steps trace && Trace.n t' = Trace.n trace
+      | Error _ -> false)
+
+let test_io_format () =
+  let trace = Trace.of_steps_exn ~n:3 [ Send (0, 2); Local 1 ] in
+  let s = Trace_io.to_string trace in
+  Alcotest.(check string) "exact format" "synts-trace 1\nn 3\ns 0 2\nl 1\n" s
+
+let test_io_comments_and_blanks () =
+  let text = "synts-trace 1\n\n# a comment\nn 2\ns 0 1 # inline comment\n\nl 0\n" in
+  match Trace_io.of_string text with
+  | Ok t ->
+      Alcotest.(check int) "messages" 1 (Trace.message_count t);
+      Alcotest.(check int) "internals" 1 (Trace.internal_count t)
+  | Error e -> Alcotest.fail e
+
+let test_io_errors () =
+  let cases =
+    [
+      ("s 0 1\n", "steps before n");
+      ("n 2\nn 3\n", "duplicate n");
+      ("n 2\ns 0\n", "malformed message");
+      ("n 2\nx 1\n", "unknown directive");
+      ("n two\n", "bad count");
+      ("n 2\ns 0 0\n", "self message");
+    ]
+  in
+  List.iter
+    (fun (text, label) ->
+      match Trace_io.of_string text with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail ("accepted: " ^ label))
+    cases
+
+let test_io_never_raises =
+  qtest ~count:300 "parser never raises on junk"
+    QCheck2.Gen.(string_size ~gen:(char_range '\000' '\255') (int_bound 80))
+    (fun s -> String.escaped s)
+    (fun junk ->
+      match Trace_io.of_string junk with Ok _ | Error _ -> true)
+
+let test_io_file_roundtrip () =
+  let trace = Trace.of_steps_exn ~n:4 [ Send (0, 1); Local 2; Send (2, 3) ] in
+  let path = Filename.temp_file "synts" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace_io.save path trace;
+      match Trace_io.load path with
+      | Ok t -> Alcotest.(check bool) "same" true (Trace.steps t = Trace.steps trace)
+      | Error e -> Alcotest.fail e)
+
+let () =
+  Alcotest.run "sync"
+    [
+      ( "trace-io",
+        [
+          Alcotest.test_case "format" `Quick test_io_format;
+          Alcotest.test_case "comments/blanks" `Quick
+            test_io_comments_and_blanks;
+          Alcotest.test_case "errors" `Quick test_io_errors;
+          Alcotest.test_case "file roundtrip" `Quick test_io_file_roundtrip;
+          test_io_roundtrip;
+          test_io_never_raises;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "build" `Quick test_trace_build;
+          Alcotest.test_case "rejects" `Quick test_trace_rejects;
+          Alcotest.test_case "histories" `Quick test_trace_histories;
+          Alcotest.test_case "restrict to messages" `Quick
+            test_restrict_messages;
+          Alcotest.test_case "concat" `Quick test_concat;
+        ] );
+      ( "figure1",
+        [
+          Alcotest.test_case "stated relations" `Quick test_fig1_relations;
+          Alcotest.test_case "chain corner cases" `Quick
+            test_chain_between_none;
+        ] );
+      ( "message-poset",
+        [ test_poset_matches_oracle; test_linearization_independence ] );
+      ( "lemma1",
+        [
+          test_lemma1_star_triangle;
+          Alcotest.test_case "converse witnesses" `Quick test_lemma1_converse;
+        ] );
+      ( "happened-before",
+        [
+          Alcotest.test_case "through message" `Quick test_hb_basics;
+          Alcotest.test_case "concurrent after sync" `Quick
+            test_hb_sender_side;
+        ] );
+      ( "synchronizability",
+        [
+          Alcotest.test_case "crown rejected" `Quick test_crown_not_synchronous;
+          Alcotest.test_case "respects" `Quick test_respects_rejects;
+          Alcotest.test_case "async validation" `Quick test_async_make_rejects;
+          test_sync_traces_are_synchronous;
+          test_to_trace_roundtrip;
+        ] );
+      ( "diagram",
+        [
+          Alcotest.test_case "figure 1 rendering" `Quick test_diagram_fig1;
+          Alcotest.test_case "timestamp rendering" `Quick
+            test_diagram_timestamps;
+          test_diagram_well_formed;
+        ] );
+    ]

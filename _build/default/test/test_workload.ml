@@ -1,0 +1,188 @@
+module Graph = Synts_graph.Graph
+module Topology = Synts_graph.Topology
+module Trace = Synts_sync.Trace
+module Message_poset = Synts_sync.Message_poset
+module Poset = Synts_poset.Poset
+module Workload = Synts_workload.Workload
+module Rng = Synts_util.Rng
+
+let qtest ?(count = 150) name gen print f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name ~print gen f)
+
+let subgraph_of used g =
+  let ok = ref true in
+  Graph.iter_edges (fun u v -> if not (Graph.has_edge g u v) then ok := false) used;
+  !ok
+
+let test_random_respects_topology =
+  qtest "random workload stays on the topology"
+    QCheck2.Gen.(pair (int_bound 100000) (int_range 3 12))
+    (fun (s, n) -> Printf.sprintf "seed=%d n=%d" s n)
+    (fun (seed, n) ->
+      let g = Topology.random_connected (Rng.create seed) n 0.3 in
+      let t =
+        Workload.random (Rng.create (seed + 1)) ~topology:g ~messages:50
+          ~internal_prob:0.2 ()
+      in
+      Trace.message_count t = 50 && subgraph_of (Trace.topology t) g)
+
+let test_random_empty_topology () =
+  let g = Graph.empty 3 in
+  (match Workload.random (Rng.create 0) ~topology:g ~messages:5 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "edgeless topology accepted");
+  let t = Workload.random (Rng.create 0) ~topology:g ~messages:0 () in
+  Alcotest.(check int) "zero messages fine" 0 (Trace.message_count t)
+
+let test_client_server_shape () =
+  let t =
+    Workload.client_server (Rng.create 3) ~servers:2 ~clients:5 ~requests:10 ()
+  in
+  Alcotest.(check int) "two messages per request" 20 (Trace.message_count t);
+  Alcotest.(check int) "one think per request" 10 (Trace.internal_count t);
+  (* Every message involves a server. *)
+  Array.iter
+    (fun (m : Trace.message) ->
+      Alcotest.(check bool) "server endpoint" true
+        (m.Trace.src < 2 || m.Trace.dst < 2))
+    (Trace.messages t);
+  let t' =
+    Workload.client_server (Rng.create 3) ~servers:2 ~clients:5 ~requests:10
+      ~think:false ()
+  in
+  Alcotest.(check int) "no thinks" 0 (Trace.internal_count t')
+
+let test_client_server_call_reply_ordered () =
+  let t =
+    Workload.client_server (Rng.create 1) ~servers:1 ~clients:3 ~requests:5 ()
+  in
+  let msgs = Trace.messages t in
+  (* Messages come in call/reply pairs on the same client-server pair. *)
+  let ok = ref true in
+  Array.iteri
+    (fun i (m : Trace.message) ->
+      if i mod 2 = 0 then begin
+        let reply = msgs.(i + 1) in
+        if m.Trace.src <> reply.Trace.dst || m.Trace.dst <> reply.Trace.src
+        then ok := false
+      end)
+    msgs;
+  Alcotest.(check bool) "call/reply pairing" true !ok
+
+let test_pipeline_counts () =
+  let t = Workload.pipeline ~stages:4 ~items:3 in
+  (* Each item crosses 3 channels. *)
+  Alcotest.(check int) "messages" 9 (Trace.message_count t);
+  let p = Message_poset.of_trace t in
+  (* A pipeline with multiple in-flight items has concurrency. *)
+  let has_concurrent = ref false in
+  for i = 0 to Poset.size p - 1 do
+    for j = i + 1 to Poset.size p - 1 do
+      if Poset.concurrent p i j then has_concurrent := true
+    done
+  done;
+  Alcotest.(check bool) "pipelining overlaps" true !has_concurrent
+
+let test_pipeline_item_ordered () =
+  (* The first item's stage-to-stage messages form a chain. *)
+  let t = Workload.pipeline ~stages:5 ~items:1 in
+  let p = Message_poset.of_trace t in
+  Alcotest.(check bool) "single item is a chain" true
+    (Message_poset.is_total_order p)
+
+let test_ring_token_chain =
+  qtest ~count:50 "ring token is a total order"
+    QCheck2.Gen.(pair (int_range 2 8) (int_range 1 4))
+    (fun (n, laps) -> Printf.sprintf "n=%d laps=%d" n laps)
+    (fun (n, laps) ->
+      let t = Workload.ring_token ~n ~laps in
+      Trace.message_count t = n * laps
+      && Message_poset.is_total_order (Message_poset.of_trace t))
+
+let test_tree_sweep () =
+  let g = Topology.fig4_tree () in
+  let t = Workload.tree_sweep g ~root:0 ~rounds:2 in
+  (* 19 edges, up + down, 2 rounds. *)
+  Alcotest.(check int) "messages" (2 * 2 * 19) (Trace.message_count t);
+  Alcotest.(check bool) "stays on tree" true (subgraph_of (Trace.topology t) g);
+  (* After a full round every pair of up-messages from round 1 precedes
+     every message of round 2's down sweep: check one instance. *)
+  let p = Message_poset.of_trace t in
+  Alcotest.(check bool) "rounds ordered" true (Poset.lt p 0 75)
+
+let test_tree_sweep_rejects () =
+  let g = Topology.ring 4 in
+  match Workload.tree_sweep g ~root:0 ~rounds:1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "cycle accepted as tree"
+
+let test_all_directions () =
+  let g = Topology.complete 4 in
+  let t = Workload.all_directions g in
+  Alcotest.(check int) "2m messages" 12 (Trace.message_count t);
+  Alcotest.(check bool) "uses every edge" true
+    (Graph.equal (Trace.topology t) g)
+
+let test_determinism () =
+  let g = Topology.complete 5 in
+  let a = Workload.random (Rng.create 77) ~topology:g ~messages:30 () in
+  let b = Workload.random (Rng.create 77) ~topology:g ~messages:30 () in
+  Alcotest.(check bool) "same seed, same trace" true
+    (Trace.steps a = Trace.steps b)
+
+let test_hypercube_topology () =
+  let g = Topology.hypercube 3 in
+  Alcotest.(check int) "8 vertices" 8 (Graph.n g);
+  Alcotest.(check int) "12 edges" 12 (Graph.m g);
+  Alcotest.(check bool) "000-001" true (Graph.has_edge g 0 1);
+  Alcotest.(check bool) "000-111 not adjacent" false (Graph.has_edge g 0 7);
+  Alcotest.(check int) "regular degree d" 3 (Graph.degree g 5)
+
+let test_allreduce () =
+  let t = Workload.allreduce ~dim:3 ~rounds:2 in
+  Alcotest.(check int) "processes" 8 (Trace.n t);
+  (* Per round: each phase has n/2 pairs, 2 messages each, dim phases. *)
+  Alcotest.(check int) "messages" (2 * 3 * 8) (Trace.message_count t);
+  Alcotest.(check bool) "stays on hypercube" true
+    (subgraph_of (Trace.topology t) (Topology.hypercube 3));
+  (* After one full round everyone causally depends on round-1 start:
+     the first message precedes the last. *)
+  let p = Message_poset.of_trace t in
+  Alcotest.(check bool) "rounds chain" true
+    (Poset.lt p 0 (Trace.message_count t - 1))
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "allreduce",
+        [
+          Alcotest.test_case "hypercube topology" `Quick
+            test_hypercube_topology;
+          Alcotest.test_case "butterfly rounds" `Quick test_allreduce;
+        ] );
+      ( "random",
+        [
+          Alcotest.test_case "empty topology" `Quick test_random_empty_topology;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          test_random_respects_topology;
+        ] );
+      ( "client-server",
+        [
+          Alcotest.test_case "shape" `Quick test_client_server_shape;
+          Alcotest.test_case "call/reply pairing" `Quick
+            test_client_server_call_reply_ordered;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "counts and overlap" `Quick test_pipeline_counts;
+          Alcotest.test_case "single item chain" `Quick
+            test_pipeline_item_ordered;
+        ] );
+      ( "ring", [ test_ring_token_chain ] );
+      ( "tree",
+        [
+          Alcotest.test_case "sweep" `Quick test_tree_sweep;
+          Alcotest.test_case "rejects non-tree" `Quick test_tree_sweep_rejects;
+        ] );
+      ( "all-directions", [ Alcotest.test_case "coverage" `Quick test_all_directions ] );
+    ]
