@@ -34,6 +34,7 @@ module Offline = Synts_core.Offline
 module Workload = Synts_workload.Workload
 module Oracle = Synts_check.Oracle
 module Experiments = Synts_experiments.Experiments
+module Telemetry = Synts_telemetry.Telemetry
 
 let seed = 42
 
@@ -280,6 +281,40 @@ let network_tests =
              ignore (Synts_net.Rendezvous.run ~decomposition:d scripts)));
     ]
 
+(* B12: telemetry overhead — the instrumented online stamper with the
+   global switch on vs. off. Acceptance: within 10%. The hot loop only
+   pays integer counter adds, so the two rows should be near-identical. *)
+let telemetry_tests =
+  let g = Topology.client_server ~servers:4 ~clients:60 in
+  let d = Decomposition.best g in
+  let trace = trace_of g 2000 in
+  Test.make_grouped ~name:"telemetry-overhead"
+    [
+      Test.make ~name:"online-instrumented"
+        (Staged.stage (fun () ->
+             Telemetry.set_enabled true;
+             ignore (Online.timestamp_trace d trace)));
+      Test.make ~name:"online-uninstrumented"
+        (Staged.stage (fun () ->
+             Telemetry.set_enabled false;
+             ignore (Online.timestamp_trace d trace)));
+    ]
+
+(* B13: every clock scheme through the one unified Stamper driver —
+   apples-to-apples cost of the whole send/receive protocol including
+   wire encoding, per 1000 messages. *)
+let stamper_tests =
+  let g = Topology.client_server ~servers:4 ~clients:28 in
+  let trace = trace_of g 1000 in
+  let tests =
+    List.map
+      (fun ((module M : Synts_clock.Stamper.S) as s) ->
+        Test.make ~name:M.name
+          (Staged.stage (fun () -> ignore (Synts_clock.Stamper.run s trace))))
+      (Synts_core.Stampers.all g)
+  in
+  Test.make_grouped ~name:"stamper-drivers-1000msg" tests
+
 let all_groups =
   [
     decomposition_tests;
@@ -293,6 +328,8 @@ let all_groups =
     stream_tests;
     network_tests;
     scaling_tests;
+    telemetry_tests;
+    stamper_tests;
   ]
 
 let run_benchmarks () =
@@ -334,4 +371,5 @@ let run_benchmarks () =
 let () =
   print_tables ();
   run_benchmarks ();
+  Telemetry.set_enabled true;
   Format.printf "done.@."

@@ -22,6 +22,7 @@ module Internal_events = Synts_core.Internal_events
 module Workload = Synts_workload.Workload
 module Validate = Synts_check.Validate
 module Experiments = Synts_experiments.Experiments
+module Telemetry = Synts_telemetry.Telemetry
 
 open Cmdliner
 
@@ -56,6 +57,31 @@ let topology_conv =
 
 let seed_t =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+(* ---------- telemetry output ---------- *)
+
+let metrics_format_conv = Arg.enum [ ("json", `Json); ("prom", `Prom) ]
+
+let metrics_t =
+  Arg.(
+    value
+    & opt (some metrics_format_conv) None
+    & info [ "metrics" ] ~docv:"FMT"
+        ~doc:
+          "Dump the telemetry snapshot after the run, as $(b,json) or \
+           $(b,prom) (Prometheus text format).")
+
+let dump_metrics fmt =
+  let snap = Telemetry.snapshot () in
+  match fmt with
+  | `Prom -> print_string (Telemetry.to_prometheus snap)
+  | `Json -> print_string (Telemetry.to_json snap)
+
+let check_loss loss =
+  if loss < 0.0 || loss >= 1.0 then begin
+    prerr_endline "synts: --loss must be in [0, 1)";
+    exit 1
+  end
 
 let topology_t =
   Arg.(
@@ -103,7 +129,11 @@ let experiments_cmd =
       value & pos_all string []
       & info [] ~docv:"ID" ~doc:"Experiment ids (e1..e10); all when omitted.")
   in
-  let run seed ids =
+  let run seed ids metrics =
+    if metrics <> None then begin
+      Telemetry.set_enabled true;
+      Telemetry.reset ()
+    end;
     let tables = Experiments.all ~seed in
     let wanted =
       if ids = [] then tables
@@ -120,12 +150,13 @@ let experiments_cmd =
     end;
     List.iter
       (fun t -> Format.printf "%a@." Experiments.pp_table t)
-      wanted
+      wanted;
+    Option.iter dump_metrics metrics
   in
   Cmd.v
     (Cmd.info "experiments"
        ~doc:"Run the experiment suite and print EXPERIMENTS.md tables.")
-    Term.(const run $ seed_t $ ids_t)
+    Term.(const run $ seed_t $ ids_t $ metrics_t)
 
 (* ---------- decompose ---------- *)
 
@@ -198,16 +229,30 @@ let simulate_cmd =
       & opt (some string) None
       & info [ "save" ] ~docv:"FILE" ~doc:"Also write the trace to FILE.")
   in
-  let run seed spec messages internal offline diagram save =
+  let loss_t =
+    Arg.(
+      value & opt float 0.0
+      & info [ "loss" ] ~docv:"P"
+          ~doc:
+            "Packet-loss probability for the network replay that populates \
+             the $(b,--metrics) snapshot (exercises retransmissions).")
+  in
+  let run seed spec messages internal offline diagram save metrics loss =
+    check_loss loss;
+    if metrics <> None then begin
+      Telemetry.set_enabled true;
+      Telemetry.reset ()
+    end;
     let g = realize_topology seed spec in
     let trace =
       Workload.random (Rng.create (seed + 1)) ~topology:g ~messages
         ~internal_prob:internal ()
     in
     Option.iter (fun path -> Synts_sync.Trace_io.save path trace) save;
+    let d = Decomposition.best g in
     let ts =
       if offline then Offline.timestamp_trace trace
-      else Online.timestamp_trace (Decomposition.best g) trace
+      else Online.timestamp_trace d trace
     in
     if diagram then print_string (Diagram.render_with_timestamps trace ts)
     else
@@ -223,14 +268,26 @@ let simulate_cmd =
       (Trace.message_count trace)
       (if Array.length ts > 0 then Vector.size ts.(0) else 0)
       (Dilworth.width p)
-      (if offline then "offline" else "online")
+      (if offline then "offline" else "online");
+    match metrics with
+    | None -> ()
+    | Some fmt ->
+        (* Replay the computation over the simulated network so the
+           snapshot also covers the protocol layer: packet counters,
+           retransmissions, the delivery-latency histogram and per-message
+           piggyback bytes. Deterministic from the same seed. *)
+        let scripts = Synts_net.Script.of_trace trace in
+        ignore
+          (Synts_net.Rendezvous.run ~seed ~loss ~decomposition:d scripts);
+        print_newline ();
+        dump_metrics fmt
   in
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Generate a random synchronous computation and timestamp it.")
     Term.(
       const run $ seed_t $ topology_t $ messages_t $ internal_t $ offline_t
-      $ diagram_t $ save_t)
+      $ diagram_t $ save_t $ metrics_t $ loss_t)
 
 (* ---------- analyze ---------- *)
 
@@ -493,6 +550,113 @@ let verify_cmd =
              the oracle.")
     Term.(const run $ seed_t $ topology_t $ messages_t $ runs_t)
 
+(* ---------- metrics ---------- *)
+
+let metrics_cmd =
+  let topology_opt_t =
+    Arg.(
+      value
+      & pos 0 topology_conv (Spec (Topology.Client_server (4, 12)))
+      & info [] ~docv:"TOPOLOGY"
+          ~doc:"Topology for the demo run (default cs:4x12).")
+  in
+  let messages_t =
+    Arg.(
+      value & opt int 200
+      & info [ "messages"; "m" ] ~docv:"M" ~doc:"Message count.")
+  in
+  let loss_t =
+    Arg.(
+      value & opt float 0.05
+      & info [ "loss" ] ~docv:"P"
+          ~doc:"Packet-loss probability for the network leg.")
+  in
+  let format_t =
+    Arg.(
+      value & opt metrics_format_conv `Prom
+      & info [ "format"; "f" ] ~docv:"FMT" ~doc:"Output: $(b,prom) or $(b,json).")
+  in
+  let list_t =
+    Arg.(
+      value & flag
+      & info [ "list" ] ~doc:"List the registered metric names and exit.")
+  in
+  let run seed spec messages loss format list =
+    if list then
+      List.iter
+        (fun (name, help) -> Format.printf "%-45s %s@." name help)
+        (Telemetry.metric_names ())
+    else begin
+      check_loss loss;
+      Telemetry.set_enabled true;
+      Telemetry.reset ();
+      let g = realize_topology seed spec in
+      let d = Decomposition.best g in
+      let trace =
+        Workload.random (Rng.create (seed + 1)) ~topology:g ~messages
+          ~internal_prob:0.2 ()
+      in
+      (* Session layer: feed the whole observation stream, exercise the
+         precedence queries, flush deferred internal events. *)
+      let session = Synts_session.Session.of_decomposition d in
+      let stamps =
+        List.filter_map
+          (fun step ->
+            match
+              Synts_session.Session.observe session
+                (match step with
+                | Trace.Send (src, dst) ->
+                    Synts_session.Session.Message { src; dst }
+                | Trace.Local proc -> Synts_session.Session.Internal { proc })
+            with
+            | Synts_session.Session.Stamped v -> Some v
+            | Synts_session.Session.Deferred _ -> None)
+          (Trace.steps trace)
+      in
+      ignore (Synts_session.Session.finish_events session);
+      (match stamps with
+      | a :: b :: _ ->
+          ignore (Synts_session.Session.precedes session a b);
+          ignore (Synts_session.Session.concurrent session a b)
+      | _ -> ());
+      (* Network layer: replay the computation over the lossy simulated
+         network (REQ/ACK rendezvous, retransmissions, piggybacking). *)
+      let scripts = Synts_net.Script.of_trace trace in
+      ignore (Synts_net.Rendezvous.run ~seed ~loss ~decomposition:d scripts);
+      (* CSP layer: a small effects-runtime pipeline. *)
+      let module R = Synts_csp.Runtime.Make (struct
+        type msg = int
+      end) in
+      let g3 = Topology.path 3 in
+      let items = 8 in
+      let programs =
+        [|
+          (fun api ->
+            for i = 1 to items do
+              ignore (api.R.send 1 i)
+            done);
+          R.Pattern.relay ~next:2 ~items ~transform:(fun x -> x + 1);
+          (fun api ->
+            for _ = 1 to items do
+              api.R.internal ();
+              ignore (api.R.recv ())
+            done);
+        |]
+      in
+      ignore (R.run ~seed ~decomposition:(Decomposition.best g3) ~n:3 programs);
+      dump_metrics format
+    end
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Run a seeded demo across the session, network and CSP layers and \
+          dump the telemetry snapshot (deterministic: same seed, same \
+          output).")
+    Term.(
+      const run $ seed_t $ topology_opt_t $ messages_t $ loss_t $ format_t
+      $ list_t)
+
 let () =
   let doc =
     "Timestamping messages in synchronous computations (Garg & \
@@ -504,5 +668,5 @@ let () =
           (Cmd.info "synts" ~version:"1.0.0" ~doc)
           [
             figures_cmd; experiments_cmd; decompose_cmd; simulate_cmd;
-            analyze_cmd; monitor_cmd; protocol_cmd; verify_cmd;
+            analyze_cmd; monitor_cmd; protocol_cmd; verify_cmd; metrics_cmd;
           ]))

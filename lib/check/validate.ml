@@ -88,3 +88,42 @@ let sound_only trace scalars =
     missed_orders = 0;
     examples = List.rev !examples;
   }
+
+let stamper trace scheme =
+  let poset = Oracle.message_poset trace in
+  let run = Synts_clock.Stamper.run scheme trace in
+  if run.Synts_clock.Stamper.exact then
+    compare_relations ~count:(Poset.size poset) ~expected:(Poset.lt poset)
+      ~claimed:run.Synts_clock.Stamper.precedes
+  else begin
+    (* Sound-only: every related pair must be ordered; concurrent pairs
+       may be ordered too, so only the missed direction counts. *)
+    let k = Poset.size poset in
+    let pairs = ref 0 and missed = ref 0 in
+    let examples = ref [] in
+    for i = 0 to k - 1 do
+      for j = 0 to k - 1 do
+        if i <> j then begin
+          incr pairs;
+          if Poset.lt poset i j && not (run.Synts_clock.Stamper.precedes i j)
+          then begin
+            incr missed;
+            if List.length !examples < max_examples then
+              examples := (i, j) :: !examples
+          end
+        end
+      done
+    done;
+    {
+      pairs = !pairs;
+      false_orders = 0;
+      missed_orders = !missed;
+      examples = List.rev !examples;
+    }
+  end
+
+let stampers trace schemes =
+  List.map
+    (fun ((module M : Synts_clock.Stamper.S) as scheme) ->
+      (M.name, stamper trace scheme))
+    schemes

@@ -35,3 +35,15 @@ val sound_only : Synts_sync.Trace.t -> int array -> verdict
 (** For scalar (Lamport) clocks: only the [m1 ↦ m2 ⇒ c1 < c2] direction
     is demanded; [false_orders] then counts order violations (c1 ≥ c2 on a
     related pair) and [missed_orders] stays 0. *)
+
+val stamper : Synts_sync.Trace.t -> Synts_clock.Stamper.t -> verdict
+(** Drive any {!Synts_clock.Stamper.S} instance over the trace and
+    compare its [precedes] with the oracle. Exact schemes must agree in
+    both directions; sound-only schemes ([exact = false]) are only
+    required to order every ↦-related pair ([missed_orders] counts the
+    failures, falsely ordered concurrent pairs are allowed). *)
+
+val stampers :
+  Synts_sync.Trace.t -> Synts_clock.Stamper.t list -> (string * verdict) list
+(** {!stamper} over a list — the one loop the experiment suite, bench
+    harness and tests share instead of per-scheme branches. *)

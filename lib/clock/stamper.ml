@@ -1,0 +1,256 @@
+module Trace = Synts_sync.Trace
+
+module type S = sig
+  type state
+  type stamp
+
+  val name : string
+  val exact : bool
+  val init : unit -> state
+  val on_send : state -> src:int -> dst:int -> string
+  val on_receive : state -> src:int -> dst:int -> string -> string * stamp
+  val stamp_size_bytes : stamp -> int
+  val precedes : state -> stamp -> stamp -> bool
+end
+
+type t = (module S)
+
+type run = {
+  name : string;
+  exact : bool;
+  payload_bytes : int;
+  stamp_bytes : int array;
+  precedes : int -> int -> bool;
+}
+
+let run (module M : S) trace =
+  let state = M.init () in
+  let k = Trace.message_count trace in
+  let stamps : M.stamp option array = Array.make k None in
+  let bytes = ref 0 in
+  Array.iter
+    (fun (m : Trace.message) ->
+      let src = m.Trace.src and dst = m.Trace.dst in
+      let req = M.on_send state ~src ~dst in
+      let ack, stamp = M.on_receive state ~src ~dst req in
+      bytes := !bytes + String.length req + String.length ack;
+      stamps.(m.Trace.id) <- Some stamp)
+    (Trace.messages trace);
+  let get i =
+    match stamps.(i) with
+    | Some s -> s
+    | None -> invalid_arg "Stamper.run: message id out of range"
+  in
+  {
+    name = M.name;
+    exact = M.exact;
+    payload_bytes = !bytes;
+    stamp_bytes = Array.init k (fun i -> M.stamp_size_bytes (get i));
+    precedes = (fun i j -> M.precedes state (get i) (get j));
+  }
+
+let decode_exn who s =
+  match Wire.decode s with
+  | Ok v -> v
+  | Error e -> invalid_arg (Printf.sprintf "%s: bad payload (%s)" who e)
+
+(* ---------- synchronous Fidge–Mattern ---------- *)
+
+let fm_sync ~n : t =
+  (module struct
+    type state = Vector.t array
+    type stamp = Vector.t
+
+    let name = "fm-sync"
+    let exact = true
+    let init () = Array.init n (fun _ -> Vector.zero n)
+    let on_send state ~src ~dst:_ = Wire.encode state.(src)
+
+    let on_receive state ~src ~dst req =
+      let incoming = decode_exn name req in
+      let ack = Wire.encode state.(dst) in
+      let v = Vector.merge incoming state.(dst) in
+      Vector.incr v src;
+      Vector.incr v dst;
+      state.(src) <- Vector.copy v;
+      state.(dst) <- v;
+      (ack, Vector.copy v)
+
+    let stamp_size_bytes = Wire.encoded_bytes
+    let precedes _ = Vector.lt
+  end)
+
+(* ---------- Lamport scalars ---------- *)
+
+let lamport ~n : t =
+  (module struct
+    type state = int array
+    type stamp = int
+
+    let name = "lamport"
+    let exact = false
+    let init () = Array.make n 0
+    let on_send state ~src ~dst:_ = Wire.encode [| state.(src) |]
+
+    let on_receive state ~src ~dst req =
+      let incoming = (decode_exn name req).(0) in
+      let ack = Wire.encode [| state.(dst) |] in
+      let c = 1 + max incoming state.(dst) in
+      state.(src) <- c;
+      state.(dst) <- c;
+      (ack, c)
+
+    let stamp_size_bytes c = Wire.encoded_bytes [| c |]
+    let precedes _ c1 c2 = c1 < c2
+  end)
+
+(* ---------- Fowler–Zwaenepoel direct dependency ---------- *)
+
+let direct_dependency ~n : t =
+  (module struct
+    type state = {
+      last : int array;  (* last message id per process, -1 when none *)
+      mutable preds : int list array;  (* grown by doubling *)
+      mutable count : int;
+    }
+
+    type stamp = int  (* the message id *)
+
+    let name = "direct-dep"
+    let exact = true
+
+    let init () = { last = Array.make n (-1); preds = Array.make 16 []; count = 0 }
+
+    (* The wire carries one sequence number each way (the sender's and
+       receiver's previous message ids, offset to stay non-negative). *)
+    let on_send state ~src ~dst:_ = Wire.encode [| state.last.(src) + 1 |]
+
+    let on_receive state ~src ~dst _req =
+      let ack = Wire.encode [| state.last.(dst) + 1 |] in
+      let id = state.count in
+      if id >= Array.length state.preds then begin
+        let bigger = Array.make (2 * Array.length state.preds) [] in
+        Array.blit state.preds 0 bigger 0 (Array.length state.preds);
+        state.preds <- bigger
+      end;
+      state.preds.(id) <-
+        List.sort_uniq compare
+          (List.filter (fun x -> x >= 0) [ state.last.(src); state.last.(dst) ]);
+      state.count <- id + 1;
+      state.last.(src) <- id;
+      state.last.(dst) <- id;
+      (ack, id)
+
+    let stamp_size_bytes id = Wire.encoded_bytes [| id + 1 |]
+
+    (* Transitive search through the log; ids decrease along predecessor
+       edges, bounding the walk. *)
+    let precedes state m1 m2 =
+      let visited = Array.make (max 1 state.count) false in
+      let rec reaches m =
+        m = m1
+        || (m > m1
+           && List.exists
+                (fun p ->
+                  (not visited.(p))
+                  && begin
+                       visited.(p) <- true;
+                       reaches p
+                     end)
+                state.preds.(m))
+      in
+      m1 >= 0 && m2 >= 0 && m1 < state.count && m2 < state.count && m1 <> m2
+      && reaches m2
+  end)
+
+(* ---------- Singhal–Kshemkalyani differential transmission ---------- *)
+
+let singhal_kshemkalyani ~n : t =
+  (module struct
+    type state = {
+      local : Vector.t array;
+      (* what [src] last sent to [dst] / what [dst] last decoded from
+         [src]; the two views agree because transmission is lossless, so
+         one matrix serves both directions of the diff. *)
+      last_exchanged : Vector.t array array;
+    }
+
+    type stamp = Vector.t
+
+    let name = "singhal-kshemkalyani"
+    let exact = true
+
+    let init () =
+      {
+        local = Array.init n (fun _ -> Vector.zero n);
+        last_exchanged =
+          Array.init n (fun _ -> Array.init n (fun _ -> Vector.zero n));
+      }
+
+    let diff_from state ~src ~dst =
+      let payload = Wire.encode_diff ~prev:state.last_exchanged.(src).(dst) state.local.(src) in
+      state.last_exchanged.(src).(dst) <- Vector.copy state.local.(src);
+      payload
+
+    let apply_diff state ~src ~dst payload =
+      match Wire.decode_diff ~prev:state.last_exchanged.(src).(dst) payload with
+      | Ok v ->
+          state.last_exchanged.(src).(dst) <- Vector.copy v;
+          v
+      | Error e -> invalid_arg (Printf.sprintf "%s: bad diff (%s)" name e)
+
+    let on_send state ~src ~dst = diff_from state ~src ~dst
+
+    let on_receive state ~src ~dst req =
+      (* The receiver reconstructs the sender's vector from the diff (its
+         record of the last exchange matches the sender's), answers with
+         its own pre-merge diff, then both sides merge and increment. *)
+      let incoming = apply_diff state ~src ~dst req in
+      let ack = diff_from state ~src:dst ~dst:src in
+      let v = Vector.merge incoming state.local.(dst) in
+      Vector.incr v src;
+      Vector.incr v dst;
+      state.local.(src) <- Vector.copy v;
+      state.local.(dst) <- v;
+      (ack, Vector.copy v)
+
+    let stamp_size_bytes = Wire.encoded_bytes
+    let precedes _ = Vector.lt
+  end)
+
+(* ---------- plausible (comb) clocks ---------- *)
+
+let plausible ~n ~r : t =
+  if r < 1 then invalid_arg "Stamper.plausible: r must be >= 1";
+  (module struct
+    type state = Vector.t array
+    type stamp = Vector.t
+
+    let name = Printf.sprintf "plausible-r%d" r
+    let exact = false
+    let class_of p = p mod r
+    let init () = Array.init n (fun _ -> Vector.zero r)
+    let on_send state ~src ~dst:_ = Wire.encode state.(src)
+
+    let on_receive state ~src ~dst req =
+      let incoming = decode_exn name req in
+      let ack = Wire.encode state.(dst) in
+      let v = Vector.merge incoming state.(dst) in
+      Vector.incr v (class_of src);
+      if class_of dst <> class_of src then Vector.incr v (class_of dst);
+      state.(src) <- Vector.copy v;
+      state.(dst) <- v;
+      (ack, Vector.copy v)
+
+    let stamp_size_bytes = Wire.encoded_bytes
+    let precedes _ = Vector.lt
+  end)
+
+let baselines ~n ?(r = 4) () =
+  [
+    fm_sync ~n;
+    lamport ~n;
+    direct_dependency ~n;
+    singhal_kshemkalyani ~n;
+    plausible ~n ~r;
+  ]

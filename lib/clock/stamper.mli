@@ -1,0 +1,90 @@
+(** One interface over every message-timestamping scheme.
+
+    Each scheme — the paper's edge-decomposition clocks
+    ({!Synts_core.Stampers.edge}) and the five baselines below — is
+    packaged as a first-class module implementing {!S}: a state shared
+    by all processes, the two halves of the rendezvous ([on_send]
+    produces the REQ payload, [on_receive] consumes it, replies with
+    the ACK payload and yields the message's timestamp), a per-stamp
+    wire size, and the scheme's precedence test. Validators, the
+    experiment suite and the benchmarks iterate over
+    [(module Stamper.S) list] values instead of hand-written per-scheme
+    branches; {!run} is the shared trace driver. *)
+
+module type S = sig
+  type state
+  (** Shared by every process of the computation (the driver feeds one
+      linearization, so no synchronization is needed). *)
+
+  type stamp
+
+  val name : string
+
+  val exact : bool
+  (** Whether [precedes] characterizes ↦ exactly (complete and sound),
+      or is only sound — Lamport and plausible clocks may order
+      concurrent messages. *)
+
+  val init : unit -> state
+  (** Fresh clocks for a new computation. Topology parameters (process
+      count, decomposition, comb size) are fixed when the first-class
+      module is built. *)
+
+  val on_send : state -> src:int -> dst:int -> string
+  (** The payload piggybacked on the REQ packet of a rendezvous
+      [src → dst]. Does not complete the message. *)
+
+  val on_receive : state -> src:int -> dst:int -> string -> string * stamp
+  (** Consume the REQ payload at [dst]; returns the ACK payload (what
+      travels back to the sender, counted toward wire cost) and the
+      message's timestamp, updating both endpoints' clocks. *)
+
+  val stamp_size_bytes : stamp -> int
+  (** Wire size of a stored timestamp (varint encoding). *)
+
+  val precedes : state -> stamp -> stamp -> bool
+  (** The scheme's [m1 ↦ m2] test; [state] is available because some
+      schemes (direct dependency) answer from a log, not the stamp. *)
+end
+
+type t = (module S)
+
+(** The result of driving one scheme over one trace: per-message-id
+    accessors that survive the existential stamp type. *)
+type run = {
+  name : string;
+  exact : bool;
+  payload_bytes : int;  (** Total REQ + ACK payload bytes. *)
+  stamp_bytes : int array;  (** Per message id. *)
+  precedes : int -> int -> bool;  (** By message id. *)
+}
+
+val run : t -> Synts_sync.Trace.t -> run
+(** Feed every message of the trace (in linearization order) through
+    [on_send]/[on_receive]. *)
+
+(** {1 Baseline instances}
+
+    The paper's own scheme lives in [Synts_core.Stampers] (it needs an
+    edge decomposition, which the clock library does not know about). *)
+
+val fm_sync : n:int -> t
+(** Synchronous Fidge–Mattern: N-component vectors, exact. *)
+
+val lamport : n:int -> t
+(** Scalar clocks: sound only. *)
+
+val direct_dependency : n:int -> t
+(** Fowler–Zwaenepoel: constant wire cost, O(M) query via the log;
+    exact. *)
+
+val singhal_kshemkalyani : n:int -> t
+(** FM vectors with differential transmission; exact, same stamps as
+    {!fm_sync}. *)
+
+val plausible : n:int -> r:int -> t
+(** Torres-Rojas/Ahamad comb vectors of size [r]: sound only. *)
+
+val baselines : n:int -> ?r:int -> unit -> t list
+(** The five instances above; [r] (default 4) sizes the plausible
+    comb. *)

@@ -1,5 +1,25 @@
 module Decomposition = Synts_graph.Decomposition
 module Vector = Synts_clock.Vector
+module Wire = Synts_clock.Wire
+module Tm = Synts_telemetry.Telemetry
+
+let m_sends =
+  Tm.Counter.v ~help:"Edge-clock REQ payloads produced" "core.edge_clock.sends"
+
+let m_receives =
+  Tm.Counter.v ~help:"Edge-clock messages received" "core.edge_clock.receives"
+
+let m_acks =
+  Tm.Counter.v ~help:"Edge-clock acknowledgements processed"
+    "core.edge_clock.acks"
+
+let m_piggyback =
+  Tm.Counter.v ~help:"Bytes of vectors piggybacked on REQ and ACK packets"
+    "core.edge_clock.piggyback_bytes"
+
+let m_component_updates =
+  Tm.Counter.v ~help:"Vector components written during merge-and-increment"
+    "core.edge_clock.component_updates"
 
 type t = { pid : int; v : Vector.t; decomposition : Decomposition.t }
 
@@ -23,16 +43,23 @@ let group t peer =
 
 let on_send t ~dst =
   ignore (group t dst);
+  Tm.Counter.incr m_sends;
+  if Tm.enabled () then Tm.Counter.add m_piggyback (Wire.encoded_bytes t.v);
   Vector.copy t.v
 
 let merge_and_increment t peer incoming =
   Vector.max_into ~dst:t.v incoming;
   Vector.incr t.v (group t peer);
+  Tm.Counter.add m_component_updates (Vector.size t.v + 1);
   Vector.copy t.v
 
 let receive t ~src incoming =
   let ack = Vector.copy t.v in
+  Tm.Counter.incr m_receives;
+  if Tm.enabled () then Tm.Counter.add m_piggyback (Wire.encoded_bytes ack);
   let timestamp = merge_and_increment t src incoming in
   (`Ack ack, timestamp)
 
-let on_ack t ~dst ack = merge_and_increment t dst ack
+let on_ack t ~dst ack =
+  Tm.Counter.incr m_acks;
+  merge_and_increment t dst ack

@@ -2,6 +2,15 @@ module Decomposition = Synts_graph.Decomposition
 module Graph = Synts_graph.Graph
 module Trace = Synts_sync.Trace
 module Vector = Synts_clock.Vector
+module Tm = Synts_telemetry.Telemetry
+
+let m_stamps =
+  Tm.Counter.v ~help:"Message stamps issued by the online algorithm"
+    "core.online.stamps"
+
+let m_entries =
+  Tm.Counter.v ~help:"Vector entries across all online stamps (sum of d)"
+    "core.online.vector_entries"
 
 let group decomposition u v =
   match Decomposition.group_of_edge decomposition u v with
@@ -25,6 +34,8 @@ let timestamp_trace decomposition trace =
       Vector.incr v (group decomposition src dst);
       local.(src) <- Vector.copy v;
       local.(dst) <- v;
+      Tm.Counter.incr m_stamps;
+      Tm.Counter.add m_entries d;
       out.(m.Trace.id) <- Vector.copy v)
     (Trace.messages trace);
   out
@@ -55,6 +66,8 @@ let stamper decomposition =
     Vector.incr v (group decomposition src dst);
     local.(src) <- Vector.copy v;
     local.(dst) <- v;
+    Tm.Counter.incr m_stamps;
+    Tm.Counter.add m_entries d;
     Vector.copy v
 
 let precedes = Vector.lt

@@ -1,0 +1,43 @@
+module Graph = Synts_graph.Graph
+module Decomposition = Synts_graph.Decomposition
+module Vector = Synts_clock.Vector
+module Wire = Synts_clock.Wire
+module Stamper = Synts_clock.Stamper
+
+let edge decomposition : Stamper.t =
+  (module struct
+    type state = Edge_clock.t array
+    type stamp = Vector.t
+
+    let name =
+      Printf.sprintf "edge-clock-d%d" (Decomposition.size decomposition)
+
+    let exact = true
+
+    let init () =
+      Array.init
+        (Decomposition.graph_vertices decomposition)
+        (fun pid -> Edge_clock.create decomposition ~pid)
+
+    let on_send state ~src ~dst =
+      Wire.encode (Edge_clock.on_send state.(src) ~dst)
+
+    let on_receive state ~src ~dst req =
+      let incoming =
+        match Wire.decode req with
+        | Ok v -> v
+        | Error e -> invalid_arg (Printf.sprintf "%s: bad payload (%s)" name e)
+      in
+      let `Ack ack, ts = Edge_clock.receive state.(dst) ~src incoming in
+      let ts' = Edge_clock.on_ack state.(src) ~dst ack in
+      assert (Vector.equal ts ts');
+      (Wire.encode ack, ts)
+
+    let stamp_size_bytes = Wire.encoded_bytes
+    let precedes _ = Vector.lt
+  end)
+
+let all g =
+  let d = Decomposition.best g in
+  edge d
+  :: Stamper.baselines ~n:(Graph.n g) ~r:(max 1 (Decomposition.size d)) ()

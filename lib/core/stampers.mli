@@ -1,0 +1,18 @@
+(** First-class {!Synts_clock.Stamper.S} instances for the paper's own
+    scheme, plus the bundle of every scheme for a topology.
+
+    The clock library defines the interface and the five baselines; the
+    edge-decomposition instance lives here because it needs
+    [Synts_graph.Decomposition], which the clock library is below in
+    the dependency order. *)
+
+val edge : Synts_graph.Decomposition.t -> Synts_clock.Stamper.t
+(** The paper's online algorithm (Figure 5) driven through
+    {!Edge_clock}: d-component vectors, exact. *)
+
+val all : Synts_graph.Graph.t -> Synts_clock.Stamper.t list
+(** The edge-decomposition scheme (via [Decomposition.best]) followed
+    by {!Synts_clock.Stamper.baselines}, with the plausible comb sized
+    to the decomposition for a like-for-like comparison. Everything
+    `check/validate`, the experiments and the benchmarks iterate
+    over. *)

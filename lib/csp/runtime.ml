@@ -2,6 +2,26 @@ module Rng = Synts_util.Rng
 module Trace = Synts_sync.Trace
 module Vector = Synts_clock.Vector
 module Edge_clock = Synts_core.Edge_clock
+module Tm = Synts_telemetry.Telemetry
+
+let m_dispatches =
+  Tm.Counter.v ~help:"Fiber dispatches by the CSP scheduler" "csp.dispatches"
+
+let m_rendezvous =
+  Tm.Counter.v ~help:"Rendezvous completed by the CSP runtime" "csp.rendezvous"
+
+let m_internal =
+  Tm.Counter.v ~help:"Internal events recorded by CSP fibers"
+    "csp.internal_events"
+
+let m_failures =
+  Tm.Counter.v ~help:"Fibers that terminated with an exception" "csp.failures"
+
+let m_wait =
+  Tm.Span.v
+    ~help:"Scheduler steps a fiber spent blocked before its rendezvous"
+    ~buckets:[| 1.; 2.; 5.; 10.; 20.; 50.; 100.; 200. |]
+    "csp.rendezvous_wait_steps"
 
 module Make (M : sig
   type msg
@@ -102,8 +122,26 @@ struct
     let steps = ref [] and message_stamps = ref [] in
     let failures = ref [] in
     let dispatches = ref 0 in
+    (* Open wait spans, one per currently blocked fiber; the tick is the
+       scheduler's dispatch counter, so wait depth is measured in
+       scheduling steps, not wall time. *)
+    let waits : Tm.Span.active option array = Array.make n None in
+    let block pid =
+      if Tm.enabled () then
+        waits.(pid) <- Some (Tm.Span.start m_wait ~tick:(float_of_int !dispatches))
+    in
+    let unblock pid =
+      match waits.(pid) with
+      | None -> ()
+      | Some a ->
+          waits.(pid) <- None;
+          Tm.Span.stop a ~tick:(float_of_int !dispatches)
+    in
     let record_rendezvous ~src ~dst =
       steps := Trace.Send (src, dst) :: !steps;
+      Tm.Counter.incr m_rendezvous;
+      unblock src;
+      unblock dst;
       match clocks with
       | None -> None
       | Some clocks ->
@@ -119,11 +157,13 @@ struct
       | Finished -> status.(pid) <- Done
       | Failed e ->
           failures := (pid, e) :: !failures;
+          Tm.Counter.incr m_failures;
           status.(pid) <- Done
       | Wants_yield k ->
           status.(pid) <- Runnable (fun () -> Effect.Deep.continue k ())
       | Wants_internal k ->
           steps := Trace.Local pid :: !steps;
+          Tm.Counter.incr m_internal;
           status.(pid) <- Runnable (fun () -> Effect.Deep.continue k ())
       | Wants_send (dst, m, k) ->
           if dst < 0 || dst >= n || dst = pid then
@@ -139,7 +179,9 @@ struct
                 status.(dst) <-
                   Runnable (fun () -> Effect.Deep.continue krecv (pid, m, ts));
                 status.(pid) <- Runnable (fun () -> Effect.Deep.continue k ts)
-            | _ -> status.(pid) <- Send_blocked (dst, m, k)
+            | _ ->
+                block pid;
+                status.(pid) <- Send_blocked (dst, m, k)
           end
       | Wants_recv (filter, k) ->
           (* Look for a sender already blocked on us. *)
@@ -152,7 +194,9 @@ struct
             | _ -> ()
           done;
           (match !candidates with
-          | [] -> status.(pid) <- Recv_blocked (filter, k)
+          | [] ->
+              block pid;
+              status.(pid) <- Recv_blocked (filter, k)
           | cs ->
               let src = Rng.pick rng cs in
               (match status.(src) with
@@ -179,6 +223,7 @@ struct
       | [] -> continue := false
       | rs ->
           incr dispatches;
+          Tm.Counter.incr m_dispatches;
           (match max_steps with
           | Some lim when !dispatches > lim -> raise Step_limit_exceeded
           | _ -> ());

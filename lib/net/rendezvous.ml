@@ -1,6 +1,38 @@
 module Trace = Synts_sync.Trace
 module Vector = Synts_clock.Vector
+module Wire = Synts_clock.Wire
 module Edge_clock = Synts_core.Edge_clock
+module Tm = Synts_telemetry.Telemetry
+
+let m_messages =
+  Tm.Counter.v ~help:"Rendezvous completed (REQs consumed)"
+    "net.rendezvous.messages"
+
+let m_retransmissions =
+  Tm.Counter.v ~help:"REQ retransmissions after a timeout"
+    "net.rendezvous.retransmissions"
+
+let m_dup_requests =
+  Tm.Counter.v ~help:"Duplicate REQs answered from the dedup table"
+    "net.rendezvous.dup_requests"
+
+let m_piggyback =
+  Tm.Counter.v
+    ~help:"Bytes of timestamp vectors piggybacked on REQ and ACK packets"
+    "net.rendezvous.piggyback_bytes"
+
+let m_msg_bytes =
+  Tm.Histogram.v
+    ~help:"Piggyback bytes per completed message (REQ vector + ACK vector)"
+    ~buckets:[| 2.; 4.; 8.; 16.; 32.; 64.; 128.; 256. |]
+    "net.rendezvous.piggyback_bytes_per_message"
+
+let count_piggyback = function
+  | Some v when Tm.enabled () ->
+      let b = Wire.encoded_bytes v in
+      Tm.Counter.add m_piggyback b;
+      b
+  | _ -> 0
 
 (* Sequence numbers make REQ/ACK idempotent under loss and
    retransmission: seq is unique per sender, the receiver remembers what
@@ -63,6 +95,7 @@ let run ?(seed = 0) ?min_delay ?max_delay ?fifo ?(loss = 0.0)
      store and send the ACK. *)
   let consume_req receiver ~src ~seq payload =
     steps := Trace.Send (src, receiver.pid) :: !steps;
+    Tm.Counter.incr m_messages;
     let ack_payload =
       match (receiver.clock, payload) with
       | Some clock, Some v ->
@@ -74,6 +107,14 @@ let run ?(seed = 0) ?min_delay ?max_delay ?fifo ?(loss = 0.0)
           invalid_arg "Rendezvous: REQ without a vector while timestamping"
     in
     Hashtbl.replace receiver.completed (src, seq) ack_payload;
+    if Tm.enabled () then begin
+      let req_bytes =
+        match payload with Some v -> Wire.encoded_bytes v | None -> 0
+      in
+      let ack_bytes = count_piggyback ack_payload in
+      if req_bytes + ack_bytes > 0 then
+        Tm.Histogram.observe m_msg_bytes (float_of_int (req_bytes + ack_bytes))
+    end;
     Simulator.send net ~src:receiver.pid ~dst:src (Ack { seq; vector = ack_payload })
   in
   let rec advance p =
@@ -89,6 +130,7 @@ let run ?(seed = 0) ?min_delay ?max_delay ?fifo ?(loss = 0.0)
         in
         let seq = p.next_seq in
         p.next_seq <- seq + 1;
+        ignore (count_piggyback vector);
         Simulator.send net ~src:p.pid ~dst (Req { seq; vector });
         if loss > 0.0 then
           Simulator.timer net ~delay:retransmit ~proc:p.pid
@@ -119,11 +161,14 @@ let run ?(seed = 0) ?min_delay ?max_delay ?fifo ?(loss = 0.0)
     let p = procs.(dst) in
     match packet with
     | Req { seq; vector } -> (
-        if Hashtbl.mem p.completed (src, seq) then
+        if Hashtbl.mem p.completed (src, seq) then begin
           (* Duplicate of an already-consumed REQ: the ACK was lost;
              replay it. *)
-          Simulator.send net ~src:p.pid ~dst:src
-            (Ack { seq; vector = Hashtbl.find p.completed (src, seq) })
+          Tm.Counter.incr m_dup_requests;
+          let stored = Hashtbl.find p.completed (src, seq) in
+          ignore (count_piggyback stored);
+          Simulator.send net ~src:p.pid ~dst:src (Ack { seq; vector = stored })
+        end
         else
           match p.status with
           | Awaiting_req filter when filter_accepts filter src ->
@@ -155,6 +200,8 @@ let run ?(seed = 0) ?min_delay ?max_delay ?fifo ?(loss = 0.0)
         | Awaiting_ack { dst = expected; seq = awaited; vector }
           when expected = to_ && awaited = seq ->
             if attempts < max_retransmits then begin
+              Tm.Counter.incr m_retransmissions;
+              ignore (count_piggyback vector);
               Simulator.send net ~src:p.pid ~dst:to_ (Req { seq; vector });
               Simulator.timer net ~delay:retransmit ~proc:p.pid
                 (Timeout { dst = to_; seq; attempts = attempts + 1 })

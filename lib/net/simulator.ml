@@ -1,7 +1,26 @@
 module Rng = Synts_util.Rng
 module Heap = Synts_util.Heap
+module Tm = Synts_telemetry.Telemetry
 
-type 'p pending = { src : int; dst : int; payload : 'p }
+let m_packets =
+  Tm.Counter.v ~help:"Packets handed to the network (lost ones included)"
+    "net.packets_sent"
+
+let m_lost = Tm.Counter.v ~help:"Packets dropped by the network" "net.packets_lost"
+
+let m_delivered =
+  Tm.Counter.v ~help:"Packets delivered to their destination"
+    "net.packets_delivered"
+
+let m_timers = Tm.Counter.v ~help:"Local timers scheduled" "net.timers_scheduled"
+
+let m_latency =
+  Tm.Histogram.v
+    ~help:"Virtual-time delay between send and delivery of a packet"
+    ~buckets:[| 1.; 2.; 5.; 10.; 20.; 50.; 100.; 200.; 500. |]
+    "net.delivery_latency"
+
+type 'p pending = { src : int; dst : int; sent_at : float; payload : 'p }
 
 type 'p t = {
   n : int;
@@ -47,7 +66,11 @@ let send t ~src ~dst payload =
   if src < 0 || src >= t.n || dst < 0 || dst >= t.n || src = dst then
     invalid_arg "Simulator.send: bad endpoints";
   t.packets <- t.packets + 1;
-  if t.loss > 0.0 && Rng.chance t.rng t.loss then t.lost <- t.lost + 1
+  Tm.Counter.incr m_packets;
+  if t.loss > 0.0 && Rng.chance t.rng t.loss then begin
+    t.lost <- t.lost + 1;
+    Tm.Counter.incr m_lost
+  end
   else begin
     let delay =
       t.min_delay +. (Rng.float t.rng *. (t.max_delay -. t.min_delay))
@@ -61,22 +84,28 @@ let send t ~src ~dst payload =
       end
       else arrival
     in
-    Heap.push t.queue ~priority:arrival { src; dst; payload }
+    Heap.push t.queue ~priority:arrival { src; dst; sent_at = t.clock; payload }
   end
 
 let timer t ~delay ~proc payload =
   if proc < 0 || proc >= t.n then invalid_arg "Simulator.timer: bad process";
   if delay < 0.0 then invalid_arg "Simulator.timer: negative delay";
+  Tm.Counter.incr m_timers;
   Heap.push t.queue ~priority:(t.clock +. delay)
-    { src = proc; dst = proc; payload }
+    { src = proc; dst = proc; sent_at = t.clock; payload }
 
 let run t ~on_deliver =
   let continue = ref true in
   while !continue do
     match Heap.pop t.queue with
     | None -> continue := false
-    | Some (at, { src; dst; payload }) ->
+    | Some (at, { src; dst; sent_at; payload }) ->
         t.clock <- at;
+        (* Timers (src = dst) are local alarms, not network traffic. *)
+        if src <> dst then begin
+          Tm.Counter.incr m_delivered;
+          Tm.Histogram.observe m_latency (at -. sent_at)
+        end;
         on_deliver ~src ~dst payload
   done;
   t.clock

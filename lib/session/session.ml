@@ -7,6 +7,29 @@ module Event_stream = Synts_core.Event_stream
 module Internal_events = Synts_core.Internal_events
 module Frontier = Synts_monitor.Frontier
 module Stats = Synts_monitor.Stats
+module Tm = Synts_telemetry.Telemetry
+
+let m_stamps =
+  Tm.Counter.v ~help:"Message stamps issued by sessions" "session.stamps"
+
+let m_internal =
+  Tm.Counter.v ~help:"Internal events observed by sessions"
+    "session.internal_events"
+
+let m_drains =
+  Tm.Counter.v ~help:"drain_events calls on sessions" "session.drains"
+
+let m_flushes =
+  Tm.Counter.v ~help:"finish_events flushes on sessions" "session.flushes"
+
+let m_precedence =
+  Tm.Counter.v
+    ~help:"Precedence/concurrency/happened-before tests answered by sessions"
+    "session.precedence_tests"
+
+let m_dimension =
+  Tm.Gauge.v ~help:"Largest vector dimension in use by any session"
+    "session.vector_dimension"
 
 type stamper =
   | Static of Decomposition.t * (src:int -> dst:int -> Vector.t)
@@ -60,6 +83,8 @@ let message t ~src ~dst =
     | Static (_, stamp) -> stamp ~src ~dst
     | Adaptive s -> Adaptive_stamper.stamp s ~src ~dst
   in
+  Tm.Counter.incr m_stamps;
+  Tm.Gauge.set_max m_dimension (Vector.size v);
   let id = t.observed in
   t.observed <- id + 1;
   ignore (Frontier.insert t.frontier ~id v);
@@ -76,14 +101,29 @@ let message t ~src ~dst =
     @ Event_stream.record_message t.events ~proc:dst v;
   v
 
-let internal t ~proc = Event_stream.record_internal t.events ~proc
+let internal t ~proc =
+  Tm.Counter.incr m_internal;
+  Event_stream.record_internal t.events ~proc
 
 let drain_events t =
+  Tm.Counter.incr m_drains;
   let out = t.resolved in
   t.resolved <- [];
   out
 
-let finish_events t = drain_events t @ Event_stream.finish t.events
+let finish_events t =
+  Tm.Counter.incr m_flushes;
+  drain_events t @ Event_stream.finish t.events
+
+type event = Message of { src : int; dst : int } | Internal of { proc : int }
+
+type outcome =
+  | Stamped of Vector.t
+  | Deferred of Event_stream.ticket
+
+let observe t = function
+  | Message { src; dst } -> Stamped (message t ~src ~dst)
+  | Internal { proc } -> Deferred (internal t ~proc)
 
 let messages_observed t = t.observed
 let width t = Synts_poset.Incremental_width.width t.width
@@ -104,14 +144,17 @@ let common u v =
   (pad u dim, pad v dim)
 
 let precedes _t u v =
+  Tm.Counter.incr m_precedence;
   let u, v = common u v in
   Vector.lt u v
 
 let concurrent _t u v =
+  Tm.Counter.incr m_precedence;
   let u, v = common u v in
   Vector.concurrent u v
 
 let happened_before t a b =
+  Tm.Counter.incr m_precedence;
   (* Bring every vector of both stamps to one width, then apply the
      Theorem 9 test. *)
   let dim =

@@ -27,6 +27,20 @@ val processes : t -> int
 val dimension : t -> int
 (** Current vector size (constant unless adaptive). *)
 
+(** {1 Observation}
+
+    Two equivalent styles, pick whichever fits the embedder:
+
+    - {b typed calls} — {!message} and {!internal}, one per event kind,
+      when the integration point already distinguishes them;
+    - {b one stream} — {!observe} with the {!event} variant, when the
+      embedder forwards a single heterogeneous event feed (a log tailer,
+      a network tap). [observe t (Message {src; dst})] is exactly
+      [message t ~src ~dst] and [observe t (Internal {proc})] is exactly
+      [internal t ~proc]; the {!outcome} carries what each returns.
+
+    Neither style is deprecated; both stay supported. *)
+
 val message : t -> src:int -> dst:int -> Synts_clock.Vector.t
 (** Observe the next message; returns its timestamp. Raises
     [Invalid_argument] for channels outside a fixed decomposition. *)
@@ -34,6 +48,19 @@ val message : t -> src:int -> dst:int -> Synts_clock.Vector.t
 val internal : t -> proc:int -> Synts_core.Event_stream.ticket
 (** Observe an internal event; its stamp is deferred until the process's
     next message ({!drain_events}). *)
+
+type event = Message of { src : int; dst : int } | Internal of { proc : int }
+(** One element of a unified observation stream. *)
+
+type outcome =
+  | Stamped of Synts_clock.Vector.t
+      (** A message's timestamp, as returned by {!message}. *)
+  | Deferred of Synts_core.Event_stream.ticket
+      (** An internal event's ticket, as returned by {!internal};
+          redeemed via {!drain_events}/{!finish_events}. *)
+
+val observe : t -> event -> outcome
+(** The unified entry point over both event kinds. *)
 
 val drain_events :
   t -> (Synts_core.Event_stream.ticket * Synts_core.Internal_events.stamp) list

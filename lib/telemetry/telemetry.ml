@@ -1,0 +1,293 @@
+(* All state is plain mutable records behind one hashtable per registry;
+   recording is branch + integer store, so the hot paths stay cheap and
+   two identical seeded runs produce identical snapshots. *)
+
+type counter = { mutable c_value : int }
+type gauge = { mutable g_value : int }
+
+type histogram = {
+  bounds : float array;  (* strictly increasing upper bounds *)
+  counts : int array;  (* length = Array.length bounds + 1, last = +inf *)
+  mutable h_sum : float;
+  mutable h_count : int;
+}
+
+type metric =
+  | M_counter of counter
+  | M_gauge of gauge
+  | M_histogram of histogram
+
+type registry = { table : (string, metric * string) Hashtbl.t }
+
+let default = { table = Hashtbl.create 64 }
+let create_registry () = { table = Hashtbl.create 16 }
+let on = ref true
+let enabled () = !on
+let set_enabled b = on := b
+
+let kind_name = function
+  | M_counter _ -> "counter"
+  | M_gauge _ -> "gauge"
+  | M_histogram _ -> "histogram"
+
+let register registry name help fresh =
+  match Hashtbl.find_opt registry.table name with
+  | Some (existing, _) ->
+      let wanted = fresh () in
+      if kind_name existing <> kind_name wanted then
+        invalid_arg
+          (Printf.sprintf "Telemetry: %S is already a %s" name
+             (kind_name existing));
+      existing
+  | None ->
+      let m = fresh () in
+      Hashtbl.replace registry.table name (m, help);
+      m
+
+module Counter = struct
+  type t = counter
+
+  let v ?(registry = default) ?(help = "") name =
+    match register registry name help (fun () -> M_counter { c_value = 0 }) with
+    | M_counter c -> c
+    | _ -> assert false
+
+  let add t by =
+    if !on then begin
+      if by < 0 then invalid_arg "Telemetry.Counter.add: negative increment";
+      t.c_value <- t.c_value + by
+    end
+
+  let incr t = if !on then t.c_value <- t.c_value + 1
+  let value t = t.c_value
+end
+
+module Gauge = struct
+  type t = gauge
+
+  let v ?(registry = default) ?(help = "") name =
+    match register registry name help (fun () -> M_gauge { g_value = 0 }) with
+    | M_gauge g -> g
+    | _ -> assert false
+
+  let set t x = if !on then t.g_value <- x
+  let set_max t x = if !on && x > t.g_value then t.g_value <- x
+  let value t = t.g_value
+end
+
+module Histogram = struct
+  type t = histogram
+
+  let default_buckets =
+    [| 1.; 2.; 5.; 10.; 20.; 50.; 100.; 200.; 500.; 1000. |]
+
+  let check_buckets b =
+    if Array.length b = 0 then
+      invalid_arg "Telemetry.Histogram: empty bucket list";
+    for i = 1 to Array.length b - 1 do
+      if b.(i) <= b.(i - 1) then
+        invalid_arg "Telemetry.Histogram: buckets must be strictly increasing"
+    done
+
+  let v ?(registry = default) ?(help = "") ?(buckets = default_buckets) name =
+    let fresh () =
+      check_buckets buckets;
+      M_histogram
+        {
+          bounds = Array.copy buckets;
+          counts = Array.make (Array.length buckets + 1) 0;
+          h_sum = 0.0;
+          h_count = 0;
+        }
+    in
+    match register registry name help fresh with
+    | M_histogram h -> h
+    | _ -> assert false
+
+  let observe t x =
+    if !on then begin
+      let k = Array.length t.bounds in
+      let i = ref 0 in
+      while !i < k && x > t.bounds.(!i) do
+        incr i
+      done;
+      t.counts.(!i) <- t.counts.(!i) + 1;
+      t.h_sum <- t.h_sum +. x;
+      t.h_count <- t.h_count + 1
+    end
+
+  let count t = t.h_count
+  let sum t = t.h_sum
+end
+
+module Span = struct
+  type t = histogram
+  type active = { span : histogram; start_tick : float; mutable open_ : bool }
+
+  let v = Histogram.v
+  let start t ~tick = { span = t; start_tick = tick; open_ = true }
+
+  let stop a ~tick =
+    if a.open_ then begin
+      a.open_ <- false;
+      Histogram.observe a.span (tick -. a.start_tick)
+    end
+end
+
+(* ---------- snapshots ---------- *)
+
+type value =
+  | Counter_v of int
+  | Gauge_v of int
+  | Histogram_v of {
+      buckets : (float * int) array;
+      inf : int;
+      sum : float;
+      count : int;
+    }
+
+type snapshot = (string * value) list
+
+let snapshot ?(registry = default) () =
+  Hashtbl.fold
+    (fun name (m, _) acc ->
+      let v =
+        match m with
+        | M_counter c -> Counter_v c.c_value
+        | M_gauge g -> Gauge_v g.g_value
+        | M_histogram h ->
+            Histogram_v
+              {
+                buckets =
+                  Array.mapi (fun i b -> (b, h.counts.(i))) h.bounds;
+                inf = h.counts.(Array.length h.bounds);
+                sum = h.h_sum;
+                count = h.h_count;
+              }
+      in
+      (name, v) :: acc)
+    registry.table []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let reset ?(registry = default) () =
+  Hashtbl.iter
+    (fun _ (m, _) ->
+      match m with
+      | M_counter c -> c.c_value <- 0
+      | M_gauge g -> g.g_value <- 0
+      | M_histogram h ->
+          Array.fill h.counts 0 (Array.length h.counts) 0;
+          h.h_sum <- 0.0;
+          h.h_count <- 0)
+    registry.table
+
+let metric_names ?(registry = default) () =
+  Hashtbl.fold (fun name (_, help) acc -> (name, help) :: acc) registry.table []
+  |> List.sort compare
+
+let help_of registry name =
+  match Hashtbl.find_opt registry.table name with
+  | Some (_, help) -> help
+  | None -> ""
+
+(* Deterministic float rendering: integers without a fractional part,
+   everything else via %g. *)
+let ftoa f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%g" f
+
+let prom_name name =
+  String.map (fun c -> if c = '.' || c = '-' then '_' else c) name
+
+let to_prometheus ?(registry = default) snap =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (name, v) ->
+      let pname = prom_name name in
+      let help = help_of registry name in
+      if help <> "" then
+        Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" pname help);
+      (match v with
+      | Counter_v c ->
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" pname);
+          Buffer.add_string buf (Printf.sprintf "%s %d\n" pname c)
+      | Gauge_v g ->
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" pname);
+          Buffer.add_string buf (Printf.sprintf "%s %d\n" pname g)
+      | Histogram_v { buckets; inf; sum; count } ->
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" pname);
+          let cumulative = ref 0 in
+          Array.iter
+            (fun (le, c) ->
+              cumulative := !cumulative + c;
+              Buffer.add_string buf
+                (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" pname (ftoa le)
+                   !cumulative))
+            buckets;
+          Buffer.add_string buf
+            (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" pname
+               (!cumulative + inf));
+          Buffer.add_string buf
+            (Printf.sprintf "%s_sum %s\n" pname (ftoa sum));
+          Buffer.add_string buf (Printf.sprintf "%s_count %d\n" pname count)))
+    snap;
+  Buffer.contents buf
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json ?(registry = default) snap =
+  ignore registry;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf (Printf.sprintf "  \"%s\": " (json_escape name));
+      match v with
+      | Counter_v c ->
+          Buffer.add_string buf
+            (Printf.sprintf "{\"type\": \"counter\", \"value\": %d}" c)
+      | Gauge_v g ->
+          Buffer.add_string buf
+            (Printf.sprintf "{\"type\": \"gauge\", \"value\": %d}" g)
+      | Histogram_v { buckets; inf; sum; count } ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "{\"type\": \"histogram\", \"count\": %d, \"sum\": %s, \
+                \"buckets\": ["
+               count (ftoa sum));
+          Array.iteri
+            (fun i (le, c) ->
+              if i > 0 then Buffer.add_string buf ", ";
+              Buffer.add_string buf
+                (Printf.sprintf "{\"le\": %s, \"count\": %d}" (ftoa le) c))
+            buckets;
+          Buffer.add_string buf
+            (Printf.sprintf ", {\"le\": \"+Inf\", \"count\": %d}]}" inf))
+    snap;
+  Buffer.add_string buf "\n}\n";
+  Buffer.contents buf
+
+let pp ppf snap =
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Counter_v c -> Format.fprintf ppf "%-42s %d@." name c
+      | Gauge_v g -> Format.fprintf ppf "%-42s %d (gauge)@." name g
+      | Histogram_v { sum; count; _ } ->
+          Format.fprintf ppf "%-42s count=%d sum=%s (histogram)@." name count
+            (ftoa sum))
+    snap

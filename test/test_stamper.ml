@@ -1,0 +1,137 @@
+module Graph = Synts_graph.Graph
+module Topology = Synts_graph.Topology
+module Decomposition = Synts_graph.Decomposition
+module Trace = Synts_sync.Trace
+module Stamper = Synts_clock.Stamper
+module Stampers = Synts_core.Stampers
+module Validate = Synts_check.Validate
+module Gen = Synts_test_support.Gen
+module Rng = Synts_util.Rng
+module Workload = Synts_workload.Workload
+
+let qtest ?(count = 100) name gen print f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name ~print gen f)
+
+(* ---------- the conformance property ---------- *)
+
+(* Every scheme behind the unified interface — the edge clock and all five
+   baselines — must agree with the brute-force oracle on every pair:
+   exact schemes in both directions, sound-only schemes on all ↦-related
+   pairs (Validate.stamper encodes the distinction via [exact]). *)
+let test_all_conform =
+  qtest ~count:80 "every Stamper.S instance agrees with the oracle"
+    Gen.computation Gen.computation_print (fun c ->
+      let g, trace = Gen.build_computation c in
+      List.for_all
+        (fun (name, verdict) ->
+          if Validate.ok verdict then true
+          else
+            QCheck2.Test.fail_reportf "%s: %a" name Validate.pp verdict)
+        (Validate.stampers trace (Stampers.all g)))
+
+(* The generic driver and the scheme-specific batch stampers must induce
+   the same order — the interface is a refactor, not a reimplementation. *)
+let test_driver_matches_fm =
+  qtest ~count:80 "fm-sync driver matches Fm_sync.timestamp_trace"
+    Gen.computation Gen.computation_print (fun c ->
+      let g, trace = Gen.build_computation c in
+      let run = Stamper.run (Stamper.fm_sync ~n:(Graph.n g)) trace in
+      let ts = Synts_clock.Fm_sync.timestamp_trace trace in
+      let k = Trace.message_count trace in
+      let ok = ref true in
+      for i = 0 to k - 1 do
+        for j = 0 to k - 1 do
+          if
+            i <> j
+            && run.Stamper.precedes i j
+               <> Synts_clock.Vector.lt ts.(i) ts.(j)
+          then ok := false
+        done
+      done;
+      !ok)
+
+(* ---------- driver bookkeeping ---------- *)
+
+let fixed_trace () =
+  let g = Topology.client_server ~servers:2 ~clients:6 in
+  let trace =
+    Workload.random (Rng.create 7) ~topology:g ~messages:40 ()
+  in
+  (g, trace)
+
+let test_run_accounting () =
+  let g, trace = fixed_trace () in
+  let k = Trace.message_count trace in
+  List.iter
+    (fun ((module M : Stamper.S) as s) ->
+      let run = Stamper.run s trace in
+      Alcotest.(check string) "name threaded through" M.name run.Stamper.name;
+      Alcotest.(check bool)
+        (M.name ^ ": exact flag threaded through")
+        M.exact run.Stamper.exact;
+      Alcotest.(check int)
+        (M.name ^ ": one stamp per message")
+        k
+        (Array.length run.Stamper.stamp_bytes);
+      Alcotest.(check bool)
+        (M.name ^ ": wire payloads accounted")
+        true
+        (run.Stamper.payload_bytes > 0);
+      Array.iter
+        (fun b ->
+          Alcotest.(check bool) (M.name ^ ": stamp sizes positive") true (b > 0))
+        run.Stamper.stamp_bytes)
+    (Stampers.all g)
+
+let test_scheme_roster () =
+  let g, _ = fixed_trace () in
+  let names =
+    List.map (fun (module M : Stamper.S) -> M.name) (Stampers.all g)
+  in
+  Alcotest.(check int) "six schemes" 6 (List.length names);
+  Alcotest.(check int) "names distinct"
+    (List.length names)
+    (List.length (List.sort_uniq compare names));
+  Alcotest.(check bool) "edge clock leads the roster" true
+    (match names with
+    | first :: _ ->
+        String.length first >= 10 && String.sub first 0 10 = "edge-clock"
+    | [] -> false)
+
+(* The paper's size claim, visible through the interface: on client-server
+   topologies the edge clock's stamps stay d-sized while Fidge-Mattern's
+   grow with N. *)
+let test_size_separation () =
+  let g = Topology.client_server ~servers:2 ~clients:30 in
+  let trace = Workload.random (Rng.create 11) ~topology:g ~messages:200 () in
+  let avg (r : Stamper.run) =
+    Array.fold_left ( + ) 0 r.Stamper.stamp_bytes
+    / max 1 (Array.length r.Stamper.stamp_bytes)
+  in
+  let schemes = Stampers.all g in
+  let find prefix =
+    List.find
+      (fun (module M : Stamper.S) ->
+        String.length M.name >= String.length prefix
+        && String.sub M.name 0 (String.length prefix) = prefix)
+      schemes
+  in
+  let ours = avg (Stamper.run (find "edge-clock") trace) in
+  let fm = avg (Stamper.run (find "fm-sync") trace) in
+  Alcotest.(check bool)
+    (Printf.sprintf "edge stamps (%dB) well under FM stamps (%dB)" ours fm)
+    true
+    (ours * 4 <= fm)
+
+let () =
+  Alcotest.run "stamper"
+    [
+      ( "conformance",
+        [ test_all_conform; test_driver_matches_fm ] );
+      ( "driver",
+        [
+          Alcotest.test_case "run accounting" `Quick test_run_accounting;
+          Alcotest.test_case "scheme roster" `Quick test_scheme_roster;
+          Alcotest.test_case "size separation" `Quick test_size_separation;
+        ] );
+    ]

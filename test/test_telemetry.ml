@@ -1,0 +1,187 @@
+module Tm = Synts_telemetry.Telemetry
+module Rng = Synts_util.Rng
+module Topology = Synts_graph.Topology
+module Decomposition = Synts_graph.Decomposition
+module Online = Synts_core.Online
+module Workload = Synts_workload.Workload
+
+(* ---------- counters ---------- *)
+
+let test_counter () =
+  let r = Tm.create_registry () in
+  let c = Tm.Counter.v ~registry:r "t.counter" in
+  Alcotest.(check int) "starts at 0" 0 (Tm.Counter.value c);
+  Tm.Counter.incr c;
+  Tm.Counter.add c 4;
+  Alcotest.(check int) "incr + add" 5 (Tm.Counter.value c);
+  (* Registration is idempotent by name: a second handle is the same
+     underlying metric. *)
+  let c' = Tm.Counter.v ~registry:r "t.counter" in
+  Tm.Counter.incr c';
+  Alcotest.(check int) "same metric via second handle" 6 (Tm.Counter.value c);
+  Alcotest.check_raises "negative add rejected"
+    (Invalid_argument "Telemetry.Counter.add: negative increment") (fun () ->
+      Tm.Counter.add c (-1));
+  (match Tm.Gauge.v ~registry:r "t.counter" with
+  | _ -> Alcotest.fail "kind mismatch accepted"
+  | exception Invalid_argument _ -> ());
+  Tm.reset ~registry:r ();
+  Alcotest.(check int) "reset zeroes" 0 (Tm.Counter.value c);
+  Alcotest.(check int) "registration survives reset" 1
+    (List.length (Tm.metric_names ~registry:r ()))
+
+let test_gauge () =
+  let r = Tm.create_registry () in
+  let g = Tm.Gauge.v ~registry:r "t.gauge" in
+  Tm.Gauge.set g 7;
+  Tm.Gauge.set_max g 3;
+  Alcotest.(check int) "set_max keeps high-watermark" 7 (Tm.Gauge.value g);
+  Tm.Gauge.set_max g 11;
+  Alcotest.(check int) "set_max raises watermark" 11 (Tm.Gauge.value g);
+  Tm.Gauge.set g 2;
+  Alcotest.(check int) "set overwrites" 2 (Tm.Gauge.value g)
+
+(* ---------- histograms ---------- *)
+
+let test_histogram () =
+  let r = Tm.create_registry () in
+  let h = Tm.Histogram.v ~registry:r ~buckets:[| 1.; 5.; 10. |] "t.hist" in
+  List.iter (Tm.Histogram.observe h) [ 0.5; 1.0; 1.1; 5.0; 9.9; 10.0; 10.1 ];
+  Alcotest.(check int) "count" 7 (Tm.Histogram.count h);
+  Alcotest.(check (float 1e-9)) "sum" 37.6 (Tm.Histogram.sum h);
+  match Tm.snapshot ~registry:r () with
+  | [ ("t.hist", Tm.Histogram_v { buckets; inf; sum = _; count }) ] ->
+      (* Upper bounds are inclusive: 1.0 lands in le=1, 10.0 in le=10. *)
+      Alcotest.(check (list (pair (float 0.) int)))
+        "per-bucket counts"
+        [ (1., 2); (5., 2); (10., 2) ]
+        (Array.to_list buckets);
+      Alcotest.(check int) "overflow bucket" 1 inf;
+      Alcotest.(check int) "snapshot count" 7 count
+  | _ -> Alcotest.fail "unexpected snapshot shape"
+
+(* ---------- spans ---------- *)
+
+let test_span () =
+  let r = Tm.create_registry () in
+  let s = Tm.Span.v ~registry:r ~buckets:[| 5.; 50. |] "t.span" in
+  let a = Tm.Span.start s ~tick:10. in
+  Tm.Span.stop a ~tick:13.;
+  Tm.Span.stop a ~tick:99.;
+  (* second stop ignored *)
+  let b = Tm.Span.start s ~tick:100. in
+  Tm.Span.stop b ~tick:140.;
+  match Tm.snapshot ~registry:r () with
+  | [ ("t.span", Tm.Histogram_v { buckets; inf; sum; count }) ] ->
+      Alcotest.(check int) "two observations" 2 count;
+      Alcotest.(check (float 1e-9)) "durations summed" 43. sum;
+      Alcotest.(check (list (pair (float 0.) int)))
+        "bucketed durations"
+        [ (5., 1); (50., 1) ]
+        (Array.to_list buckets);
+      Alcotest.(check int) "nothing above" 0 inf
+  | _ -> Alcotest.fail "unexpected snapshot shape"
+
+(* ---------- the global switch ---------- *)
+
+let test_disabled () =
+  let r = Tm.create_registry () in
+  let c = Tm.Counter.v ~registry:r "t.switch" in
+  Tm.set_enabled false;
+  Fun.protect
+    ~finally:(fun () -> Tm.set_enabled true)
+    (fun () ->
+      Tm.Counter.incr c;
+      Tm.Counter.add c 10;
+      Alcotest.(check int) "recording off" 0 (Tm.Counter.value c));
+  Tm.Counter.incr c;
+  Alcotest.(check int) "recording back on" 1 (Tm.Counter.value c)
+
+(* ---------- exports ---------- *)
+
+let test_prometheus_export () =
+  let r = Tm.create_registry () in
+  let c = Tm.Counter.v ~registry:r ~help:"What it counts" "ex.requests" in
+  let h = Tm.Histogram.v ~registry:r ~buckets:[| 1.; 2. |] "ex.latency" in
+  Tm.Counter.add c 3;
+  Tm.Histogram.observe h 1.5;
+  Tm.Histogram.observe h 9.0;
+  let text = Tm.to_prometheus ~registry:r (Tm.snapshot ~registry:r ()) in
+  let has needle =
+    let n = String.length needle and t = String.length text in
+    let rec at i = i + n <= t && (String.sub text i n = needle || at (i + 1)) in
+    at 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "contains %S" needle) true
+        (has needle))
+    [
+      "# HELP ex_requests What it counts";
+      "# TYPE ex_requests counter";
+      "ex_requests 3";
+      "# TYPE ex_latency histogram";
+      "ex_latency_bucket{le=\"1\"} 0";
+      "ex_latency_bucket{le=\"2\"} 1";
+      (* cumulative *)
+      "ex_latency_bucket{le=\"+Inf\"} 2";
+      "ex_latency_sum 10.5";
+      "ex_latency_count 2";
+    ]
+
+(* ---------- determinism ---------- *)
+
+(* The acceptance property: two identical seeded runs of the instrumented
+   stack produce byte-identical snapshots. Exercises the default registry
+   the way the CLI does. *)
+let seeded_run seed =
+  Tm.set_enabled true;
+  Tm.reset ();
+  let g = Topology.build ~rng:(Rng.create seed) (Topology.Client_server (3, 9)) in
+  let d = Decomposition.best g in
+  let trace =
+    Workload.random (Rng.create (seed + 1)) ~topology:g ~messages:150
+      ~internal_prob:0.2 ()
+  in
+  ignore (Online.timestamp_trace d trace);
+  let scripts = Synts_net.Script.of_trace trace in
+  ignore (Synts_net.Rendezvous.run ~seed ~loss:0.1 ~decomposition:d scripts);
+  let snap = Tm.snapshot () in
+  (snap, Tm.to_prometheus snap, Tm.to_json snap)
+
+let test_snapshot_determinism () =
+  let snap1, prom1, json1 = seeded_run 42 in
+  let snap2, prom2, json2 = seeded_run 42 in
+  Alcotest.(check bool) "snapshots equal" true (snap1 = snap2);
+  Alcotest.(check string) "prometheus text identical" prom1 prom2;
+  Alcotest.(check string) "json identical" json1 json2;
+  (* And the run actually recorded something at every layer it touched. *)
+  let value name =
+    match List.assoc_opt name snap1 with
+    | Some (Tm.Counter_v n) -> n
+    | _ -> -1
+  in
+  Alcotest.(check bool) "stamps recorded" true (value "core.online.stamps" > 0);
+  Alcotest.(check bool) "packets recorded" true (value "net.packets_sent" > 0);
+  Alcotest.(check bool) "retransmissions recorded" true
+    (value "net.rendezvous.retransmissions" > 0)
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "semantics",
+        [
+          Alcotest.test_case "counter" `Quick test_counter;
+          Alcotest.test_case "gauge" `Quick test_gauge;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "span" `Quick test_span;
+          Alcotest.test_case "global switch" `Quick test_disabled;
+        ] );
+      ( "export",
+        [ Alcotest.test_case "prometheus" `Quick test_prometheus_export ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "identical seeded runs, identical snapshots"
+            `Quick test_snapshot_determinism;
+        ] );
+    ]
