@@ -23,6 +23,7 @@ module Workload = Synts_workload.Workload
 module Validate = Synts_check.Validate
 module Experiments = Synts_experiments.Experiments
 module Telemetry = Synts_telemetry.Telemetry
+module Lint = Synts_lint.Lint
 
 open Cmdliner
 
@@ -509,6 +510,134 @@ let protocol_cmd =
     Term.(
       const run $ seed_t $ file_t $ min_delay_t $ max_delay_t $ diagram_t)
 
+(* ---------- lint ---------- *)
+
+let lint_cmd =
+  let file_t =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "A saved trace file (synts-trace format) or a process-system \
+             file (P<id>: intents). Omit it and pass $(b,--topology) to \
+             lint a generated workload instead.")
+  in
+  let gen_topology_t =
+    Arg.(
+      value
+      & opt (some topology_conv) None
+      & info [ "topology" ] ~docv:"TOPOLOGY"
+          ~doc:"Generate and lint a random workload over this topology.")
+  in
+  let messages_t =
+    Arg.(
+      value & opt int 40
+      & info [ "messages"; "m" ] ~docv:"M"
+          ~doc:"Message count for the generated workload.")
+  in
+  let internal_t =
+    Arg.(
+      value & opt float 0.2
+      & info [ "internal" ] ~docv:"P"
+          ~doc:"Internal-event probability for the generated workload.")
+  in
+  let format_t =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format"; "f" ] ~docv:"FMT" ~doc:"Report as $(b,text) or $(b,json).")
+  in
+  let fail_on_t =
+    Arg.(
+      value
+      & opt (enum [ ("error", `Error); ("warning", `Warning); ("never", `Never) ])
+          `Error
+      & info [ "fail-on" ] ~docv:"SEV"
+          ~doc:
+            "Exit non-zero when a finding at or above this severity exists: \
+             $(b,error) (default), $(b,warning), or $(b,never).")
+  in
+  let explain_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "explain" ] ~docv:"RULE_ID"
+          ~doc:
+            "Print the rule's rationale and the paper theorem/definition it \
+             enforces, then exit. Unknown ids exit non-zero with \
+             suggestions.")
+  in
+  let run seed file gen_topology messages internal format fail_on explain
+      metrics =
+    match explain with
+    | Some rule -> (
+        match Synts_lint.Rules.explain rule with
+        | Ok text -> print_string text
+        | Error msg ->
+            prerr_endline ("synts lint: " ^ msg);
+            exit 2)
+    | None ->
+        if metrics <> None then begin
+          Telemetry.set_enabled true;
+          Telemetry.reset ()
+        end;
+        let findings =
+          match file with
+          | Some path -> (
+              let text = In_channel.with_open_text path In_channel.input_all in
+              match Synts_sync.Trace_io.of_string text with
+              | Ok trace -> Lint.audit trace
+              | Error trace_err -> (
+                  (* Not a trace; maybe a process-system file. *)
+                  match Synts_net.Script.parse_system text with
+                  | Ok scripts -> Lint.audit_scripts scripts
+                  | Error _ ->
+                      [
+                        Synts_lint.Rules.finding "trace/parse"
+                          Synts_lint.Finding.Global
+                          (Printf.sprintf "%s: %s" path trace_err);
+                      ]))
+          | None -> (
+              match gen_topology with
+              | None ->
+                  prerr_endline
+                    "synts lint: provide a FILE or --topology SPEC";
+                  exit 2
+              | Some spec ->
+                  check_loss internal;
+                  let g = realize_topology seed spec in
+                  let trace =
+                    Workload.random
+                      (Rng.create (seed + 1))
+                      ~topology:g ~messages ~internal_prob:internal ()
+                  in
+                  Lint.audit trace)
+        in
+        Lint.record findings;
+        (match format with
+        | `Text -> Format.printf "%a" Lint.pp_report findings
+        | `Json ->
+            print_string (Lint.to_json findings);
+            print_newline ());
+        Option.iter
+          (fun fmt ->
+            print_newline ();
+            dump_metrics fmt)
+          metrics;
+        exit (Lint.exit_code ~fail_on findings)
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically analyze a trace, topology decomposition or CSP \
+          process system: well-formedness, crown-freedom, Def. 2 coverage \
+          and size bounds, rendezvous deadlocks, and a sanitized \
+          online-stamping replay.")
+    Term.(
+      const run $ seed_t $ file_t $ gen_topology_t $ messages_t $ internal_t
+      $ format_t $ fail_on_t $ explain_t $ metrics_t)
+
 (* ---------- verify ---------- *)
 
 let verify_cmd =
@@ -668,5 +797,6 @@ let () =
           (Cmd.info "synts" ~version:"1.0.0" ~doc)
           [
             figures_cmd; experiments_cmd; decompose_cmd; simulate_cmd;
-            analyze_cmd; monitor_cmd; protocol_cmd; verify_cmd; metrics_cmd;
+            analyze_cmd; monitor_cmd; protocol_cmd; verify_cmd; lint_cmd;
+            metrics_cmd;
           ]))

@@ -33,8 +33,11 @@ val internal_stamps :
 
 val sound_only : Synts_sync.Trace.t -> int array -> verdict
 (** For scalar (Lamport) clocks: only the [m1 ↦ m2 ⇒ c1 < c2] direction
-    is demanded; [false_orders] then counts order violations (c1 ≥ c2 on a
-    related pair) and [missed_orders] stays 0. *)
+    is demanded. A related pair with [c1 ≥ c2] is an ordering the scheme
+    failed to capture, so it counts into [missed_orders] — consistent with
+    the field docs above and with the sound-only branch of {!stamper};
+    [false_orders] stays 0, since ordering a concurrent pair is exactly
+    the imprecision sound-only validation tolerates. *)
 
 val stamper : Synts_sync.Trace.t -> Synts_clock.Stamper.t -> verdict
 (** Drive any {!Synts_clock.Stamper.S} instance over the trace and

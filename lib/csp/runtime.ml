@@ -109,7 +109,7 @@ struct
     assert (Vector.equal ts ts');
     ts
 
-  let run ?(seed = 0) ?decomposition ?max_steps ~n programs =
+  let run ?(seed = 0) ?decomposition ?on_stamp ?max_steps ~n programs =
     if Array.length programs <> n then
       invalid_arg "Runtime.run: need exactly one program per process";
     let rng = Rng.create seed in
@@ -146,6 +146,7 @@ struct
       | None -> None
       | Some clocks ->
           let ts = protocol_stamp clocks ~src ~dst in
+          Option.iter (fun f -> f ~src ~dst ts) on_stamp;
           message_stamps := ts :: !message_stamps;
           Some ts
     in
@@ -263,7 +264,7 @@ struct
 
   exception Replay_divergence of string
 
-  let replay ?decomposition ~trace programs =
+  let replay ?decomposition ?on_stamp ~trace programs =
     let n = Trace.n trace in
     if Array.length programs <> n then
       invalid_arg "Runtime.replay: need exactly one program per process";
@@ -305,6 +306,7 @@ struct
                   | None -> None
                   | Some clocks ->
                       let ts = protocol_stamp clocks ~src ~dst in
+                      Option.iter (fun f -> f ~src ~dst ts) on_stamp;
                       message_stamps := ts :: !message_stamps;
                       Some ts
                 in

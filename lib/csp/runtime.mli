@@ -47,6 +47,7 @@ end) : sig
   val run :
     ?seed:int ->
     ?decomposition:Synts_graph.Decomposition.t ->
+    ?on_stamp:(src:int -> dst:int -> Synts_clock.Vector.t -> unit) ->
     ?max_steps:int ->
     n:int ->
     (api -> unit) array ->
@@ -55,7 +56,10 @@ end) : sig
       ([Array.length programs = n]). Scheduling and rendezvous matching
       are pseudo-random but fully determined by [seed] (default 0).
       [max_steps] (scheduler dispatches) guards against divergence; raises
-      {!Step_limit_exceeded} beyond it. *)
+      {!Step_limit_exceeded} beyond it. [on_stamp] observes every
+      message's timestamp as its rendezvous completes (only called when
+      timestamping is on) — the hook point for running the runtime under a
+      sanitizer such as [Synts_lint.Lint.Sanitizer]. *)
 
   val explore :
     ?decomposition:Synts_graph.Decomposition.t ->
@@ -75,6 +79,7 @@ end) : sig
 
   val replay :
     ?decomposition:Synts_graph.Decomposition.t ->
+    ?on_stamp:(src:int -> dst:int -> Synts_clock.Vector.t -> unit) ->
     trace:Synts_sync.Trace.t ->
     (api -> unit) array ->
     outcome

@@ -1,0 +1,243 @@
+module Script = Synts_net.Script
+
+type exploration = {
+  completed : bool;
+  stuck : int list option;
+  truncated : bool;
+}
+
+let default_budget = 4096
+
+(* Scripts as arrays, for O(1) head access during exploration. *)
+let to_arrays scripts = Array.map Array.of_list scripts
+
+(* Advance every process past its internal events (they never block). *)
+let normalize scripts state =
+  let state = Array.copy state in
+  Array.iteri
+    (fun p i ->
+      let len = Array.length scripts.(p) in
+      let i = ref i in
+      while !i < len && scripts.(p).(!i) = Script.Internal do
+        incr i
+      done;
+      state.(p) <- !i)
+    state;
+  state
+
+let finished scripts state =
+  let ok = ref true in
+  Array.iteri
+    (fun p i -> if i < Array.length scripts.(p) then ok := false)
+    state;
+  !ok
+
+let head scripts state p =
+  if state.(p) < Array.length scripts.(p) then Some scripts.(p).(state.(p))
+  else None
+
+(* Enabled rendezvous in a (normalized) state. *)
+let transitions scripts state =
+  let n = Array.length scripts in
+  let moves = ref [] in
+  for p = 0 to n - 1 do
+    match head scripts state p with
+    | Some (Script.Send_to q) when q >= 0 && q < n && q <> p -> (
+        match head scripts state q with
+        | Some (Script.Recv_from r) when r = p -> moves := (p, q) :: !moves
+        | Some Script.Recv_any -> moves := (p, q) :: !moves
+        | _ -> ())
+    | _ -> ()
+  done;
+  List.rev !moves
+
+let apply state (p, q) =
+  let state = Array.copy state in
+  state.(p) <- state.(p) + 1;
+  state.(q) <- state.(q) + 1;
+  state
+
+let blocked scripts state =
+  List.filter
+    (fun p -> state.(p) < Array.length scripts.(p))
+    (List.init (Array.length scripts) Fun.id)
+
+(* Memoized DFS over matching states; returns the raw verdicts plus an
+   example stuck state for witness extraction. *)
+let explore_states ?(budget = default_budget) raw_scripts =
+  let scripts = to_arrays raw_scripts in
+  let seen = Hashtbl.create 256 in
+  let completed = ref false in
+  let stuck_state = ref None in
+  let truncated = ref false in
+  let rec dfs state =
+    let state = normalize scripts state in
+    if not (Hashtbl.mem seen state) then
+      if Hashtbl.length seen >= budget then truncated := true
+      else begin
+        Hashtbl.replace seen state ();
+        if finished scripts state then completed := true
+        else
+          match transitions scripts state with
+          | [] -> if !stuck_state = None then stuck_state := Some state
+          | moves -> List.iter (fun mv -> dfs (apply state mv)) moves
+      end
+  in
+  dfs (Array.make (Array.length scripts) 0);
+  (scripts, !completed, !stuck_state, !truncated)
+
+let explore ?budget raw_scripts =
+  let scripts, completed, stuck_state, truncated =
+    explore_states ?budget raw_scripts
+  in
+  {
+    completed;
+    stuck = Option.map (blocked scripts) stuck_state;
+    truncated;
+  }
+
+(* Who a blocked process is waiting for in a stuck state. A wildcard
+   receive waits on any process that could still send to it. *)
+let waits_on scripts state p =
+  match head scripts state p with
+  | Some (Script.Send_to q) | Some (Script.Recv_from q) -> [ q ]
+  | Some Script.Recv_any ->
+      List.filter
+        (fun q ->
+          q <> p
+          && Array.exists
+               (fun intent -> intent = Script.Send_to p)
+               (Array.sub scripts.(q) state.(q)
+                  (Array.length scripts.(q) - state.(q))))
+        (List.init (Array.length scripts) Fun.id)
+  | _ -> []
+
+(* Walk first wait-for edges from some blocked process until a repeat:
+   the repeated suffix is a wait cycle. *)
+let wait_cycle scripts state =
+  match blocked scripts state with
+  | [] -> None
+  | start :: _ ->
+      let n = Array.length scripts in
+      let rec walk path p steps =
+        if steps > n then None
+        else if List.mem p path then
+          (* Cycle = path from the first occurrence of p. *)
+          let rec from = function
+            | [] -> []
+            | x :: rest -> if x = p then x :: rest else from rest
+          in
+          Some (from (List.rev (p :: path)))
+        else
+          match waits_on scripts state p with
+          | q :: _ when q >= 0 && q < n -> walk (p :: path) q (steps + 1)
+          | _ -> None
+      in
+      walk [] start 0
+
+let pids ps = String.concat ", " (List.map (fun p -> Printf.sprintf "P%d" p) ps)
+
+let cycle_text = function
+  | None -> ""
+  | Some cycle ->
+      "; wait cycle " ^ String.concat " -> "
+        (List.map (fun p -> Printf.sprintf "P%d" p) cycle)
+
+let check ?budget raw_scripts =
+  let n = Array.length raw_scripts in
+  let fs = ref [] in
+  let add f = fs := f :: !fs in
+  (* 1. Intent sanity. *)
+  let peer_errors = ref false in
+  Array.iteri
+    (fun p script ->
+      List.iteri
+        (fun index intent ->
+          let bad q verb =
+            peer_errors := true;
+            add
+              (Rules.finding "csp/peer-range"
+                 (Finding.Event { proc = p; index })
+                 (Printf.sprintf "P%d %s P%d, which is %s" p verb q
+                    (if q = p then "itself" else "outside 0..N-1")))
+          in
+          match intent with
+          | Script.Send_to q when q < 0 || q >= n || q = p -> bad q "sends to"
+          | Script.Recv_from q when q < 0 || q >= n || q = p ->
+              bad q "receives from"
+          | _ -> ())
+        script)
+    raw_scripts;
+  (* 2. Counting: capacity arguments that hold under every schedule. *)
+  let sends = Array.make_matrix n n 0 in
+  let recv_from = Array.make_matrix n n 0 in
+  let recv_any = Array.make n 0 in
+  Array.iteri
+    (fun p script ->
+      List.iter
+        (fun intent ->
+          match intent with
+          | Script.Send_to q when q >= 0 && q < n && q <> p ->
+              sends.(p).(q) <- sends.(p).(q) + 1
+          | Script.Recv_from q when q >= 0 && q < n && q <> p ->
+              recv_from.(p).(q) <- recv_from.(p).(q) + 1
+          | Script.Recv_any -> recv_any.(p) <- recv_any.(p) + 1
+          | _ -> ())
+        script)
+    raw_scripts;
+  for q = 0 to n - 1 do
+    let total_in = ref 0 and directed = ref 0 in
+    for p = 0 to n - 1 do
+      total_in := !total_in + sends.(p).(q);
+      directed := !directed + recv_from.(q).(p);
+      if recv_from.(q).(p) > sends.(p).(q) then
+        add
+          (Rules.finding "csp/unmatched-recv" (Finding.Process q)
+             (Printf.sprintf
+                "P%d expects %d message(s) from P%d but P%d only sends %d"
+                q recv_from.(q).(p) p p sends.(p).(q)))
+    done;
+    let capacity = !directed + recv_any.(q) in
+    if !total_in > capacity then
+      add
+        (Rules.finding "csp/unmatched-send" (Finding.Process q)
+           (Printf.sprintf
+              "%d message(s) are sent to P%d but it only receives %d (%d \
+               directed + %d wildcard)"
+              !total_in q capacity !directed recv_any.(q)))
+    else if capacity > !total_in && recv_any.(q) > 0 && !directed <= !total_in
+    then
+      add
+        (Rules.finding "csp/unmatched-recv" (Finding.Process q)
+           (Printf.sprintf
+              "P%d has %d receive(s) (%d directed + %d wildcard) but only %d \
+               message(s) are sent to it"
+              q capacity !directed recv_any.(q) !total_in))
+  done;
+  (* 3. Rendezvous deadlock, when the intents themselves are sane. *)
+  if not !peer_errors then begin
+    let scripts, completed, stuck_state, truncated =
+      explore_states ?budget raw_scripts
+    in
+    (match stuck_state with
+    | Some state when not completed ->
+        add
+          (Rules.finding "csp/deadlock" Finding.Global
+             (Printf.sprintf "every explored schedule deadlocks with %s blocked%s"
+                (pids (blocked scripts state))
+                (cycle_text (wait_cycle scripts state))))
+    | Some state ->
+        add
+          (Rules.finding "csp/may-deadlock" Finding.Global
+             (Printf.sprintf
+                "some schedules deadlock with %s blocked%s (others complete)"
+                (pids (blocked scripts state))
+                (cycle_text (wait_cycle scripts state))))
+    | None -> ());
+    if truncated then
+      add
+        (Rules.finding "csp/analysis-budget" Finding.Global
+           "state budget exhausted; deadlock verdicts cover only the \
+            explored schedules")
+  end;
+  List.rev !fs

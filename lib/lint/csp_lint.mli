@@ -1,0 +1,30 @@
+(** Static analysis of CSP-style communication scripts.
+
+    Given the per-process scripts of a system (the communication skeleton
+    of a CSP program, cf. {!Synts_net.Script}), three layers of checks:
+
+    - {b intent sanity}: sends/directed receives naming an invalid peer;
+    - {b counting}: a process whose receive capacity cannot absorb the
+      sends directed at it (or vice versa) blocks under {e every}
+      schedule;
+    - {b rendezvous deadlock}: a memoized, budget-bounded exploration of
+      the matching state space — the static wait-for analysis. If no
+      explored schedule completes, the system definitely deadlocks
+      ([csp/deadlock], with a blocked wait-for cycle as witness); if both
+      completing and deadlocking schedules exist (typically a wildcard
+      race), it may deadlock ([csp/may-deadlock]). *)
+
+val check : ?budget:int -> Synts_net.Script.t array -> Finding.t list
+(** [budget] bounds the number of distinct matching states explored
+    (default 4096); exceeding it yields a [csp/analysis-budget] info
+    finding and deadlock verdicts degrade to the visited schedules. *)
+
+type exploration = {
+  completed : bool;  (** Some explored schedule finishes every script. *)
+  stuck : int list option;
+      (** Blocked process ids of some reachable deadlock state. *)
+  truncated : bool;  (** The state budget was exhausted. *)
+}
+
+val explore : ?budget:int -> Synts_net.Script.t array -> exploration
+(** The raw state-space verdicts behind the deadlock rules. *)

@@ -1,0 +1,136 @@
+module Graph = Synts_graph.Graph
+module Decomposition = Synts_graph.Decomposition
+module Vertex_cover = Synts_graph.Vertex_cover
+
+(* The edges a (possibly malformed) group claims, tolerating malformed
+   input: duplicates and self-loops are reported separately, so here we
+   enumerate whatever pairs the group spells out. *)
+let claimed_edges = function
+  | Decomposition.Star { center; leaves } ->
+      List.filter_map
+        (fun leaf -> if leaf = center then None else Some (Graph.normalize_edge center leaf))
+        leaves
+  | Decomposition.Triangle (x, y, z) ->
+      List.filter_map
+        (fun (u, v) -> if u = v then None else Some (Graph.normalize_edge u v))
+        [ (x, y); (y, z); (x, z) ]
+
+let group_shape_findings g idx group =
+  let n = Graph.n g in
+  let fs = ref [] in
+  let add msg =
+    fs := Rules.finding "decomp/malformed-group" (Finding.Group idx) msg :: !fs
+  in
+  let range v = v >= 0 && v < n in
+  (match group with
+  | Decomposition.Star { center; leaves } ->
+      if not (range center) then
+        add (Printf.sprintf "star center %d is outside 0..%d" center (n - 1));
+      if leaves = [] then add "star with no leaves";
+      List.iter
+        (fun leaf ->
+          if not (range leaf) then
+            add (Printf.sprintf "star leaf %d is outside 0..%d" leaf (n - 1));
+          if leaf = center then
+            add (Printf.sprintf "star leaf %d equals its center" leaf))
+        leaves;
+      let sorted = List.sort_uniq compare leaves in
+      if List.length sorted <> List.length leaves then
+        add "star leaves contain duplicates"
+      else if sorted <> leaves then add "star leaves are not sorted"
+  | Decomposition.Triangle (x, y, z) ->
+      List.iter
+        (fun v ->
+          if not (range v) then
+            add (Printf.sprintf "triangle vertex %d is outside 0..%d" v (n - 1)))
+        [ x; y; z ];
+      if not (x < y && y < z) then
+        add
+          (Printf.sprintf
+             "triangle vertices (%d,%d,%d) are not strictly increasing" x y z));
+  List.rev !fs
+
+let check g groups =
+  let fs = ref [] in
+  let add f = fs := f :: !fs in
+  (* 1. Shape of each group. *)
+  List.iteri
+    (fun idx group -> List.iter add (group_shape_findings g idx group))
+    groups;
+  (* 2. Exact coverage: every topology edge in exactly one group, no
+     foreign edges. *)
+  let cover : (Graph.edge, int list) Hashtbl.t = Hashtbl.create 64 in
+  List.iteri
+    (fun idx group ->
+      List.iter
+        (fun e ->
+          Hashtbl.replace cover e
+            (idx :: Option.value ~default:[] (Hashtbl.find_opt cover e)))
+        (claimed_edges group))
+    groups;
+  Hashtbl.iter
+    (fun (u, v) idxs ->
+      let idxs = List.rev idxs in
+      if not (Graph.has_edge g u v) then
+        List.iter
+          (fun idx ->
+            add
+              (Rules.finding "decomp/foreign-edge" (Finding.Group idx)
+                 (Printf.sprintf "edge (%d,%d) is not in the topology" u v)))
+          idxs
+      else if List.length idxs > 1 then
+        add
+          (Rules.finding "decomp/duplicate-edge" (Finding.Channel (u, v))
+             (Printf.sprintf "edge (%d,%d) is covered by groups %s" u v
+                (String.concat ", " (List.map string_of_int idxs)))))
+    cover;
+  List.iter
+    (fun (u, v) ->
+      if not (Hashtbl.mem cover (u, v)) then
+        add
+          (Rules.finding "decomp/uncovered-edge" (Finding.Channel (u, v))
+             (Printf.sprintf
+                "edge (%d,%d) belongs to no group; messages on it cannot be \
+                 stamped"
+                u v)))
+    (Graph.edges g);
+  (* 3. Bounds. Only meaningful when the partition itself is sane. *)
+  let d = List.length groups in
+  let n = Graph.n g in
+  if Graph.m g > 0 && d > 0 then begin
+    let cover_bound =
+      (* An upper bound on beta(G): exact on small instances, else the
+         better of the two polynomial heuristics. *)
+      let heuristic =
+        min
+          (List.length (Vertex_cover.greedy g))
+          (List.length (Vertex_cover.two_approx g))
+      in
+      match
+        if n <= 16 then Vertex_cover.exact ~limit:200_000 g else None
+      with
+      | Some c -> List.length c
+      | None -> heuristic
+    in
+    let theorem5 = min cover_bound (max 1 (n - 2)) in
+    if d > theorem5 then
+      add
+        (Rules.finding "decomp/size-bound" Finding.Global
+           (Printf.sprintf
+              "%d groups, but a decomposition with at most %d exists \
+               (min(beta(G) <= %d, N-2 = %d)); rebuild with the Fig. 7 \
+               algorithm"
+              d theorem5 cover_bound (max 1 (n - 2))));
+    let lower = Decomposition.min_size_lower_bound g in
+    if d > lower then
+      add
+        (Rules.finding "decomp/loose" Finding.Global
+           (Printf.sprintf
+              "bound tightness: d = %d vs matching lower bound %d and \
+               min(beta(G) <= %d, N-2 = %d) = %d; at most %d component(s) \
+               above the provable optimum"
+              d lower cover_bound (max 1 (n - 2)) theorem5 (d - lower)))
+  end;
+  List.rev !fs
+
+let check_decomposition g d = check g (Decomposition.groups d)

@@ -1,0 +1,23 @@
+(** Static verification of edge decompositions (paper Def. 2, Thms. 5-7).
+
+    Works on a {e raw} group list rather than a validated
+    {!Synts_graph.Decomposition.t}, so it can diagnose exactly the inputs
+    the strict constructor rejects: uncovered edges, doubly covered edges,
+    edges foreign to the topology, groups that are not genuine stars or
+    triangles — and, beyond well-formedness, whether the group count
+    respects the min(beta(G), N-2) guarantee, with a bound-tightness
+    report against the matching lower bound. *)
+
+val check :
+  Synts_graph.Graph.t ->
+  Synts_graph.Decomposition.group list ->
+  Finding.t list
+(** Rules: [decomp/malformed-group], [decomp/foreign-edge],
+    [decomp/duplicate-edge], [decomp/uncovered-edge], [decomp/size-bound],
+    [decomp/loose]. Vertex-cover bounds use the exact branch-and-bound
+    solver on small graphs and the best polynomial heuristic otherwise. *)
+
+val check_decomposition :
+  Synts_graph.Graph.t -> Synts_graph.Decomposition.t -> Finding.t list
+(** {!check} on the decomposition's groups — constructor-validated input,
+    so only the bound rules can fire. *)

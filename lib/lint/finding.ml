@@ -1,0 +1,87 @@
+type severity = Error | Warning | Info
+
+let severity_label = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+let compare_severity a b = compare (severity_rank a) (severity_rank b)
+
+type location =
+  | Global
+  | Process of int
+  | Event of { proc : int; index : int }
+  | Message of int
+  | Step of int
+  | Channel of int * int
+  | Group of int
+
+type t = {
+  rule : string;
+  severity : severity;
+  location : location;
+  message : string;
+}
+
+let make ~rule ~severity location message =
+  { rule; severity; location; message }
+
+let count s fs = List.length (List.filter (fun f -> f.severity = s) fs)
+let errors fs = count Error fs
+let warnings fs = count Warning fs
+let infos fs = count Info fs
+let by_severity s fs = List.filter (fun f -> f.severity = s) fs
+
+let sort fs =
+  List.stable_sort (fun a b -> compare_severity a.severity b.severity) fs
+
+let pp_location ppf = function
+  | Global -> Format.pp_print_string ppf "global"
+  | Process p -> Format.fprintf ppf "P%d" p
+  | Event { proc; index } -> Format.fprintf ppf "P%d event %d" proc index
+  | Message m -> Format.fprintf ppf "m%d" m
+  | Step i -> Format.fprintf ppf "step %d" i
+  | Channel (u, v) -> Format.fprintf ppf "channel (%d,%d)" u v
+  | Group g -> Format.fprintf ppf "group %d" g
+
+let pp ppf f =
+  Format.fprintf ppf "%s[%s] %a: %s"
+    (severity_label f.severity)
+    f.rule pp_location f.location f.message
+
+(* Minimal JSON string escaping: the messages are ASCII diagnostics. *)
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let location_json = function
+  | Global -> {|{"kind":"global"}|}
+  | Process p -> Printf.sprintf {|{"kind":"process","proc":%d}|} p
+  | Event { proc; index } ->
+      Printf.sprintf {|{"kind":"event","proc":%d,"index":%d}|} proc index
+  | Message m -> Printf.sprintf {|{"kind":"message","id":%d}|} m
+  | Step i -> Printf.sprintf {|{"kind":"step","index":%d}|} i
+  | Channel (u, v) -> Printf.sprintf {|{"kind":"channel","u":%d,"v":%d}|} u v
+  | Group g -> Printf.sprintf {|{"kind":"group","index":%d}|} g
+
+let to_json fs =
+  let one f =
+    Printf.sprintf {|{"rule":"%s","severity":"%s","location":%s,"message":"%s"}|}
+      (escape f.rule)
+      (severity_label f.severity)
+      (location_json f.location)
+      (escape f.message)
+  in
+  "[" ^ String.concat "," (List.map one fs) ^ "]"

@@ -1,0 +1,53 @@
+(** Diagnostics shared by every lint rule.
+
+    A finding is one diagnostic: the rule that fired, its severity, where
+    in the analyzed artifact it points (a process, an event of a process's
+    local history, a message id, a step of the global sequence, a channel,
+    or a decomposition group), and a human-readable message. All analysis
+    families ({!Trace_lint}, {!Decomp_lint}, {!Csp_lint}, {!Sanitizer})
+    report through this one type so reports, exit-code policies and
+    telemetry see a uniform stream. *)
+
+type severity = Error | Warning | Info
+
+val severity_label : severity -> string
+(** ["error"], ["warning"], ["info"]. *)
+
+val compare_severity : severity -> severity -> int
+(** [Error] is most severe (smallest). *)
+
+type location =
+  | Global  (** The artifact as a whole. *)
+  | Process of int
+  | Event of { proc : int; index : int }
+      (** Index into a process's local history. *)
+  | Message of int  (** A message id. *)
+  | Step of int  (** An index into the global step sequence. *)
+  | Channel of int * int  (** A (normalized) topology edge. *)
+  | Group of int  (** A decomposition group index. *)
+
+type t = {
+  rule : string;  (** Rule id, e.g. ["trace/self-message"]. *)
+  severity : severity;
+  location : location;
+  message : string;
+}
+
+val make : rule:string -> severity:severity -> location -> string -> t
+
+val errors : t list -> int
+val warnings : t list -> int
+val infos : t list -> int
+
+val by_severity : severity -> t list -> t list
+(** The findings with exactly that severity, original order preserved. *)
+
+val sort : t list -> t list
+(** Stable sort by decreasing severity (errors first). *)
+
+val pp_location : Format.formatter -> location -> unit
+val pp : Format.formatter -> t -> unit
+(** [error[trace/self-message] step 3: message P2 -> P2]. *)
+
+val to_json : t list -> string
+(** A JSON array of [{rule, severity, location, message}] objects. *)

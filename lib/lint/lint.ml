@@ -1,0 +1,85 @@
+module Finding = Finding
+module Rules = Rules
+module Trace_lint = Trace_lint
+module Decomp_lint = Decomp_lint
+module Csp_lint = Csp_lint
+module Sanitizer = Sanitizer
+module Trace = Synts_sync.Trace
+module Decomposition = Synts_graph.Decomposition
+module Online = Synts_core.Online
+module Script = Synts_net.Script
+module Tm = Synts_telemetry.Telemetry
+
+let m_runs = Tm.Counter.v ~help:"Lint runs recorded" "lint.runs"
+
+let m_errors =
+  Tm.Counter.v ~help:"Lint findings of severity error" "lint.findings_error"
+
+let m_warnings =
+  Tm.Counter.v ~help:"Lint findings of severity warning"
+    "lint.findings_warning"
+
+let m_infos =
+  Tm.Counter.v ~help:"Lint findings of severity info" "lint.findings_info"
+
+let audit ?decomposition trace =
+  let topology = Trace.topology trace in
+  let d =
+    match decomposition with
+    | Some d -> d
+    | None -> Decomposition.best topology
+  in
+  let trace_findings = Trace_lint.check ~topology trace in
+  let decomp_findings = Decomp_lint.check_decomposition topology d in
+  let script_findings = Csp_lint.check (Script.of_trace trace) in
+  (* Only stamp when the preconditions hold: stamping a trace whose
+     channels escape the decomposition would raise, which is exactly what
+     the findings above already diagnose. *)
+  let sanitizer_findings =
+    if Finding.errors (trace_findings @ decomp_findings) > 0 then []
+    else Sanitizer.check_trace d trace (Online.timestamp_trace d trace)
+  in
+  trace_findings @ decomp_findings @ script_findings @ sanitizer_findings
+
+let audit_scripts scripts = Csp_lint.check scripts
+
+type fail_on = [ `Error | `Warning | `Never ]
+
+let exit_code ~fail_on findings =
+  match fail_on with
+  | `Never -> 0
+  | `Error -> if Finding.errors findings > 0 then 1 else 0
+  | `Warning ->
+      if Finding.errors findings > 0 || Finding.warnings findings > 0 then 1
+      else 0
+
+let record findings =
+  Tm.Counter.incr m_runs;
+  Tm.Counter.add m_errors (Finding.errors findings);
+  Tm.Counter.add m_warnings (Finding.warnings findings);
+  Tm.Counter.add m_infos (Finding.infos findings)
+
+let summary findings =
+  let e = Finding.errors findings
+  and w = Finding.warnings findings
+  and i = Finding.infos findings in
+  if e = 0 && w = 0 && i = 0 then "clean"
+  else
+    let plural n word =
+      Printf.sprintf "%d %s%s" n word (if n = 1 then "" else "s")
+    in
+    String.concat ", "
+      [ plural e "error"; plural w "warning"; plural i "info" ]
+
+let pp_report ppf findings =
+  List.iter
+    (fun f -> Format.fprintf ppf "%a@." Finding.pp f)
+    (Finding.sort findings);
+  Format.fprintf ppf "lint: %s@." (summary findings)
+
+let to_json findings =
+  Printf.sprintf {|{"findings":%s,"errors":%d,"warnings":%d,"infos":%d}|}
+    (Finding.to_json (Finding.sort findings))
+    (Finding.errors findings)
+    (Finding.warnings findings)
+    (Finding.infos findings)

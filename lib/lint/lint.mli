@@ -1,0 +1,50 @@
+(** The `synts.lint` engine: one call per analysis family, a whole-pipeline
+    audit, reports, exit policies and telemetry.
+
+    Rule catalog and [--explain] live in {!Rules}; the families are
+    {!Trace_lint}, {!Decomp_lint}, {!Csp_lint} and the runtime
+    {!Sanitizer}. This module composes them: {!audit} takes a trace and
+    runs everything the paper's preconditions require before timestamps
+    can be trusted — trace well-formedness and crown-freedom, the
+    decomposition's Def. 2 obligations, the projected scripts' rendezvous
+    deadlock analysis, and a sanitized online-stamping replay. *)
+
+module Finding = Finding
+module Rules = Rules
+module Trace_lint = Trace_lint
+module Decomp_lint = Decomp_lint
+module Csp_lint = Csp_lint
+module Sanitizer = Sanitizer
+
+val audit :
+  ?decomposition:Synts_graph.Decomposition.t ->
+  Synts_sync.Trace.t ->
+  Finding.t list
+(** The full pipeline over one trace. The topology is the trace's own
+    communication graph; [decomposition] defaults to
+    [Decomposition.best] of it. Runs, in order: {!Trace_lint.check} (with
+    topology), {!Decomp_lint.check_decomposition},
+    {!Csp_lint.check} on the projected scripts, and
+    {!Sanitizer.check_trace} over a fresh online stamping. *)
+
+val audit_scripts : Synts_net.Script.t array -> Finding.t list
+(** The CSP family alone, for process-system files. *)
+
+type fail_on = [ `Error | `Warning | `Never ]
+
+val exit_code : fail_on:fail_on -> Finding.t list -> int
+(** 0, or 1 when a finding at or above the threshold exists. *)
+
+val record : Finding.t list -> unit
+(** Mirror severity counts into [synts.telemetry]
+    (["lint.findings_error"], ["lint.findings_warning"],
+    ["lint.findings_info"], plus a ["lint.runs"] counter). *)
+
+val pp_report : Format.formatter -> Finding.t list -> unit
+(** Sorted findings (errors first) followed by a one-line summary. *)
+
+val summary : Finding.t list -> string
+(** ["3 errors, 1 warning, 2 infos"] (or ["clean"]). *)
+
+val to_json : Finding.t list -> string
+(** [{"findings": [...], "errors": e, "warnings": w, "infos": i}]. *)

@@ -1,0 +1,372 @@
+type meta = {
+  id : string;
+  severity : Finding.severity;
+  summary : string;
+  rationale : string;
+  paper : string;
+}
+
+let e = Finding.Error
+let w = Finding.Warning
+let i = Finding.Info
+
+let all =
+  [
+    {
+      id = "trace/parse";
+      severity = e;
+      summary = "the input could not be parsed into a trace or system";
+      rationale =
+        "A trace file that fails to parse (or whose steps are rejected by \
+         the trace constructor) cannot be analyzed at all; every guarantee \
+         downstream is void. The parse error is surfaced as a finding so \
+         lint pipelines fail closed instead of crashing.";
+      paper = "Input validation; no specific paper claim.";
+    };
+    {
+      id = "trace/process-range";
+      severity = e;
+      summary = "a step names a process outside 0..N-1";
+      rationale =
+        "Every message endpoint and internal event must name one of the N \
+         declared processes. A dangling process id silently indexes out of \
+         every derived array (local vectors, histories, timestamps) and \
+         turns stamping into undefined behaviour.";
+      paper = "Paper Sec. 2 model: a fixed set of N processes.";
+    };
+    {
+      id = "trace/self-message";
+      severity = e;
+      summary = "a message has the same process as sender and receiver";
+      rationale =
+        "Synchronous messages atomically involve two distinct endpoint \
+         processes; a self-message has no rendezvous partner, corresponds \
+         to no channel of the topology, and breaks the one-edge-per-pair \
+         mapping the decomposition relies on.";
+      paper = "Paper Sec. 2 model; topology edges are irreflexive.";
+    };
+    {
+      id = "trace/order";
+      severity = e;
+      summary = "a process's local history is not strictly increasing";
+      rationale =
+        "Per-process event orders are projections of the global sequence, \
+         so local positions must be strictly increasing. A violation means \
+         the trace data structure is internally corrupt and every poset \
+         and clock built from it is meaningless.";
+      paper = "Paper Sec. 2: local orders are total.";
+    };
+    {
+      id = "trace/empty";
+      severity = i;
+      summary = "the trace contains no messages";
+      rationale =
+        "Not an error — but every timestamping question is vacuous, so an \
+         empty trace in a pipeline usually indicates a generator or \
+         recording bug worth knowing about.";
+      paper = "None.";
+    };
+    {
+      id = "trace/isolated-process";
+      severity = i;
+      summary = "a declared process never participates in any event";
+      rationale =
+        "Silent processes are legal but often indicate an off-by-one in \
+         the declared process count; they also inflate Fidge-Mattern \
+         baselines (N components) without contributing any ordering.";
+      paper = "None.";
+    };
+    {
+      id = "trace/unknown-channel";
+      severity = e;
+      summary = "a message uses a channel absent from the topology";
+      rationale =
+        "The online algorithm dedicates vector components to edge groups \
+         of the agreed topology; a message over an undeclared channel \
+         belongs to no group, so its increment is undefined and Theorem 4 \
+         no longer applies.";
+      paper = "Paper Def. 2 and Theorem 4 (decomposition covers E).";
+    };
+    {
+      id = "trace/fifo";
+      severity = w;
+      summary = "two same-channel messages are received out of send order";
+      rationale =
+        "Non-FIFO delivery between one ordered pair of processes reverses \
+         the two endpoints' views of the same message pair. In a \
+         computation claimed synchronous this is always part of a crown \
+         and is reported separately as the most actionable witness.";
+      paper =
+        "Charron-Bost, Mattern & Tel: RSC computations are FIFO; paper \
+         Sec. 2.";
+    };
+    {
+      id = "trace/crown";
+      severity = e;
+      summary = "the computation contains a crown (not synchronizable)";
+      rationale =
+        "A computation is realizable with synchronous (instantaneous) \
+         messages iff its direct message-precedence digraph is acyclic - \
+         equivalently, iff it is crown-free. On a crowned input the order \
+         (M, \\mapsto) is not a partial order and no vector assignment can \
+         encode it; stamping must not run.";
+      paper =
+        "Paper Sec. 2 (vertical-arrow drawability); Charron-Bost et al. \
+         crown criterion; cf. Skeen-style realizability specs.";
+    };
+    {
+      id = "decomp/malformed-group";
+      severity = e;
+      summary = "a group is not a well-formed star or triangle";
+      rationale =
+        "Each group must be a star (a center with a non-empty, duplicate- \
+         free leaf set excluding the center) or a triangle on three \
+         distinct vertices. A malformed group breaks the bijection between \
+         channels and vector components.";
+      paper = "Paper Def. 2 (stars and triangles).";
+    };
+    {
+      id = "decomp/foreign-edge";
+      severity = e;
+      summary = "a group contains an edge that is not in the topology";
+      rationale =
+        "Groups must partition exactly the topology's edge set E. An edge \
+         outside E wastes a component at best; at worst it signals the \
+         decomposition was computed for a different topology than the one \
+         being stamped.";
+      paper = "Paper Def. 2: {E1..Ed} is a partition of E.";
+    };
+    {
+      id = "decomp/duplicate-edge";
+      severity = e;
+      summary = "an edge is covered by more than one group";
+      rationale =
+        "If an edge lies in two groups, the protocol's increment step is \
+         ambiguous: the two endpoints may bump different components and \
+         derive different timestamps for the same message, breaking the \
+         agreement invariant of Figure 5.";
+      paper = "Paper Def. 2 (partition) and Fig. 5 lines 05-07.";
+    };
+    {
+      id = "decomp/uncovered-edge";
+      severity = e;
+      summary = "a topology edge is covered by no group";
+      rationale =
+        "A message over an uncovered edge has no component to increment; \
+         the online algorithm either crashes or silently produces vectors \
+         that miss orderings through that channel. Coverage of every edge \
+         exactly once is the precondition of Theorem 4.";
+      paper = "Paper Def. 2 and Theorem 4.";
+    };
+    {
+      id = "decomp/size-bound";
+      severity = w;
+      summary = "the decomposition exceeds the min(beta(G), N-2) guarantee";
+      rationale =
+        "Theorem 5 guarantees a decomposition of size at most min(beta(G), \
+         N-2) (beta = minimum vertex cover); the Figure 7 algorithm stays \
+         within twice the optimum (Theorem 6). A decomposition above the \
+         constructive bound is wasting timestamp components - rebuild it \
+         with the paper algorithm or a vertex-cover star decomposition.";
+      paper = "Paper Theorems 5-7.";
+    };
+    {
+      id = "decomp/loose";
+      severity = i;
+      summary = "bound-tightness report: gap between size and lower bound";
+      rationale =
+        "A maximal matching lower-bounds the optimal decomposition size \
+         (matched edges must lie in pairwise distinct groups). This \
+         informational finding reports d against that lower bound and \
+         against min(beta(G), N-2), quantifying how much of the timestamp \
+         width is provably necessary.";
+      paper = "Paper Theorems 5-7; matching bound.";
+    };
+    {
+      id = "csp/peer-range";
+      severity = e;
+      summary = "a script intent targets an invalid process";
+      rationale =
+        "A send or directed receive naming a process outside 0..N-1, or \
+         the process itself, can never rendezvous: the runtime fails the \
+         fiber at execution time, and the intent invalidates any static \
+         matching argument before that.";
+      paper = "CSP rendezvous semantics (paper Sec. 1 target model).";
+    };
+    {
+      id = "csp/unmatched-send";
+      severity = e;
+      summary = "sends to a process exceed its receive capacity";
+      rationale =
+        "Synchronous sends block until matched. If the total number of \
+         sends directed at a process exceeds its directed receives from \
+         the matching peers plus its wildcard receives, some sender blocks \
+         forever under every schedule.";
+      paper = "CSP rendezvous semantics; counting argument.";
+    };
+    {
+      id = "csp/unmatched-recv";
+      severity = e;
+      summary = "receives at a process exceed the sends directed at it";
+      rationale =
+        "A directed receive from p completes only if p sends; a wildcard \
+         receive needs some sender. If a process's receive count exceeds \
+         the sends aimed at it (per peer for directed receives, in total \
+         for wildcards), some receiver blocks forever under every \
+         schedule.";
+      paper = "CSP rendezvous semantics; counting argument.";
+    };
+    {
+      id = "csp/deadlock";
+      severity = e;
+      summary = "every schedule of the scripts deadlocks";
+      rationale =
+        "Exploring the rendezvous-matching state space found no schedule \
+         that completes all scripts: every maximal execution ends with \
+         blocked processes, i.e. the program deadlocks deterministically. \
+         The finding names a blocked wait-for cycle as witness.";
+      paper = "Static wait-for-graph / state-space analysis of rendezvous.";
+    };
+    {
+      id = "csp/may-deadlock";
+      severity = w;
+      summary = "some schedule of the scripts deadlocks";
+      rationale =
+        "The matching state space contains both completing and deadlocking \
+         executions - typically a wildcard-receive race. The program works \
+         under lucky schedules and hangs under others; the finding names a \
+         reachable blocked state's wait-for cycle.";
+      paper = "Static wait-for-graph / state-space analysis of rendezvous.";
+    };
+    {
+      id = "csp/analysis-budget";
+      severity = i;
+      summary = "deadlock exploration was truncated by its state budget";
+      rationale =
+        "The rendezvous state space grows with the antichain structure of \
+         the scripts; past the exploration budget the analysis degrades to \
+         the schedules it did visit. Absence of a deadlock finding is then \
+         only evidence, not proof.";
+      paper = "None (analysis engineering).";
+    };
+    {
+      id = "san/dimension";
+      severity = e;
+      summary = "an observed timestamp has the wrong number of components";
+      rationale =
+        "Every timestamp must have exactly one component per edge group of \
+         the agreed decomposition. A dimension mismatch means sender and \
+         receiver disagree on the decomposition itself, and no comparison \
+         is meaningful.";
+      paper = "Paper Fig. 5 (vectors of size d).";
+    };
+    {
+      id = "san/unknown-channel";
+      severity = e;
+      summary = "a stamped message travelled over an undecomposed channel";
+      rationale =
+        "The sanitizer cannot attribute the message to an edge group, so \
+         the mandatory increment (Fig. 5 line 06) has no target component. \
+         The run is using a decomposition of the wrong topology.";
+      paper = "Paper Def. 2 and Fig. 5.";
+    };
+    {
+      id = "san/stale-component";
+      severity = e;
+      summary = "a timestamp component went backwards";
+      rationale =
+        "Local vectors only grow: each message's timestamp is the \
+         componentwise maximum of both endpoints' vectors plus an \
+         increment, so every component must dominate both endpoints' \
+         previous values. A shrinking component is the classic symptom of \
+         a lost or reordered clock update and destroys the order \
+         embedding.";
+      paper =
+        "Paper Fig. 5 lines 05-07; monotonicity invariant as exploited by \
+         Vaidya & Kulkarni 2016 (Efficient Timestamps for Capturing \
+         Causality).";
+    };
+    {
+      id = "san/mismatch";
+      severity = e;
+      summary = "a timestamp differs from the Figure 5 protocol's value";
+      rationale =
+        "Replaying the edge-clock protocol in the sanitizer's shadow state \
+         yields the unique correct timestamp for each rendezvous: \
+         max(v_src, v_dst) with the channel's group component incremented. \
+         Any deviation - even one component - can flip a precedence answer \
+         (Eq. 1) for some message pair.";
+      paper = "Paper Fig. 5 and Theorem 4 (Equation (1)).";
+    };
+  ]
+  |> List.sort (fun a b -> compare a.id b.id)
+
+let find id = List.find_opt (fun m -> m.id = id) all
+
+let finding id loc msg =
+  match find id with
+  | None -> invalid_arg (Printf.sprintf "Rules.finding: unknown rule %S" id)
+  | Some m -> Finding.make ~rule:id ~severity:m.severity loc msg
+
+(* Classic two-row Levenshtein, for --explain suggestions. *)
+let edit_distance a b =
+  let la = String.length a and lb = String.length b in
+  let prev = Array.init (lb + 1) Fun.id in
+  let cur = Array.make (lb + 1) 0 in
+  for i = 1 to la do
+    cur.(0) <- i;
+    for j = 1 to lb do
+      let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+      cur.(j) <- min (min (cur.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost)
+    done;
+    Array.blit cur 0 prev 0 (lb + 1)
+  done;
+  prev.(lb)
+
+let suggestions id =
+  all
+  |> List.map (fun m -> (edit_distance id m.id, m.id))
+  |> List.sort compare
+  |> List.filteri (fun i (d, _) -> i < 3 && d <= max 3 (String.length id / 2))
+  |> List.map snd
+
+let wrap width text =
+  let words = String.split_on_char ' ' text in
+  let b = Buffer.create (String.length text + 16) in
+  let line = ref 0 in
+  List.iter
+    (fun w ->
+      if w <> "" then begin
+        let add = String.length w + if !line = 0 then 0 else 1 in
+        if !line > 0 && !line + add > width then begin
+          Buffer.add_char b '\n';
+          line := 0
+        end
+        else if !line > 0 then begin
+          Buffer.add_char b ' ';
+          incr line
+        end;
+        Buffer.add_string b w;
+        line := !line + String.length w
+      end)
+    words;
+  Buffer.contents b
+
+let explain id =
+  match find id with
+  | Some m ->
+      Ok
+        (Printf.sprintf "%s (%s)\n  %s\n\nRationale:\n%s\n\nEnforces:\n%s\n"
+           m.id
+           (Finding.severity_label m.severity)
+           m.summary
+           (wrap 72 m.rationale)
+           (wrap 72 m.paper))
+  | None ->
+      let base = Printf.sprintf "unknown rule id %S" id in
+      Error
+        (match suggestions id with
+        | [] ->
+            base ^ "\nknown rules:\n  "
+            ^ String.concat "\n  " (List.map (fun m -> m.id) all)
+        | s -> base ^ "\ndid you mean:\n  " ^ String.concat "\n  " s)

@@ -1,0 +1,29 @@
+(** The rule catalog.
+
+    Every lint rule is registered here with its id, default severity, a
+    one-line summary, a rationale paragraph and the paper theorem or
+    definition it enforces — the material behind [synts lint --explain].
+    Analysis modules create findings through {!finding} so a rule id can
+    never fire without being documented. *)
+
+type meta = {
+  id : string;  (** e.g. ["decomp/uncovered-edge"]. *)
+  severity : Finding.severity;
+  summary : string;  (** One line. *)
+  rationale : string;  (** Why this matters; wrapped on output. *)
+  paper : string;  (** Theorem/definition/source enforced. *)
+}
+
+val all : meta list
+(** Sorted by id. *)
+
+val find : string -> meta option
+
+val finding : string -> Finding.location -> string -> Finding.t
+(** [finding id loc msg] with the registered severity. Raises
+    [Invalid_argument] on an unregistered id — a library bug, not a user
+    error. *)
+
+val explain : string -> (string, string) result
+(** [Ok text] renders the rule's documentation; [Error msg] for an unknown
+    id, with a "did you mean" suggestion list of the closest ids. *)

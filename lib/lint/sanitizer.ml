@@ -1,0 +1,125 @@
+module Decomposition = Synts_graph.Decomposition
+module Vector = Synts_clock.Vector
+module Trace = Synts_sync.Trace
+module Tm = Synts_telemetry.Telemetry
+
+let m_violations =
+  Tm.Counter.v ~help:"Sanitizer findings of error severity"
+    "lint.sanitizer_violations"
+
+let m_observed =
+  Tm.Counter.v ~help:"Message timestamps observed by sanitizers"
+    "lint.sanitizer_observations"
+
+type t = {
+  decomposition : Decomposition.t;
+  n : int;
+  dim : int;
+  local : Vector.t array;  (** Shadow vector per process. *)
+  mutable seen : int;  (** Messages observed. *)
+  mutable findings : Finding.t list;  (** Reversed. *)
+}
+
+let create decomposition ~n =
+  let dim = Decomposition.size decomposition in
+  {
+    decomposition;
+    n;
+    dim;
+    local = Array.init n (fun _ -> Vector.zero dim);
+    seen = 0;
+    findings = [];
+  }
+
+let record t f =
+  t.findings <- f :: t.findings;
+  if f.Finding.severity = Finding.Error then Tm.Counter.incr m_violations
+
+let observe t ~src ~dst observed =
+  let id = t.seen in
+  t.seen <- t.seen + 1;
+  Tm.Counter.incr m_observed;
+  let in_range p = p >= 0 && p < t.n in
+  if (not (in_range src)) || (not (in_range dst)) || src = dst then
+    record t
+      (Rules.finding "san/unknown-channel" (Finding.Message id)
+         (Printf.sprintf "message P%d -> P%d names no valid channel" src dst))
+  else if Vector.size observed <> t.dim then
+    record t
+      (Rules.finding "san/dimension" (Finding.Message id)
+         (Printf.sprintf "timestamp has %d component(s), decomposition has %d"
+            (Vector.size observed) t.dim))
+  else
+    match Decomposition.group_of_edge t.decomposition src dst with
+    | exception Not_found ->
+        record t
+          (Rules.finding "san/unknown-channel" (Finding.Message id)
+             (Printf.sprintf
+                "channel (%d,%d) belongs to no edge group of the \
+                 decomposition"
+                (min src dst) (max src dst)))
+    | group ->
+        let expected = Vector.merge t.local.(src) t.local.(dst) in
+        (* Monotonicity first: a shrinking component is the sharper
+           diagnosis than a bare mismatch. *)
+        let stale = ref None in
+        for k = t.dim - 1 downto 0 do
+          if observed.(k) < expected.(k) then stale := Some k
+        done;
+        Vector.incr expected group;
+        (match !stale with
+        | Some k ->
+            record t
+              (Rules.finding "san/stale-component" (Finding.Message id)
+                 (Printf.sprintf
+                    "component %d went backwards: observed %d < %d known to \
+                     both P%d and P%d"
+                    k observed.(k)
+                    (expected.(k) - if k = group then 1 else 0)
+                    src dst))
+        | None ->
+            if not (Vector.equal observed expected) then
+              record t
+                (Rules.finding "san/mismatch" (Finding.Message id)
+                   (Printf.sprintf
+                      "m%d P%d -> P%d: observed %s, Fig. 5 protocol derives %s"
+                      id src dst
+                      (Vector.to_string observed)
+                      (Vector.to_string expected))));
+        (* Adopt the observed vector (joined with the expectation) so one
+           corruption is one finding, not a cascade. *)
+        let adopted = Vector.merge expected observed in
+        t.local.(src) <- Vector.copy adopted;
+        t.local.(dst) <- adopted
+
+let observe_internal _ ~proc:_ = ()
+
+let hook t ~src ~dst v = observe t ~src ~dst v
+
+let wrap t stamper ~src ~dst =
+  let v = stamper ~src ~dst in
+  observe t ~src ~dst v;
+  v
+
+let findings t = List.rev t.findings
+
+let violations t =
+  List.length
+    (List.filter (fun f -> f.Finding.severity = Finding.Error) t.findings)
+
+let messages_observed t = t.seen
+
+let check_trace decomposition trace timestamps =
+  let t = create decomposition ~n:(Trace.n trace) in
+  if Array.length timestamps <> Trace.message_count trace then
+    record t
+      (Rules.finding "san/dimension" Finding.Global
+         (Printf.sprintf "%d timestamp(s) for %d message(s)"
+            (Array.length timestamps)
+            (Trace.message_count trace)))
+  else
+    Array.iter
+      (fun (m : Trace.message) ->
+        observe t ~src:m.Trace.src ~dst:m.Trace.dst timestamps.(m.Trace.id))
+      (Trace.messages trace);
+  findings t

@@ -1,0 +1,61 @@
+(** Runtime sanitizer for vector timestamps (the "run under" mode).
+
+    A sanitizer shadows the Figure 5 protocol: it keeps its own per-process
+    vectors for an agreed decomposition and, for every observed message
+    timestamp, checks (1) {e monotonicity} — every component dominates both
+    endpoints' previous vectors, none goes backwards; and (2) {e edge-clock
+    consistency} — the timestamp equals max(v_src, v_dst) with the
+    channel's group component incremented, the unique value the protocol
+    derives. Violations become findings instead of crashes, so a corrupted
+    run keeps executing and yields a diagnosis; after a deviation the
+    shadow state adopts the observed vector so one corruption does not
+    cascade into a finding per subsequent message.
+
+    Hook it into the CSP runtime via [Runtime.run ~on_stamp:(hook s)], wrap
+    any streaming stamper with {!wrap}, or audit a whole offline run with
+    {!check_trace}. Violation counts are mirrored into [synts.telemetry]
+    (["lint.sanitizer_violations"]). *)
+
+type t
+
+val create : Synts_graph.Decomposition.t -> n:int -> t
+(** [n] is the process count; must equal the decomposed topology's vertex
+    count for channels to resolve. *)
+
+val observe : t -> src:int -> dst:int -> Synts_clock.Vector.t -> unit
+(** Feed the next message timestamp, in rendezvous order. Rules:
+    [san/dimension], [san/unknown-channel], [san/stale-component],
+    [san/mismatch] — recorded, never raised. *)
+
+val observe_internal : t -> proc:int -> unit
+(** Internal events carry no vector and nothing to check; accepted so an
+    observation stream can forward every event uniformly. *)
+
+val hook : t -> src:int -> dst:int -> Synts_clock.Vector.t -> unit
+(** {!observe} with the labelled-argument shape of the CSP runtime's
+    [on_stamp] callback. *)
+
+val wrap :
+  t ->
+  (src:int -> dst:int -> Synts_clock.Vector.t) ->
+  src:int ->
+  dst:int ->
+  Synts_clock.Vector.t
+(** Run a streaming stamper under the sanitizer: same results, every
+    stamp observed. *)
+
+val findings : t -> Finding.t list
+(** Everything recorded so far, in observation order. *)
+
+val violations : t -> int
+(** Error-severity findings recorded so far. *)
+
+val messages_observed : t -> int
+
+val check_trace :
+  Synts_graph.Decomposition.t ->
+  Synts_sync.Trace.t ->
+  Synts_clock.Vector.t array ->
+  Finding.t list
+(** Audit a completed run: drive a fresh sanitizer over the trace's
+    messages in occurrence order against [timestamps.(id)]. *)

@@ -1,0 +1,192 @@
+module Trace = Synts_sync.Trace
+module Async_trace = Synts_sync.Async_trace
+module Synchronous = Synts_sync.Synchronous
+module Graph = Synts_graph.Graph
+
+let check_steps ~n steps =
+  let fs = ref [] in
+  let add f = fs := f :: !fs in
+  if n < 1 then
+    add
+      (Rules.finding "trace/process-range" Finding.Global
+         (Printf.sprintf "process count %d; a trace needs at least one process"
+            n));
+  List.iteri
+    (fun i step ->
+      let bad p role =
+        if p < 0 || p >= n then
+          add
+            (Rules.finding "trace/process-range" (Finding.Step i)
+               (Printf.sprintf "%s P%d is outside 0..%d" role p (n - 1)))
+      in
+      match step with
+      | Trace.Send (src, dst) ->
+          bad src "sender";
+          bad dst "receiver";
+          if src = dst then
+            add
+              (Rules.finding "trace/self-message" (Finding.Step i)
+                 (Printf.sprintf
+                    "message P%d -> P%d: a synchronous message needs two \
+                     distinct endpoints"
+                    src dst))
+      | Trace.Local p -> bad p "process")
+    steps;
+  List.rev !fs
+
+(* ---------- asynchronous realizability ---------- *)
+
+(* Direct precedence digraph over message ids; adjacency from the
+   consecutive per-process pairs (their closure is the full relation). *)
+let direct_adjacency at =
+  let k = Async_trace.message_count at in
+  let adj = Array.make k [] in
+  List.iter
+    (fun (m1, m2) -> adj.(m1) <- m2 :: adj.(m1))
+    (Synchronous.direct_message_pairs at);
+  adj
+
+let crown_witness at =
+  let k = Async_trace.message_count at in
+  let adj = direct_adjacency at in
+  (* DFS cycle detection with an explicit path for the witness. *)
+  let state = Array.make k `White in
+  let cycle = ref None in
+  let rec dfs path m =
+    if !cycle = None then begin
+      state.(m) <- `Grey;
+      List.iter
+        (fun m' ->
+          if !cycle = None then
+            match state.(m') with
+            | `Grey ->
+                (* Path back to m' closes the cycle. *)
+                let rec take = function
+                  | [] -> []
+                  | x :: rest -> if x = m' then [ x ] else x :: take rest
+                in
+                cycle := Some (List.rev (take (m :: path)))
+            | `White -> dfs (m :: path) m'
+            | `Black -> ())
+        adj.(m);
+      if !cycle = None then state.(m) <- `Black
+    end
+  in
+  for m = 0 to k - 1 do
+    if state.(m) = `White then dfs [] m
+  done;
+  !cycle
+
+let check_async at =
+  let fs = ref [] in
+  let add f = fs := f :: !fs in
+  let n = Async_trace.n at in
+  (* FIFO: for each ordered pair (p, q), the order in which q receives
+     p's messages must equal the order in which p sent them. *)
+  let sends = Hashtbl.create 16 and recvs = Hashtbl.create 16 in
+  let push tbl key m =
+    Hashtbl.replace tbl key (m :: Option.value ~default:[] (Hashtbl.find_opt tbl key))
+  in
+  for p = 0 to n - 1 do
+    List.iter
+      (fun ev ->
+        match ev with
+        | Async_trace.ASend m -> push sends (p, Async_trace.receiver at m) m
+        | Async_trace.ARecv m -> push recvs (Async_trace.sender at m, p) m
+        | Async_trace.ALocal -> ())
+      (Async_trace.history at p)
+  done;
+  Hashtbl.iter
+    (fun (p, q) ms ->
+      let sent = List.rev ms in
+      let received = List.rev (Option.value ~default:[] (Hashtbl.find_opt recvs (p, q))) in
+      (* Both lists hold exactly the p->q messages; compare orders. *)
+      let order l = List.mapi (fun i m -> (m, i)) l in
+      let pos = order received in
+      let rec scan last = function
+        | [] -> ()
+        | m :: rest -> (
+            match List.assoc_opt m pos with
+            | None -> scan last rest
+            | Some i ->
+                (match last with
+                | Some (m0, i0) when i < i0 ->
+                    add
+                      (Rules.finding "trace/fifo" (Finding.Message m)
+                         (Printf.sprintf
+                            "P%d -> P%d: m%d was sent after m%d but received \
+                             before it"
+                            p q m m0))
+                | _ -> ());
+                scan (Some (m, i)) rest)
+      in
+      scan None sent)
+    sends;
+  (* Crown detection: a cycle in the direct precedence digraph. *)
+  (match crown_witness at with
+  | None -> ()
+  | Some cycle ->
+      let head = match cycle with m :: _ -> m | [] -> 0 in
+      add
+        (Rules.finding "trace/crown" (Finding.Message head)
+           (Printf.sprintf
+              "not synchronously realizable: crown %s"
+              (String.concat " > "
+                 (List.map (fun m -> Printf.sprintf "m%d" m)
+                    (cycle @ [ head ]))))));
+  List.rev !fs
+
+let check ?topology trace =
+  let fs = ref [] in
+  let add f = fs := f :: !fs in
+  let n = Trace.n trace in
+  if Trace.message_count trace = 0 then
+    add (Rules.finding "trace/empty" Finding.Global "the trace has no messages");
+  (* Defensive re-check of the constructor's invariants. *)
+  List.iter (fun f -> add f) (check_steps ~n (Trace.steps trace));
+  for p = 0 to n - 1 do
+    let history = Trace.process_history trace p in
+    if history = [] then
+      add
+        (Rules.finding "trace/isolated-process" (Finding.Process p)
+           (Printf.sprintf "P%d never sends, receives or acts" p));
+    let pos = function
+      | Trace.Msg m -> m.Trace.pos
+      | Trace.Int e -> e.Trace.pos
+    in
+    let rec mono index = function
+      | a :: (b :: _ as rest) ->
+          if pos b <= pos a then
+            add
+              (Rules.finding "trace/order"
+                 (Finding.Event { proc = p; index = index + 1 })
+                 (Printf.sprintf
+                    "P%d: occurrence %d (position %d) does not come after \
+                     occurrence %d (position %d)"
+                    p (index + 1) (pos b) index (pos a)));
+          mono (index + 1) rest
+      | _ -> ()
+    in
+    mono 0 history
+  done;
+  (match topology with
+  | None -> ()
+  | Some g ->
+      Array.iter
+        (fun (m : Trace.message) ->
+          let src = m.Trace.src and dst = m.Trace.dst in
+          let in_range p = p >= 0 && p < Graph.n g in
+          if
+            (not (in_range src)) || (not (in_range dst)) || src = dst
+            || not (Graph.has_edge g src dst)
+          then
+            add
+              (Rules.finding "trace/unknown-channel" (Finding.Message m.Trace.id)
+                 (Printf.sprintf
+                    "m%d travels P%d -> P%d but the topology has no edge \
+                     (%d,%d)"
+                    m.Trace.id src dst (min src dst) (max src dst))))
+        (Trace.messages trace));
+  (* Realizability proof: the asynchronous view must be crown-free. *)
+  List.iter (fun f -> add f) (check_async (Async_trace.of_trace trace));
+  List.rev !fs

@@ -1,0 +1,35 @@
+(** Static analysis of synchronous and asynchronous traces.
+
+    Three entry points, from rawest to richest input:
+
+    - {!check_steps} lints a raw step list before it is ever promoted to a
+      {!Synts_sync.Trace.t} — this is where dangling process ids and
+      self-messages are caught, since the trace constructor rejects them;
+    - {!check} lints a constructed trace: defensive well-formedness
+      (per-process order, silent processes) plus, when a topology is
+      supplied, channel coverage;
+    - {!check_async} decides synchronous realizability of an asynchronous
+      computation: FIFO violations and {e crown} detection (a cycle in the
+      direct message-precedence digraph), reporting a witness cycle. *)
+
+val check_steps : n:int -> Synts_sync.Trace.step list -> Finding.t list
+(** [trace/process-range] and [trace/self-message], located by step
+    index. [n < 1] is itself a [trace/process-range] finding. *)
+
+val check :
+  ?topology:Synts_graph.Graph.t -> Synts_sync.Trace.t -> Finding.t list
+(** [trace/order], [trace/empty], [trace/isolated-process]; with
+    [topology], [trace/unknown-channel] for every message over an edge the
+    graph lacks. Also re-runs the realizability analysis of {!check_async}
+    on the trace's asynchronous view — a constructed trace is always
+    crown-free, so a [trace/crown] here means memory corruption, but the
+    proof is the point: stamping is only justified on a crown-free input. *)
+
+val check_async : Synts_sync.Async_trace.t -> Finding.t list
+(** [trace/fifo] (same-channel messages received out of send order) and
+    [trace/crown] (the computation is not synchronously realizable), the
+    latter with a [m_a > m_b > ... > m_a] witness cycle in the message. *)
+
+val crown_witness : Synts_sync.Async_trace.t -> int list option
+(** A cycle of message ids in the direct-precedence digraph when the
+    computation is not synchronizable; [None] when it is. *)

@@ -431,6 +431,93 @@ let test_recovery_line_maximal =
       in
       line = maximum && Synts_detect.Cuts.consistent trace line)
 
+(* ---------- Boundary traces (cross-checked against the linter) ------- *)
+
+(* Degenerate inputs that historically break detection code: one process,
+   zero messages, and a maximum-width message poset (every pair
+   concurrent). Each trace is also pushed through the trace linter so
+   "valid boundary input" is asserted by an independent checker rather
+   than assumed. *)
+
+let lints_without_errors trace =
+  Synts_lint.Finding.errors
+    (Synts_lint.Trace_lint.check ~topology:(Trace.topology trace) trace)
+  = 0
+
+let test_boundary_single_process () =
+  let trace = Trace.of_steps_exn ~n:1 [ Local 0; Local 0; Local 0 ] in
+  Alcotest.(check bool) "lints clean" true (lints_without_errors trace);
+  let failure = { Orphan.proc = 0; survives = 0 } in
+  Alcotest.(check (list int)) "nothing to lose" []
+    (Orphan.lost_messages trace failure);
+  Alcotest.(check (list int)) "no orphans" []
+    (Orphan.orphans trace [||] failure);
+  (* A single monitored process needs no overlap: its first interval is a
+     complete witness. *)
+  let iv since until =
+    { Predicate.proc = 0; since = [| since |];
+      until = Option.map (fun u -> [| u |]) until }
+  in
+  let m = Wcp_monitor.create ~processes:[ 0 ] in
+  (match Wcp_monitor.add m (iv 0 (Some 1)) with
+  | Some [ _ ] -> ()
+  | _ -> Alcotest.fail "single-process witness expected")
+
+let test_boundary_zero_messages () =
+  let trace = Trace.of_steps_exn ~n:2 [] in
+  Alcotest.(check bool) "lints clean" true (lints_without_errors trace);
+  Alcotest.(check int) "no messages" 0 (Trace.message_count trace);
+  let failure = { Orphan.proc = 1; survives = 0 } in
+  Alcotest.(check (list int)) "no orphans" []
+    (Orphan.orphans trace [||] failure);
+  Alcotest.(check (list int)) "nothing lost, nobody rolls back" []
+    (Orphan.rollback_processes trace [||] failure);
+  (* A monitor over processes that never report stays pending forever. *)
+  let m = Wcp_monitor.create ~processes:[ 0; 1 ] in
+  Alcotest.(check bool) "no witness" true (Wcp_monitor.witness m = None)
+
+let test_boundary_max_width () =
+  (* Three disjoint messages: the message poset is an antichain of width
+     3, and the three post-message internal events are pairwise
+     concurrent. *)
+  let trace =
+    Trace.of_steps_exn ~n:6
+      [ Send (0, 1); Local 1; Send (2, 3); Local 3; Send (4, 5); Local 5 ]
+  in
+  Alcotest.(check bool) "lints clean" true (lints_without_errors trace);
+  let d = Decomposition.best (Trace.topology trace) in
+  let ts = Online.timestamp_trace d trace in
+  (* Every message is pairwise concurrent with the others. *)
+  let poset = Oracle.message_poset trace in
+  for i = 0 to 2 do
+    for j = 0 to 2 do
+      if i <> j then
+        Alcotest.(check bool)
+          (Printf.sprintf "m%d || m%d" i j)
+          false (Poset.lt poset i j)
+    done
+  done;
+  (* Losing one message orphans only it; the width-3 remainder stands. *)
+  let failure = { Orphan.proc = 0; survives = 0 } in
+  Alcotest.(check (list int)) "only m0 orphaned" [ 0 ]
+    (Orphan.orphans trace ts failure);
+  Alcotest.(check (list int)) "antichain rest stable" [ 1; 2 ]
+    (Orphan.stable_messages trace ts failure);
+  (* The online monitor finds the width-3 witness. *)
+  let stamps = Internal_events.of_trace d trace in
+  let m = Wcp_monitor.create ~processes:[ 1; 3; 5 ] in
+  let witness =
+    Array.fold_left
+      (fun acc s ->
+        match acc with
+        | Some _ -> acc
+        | None -> Wcp_monitor.add m (Predicate.interval_of_internal s))
+      None stamps
+  in
+  match witness with
+  | Some w -> Alcotest.(check int) "three-way witness" 3 (List.length w)
+  | None -> Alcotest.fail "max-width witness expected"
+
 (* ---------- Consistent cuts and definitely ---------- *)
 
 module Cuts = Synts_detect.Cuts
@@ -630,6 +717,14 @@ let () =
           Alcotest.test_case "unaffected pair" `Quick
             test_recovery_line_unaffected;
           test_recovery_line_maximal;
+        ] );
+      ( "boundary",
+        [
+          Alcotest.test_case "single process" `Quick
+            test_boundary_single_process;
+          Alcotest.test_case "zero messages" `Quick
+            test_boundary_zero_messages;
+          Alcotest.test_case "max-width poset" `Quick test_boundary_max_width;
         ] );
       ( "orphan",
         [

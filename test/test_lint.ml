@@ -1,0 +1,399 @@
+(* The lint engine: clean inputs lint clean, and every mutation-style
+   corruption is flagged by at least one rule.
+
+   The static analyses only earn their keep if they are both quiet on the
+   workload generator's output (no false alarms) and loud on each class of
+   corruption the paper's preconditions rule out: dangling endpoints,
+   broken per-process order, non-synchronizable (crowned) computations,
+   decompositions violating Def. 2, rendezvous deadlocks, and protocol
+   stamps that diverge from the Figure 5 expectation. *)
+
+module Graph = Synts_graph.Graph
+module Topology = Synts_graph.Topology
+module Decomposition = Synts_graph.Decomposition
+module Trace = Synts_sync.Trace
+module Async_trace = Synts_sync.Async_trace
+module Vector = Synts_clock.Vector
+module Online = Synts_core.Online
+module Script = Synts_net.Script
+module Validate = Synts_check.Validate
+module Gen = Synts_test_support.Gen
+module Lint = Synts_lint.Lint
+module Finding = Synts_lint.Finding
+module Rules = Synts_lint.Rules
+module Trace_lint = Synts_lint.Trace_lint
+module Decomp_lint = Synts_lint.Decomp_lint
+module Csp_lint = Synts_lint.Csp_lint
+module Sanitizer = Synts_lint.Sanitizer
+
+let qtest ?(count = 250) name gen print f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name ~print gen f)
+
+let fired rule findings = List.exists (fun f -> f.Finding.rule = rule) findings
+
+let fired_any rules findings =
+  List.exists (fun f -> List.mem f.Finding.rule rules) findings
+
+(* ---------- clean inputs lint clean ---------- *)
+
+let test_workload_lints_clean =
+  qtest "generated workloads audit with zero errors" Gen.computation
+    Gen.computation_print (fun c ->
+      let _g, trace = Gen.build_computation c in
+      Finding.errors (Lint.audit trace) = 0)
+
+(* ---------- endpoint corruption ---------- *)
+
+let endpoint_gen =
+  QCheck2.Gen.(
+    let* c = Gen.computation in
+    let* victim = int_bound 10_000 in
+    let* kind = oneofl [ `Self; `Dangling ] in
+    return (c, victim, kind))
+
+let endpoint_print (c, v, kind) =
+  Printf.sprintf "%s victim=%d kind=%s" (Gen.computation_print c) v
+    (match kind with `Self -> "self" | `Dangling -> "dangling")
+
+let test_endpoint_corruption_flagged =
+  qtest "corrupted endpoints are flagged" endpoint_gen endpoint_print
+    (fun (c, victim, kind) ->
+      let _g, trace = Gen.build_computation c in
+      let sends =
+        List.filter
+          (function Trace.Send _ -> true | Trace.Local _ -> false)
+          (Trace.steps trace)
+      in
+      if sends = [] then true
+      else begin
+        let n = Trace.n trace in
+        let victim = victim mod List.length sends in
+        let msg_seen = ref (-1) in
+        let steps =
+          List.map
+            (fun step ->
+              match step with
+              | Trace.Local _ -> step
+              | Trace.Send (src, dst) ->
+                  incr msg_seen;
+                  if !msg_seen <> victim then step
+                  else begin
+                    match kind with
+                    | `Self -> Trace.Send (src, src)
+                    | `Dangling -> Trace.Send (src, n + 3 + dst)
+                  end)
+            (Trace.steps trace)
+        in
+        let findings = Trace_lint.check_steps ~n steps in
+        match kind with
+        | `Self -> fired "trace/self-message" findings
+        | `Dangling -> fired "trace/process-range" findings
+      end)
+
+(* ---------- FIFO / crown corruption ---------- *)
+
+(* Swap the receive order of two same-channel messages: the receiver now
+   contradicts the sender's order, which is both a FIFO violation and (as
+   a crossed pair) a two-message crown. *)
+let test_order_swap_flagged =
+  qtest "same-channel receive swap is flagged" Gen.computation
+    Gen.computation_print (fun c ->
+      let _g, trace = Gen.build_computation c in
+      let by_channel = Hashtbl.create 16 in
+      Array.iter
+        (fun (m : Trace.message) ->
+          let key = (m.Trace.src, m.Trace.dst) in
+          let prev = try Hashtbl.find by_channel key with Not_found -> [] in
+          Hashtbl.replace by_channel key (m.Trace.id :: prev))
+        (Trace.messages trace);
+      let victim =
+        Hashtbl.fold
+          (fun _ ids acc ->
+            match (acc, ids) with
+            | None, m2 :: m1 :: _ -> Some (m1, m2)
+            | acc, _ -> acc)
+          by_channel None
+      in
+      match victim with
+      | None -> true (* no channel carries two messages; nothing to swap *)
+      | Some (m1, m2) ->
+          let async = Async_trace.of_trace trace in
+          let n = Async_trace.n async in
+          let q = Async_trace.receiver async m1 in
+          let swap = function
+            | Async_trace.ARecv m when m = m1 -> Async_trace.ARecv m2
+            | Async_trace.ARecv m when m = m2 -> Async_trace.ARecv m1
+            | e -> e
+          in
+          let histories =
+            Array.init n (fun p ->
+                let h = Async_trace.history async p in
+                if p = q then List.map swap h else h)
+          in
+          let mutated = Async_trace.make_exn ~n histories in
+          fired_any [ "trace/fifo"; "trace/crown" ]
+            (Trace_lint.check_async mutated))
+
+(* ---------- decomposition corruption ---------- *)
+
+let drop_gen =
+  QCheck2.Gen.(
+    let* c = Gen.computation in
+    let* victim = int_bound 10_000 in
+    return (c, victim))
+
+let drop_print (c, v) =
+  Printf.sprintf "%s drop=%d" (Gen.computation_print c) v
+
+let test_dropped_group_flagged =
+  qtest "dropping a decomposition group leaves an edge uncovered" drop_gen
+    drop_print (fun (c, victim) ->
+      let g, _trace = Gen.build_computation c in
+      let d = Decomposition.best g in
+      let groups = Decomposition.groups d in
+      if groups = [] then true
+      else begin
+        let victim = victim mod List.length groups in
+        let kept = List.filteri (fun i _ -> i <> victim) groups in
+        fired "decomp/uncovered-edge" (Decomp_lint.check g kept)
+      end)
+
+(* ---------- sanitizer: stamp corruption ---------- *)
+
+let stamp_gen =
+  QCheck2.Gen.(
+    let* c = Gen.computation in
+    let* victim = int_bound 10_000 in
+    let* component = int_bound 10_000 in
+    let* delta = oneofl [ -2; -1; 1; 2; 5 ] in
+    return (c, victim, component, delta))
+
+let stamp_print (c, v, k, d) =
+  Printf.sprintf "%s victim=%d comp=%d delta=%d" (Gen.computation_print c) v k d
+
+let test_stamp_corruption_flagged =
+  qtest "any single-component stamp corruption is flagged" stamp_gen
+    stamp_print (fun (c, victim, component, delta) ->
+      let g, trace = Gen.build_computation c in
+      if Trace.message_count trace = 0 then true
+      else begin
+        let d = Decomposition.best g in
+        let ts = Online.timestamp_trace d trace in
+        let victim = victim mod Trace.message_count trace in
+        let component = component mod Vector.size ts.(0) in
+        let mutated = Array.map Vector.copy ts in
+        mutated.(victim).(component) <-
+          max 0 (mutated.(victim).(component) + delta);
+        if Vector.equal mutated.(victim) ts.(victim) then true
+        else begin
+          (* The Figure 5 stamp is the unique protocol value, so the
+             sanitizer's deterministic expectation must differ at the
+             victim. *)
+          let findings = Sanitizer.check_trace d trace mutated in
+          fired_any [ "san/mismatch"; "san/stale-component" ] findings
+        end
+      end)
+
+let test_sanitizer_clean_stamps () =
+  let g = Topology.star 4 in
+  let trace =
+    Trace.of_steps_exn ~n:4 [ Send (0, 1); Send (1, 0); Send (0, 2); Local 3 ]
+  in
+  let d = Decomposition.best g in
+  let ts = Online.timestamp_trace d trace in
+  Alcotest.(check (list reject))
+    "protocol stamps sanitize clean" []
+    (Sanitizer.check_trace d trace ts)
+
+(* ---------- sanitizer under the CSP runtime (acceptance criterion) ---- *)
+
+module R = Synts_csp.Runtime.Make (struct
+  type msg = int
+end)
+
+let pipeline_programs : (R.api -> unit) array =
+  [|
+    (fun api -> ignore (api.R.send 1 10));
+    (fun api ->
+      let _, payload, _ = api.R.recv () in
+      ignore (api.R.send 2 (payload + 1)));
+    (fun api -> ignore (api.R.recv ()));
+  |]
+
+let test_runtime_under_sanitizer_clean () =
+  let d = Decomposition.best (Topology.path 3) in
+  let s = Sanitizer.create d ~n:3 in
+  let outcome =
+    R.run ~seed:7 ~decomposition:d ~on_stamp:(Sanitizer.hook s) ~n:3
+      pipeline_programs
+  in
+  Alcotest.(check (list int)) "no deadlock" [] outcome.R.deadlocked;
+  Alcotest.(check int) "both stamps observed" 2 (Sanitizer.messages_observed s);
+  Alcotest.(check int) "zero violations" 0 (Sanitizer.violations s)
+
+let test_runtime_under_sanitizer_corrupted () =
+  let d = Decomposition.best (Topology.path 3) in
+  let s = Sanitizer.create d ~n:3 in
+  let corrupting ~src ~dst v =
+    let v' = Vector.copy v in
+    v'.(0) <- v'.(0) + 3;
+    Sanitizer.hook s ~src ~dst v'
+  in
+  let _ =
+    R.run ~seed:7 ~decomposition:d ~on_stamp:corrupting ~n:3 pipeline_programs
+  in
+  Alcotest.(check bool)
+    "corrupted edge clock flagged" true
+    (Sanitizer.violations s >= 1)
+
+(* ---------- CSP deadlock analysis ---------- *)
+
+let parse_exn text =
+  match Script.parse_system text with
+  | Ok scripts -> scripts
+  | Error e -> Alcotest.failf "parse_system: %s" e
+
+let test_csp_deadlock () =
+  (* Both receive before they send: blocked under every schedule. *)
+  let scripts = parse_exn "P0: ?1 . !1\nP1: ?0 . !0" in
+  Alcotest.(check bool)
+    "cyclic wait flagged" true
+    (fired "csp/deadlock" (Csp_lint.check scripts))
+
+let test_csp_may_deadlock () =
+  (* The wildcard race: if P0's ?* takes P1's message, the later ?1 waits
+     forever while P2 blocks; if it takes P2's, everything completes. *)
+  let scripts = parse_exn "P0: ?* . ?1\nP1: !0\nP2: !0" in
+  Alcotest.(check bool)
+    "wildcard race flagged" true
+    (fired "csp/may-deadlock" (Csp_lint.check scripts))
+
+let test_csp_unmatched () =
+  let scripts = parse_exn "P0: !1 . !1\nP1: ?0" in
+  Alcotest.(check bool)
+    "excess sends flagged" true
+    (fired "csp/unmatched-send" (Csp_lint.check scripts))
+
+let test_csp_clean_projection () =
+  let trace =
+    Trace.of_steps_exn ~n:3 [ Send (0, 1); Send (1, 2); Send (2, 0) ]
+  in
+  Alcotest.(check int)
+    "projected scripts have no errors" 0
+    (Finding.errors (Csp_lint.check (Script.of_trace trace)))
+
+(* ---------- crown unit ---------- *)
+
+let test_crown_flagged () =
+  let findings = Trace_lint.check_async (Async_trace.crown ()) in
+  Alcotest.(check bool) "crown detected" true (fired "trace/crown" findings)
+
+let test_crown_witness_none () =
+  let trace = Trace.of_steps_exn ~n:2 [ Send (0, 1); Send (1, 0) ] in
+  Alcotest.(check bool)
+    "synchronous trace has no crown" true
+    (Trace_lint.crown_witness (Async_trace.of_trace trace) = None)
+
+(* ---------- rule catalog / --explain ---------- *)
+
+let test_explain_every_rule () =
+  List.iter
+    (fun (m : Rules.meta) ->
+      match Rules.explain m.Rules.id with
+      | Ok text ->
+          Alcotest.(check bool)
+            (m.Rules.id ^ " explain mentions the id")
+            true
+            (String.length text > String.length m.Rules.id)
+      | Error e -> Alcotest.failf "explain %s failed: %s" m.Rules.id e)
+    Rules.all
+
+let test_explain_unknown_suggests () =
+  match Rules.explain "trace/crwn" with
+  | Ok _ -> Alcotest.fail "unknown rule id accepted"
+  | Error msg ->
+      let mentions needle =
+        let open String in
+        let n = length needle and h = length msg in
+        let rec go i = i + n <= h && (sub msg i n = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool)
+        "suggests trace/crown" true (mentions "trace/crown")
+
+(* ---------- report plumbing ---------- *)
+
+let test_exit_codes () =
+  let w = Rules.finding "trace/fifo" Finding.Global "w" in
+  let e = Rules.finding "trace/crown" Finding.Global "e" in
+  Alcotest.(check int) "clean" 0 (Lint.exit_code ~fail_on:`Error []);
+  Alcotest.(check int) "warning below error" 0
+    (Lint.exit_code ~fail_on:`Error [ w ]);
+  Alcotest.(check int) "warning at warning" 1
+    (Lint.exit_code ~fail_on:`Warning [ w ]);
+  Alcotest.(check int) "error" 1 (Lint.exit_code ~fail_on:`Error [ e ]);
+  Alcotest.(check int) "never" 0 (Lint.exit_code ~fail_on:`Never [ e ])
+
+(* ---------- Validate.sound_only verdict shape (regression) ---------- *)
+
+let test_sound_only_counts_missed () =
+  let trace = Trace.of_steps_exn ~n:2 [ Send (0, 1); Send (1, 0) ] in
+  let v = Validate.sound_only trace [| 5; 3 |] in
+  Alcotest.(check bool) "verdict not ok" false (Validate.ok v);
+  Alcotest.(check int)
+    "violation lands in missed_orders" 1 v.Validate.missed_orders;
+  Alcotest.(check int) "false_orders stays 0" 0 v.Validate.false_orders;
+  (* Ordering a concurrent pair is the imprecision sound-only tolerates:
+     distinct scalars on two unrelated messages must still verdict ok. *)
+  let conc = Trace.of_steps_exn ~n:4 [ Send (0, 1); Send (2, 3) ] in
+  let v' = Validate.sound_only conc [| 1; 2 |] in
+  Alcotest.(check bool) "concurrent order tolerated" true (Validate.ok v')
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "clean",
+        [
+          test_workload_lints_clean;
+          Alcotest.test_case "sanitizer: protocol stamps" `Quick
+            test_sanitizer_clean_stamps;
+          Alcotest.test_case "csp: projected scripts" `Quick
+            test_csp_clean_projection;
+          Alcotest.test_case "crown witness absent" `Quick
+            test_crown_witness_none;
+        ] );
+      ( "mutations",
+        [
+          test_endpoint_corruption_flagged;
+          test_order_swap_flagged;
+          test_dropped_group_flagged;
+          test_stamp_corruption_flagged;
+        ] );
+      ( "csp",
+        [
+          Alcotest.test_case "deadlock" `Quick test_csp_deadlock;
+          Alcotest.test_case "may-deadlock" `Quick test_csp_may_deadlock;
+          Alcotest.test_case "unmatched send" `Quick test_csp_unmatched;
+        ] );
+      ( "sanitizer-runtime",
+        [
+          Alcotest.test_case "clean run" `Quick
+            test_runtime_under_sanitizer_clean;
+          Alcotest.test_case "corrupted edge clock" `Quick
+            test_runtime_under_sanitizer_corrupted;
+        ] );
+      ( "rules",
+        [
+          Alcotest.test_case "crown detected" `Quick test_crown_flagged;
+          Alcotest.test_case "explain every rule" `Quick
+            test_explain_every_rule;
+          Alcotest.test_case "explain unknown suggests" `Quick
+            test_explain_unknown_suggests;
+          Alcotest.test_case "exit codes" `Quick test_exit_codes;
+        ] );
+      ( "validate",
+        [
+          Alcotest.test_case "sound_only counts missed" `Quick
+            test_sound_only_counts_missed;
+        ] );
+    ]
