@@ -315,61 +315,193 @@ let stamper_tests =
   in
   Test.make_grouped ~name:"stamper-drivers-1000msg" tests
 
+(* B14: the slab kernels with buffers preallocated and reused across
+   runs — the minor-words column is the zero-allocation claim: with a
+   warm store the whole 2000-message sweep must allocate nothing per
+   message (the *-reuse rows read ~0 w/run; the reference rows show what
+   the seed implementations paid). *)
+let slab_kernel_tests =
+  let module Stamp_store = Synts_clock.Stamp_store in
+  let g = Topology.client_server ~servers:4 ~clients:28 in
+  let trace = trace_of g 2000 in
+  let d = Decomposition.best g in
+  let mcount = Trace.message_count trace in
+  let ours_store = Stamp_store.create ~capacity:(mcount + 33) (Decomposition.size d) in
+  let ours_rows = Array.make mcount (-1) in
+  let fm_store = Stamp_store.create ~capacity:(mcount + 2) (Graph.n g) in
+  let fm_rows = Array.make mcount (-1) in
+  Test.make_grouped ~name:"slab-kernel-2000msg"
+    [
+      Test.make ~name:"ours-store-reuse"
+        (Staged.stage (fun () ->
+             ignore
+               (Online.timestamp_store ~store:ours_store ~rows:ours_rows d
+                  trace)));
+      Test.make ~name:"ours-reference"
+        (Staged.stage (fun () ->
+             ignore (Online.timestamp_trace_reference d trace)));
+      Test.make ~name:"fm-store-reuse"
+        (Staged.stage (fun () ->
+             ignore (Fm_sync.timestamp_store ~store:fm_store ~rows:fm_rows trace)));
+      Test.make ~name:"fm-reference"
+        (Staged.stage (fun () ->
+             ignore (Fm_sync.timestamp_trace_reference trace)));
+      Test.make ~name:"sk-slab"
+        (Staged.stage (fun () ->
+             ignore (Singhal_kshemkalyani.simulate trace)));
+      Test.make ~name:"sk-reference"
+        (Staged.stage (fun () ->
+             ignore (Singhal_kshemkalyani.simulate_reference trace)));
+    ]
+
+(* B15: Hopcroft–Karp fed by comparability bit-rows vs. the seed's
+   materialised edge list, on the same 300-message poset as B3. *)
+let dilworth_pipeline_tests =
+  let g = Topology.gnp (Rng.create seed) 16 0.3 in
+  let trace = trace_of g 300 in
+  let poset = Message_poset.of_trace trace in
+  Test.make_grouped ~name:"dilworth-pipeline-300msg"
+    [
+      Test.make ~name:"chains-bitset"
+        (Staged.stage (fun () -> ignore (Dilworth.min_chain_partition poset)));
+      Test.make ~name:"chains-edge-list"
+        (Staged.stage (fun () ->
+             ignore (Dilworth.min_chain_partition_reference poset)));
+      Test.make ~name:"antichain-bitset"
+        (Staged.stage (fun () -> ignore (Dilworth.max_antichain poset)));
+    ]
+
 let all_groups =
   [
-    decomposition_tests;
-    stamping_tests;
-    offline_tests;
-    precedence_tests;
-    oracle_tests;
-    protocol_tests;
-    plausible_tests;
-    adaptive_tests;
-    stream_tests;
-    network_tests;
-    scaling_tests;
-    telemetry_tests;
-    stamper_tests;
+    ("decomposition", decomposition_tests);
+    ("stamping-2000msg", stamping_tests);
+    ("offline-300msg", offline_tests);
+    ("precedence-test", precedence_tests);
+    ("oracle-400msg", oracle_tests);
+    ("protocol-ablation", protocol_tests);
+    ("plausible-ablation", plausible_tests);
+    ("adaptive-ablation", adaptive_tests);
+    ("internal-events", stream_tests);
+    ("network-600msg", network_tests);
+    ("scaling-1000msg", scaling_tests);
+    ("telemetry-overhead", telemetry_tests);
+    ("stamper-drivers-1000msg", stamper_tests);
+    ("slab-kernel-2000msg", slab_kernel_tests);
+    ("dilworth-pipeline-300msg", dilworth_pipeline_tests);
   ]
 
-let run_benchmarks () =
-  Format.printf "==================================================@.";
-  Format.printf " Part 2: timing benchmarks (bechamel, monotonic clock)@.";
-  Format.printf "==================================================@.@.";
-  let cfg = Benchmark.cfg ~limit:1500 ~quota:(Time.second 0.4) () in
-  let ols =
-    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+(* ---------- measurement + reporting ---------- *)
+
+module Bench_io = Synts_bench_io.Bench_io
+
+let ols =
+  Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+
+let estimate_of results name =
+  match Hashtbl.find_opt results name with
+  | None -> nan
+  | Some r -> (
+      match Analyze.OLS.estimates r with Some [ e ] -> e | _ -> nan)
+
+let pretty_ns estimate =
+  if Float.is_nan estimate then "     n/a   "
+  else if estimate > 1_000_000.0 then
+    Printf.sprintf "%8.3f ms" (estimate /. 1_000_000.0)
+  else if estimate > 1_000.0 then
+    Printf.sprintf "%8.3f us" (estimate /. 1_000.0)
+  else Printf.sprintf "%8.1f ns" estimate
+
+let pretty_words estimate =
+  if Float.is_nan estimate then "n/a"
+  else Printf.sprintf "%10.1f w" estimate
+
+let strip_group_prefix gname name =
+  let prefix = gname ^ "/" in
+  let k = String.length prefix in
+  if String.length name >= k && String.sub name 0 k = prefix then
+    String.sub name k (String.length name - k)
+  else name
+
+(* Measure one bechamel group against the monotonic clock and the
+   minor-allocation counter; returns (test, metrics) rows in name order. *)
+let measure_group cfg (gname, group) =
+  let raw =
+    Benchmark.all cfg
+      [ Instance.monotonic_clock; Instance.minor_allocated ]
+      group
   in
-  List.iter
-    (fun group ->
-      let raw = Benchmark.all cfg [ Instance.monotonic_clock ] group in
-      let results = Analyze.all ols Instance.monotonic_clock raw in
-      let rows =
-        Hashtbl.fold (fun name r acc -> (name, r) :: acc) results []
-        |> List.sort compare
-      in
-      List.iter
-        (fun (name, r) ->
-          let estimate =
-            match Analyze.OLS.estimates r with
-            | Some [ e ] -> e
-            | _ -> nan
-          in
-          let pretty =
-            if Float.is_nan estimate then "n/a"
-            else if estimate > 1_000_000.0 then
-              Printf.sprintf "%8.3f ms" (estimate /. 1_000_000.0)
-            else if estimate > 1_000.0 then
-              Printf.sprintf "%8.3f us" (estimate /. 1_000.0)
-            else Printf.sprintf "%8.1f ns" estimate
-          in
-          Format.printf "  %-55s %s/run@." name pretty)
-        rows;
-      Format.printf "@.")
+  let times = Analyze.all ols Instance.monotonic_clock raw in
+  let allocs = Analyze.all ols Instance.minor_allocated raw in
+  let names =
+    Hashtbl.fold (fun name _ acc -> name :: acc) times [] |> List.sort compare
+  in
+  List.map
+    (fun name ->
+      let ns = estimate_of times name in
+      let words = estimate_of allocs name in
+      Format.printf "  %-55s %s/run %s/run@." name (pretty_ns ns)
+        (pretty_words words);
+      let sane x = if Float.is_finite x then x else 0.0 in
+      ( strip_group_prefix gname name,
+        { Bench_io.ns_per_run = sane ns; minor_words_per_run = sane words } ))
+    names
+
+let run_benchmarks ~quick () =
+  Format.printf "==================================================@.";
+  Format.printf
+    " Part 2: timing benchmarks (bechamel%s, monotonic clock + minor words)@."
+    (if quick then ", quick smoke tier" else "");
+  Format.printf "==================================================@.@.";
+  let cfg =
+    if quick then Benchmark.cfg ~limit:150 ~quota:(Time.second 0.05) ()
+    else Benchmark.cfg ~limit:1500 ~quota:(Time.second 0.4) ()
+  in
+  List.map
+    (fun (gname, group) ->
+      let rows = measure_group cfg (gname, group) in
+      Format.printf "@.";
+      (gname, rows))
     all_groups
 
+(* ---------- entry point ---------- *)
+
+let usage () =
+  prerr_endline
+    "usage: bench/main.exe [--quick] [--json FILE] [--no-tables]\n\n\
+    \  --quick      smoke tier: tiny measurement quota, skips the \n\
+    \               experiment tables (used by the @bench-smoke alias)\n\
+    \  --json FILE  write per-test ns/run and minor-words/run estimates\n\
+    \               to FILE (synts-bench/1 schema; see synts bench-diff)\n\
+    \  --no-tables  skip Part 1 (the experiment tables)";
+  exit 2
+
+type config = { quick : bool; json_path : string option; tables : bool }
+
+let parse_args () =
+  let rec go cfg = function
+    | [] -> cfg
+    | "--quick" :: rest -> go { cfg with quick = true; tables = false } rest
+    | "--json" :: path :: rest -> go { cfg with json_path = Some path } rest
+    | "--no-tables" :: rest -> go { cfg with tables = false } rest
+    | _ -> usage ()
+  in
+  go
+    { quick = false; json_path = None; tables = true }
+    (List.tl (Array.to_list Sys.argv))
+
 let () =
-  print_tables ();
-  run_benchmarks ();
+  let cfg = parse_args () in
+  if cfg.tables then print_tables ();
+  let groups = run_benchmarks ~quick:cfg.quick () in
+  (match cfg.json_path with
+  | None -> ()
+  | Some path ->
+      Bench_io.save path
+        {
+          Bench_io.mode = (if cfg.quick then "quick" else "full");
+          seed;
+          groups;
+        };
+      Format.printf "wrote %s@." path);
   Telemetry.set_enabled true;
   Format.printf "done.@."

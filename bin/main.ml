@@ -786,6 +786,48 @@ let metrics_cmd =
       const run $ seed_t $ topology_opt_t $ messages_t $ loss_t $ format_t
       $ list_t)
 
+let bench_diff_cmd =
+  let module Bench_io = Synts_bench_io.Bench_io in
+  let old_t =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"OLD"
+          ~doc:"Baseline bench JSON (e.g. the committed BENCH_baseline.json).")
+  in
+  let new_t =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"NEW"
+          ~doc:"Fresh bench JSON (from $(b,bench/main.exe --json FILE)).")
+  in
+  let threshold_t =
+    Arg.(
+      value & opt float 0.25
+      & info [ "threshold"; "t" ] ~docv:"FRAC"
+          ~doc:
+            "Relative change that counts as a regression/improvement \
+             (0.25 = 25%).")
+  in
+  let run old_path new_path threshold =
+    match (Bench_io.load old_path, Bench_io.load new_path) with
+    | Error e, _ | _, Error e ->
+        Printf.eprintf "bench-diff: %s\n" e;
+        exit 2
+    | Ok old_run, Ok new_run ->
+        let d = Bench_io.diff ~threshold old_run new_run in
+        print_string (Bench_io.render_diff ~threshold ~old_run ~new_run d);
+        if Bench_io.has_regression d then exit 1
+  in
+  Cmd.v
+    (Cmd.info "bench-diff"
+       ~doc:
+         "Compare two bench baseline files (written by $(b,bench/main.exe \
+          --json)) and exit non-zero if any test regressed beyond the \
+          threshold in time or allocation.")
+    Term.(const run $ old_t $ new_t $ threshold_t)
+
 let () =
   let doc =
     "Timestamping messages in synchronous computations (Garg & \
@@ -798,5 +840,5 @@ let () =
           [
             figures_cmd; experiments_cmd; decompose_cmd; simulate_cmd;
             analyze_cmd; monitor_cmd; protocol_cmd; verify_cmd; lint_cmd;
-            metrics_cmd;
+            metrics_cmd; bench_diff_cmd;
           ]))

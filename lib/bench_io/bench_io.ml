@@ -1,0 +1,237 @@
+type metrics = { ns_per_run : float; minor_words_per_run : float }
+
+type t = {
+  mode : string;
+  seed : int;
+  groups : (string * (string * metrics) list) list;
+}
+
+let schema = "synts-bench/1"
+
+(* ---------- JSON codec ---------- *)
+
+let metrics_to_json m =
+  Json.Obj
+    [
+      ("ns_per_run", Json.Num m.ns_per_run);
+      ("minor_words_per_run", Json.Num m.minor_words_per_run);
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("schema", Json.Str schema);
+      ("mode", Json.Str t.mode);
+      ("seed", Json.Num (float_of_int t.seed));
+      ( "groups",
+        Json.Obj
+          (List.map
+             (fun (gname, tests) ->
+               ( gname,
+                 Json.Obj
+                   (List.map (fun (tname, m) -> (tname, metrics_to_json m)) tests)
+               ))
+             t.groups) );
+    ]
+
+let num_field name j =
+  match Json.member name j with
+  | Some v -> (
+      match Json.to_num v with
+      | Some x -> Ok x
+      | None -> Error (Printf.sprintf "field %S is not a number" name))
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let metrics_of_json j =
+  match (num_field "ns_per_run" j, num_field "minor_words_per_run" j) with
+  | Ok ns, Ok words -> Ok { ns_per_run = ns; minor_words_per_run = words }
+  | Error e, _ | _, Error e -> Error e
+
+let of_json j =
+  match Json.member "schema" j with
+  | Some (Json.Str s) when s = schema -> (
+      let mode =
+        match Json.member "mode" j with
+        | Some (Json.Str m) -> m
+        | _ -> "full"
+      in
+      let seed =
+        match Json.member "seed" j with
+        | Some (Json.Num x) -> int_of_float x
+        | _ -> 0
+      in
+      match Json.member "groups" j with
+      | None -> Error "missing field \"groups\""
+      | Some groups_json -> (
+          let exception Bad of string in
+          match
+            List.map
+              (fun (gname, tests_json) ->
+                ( gname,
+                  List.map
+                    (fun (tname, mj) ->
+                      match metrics_of_json mj with
+                      | Ok m -> (tname, m)
+                      | Error e ->
+                          raise (Bad (Printf.sprintf "%s/%s: %s" gname tname e)))
+                    (Json.obj_members tests_json) ))
+              (Json.obj_members groups_json)
+          with
+          | groups -> Ok { mode; seed; groups }
+          | exception Bad e -> Error e))
+  | Some (Json.Str s) ->
+      Error (Printf.sprintf "unsupported schema %S (expected %S)" s schema)
+  | _ -> Error "not a synts bench file (no \"schema\" field)"
+
+let save path t =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (Json.to_string (to_json t));
+      Out_channel.output_char oc '\n')
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error e -> Error e
+  | text -> (
+      match Json.of_string text with
+      | Error e -> Error (Printf.sprintf "%s: %s" path e)
+      | Ok j -> (
+          match of_json j with
+          | Ok t -> Ok t
+          | Error e -> Error (Printf.sprintf "%s: %s" path e)))
+
+let find t ~group ~test =
+  Option.bind (List.assoc_opt group t.groups) (List.assoc_opt test)
+
+(* ---------- diffing ---------- *)
+
+type delta = {
+  group : string;
+  test : string;
+  metric : string;
+  old_value : float;
+  new_value : float;
+  ratio : float;
+}
+
+type diff = {
+  regressions : delta list;
+  improvements : delta list;
+  compared : int;
+  only_old : (string * string) list;
+  only_new : (string * string) list;
+}
+
+(* Movements smaller than these are measurement noise regardless of the
+   relative change (a 0.4 ns -> 0.6 ns "regression" is not actionable). *)
+let ns_floor = 2.0
+let words_floor = 8.0
+
+let classify ~threshold ~floor ~group ~test ~metric ~old_value ~new_value =
+  if
+    (not (Float.is_finite old_value))
+    || (not (Float.is_finite new_value))
+    || Float.abs (new_value -. old_value) <= floor
+  then `Unchanged
+  else
+    let base = Float.max old_value Float.epsilon in
+    let ratio = new_value /. base in
+    let d = { group; test; metric; old_value; new_value; ratio } in
+    if new_value > old_value *. (1.0 +. threshold) then `Regression d
+    else if new_value < old_value *. (1.0 -. threshold) then `Improvement d
+    else `Unchanged
+
+let diff ?(threshold = 0.25) old_run new_run =
+  let regressions = ref [] and improvements = ref [] and compared = ref 0 in
+  let only_old = ref [] and only_new = ref [] in
+  let consider ~group ~test ~metric ~floor old_value new_value =
+    incr compared;
+    match classify ~threshold ~floor ~group ~test ~metric ~old_value ~new_value
+    with
+    | `Regression d -> regressions := d :: !regressions
+    | `Improvement d -> improvements := d :: !improvements
+    | `Unchanged -> ()
+  in
+  List.iter
+    (fun (gname, tests) ->
+      List.iter
+        (fun (tname, old_m) ->
+          match find new_run ~group:gname ~test:tname with
+          | None -> only_old := (gname, tname) :: !only_old
+          | Some new_m ->
+              consider ~group:gname ~test:tname ~metric:"ns/run" ~floor:ns_floor
+                old_m.ns_per_run new_m.ns_per_run;
+              consider ~group:gname ~test:tname ~metric:"mw/run"
+                ~floor:words_floor old_m.minor_words_per_run
+                new_m.minor_words_per_run)
+        tests)
+    old_run.groups;
+  List.iter
+    (fun (gname, tests) ->
+      List.iter
+        (fun (tname, _) ->
+          if find old_run ~group:gname ~test:tname = None then
+            only_new := (gname, tname) :: !only_new)
+        tests)
+    new_run.groups;
+  let by_severity a b = Float.compare b.ratio a.ratio in
+  let by_gain a b = Float.compare a.ratio b.ratio in
+  {
+    regressions = List.sort by_severity !regressions;
+    improvements = List.sort by_gain !improvements;
+    compared = !compared;
+    only_old = List.rev !only_old;
+    only_new = List.rev !only_new;
+  }
+
+let has_regression d = d.regressions <> []
+
+let pp_value metric v =
+  if metric = "ns/run" then
+    if v > 1_000_000.0 then Printf.sprintf "%.3f ms" (v /. 1_000_000.0)
+    else if v > 1_000.0 then Printf.sprintf "%.3f us" (v /. 1_000.0)
+    else Printf.sprintf "%.1f ns" v
+  else Printf.sprintf "%.0f w" v
+
+let pp_delta buf verb d =
+  Buffer.add_string buf
+    (Printf.sprintf "  %s %-48s %-7s %12s -> %12s  (%+.1f%%)\n" verb
+       (d.group ^ "/" ^ d.test) d.metric
+       (pp_value d.metric d.old_value)
+       (pp_value d.metric d.new_value)
+       ((d.ratio -. 1.0) *. 100.0))
+
+let render_diff ?(threshold = 0.25) ~old_run ~new_run d =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "bench-diff: %d metric pairs compared (threshold %.0f%%, old=%s new=%s)\n"
+       d.compared (threshold *. 100.0) old_run.mode new_run.mode);
+  if old_run.mode <> new_run.mode then
+    Buffer.add_string buf
+      "  warning: comparing different tiers (quick vs full); numbers are \
+       not directly comparable\n";
+  if d.regressions <> [] then begin
+    Buffer.add_string buf
+      (Printf.sprintf "\n%d regression(s):\n" (List.length d.regressions));
+    List.iter (fun x -> pp_delta buf "SLOWER " x) d.regressions
+  end;
+  if d.improvements <> [] then begin
+    Buffer.add_string buf
+      (Printf.sprintf "\n%d improvement(s):\n" (List.length d.improvements));
+    List.iter (fun x -> pp_delta buf "faster " x) d.improvements
+  end;
+  if d.only_old <> [] then begin
+    Buffer.add_string buf "\ntests only in the old file:\n";
+    List.iter
+      (fun (g, t) -> Buffer.add_string buf (Printf.sprintf "  - %s/%s\n" g t))
+      d.only_old
+  end;
+  if d.only_new <> [] then begin
+    Buffer.add_string buf "\ntests only in the new file:\n";
+    List.iter
+      (fun (g, t) -> Buffer.add_string buf (Printf.sprintf "  + %s/%s\n" g t))
+      d.only_new
+  end;
+  Buffer.add_string buf
+    (if d.regressions = [] then "\nverdict: OK — no regression beyond threshold\n"
+     else "\nverdict: REGRESSION\n");
+  Buffer.contents buf

@@ -1,0 +1,69 @@
+(** Benchmark baseline files and regression diffing.
+
+    [bench/main.exe --json FILE] persists one {!t} per run: for every
+    bechamel test, the OLS estimate of nanoseconds per run and of minor
+    heap words allocated per run. [synts bench-diff OLD NEW] reloads two
+    such files and compares them, flagging per-test regressions beyond a
+    relative threshold — the perf trajectory every PR defends
+    ([BENCH_baseline.json] at the repository root is the committed
+    baseline; see DESIGN.md "Performance"). *)
+
+type metrics = {
+  ns_per_run : float;  (** OLS estimate, monotonic-clock ns per run. *)
+  minor_words_per_run : float;
+      (** OLS estimate, minor-heap words allocated per run. *)
+}
+
+type t = {
+  mode : string;  (** ["full"] or ["quick"] (smoke tier). *)
+  seed : int;  (** Workload seed the run used. *)
+  groups : (string * (string * metrics) list) list;
+      (** [group_name -> test_name -> metrics], in run order. *)
+}
+
+val schema : string
+(** The schema tag written into every file (["synts-bench/1"]). *)
+
+val to_json : t -> Json.t
+val of_json : Json.t -> (t, string) result
+
+val save : string -> t -> unit
+(** Write to a file (pretty-printed, trailing newline). *)
+
+val load : string -> (t, string) result
+(** Read and validate a baseline file; errors mention the path. *)
+
+val find : t -> group:string -> test:string -> metrics option
+
+(** {1 Diffing} *)
+
+type delta = {
+  group : string;
+  test : string;
+  metric : string;  (** ["ns/run"] or ["mw/run"]. *)
+  old_value : float;
+  new_value : float;
+  ratio : float;  (** [new / old]; > 1 is slower/bigger. *)
+}
+
+type diff = {
+  regressions : delta list;  (** Beyond threshold, worst first. *)
+  improvements : delta list;  (** Beyond threshold the other way. *)
+  compared : int;  (** Metric pairs compared. *)
+  only_old : (string * string) list;  (** Tests that disappeared. *)
+  only_new : (string * string) list;  (** Tests with no baseline. *)
+}
+
+val diff : ?threshold:float -> t -> t -> diff
+(** [diff old_run new_run] compares two runs test-by-test. [threshold]
+    (default [0.25]) is the
+    relative change that counts as a regression or improvement:
+    [new > old * (1 + threshold)] flags a regression. Tiny absolute
+    movements are ignored (2 ns for time, 8 words for allocation) so
+    near-zero measurements don't produce noise verdicts. *)
+
+val has_regression : diff -> bool
+
+val render_diff : ?threshold:float -> old_run:t -> new_run:t -> diff -> string
+(** Human-readable report: regressions, improvements, coverage changes,
+    and a one-line verdict. *)

@@ -1,0 +1,288 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(* ---------- printing ---------- *)
+
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let num_to_string x =
+  if not (Float.is_finite x) then "null"
+  else if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.0f" x
+  else
+    (* Shortest representation that round-trips. *)
+    let s = Printf.sprintf "%.12g" x in
+    if float_of_string s = x then s else Printf.sprintf "%.17g" x
+
+let to_string ?(minify = false) t =
+  let buf = Buffer.create 256 in
+  let pad depth =
+    if not minify then begin
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (String.make (2 * depth) ' ')
+    end
+  in
+  let rec go depth = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Num x -> Buffer.add_string buf (num_to_string x)
+    | Str s -> escape buf s
+    | Arr [] -> Buffer.add_string buf "[]"
+    | Arr items ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_char buf ',';
+            pad (depth + 1);
+            go (depth + 1) item)
+          items;
+        pad depth;
+        Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj members ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            pad (depth + 1);
+            escape buf k;
+            Buffer.add_string buf (if minify then ":" else ": ");
+            go (depth + 1) v)
+          members;
+        pad depth;
+        Buffer.add_char buf '}'
+  in
+  go 0 t;
+  Buffer.contents buf
+
+(* ---------- parsing ---------- *)
+
+exception Parse_error of int * string
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (!pos, msg)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word value =
+    let k = String.length word in
+    if !pos + k <= n && String.sub s !pos k = word then begin
+      pos := !pos + k;
+      value
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let hex4 () =
+    if !pos + 4 > n then fail "truncated \\u escape";
+    let v = int_of_string ("0x" ^ String.sub s !pos 4) in
+    pos := !pos + 4;
+    v
+  in
+  let utf8 buf code =
+    (* Encode a Unicode scalar value as UTF-8. *)
+    if code < 0x80 then Buffer.add_char buf (Char.chr code)
+    else if code < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+    else if code < 0x10000 then begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xF0 lor (code lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      let c = s.[!pos] in
+      advance ();
+      match c with
+      | '"' -> Buffer.contents buf
+      | '\\' -> (
+          if !pos >= n then fail "unterminated escape";
+          let e = s.[!pos] in
+          advance ();
+          match e with
+          | '"' | '\\' | '/' ->
+              Buffer.add_char buf e;
+              go ()
+          | 'n' ->
+              Buffer.add_char buf '\n';
+              go ()
+          | 't' ->
+              Buffer.add_char buf '\t';
+              go ()
+          | 'r' ->
+              Buffer.add_char buf '\r';
+              go ()
+          | 'b' ->
+              Buffer.add_char buf '\b';
+              go ()
+          | 'f' ->
+              Buffer.add_char buf '\012';
+              go ()
+          | 'u' ->
+              let code = hex4 () in
+              let code =
+                (* Surrogate pair. *)
+                if code >= 0xD800 && code <= 0xDBFF
+                   && !pos + 1 < n
+                   && s.[!pos] = '\\'
+                   && s.[!pos + 1] = 'u'
+                then begin
+                  pos := !pos + 2;
+                  let low = hex4 () in
+                  0x10000 + ((code - 0xD800) lsl 10) + (low - 0xDC00)
+                end
+                else code
+              in
+              utf8 buf code;
+              go ()
+          | _ -> fail "bad escape")
+      | c ->
+          Buffer.add_char buf c;
+          go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let consume_while f =
+      while !pos < n && f s.[!pos] do
+        advance ()
+      done
+    in
+    if peek () = Some '-' then advance ();
+    consume_while (fun c -> c >= '0' && c <= '9');
+    if peek () = Some '.' then begin
+      advance ();
+      consume_while (fun c -> c >= '0' && c <= '9')
+    end;
+    (match peek () with
+    | Some ('e' | 'E') ->
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        consume_while (fun c -> c >= '0' && c <= '9')
+    | _ -> ());
+    if !pos = start then fail "expected a number";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some x -> x
+    | None -> fail "malformed number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> Str (parse_string ())
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((k, v) :: acc)
+            | Some '}' ->
+                advance ();
+                List.rev ((k, v) :: acc)
+            | _ -> fail "expected , or }"
+          in
+          Obj (members [])
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                items (v :: acc)
+            | Some ']' ->
+                advance ();
+                List.rev (v :: acc)
+            | _ -> fail "expected , or ]"
+          in
+          Arr (items [])
+        end
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error (at, msg) ->
+      Error (Printf.sprintf "JSON parse error at offset %d: %s" at msg)
+
+(* ---------- accessors ---------- *)
+
+let member k = function
+  | Obj members -> List.assoc_opt k members
+  | _ -> None
+
+let to_num = function Num x -> Some x | _ -> None
+let to_str = function Str s -> Some s | _ -> None
+let obj_members = function Obj members -> members | _ -> []

@@ -1,0 +1,31 @@
+(** A minimal JSON tree, parser and printer.
+
+    The bench harness ([bench/main.ml]) and the [synts bench-diff]
+    subcommand exchange benchmark baselines as JSON files
+    ([BENCH_baseline.json]); this module is the self-contained codec they
+    share — the repository deliberately depends on no external JSON
+    library. Numbers are [float]s, objects preserve member order. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : ?minify:bool -> t -> string
+(** Render; two-space indentation unless [minify]. NaN and infinities are
+    rendered as [null] (JSON has no encoding for them). *)
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document. Errors carry a character offset. *)
+
+val member : string -> t -> t option
+(** Field lookup; [None] for missing fields and non-objects. *)
+
+val to_num : t -> float option
+val to_str : t -> string option
+
+val obj_members : t -> (string * t) list
+(** Members of an object, in source order; [[]] for non-objects. *)

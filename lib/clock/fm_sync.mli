@@ -10,6 +10,18 @@
 val timestamp_trace : Synts_sync.Trace.t -> Vector.t array
 (** One N-sized vector per message id. *)
 
+val timestamp_store :
+  ?store:Stamp_store.t ->
+  ?rows:int array ->
+  Synts_sync.Trace.t ->
+  Stamp_store.t * int array
+(** Zero-allocation form: stamps land in a {!Stamp_store} slab; the
+    returned array maps message id to slab row. [?store]/[?rows] allow
+    buffer reuse across traces. *)
+
+val timestamp_trace_reference : Synts_sync.Trace.t -> Vector.t array
+(** The pre-slab seed implementation (equivalence oracle for tests). *)
+
 val precedes : Vector.t -> Vector.t -> bool
 (** [Vector.lt]. *)
 

@@ -15,7 +15,12 @@ type stats = {
 }
 
 val simulate : Synts_sync.Trace.t -> Vector.t array * stats
-(** Timestamps (identical to [Fm_sync.timestamp_trace]) plus wire cost. *)
+(** Timestamps (identical to [Fm_sync.timestamp_trace]) plus wire cost.
+    Runs over a single {!Stamp_store} slab (stamps + the last-sent
+    matrix), so the sweep itself performs no per-message vector copies. *)
+
+val simulate_reference : Synts_sync.Trace.t -> Vector.t array * stats
+(** The pre-slab seed implementation (equivalence oracle for tests). *)
 
 val average_entries_per_message : stats -> float
 (** [entries_sent / messages] — counting each entry as two words (index

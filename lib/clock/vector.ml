@@ -36,13 +36,31 @@ let merge u v =
   max_into ~dst:w v;
   w
 
+let merge_into ~dst u v =
+  check dst u;
+  check dst v;
+  for k = 0 to Array.length dst - 1 do
+    let a = Array.unsafe_get u k and b = Array.unsafe_get v k in
+    Array.unsafe_set dst k (if a > b then a else b)
+  done
+
+let blit_into ~dst src =
+  check dst src;
+  Array.blit src 0 dst 0 (Array.length src)
+
 let incr v k =
   if k < 0 || k >= Array.length v then invalid_arg "Vector.incr: out of range";
   v.(k) <- v.(k) + 1
 
+(* Monomorphic: the polymorphic [u = v] walks the runtime representation
+   through caml_compare on every precedence test. *)
 let equal u v =
   check u v;
-  u = v
+  let k = ref 0 and n = Array.length u in
+  while !k < n && Array.unsafe_get u !k = Array.unsafe_get v !k do
+    Stdlib.incr k
+  done;
+  !k = n
 
 let to_string v =
   "(" ^ String.concat "," (List.map string_of_int (Array.to_list v)) ^ ")"

@@ -28,10 +28,20 @@ val max_into : dst:t -> t -> unit
 val merge : t -> t -> t
 (** Fresh componentwise maximum. *)
 
+val merge_into : dst:t -> t -> t -> unit
+(** [merge_into ~dst u v] writes the componentwise maximum of [u] and [v]
+    into [dst] without allocating. [dst] may alias [u] or [v]. *)
+
+val blit_into : dst:t -> t -> unit
+(** Overwrite [dst] with the components of [src]. *)
+
 val incr : t -> int -> unit
 (** Increment one component in place. *)
 
 val equal : t -> t -> bool
+(** Componentwise equality (monomorphic int loop, no polymorphic
+    compare). Raises [Invalid_argument] on size mismatch. *)
+
 val to_string : t -> string
 (** [(1,0,2)] style. *)
 

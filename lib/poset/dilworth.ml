@@ -2,19 +2,23 @@ let comparability_edges p =
   let n = Poset.size p in
   let acc = ref [] in
   for i = n - 1 downto 0 do
-    for j = n - 1 downto 0 do
-      if Poset.lt p i j then acc := (i, j) :: !acc
-    done
+    let row = ref [] in
+    Poset.row_iter p i (fun j -> row := (i, j) :: !row);
+    acc := List.rev_append !row !acc
   done;
   !acc
 
+(* The split bipartite graph's adjacency IS the order relation's
+   bit-matrix: left u's neighbours are u's successors. Feeding the rows
+   straight into Hopcroft–Karp skips the O(n²) edge-list build (and its
+   per-vertex polymorphic sort) entirely. *)
 let matching p =
   let n = Poset.size p in
-  Matching.maximum ~left:n ~right:n (comparability_edges p)
+  Matching.maximum_rows ~left:n ~right:n
+    ~iter:(fun u f -> Poset.row_iter p u f)
+    ~find:(fun u f -> Poset.row_find p u f)
 
-let min_chain_partition p =
-  let n = Poset.size p in
-  let { Matching.pair_left; pair_right; size = _ } = matching p in
+let chains_of_matching n { Matching.pair_left; pair_right; size = _ } =
   (* Chain heads are elements whose right copy is unmatched (no matched
      predecessor); follow pair_left successor links. *)
   let chains = ref [] in
@@ -29,15 +33,26 @@ let min_chain_partition p =
   done;
   !chains
 
+let min_chain_partition p = chains_of_matching (Poset.size p) (matching p)
+
+(* Seed pipeline (edge list + CSR solver), kept as the equivalence oracle
+   for the bit-row path. *)
+let min_chain_partition_reference p =
+  let n = Poset.size p in
+  chains_of_matching n (Matching.maximum ~left:n ~right:n (comparability_edges p))
+
 let width p =
   let n = Poset.size p in
   if n = 0 then 0 else n - (matching p).Matching.size
 
 let max_antichain p =
   let n = Poset.size p in
-  let edges = comparability_edges p in
-  let m = Matching.maximum ~left:n ~right:n edges in
-  let cover_left, cover_right = Matching.min_vertex_cover ~left:n ~right:n edges m in
+  let m = matching p in
+  let cover_left, cover_right =
+    Matching.min_vertex_cover_rows ~left:n ~right:n
+      ~iter:(fun u f -> Poset.row_iter p u f)
+      m
+  in
   (* An element exposed on both sides of the cover is incomparable to every
      other exposed element. *)
   List.filter

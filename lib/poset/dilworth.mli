@@ -15,7 +15,14 @@ val comparability_edges : Poset.t -> (int * int) list
 val min_chain_partition : Poset.t -> int list list
 (** A partition of the elements into the minimum number of chains; each
     chain is listed in increasing poset order. The number of chains equals
-    {!width}. Deterministic. *)
+    {!width}. Deterministic. Runs Hopcroft–Karp directly over the order
+    relation's bit-rows ({!Matching.maximum_rows}); no edge list is
+    materialised. *)
+
+val min_chain_partition_reference : Poset.t -> int list list
+(** The seed pipeline (materialised edge list through {!Matching.maximum}).
+    Produces the identical partition — kept as the equivalence oracle for
+    the bit-row path; not a hot path. *)
 
 val width : Poset.t -> int
 (** Size of the largest antichain = size of the minimum chain partition.

@@ -1,20 +1,15 @@
 type result = { pair_left : int array; pair_right : int array; size : int }
 
-let build_adjacency ~left ~right edges =
-  let adj = Array.make left [] in
-  List.iter
-    (fun (u, v) ->
-      if u < 0 || u >= left || v < 0 || v >= right then
-        invalid_arg "Matching: edge endpoint out of range";
-      adj.(u) <- v :: adj.(u))
-    edges;
-  (* Reverse so neighbours come out in input order; sort for determinism. *)
-  Array.map (List.sort_uniq compare) adj
-
 let infinity_dist = max_int
 
-let maximum ~left ~right edges =
-  let adj = build_adjacency ~left ~right edges in
+(* Hopcroft–Karp over an abstract adjacency: [iter u f] visits left
+   vertex [u]'s right neighbours in increasing order, [find u f] does the
+   same but stops at the first neighbour on which [f] returns true. Both
+   the bit-row path (Dilworth over a Poset's comparability matrix, no
+   materialised edge list) and the edge-list path below funnel through
+   this one solver, and since both present neighbours in ascending order
+   they produce identical matchings. *)
+let maximum_rows ~left ~right ~iter ~find =
   let pair_left = Array.make left (-1) in
   let pair_right = Array.make right (-1) in
   let dist = Array.make left infinity_dist in
@@ -33,8 +28,7 @@ let maximum ~left ~right edges =
     done;
     while not (Queue.is_empty queue) do
       let u = Queue.pop queue in
-      List.iter
-        (fun v ->
+      iter u (fun v ->
           match pair_right.(v) with
           | -1 -> found := true
           | u' ->
@@ -42,13 +36,11 @@ let maximum ~left ~right edges =
                 dist.(u') <- dist.(u) + 1;
                 Queue.add u' queue
               end)
-        adj.(u)
     done;
     !found
   in
   let rec dfs u =
-    List.exists
-      (fun v ->
+    find u (fun v ->
         let take () =
           pair_left.(u) <- v;
           pair_right.(v) <- u;
@@ -57,9 +49,7 @@ let maximum ~left ~right edges =
         match pair_right.(v) with
         | -1 -> take ()
         | u' ->
-            if dist.(u') = dist.(u) + 1 && dfs u' then take ()
-            else false)
-      adj.(u)
+            if dist.(u') = dist.(u) + 1 && dfs u' then take () else false)
     ||
     begin
       dist.(u) <- infinity_dist;
@@ -74,8 +64,8 @@ let maximum ~left ~right edges =
   done;
   { pair_left; pair_right; size = !size }
 
-let min_vertex_cover ~left ~right edges { pair_left; pair_right; size = _ } =
-  let adj = build_adjacency ~left ~right edges in
+let min_vertex_cover_rows ~left ~right ~iter { pair_left; pair_right; size = _ }
+    =
   (* König: alternate BFS from unmatched left vertices; cover = unvisited
      left + visited right. *)
   let visited_left = Array.make left false in
@@ -89,8 +79,7 @@ let min_vertex_cover ~left ~right edges { pair_left; pair_right; size = _ } =
   done;
   while not (Queue.is_empty queue) do
     let u = Queue.pop queue in
-    List.iter
-      (fun v ->
+    iter u (fun v ->
         if not visited_right.(v) then begin
           visited_right.(v) <- true;
           match pair_right.(v) with
@@ -101,6 +90,70 @@ let min_vertex_cover ~left ~right edges { pair_left; pair_right; size = _ } =
                 Queue.add u' queue
               end
         end)
-      adj.(u)
   done;
   (Array.map not visited_left, visited_right)
+
+(* ---------- edge-list front end (CSR, integer sort) ---------- *)
+
+type csr = { starts : int array; ends : int array; cells : int array }
+
+(* Counting-sort the edges by left endpoint, then [Int.compare]-sort and
+   dedup each segment in place — neighbours come out ascending and unique
+   without a single polymorphic comparison (the seed used
+   [List.sort_uniq compare] per vertex). *)
+let build_csr ~left ~right edges =
+  let deg = Array.make left 0 in
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= left || v < 0 || v >= right then
+        invalid_arg "Matching: edge endpoint out of range";
+      deg.(u) <- deg.(u) + 1)
+    edges;
+  let starts = Array.make (left + 1) 0 in
+  for u = 0 to left - 1 do
+    starts.(u + 1) <- starts.(u) + deg.(u)
+  done;
+  let cursor = Array.sub starts 0 left in
+  let cells = Array.make (max 1 starts.(left)) 0 in
+  List.iter
+    (fun (u, v) ->
+      cells.(cursor.(u)) <- v;
+      cursor.(u) <- cursor.(u) + 1)
+    edges;
+  let ends = Array.make left 0 in
+  for u = 0 to left - 1 do
+    let lo = starts.(u) in
+    let seg = Array.sub cells lo (cursor.(u) - lo) in
+    Array.sort Int.compare seg;
+    let w = ref lo in
+    Array.iteri
+      (fun k v ->
+        if k = 0 || v <> seg.(k - 1) then begin
+          cells.(!w) <- v;
+          incr w
+        end)
+      seg;
+    ends.(u) <- !w
+  done;
+  { starts; ends; cells }
+
+let csr_iter csr u f =
+  for k = csr.starts.(u) to csr.ends.(u) - 1 do
+    f csr.cells.(k)
+  done
+
+let csr_find csr u f =
+  let k = ref csr.starts.(u) and stop = csr.ends.(u) in
+  let found = ref false in
+  while (not !found) && !k < stop do
+    if f csr.cells.(!k) then found := true else incr k
+  done;
+  !found
+
+let maximum ~left ~right edges =
+  let csr = build_csr ~left ~right edges in
+  maximum_rows ~left ~right ~iter:(csr_iter csr) ~find:(csr_find csr)
+
+let min_vertex_cover ~left ~right edges result =
+  let csr = build_csr ~left ~right edges in
+  min_vertex_cover_rows ~left ~right ~iter:(csr_iter csr) result

@@ -13,11 +13,36 @@ type result = {
   size : int;  (** Number of matched pairs. *)
 }
 
+val maximum_rows :
+  left:int ->
+  right:int ->
+  iter:(int -> (int -> unit) -> unit) ->
+  find:(int -> (int -> bool) -> bool) ->
+  result
+(** [maximum_rows ~left ~right ~iter ~find] runs Hopcroft–Karp over an
+    abstract adjacency: [iter u f] must visit left vertex [u]'s right
+    neighbours in increasing order; [find u f] must do the same but stop
+    at the first neighbour where [f] returns [true] (the augmenting DFS).
+    This lets {!Dilworth} feed comparability bit-rows straight into the
+    solver with no materialised edge list. Deterministic: identical to
+    {!maximum} on the same graph. *)
+
 val maximum : left:int -> right:int -> (int * int) list -> result
 (** [maximum ~left ~right edges] computes a maximum matching of the
     bipartite graph with [left] left vertices, [right] right vertices and
-    the given (left, right) edges. Raises [Invalid_argument] on
-    out-of-range endpoints. Deterministic. *)
+    the given (left, right) edges (internally a counting-sorted CSR fed to
+    {!maximum_rows}). Raises [Invalid_argument] on out-of-range endpoints.
+    Deterministic. *)
+
+val min_vertex_cover_rows :
+  left:int ->
+  right:int ->
+  iter:(int -> (int -> unit) -> unit) ->
+  result ->
+  bool array * bool array
+(** König's theorem over an abstract adjacency (same [iter] contract as
+    {!maximum_rows}): from a maximum matching, a minimum vertex cover
+    [(cover_left, cover_right)]. *)
 
 val min_vertex_cover :
   left:int -> right:int -> (int * int) list -> result -> bool array * bool array

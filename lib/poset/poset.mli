@@ -28,6 +28,14 @@ val size : t -> int
 val lt : t -> int -> int -> bool
 (** Strict order test. *)
 
+val row_iter : t -> int -> (int -> unit) -> unit
+(** [row_iter p i f] calls [f j] for every [j] with [i < j], increasing
+    [j] — the order relation's bit-row, no list materialised. *)
+
+val row_find : t -> int -> (int -> bool) -> bool
+(** Early-exit form of {!row_iter}: stops at the first successor on which
+    the callback returns [true]; returns whether one did. *)
+
 val leq : t -> int -> int -> bool
 (** [lt] or equal. *)
 

@@ -41,4 +41,14 @@ let vector_lt u v =
   done;
   !all_leq && !some_lt
 
-let vector_concurrent u v = (not (vector_lt u v)) && not (vector_lt v u) && u <> v
+let vector_equal u v =
+  Array.length u = Array.length v
+  &&
+  let k = ref 0 and n = Array.length u in
+  while !k < n && Array.unsafe_get u !k = Array.unsafe_get v !k do
+    incr k
+  done;
+  !k = n
+
+let vector_concurrent u v =
+  (not (vector_lt u v)) && (not (vector_lt v u)) && not (vector_equal u v)

@@ -28,9 +28,16 @@ let set t i j v =
 
 let copy t = { t with words = Array.copy t.words }
 
+(* Monomorphic word loop; the polymorphic [a.words = b.words] funnels
+   every comparison through caml_compare. *)
 let equal a b =
   if a.n <> b.n then invalid_arg "Bitmatrix.equal: dimension mismatch";
-  a.words = b.words
+  let wa = a.words and wb = b.words in
+  let k = ref 0 and len = Array.length wa in
+  while !k < len && Array.unsafe_get wa !k = Array.unsafe_get wb !k do
+    incr k
+  done;
+  !k = len
 
 let or_row_into t ~dst ~src =
   if dst < 0 || dst >= t.n || src < 0 || src >= t.n then
@@ -44,12 +51,35 @@ let row_iter t i f =
   if i < 0 || i >= t.n then invalid_arg "Bitmatrix.row_iter: row out of range";
   let base = i * t.stride in
   for w = 0 to t.stride - 1 do
-    let word = t.words.(base + w) in
-    if word <> 0 then
-      for b = 0 to bits_per_word - 1 do
-        if word land (1 lsl b) <> 0 then f ((w * bits_per_word) + b)
-      done
+    let word = ref t.words.(base + w) in
+    (* Shift the word down as bits are consumed: the loop ends at the
+       highest set bit instead of always scanning all word positions. *)
+    let j = ref (w * bits_per_word) in
+    while !word <> 0 do
+      if !word land 1 <> 0 then f !j;
+      word := !word lsr 1;
+      incr j
+    done
   done
+
+let row_find t i f =
+  if i < 0 || i >= t.n then invalid_arg "Bitmatrix.row_find: row out of range";
+  let base = i * t.stride in
+  let found = ref false in
+  let w = ref 0 in
+  while (not !found) && !w < t.stride do
+    let word = ref t.words.(base + !w) in
+    let j = ref (!w * bits_per_word) in
+    while (not !found) && !word <> 0 do
+      if !word land 1 <> 0 && f !j then found := true
+      else begin
+        word := !word lsr 1;
+        incr j
+      end
+    done;
+    incr w
+  done;
+  !found
 
 let transitive_closure t =
   for k = 0 to t.n - 1 do

@@ -34,6 +34,12 @@ val row_iter : t -> int -> (int -> unit) -> unit
 (** [row_iter m i f] calls [f j] for each true cell [(i, j)], increasing
     [j]. *)
 
+val row_find : t -> int -> (int -> bool) -> bool
+(** [row_find m i f] calls [f j] on the true cells [(i, j)] in increasing
+    [j] and stops at the first [j] with [f j = true]; returns whether one
+    was found. The early-exit counterpart of {!row_iter} (augmenting-path
+    search in {!Synts_poset.Matching} is the intended caller). *)
+
 val transitive_closure : t -> unit
 (** In-place Warshall closure: afterwards [get m i j] is true iff [j] was
     reachable from [i] through true cells (not reflexive unless cycles make

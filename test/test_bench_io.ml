@@ -1,0 +1,245 @@
+(* The bench baseline format: JSON codec round-trips, file validation,
+   and the regression verdicts that `synts bench-diff` exits on. *)
+
+module Json = Synts_bench_io.Json
+module Bench_io = Synts_bench_io.Bench_io
+
+let qtest ?(count = 200) name gen print f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name ~print gen f)
+
+(* ---------- JSON codec ---------- *)
+
+let json_gen : Json.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  sized @@ fix (fun self size ->
+      let leaf =
+        oneof
+          [
+            return Json.Null;
+            map (fun b -> Json.Bool b) bool;
+            map (fun x -> Json.Num x) (float_bound_inclusive 1e9);
+            map (fun i -> Json.Num (float_of_int i)) (int_range (-1000) 1000);
+            map (fun s -> Json.Str s) (string_size ~gen:printable (int_bound 12));
+          ]
+      in
+      if size = 0 then leaf
+      else
+        oneof
+          [
+            leaf;
+            map (fun l -> Json.Arr l) (list_size (int_bound 4) (self (size / 2)));
+            map
+              (fun kvs -> Json.Obj kvs)
+              (list_size (int_bound 4)
+                 (pair (string_size ~gen:printable (int_bound 8))
+                    (self (size / 2))));
+          ])
+
+let rec json_eq a b =
+  match (a, b) with
+  | Json.Null, Json.Null -> true
+  | Json.Bool x, Json.Bool y -> x = y
+  | Json.Num x, Json.Num y -> x = y || (Float.is_nan x && Float.is_nan y)
+  | Json.Str x, Json.Str y -> x = y
+  | Json.Arr x, Json.Arr y ->
+      List.length x = List.length y && List.for_all2 json_eq x y
+  | Json.Obj x, Json.Obj y ->
+      List.length x = List.length y
+      && List.for_all2
+           (fun (k1, v1) (k2, v2) -> k1 = k2 && json_eq v1 v2)
+           x y
+  | _ -> false
+
+let test_json_roundtrip =
+  qtest "to_string |> of_string round-trips" json_gen
+    (fun j -> Json.to_string ~minify:true j)
+    (fun j ->
+      match Json.of_string (Json.to_string j) with
+      | Ok j' -> json_eq j j'
+      | Error _ -> false)
+
+let test_json_roundtrip_minified =
+  qtest "minified round-trip" json_gen
+    (fun j -> Json.to_string ~minify:true j)
+    (fun j ->
+      match Json.of_string (Json.to_string ~minify:true j) with
+      | Ok j' -> json_eq j j'
+      | Error _ -> false)
+
+let test_json_escapes () =
+  let s = "a\"b\\c\nd\te\r\x01" in
+  match Json.of_string (Json.to_string (Json.Str s)) with
+  | Ok (Json.Str s') -> Alcotest.(check string) "escaped" s s'
+  | _ -> Alcotest.fail "string did not round-trip"
+
+let test_json_unicode_escape () =
+  (match Json.of_string {|"é😀"|} with
+  | Ok (Json.Str s) -> Alcotest.(check string) "utf8" "\xc3\xa9\xf0\x9f\x98\x80" s
+  | _ -> Alcotest.fail "unicode escapes rejected");
+  match Json.of_string {|{"a": [1, 2.5, -3e2], "b": null}|} with
+  | Ok j ->
+      Alcotest.(check (option (float 0.0)))
+        "nested number" (Some (-300.0))
+        (match Json.member "a" j with
+        | Some (Json.Arr [ _; _; x ]) -> Json.to_num x
+        | _ -> None)
+  | Error e -> Alcotest.fail e
+
+let test_json_errors () =
+  let bad = [ ""; "{"; "[1,"; "tru"; {|{"a" 1}|}; "1 2"; {|"\q"|} ] in
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | Ok _ -> Alcotest.failf "accepted %S" s
+      | Error e ->
+          if not (String.length e > 0) then Alcotest.fail "empty error")
+    bad;
+  Alcotest.(check string)
+    "non-finite prints as null" "null"
+    (Json.to_string (Json.Num Float.nan))
+
+(* ---------- baseline files ---------- *)
+
+let sample ns words =
+  { Bench_io.ns_per_run = ns; minor_words_per_run = words }
+
+let run_a =
+  {
+    Bench_io.mode = "full";
+    seed = 42;
+    groups =
+      [
+        ("g1", [ ("fast", sample 100.0 50.0); ("slow", sample 5000.0 0.0) ]);
+        ("g2", [ ("only-old", sample 10.0 10.0) ]);
+      ];
+  }
+
+let test_baseline_roundtrip () =
+  match Bench_io.of_json (Bench_io.to_json run_a) with
+  | Ok t ->
+      Alcotest.(check string) "mode" "full" t.Bench_io.mode;
+      Alcotest.(check int) "seed" 42 t.Bench_io.seed;
+      Alcotest.(check (option (float 0.0)))
+        "metric survives" (Some 5000.0)
+        (Option.map
+           (fun m -> m.Bench_io.ns_per_run)
+           (Bench_io.find t ~group:"g1" ~test:"slow"))
+  | Error e -> Alcotest.fail e
+
+let test_baseline_file_io () =
+  let path = Filename.temp_file "synts-bench" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Bench_io.save path run_a;
+      match Bench_io.load path with
+      | Ok t -> Alcotest.(check int) "groups" 2 (List.length t.Bench_io.groups)
+      | Error e -> Alcotest.fail e)
+
+let test_load_rejects_garbage () =
+  let path = Filename.temp_file "synts-bench" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc "{\"schema\": \"other/9\"}");
+      match Bench_io.load path with
+      | Error e ->
+          Alcotest.(check bool) "mentions schema" true
+            (String.length e > 0)
+      | Ok _ -> Alcotest.fail "bad schema accepted")
+
+(* ---------- diffing ---------- *)
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_diff_verdicts () =
+  let newer =
+    {
+      Bench_io.mode = "full";
+      seed = 42;
+      groups =
+        [
+          ( "g1",
+            [
+              (* +100% time: regression. alloc 50 -> 52 is under the
+                 8-word floor: not flagged. *)
+              ("fast", sample 200.0 52.0);
+              (* 5000 -> 3000 ns: improvement; alloc 0 -> 4 under floor. *)
+              ("slow", sample 3000.0 4.0);
+            ] );
+          ("g2", []);
+          ("g3", [ ("only-new", sample 1.0 1.0) ]);
+        ];
+    }
+  in
+  let d = Bench_io.diff run_a newer in
+  Alcotest.(check int) "one regression" 1 (List.length d.Bench_io.regressions);
+  Alcotest.(check int) "one improvement" 1
+    (List.length d.Bench_io.improvements);
+  Alcotest.(check bool) "has_regression" true (Bench_io.has_regression d);
+  let r = List.hd d.Bench_io.regressions in
+  Alcotest.(check string) "regressed test" "fast" r.Bench_io.test;
+  Alcotest.(check string) "regressed metric" "ns/run" r.Bench_io.metric;
+  Alcotest.(check (list (pair string string)))
+    "only_old" [ ("g2", "only-old") ] d.Bench_io.only_old;
+  Alcotest.(check (list (pair string string)))
+    "only_new" [ ("g3", "only-new") ] d.Bench_io.only_new;
+  let report = Bench_io.render_diff ~old_run:run_a ~new_run:newer d in
+  Alcotest.(check bool) "report says REGRESSION" true
+    (contains_sub report "verdict: REGRESSION")
+
+let test_diff_threshold_and_floors () =
+  let newer =
+    {
+      Bench_io.mode = "full";
+      seed = 42;
+      groups =
+        [
+          ( "g1",
+            [ ("fast", sample 120.0 50.0); ("slow", sample 5000.0 0.0) ] );
+          ("g2", [ ("only-old", sample 10.0 10.0) ]);
+        ];
+    }
+  in
+  (* +20% is under the default 25% threshold... *)
+  let d = Bench_io.diff run_a newer in
+  Alcotest.(check bool) "under threshold" false (Bench_io.has_regression d);
+  (* ...but over a 10% threshold. *)
+  let d = Bench_io.diff ~threshold:0.10 run_a newer in
+  Alcotest.(check bool) "over tighter threshold" true
+    (Bench_io.has_regression d);
+  (* Identical runs never regress, at any threshold. *)
+  let d = Bench_io.diff ~threshold:0.01 run_a run_a in
+  Alcotest.(check bool) "self-diff clean" false (Bench_io.has_regression d);
+  Alcotest.(check int) "self-diff compared" 6 d.Bench_io.compared
+
+let () =
+  Alcotest.run "bench_io"
+    [
+      ( "json",
+        [
+          test_json_roundtrip;
+          test_json_roundtrip_minified;
+          Alcotest.test_case "escapes" `Quick test_json_escapes;
+          Alcotest.test_case "unicode + nesting" `Quick test_json_unicode_escape;
+          Alcotest.test_case "malformed inputs" `Quick test_json_errors;
+        ] );
+      ( "baseline",
+        [
+          Alcotest.test_case "json round-trip" `Quick test_baseline_roundtrip;
+          Alcotest.test_case "save/load" `Quick test_baseline_file_io;
+          Alcotest.test_case "schema validation" `Quick
+            test_load_rejects_garbage;
+        ] );
+      ( "diff",
+        [
+          Alcotest.test_case "verdicts, floors, coverage" `Quick
+            test_diff_verdicts;
+          Alcotest.test_case "thresholds" `Quick
+            test_diff_threshold_and_floors;
+        ] );
+    ]
