@@ -371,6 +371,46 @@ let dilworth_pipeline_tests =
         (Staged.stage (fun () -> ignore (Dilworth.max_antichain poset)));
     ]
 
+(* B16: trace-recording overhead — the span-recorder call sites in the
+   session and rendezvous layers with the global switch on vs. off.
+   Recording off must cost one boolean test per site, so the off rows
+   must sit within bench-diff noise of the pre-tracing baselines; the on
+   rows price a ring store per span. *)
+let trace_overhead_tests =
+  let module Tracer = Synts_trace.Tracer in
+  (* Session.message also maintains the frontier and incremental width
+     (quadratic in the feed length), so the feed is kept short enough for
+     the per-span ring-store delta to be measurable above that floor. *)
+  let g = Topology.client_server ~servers:3 ~clients:20 in
+  let d = Decomposition.best g in
+  let trace = trace_of g 500 in
+  let feed () =
+    let session = Synts_session.Session.of_decomposition d in
+    Array.iter
+      (fun (m : Trace.message) ->
+        ignore
+          (Synts_session.Session.message session ~src:m.Trace.src
+             ~dst:m.Trace.dst))
+      (Trace.messages trace)
+  in
+  let gn = Topology.client_server ~servers:2 ~clients:10 in
+  let dn = Decomposition.best gn in
+  let scripts = Synts_net.Script.of_trace (trace_of gn 600) in
+  let rendezvous () = ignore (Synts_net.Rendezvous.run ~decomposition:dn scripts) in
+  let traced f () =
+    Tracer.set_enabled true;
+    Tracer.clear ();
+    f ();
+    Tracer.set_enabled false
+  in
+  Test.make_grouped ~name:"trace-overhead"
+    [
+      Test.make ~name:"session-feed-recording" (Staged.stage (traced feed));
+      Test.make ~name:"session-feed-off" (Staged.stage feed);
+      Test.make ~name:"rendezvous-recording" (Staged.stage (traced rendezvous));
+      Test.make ~name:"rendezvous-off" (Staged.stage rendezvous);
+    ]
+
 let all_groups =
   [
     ("decomposition", decomposition_tests);
@@ -388,6 +428,7 @@ let all_groups =
     ("stamper-drivers-1000msg", stamper_tests);
     ("slab-kernel-2000msg", slab_kernel_tests);
     ("dilworth-pipeline-300msg", dilworth_pipeline_tests);
+    ("trace-overhead", trace_overhead_tests);
   ]
 
 (* ---------- measurement + reporting ---------- *)

@@ -24,6 +24,10 @@ module Validate = Synts_check.Validate
 module Experiments = Synts_experiments.Experiments
 module Telemetry = Synts_telemetry.Telemetry
 module Lint = Synts_lint.Lint
+module Tracer = Synts_trace.Tracer
+module Tracelog = Synts_trace.Tracelog
+module Chrome = Synts_trace.Chrome
+module Trace_report = Synts_trace.Report
 
 open Cmdliner
 
@@ -61,7 +65,8 @@ let seed_t =
 
 (* ---------- telemetry output ---------- *)
 
-let metrics_format_conv = Arg.enum [ ("json", `Json); ("prom", `Prom) ]
+let metrics_format_conv =
+  Arg.enum [ ("json", `Json); ("prom", `Prom); ("text", `Text) ]
 
 let metrics_t =
   Arg.(
@@ -69,20 +74,53 @@ let metrics_t =
     & opt (some metrics_format_conv) None
     & info [ "metrics" ] ~docv:"FMT"
         ~doc:
-          "Dump the telemetry snapshot after the run, as $(b,json) or \
-           $(b,prom) (Prometheus text format).")
+          "Dump the telemetry snapshot after the run, as $(b,json), \
+           $(b,prom) (Prometheus text format) or $(b,text) (one line per \
+           metric, histograms with p50/p90/p99).")
 
 let dump_metrics fmt =
   let snap = Telemetry.snapshot () in
   match fmt with
   | `Prom -> print_string (Telemetry.to_prometheus snap)
   | `Json -> print_string (Telemetry.to_json snap)
+  | `Text -> Format.printf "%a" Telemetry.pp snap
 
 let check_loss loss =
   if loss < 0.0 || loss >= 1.0 then begin
     prerr_endline "synts: --loss must be in [0, 1)";
     exit 1
   end
+
+(* ---------- trace output ---------- *)
+
+let trace_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a causal trace of the run and write it to FILE: Chrome \
+           trace-event JSON (Perfetto-loadable, with sync_precedes flow \
+           arrows) when FILE ends in .json, synts-tracelog JSONL \
+           otherwise. Inspect with $(b,synts trace report).")
+
+let start_tracing () =
+  Tracer.set_enabled true;
+  Tracer.clear ()
+
+let warn_dropped dropped =
+  if dropped > 0 then
+    Printf.eprintf
+      "synts: %d trace spans dropped (ring buffer overflow); the file holds \
+       only a suffix of the run\n"
+      dropped
+
+let write_trace path =
+  let spans = Tracer.to_list () in
+  let dropped = Tracer.dropped Tracer.default in
+  warn_dropped dropped;
+  if Filename.check_suffix path ".json" then Chrome.save path ~dropped spans
+  else Tracelog.save path ~dropped spans
 
 let topology_t =
   Arg.(
@@ -130,11 +168,12 @@ let experiments_cmd =
       value & pos_all string []
       & info [] ~docv:"ID" ~doc:"Experiment ids (e1..e10); all when omitted.")
   in
-  let run seed ids metrics =
+  let run seed ids metrics trace =
     if metrics <> None then begin
       Telemetry.set_enabled true;
       Telemetry.reset ()
     end;
+    if trace <> None then start_tracing ();
     let tables = Experiments.all ~seed in
     let wanted =
       if ids = [] then tables
@@ -152,12 +191,13 @@ let experiments_cmd =
     List.iter
       (fun t -> Format.printf "%a@." Experiments.pp_table t)
       wanted;
-    Option.iter dump_metrics metrics
+    Option.iter dump_metrics metrics;
+    Option.iter write_trace trace
   in
   Cmd.v
     (Cmd.info "experiments"
        ~doc:"Run the experiment suite and print EXPERIMENTS.md tables.")
-    Term.(const run $ seed_t $ ids_t $ metrics_t)
+    Term.(const run $ seed_t $ ids_t $ metrics_t $ trace_t)
 
 (* ---------- decompose ---------- *)
 
@@ -238,12 +278,43 @@ let simulate_cmd =
             "Packet-loss probability for the network replay that populates \
              the $(b,--metrics) snapshot (exercises retransmissions).")
   in
-  let run seed spec messages internal offline diagram save metrics loss =
+  let topo_pos_t =
+    Arg.(
+      value
+      & pos 0 (some topology_conv) None
+      & info [] ~docv:"TOPOLOGY"
+          ~doc:
+            "Topology spec (see $(b,synts decompose --help)); \
+             alternatively pass $(b,--topology).")
+  in
+  let topo_opt_t =
+    Arg.(
+      value
+      & opt (some topology_conv) None
+      & info [ "topology" ] ~docv:"TOPOLOGY"
+          ~doc:"Topology spec, as a named alternative to the positional \
+                argument.")
+  in
+  let run seed pos_spec opt_spec messages internal offline diagram save metrics
+      loss tracefile =
     check_loss loss;
+    let spec =
+      match (pos_spec, opt_spec) with
+      | Some s, None | None, Some s -> s
+      | Some _, Some _ ->
+          prerr_endline
+            "synts simulate: give the topology once (positional or \
+             --topology, not both)";
+          exit 1
+      | None, None ->
+          prerr_endline "synts simulate: a TOPOLOGY (or --topology) is required";
+          exit 1
+    in
     if metrics <> None then begin
       Telemetry.set_enabled true;
       Telemetry.reset ()
     end;
+    if tracefile <> None then start_tracing ();
     let g = realize_topology seed spec in
     let trace =
       Workload.random (Rng.create (seed + 1)) ~topology:g ~messages
@@ -251,6 +322,23 @@ let simulate_cmd =
     in
     Option.iter (fun path -> Synts_sync.Trace_io.save path trace) save;
     let d = Decomposition.best g in
+    if tracefile <> None then begin
+      (* Cover the session layer too: feed the observation stream through
+         a monitoring session so the written trace carries session-level
+         message spans (stamps, per-observe cell cost) alongside the
+         poset/net spans the stamping and replay below record. *)
+      let session = Synts_session.Session.of_decomposition d in
+      List.iter
+        (fun step ->
+          ignore
+            (Synts_session.Session.observe session
+               (match step with
+               | Trace.Send (src, dst) ->
+                   Synts_session.Session.Message { src; dst }
+               | Trace.Local proc -> Synts_session.Session.Internal { proc })))
+        (Trace.steps trace);
+      ignore (Synts_session.Session.finish_events session)
+    end;
     let ts =
       if offline then Offline.timestamp_trace trace
       else Online.timestamp_trace d trace
@@ -270,25 +358,28 @@ let simulate_cmd =
       (if Array.length ts > 0 then Vector.size ts.(0) else 0)
       (Dilworth.width p)
       (if offline then "offline" else "online");
-    match metrics with
+    if metrics <> None || tracefile <> None then begin
+      (* Replay the computation over the simulated network so the metrics
+         snapshot and the recorded trace also cover the protocol layer:
+         packet counters, retransmissions, transit spans, the
+         delivery-latency histogram and per-message piggyback bytes.
+         Deterministic from the same seed. *)
+      let scripts = Synts_net.Script.of_trace trace in
+      ignore (Synts_net.Rendezvous.run ~seed ~loss ~decomposition:d scripts)
+    end;
+    (match metrics with
     | None -> ()
     | Some fmt ->
-        (* Replay the computation over the simulated network so the
-           snapshot also covers the protocol layer: packet counters,
-           retransmissions, the delivery-latency histogram and per-message
-           piggyback bytes. Deterministic from the same seed. *)
-        let scripts = Synts_net.Script.of_trace trace in
-        ignore
-          (Synts_net.Rendezvous.run ~seed ~loss ~decomposition:d scripts);
         print_newline ();
-        dump_metrics fmt
+        dump_metrics fmt);
+    Option.iter write_trace tracefile
   in
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Generate a random synchronous computation and timestamp it.")
     Term.(
-      const run $ seed_t $ topology_t $ messages_t $ internal_t $ offline_t
-      $ diagram_t $ save_t $ metrics_t $ loss_t)
+      const run $ seed_t $ topo_pos_t $ topo_opt_t $ messages_t $ internal_t
+      $ offline_t $ diagram_t $ save_t $ metrics_t $ loss_t $ trace_t)
 
 (* ---------- analyze ---------- *)
 
@@ -786,6 +877,182 @@ let metrics_cmd =
       const run $ seed_t $ topology_opt_t $ messages_t $ loss_t $ format_t
       $ list_t)
 
+(* ---------- trace ---------- *)
+
+(* The seeded demo behind `synts trace record`: one computation pushed
+   through every traced layer — session stamping, the lossy REQ/ACK
+   network replay, a small CSP pipeline and the offline Dilworth
+   pipeline — so one recording exercises all four tick domains.
+   Deterministic: same seed, byte-identical tracelog. *)
+let layered_demo ~seed ~spec ~messages ~internal_prob ~loss =
+  let g = realize_topology seed spec in
+  let d = Decomposition.best g in
+  let trace =
+    Workload.random (Rng.create (seed + 1)) ~topology:g ~messages
+      ~internal_prob ()
+  in
+  let session = Synts_session.Session.of_decomposition d in
+  List.iter
+    (fun step ->
+      ignore
+        (Synts_session.Session.observe session
+           (match step with
+           | Trace.Send (src, dst) -> Synts_session.Session.Message { src; dst }
+           | Trace.Local proc -> Synts_session.Session.Internal { proc })))
+    (Trace.steps trace);
+  ignore (Synts_session.Session.finish_events session);
+  let scripts = Synts_net.Script.of_trace trace in
+  ignore (Synts_net.Rendezvous.run ~seed ~loss ~decomposition:d scripts);
+  let module R = Synts_csp.Runtime.Make (struct
+    type msg = int
+  end) in
+  let items = 8 in
+  let programs =
+    [|
+      (fun api ->
+        for i = 1 to items do
+          ignore (api.R.send 1 i)
+        done);
+      R.Pattern.relay ~next:2 ~items ~transform:(fun x -> x + 1);
+      (fun api ->
+        for _ = 1 to items do
+          api.R.internal ();
+          ignore (api.R.recv ())
+        done);
+    |]
+  in
+  ignore
+    (R.run ~seed
+       ~decomposition:(Decomposition.best (Topology.path 3))
+       ~n:3 programs);
+  ignore (Offline.timestamp_trace trace)
+
+let trace_record_cmd =
+  let topology_opt_t =
+    Arg.(
+      value
+      & pos 0 topology_conv (Spec (Topology.Client_server (4, 12)))
+      & info [] ~docv:"TOPOLOGY"
+          ~doc:"Topology for the demo run (default cs:4x12).")
+  in
+  let messages_t =
+    Arg.(
+      value & opt int 120
+      & info [ "messages"; "m" ] ~docv:"M" ~doc:"Message count.")
+  in
+  let internal_t =
+    Arg.(
+      value & opt float 0.2
+      & info [ "internal" ] ~docv:"P" ~doc:"Internal-event probability.")
+  in
+  let loss_t =
+    Arg.(
+      value & opt float 0.05
+      & info [ "loss" ] ~docv:"P"
+          ~doc:"Packet-loss probability for the network leg.")
+  in
+  let output_t =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:
+            "Where to write the trace: Chrome trace-event JSON when FILE \
+             ends in .json, synts-tracelog JSONL otherwise.")
+  in
+  let run seed spec messages internal loss output =
+    check_loss loss;
+    start_tracing ();
+    layered_demo ~seed ~spec ~messages ~internal_prob:internal ~loss;
+    write_trace output;
+    Format.printf "recorded %d spans (%d dropped) -> %s@."
+      (Tracer.length Tracer.default)
+      (Tracer.dropped Tracer.default)
+      output
+  in
+  Cmd.v
+    (Cmd.info "record"
+       ~doc:
+         "Run a seeded demo across the session, network, CSP and offline \
+          pipeline layers with the span recorder on, and write the trace \
+          (deterministic: same seed, byte-identical file).")
+    Term.(
+      const run $ seed_t $ topology_opt_t $ messages_t $ internal_t $ loss_t
+      $ output_t)
+
+let trace_file_t =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE"
+        ~doc:
+          "A recorded trace, in either format (synts-tracelog JSONL or \
+           Chrome trace-event JSON); sniffed automatically.")
+
+let trace_export_cmd =
+  let format_t =
+    Arg.(
+      value
+      & opt (enum [ ("chrome", `Chrome); ("jsonl", `Jsonl) ]) `Chrome
+      & info [ "format"; "f" ] ~docv:"FMT"
+          ~doc:
+            "$(b,chrome) (Perfetto-loadable trace-event JSON with \
+             sync_precedes flow arrows) or $(b,jsonl) (synts-tracelog).")
+  in
+  let output_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file; stdout if omitted.")
+  in
+  let run file format output =
+    match Trace_report.load file with
+    | Error e ->
+        prerr_endline ("synts trace export: " ^ e);
+        exit 1
+    | Ok (spans, dropped) ->
+        warn_dropped dropped;
+        let text =
+          match format with
+          | `Chrome -> Chrome.to_string ~dropped spans
+          | `Jsonl -> Tracelog.to_string ~dropped spans
+        in
+        (match output with
+        | None -> print_string text
+        | Some path ->
+            Out_channel.with_open_text path (fun oc ->
+                Out_channel.output_string oc text))
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Convert a recorded trace between the JSONL and Chrome formats.")
+    Term.(const run $ trace_file_t $ format_t $ output_t)
+
+let trace_report_cmd =
+  let run file =
+    match Trace_report.load file with
+    | Error e ->
+        prerr_endline ("synts trace report: " ^ e);
+        exit 1
+    | Ok (spans, dropped) -> print_string (Trace_report.render ~dropped spans)
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Per-layer logical-time attribution from a recorded trace: span \
+          statistics with p50/p90/p99, message and stamp-cost summaries, \
+          and the width of the message poset over time.")
+    Term.(const run $ trace_file_t)
+
+let trace_cmd =
+  Cmd.group
+    (Cmd.info "trace"
+       ~doc:
+         "Causal tracing: record span logs keyed by logical ticks, export \
+          them as Perfetto-loadable Chrome trace-event JSON or streaming \
+          JSONL, and profile where logical time went.")
+    [ trace_record_cmd; trace_export_cmd; trace_report_cmd ]
+
 let bench_diff_cmd =
   let module Bench_io = Synts_bench_io.Bench_io in
   let old_t =
@@ -840,5 +1107,5 @@ let () =
           [
             figures_cmd; experiments_cmd; decompose_cmd; simulate_cmd;
             analyze_cmd; monitor_cmd; protocol_cmd; verify_cmd; lint_cmd;
-            metrics_cmd; bench_diff_cmd;
+            metrics_cmd; trace_cmd; bench_diff_cmd;
           ]))

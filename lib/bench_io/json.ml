@@ -33,8 +33,7 @@ let num_to_string x =
     let s = Printf.sprintf "%.12g" x in
     if float_of_string s = x then s else Printf.sprintf "%.17g" x
 
-let to_string ?(minify = false) t =
-  let buf = Buffer.create 256 in
+let to_buffer ?(minify = false) buf t =
   let pad depth =
     if not minify then begin
       Buffer.add_char buf '\n';
@@ -71,7 +70,11 @@ let to_string ?(minify = false) t =
         pad depth;
         Buffer.add_char buf '}'
   in
-  go 0 t;
+  go 0 t
+
+let to_string ?minify t =
+  let buf = Buffer.create 256 in
+  to_buffer ?minify buf t;
   Buffer.contents buf
 
 (* ---------- parsing ---------- *)

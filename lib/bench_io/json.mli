@@ -18,6 +18,11 @@ val to_string : ?minify:bool -> t -> string
 (** Render; two-space indentation unless [minify]. NaN and infinities are
     rendered as [null] (JSON has no encoding for them). *)
 
+val to_buffer : ?minify:bool -> Buffer.t -> t -> unit
+(** {!to_string} into a caller-owned buffer — line-oriented emitters
+    (the [synts-tracelog] JSONL exporter) append one document per line
+    without building intermediate strings. *)
+
 val of_string : string -> (t, string) result
 (** Parse a complete JSON document. Errors carry a character offset. *)
 

@@ -3,17 +3,59 @@ module Realizer = Synts_poset.Realizer
 module Dilworth = Synts_poset.Dilworth
 module Message_poset = Synts_sync.Message_poset
 module Vector = Synts_clock.Vector
+module Tracer = Synts_trace.Tracer
 
 let width_bound ~n = n / 2
 
+(* When tracing, the pipeline is run phase by phase (matching, chain
+   extraction, extension construction) through the primitives Realizer
+   composes — identical results by construction, but each phase lands as
+   its own span on the offline recorder's pipeline clock, with span
+   durations measuring work units (elements, matched pairs, chains). *)
+let traced_realizer p =
+  let n = Poset.size p in
+  if n = 0 then [ [||] ]
+  else begin
+    let phase name work f =
+      let tick = Tracer.pipeline_tick () in
+      let result = f () in
+      let dur = float_of_int (work result) in
+      Tracer.complete ~cat:"poset" ~tick ~dur name;
+      Tracer.pipeline_advance dur;
+      result
+    in
+    let m = phase "matching" (fun m -> m.Synts_poset.Matching.size) (fun () -> Dilworth.matching p) in
+    let chains =
+      phase "chain-extraction" List.length (fun () -> Dilworth.chains_of_matching n m)
+    in
+    phase "extension"
+      (fun exts -> List.length exts * n)
+      (fun () -> Realizer.of_chain_partition p chains)
+  end
+
 let timestamp_poset p =
-  let vecs = Realizer.vectors (Realizer.dilworth p) in
+  let realizer =
+    if Tracer.enabled () then traced_realizer p else Realizer.dilworth p
+  in
+  let vecs = Realizer.vectors realizer in
   (* Shift ranks to 1-based so the all-zero vector stays strictly below
      every timestamp — the Section 5 internal-event stamps use zero as the
      "no preceding message" bottom element. *)
   Array.map (Array.map succ) vecs
 
-let timestamp_trace trace = timestamp_poset (Message_poset.of_trace trace)
+let timestamp_trace trace =
+  let p =
+    if Tracer.enabled () then begin
+      let tick = Tracer.pipeline_tick () in
+      let p = Message_poset.of_trace trace in
+      let dur = float_of_int (Poset.size p) in
+      Tracer.complete ~cat:"poset" ~tick ~dur "closure";
+      Tracer.pipeline_advance dur;
+      p
+    end
+    else Message_poset.of_trace trace
+  in
+  timestamp_poset p
 
 let dimension_used trace =
   max 1 (Dilworth.width (Message_poset.of_trace trace))

@@ -3,6 +3,7 @@ module Trace = Synts_sync.Trace
 module Vector = Synts_clock.Vector
 module Edge_clock = Synts_core.Edge_clock
 module Tm = Synts_telemetry.Telemetry
+module Tracer = Synts_trace.Tracer
 
 let m_dispatches =
   Tm.Counter.v ~help:"Fiber dispatches by the CSP scheduler" "csp.dispatches"
@@ -126,29 +127,51 @@ struct
        scheduler's dispatch counter, so wait depth is measured in
        scheduling steps, not wall time. *)
     let waits : Tm.Span.active option array = Array.make n None in
+    (* Trace wait spans parallel the telemetry ones: same tick domain
+       (the dispatch counter), but individually retained so the profiler
+       can attribute blocked time per process, not just in aggregate. *)
+    let twaits : Tracer.active array = Array.make n Tracer.null in
+    let messages = ref 0 in
     let block pid =
       if Tm.enabled () then
-        waits.(pid) <- Some (Tm.Span.start m_wait ~tick:(float_of_int !dispatches))
+        waits.(pid) <- Some (Tm.Span.start m_wait ~tick:(float_of_int !dispatches));
+      if Tracer.enabled () then
+        twaits.(pid) <-
+          Tracer.begin_span ~cat:"csp" ~pid ~tick:(float_of_int !dispatches) "wait"
     in
     let unblock pid =
-      match waits.(pid) with
+      (match waits.(pid) with
       | None -> ()
       | Some a ->
           waits.(pid) <- None;
-          Tm.Span.stop a ~tick:(float_of_int !dispatches)
+          Tm.Span.stop a ~tick:(float_of_int !dispatches));
+      Tracer.end_span twaits.(pid) ~tick:(float_of_int !dispatches);
+      twaits.(pid) <- Tracer.null
     in
     let record_rendezvous ~src ~dst =
       steps := Trace.Send (src, dst) :: !steps;
       Tm.Counter.incr m_rendezvous;
       unblock src;
       unblock dst;
-      match clocks with
-      | None -> None
-      | Some clocks ->
-          let ts = protocol_stamp clocks ~src ~dst in
-          Option.iter (fun f -> f ~src ~dst ts) on_stamp;
-          message_stamps := ts :: !message_stamps;
-          Some ts
+      let id = !messages in
+      incr messages;
+      let ts =
+        match clocks with
+        | None -> None
+        | Some clocks ->
+            let ts = protocol_stamp clocks ~src ~dst in
+            Option.iter (fun f -> f ~src ~dst ts) on_stamp;
+            message_stamps := ts :: !message_stamps;
+            Some ts
+      in
+      if Tracer.enabled () then begin
+        let cells = match ts with Some v -> Array.length v | None -> 0 in
+        let stamp = Option.value ~default:[||] ts in
+        Tracer.message ~cat:"csp" ~src ~dst
+          ~tick:(float_of_int !dispatches)
+          ~id ~cells ~stamp ()
+      end;
+      ts
     in
     let filter_accepts filter src =
       match filter with None -> true | Some p -> p = src
@@ -165,6 +188,10 @@ struct
       | Wants_internal k ->
           steps := Trace.Local pid :: !steps;
           Tm.Counter.incr m_internal;
+          if Tracer.enabled () then
+            Tracer.instant ~cat:"csp" ~pid
+              ~tick:(float_of_int !dispatches)
+              "internal";
           status.(pid) <- Runnable (fun () -> Effect.Deep.continue k ())
       | Wants_send (dst, m, k) ->
           if dst < 0 || dst >= n || dst = pid then

@@ -3,6 +3,7 @@ module Vector = Synts_clock.Vector
 module Wire = Synts_clock.Wire
 module Edge_clock = Synts_core.Edge_clock
 module Tm = Synts_telemetry.Telemetry
+module Tracer = Synts_trace.Tracer
 
 let m_messages =
   Tm.Counter.v ~help:"Rendezvous completed (REQs consumed)"
@@ -91,21 +92,32 @@ let run ?(seed = 0) ?min_delay ?max_delay ?fifo ?(loss = 0.0)
         })
   in
   let steps = ref [] and stamps = ref [] in
+  let msg_count = ref 0 in
   (* Receiver half of a rendezvous: record the message, update the clock,
      store and send the ACK. *)
   let consume_req receiver ~src ~seq payload =
     steps := Trace.Send (src, receiver.pid) :: !steps;
     Tm.Counter.incr m_messages;
-    let ack_payload =
+    let ack_payload, timestamp =
       match (receiver.clock, payload) with
       | Some clock, Some v ->
           let `Ack ack, timestamp = Edge_clock.receive clock ~src v in
           stamps := timestamp :: !stamps;
-          Some ack
-      | None, _ -> None
+          (Some ack, Some timestamp)
+      | None, _ -> (None, None)
       | Some _, None ->
           invalid_arg "Rendezvous: REQ without a vector while timestamping"
     in
+    (* The REQ's consumption is the rendezvous instant; its id follows
+       trace order, so flow edges line up with the oracle's message ids. *)
+    let id = !msg_count in
+    incr msg_count;
+    if Tracer.enabled () then
+      Tracer.message ~cat:"net" ~src ~dst:receiver.pid
+        ~tick:(Simulator.now net) ~id
+        ~cells:(match timestamp with Some v -> Array.length v | None -> 0)
+        ~stamp:(Option.value ~default:[||] timestamp)
+        ();
     Hashtbl.replace receiver.completed (src, seq) ack_payload;
     if Tm.enabled () then begin
       let req_bytes =
@@ -201,6 +213,9 @@ let run ?(seed = 0) ?min_delay ?max_delay ?fifo ?(loss = 0.0)
           when expected = to_ && awaited = seq ->
             if attempts < max_retransmits then begin
               Tm.Counter.incr m_retransmissions;
+              if Tracer.enabled () then
+                Tracer.instant ~cat:"net" ~pid:p.pid
+                  ~tick:(Simulator.now net) ~a:p.pid ~b:to_ "retransmit";
               ignore (count_piggyback vector);
               Simulator.send net ~src:p.pid ~dst:to_ (Req { seq; vector });
               Simulator.timer net ~delay:retransmit ~proc:p.pid

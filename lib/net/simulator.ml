@@ -1,6 +1,7 @@
 module Rng = Synts_util.Rng
 module Heap = Synts_util.Heap
 module Tm = Synts_telemetry.Telemetry
+module Tracer = Synts_trace.Tracer
 
 let m_packets =
   Tm.Counter.v ~help:"Packets handed to the network (lost ones included)"
@@ -67,9 +68,13 @@ let send t ~src ~dst payload =
     invalid_arg "Simulator.send: bad endpoints";
   t.packets <- t.packets + 1;
   Tm.Counter.incr m_packets;
+  if Tracer.enabled () then
+    Tracer.instant ~cat:"net" ~pid:src ~tick:t.clock ~a:src ~b:dst "send";
   if t.loss > 0.0 && Rng.chance t.rng t.loss then begin
     t.lost <- t.lost + 1;
-    Tm.Counter.incr m_lost
+    Tm.Counter.incr m_lost;
+    if Tracer.enabled () then
+      Tracer.instant ~cat:"net" ~pid:src ~tick:t.clock ~a:src ~b:dst "drop"
   end
   else begin
     let delay =
@@ -91,6 +96,8 @@ let timer t ~delay ~proc payload =
   if proc < 0 || proc >= t.n then invalid_arg "Simulator.timer: bad process";
   if delay < 0.0 then invalid_arg "Simulator.timer: negative delay";
   Tm.Counter.incr m_timers;
+  if Tracer.enabled () then
+    Tracer.instant ~cat:"net" ~pid:proc ~tick:t.clock "timer";
   Heap.push t.queue ~priority:(t.clock +. delay)
     { src = proc; dst = proc; sent_at = t.clock; payload }
 
@@ -104,7 +111,12 @@ let run t ~on_deliver =
         (* Timers (src = dst) are local alarms, not network traffic. *)
         if src <> dst then begin
           Tm.Counter.incr m_delivered;
-          Tm.Histogram.observe m_latency (at -. sent_at)
+          Tm.Histogram.observe m_latency (at -. sent_at);
+          (* The transit span lives on the receiver's track: it ends at
+             the delivery it explains. *)
+          if Tracer.enabled () then
+            Tracer.complete ~cat:"net" ~pid:dst ~tick:sent_at
+              ~dur:(at -. sent_at) ~a:src ~b:dst "transit"
         end;
         on_deliver ~src ~dst payload
   done;

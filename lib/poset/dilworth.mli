@@ -12,6 +12,18 @@ val comparability_edges : Poset.t -> (int * int) list
 (** All pairs [(i, j)] with [i < j] in the order — the split bipartite
     graph's edges. *)
 
+val matching : Poset.t -> Matching.result
+(** The maximum matching of the split bipartite graph of the order
+    relation (Hopcroft–Karp over the comparability bit-rows) — the
+    "matching" phase of the offline pipeline, exposed so callers
+    ({!Synts_core.Offline}, the [synts trace] profiler) can time it
+    separately from chain extraction. Deterministic. *)
+
+val chains_of_matching : int -> Matching.result -> int list list
+(** The "chain extraction" phase: follow matched successor links from the
+    unmatched chain heads. [chains_of_matching n m] over [n] elements;
+    [min_chain_partition p = chains_of_matching (Poset.size p) (matching p)]. *)
+
 val min_chain_partition : Poset.t -> int list list
 (** A partition of the elements into the minimum number of chains; each
     chain is listed in increasing poset order. The number of chains equals

@@ -1,8 +1,8 @@
-let dilworth p =
+let of_chain_partition p chains =
   let n = Poset.size p in
   if n = 0 then [ [||] ]
   else
-    match Dilworth.min_chain_partition p with
+    match chains with
     | [] | [ _ ] -> [ Poset.linear_extension p ]
     | chains ->
         List.map
@@ -11,6 +11,10 @@ let dilworth p =
             List.iter (fun v -> avoid.(v) <- true) chain;
             Poset.linear_extension_avoiding p ~avoid)
           chains
+
+let dilworth p =
+  if Poset.size p = 0 then [ [||] ]
+  else of_chain_partition p (Dilworth.min_chain_partition p)
 
 let is_realizer p exts =
   exts <> []

@@ -12,6 +12,14 @@ val dilworth : Poset.t -> int array list
 (** A realizer with exactly [max 1 (width p)] extensions (a single
     extension for empty or chain posets). Deterministic. *)
 
+val of_chain_partition : Poset.t -> int list list -> int array list
+(** The construction behind {!dilworth}, from a precomputed minimum chain
+    partition ({!Dilworth.min_chain_partition} or the phase-split
+    {!Dilworth.matching} + {!Dilworth.chains_of_matching}):
+    [dilworth p = of_chain_partition p (Dilworth.min_chain_partition p)].
+    Lets callers time the matching, extraction and extension phases
+    separately. *)
+
 val is_realizer : Poset.t -> int array list -> bool
 (** Every member is a linear extension of the poset and their intersection
     equals the poset exactly. *)

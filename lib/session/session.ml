@@ -8,6 +8,7 @@ module Internal_events = Synts_core.Internal_events
 module Frontier = Synts_monitor.Frontier
 module Stats = Synts_monitor.Stats
 module Tm = Synts_telemetry.Telemetry
+module Tracer = Synts_trace.Tracer
 
 let m_stamps =
   Tm.Counter.v ~help:"Message stamps issued by sessions" "session.stamps"
@@ -31,6 +32,11 @@ let m_dimension =
   Tm.Gauge.v ~help:"Largest vector dimension in use by any session"
     "session.vector_dimension"
 
+let m_dropped =
+  Tm.Counter.v
+    ~help:"Resolved internal-event stamps evicted from full pending queues"
+    "session.dropped_events"
+
 type stamper =
   | Static of Decomposition.t * (src:int -> dst:int -> Vector.t)
   | Adaptive of Adaptive_stamper.t
@@ -43,12 +49,15 @@ type t = {
   stats : Stats.t;
   width : Synts_poset.Incremental_width.t;
   last_message : int array;  (* per process, -1 when none *)
-  mutable resolved : (Event_stream.ticket * Internal_events.stamp) list;
-      (* oldest first, drained by the caller *)
+  resolved : (Event_stream.ticket * Internal_events.stamp) Queue.t;
+      (* oldest first, drained by the caller; bounded by [pending_cap] *)
+  pending_cap : int;
+  mutable dropped : int;
   mutable observed : int;
 }
 
-let make ?window ~n stamper dimension =
+let make ?window ?(pending_cap = 65536) ~n stamper dimension =
+  if pending_cap < 1 then invalid_arg "Session: pending_cap must be >= 1";
   {
     n;
     stamper;
@@ -57,18 +66,23 @@ let make ?window ~n stamper dimension =
     stats = Stats.create ?window ();
     width = Synts_poset.Incremental_width.create ();
     last_message = Array.make n (-1);
-    resolved = [];
+    resolved = Queue.create ();
+    pending_cap;
+    dropped = 0;
     observed = 0;
   }
 
-let of_decomposition ?window d =
+let of_decomposition ?window ?pending_cap d =
   let n = Decomposition.graph_vertices d in
-  make ?window ~n
+  make ?window ?pending_cap ~n
     (Static (d, Online.stamper d))
     (max 1 (Decomposition.size d))
 
-let of_topology ?window g = of_decomposition ?window (Decomposition.best g)
-let adaptive ?window ~n () = make ?window ~n (Adaptive (Adaptive_stamper.create n)) 1
+let of_topology ?window ?pending_cap g =
+  of_decomposition ?window ?pending_cap (Decomposition.best g)
+
+let adaptive ?window ?pending_cap ~n () =
+  make ?window ?pending_cap ~n (Adaptive (Adaptive_stamper.create n)) 1
 
 let processes t = t.n
 
@@ -95,20 +109,41 @@ let message t ~src ~dst =
   ignore (Synts_poset.Incremental_width.add t.width ~preds);
   t.last_message.(src) <- id;
   t.last_message.(dst) <- id;
-  t.resolved <-
-    t.resolved
-    @ Event_stream.record_message t.events ~proc:src v
-    @ Event_stream.record_message t.events ~proc:dst v;
+  let enqueue resolved =
+    List.iter
+      (fun r ->
+        (* Bounded: a caller that never drains loses the oldest stamps,
+           counted, instead of growing without bound. *)
+        if Queue.length t.resolved >= t.pending_cap then begin
+          ignore (Queue.pop t.resolved);
+          t.dropped <- t.dropped + 1;
+          Tm.Counter.incr m_dropped
+        end;
+        Queue.push r t.resolved)
+      resolved
+  in
+  enqueue (Event_stream.record_message t.events ~proc:src v);
+  enqueue (Event_stream.record_message t.events ~proc:dst v);
+  if Tracer.enabled () then
+    (* The session's tick domain is its own sequence numbers; [cells] is
+       the per-observe stamp cost in slab cells touched. *)
+    Tracer.message ~cat:"session" ~src ~dst ~tick:(float_of_int id) ~id
+      ~cells:(Vector.size v) ~stamp:v ();
   v
 
 let internal t ~proc =
   Tm.Counter.incr m_internal;
+  if Tracer.enabled () then
+    Tracer.instant ~cat:"session" ~pid:proc ~tick:(float_of_int t.observed)
+      "internal";
   Event_stream.record_internal t.events ~proc
+
+let dropped_events t = t.dropped
 
 let drain_events t =
   Tm.Counter.incr m_drains;
-  let out = t.resolved in
-  t.resolved <- [];
+  let out = List.of_seq (Queue.to_seq t.resolved) in
+  Queue.clear t.resolved;
   out
 
 let finish_events t =

@@ -13,14 +13,16 @@
 
 type t
 
-val of_topology : ?window:int -> Synts_graph.Graph.t -> t
+val of_topology : ?window:int -> ?pending_cap:int -> Synts_graph.Graph.t -> t
 (** Known topology: uses [Decomposition.best]. [window] bounds the
-    statistics' retained history. *)
+    statistics' retained history; [pending_cap] (default 65536, ≥ 1)
+    bounds the resolved internal-event queue — see {!drain_events}. *)
 
-val of_decomposition : ?window:int -> Synts_graph.Decomposition.t -> t
+val of_decomposition :
+  ?window:int -> ?pending_cap:int -> Synts_graph.Decomposition.t -> t
 (** Known topology with a caller-chosen decomposition. *)
 
-val adaptive : ?window:int -> n:int -> unit -> t
+val adaptive : ?window:int -> ?pending_cap:int -> n:int -> unit -> t
 (** Unknown topology: channels register on first use. *)
 
 val processes : t -> int
@@ -64,7 +66,14 @@ val observe : t -> event -> outcome
 
 val drain_events :
   t -> (Synts_core.Event_stream.ticket * Synts_core.Internal_events.stamp) list
-(** Internal-event stamps resolved since the last drain, oldest first. *)
+(** Internal-event stamps resolved since the last drain, oldest first.
+    The pending queue is bounded by the constructor's [pending_cap]: when
+    an embedder stops draining, the oldest resolved stamps are evicted —
+    each eviction increments {!dropped_events} and the
+    [session.dropped_events] telemetry counter, never silently. *)
+
+val dropped_events : t -> int
+(** Resolved stamps evicted from the full pending queue so far. *)
 
 val finish_events :
   t -> (Synts_core.Event_stream.ticket * Synts_core.Internal_events.stamp) list

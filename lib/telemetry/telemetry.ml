@@ -118,6 +118,34 @@ module Histogram = struct
 
   let count t = t.h_count
   let sum t = t.h_sum
+
+  (* Shared with [quantile_of_value]: [counts] holds one entry per finite
+     bound plus the +inf bucket; ranks past the finite buckets clamp to
+     the last bound (there is no upper edge to interpolate towards). *)
+  let quantile_core ~bounds ~counts ~total q =
+    if q < 0.0 || q > 1.0 then
+      invalid_arg "Telemetry.Histogram.quantile: q outside [0, 1]";
+    if total = 0 then 0.0
+    else begin
+      let target = q *. float_of_int total in
+      let k = Array.length bounds in
+      let rec go i cum =
+        if i >= k then bounds.(k - 1)
+        else
+          let c = counts.(i) in
+          let cum' = cum +. float_of_int c in
+          if c > 0 && target <= cum' then begin
+            let lo = if i = 0 then 0.0 else bounds.(i - 1) in
+            let hi = bounds.(i) in
+            lo +. ((target -. cum) /. float_of_int c *. (hi -. lo))
+          end
+          else go (i + 1) cum'
+      in
+      go 0 0.0
+    end
+
+  let quantile t q =
+    quantile_core ~bounds:t.bounds ~counts:t.counts ~total:t.h_count q
 end
 
 module Span = struct
@@ -147,6 +175,14 @@ type value =
     }
 
 type snapshot = (string * value) list
+
+let quantile_of_value v q =
+  match v with
+  | Counter_v _ | Gauge_v _ -> None
+  | Histogram_v { buckets; inf; count; _ } ->
+      let bounds = Array.map fst buckets in
+      let counts = Array.append (Array.map snd buckets) [| inf |] in
+      Some (Histogram.quantile_core ~bounds ~counts ~total:count q)
 
 let snapshot ?(registry = default) () =
   Hashtbl.fold
@@ -288,6 +324,12 @@ let pp ppf snap =
       | Counter_v c -> Format.fprintf ppf "%-42s %d@." name c
       | Gauge_v g -> Format.fprintf ppf "%-42s %d (gauge)@." name g
       | Histogram_v { sum; count; _ } ->
-          Format.fprintf ppf "%-42s count=%d sum=%s (histogram)@." name count
-            (ftoa sum))
+          let q p =
+            match quantile_of_value v p with
+            | Some x -> ftoa x
+            | None -> "-"
+          in
+          Format.fprintf ppf
+            "%-42s count=%d sum=%s p50=%s p90=%s p99=%s (histogram)@." name
+            count (ftoa sum) (q 0.5) (q 0.9) (q 0.99))
     snap

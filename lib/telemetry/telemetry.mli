@@ -81,6 +81,15 @@ module Histogram : sig
   val observe : t -> float -> unit
   val count : t -> int
   val sum : t -> float
+
+  val quantile : t -> float -> float
+  (** [quantile h q] estimates the [q]-quantile ([0 ≤ q ≤ 1]) of the
+      observed distribution by linear interpolation within buckets: the
+      target rank [q·count] is located in the cumulative bucket counts and
+      interpolated between the bucket's lower and upper bounds (the first
+      bucket's lower bound is 0). Observations in the +∞ bucket clamp to
+      the last finite bound. Returns [0.] for an empty histogram; raises
+      [Invalid_argument] when [q] is outside [0, 1]. *)
 end
 
 (** Logical-time spans: durations measured in caller-supplied ticks
@@ -113,6 +122,10 @@ type value =
 
 type snapshot = (string * value) list
 (** Sorted by metric name. *)
+
+val quantile_of_value : value -> float -> float option
+(** {!Histogram.quantile} over a snapshot value: [Some estimate] for
+    histograms, [None] for counters and gauges. *)
 
 val snapshot : ?registry:registry -> unit -> snapshot
 val reset : ?registry:registry -> unit -> unit

@@ -1,0 +1,268 @@
+module Json = Synts_bench_io.Json
+
+let schema = "synts-trace-chrome/1"
+
+let num i = Json.Num (float_of_int i)
+
+let to_json ?(dropped = 0) spans =
+  (* Deterministic pid / tid assignment: real pids keep their number,
+     recorder-global spans (pid = -1) share a pseudo-process one past the
+     largest real pid; each layer (cat) is a tid, numbered in order of
+     first appearance. *)
+  let max_pid = List.fold_left (fun m (s : Tracer.span) -> max m s.pid) (-1) spans in
+  let pipeline_pid = max_pid + 1 in
+  let map_pid p = if p < 0 then pipeline_pid else p in
+  let cats = ref [] in
+  let tid_of : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let tid cat =
+    match Hashtbl.find_opt tid_of cat with
+    | Some t -> t
+    | None ->
+        let t = Hashtbl.length tid_of in
+        Hashtbl.add tid_of cat t;
+        cats := (cat, t) :: !cats;
+        t
+  in
+  let threads : (int * int, string) Hashtbl.t = Hashtbl.create 16 in
+  let thread_order = ref [] in
+  let note_thread pid cat t =
+    if not (Hashtbl.mem threads (pid, t)) then begin
+      Hashtbl.add threads (pid, t) cat;
+      thread_order := (pid, t, cat) :: !thread_order
+    end
+  in
+  let events = ref [] in
+  let emit e = events := e :: !events in
+  let common (s : Tracer.span) ph =
+    let t = tid s.cat in
+    let pid = map_pid s.pid in
+    note_thread pid s.cat t;
+    [
+      ("name", Json.Str s.name);
+      ("cat", Json.Str s.cat);
+      ("ph", Json.Str ph);
+      ("pid", num pid);
+      ("tid", num t);
+      ("ts", Json.Num s.tick);
+    ]
+  in
+  let int_args (s : Tracer.span) =
+    (if s.a >= 0 then [ ("a", num s.a) ] else [])
+    @ if s.b >= 0 then [ ("b", num s.b) ] else []
+  in
+  List.iter
+    (fun (s : Tracer.span) ->
+      match s.kind with
+      | Tracer.Complete ->
+          let args = int_args s in
+          emit
+            (Json.Obj
+               (common s "X"
+               @ [ ("dur", Json.Num s.dur) ]
+               @ if args = [] then [] else [ ("args", Json.Obj args) ]))
+      | Tracer.Instant ->
+          let args = int_args s in
+          emit
+            (Json.Obj
+               (common s "i"
+               @ [ ("s", Json.Str "t") ]
+               @ if args = [] then [] else [ ("args", Json.Obj args) ]))
+      | Tracer.Message ->
+          (* A zero-duration slice rather than an instant: flow events
+             bind to slices, and this is what the arrows attach to. *)
+          emit
+            (Json.Obj
+               (common s "X"
+               @ [
+                   ("dur", Json.Num 0.0);
+                   ( "args",
+                     Json.Obj
+                       [
+                         ("src", num s.a);
+                         ("dst", num s.b);
+                         ("id", num s.id);
+                         ("cells", num s.cells);
+                         ( "stamp",
+                           Json.Arr (Array.to_list (Array.map num s.stamp)) );
+                       ] );
+                 ])))
+    spans;
+  let flow_id = ref 0 in
+  List.iter
+    (fun (_cat, edges) ->
+      List.iter
+        (fun ((u : Tracer.span), (v : Tracer.span)) ->
+          incr flow_id;
+          let point (s : Tracer.span) ph extra =
+            Json.Obj
+              ([
+                 ("name", Json.Str "sync_precedes");
+                 ("cat", Json.Str s.cat);
+                 ("ph", Json.Str ph);
+                 ("pid", num (map_pid s.pid));
+                 ("tid", num (tid s.cat));
+                 ("ts", Json.Num s.tick);
+                 ("id", num !flow_id);
+               ]
+              @ extra
+              @ [ ("args", Json.Obj [ ("from", num u.id); ("to", num v.id) ]) ])
+          in
+          emit (point u "s" []);
+          emit (point v "f" [ ("bp", Json.Str "e") ]))
+        edges)
+    (Tracer.flow_edges spans);
+  let metadata =
+    let procs =
+      List.sort_uniq compare
+        (List.filter_map
+           (fun (s : Tracer.span) -> if s.pid >= 0 then Some s.pid else None)
+           spans)
+    in
+    let pseudo =
+      if List.exists (fun (s : Tracer.span) -> s.pid < 0) spans then
+        [ (pipeline_pid, "pipeline") ]
+      else []
+    in
+    List.map
+      (fun (pid, pname) ->
+        Json.Obj
+          [
+            ("name", Json.Str "process_name");
+            ("ph", Json.Str "M");
+            ("pid", num pid);
+            ("args", Json.Obj [ ("name", Json.Str pname) ]);
+          ])
+      (List.map (fun p -> (p, Printf.sprintf "P%d" p)) procs @ pseudo)
+    @ List.rev_map
+        (fun (pid, t, cat) ->
+          Json.Obj
+            [
+              ("name", Json.Str "thread_name");
+              ("ph", Json.Str "M");
+              ("pid", num pid);
+              ("tid", num t);
+              ("args", Json.Obj [ ("name", Json.Str cat) ]);
+            ])
+        !thread_order
+  in
+  Json.Obj
+    [
+      ("schema", Json.Str schema);
+      ("displayTimeUnit", Json.Str "ms");
+      ("dropped_spans", num dropped);
+      ("pipeline_pid", num pipeline_pid);
+      ("traceEvents", Json.Arr (metadata @ List.rev !events));
+    ]
+
+let to_string ?dropped spans = Json.to_string (to_json ?dropped spans)
+
+let int_field ?(default = -1) key j =
+  match Json.member key j with
+  | Some v -> ( match Json.to_num v with Some f -> int_of_float f | None -> default)
+  | None -> default
+
+let num_field ?(default = 0.0) key j =
+  match Json.member key j with
+  | Some v -> ( match Json.to_num v with Some f -> f | None -> default)
+  | None -> default
+
+let str_field key j = match Json.member key j with Some v -> Json.to_str v | None -> None
+
+let of_json doc =
+  match Json.member "traceEvents" doc with
+  | Some (Json.Arr events) ->
+      let dropped = int_field ~default:0 "dropped_spans" doc in
+      let pipeline_pid = int_field ~default:min_int "pipeline_pid" doc in
+      let restore_pid p = if p = pipeline_pid then -1 else p in
+      let span_of ev : Tracer.span option =
+        match (str_field "ph" ev, str_field "name" ev, str_field "cat" ev) with
+        | Some "M", _, _ | Some "s", _, _ | Some "f", _, _ -> None
+        | Some ph, Some name, Some cat ->
+            let args = Option.value ~default:(Json.Obj []) (Json.member "args" ev) in
+            let pid = restore_pid (int_field "pid" ev) in
+            let tick = num_field "ts" ev in
+            if ph = "i" then
+              Some
+                {
+                  Tracer.kind = Tracer.Instant;
+                  name;
+                  cat;
+                  pid;
+                  tick;
+                  dur = 0.0;
+                  a = int_field "a" args;
+                  b = int_field "b" args;
+                  id = -1;
+                  cells = 0;
+                  stamp = [||];
+                }
+            else if ph = "X" then
+              if Json.member "id" args <> None then
+                let stamp =
+                  match Json.member "stamp" args with
+                  | Some (Json.Arr cells) ->
+                      Array.of_list
+                        (List.filter_map
+                           (fun c -> Option.map int_of_float (Json.to_num c))
+                           cells)
+                  | _ -> [||]
+                in
+                Some
+                  {
+                    Tracer.kind = Tracer.Message;
+                    name;
+                    cat;
+                    pid;
+                    tick;
+                    dur = 0.0;
+                    a = int_field "src" args;
+                    b = int_field "dst" args;
+                    id = int_field "id" args;
+                    cells = int_field ~default:0 "cells" args;
+                    stamp;
+                  }
+              else
+                Some
+                  {
+                    Tracer.kind = Tracer.Complete;
+                    name;
+                    cat;
+                    pid;
+                    tick;
+                    dur = num_field "dur" ev;
+                    a = int_field "a" args;
+                    b = int_field "b" args;
+                    id = -1;
+                    cells = 0;
+                    stamp = [||];
+                  }
+            else None
+        | _ -> None
+      in
+      Ok (List.filter_map span_of events, dropped)
+  | _ -> Error "chrome trace: missing traceEvents array"
+
+let of_string text =
+  match Json.of_string text with
+  | Error e -> Error ("chrome trace: " ^ e)
+  | Ok doc -> of_json doc
+
+let save path ?dropped spans =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ?dropped spans))
+
+let flow_edge_pairs doc =
+  match Json.member "traceEvents" doc with
+  | Some (Json.Arr events) ->
+      List.filter_map
+        (fun ev ->
+          match str_field "ph" ev with
+          | Some "s" -> (
+              match Json.member "args" ev with
+              | Some args -> Some (int_field "from" args, int_field "to" args)
+              | None -> None)
+          | _ -> None)
+        events
+  | _ -> []

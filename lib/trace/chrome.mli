@@ -1,0 +1,42 @@
+(** Chrome trace-event / Perfetto exporter.
+
+    Emits the object form [{"traceEvents":[...], ...}] of the trace-event
+    format, loadable by [chrome://tracing] and {{:https://ui.perfetto.dev}
+    Perfetto}. The mapping:
+
+    - each traced process becomes a trace [pid] (named ["P0"], ["P1"], …
+      by ["M"] metadata events); each layer ([cat]) a [tid] within it;
+    - {!Tracer.Complete} spans become ["X"] (complete) events with [ts]
+      and [dur] in the layer's logical ticks; {!Tracer.Instant} become
+      ["i"] events; {!Tracer.Message} become zero-duration ["X"] slices
+      carrying [src]/[dst]/[id]/[cells]/[stamp] args;
+    - causal flow arrows: every {!Tracer.flow_edges} pair — the
+      generating pairs of the paper's [▷], whose transitive closure is
+      [↦] — becomes an ["s"]/["f"] flow-event pair named
+      ["sync_precedes"], bound to the two message slices;
+    - recorder-global spans ([pid = -1], e.g. the offline pipeline's
+      phase spans) land under a pseudo-process named ["pipeline"].
+
+    Ticks are emitted as microseconds (the format's unit) verbatim — the
+    absolute scale is meaningless, only the per-layer order is. *)
+
+val to_json : ?dropped:int -> Tracer.span list -> Synts_bench_io.Json.t
+(** The full trace document. [dropped] (default 0) is recorded as a
+    top-level ["dropped_spans"] member — viewers ignore it, {!of_json}
+    round-trips it. *)
+
+val to_string : ?dropped:int -> Tracer.span list -> string
+
+val of_json : Synts_bench_io.Json.t -> (Tracer.span list * int, string) result
+(** Reconstruct the spans from an exported document (metadata and flow
+    events are derived data and are skipped). Chronological re-sort is
+    not attempted: events come back in document order, which for our own
+    exports is recording order. *)
+
+val of_string : string -> (Tracer.span list * int, string) result
+val save : string -> ?dropped:int -> Tracer.span list -> unit
+
+val flow_edge_pairs : Synts_bench_io.Json.t -> (int * int) list
+(** The [(from, to)] message-id pairs of the document's flow events — the
+    exported image of [▷]'s generating pairs, used by the qcheck property
+    that checks them against the {!Synts_check.Oracle} poset. *)

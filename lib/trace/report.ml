@@ -1,0 +1,159 @@
+module Telemetry = Synts_telemetry.Telemetry
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error e -> Error e
+  | text ->
+      (* Sniff: a tracelog's first line is its own JSON document with the
+         tracelog schema; anything else is treated as a Chrome document. *)
+      let first_line =
+        match String.index_opt text '\n' with
+        | Some i -> String.sub text 0 i
+        | None -> text
+      in
+      let is_tracelog =
+        match Synts_bench_io.Json.of_string first_line with
+        | Ok j -> (
+            match Synts_bench_io.Json.member "schema" j with
+            | Some (Synts_bench_io.Json.Str s) -> s = "synts-tracelog/1"
+            | _ -> false)
+        | Error _ -> false
+      in
+      if is_tracelog then Tracelog.of_string text else Chrome.of_string text
+
+let fnum v =
+  (* %g is deterministic and compact; our ticks are small integers or
+     sums of them, so 6 significant digits never truncate surprisingly. *)
+  Printf.sprintf "%g" v
+
+(* Ordered grouping: keys in first-appearance order, values accumulated in
+   a hashtable — iteration order never depends on hashing. *)
+let group_by key items =
+  let order = ref [] in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun item ->
+      let k = key item in
+      match Hashtbl.find_opt tbl k with
+      | Some cell -> cell := item :: !cell
+      | None ->
+          Hashtbl.add tbl k (ref [ item ]);
+          order := k :: !order)
+    items;
+  List.rev_map (fun k -> (k, List.rev !(Hashtbl.find tbl k))) !order
+
+let attribution_rows spans =
+  let completes = List.filter (fun (s : Tracer.span) -> s.kind = Tracer.Complete) spans in
+  List.map
+    (fun ((cat, name), group) ->
+      let durs = List.map (fun (s : Tracer.span) -> s.dur) group in
+      let count = List.length durs in
+      let total = List.fold_left ( +. ) 0.0 durs in
+      let hi = List.fold_left Float.max 0.0 durs in
+      (* A throwaway registry per group so bucket bounds can be fitted to
+         the group's range — quantiles stay sharp without a global choice. *)
+      let registry = Telemetry.create_registry () in
+      let buckets =
+        if hi <= 0.0 then [| 1.0 |]
+        else Array.init 16 (fun i -> hi *. float_of_int (i + 1) /. 16.0)
+      in
+      let h = Telemetry.Histogram.v ~registry ~buckets "report.durations" in
+      List.iter (Telemetry.Histogram.observe h) durs;
+      let q p = Telemetry.Histogram.quantile h p in
+      ( cat,
+        name,
+        count,
+        total,
+        total /. float_of_int count,
+        q 0.5,
+        q 0.9,
+        q 0.99 ))
+    (group_by (fun (s : Tracer.span) -> (s.cat, s.name)) completes)
+
+let width_over_time messages =
+  (* Feed the layer's messages, in recording order, into the online width
+     structure: each message's immediate predecessors are the previous
+     participations of its two endpoint processes — the generating pairs
+     of ▷ — so the tracked poset is exactly the message poset. *)
+  let iw = Synts_poset.Incremental_width.create () in
+  let last : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  List.map
+    (fun (s : Tracer.span) ->
+      let preds =
+        List.sort_uniq compare
+          (List.filter_map (fun p -> Hashtbl.find_opt last p) [ s.a; s.b ])
+      in
+      let id = Synts_poset.Incremental_width.add iw ~preds in
+      Hashtbl.replace last s.a id;
+      Hashtbl.replace last s.b id;
+      (s.tick, Synts_poset.Incremental_width.width iw))
+    messages
+
+let render ?(dropped = 0) spans =
+  let buf = Buffer.create 2048 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let count k = List.length (List.filter (fun (s : Tracer.span) -> s.kind = k) spans) in
+  let n_x = count Tracer.Complete and n_i = count Tracer.Instant and n_m = count Tracer.Message in
+  pr "synts trace report — %d spans (%d complete, %d instant, %d messages)\n"
+    (List.length spans) n_x n_i n_m;
+  if dropped > 0 then
+    pr "WARNING: %d spans were dropped (ring buffer overflow) — totals are lower bounds.\n"
+      dropped;
+  let rows = attribution_rows spans in
+  if rows <> [] then begin
+    pr "\nPer-layer logical-time attribution (complete spans, ticks):\n";
+    pr "  %-8s %-18s %7s %10s %10s %10s %10s %10s\n" "layer" "span" "count" "total" "mean"
+      "p50" "p90" "p99";
+    List.iter
+      (fun (cat, name, count, total, mean, p50, p90, p99) ->
+        pr "  %-8s %-18s %7d %10s %10s %10s %10s %10s\n" cat name count (fnum total)
+          (fnum mean) (fnum p50) (fnum p90) (fnum p99))
+      rows
+  end;
+  let msg_groups =
+    group_by
+      (fun (s : Tracer.span) -> s.cat)
+      (List.filter (fun (s : Tracer.span) -> s.kind = Tracer.Message) spans)
+  in
+  if msg_groups <> [] then begin
+    pr "\nMessages:\n";
+    pr "  %-8s %9s %17s\n" "layer" "messages" "mean stamp cells";
+    List.iter
+      (fun (cat, msgs) ->
+        let n = List.length msgs in
+        let cells =
+          List.fold_left (fun acc (s : Tracer.span) -> acc + s.cells) 0 msgs
+        in
+        pr "  %-8s %9d %17s\n" cat n (fnum (float_of_int cells /. float_of_int n)))
+      msg_groups
+  end;
+  let slowest =
+    List.filter (fun (s : Tracer.span) -> s.kind = Tracer.Complete) spans
+    |> List.stable_sort (fun (x : Tracer.span) (y : Tracer.span) -> compare y.dur x.dur)
+    |> List.filteri (fun i _ -> i < 5)
+  in
+  if slowest <> [] then begin
+    pr "\nSlowest spans:\n";
+    List.iteri
+      (fun i (s : Tracer.span) ->
+        pr "  %d. %s/%s pid=%d tick=%s dur=%s\n" (i + 1) s.cat s.name s.pid (fnum s.tick)
+          (fnum s.dur))
+      slowest
+  end;
+  (match
+     List.stable_sort
+       (fun (_, a) (_, b) -> compare (List.length b) (List.length a))
+       msg_groups
+   with
+  | (cat, msgs) :: _ when List.length msgs > 0 ->
+      let points = width_over_time msgs in
+      let n = List.length points in
+      let final = snd (List.nth points (n - 1)) in
+      pr "\nWidth over time (%s messages; final width %d ≤ ⌊N/2⌋ by Thm. 8):\n" cat final;
+      let samples = min 12 n in
+      let picked =
+        List.init samples (fun i -> List.nth points (i * (n - 1) / max 1 (samples - 1)))
+      in
+      List.iter (fun (tick, w) -> pr "  tick %-8s width %d\n" (fnum tick) w) picked
+  | _ -> ());
+  Buffer.contents buf

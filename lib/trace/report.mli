@@ -1,0 +1,20 @@
+(** The [synts trace report] renderer: per-layer logical-time attribution
+    from a recorded trace.
+
+    The report groups {!Tracer.Complete} spans by layer and name and
+    attributes logical time to each (count, total, mean and
+    p50/p90/p99 via {!Synts_telemetry.Telemetry.Histogram.quantile});
+    summarises message counts and mean stamp cost per layer; lists the
+    slowest spans; and replays the busiest layer's messages through
+    {!Synts_poset.Incremental_width} to show how the width of the message
+    poset — the paper's bound on timestamp size — evolved over the run.
+    Deterministic: same trace, same report. *)
+
+val load : string -> (Tracer.span list * int, string) result
+(** Read a trace from disk in either format, sniffing between
+    [synts-tracelog v1] JSONL ({!Tracelog}) and a Chrome trace-event
+    document ({!Chrome}). *)
+
+val render : ?dropped:int -> Tracer.span list -> string
+(** The full report. A non-zero [dropped] adds a warning line: the
+    buffer held only a suffix of the run, so totals are lower bounds. *)

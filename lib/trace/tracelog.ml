@@ -1,0 +1,131 @@
+module Json = Synts_bench_io.Json
+
+let schema = "synts-tracelog/1"
+
+let span_to_json (s : Tracer.span) =
+  let base =
+    [
+      ( "k",
+        Json.Str
+          (match s.kind with Tracer.Complete -> "X" | Tracer.Instant -> "i" | Tracer.Message -> "m")
+      );
+      ("name", Json.Str s.name);
+      ("cat", Json.Str s.cat);
+      ("pid", Json.Num (float_of_int s.pid));
+      ("ts", Json.Num s.tick);
+    ]
+  in
+  let dur = if s.kind = Tracer.Complete then [ ("dur", Json.Num s.dur) ] else [] in
+  let arg key v = if v >= 0 then [ (key, Json.Num (float_of_int v)) ] else [] in
+  let msg =
+    if s.kind = Tracer.Message then
+      [
+        ("id", Json.Num (float_of_int s.id));
+        ("cells", Json.Num (float_of_int s.cells));
+        ( "stamp",
+          Json.Arr (Array.to_list (Array.map (fun c -> Json.Num (float_of_int c)) s.stamp)) );
+      ]
+    else []
+  in
+  Json.Obj (base @ dur @ arg "a" s.a @ arg "b" s.b @ msg)
+
+let to_string ?(dropped = 0) spans =
+  let buf = Buffer.create 4096 in
+  Json.to_buffer ~minify:true buf
+    (Json.Obj
+       [
+         ("schema", Json.Str schema);
+         ("spans", Json.Num (float_of_int (List.length spans)));
+         ("dropped", Json.Num (float_of_int dropped));
+       ]);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun s ->
+      Json.to_buffer ~minify:true buf (span_to_json s);
+      Buffer.add_char buf '\n')
+    spans;
+  Buffer.contents buf
+
+let int_field ?(default = -1) key j =
+  match Json.member key j with
+  | Some v -> ( match Json.to_num v with Some f -> int_of_float f | None -> default)
+  | None -> default
+
+let num_field ?(default = 0.0) key j =
+  match Json.member key j with
+  | Some v -> ( match Json.to_num v with Some f -> f | None -> default)
+  | None -> default
+
+let str_field key j =
+  match Json.member key j with Some v -> Json.to_str v | None -> None
+
+let span_of_json j : (Tracer.span, string) result =
+  match (str_field "k" j, str_field "name" j, str_field "cat" j) with
+  | Some k, Some name, Some cat ->
+      let kind =
+        match k with
+        | "X" -> Ok Tracer.Complete
+        | "i" -> Ok Tracer.Instant
+        | "m" -> Ok Tracer.Message
+        | other -> Error (Printf.sprintf "unknown span kind %S" other)
+      in
+      Result.map
+        (fun kind ->
+          let stamp =
+            match Json.member "stamp" j with
+            | Some (Json.Arr cells) ->
+                Array.of_list
+                  (List.filter_map (fun c -> Option.map int_of_float (Json.to_num c)) cells)
+            | _ -> [||]
+          in
+          {
+            Tracer.kind;
+            name;
+            cat;
+            pid = int_field "pid" j;
+            tick = num_field "ts" j;
+            dur = num_field "dur" j;
+            a = int_field "a" j;
+            b = int_field "b" j;
+            id = int_field "id" j;
+            cells = int_field ~default:0 "cells" j;
+            stamp;
+          })
+        kind
+  | _ -> Error "span line missing k/name/cat"
+
+let of_string text =
+  let lines =
+    String.split_on_char '\n' text |> List.filter (fun l -> String.trim l <> "")
+  in
+  match lines with
+  | [] -> Error "empty tracelog"
+  | header :: rest -> (
+      match Json.of_string header with
+      | Error e -> Error ("tracelog header: " ^ e)
+      | Ok h when str_field "schema" h <> Some schema ->
+          Error (Printf.sprintf "tracelog header: expected schema %S" schema)
+      | Ok h ->
+          let dropped = int_field ~default:0 "dropped" h in
+          let rec go lineno acc = function
+            | [] -> Ok (List.rev acc, dropped)
+            | line :: rest -> (
+                match Json.of_string line with
+                | Error e -> Error (Printf.sprintf "tracelog line %d: %s" lineno e)
+                | Ok j -> (
+                    match span_of_json j with
+                    | Error e -> Error (Printf.sprintf "tracelog line %d: %s" lineno e)
+                    | Ok s -> go (lineno + 1) (s :: acc) rest))
+          in
+          go 2 [] rest)
+
+let save path ?dropped spans =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ?dropped spans))
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> of_string text
+  | exception Sys_error e -> Error e

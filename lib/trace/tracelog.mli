@@ -1,0 +1,29 @@
+(** The streaming [synts-tracelog v1] format: self-describing JSONL.
+
+    Line 1 is a header object
+    [{"schema":"synts-tracelog/1","spans":K,"dropped":D}]; each following
+    line is one minified JSON object per span, oldest first. Being
+    line-oriented, a recorder can stream spans out as they retire from
+    the ring, and a reader can process a multi-gigabyte log without
+    parsing it whole. The format round-trips exactly
+    ([of_string (to_string spans) = Ok spans], property-tested), using the
+    {!Synts_bench_io.Json} codec both ways.
+
+    Span keys: [k] (["X"] complete / ["i"] instant / ["m"] message),
+    [name], [cat], [pid], [ts]; [dur] on complete spans; [a]/[b] when
+    present (≥ 0); [id], [cells] and [stamp] on messages. Unknown keys
+    are ignored on read, so the format is forward-extensible. *)
+
+val to_string : ?dropped:int -> Tracer.span list -> string
+(** Render, oldest first. [dropped] (default 0) lands in the header so a
+    truncated log declares itself. *)
+
+val of_string : string -> (Tracer.span list * int, string) result
+(** Parse a full log; returns the spans and the header's drop count.
+    Blank lines are ignored; a bad header, schema or span line is an
+    [Error] naming the line. *)
+
+val save : string -> ?dropped:int -> Tracer.span list -> unit
+(** Write {!to_string} to a file. *)
+
+val load : string -> (Tracer.span list * int, string) result

@@ -1,0 +1,184 @@
+module Telemetry = Synts_telemetry.Telemetry
+
+type kind = Complete | Instant | Message
+
+type span = {
+  kind : kind;
+  name : string;
+  cat : string;
+  pid : int;
+  tick : float;
+  dur : float;
+  a : int;
+  b : int;
+  id : int;
+  cells : int;
+  stamp : int array;
+}
+
+let dummy =
+  {
+    kind = Instant;
+    name = "";
+    cat = "";
+    pid = -1;
+    tick = 0.0;
+    dur = 0.0;
+    a = -1;
+    b = -1;
+    id = -1;
+    cells = 0;
+    stamp = [||];
+  }
+
+type t = {
+  buf : span array;
+  cap : int;
+  mutable head : int; (* index of the oldest retained span *)
+  mutable len : int;
+  mutable drops : int;
+  mutable pclock : float;
+}
+
+let create ?(capacity = 65536) () =
+  if capacity < 1 then invalid_arg "Tracer.create: capacity < 1";
+  { buf = Array.make capacity dummy; cap = capacity; head = 0; len = 0; drops = 0; pclock = 0.0 }
+
+let default = create ()
+let on = ref false
+let enabled () = !on
+let set_enabled b = on := b
+let capacity r = r.cap
+let length r = r.len
+let dropped r = r.drops
+
+let clear ?(r = default) () =
+  Array.fill r.buf 0 r.cap dummy;
+  r.head <- 0;
+  r.len <- 0;
+  r.drops <- 0;
+  r.pclock <- 0.0
+
+let to_list ?(r = default) () =
+  List.init r.len (fun i -> r.buf.((r.head + i) mod r.cap))
+
+let c_recorded =
+  Telemetry.Counter.v ~help:"Spans recorded into trace ring buffers" "trace.recorded_spans"
+
+let c_dropped =
+  Telemetry.Counter.v ~help:"Spans lost to trace ring buffer overflow" "trace.dropped_spans"
+
+let push r s =
+  Telemetry.Counter.incr c_recorded;
+  if r.len < r.cap then begin
+    r.buf.((r.head + r.len) mod r.cap) <- s;
+    r.len <- r.len + 1
+  end
+  else begin
+    (* Full: overwrite the oldest span. Count the loss loudly — the
+       exporters turn a non-zero drop count into a warning line. *)
+    r.buf.(r.head) <- s;
+    r.head <- (r.head + 1) mod r.cap;
+    r.drops <- r.drops + 1;
+    Telemetry.Counter.incr c_dropped
+  end
+
+let complete ?(r = default) ~cat ?(pid = -1) ~tick ~dur ?(a = -1) ?(b = -1) name =
+  if !on then push r { dummy with kind = Complete; name; cat; pid; tick; dur; a; b }
+
+let instant ?(r = default) ~cat ?(pid = -1) ~tick ?(a = -1) ?(b = -1) name =
+  if !on then push r { dummy with kind = Instant; name; cat; pid; tick; a; b }
+
+let message ?(r = default) ~cat ~src ~dst ~tick ~id ?(cells = 0) ?(stamp = [||]) () =
+  if !on then
+    push r
+      {
+        kind = Message;
+        name = "message";
+        cat;
+        pid = src;
+        tick;
+        dur = 0.0;
+        a = src;
+        b = dst;
+        id;
+        cells;
+        stamp;
+      }
+
+type active = { mutable aopen : bool; ar : t; aname : string; acat : string; apid : int; atick : float }
+
+let null = { aopen = false; ar = default; aname = ""; acat = ""; apid = -1; atick = 0.0 }
+
+let begin_span ?(r = default) ~cat ?(pid = -1) ~tick name =
+  if !on then { aopen = true; ar = r; aname = name; acat = cat; apid = pid; atick = tick }
+  else null
+
+let end_span act ~tick =
+  if act.aopen then begin
+    act.aopen <- false;
+    if !on then
+      push act.ar
+        {
+          dummy with
+          kind = Complete;
+          name = act.aname;
+          cat = act.acat;
+          pid = act.apid;
+          tick = act.atick;
+          dur = Float.max 0.0 (tick -. act.atick);
+        }
+  end
+
+module Profile = struct
+  let with_span ?r ~cat ?pid ~tick name f =
+    if not !on then f ()
+    else begin
+      let act = begin_span ?r ~cat ?pid ~tick:(tick ()) name in
+      Fun.protect ~finally:(fun () -> end_span act ~tick:(tick ())) f
+    end
+end
+
+let pipeline_tick ?(r = default) () = r.pclock
+let pipeline_advance ?(r = default) d = r.pclock <- r.pclock +. d
+
+let flow_edges spans =
+  (* Per layer, consecutive participations of each process in that
+     layer's messages — the generating pairs of the direct relation ▷. A
+     message touches both endpoints, so when two messages share both a
+     source and a destination process the two per-process edges coincide;
+     deduplicate by (cat, id, id). Iteration walks the span list, never a
+     hash table, so the result is deterministic. *)
+  let last : (string * int, span) Hashtbl.t = Hashtbl.create 64 in
+  let cats = ref [] in
+  let edges : (string, (span * span) list ref) Hashtbl.t = Hashtbl.create 8 in
+  let seen : (string * int * int, unit) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun s ->
+      if s.kind = Message then begin
+        let bucket =
+          match Hashtbl.find_opt edges s.cat with
+          | Some b -> b
+          | None ->
+              let b = ref [] in
+              Hashtbl.add edges s.cat b;
+              cats := s.cat :: !cats;
+              b
+        in
+        let participate proc =
+          (match Hashtbl.find_opt last (s.cat, proc) with
+          | Some prev when prev.id <> s.id ->
+              if not (Hashtbl.mem seen (s.cat, prev.id, s.id)) then begin
+                Hashtbl.add seen (s.cat, prev.id, s.id) ();
+                bucket := (prev, s) :: !bucket
+              end
+          | _ -> ());
+          Hashtbl.replace last (s.cat, proc) s
+        in
+        participate s.a;
+        if s.b <> s.a then participate s.b
+      end)
+    spans;
+  List.rev_map
+    (fun cat -> (cat, List.rev !(Hashtbl.find edges cat)))
+    !cats

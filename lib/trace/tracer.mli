@@ -1,0 +1,156 @@
+(** The causal tracing backbone: a deterministic, bounded, ring-buffer
+    span recorder.
+
+    Where {!Synts_telemetry.Telemetry} keeps {e aggregates} (counters,
+    histograms), this recorder keeps {e individual events}: begin/end
+    span pairs, instants and message records, each keyed by a logical
+    tick from the layer that recorded it — the CSP scheduler's dispatch
+    counter, the network simulator's virtual clock, a session's message
+    sequence numbers, the offline pipeline's work-unit clock — never the
+    wall clock, so two runs from the same seed record byte-identical
+    logs. Message records carry the message's paper timestamp, which is
+    exactly the data exporters need to draw causal flow arrows: the
+    timestamps capture [↦] precisely (paper Thm. 4), so the trace is its
+    own causality index.
+
+    Design rules, mirroring telemetry's:
+
+    - {b switchable}: {!set_enabled}[ false] (the default — tracing is
+      opt-in, unlike telemetry) turns every recording site into a single
+      boolean test (defended by the [trace-overhead] bench group);
+    - {b bounded}: each recorder owns a fixed-capacity ring; once full,
+      the oldest span is overwritten and {!dropped} (plus the
+      [trace.dropped_spans] telemetry counter) is incremented — the
+      exporters warn, so truncation never reads as full coverage;
+    - {b allocation-light}: recording one span is one record allocation
+      and a ring store; nothing is resized or copied on the hot path. *)
+
+(** What one ring slot holds. *)
+type kind =
+  | Complete  (** A span with a start tick and a duration. *)
+  | Instant  (** A point event. *)
+  | Message  (** A message instant carrying its paper timestamp. *)
+
+type span = {
+  kind : kind;
+  name : string;  (** E.g. ["wait"], ["transit"], ["message"]. *)
+  cat : string;  (** The recording layer: ["csp"], ["net"], ["session"], ["poset"]. *)
+  pid : int;  (** Owning process, [-1] for global/pipeline spans. *)
+  tick : float;  (** Start tick, in the layer's logical-tick domain. *)
+  dur : float;  (** Duration in ticks ({!Complete} only, else [0.]). *)
+  a : int;  (** First argument (message source), [-1] when absent. *)
+  b : int;  (** Second argument (message destination), [-1] when absent. *)
+  id : int;  (** Message id, unique within [cat]; [-1] when absent. *)
+  cells : int;  (** Stamp cost in slab cells touched, [0] when absent. *)
+  stamp : int array;  (** The paper timestamp, [[||]] when absent. *)
+}
+
+type t
+(** A recorder (ring buffer + its drop count + a pipeline clock). *)
+
+val default : t
+(** The process-wide recorder every built-in instrumentation site uses. *)
+
+val create : ?capacity:int -> unit -> t
+(** A private recorder. [capacity] (default 65536) is the ring size in
+    spans; it is fixed for the recorder's lifetime. Raises
+    [Invalid_argument] when [capacity < 1]. *)
+
+val enabled : unit -> bool
+
+val set_enabled : bool -> unit
+(** Global switch (default [false]). When disabled, every recording
+    operation returns after one boolean test. *)
+
+val capacity : t -> int
+val length : t -> int
+
+val dropped : t -> int
+(** Spans overwritten since the last {!clear} — when non-zero the buffer
+    holds only a suffix of the run. *)
+
+val clear : ?r:t -> unit -> unit
+(** Forget all spans, zero {!dropped} and reset the pipeline clock. *)
+
+val to_list : ?r:t -> unit -> span list
+(** The retained spans, oldest first. *)
+
+(** {1 Recording} *)
+
+val complete :
+  ?r:t ->
+  cat:string ->
+  ?pid:int ->
+  tick:float ->
+  dur:float ->
+  ?a:int ->
+  ?b:int ->
+  string ->
+  unit
+
+val instant :
+  ?r:t -> cat:string -> ?pid:int -> tick:float -> ?a:int -> ?b:int -> string -> unit
+
+val message :
+  ?r:t ->
+  cat:string ->
+  src:int ->
+  dst:int ->
+  tick:float ->
+  id:int ->
+  ?cells:int ->
+  ?stamp:int array ->
+  unit ->
+  unit
+(** Record one message occurrence ([pid] = [src]). [id] must be unique
+    within [cat] — exporters derive the causal flow edges from per-process
+    consecutive participations, matching the generating pairs of the
+    paper's direct relation [▷]. *)
+
+(** {2 Begin/end pairs}
+
+    [begin_span]/[end_span] bracket work whose two ends live at different
+    call sites; the pair lands in the ring as one {!Complete} span at
+    [end_span] time, so no unbalanced records can exist. *)
+
+type active
+
+val null : active
+(** An inert handle: {!end_span} on it is a no-op. Instrumentation sites
+    that park actives in an array use it as the initial value. *)
+
+val begin_span : ?r:t -> cat:string -> ?pid:int -> tick:float -> string -> active
+(** Returns {!null} when recording is disabled. *)
+
+val end_span : active -> tick:float -> unit
+(** Records the {!Complete} span. Ending twice is a no-op. *)
+
+(** {2 The hook API} *)
+
+module Profile : sig
+  val with_span :
+    ?r:t -> cat:string -> ?pid:int -> tick:(unit -> float) -> string -> (unit -> 'a) -> 'a
+  (** [with_span ~cat ~tick name f] runs [f ()] bracketed by a span whose
+      start and end ticks are read from [tick] (exception-safe). When
+      recording is disabled the cost is one boolean test — [tick] is not
+      even called. *)
+end
+
+(** {1 The pipeline clock}
+
+    Layers with no natural tick domain (the offline Dilworth pipeline)
+    advance this per-recorder logical clock by the work units each phase
+    performed, so their phase spans are totally ordered and their
+    durations measure work, not wall time. *)
+
+val pipeline_tick : ?r:t -> unit -> float
+val pipeline_advance : ?r:t -> float -> unit
+
+(** {1 Derived structure} *)
+
+val flow_edges : span list -> (string * (span * span) list) list
+(** Per layer ([cat], in first-appearance order), the causal flow edges
+    between its {!Message} spans: one edge per pair of consecutive
+    participations of a process, i.e. the generating pairs of the direct
+    relation [▷] — their transitive closure is exactly [↦]
+    (property-tested against {!Synts_check.Oracle}). Deterministic. *)

@@ -60,6 +60,49 @@ let test_histogram () =
       Alcotest.(check int) "snapshot count" 7 count
   | _ -> Alcotest.fail "unexpected snapshot shape"
 
+let test_quantile () =
+  let r = Tm.create_registry () in
+  let h = Tm.Histogram.v ~registry:r ~buckets:[| 10.; 20.; 30. |] "t.q" in
+  for v = 1 to 30 do
+    Tm.Histogram.observe h (float_of_int v)
+  done;
+  (* Uniform over (0, 30]: 10 observations per bucket, so the q-quantile
+     interpolates to 30q. *)
+  Alcotest.(check (float 1e-9)) "p0 is the lower bound" 0. (Tm.Histogram.quantile h 0.);
+  Alcotest.(check (float 1e-9)) "p50" 15. (Tm.Histogram.quantile h 0.5);
+  Alcotest.(check (float 1e-9)) "p90" 27. (Tm.Histogram.quantile h 0.9);
+  Alcotest.(check (float 1e-9)) "p100 is the upper bound" 30.
+    (Tm.Histogram.quantile h 1.0);
+  (* Skew: the mass sits in the first bucket, the tail in the last. *)
+  let s = Tm.Histogram.v ~registry:r ~buckets:[| 1.; 10.; 100. |] "t.skew" in
+  List.iter (Tm.Histogram.observe s) [ 1.; 1.; 1.; 1.; 100. ];
+  Alcotest.(check (float 1e-9)) "p50 in the dense bucket" 0.625
+    (Tm.Histogram.quantile s 0.5);
+  Alcotest.(check (float 1e-9)) "p90 interpolates the tail bucket" 55.
+    (Tm.Histogram.quantile s 0.9)
+
+let test_quantile_edges () =
+  let r = Tm.create_registry () in
+  let h = Tm.Histogram.v ~registry:r ~buckets:[| 10. |] "t.edge" in
+  Alcotest.(check (float 1e-9)) "empty histogram" 0. (Tm.Histogram.quantile h 0.5);
+  (* An observation above every bound lands in +∞ and clamps to the last
+     finite bound. *)
+  Tm.Histogram.observe h 100.;
+  Alcotest.(check (float 1e-9)) "overflow clamps to last bound" 10.
+    (Tm.Histogram.quantile h 0.99);
+  Alcotest.check_raises "q out of range"
+    (Invalid_argument "Telemetry.Histogram.quantile: q outside [0, 1]")
+    (fun () -> ignore (Tm.Histogram.quantile h 1.5));
+  match Tm.snapshot ~registry:r () with
+  | [ ("t.edge", v) ] ->
+      Alcotest.(check (option (float 1e-9)))
+        "quantile_of_value on a histogram" (Some 10.)
+        (Tm.quantile_of_value v 0.9);
+      Alcotest.(check (option (float 1e-9)))
+        "quantile_of_value on a counter" None
+        (Tm.quantile_of_value (Tm.Counter_v 3) 0.9)
+  | _ -> Alcotest.fail "unexpected snapshot shape"
+
 (* ---------- spans ---------- *)
 
 let test_span () =
@@ -174,6 +217,8 @@ let () =
           Alcotest.test_case "counter" `Quick test_counter;
           Alcotest.test_case "gauge" `Quick test_gauge;
           Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "quantile interpolation" `Quick test_quantile;
+          Alcotest.test_case "quantile edge cases" `Quick test_quantile_edges;
           Alcotest.test_case "span" `Quick test_span;
           Alcotest.test_case "global switch" `Quick test_disabled;
         ] );

@@ -1,0 +1,437 @@
+(* The causal tracing layer.
+
+   - recorder semantics: bounded ring, counted drops, the global switch,
+     begin/end pairing, the Profile hook;
+   - exporters: synts-tracelog JSONL and Chrome trace-event JSON both
+     round-trip exactly (unit + qcheck over random computations);
+   - the flow-edge property: the Chrome export's sync_precedes arrows are
+     the generating pairs of the paper's direct relation ▷ — sound
+     (every arrow is an oracle ↦ pair) and complete (their transitive
+     closure is exactly the oracle's ↦);
+   - determinism: two identical seeded multi-layer runs record
+     byte-identical tracelogs;
+   - the session's bounded pending queue drops oldest, counted. *)
+
+module Tracer = Synts_trace.Tracer
+module Tracelog = Synts_trace.Tracelog
+module Chrome = Synts_trace.Chrome
+module Report = Synts_trace.Report
+module Tm = Synts_telemetry.Telemetry
+module Rng = Synts_util.Rng
+module Topology = Synts_graph.Topology
+module Decomposition = Synts_graph.Decomposition
+module Trace = Synts_sync.Trace
+module Poset = Synts_poset.Poset
+module Oracle = Synts_check.Oracle
+module Session = Synts_session.Session
+module Offline = Synts_core.Offline
+module Workload = Synts_workload.Workload
+module Gen = Synts_test_support.Gen
+
+let qtest ?(count = 100) name gen print f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name ~print gen f)
+
+(* Every test leaves the recorder the way it found it: disabled (the
+   default) and empty. *)
+let with_tracing f =
+  Tracer.set_enabled true;
+  Tracer.clear ();
+  Fun.protect
+    ~finally:(fun () ->
+      Tracer.set_enabled false;
+      Tracer.clear ())
+    f
+
+(* ---------- recorder ---------- *)
+
+let test_ring_overflow () =
+  let r = Tracer.create ~capacity:4 () in
+  let before = Tm.Counter.value (Tm.Counter.v "trace.dropped_spans") in
+  Tracer.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Tracer.set_enabled false)
+    (fun () ->
+      for i = 0 to 5 do
+        Tracer.instant ~r ~cat:"t" ~tick:(float_of_int i) "tick"
+      done);
+  Alcotest.(check int) "capacity" 4 (Tracer.capacity r);
+  Alcotest.(check int) "length clamped" 4 (Tracer.length r);
+  Alcotest.(check int) "drops counted" 2 (Tracer.dropped r);
+  Alcotest.(check int) "telemetry counter" 2
+    (Tm.Counter.value (Tm.Counter.v "trace.dropped_spans") - before);
+  Alcotest.(check (list (float 0.)))
+    "oldest overwritten, suffix retained" [ 2.; 3.; 4.; 5. ]
+    (List.map (fun (s : Tracer.span) -> s.tick) (Tracer.to_list ~r ()));
+  Tracer.clear ~r ();
+  Alcotest.(check int) "clear resets length" 0 (Tracer.length r);
+  Alcotest.(check int) "clear resets drops" 0 (Tracer.dropped r)
+
+let test_switch_off () =
+  let r = Tracer.create ~capacity:8 () in
+  (* Disabled is the default: nothing records, begin_span is inert. *)
+  Tracer.instant ~r ~cat:"t" ~tick:1.0 "x";
+  Tracer.message ~r ~cat:"t" ~src:0 ~dst:1 ~tick:1.0 ~id:0 ();
+  let a = Tracer.begin_span ~r ~cat:"t" ~tick:1.0 "y" in
+  Tracer.end_span a ~tick:2.0;
+  Alcotest.(check int) "nothing recorded while off" 0 (Tracer.length r);
+  Alcotest.(check int) "with_span calls f, no tick reads" 41
+    (Tracer.Profile.with_span ~r ~cat:"t"
+       ~tick:(fun () -> Alcotest.fail "tick read while disabled")
+       "z"
+       (fun () -> 41));
+  Alcotest.(check int) "still nothing" 0 (Tracer.length r)
+
+let test_begin_end () =
+  let r = Tracer.create ~capacity:8 () in
+  with_tracing (fun () ->
+      let a = Tracer.begin_span ~r ~cat:"t" ~pid:3 ~tick:10.0 "work" in
+      Alcotest.(check int) "nothing until end" 0 (Tracer.length r);
+      Tracer.end_span a ~tick:14.0;
+      Tracer.end_span a ~tick:99.0;
+      (* second end ignored *)
+      match Tracer.to_list ~r () with
+      | [ s ] ->
+          Alcotest.(check bool) "complete" true (s.Tracer.kind = Tracer.Complete);
+          Alcotest.(check string) "name" "work" s.Tracer.name;
+          Alcotest.(check int) "pid" 3 s.Tracer.pid;
+          Alcotest.(check (float 0.)) "tick" 10.0 s.Tracer.tick;
+          Alcotest.(check (float 0.)) "dur" 4.0 s.Tracer.dur
+      | spans ->
+          Alcotest.failf "expected exactly one span, got %d" (List.length spans))
+
+let test_profile_exception_safe () =
+  let r = Tracer.create ~capacity:8 () in
+  with_tracing (fun () ->
+      let tick = ref 0.0 in
+      (try
+         Tracer.Profile.with_span ~r ~cat:"t"
+           ~tick:(fun () ->
+             tick := !tick +. 1.0;
+             !tick)
+           "boom"
+           (fun () -> failwith "inner")
+       with Failure _ -> ());
+      Alcotest.(check int) "span recorded despite the raise" 1
+        (Tracer.length r))
+
+(* ---------- flow edges ---------- *)
+
+(* Only called inside [with_tracing]. *)
+let msg ?(cat = "t") ~src ~dst ~id () =
+  Tracer.message ~cat ~src ~dst ~tick:(float_of_int id) ~id ()
+
+let test_flow_edges () =
+  with_tracing (fun () ->
+      (* m0: 0->1, m1: 1->2, m2: 0->2. Consecutive participations:
+         P0: m0,m2; P1: m0,m1; P2: m1,m2 — edges (0,1), (0,2), (1,2). *)
+      List.iter
+        (fun (src, dst, id) -> msg ~src ~dst ~id ())
+        [ (0, 1, 0); (1, 2, 1); (0, 2, 2) ];
+      match Tracer.flow_edges (Tracer.to_list ()) with
+      | [ ("t", edges) ] ->
+          Alcotest.(check (list (pair int int)))
+            "generating pairs of ▷"
+            [ (0, 1); (0, 2); (1, 2) ]
+            (List.map
+               (fun ((u : Tracer.span), (v : Tracer.span)) ->
+                 (u.Tracer.id, v.Tracer.id))
+               edges)
+      | _ -> Alcotest.fail "expected one category")
+
+let test_flow_edges_dedup () =
+  with_tracing (fun () ->
+      (* Two messages on the same channel: both endpoint chains yield the
+         same (m0, m1) edge; it must appear once. *)
+      msg ~src:0 ~dst:1 ~id:0 ();
+      msg ~src:1 ~dst:0 ~id:1 ();
+      match Tracer.flow_edges (Tracer.to_list ()) with
+      | [ ("t", [ (u, v) ]) ] ->
+          Alcotest.(check (pair int int))
+            "single deduplicated edge" (0, 1)
+            (u.Tracer.id, v.Tracer.id)
+      | _ -> Alcotest.fail "expected exactly one edge")
+
+(* ---------- exporters ---------- *)
+
+let sample_spans =
+  [
+    {
+      Tracer.kind = Tracer.Complete;
+      name = "wait";
+      cat = "csp";
+      pid = 2;
+      tick = 3.0;
+      dur = 4.5;
+      a = -1;
+      b = -1;
+      id = -1;
+      cells = 0;
+      stamp = [||];
+    };
+    {
+      Tracer.kind = Tracer.Instant;
+      name = "internal";
+      cat = "csp";
+      pid = 0;
+      tick = 5.0;
+      dur = 0.0;
+      a = -1;
+      b = -1;
+      id = -1;
+      cells = 0;
+      stamp = [||];
+    };
+    {
+      Tracer.kind = Tracer.Message;
+      name = "message";
+      cat = "session";
+      pid = 1;
+      tick = 0.0;
+      dur = 0.0;
+      a = 1;
+      b = 2;
+      id = 0;
+      cells = 3;
+      stamp = [| 1; 2; 3 |];
+    };
+    {
+      Tracer.kind = Tracer.Complete;
+      name = "matching";
+      cat = "poset";
+      pid = -1;
+      tick = 0.0;
+      dur = 17.0;
+      a = -1;
+      b = -1;
+      id = -1;
+      cells = 0;
+      stamp = [||];
+    };
+  ]
+
+let test_tracelog_roundtrip_unit () =
+  let text = Tracelog.to_string ~dropped:7 sample_spans in
+  match Tracelog.of_string text with
+  | Error e -> Alcotest.fail e
+  | Ok (spans, dropped) ->
+      Alcotest.(check int) "dropped round-trips" 7 dropped;
+      Alcotest.(check bool) "spans round-trip" true (spans = sample_spans)
+
+let test_chrome_roundtrip_unit () =
+  let doc = Chrome.to_json ~dropped:3 sample_spans in
+  match Chrome.of_json doc with
+  | Error e -> Alcotest.fail e
+  | Ok (spans, dropped) ->
+      Alcotest.(check int) "dropped round-trips" 3 dropped;
+      Alcotest.(check bool) "spans round-trip (flows and metadata skipped)"
+        true (spans = sample_spans)
+
+let test_tracelog_rejects_garbage () =
+  (match Tracelog.of_string "" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty accepted");
+  (match Tracelog.of_string "{\"schema\":\"other/9\"}\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "wrong schema accepted");
+  match
+    Tracelog.of_string
+      "{\"schema\":\"synts-tracelog/1\",\"spans\":1,\"dropped\":0}\nnot json\n"
+  with
+  | Error e ->
+      Alcotest.(check bool) "error names the line" true
+        (String.length e > 0
+        && String.sub e 0 (min 14 (String.length e)) = "tracelog line ")
+  | Ok _ -> Alcotest.fail "bad span line accepted"
+
+(* Record a computation's messages through a session, in occurrence
+   order, so session message ids coincide with the trace's message ids. *)
+let record_session_spans trace g =
+  Tracer.set_enabled true;
+  Tracer.clear ();
+  Fun.protect
+    ~finally:(fun () -> Tracer.set_enabled false)
+    (fun () ->
+      let session = Session.of_topology g in
+      List.iter
+        (fun step ->
+          match step with
+          | Trace.Send (src, dst) -> ignore (Session.message session ~src ~dst)
+          | Trace.Local proc -> ignore (Session.internal session ~proc))
+        (Trace.steps trace);
+      let spans = Tracer.to_list () in
+      Tracer.clear ();
+      spans)
+
+let prop_tracelog_roundtrip c =
+  let g, trace = Gen.build_computation c in
+  let spans = record_session_spans trace g in
+  match Tracelog.of_string (Tracelog.to_string spans) with
+  | Error e -> QCheck2.Test.fail_report e
+  | Ok (spans', dropped) -> spans' = spans && dropped = 0
+
+(* The qcheck acceptance property: the Chrome export's flow edges are
+   exactly the generating pairs of ▷, so they are sound (each edge is an
+   oracle ↦ pair) and complete (their transitive closure is the oracle's
+   whole ↦ relation). *)
+let prop_chrome_flow_edges_match_oracle c =
+  let g, trace = Gen.build_computation c in
+  let spans = record_session_spans trace g in
+  let pairs = Chrome.flow_edge_pairs (Chrome.to_json spans) in
+  let p = Oracle.message_poset trace in
+  let n = Poset.size p in
+  let sound =
+    List.for_all
+      (fun (u, v) -> u >= 0 && v >= 0 && u < n && v < n && Poset.lt p u v)
+      pairs
+  in
+  (* Transitive closure of the edges, Warshall over the message count. *)
+  let reach = Array.make_matrix n n false in
+  List.iter (fun (u, v) -> reach.(u).(v) <- true) pairs;
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      if reach.(i).(k) then
+        for j = 0 to n - 1 do
+          if reach.(k).(j) then reach.(i).(j) <- true
+        done
+    done
+  done;
+  let complete = ref true in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if Poset.lt p i j <> reach.(i).(j) then complete := false
+    done
+  done;
+  sound && !complete
+
+(* ---------- determinism ---------- *)
+
+(* Two identical seeded multi-layer runs (session + lossy rendezvous
+   replay + offline Dilworth pipeline) record byte-identical tracelogs —
+   every tick is logical, so nothing depends on wall time. *)
+let seeded_tracelog seed =
+  Tracer.set_enabled true;
+  Tracer.clear ();
+  Fun.protect
+    ~finally:(fun () ->
+      Tracer.set_enabled false;
+      Tracer.clear ())
+    (fun () ->
+      let g =
+        Topology.build ~rng:(Rng.create seed) (Topology.Client_server (3, 9))
+      in
+      let d = Decomposition.best g in
+      let trace =
+        Workload.random (Rng.create (seed + 1)) ~topology:g ~messages:120
+          ~internal_prob:0.2 ()
+      in
+      let session = Session.of_decomposition d in
+      List.iter
+        (fun step ->
+          match step with
+          | Trace.Send (src, dst) -> ignore (Session.message session ~src ~dst)
+          | Trace.Local proc -> ignore (Session.internal session ~proc))
+        (Trace.steps trace);
+      ignore (Session.finish_events session);
+      let scripts = Synts_net.Script.of_trace trace in
+      ignore (Synts_net.Rendezvous.run ~seed ~loss:0.1 ~decomposition:d scripts);
+      ignore (Offline.timestamp_trace trace);
+      Tracelog.to_string ~dropped:(Tracer.dropped Tracer.default)
+        (Tracer.to_list ()))
+
+let test_determinism () =
+  Alcotest.(check string)
+    "identical seeded runs, byte-identical tracelogs" (seeded_tracelog 42)
+    (seeded_tracelog 42)
+
+(* ---------- report ---------- *)
+
+let test_report_smoke () =
+  let text = Report.render ~dropped:0 sample_spans in
+  List.iter
+    (fun needle ->
+      let found =
+        let n = String.length needle and t = String.length text in
+        let rec at i =
+          i + n <= t && (String.sub text i n = needle || at (i + 1))
+        in
+        at 0
+      in
+      Alcotest.(check bool) (Printf.sprintf "report mentions %S" needle) true
+        found)
+    [ "synts trace report"; "csp"; "poset"; "matching"; "p99" ];
+  let warned = Report.render ~dropped:5 sample_spans in
+  Alcotest.(check bool) "drop warning" true
+    (String.length warned > 0
+    &&
+    let rec at i =
+      i + 8 <= String.length warned
+      && (String.sub warned i 8 = "WARNING:" || at (i + 1))
+    in
+    at 0)
+
+(* ---------- session pending queue ---------- *)
+
+let test_session_pending_cap () =
+  let before = Tm.Counter.value (Tm.Counter.v "session.dropped_events") in
+  let session = Session.of_topology ~pending_cap:2 (Topology.path 2) in
+  for _ = 1 to 3 do
+    ignore (Session.internal session ~proc:0)
+  done;
+  (* The message resolves all three pending internals on P0; the queue
+     holds two, so the oldest resolved stamp is evicted, counted. *)
+  ignore (Session.message session ~src:0 ~dst:1);
+  Alcotest.(check int) "one eviction" 1 (Session.dropped_events session);
+  Alcotest.(check int) "telemetry counter" 1
+    (Tm.Counter.value (Tm.Counter.v "session.dropped_events") - before);
+  Alcotest.(check int) "queue holds the cap" 2
+    (List.length (Session.drain_events session));
+  Alcotest.(check int) "drain empties" 0
+    (List.length (Session.drain_events session))
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "recorder",
+        [
+          Alcotest.test_case "ring overflow drops oldest, counted" `Quick
+            test_ring_overflow;
+          Alcotest.test_case "disabled recording is a no-op" `Quick
+            test_switch_off;
+          Alcotest.test_case "begin/end lands one complete span" `Quick
+            test_begin_end;
+          Alcotest.test_case "Profile.with_span is exception-safe" `Quick
+            test_profile_exception_safe;
+        ] );
+      ( "flow-edges",
+        [
+          Alcotest.test_case "consecutive participations" `Quick
+            test_flow_edges;
+          Alcotest.test_case "coincident endpoints deduplicated" `Quick
+            test_flow_edges_dedup;
+        ] );
+      ( "exporters",
+        [
+          Alcotest.test_case "tracelog round-trip" `Quick
+            test_tracelog_roundtrip_unit;
+          Alcotest.test_case "chrome round-trip" `Quick
+            test_chrome_roundtrip_unit;
+          Alcotest.test_case "tracelog rejects malformed input" `Quick
+            test_tracelog_rejects_garbage;
+          qtest "tracelog round-trips any session recording" Gen.computation
+            Gen.computation_print prop_tracelog_roundtrip;
+          qtest ~count:60 "chrome flow edges = oracle ↦ (sound + complete)"
+            Gen.computation Gen.computation_print
+            prop_chrome_flow_edges_match_oracle;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "identical seeded runs, identical tracelogs"
+            `Quick test_determinism;
+        ] );
+      ("report", [ Alcotest.test_case "render smoke" `Quick test_report_smoke ]);
+      ( "session",
+        [
+          Alcotest.test_case "bounded pending queue evicts oldest, counted"
+            `Quick test_session_pending_cap;
+        ] );
+    ]
