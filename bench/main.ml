@@ -281,6 +281,43 @@ let network_tests =
              ignore (Synts_net.Rendezvous.run ~decomposition:d scripts)));
     ]
 
+(* B11: fault-injection overhead — the same timestamped 600-message run
+   bare, with an armed-but-empty injector (pays checksum framing and
+   retransmit timers), and under a busy plan (duplication, corruption
+   with rejection + retransmission, delay spikes, one crash-recover).
+   The injector is created inside the thunk so every iteration replays
+   the identical fault schedule from a fresh tally. *)
+let fault_tests =
+  let g = Topology.client_server ~servers:2 ~clients:10 in
+  let d = Decomposition.best g in
+  let trace = trace_of g 600 in
+  let scripts = Synts_net.Script.of_trace trace in
+  let busy =
+    match
+      Synts_fault.Plan.of_string "recover:1@50+40; dup:0.1; corrupt:0.1; spike:0.1*4"
+    with
+    | Ok p -> p
+    | Error e -> failwith e
+  in
+  Test.make_grouped ~name:"fault-overhead"
+    [
+      Test.make ~name:"no-faults"
+        (Staged.stage (fun () ->
+             ignore (Synts_net.Rendezvous.run ~decomposition:d scripts)));
+      Test.make ~name:"empty-plan"
+        (Staged.stage (fun () ->
+             ignore
+               (Synts_net.Rendezvous.run ~decomposition:d
+                  ~faults:(Synts_fault.Injector.create [])
+                  scripts)));
+      Test.make ~name:"busy-plan"
+        (Staged.stage (fun () ->
+             ignore
+               (Synts_net.Rendezvous.run ~decomposition:d
+                  ~faults:(Synts_fault.Injector.create busy)
+                  scripts)));
+    ]
+
 (* B12: telemetry overhead — the instrumented online stamper with the
    global switch on vs. off. Acceptance: within 10%. The hot loop only
    pays integer counter adds, so the two rows should be near-identical. *)
@@ -423,6 +460,7 @@ let all_groups =
     ("adaptive-ablation", adaptive_tests);
     ("internal-events", stream_tests);
     ("network-600msg", network_tests);
+    ("fault-overhead", fault_tests);
     ("scaling-1000msg", scaling_tests);
     ("telemetry-overhead", telemetry_tests);
     ("stamper-drivers-1000msg", stamper_tests);

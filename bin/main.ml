@@ -24,6 +24,8 @@ module Validate = Synts_check.Validate
 module Experiments = Synts_experiments.Experiments
 module Telemetry = Synts_telemetry.Telemetry
 module Lint = Synts_lint.Lint
+module Fault_plan = Synts_fault.Plan
+module Injector = Synts_fault.Injector
 module Tracer = Synts_trace.Tracer
 module Tracelog = Synts_trace.Tracelog
 module Chrome = Synts_trace.Chrome
@@ -86,8 +88,8 @@ let dump_metrics fmt =
   | `Text -> Format.printf "%a" Telemetry.pp snap
 
 let check_loss loss =
-  if loss < 0.0 || loss >= 1.0 then begin
-    prerr_endline "synts: --loss must be in [0, 1)";
+  if loss < 0.0 || loss > 1.0 then begin
+    prerr_endline "synts: --loss must be in [0, 1]";
     exit 1
   end
 
@@ -1053,6 +1055,186 @@ let trace_cmd =
           JSONL, and profile where logical time went.")
     [ trace_record_cmd; trace_export_cmd; trace_report_cmd ]
 
+(* ---------- chaos ---------- *)
+
+let chaos_cmd =
+  let messages_t =
+    Arg.(
+      value & opt int 60
+      & info [ "messages"; "m" ] ~docv:"M" ~doc:"Message count.")
+  in
+  let internal_t =
+    Arg.(
+      value & opt float 0.0
+      & info [ "internal" ] ~docv:"P" ~doc:"Internal-event probability.")
+  in
+  let loss_t =
+    Arg.(
+      value & opt float 0.0
+      & info [ "loss" ] ~docv:"P"
+          ~doc:"Packet-loss probability ($(b,1.0) allowed: drop everything).")
+  in
+  let fault_t =
+    Arg.(
+      value & opt_all string []
+      & info [ "fault"; "f" ] ~docv:"CLAUSE"
+          ~doc:
+            "One fault-plan clause; repeatable. Grammar: $(b,crash:P\\@T), \
+             $(b,recover:P\\@T+D), $(b,partition:A,B\\@T1-T2), \
+             $(b,dup:PROB), $(b,corrupt:PROB), $(b,spike:PROB*FACTOR).")
+  in
+  let plan_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "plan" ] ~docv:"PLAN"
+          ~doc:
+            "A whole fault plan as one string of $(b,;)-separated clauses \
+             (combined with any $(b,--fault) clauses).")
+  in
+  let retransmit_t =
+    Arg.(
+      value & opt float 40.0
+      & info [ "retransmit" ] ~docv:"T"
+          ~doc:"Initial retransmission timeout (doubles per attempt).")
+  in
+  let max_retransmits_t =
+    Arg.(
+      value & opt int 60
+      & info [ "max-retransmits" ] ~docv:"K"
+          ~doc:"Attempts before a sender gives up on a rendezvous.")
+  in
+  let no_checksum_t =
+    Arg.(
+      value & flag
+      & info [ "no-checksum" ]
+          ~doc:
+            "Disable the wire checksum: corrupted packets are accepted \
+             instead of rejected, demonstrating how exactness degrades \
+             (the lint verdict catches the divergence).")
+  in
+  let run seed topo messages internal loss fault_specs plan_spec retransmit
+      max_retransmits no_checksum metrics tracefile =
+    check_loss loss;
+    check_loss internal;
+    let parse_clauses = function
+      | Ok acc, spec -> (
+          match Fault_plan.of_string spec with
+          | Ok fs -> Ok (acc @ fs)
+          | Error e -> Error e)
+      | (Error _ as e), _ -> e
+    in
+    let plan =
+      List.fold_left
+        (fun acc s -> parse_clauses (acc, s))
+        (Ok [])
+        (Option.to_list plan_spec @ fault_specs)
+    in
+    let plan =
+      match plan with
+      | Ok p -> p
+      | Error e ->
+          prerr_endline ("synts chaos: " ^ e);
+          exit 2
+    in
+    if metrics <> None then begin
+      Telemetry.set_enabled true;
+      Telemetry.reset ()
+    end;
+    if tracefile <> None then start_tracing ();
+    let g = realize_topology seed topo in
+    let n = Graph.n g in
+    (match Fault_plan.validate ~n plan with
+    | Ok () -> ()
+    | Error e ->
+        prerr_endline ("synts chaos: " ^ e);
+        exit 2);
+    let workload =
+      Workload.random (Rng.create (seed + 1)) ~topology:g ~messages
+        ~internal_prob:internal ()
+    in
+    let d = Decomposition.best g in
+    let scripts = Synts_net.Script.of_trace workload in
+    let injector = Injector.create ~seed plan in
+    let o =
+      Synts_net.Rendezvous.run ~seed ~loss ~retransmit ~max_retransmits
+        ~faults:injector ~checksum:(not no_checksum) ~decomposition:d scripts
+    in
+    let delivered = Trace.message_count o.trace in
+    let planned = Trace.message_count workload in
+    let pp_procs = function
+      | [] -> ""
+      | ps ->
+          Printf.sprintf " [%s]"
+            (String.concat " " (List.map (Printf.sprintf "P%d") ps))
+    in
+    Format.printf "chaos %s  seed %d  plan: %s@." (topo_to_string topo) seed
+      (if plan = [] then "(none)" else Fault_plan.to_string plan);
+    Format.printf "messages  : %d delivered, %d undelivered (%d planned)@."
+      delivered (planned - delivered) planned;
+    Format.printf "packets   : %d sent, %d lost, %d duplicated, %d corrupted@."
+      o.packets o.lost o.duplicated o.corrupted;
+    Format.printf
+      "processes : %d gave up%s, %d crashed%s, %d recovered%s, %d \
+       deadlocked%s@."
+      (List.length o.gave_up) (pp_procs o.gave_up) (List.length o.crashed)
+      (pp_procs o.crashed)
+      (List.length o.recovered)
+      (pp_procs o.recovered)
+      (List.length o.deadlocked)
+      (pp_procs o.deadlocked);
+    Format.printf "faults    : %s@."
+      (match Injector.fired injector with
+      | [] -> "(none injected)"
+      | fired ->
+          String.concat " "
+            (List.map (fun (k, c) -> Printf.sprintf "%s=%d" k c) fired));
+    Format.printf "makespan  : %.1f@." o.makespan;
+    let stamps = Option.value ~default:[||] o.timestamps in
+    let oracle = Online.timestamp_trace d o.trace in
+    let mismatches = ref 0 in
+    Array.iteri
+      (fun i v ->
+        if i >= Array.length oracle || not (Vector.equal v oracle.(i)) then
+          incr mismatches)
+      stamps;
+    Format.printf "stamps    : %d/%d match the offline oracle%s@."
+      (Array.length stamps - !mismatches)
+      (Array.length stamps)
+      (if !mismatches = 0 then "" else " — EXACTNESS LOST");
+    let findings =
+      Synts_lint.Sanitizer.check_trace d o.trace stamps
+      @ List.map
+          (fun kind ->
+            Synts_lint.Rules.finding "fault/unobserved"
+              Synts_lint.Finding.Global
+              (Printf.sprintf
+                 "plan declares %s faults but none fired during the run" kind))
+          (Injector.unobserved injector)
+    in
+    if metrics <> None then Lint.record findings;
+    Format.printf "@.%a@." Lint.pp_report findings;
+    (match metrics with
+    | None -> ()
+    | Some fmt ->
+        print_newline ();
+        dump_metrics fmt);
+    Option.iter write_trace tracefile;
+    exit (Lint.exit_code ~fail_on:`Error findings)
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run a workload under a declarative fault plan (crashes, \
+          recoveries, partitions, duplication, corruption, delay spikes) \
+          and report delivered/aborted/recovered tallies, timestamp \
+          exactness against the offline oracle, and lint findings. \
+          Deterministic from --seed.")
+    Term.(
+      const run $ seed_t $ topology_t $ messages_t $ internal_t $ loss_t
+      $ fault_t $ plan_t $ retransmit_t $ max_retransmits_t $ no_checksum_t
+      $ metrics_t $ trace_t)
+
 let bench_diff_cmd =
   let module Bench_io = Synts_bench_io.Bench_io in
   let old_t =
@@ -1107,5 +1289,5 @@ let () =
           [
             figures_cmd; experiments_cmd; decompose_cmd; simulate_cmd;
             analyze_cmd; monitor_cmd; protocol_cmd; verify_cmd; lint_cmd;
-            metrics_cmd; trace_cmd; bench_diff_cmd;
+            metrics_cmd; trace_cmd; chaos_cmd; bench_diff_cmd;
           ]))

@@ -110,6 +110,21 @@ let equal_rows t a b = compare_rows t a b = `Eq
 let lt_rows t a b = compare_rows t a b = `Lt
 let concurrent_rows t a b = compare_rows t a b = `Concurrent
 
+type checkpoint = { c_dim : int; c_rows : int; c_data : int array }
+
+let checkpoint t =
+  { c_dim = t.dim; c_rows = t.rows; c_data = Array.sub t.slab 0 (t.rows * t.dim) }
+
+let restore t ck =
+  if ck.c_dim <> t.dim then invalid_arg "Stamp_store.restore: dim mismatch";
+  let words = ck.c_rows * ck.c_dim in
+  if words > Array.length t.slab then begin
+    let bigger = Array.make (max words (2 * Array.length t.slab)) 0 in
+    t.slab <- bigger
+  end;
+  Array.blit ck.c_data 0 t.slab 0 words;
+  t.rows <- ck.c_rows
+
 let diff_count t a b =
   check_row t a "diff_count";
   check_row t b "diff_count";

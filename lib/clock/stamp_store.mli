@@ -80,3 +80,17 @@ val concurrent_rows : t -> int -> int -> bool
 val diff_count : t -> int -> int -> int
 (** Number of components on which the two rows differ (the
     Singhal–Kshemkalyani "entries that changed since last send"). *)
+
+(** {1 Checkpoint / restore} — durable snapshots for crash recovery. *)
+
+type checkpoint
+(** An immutable snapshot of a store's rows, detached from the slab. *)
+
+val checkpoint : t -> checkpoint
+(** Snapshot the current rows (copies them out — the checkpoint is
+    unaffected by later pushes, truncation or clearing). *)
+
+val restore : t -> checkpoint -> unit
+(** Overwrite the store's contents with the snapshot (row count and all
+    cells). The store must have the same [dim] as the checkpoint's
+    source; raises [Invalid_argument] otherwise. *)

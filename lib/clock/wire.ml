@@ -53,6 +53,31 @@ let decode s =
   | result -> result
   | exception Exit -> Error "truncated or malformed varint"
 
+(* FNV-1a, 32-bit. One pass, no allocation; any single-bit flip of the
+   payload changes the digest (xor-then-multiply never cancels a lone
+   flipped bit), which is the property the rendezvous layer relies on. *)
+let checksum s =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0xffffffff)
+    s;
+  !h
+
+let encode_framed v =
+  let body = encode v in
+  let buf = Buffer.create (String.length body + 5) in
+  put_varint buf (checksum body);
+  Buffer.add_string buf body;
+  Buffer.contents buf
+
+let decode_framed s =
+  match get_varint s 0 with
+  | exception Exit -> Error "truncated checksum frame"
+  | expected, off ->
+      let body = String.sub s off (String.length s - off) in
+      if checksum body <> expected then Error "checksum mismatch"
+      else decode body
+
 let encode_diff ~prev v =
   if Array.length prev <> Array.length v then
     invalid_arg "Wire.encode_diff: size mismatch";

@@ -17,6 +17,19 @@ val decode : string -> (Vector.t, string) result
 val encoded_bytes : Vector.t -> int
 (** [String.length (encode v)] without building the string. *)
 
+val checksum : string -> int
+(** 32-bit FNV-1a digest of a byte string. Any single-bit flip of the
+    input changes the digest. *)
+
+val encode_framed : Vector.t -> string
+(** {!encode} prefixed with a varint {!checksum} of the body, so the
+    receiving end can reject corrupted payloads. *)
+
+val decode_framed : string -> (Vector.t, string) result
+(** Inverse of {!encode_framed}; [Error "checksum mismatch"] when the
+    body does not hash to the stored digest (bit-flip corruption),
+    other errors as {!decode}. *)
+
 val encode_diff : prev:Vector.t -> Vector.t -> string
 (** Sparse encoding of the entries where [v] differs from [prev] (count,
     then (index, value) varint pairs). Sizes must match. *)

@@ -63,3 +63,14 @@ let receive t ~src incoming =
 let on_ack t ~dst ack =
   Tm.Counter.incr m_acks;
   merge_and_increment t dst ack
+
+type checkpoint = { c_pid : int; c_v : Vector.t }
+
+let checkpoint t = { c_pid = t.pid; c_v = Vector.copy t.v }
+
+let restore t ck =
+  if ck.c_pid <> t.pid || Vector.size ck.c_v <> Vector.size t.v then
+    invalid_arg "Edge_clock.restore: checkpoint from a different clock";
+  Vector.blit_into ~dst:t.v ck.c_v
+
+let reset t = Array.fill t.v 0 (Vector.size t.v) 0

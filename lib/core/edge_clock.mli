@@ -44,3 +44,25 @@ val on_ack : t -> dst:int -> Synts_clock.Vector.t -> Synts_clock.Vector.t
 (** Figure 5 lines 08–11: process the acknowledgement (carrying the
     receiver's pre-merge vector) for a message this process sent to [dst];
     returns the message's timestamp and updates the local vector. *)
+
+(** {1 Checkpoint / restore} — crash recovery of the Figure 5 state.
+
+    The entire protocol state of a process is its vector [v_i]: a
+    checkpoint taken after an {!on_ack}/{!receive} and restored later
+    resumes the protocol exactly (the next timestamp computed equals the
+    one an uncrashed process would have produced), which is what makes
+    crash-recover fault injection exactness-preserving. *)
+
+type checkpoint
+(** Immutable snapshot of one clock's vector. *)
+
+val checkpoint : t -> checkpoint
+
+val restore : t -> checkpoint -> unit
+(** Overwrite the live vector with the snapshot. Raises
+    [Invalid_argument] when the checkpoint came from a clock with a
+    different [pid] or dimension. *)
+
+val reset : t -> unit
+(** Zero the vector — what a crash does to the volatile state. A process
+    that restarts without {!restore} has lost its causal history. *)

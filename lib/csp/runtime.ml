@@ -2,6 +2,7 @@ module Rng = Synts_util.Rng
 module Trace = Synts_sync.Trace
 module Vector = Synts_clock.Vector
 module Edge_clock = Synts_core.Edge_clock
+module Plan = Synts_fault.Plan
 module Tm = Synts_telemetry.Telemetry
 module Tracer = Synts_trace.Tracer
 
@@ -17,6 +18,9 @@ let m_internal =
 
 let m_failures =
   Tm.Counter.v ~help:"Fibers that terminated with an exception" "csp.failures"
+
+let m_crashes =
+  Tm.Counter.v ~help:"Process crash events injected" "proc.crashes"
 
 let m_wait =
   Tm.Span.v
@@ -41,6 +45,7 @@ struct
     trace : Trace.t;
     timestamps : Vector.t array option;
     deadlocked : int list;
+    crashed : int list;
     failures : (int * exn) list;
   }
 
@@ -110,9 +115,28 @@ struct
     assert (Vector.equal ts ts');
     ts
 
-  let run ?(seed = 0) ?decomposition ?on_stamp ?max_steps ~n programs =
+  let run ?(seed = 0) ?decomposition ?on_stamp ?max_steps ?(faults = []) ~n
+      programs =
     if Array.length programs <> n then
       invalid_arg "Runtime.run: need exactly one program per process";
+    (match Plan.validate ~n faults with
+    | Ok () -> ()
+    | Error e -> invalid_arg ("Runtime.run: " ^ e));
+    (* The scheduler has no virtual clock, so crash times are read as
+       dispatch counts. Fibers hold one-shot continuations — there is no
+       process image to checkpoint — so crash-recover degrades to
+       crash-stop here; full recovery lives in the network layer. *)
+    let crash_schedule =
+      List.filter_map
+        (function
+          | Plan.Crash_stop { proc; at } | Plan.Crash_recover { proc; at; _ }
+            ->
+              Some (proc, at)
+          | Plan.Partition _ | Plan.Duplicate _ | Plan.Corrupt _
+          | Plan.Delay_spike _ ->
+              None)
+        faults
+    in
     let rng = Rng.create seed in
     let clocks =
       Option.map
@@ -245,8 +269,34 @@ struct
         (fun p -> match status.(p) with Runnable _ -> true | _ -> false)
         (List.init n Fun.id)
     in
+    let crashed = ref [] in
+    (* Fail-stop a fiber: discard its continuation, close its wait span.
+       A peer blocked on the dead fiber stays blocked and surfaces in
+       [deadlocked] — the degradation is visible, not silent. *)
+    let kill pid =
+      match status.(pid) with
+      | Done -> () (* finished before its crash time; nothing to kill *)
+      | _ ->
+          unblock pid;
+          status.(pid) <- Done;
+          crashed := pid :: !crashed;
+          Tm.Counter.incr m_crashes;
+          if Tracer.enabled () then
+            Tracer.instant ~cat:"fault" ~pid
+              ~tick:(float_of_int !dispatches)
+              "crash"
+    in
+    let pending_crashes = ref crash_schedule in
     let continue = ref true in
     while !continue do
+      let now = float_of_int !dispatches in
+      (match
+         List.partition (fun (_, at) -> at <= now) !pending_crashes
+       with
+      | [], _ -> ()
+      | due, later ->
+          pending_crashes := later;
+          List.iter (fun (p, _) -> kill p) due);
       match runnable () with
       | [] -> continue := false
       | rs ->
@@ -274,7 +324,13 @@ struct
         (fun _ -> Array.of_list (List.rev !message_stamps))
         clocks
     in
-    { trace; timestamps; deadlocked; failures = List.rev !failures }
+    {
+      trace;
+      timestamps;
+      deadlocked;
+      crashed = List.sort compare !crashed;
+      failures = List.rev !failures;
+    }
 
   let explore ?decomposition ?max_steps ~n ~seeds programs =
     let seen = Hashtbl.create 16 in
@@ -350,6 +406,7 @@ struct
       timestamps =
         Option.map (fun _ -> Array.of_list (List.rev !message_stamps)) clocks;
       deadlocked;
+      crashed = [];
       failures = List.rev !failures;
     }
 

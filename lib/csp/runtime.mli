@@ -38,7 +38,9 @@ end) : sig
     timestamps : Synts_clock.Vector.t array option;
         (** Per message id, when a decomposition was supplied. *)
     deadlocked : int list;
-        (** Pids blocked forever (empty = every fiber terminated). *)
+        (** Pids blocked forever (empty = every fiber terminated).
+            Includes fibers left waiting on a crashed peer. *)
+    crashed : int list;  (** Fibers fail-stopped by the fault plan. *)
     failures : (int * exn) list;  (** Fibers that raised. *)
   }
 
@@ -49,6 +51,7 @@ end) : sig
     ?decomposition:Synts_graph.Decomposition.t ->
     ?on_stamp:(src:int -> dst:int -> Synts_clock.Vector.t -> unit) ->
     ?max_steps:int ->
+    ?faults:Synts_fault.Plan.t ->
     n:int ->
     (api -> unit) array ->
     outcome
@@ -59,7 +62,17 @@ end) : sig
       {!Step_limit_exceeded} beyond it. [on_stamp] observes every
       message's timestamp as its rendezvous completes (only called when
       timestamping is on) — the hook point for running the runtime under a
-      sanitizer such as [Synts_lint.Lint.Sanitizer]. *)
+      sanitizer such as [Synts_lint.Lint.Sanitizer].
+
+      [faults] (default empty; validated against [n]) applies the crash
+      clauses of a fault plan, with crash times read as scheduler
+      dispatch counts: the fiber is fail-stopped, reported in [crashed],
+      and peers blocked on it surface in [deadlocked]. Fibers hold
+      one-shot continuations — there is no process image to restore — so
+      [Crash_recover] degrades to crash-stop here; network-level clauses
+      (loss, duplication, corruption, partitions, spikes) do not apply
+      to an in-memory rendezvous and are ignored. Full crash-{e recover}
+      semantics live in {!Synts_net.Rendezvous}. *)
 
   val explore :
     ?decomposition:Synts_graph.Decomposition.t ->

@@ -1,0 +1,107 @@
+module Rng = Synts_util.Rng
+
+type t = {
+  plan : Plan.t;
+  rng : Rng.t;
+  dup_prob : float;
+  corrupt_prob : float;
+  spike_prob : float;
+  spike_factor : float;
+  partitions : (int list * float * float) list;
+  crash_schedule : (int * float * float option) list;
+  tally : (string, int) Hashtbl.t;
+}
+
+let create ?(seed = 0) plan =
+  let dup_prob = ref 0.0
+  and corrupt_prob = ref 0.0
+  and spike_prob = ref 0.0
+  and spike_factor = ref 1.0
+  and partitions = ref []
+  and crash_schedule = ref [] in
+  List.iter
+    (fun (f : Plan.fault) ->
+      match f with
+      | Duplicate { prob } -> dup_prob := prob
+      | Corrupt { prob } -> corrupt_prob := prob
+      | Delay_spike { prob; factor } ->
+          spike_prob := prob;
+          spike_factor := factor
+      | Partition { island; from_; until_ } ->
+          partitions := (island, from_, until_) :: !partitions
+      | Crash_stop { proc; at } ->
+          crash_schedule := (proc, at, None) :: !crash_schedule
+      | Crash_recover { proc; at; after } ->
+          crash_schedule := (proc, at, Some after) :: !crash_schedule)
+    plan;
+  let tally = Hashtbl.create 8 in
+  List.iter (fun k -> Hashtbl.replace tally k 0) (Plan.kinds plan);
+  {
+    plan;
+    rng = Rng.create seed;
+    dup_prob = !dup_prob;
+    corrupt_prob = !corrupt_prob;
+    spike_prob = !spike_prob;
+    spike_factor = !spike_factor;
+    partitions = List.rev !partitions;
+    crash_schedule = List.rev !crash_schedule;
+    tally;
+  }
+
+let plan t = t.plan
+
+let note t k =
+  Hashtbl.replace t.tally k (1 + Option.value ~default:0 (Hashtbl.find_opt t.tally k))
+
+let roll_duplicate t =
+  t.dup_prob > 0.0
+  && Rng.chance t.rng t.dup_prob
+  &&
+  (note t "duplicate";
+   true)
+
+let roll_corrupt t =
+  t.corrupt_prob > 0.0
+  && Rng.chance t.rng t.corrupt_prob
+  &&
+  (note t "corrupt";
+   true)
+
+let delay_factor t =
+  if t.spike_prob > 0.0 && Rng.chance t.rng t.spike_prob then begin
+    note t "delay-spike";
+    t.spike_factor
+  end
+  else 1.0
+
+let blocks t ~now ~src ~dst =
+  let separated (island, from_, until_) =
+    now >= from_ && now < until_
+    && List.mem src island <> List.mem dst island
+  in
+  List.exists separated t.partitions
+  &&
+  (note t "partition";
+   true)
+
+let flip_bit t s =
+  let len = String.length s in
+  if len = 0 then s
+  else begin
+    let bit = Rng.int t.rng (8 * len) in
+    let b = Bytes.of_string s in
+    let i = bit / 8 in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl (bit mod 8))));
+    Bytes.to_string b
+  end
+
+let crashes t = t.crash_schedule
+let note_crash t = note t "crash"
+let note_recovery t = note t "recovery"
+
+let fired t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.tally []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let unobserved t =
+  List.filter_map (fun (k, v) -> if v = 0 then Some k else None) (fired t)

@@ -1,0 +1,58 @@
+(** Seeded fault-decision engine.
+
+    An injector compiles a {!Plan.t} into per-packet decisions: should
+    this packet be duplicated, corrupted, delayed, or blocked by a
+    partition window? Decisions are drawn from the injector's own
+    SplitMix64 stream, independent of the network simulator's — adding
+    a fault plan never perturbs the delays or losses an existing seed
+    produces. Runs are bit-for-bit reproducible from [(plan, seed)].
+
+    The injector also tallies which fault kinds actually fired, so a
+    run can report plan clauses that never took effect (surfaced by the
+    [fault/unobserved] lint rule). *)
+
+type t
+
+val create : ?seed:int -> Plan.t -> t
+(** Compile a plan. [seed] (default 0) drives all probabilistic
+    decisions. The plan is not validated here — {!Plan.validate} runs
+    against a concrete [n] at the point of use. *)
+
+val plan : t -> Plan.t
+
+(** {1 Per-packet decisions} — each consults the random stream only
+    when the corresponding fault kind is declared with positive
+    probability, and records a tally when it fires. *)
+
+val roll_duplicate : t -> bool
+val roll_corrupt : t -> bool
+
+val delay_factor : t -> float
+(** [1.0], or the spike factor when the spike fires. *)
+
+val blocks : t -> now:float -> src:int -> dst:int -> bool
+(** Whether a partition window separates [src] from [dst] at time
+    [now] (one endpoint inside an island, the other outside). *)
+
+val flip_bit : t -> string -> string
+(** Corrupt a payload: flip one uniformly chosen bit. Returns the
+    string unchanged only when it is empty. *)
+
+(** {1 Crash schedule} *)
+
+val crashes : t -> (int * float * float option) list
+(** [(proc, at, recover_after)] per crash clause, in plan order. *)
+
+val note_crash : t -> unit
+val note_recovery : t -> unit
+(** Called by the runtime when a crash / recovery event takes effect,
+    so the tallies cover faults the injector does not decide itself. *)
+
+(** {1 Observation tallies} *)
+
+val fired : t -> (string * int) list
+(** How often each declared fault kind actually fired, sorted by kind
+    name. Kinds that never fired are present with count 0. *)
+
+val unobserved : t -> string list
+(** Declared kinds with a zero tally, sorted. *)

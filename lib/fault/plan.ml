@@ -1,0 +1,161 @@
+type fault =
+  | Crash_stop of { proc : int; at : float }
+  | Crash_recover of { proc : int; at : float; after : float }
+  | Partition of { island : int list; from_ : float; until_ : float }
+  | Duplicate of { prob : float }
+  | Corrupt of { prob : float }
+  | Delay_spike of { prob : float; factor : float }
+
+type t = fault list
+
+let kind = function
+  | Crash_stop _ | Crash_recover _ -> "crash"
+  | Partition _ -> "partition"
+  | Duplicate _ -> "duplicate"
+  | Corrupt _ -> "corrupt"
+  | Delay_spike _ -> "delay-spike"
+
+let kinds plan =
+  let seen = Hashtbl.create 8 in
+  let add acc k =
+    if Hashtbl.mem seen k then acc
+    else begin
+      Hashtbl.add seen k ();
+      k :: acc
+    end
+  in
+  List.rev
+    (List.fold_left
+       (fun acc f ->
+         let acc = add acc (kind f) in
+         match f with Crash_recover _ -> add acc "recovery" | _ -> acc)
+       [] plan)
+
+let prob_ok p = p >= 0.0 && p <= 1.0
+
+let validate ~n plan =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let proc_ok p = p >= 0 && p < n in
+  let rec go ~dup ~corrupt ~spike crashed = function
+    | [] -> Ok ()
+    | f :: rest -> (
+        match f with
+        | Crash_stop { proc; at } | Crash_recover { proc; at; _ }
+          when not (proc_ok proc) || at < 0.0 ->
+            err "fault plan: bad crash clause (process %d, at %g)" proc at
+        | Crash_stop { proc; _ } | Crash_recover { proc; _ } ->
+            if List.mem proc crashed then
+              err "fault plan: process %d crashes more than once" proc
+            else
+              let after_ok =
+                match f with
+                | Crash_recover { after; _ } -> after > 0.0
+                | _ -> true
+              in
+              if not after_ok then
+                err "fault plan: recovery delay must be positive (process %d)"
+                  proc
+              else go ~dup ~corrupt ~spike (proc :: crashed) rest
+        | Partition { island; from_; until_ } ->
+            if island = [] then err "fault plan: empty partition island"
+            else if List.exists (fun p -> not (proc_ok p)) island then
+              err "fault plan: partition names a process outside 0..%d" (n - 1)
+            else if List.length (List.sort_uniq compare island) <> List.length island
+            then err "fault plan: partition island repeats a process"
+            else if from_ < 0.0 || until_ <= from_ then
+              err "fault plan: bad partition window %g-%g" from_ until_
+            else go ~dup ~corrupt ~spike crashed rest
+        | Duplicate { prob } ->
+            if dup then err "fault plan: more than one dup clause"
+            else if not (prob_ok prob) then
+              err "fault plan: dup probability %g outside [0, 1]" prob
+            else go ~dup:true ~corrupt ~spike crashed rest
+        | Corrupt { prob } ->
+            if corrupt then err "fault plan: more than one corrupt clause"
+            else if not (prob_ok prob) then
+              err "fault plan: corrupt probability %g outside [0, 1]" prob
+            else go ~dup ~corrupt:true ~spike crashed rest
+        | Delay_spike { prob; factor } ->
+            if spike then err "fault plan: more than one spike clause"
+            else if not (prob_ok prob) then
+              err "fault plan: spike probability %g outside [0, 1]" prob
+            else if factor < 1.0 then
+              err "fault plan: spike factor %g must be >= 1" factor
+            else go ~dup ~corrupt ~spike:true crashed rest)
+  in
+  go ~dup:false ~corrupt:false ~spike:false [] plan
+
+let fault_to_string = function
+  | Crash_stop { proc; at } -> Printf.sprintf "crash:%d@%g" proc at
+  | Crash_recover { proc; at; after } ->
+      Printf.sprintf "recover:%d@%g+%g" proc at after
+  | Partition { island; from_; until_ } ->
+      Printf.sprintf "partition:%s@%g-%g"
+        (String.concat "," (List.map string_of_int island))
+        from_ until_
+  | Duplicate { prob } -> Printf.sprintf "dup:%g" prob
+  | Corrupt { prob } -> Printf.sprintf "corrupt:%g" prob
+  | Delay_spike { prob; factor } -> Printf.sprintf "spike:%g*%g" prob factor
+
+let scan spec fmt k =
+  match Scanf.sscanf spec fmt k with
+  | v -> Ok v
+  | exception (Scanf.Scan_failure _ | Failure _ | End_of_file) ->
+      Error (Printf.sprintf "fault plan: cannot parse clause %S" spec)
+
+let fault_of_string spec =
+  let spec = String.trim spec in
+  match String.index_opt spec ':' with
+  | None -> Error (Printf.sprintf "fault plan: clause %S has no ':'" spec)
+  | Some i -> (
+      let head = String.sub spec 0 i in
+      let body = String.sub spec (i + 1) (String.length spec - i - 1) in
+      match head with
+      | "crash" ->
+          scan body "%d@%f%!" (fun proc at -> Crash_stop { proc; at })
+      | "recover" ->
+          scan body "%d@%f+%f%!" (fun proc at after ->
+              Crash_recover { proc; at; after })
+      | "partition" -> (
+          match String.index_opt body '@' with
+          | None -> Error (Printf.sprintf "fault plan: clause %S has no '@'" spec)
+          | Some j -> (
+              let members = String.sub body 0 j in
+              let window =
+                String.sub body (j + 1) (String.length body - j - 1)
+              in
+              let island =
+                String.split_on_char ',' members
+                |> List.map (fun s -> int_of_string_opt (String.trim s))
+              in
+              if List.exists Option.is_none island then
+                Error
+                  (Printf.sprintf "fault plan: bad partition island in %S" spec)
+              else
+                let island = List.filter_map Fun.id island in
+                scan window "%f-%f%!" (fun from_ until_ ->
+                    Partition { island; from_; until_ })))
+      | "dup" -> scan body "%f%!" (fun prob -> Duplicate { prob })
+      | "corrupt" -> scan body "%f%!" (fun prob -> Corrupt { prob })
+      | "spike" ->
+          scan body "%f*%f%!" (fun prob factor -> Delay_spike { prob; factor })
+      | _ -> Error (Printf.sprintf "fault plan: unknown fault kind %S" head))
+
+let to_string plan = String.concat "; " (List.map fault_to_string plan)
+
+let of_string s =
+  let clauses =
+    String.split_on_char ';' s
+    |> List.map String.trim
+    |> List.filter (fun c -> c <> "")
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | c :: rest -> (
+        match fault_of_string c with
+        | Ok f -> go (f :: acc) rest
+        | Error _ as e -> e)
+  in
+  go [] clauses
+
+let pp ppf plan = Format.pp_print_string ppf (to_string plan)

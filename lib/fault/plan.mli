@@ -1,0 +1,67 @@
+(** Declarative fault plans.
+
+    A plan is a list of faults to inject into a run — process crashes
+    (with or without recovery), partition windows, packet duplication,
+    bit-flip corruption and delay spikes. Plans are plain data: they can
+    be built programmatically, parsed from the CLI grammar below, and
+    validated against a topology before a run. The {!Injector} turns a
+    plan plus a seed into concrete, reproducible decisions.
+
+    Concrete grammar (one fault per clause, clauses separated by [;]):
+
+    {v
+    crash:P@T          crash-stop process P at virtual time T
+    recover:P@T+D      crash process P at time T, recover it D later
+    partition:A,B@T1-T2  isolate processes {A,B,...} from the rest
+                         during the window [T1, T2)
+    dup:PROB           duplicate each delivered packet with prob. PROB
+    corrupt:PROB       flip one payload bit with probability PROB
+    spike:PROB*F       multiply a packet's delay by F with prob. PROB
+    v}
+
+    Example: ["recover:2@25+30; dup:0.1; spike:0.2*5"]. *)
+
+type fault =
+  | Crash_stop of { proc : int; at : float }
+      (** [proc] fail-stops at virtual time [at]: its volatile state is
+          lost and it never acts again. *)
+  | Crash_recover of { proc : int; at : float; after : float }
+      (** [proc] crashes at [at] and recovers [after] time units later
+          from its last checkpoint. *)
+  | Partition of { island : int list; from_ : float; until_ : float }
+      (** Packets crossing the cut between [island] and its complement
+          are dropped during [[from_, until_)]. *)
+  | Duplicate of { prob : float }
+      (** Each successfully transmitted packet is delivered twice with
+          probability [prob]. *)
+  | Corrupt of { prob : float }
+      (** Each transmitted packet has one payload bit flipped with
+          probability [prob]. *)
+  | Delay_spike of { prob : float; factor : float }
+      (** Each packet's transit delay is multiplied by [factor] with
+          probability [prob] (a congestion burst). *)
+
+type t = fault list
+
+val validate : n:int -> t -> (unit, string) result
+(** Check a plan against a system of [n] processes: process ids in
+    range, probabilities in [[0,1]], windows well ordered, spike factor
+    ≥ 1, at most one [Duplicate]/[Corrupt]/[Delay_spike] clause and at
+    most one crash per process. *)
+
+val kinds : t -> string list
+(** The fault kinds the plan declares, deduplicated, in first-appearance
+    order. Kinds: ["crash"], ["recovery"], ["partition"],
+    ["duplicate"], ["corrupt"], ["delay-spike"]. *)
+
+val fault_to_string : fault -> string
+val fault_of_string : string -> (fault, string) result
+
+val to_string : t -> string
+(** Clauses joined with ["; "]; inverse of {!of_string}. *)
+
+val of_string : string -> (t, string) result
+(** Parse a [;]-separated clause list (empty clauses are skipped; an
+    empty string is the empty plan). *)
+
+val pp : Format.formatter -> t -> unit

@@ -298,6 +298,22 @@ let all =
          (Eq. 1) for some message pair.";
       paper = "Paper Fig. 5 and Theorem 4 (Equation (1)).";
     };
+    {
+      id = "fault/unobserved";
+      severity = w;
+      summary = "a plan-declared fault kind never fired during the run";
+      rationale =
+        "A chaos plan is a schedule input, and a robustness verdict is \
+         only as strong as the faults that actually happened. A clause \
+         that never fired — a partition window after the makespan, a \
+         corruption probability that never rolled true, a crash aimed at \
+         a process that was already done — means the run exercised less \
+         than the plan claims. The finding names the idle fault kinds so \
+         the plan can be tightened or the workload lengthened.";
+      paper =
+        "Fault schedules as first-class inputs, cf. deterministic \
+         synchronizers under failures (arXiv:2305.06452).";
+    };
   ]
   |> List.sort (fun a b -> compare a.id b.id)
 

@@ -1,7 +1,10 @@
 module Trace = Synts_sync.Trace
 module Vector = Synts_clock.Vector
 module Wire = Synts_clock.Wire
+module Decomposition = Synts_graph.Decomposition
 module Edge_clock = Synts_core.Edge_clock
+module Plan = Synts_fault.Plan
+module Injector = Synts_fault.Injector
 module Tm = Synts_telemetry.Telemetry
 module Tracer = Synts_trace.Tracer
 
@@ -16,6 +19,20 @@ let m_retransmissions =
 let m_dup_requests =
   Tm.Counter.v ~help:"Duplicate REQs answered from the dedup table"
     "net.rendezvous.dup_requests"
+
+let m_gave_up =
+  Tm.Counter.v ~help:"Senders that exhausted max_retransmits and aborted"
+    "net.rendezvous.gave_up"
+
+let m_rejected =
+  Tm.Counter.v ~help:"Packets rejected by the receiver (checksum or dimension)"
+    "net.rendezvous.rejected_packets"
+
+let m_crashes =
+  Tm.Counter.v ~help:"Process crash events injected" "proc.crashes"
+
+let m_recoveries =
+  Tm.Counter.v ~help:"Process recoveries from a checkpoint" "proc.recoveries"
 
 let m_piggyback =
   Tm.Counter.v
@@ -35,19 +52,27 @@ let count_piggyback = function
       b
   | _ -> 0
 
+(* Vectors travel as decoded values on the fast path; under fault
+   injection they travel wire-encoded (optionally checksum-framed) so
+   bit-flip corruption acts on real bytes and is caught on receipt. *)
+type body = Plain of Vector.t option | Wired of string
+
 (* Sequence numbers make REQ/ACK idempotent under loss and
    retransmission: seq is unique per sender, the receiver remembers what
    it already consumed and replays the stored ACK for duplicates. *)
 type packet =
-  | Req of { seq : int; vector : Vector.t option }
-  | Ack of { seq : int; vector : Vector.t option }
-  | Timeout of { dst : int; seq : int; attempts : int }
+  | Req of { seq : int; body : body }
+  | Ack of { seq : int; body : body }
+  | Timeout of { dst : int; seq : int; attempts : int; backoff : float }
+  | Crash_evt
+  | Recover_evt
 
 type status =
   | Idle
   | Awaiting_ack of { dst : int; seq : int; vector : Vector.t option }
   | Awaiting_req of int option  (* receive filter *)
   | Finished
+  | Gave_up of int  (* the peer the aborted send was addressed to *)
 
 type process = {
   pid : int;
@@ -59,27 +84,86 @@ type process = {
   completed : (int * int, Vector.t option) Hashtbl.t;
       (* (src, seq) -> stored ACK payload, for duplicate REQs *)
   clock : Edge_clock.t option;
+  mutable alive : bool;
+  mutable recovered : bool;
+  mutable ckpt : Edge_clock.checkpoint option;
+      (* durable snapshot of the Figure 5 vector, refreshed after every
+         clock update while fault injection is on *)
 }
 
 type outcome = {
   trace : Trace.t;
   timestamps : Vector.t array option;
   deadlocked : int list;
+  gave_up : int list;
+  crashed : int list;
+  recovered : int list;
   packets : int;
   lost : int;
+  duplicated : int;
+  corrupted : int;
   makespan : float;
 }
 
 let filter_accepts filter src =
   match filter with None -> true | Some p -> p = src
 
+let backoff_cap = 64.0
+
 let run ?(seed = 0) ?min_delay ?max_delay ?fifo ?(loss = 0.0)
-    ?(retransmit = 40.0) ?(max_retransmits = 60) ?decomposition scripts =
+    ?(retransmit = 40.0) ?(max_retransmits = 60) ?faults ?(checksum = true)
+    ?decomposition scripts =
   let n = Array.length scripts in
   if n < 1 then invalid_arg "Rendezvous.run: need at least one process";
-  let net = Simulator.create ~seed ?min_delay ?max_delay ?fifo ~loss ~n () in
+  (match faults with
+  | Some inj -> (
+      match Plan.validate ~n (Injector.plan inj) with
+      | Ok () -> ()
+      | Error e -> invalid_arg ("Rendezvous.run: " ^ e))
+  | None -> ());
+  (* Timestamps only cross the (simulated) wire in encoded form when
+     faults are in play: corruption needs bytes to flip. *)
+  let wired = faults <> None && decomposition <> None in
+  let encode_vec = if checksum then Wire.encode_framed else Wire.encode in
+  let decode_vec = if checksum then Wire.decode_framed else Wire.decode in
+  let make_body v =
+    match v with Some vec when wired -> Wired (encode_vec vec) | v -> Plain v
+  in
+  let dim = Option.map Decomposition.size decomposition in
+  let decode_body = function
+    | Plain v -> Ok v
+    | Wired s -> (
+        match decode_vec s with
+        | Error _ as e -> e
+        | Ok v -> (
+            match dim with
+            | Some d when Vector.size v <> d -> Error "dimension mismatch"
+            | _ -> Ok (Some v)))
+  in
+  let corrupt_packet =
+    match faults with
+    | Some inj when wired ->
+        Some
+          (function
+          | Req { seq; body = Wired s } ->
+              Req { seq; body = Wired (Injector.flip_bit inj s) }
+          | Ack { seq; body = Wired s } ->
+              Ack { seq; body = Wired (Injector.flip_bit inj s) }
+          | other -> other)
+    | _ -> None
+  in
+  let net =
+    Simulator.create ~seed ?min_delay ?max_delay ?fifo ~loss ?faults
+      ?corrupt:corrupt_packet ~n ()
+  in
+  (* Retransmission timers are pure overhead on a reliable network; arm
+     them whenever packets can fail to complete a rendezvous. *)
+  let unreliable = loss > 0.0 || faults <> None in
   let procs =
     Array.init n (fun pid ->
+        let clock =
+          Option.map (fun d -> Edge_clock.create d ~pid) decomposition
+        in
         {
           pid;
           script = scripts.(pid);
@@ -87,9 +171,25 @@ let run ?(seed = 0) ?min_delay ?max_delay ?fifo ?(loss = 0.0)
           inbox = [];
           next_seq = 0;
           completed = Hashtbl.create 16;
-          clock =
-            Option.map (fun d -> Edge_clock.create d ~pid) decomposition;
+          clock;
+          alive = true;
+          recovered = false;
+          ckpt =
+            (if faults <> None then Option.map Edge_clock.checkpoint clock
+             else None);
         })
+  in
+  let save_ckpt p =
+    if faults <> None then
+      match p.clock with
+      | Some c -> p.ckpt <- Some (Edge_clock.checkpoint c)
+      | None -> ()
+  in
+  let reject ~src p =
+    Tm.Counter.incr m_rejected;
+    if Tracer.enabled () then
+      Tracer.instant ~cat:"fault" ~pid:p.pid ~tick:(Simulator.now net) ~a:src
+        ~b:p.pid "reject"
   in
   let steps = ref [] and stamps = ref [] in
   let msg_count = ref 0 in
@@ -108,6 +208,7 @@ let run ?(seed = 0) ?min_delay ?max_delay ?fifo ?(loss = 0.0)
       | Some _, None ->
           invalid_arg "Rendezvous: REQ without a vector while timestamping"
     in
+    save_ckpt receiver;
     (* The REQ's consumption is the rendezvous instant; its id follows
        trace order, so flow edges line up with the oracle's message ids. *)
     let id = !msg_count in
@@ -127,7 +228,15 @@ let run ?(seed = 0) ?min_delay ?max_delay ?fifo ?(loss = 0.0)
       if req_bytes + ack_bytes > 0 then
         Tm.Histogram.observe m_msg_bytes (float_of_int (req_bytes + ack_bytes))
     end;
-    Simulator.send net ~src:receiver.pid ~dst:src (Ack { seq; vector = ack_payload })
+    Simulator.send net ~src:receiver.pid ~dst:src
+      (Ack { seq; body = make_body ack_payload })
+  in
+  let send_req p ~dst ~seq vector =
+    ignore (count_piggyback vector);
+    Simulator.send net ~src:p.pid ~dst (Req { seq; body = make_body vector });
+    if unreliable then
+      Simulator.timer net ~delay:retransmit ~proc:p.pid
+        (Timeout { dst; seq; attempts = 1; backoff = retransmit *. 2.0 })
   in
   let rec advance p =
     match p.script with
@@ -142,11 +251,7 @@ let run ?(seed = 0) ?min_delay ?max_delay ?fifo ?(loss = 0.0)
         in
         let seq = p.next_seq in
         p.next_seq <- seq + 1;
-        ignore (count_piggyback vector);
-        Simulator.send net ~src:p.pid ~dst (Req { seq; vector });
-        if loss > 0.0 then
-          Simulator.timer net ~delay:retransmit ~proc:p.pid
-            (Timeout { dst; seq; attempts = 1 });
+        send_req p ~dst ~seq vector;
         p.script <- rest;
         p.status <- Awaiting_ack { dst; seq; vector }
     | (Script.Recv_from _ | Script.Recv_any) :: rest as all -> (
@@ -169,45 +274,101 @@ let run ?(seed = 0) ?min_delay ?max_delay ?fifo ?(loss = 0.0)
             advance p
         | None -> p.status <- Awaiting_req filter)
   in
+  (* Crash: the volatile state (inbox, live vector) is lost; the durable
+     state (script position, sequence counter, dedup table, checkpoint)
+     survives. Packets addressed to a crashed process evaporate. *)
+  let crash p =
+    if p.alive then begin
+      p.alive <- false;
+      p.inbox <- [];
+      Option.iter Edge_clock.reset p.clock;
+      (match faults with Some inj -> Injector.note_crash inj | None -> ());
+      Tm.Counter.incr m_crashes;
+      if Tracer.enabled () then
+        Tracer.instant ~cat:"fault" ~pid:p.pid ~tick:(Simulator.now net)
+          "crash"
+    end
+  in
+  let recover p =
+    if not p.alive then begin
+      p.alive <- true;
+      p.recovered <- true;
+      (match (p.clock, p.ckpt) with
+      | Some c, Some ck -> Edge_clock.restore c ck
+      | _ -> ());
+      (match faults with Some inj -> Injector.note_recovery inj | None -> ());
+      Tm.Counter.incr m_recoveries;
+      if Tracer.enabled () then
+        Tracer.instant ~cat:"fault" ~pid:p.pid ~tick:(Simulator.now net)
+          "recover";
+      match p.status with
+      | Awaiting_ack { dst; seq; vector } ->
+          (* The ACK (or the REQ itself) may have evaporated while this
+             process was down: retransmit with a fresh timeout budget.
+             The receiver's dedup table absorbs the duplicate if the
+             original rendezvous already happened. *)
+          Tm.Counter.incr m_retransmissions;
+          send_req p ~dst ~seq vector
+      | Idle -> advance p
+      | Awaiting_req _ | Finished | Gave_up _ -> ()
+    end
+  in
   let on_deliver ~src ~dst packet =
     let p = procs.(dst) in
     match packet with
-    | Req { seq; vector } -> (
-        if Hashtbl.mem p.completed (src, seq) then begin
-          (* Duplicate of an already-consumed REQ: the ACK was lost;
-             replay it. *)
-          Tm.Counter.incr m_dup_requests;
-          let stored = Hashtbl.find p.completed (src, seq) in
-          ignore (count_piggyback stored);
-          Simulator.send net ~src:p.pid ~dst:src (Ack { seq; vector = stored })
-        end
-        else
-          match p.status with
-          | Awaiting_req filter when filter_accepts filter src ->
-              p.script <- List.tl p.script;
-              p.status <- Idle;
-              consume_req p ~src ~seq vector;
-              advance p
-          | Idle | Awaiting_ack _ | Awaiting_req _ | Finished ->
-              if
-                not
-                  (List.exists
-                     (fun (s, q, _) -> s = src && q = seq)
-                     p.inbox)
-              then p.inbox <- p.inbox @ [ (src, seq, vector) ])
-    | Ack { seq; vector } -> (
+    | Crash_evt -> crash p
+    | Recover_evt -> recover p
+    | _ when not p.alive -> ()
+    | Req { seq; body } -> (
+        match decode_body body with
+        | Error _ -> reject ~src p
+        | Ok vector -> (
+            if Hashtbl.mem p.completed (src, seq) then begin
+              (* Duplicate of an already-consumed REQ: the ACK was lost;
+                 replay it. *)
+              Tm.Counter.incr m_dup_requests;
+              let stored = Hashtbl.find p.completed (src, seq) in
+              ignore (count_piggyback stored);
+              Simulator.send net ~src:p.pid ~dst:src
+                (Ack { seq; body = make_body stored })
+            end
+            else
+              match p.status with
+              | Awaiting_req filter when filter_accepts filter src ->
+                  p.script <- List.tl p.script;
+                  p.status <- Idle;
+                  consume_req p ~src ~seq vector;
+                  advance p
+              | Idle | Awaiting_ack _ | Awaiting_req _ | Finished | Gave_up _
+                ->
+                  if
+                    not
+                      (List.exists
+                         (fun (s, q, _) -> s = src && q = seq)
+                         p.inbox)
+                  then p.inbox <- p.inbox @ [ (src, seq, vector) ]))
+    | Ack { seq; body } -> (
         match p.status with
         | Awaiting_ack { dst = expected; seq = awaited; vector = _ }
-          when expected = src && awaited = seq ->
-            (match (p.clock, vector) with
-            | Some clock, Some ack -> ignore (Edge_clock.on_ack clock ~dst:src ack)
-            | None, _ -> ()
-            | Some _, None ->
-                invalid_arg "Rendezvous: ACK without a vector while timestamping");
-            p.status <- Idle;
-            advance p
+          when expected = src && awaited = seq -> (
+            match decode_body body with
+            | Error _ ->
+                (* Corrupted ACK: drop it; the retransmit timer replays
+                   the REQ and the dedup table replays a clean ACK. *)
+                reject ~src p
+            | Ok vector ->
+                (match (p.clock, vector) with
+                | Some clock, Some ack ->
+                    ignore (Edge_clock.on_ack clock ~dst:src ack)
+                | None, _ -> ()
+                | Some _, None ->
+                    invalid_arg
+                      "Rendezvous: ACK without a vector while timestamping");
+                save_ckpt p;
+                p.status <- Idle;
+                advance p)
         | _ -> () (* stale duplicate ACK *))
-    | Timeout { dst = to_; seq; attempts } -> (
+    | Timeout { dst = to_; seq; attempts; backoff } -> (
         match p.status with
         | Awaiting_ack { dst = expected; seq = awaited; vector }
           when expected = to_ && awaited = seq ->
@@ -217,19 +378,53 @@ let run ?(seed = 0) ?min_delay ?max_delay ?fifo ?(loss = 0.0)
                 Tracer.instant ~cat:"net" ~pid:p.pid
                   ~tick:(Simulator.now net) ~a:p.pid ~b:to_ "retransmit";
               ignore (count_piggyback vector);
-              Simulator.send net ~src:p.pid ~dst:to_ (Req { seq; vector });
-              Simulator.timer net ~delay:retransmit ~proc:p.pid
-                (Timeout { dst = to_; seq; attempts = attempts + 1 })
+              Simulator.send net ~src:p.pid ~dst:to_
+                (Req { seq; body = make_body vector });
+              Simulator.timer net ~delay:backoff ~proc:p.pid
+                (Timeout
+                   {
+                     dst = to_;
+                     seq;
+                     attempts = attempts + 1;
+                     backoff = Float.min (backoff *. 2.0) (retransmit *. backoff_cap);
+                   })
+            end
+            else begin
+              (* Out of retransmits: abort the send and fail-stop the
+                 script. Continuing past an unacknowledged synchronous
+                 send would fork this process's causal history away from
+                 what the receiver may later consume. *)
+              Tm.Counter.incr m_gave_up;
+              if Tracer.enabled () then
+                Tracer.instant ~cat:"fault" ~pid:p.pid
+                  ~tick:(Simulator.now net) ~a:p.pid ~b:to_ "gave-up";
+              p.status <- Gave_up to_
             end
         | _ -> () (* completed meanwhile *))
   in
+  (match faults with
+  | Some inj ->
+      List.iter
+        (fun (proc, at, after) ->
+          Simulator.timer net ~delay:at ~proc Crash_evt;
+          match after with
+          | Some d -> Simulator.timer net ~delay:(at +. d) ~proc Recover_evt
+          | None -> ())
+        (Injector.crashes inj)
+  | None -> ());
   Array.iter advance procs;
   let makespan = Simulator.run net ~on_deliver in
+  let collect pred = List.filter (fun pid -> pred procs.(pid)) (List.init n Fun.id) in
   let deadlocked =
-    List.filter
-      (fun pid -> procs.(pid).status <> Finished)
-      (List.init n Fun.id)
+    collect (fun p ->
+        p.alive
+        && (match p.status with Finished | Gave_up _ -> false | _ -> true))
   in
+  let gave_up =
+    collect (fun p -> match p.status with Gave_up _ -> true | _ -> false)
+  in
+  let crashed = collect (fun p -> not p.alive) in
+  let recovered = collect (fun p -> p.recovered) in
   let trace = Trace.of_steps_exn ~n (List.rev !steps) in
   let timestamps =
     Option.map (fun _ -> Array.of_list (List.rev !stamps)) decomposition
@@ -238,7 +433,12 @@ let run ?(seed = 0) ?min_delay ?max_delay ?fifo ?(loss = 0.0)
     trace;
     timestamps;
     deadlocked;
+    gave_up;
+    crashed;
+    recovered;
     packets = Simulator.packets net;
     lost = Simulator.lost net;
+    duplicated = Simulator.duplicated net;
+    corrupted = Simulator.corrupted net;
     makespan;
   }

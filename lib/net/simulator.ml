@@ -1,5 +1,6 @@
 module Rng = Synts_util.Rng
 module Heap = Synts_util.Heap
+module Injector = Synts_fault.Injector
 module Tm = Synts_telemetry.Telemetry
 module Tracer = Synts_trace.Tracer
 
@@ -12,6 +13,14 @@ let m_lost = Tm.Counter.v ~help:"Packets dropped by the network" "net.packets_lo
 let m_delivered =
   Tm.Counter.v ~help:"Packets delivered to their destination"
     "net.packets_delivered"
+
+let m_duplicated =
+  Tm.Counter.v ~help:"Packets delivered twice by fault injection"
+    "net.packets_duplicated"
+
+let m_corrupted =
+  Tm.Counter.v ~help:"Packets whose payload was bit-flipped by fault injection"
+    "net.packets_corrupted"
 
 let m_timers = Tm.Counter.v ~help:"Local timers scheduled" "net.timers_scheduled"
 
@@ -30,20 +39,24 @@ type 'p t = {
   max_delay : float;
   fifo : bool;
   loss : float;
+  faults : Injector.t option;
+  corrupt : ('p -> 'p) option;
   queue : 'p pending Heap.t;
   last_delivery : float array array;  (* per (src, dst) for FIFO ordering *)
   mutable clock : float;
   mutable packets : int;
   mutable lost : int;
+  mutable duplicated : int;
+  mutable corrupted : int;
 }
 
 let create ?(seed = 0) ?(min_delay = 1.0) ?(max_delay = 10.0) ?(fifo = true)
-    ?(loss = 0.0) ~n () =
+    ?(loss = 0.0) ?faults ?corrupt ~n () =
   if n < 1 then invalid_arg "Simulator.create: need n >= 1";
   if min_delay < 0.0 || max_delay < min_delay then
     invalid_arg "Simulator.create: bad delay range";
-  if loss < 0.0 || loss >= 1.0 then
-    invalid_arg "Simulator.create: loss must be in [0, 1)";
+  if loss < 0.0 || loss > 1.0 then
+    invalid_arg "Simulator.create: loss must be in [0, 1]";
   {
     n;
     rng = Rng.create seed;
@@ -51,17 +64,47 @@ let create ?(seed = 0) ?(min_delay = 1.0) ?(max_delay = 10.0) ?(fifo = true)
     max_delay;
     fifo;
     loss;
+    faults;
+    corrupt;
     queue = Heap.create ();
     last_delivery = Array.make_matrix n n 0.0;
     clock = 0.0;
     packets = 0;
     lost = 0;
+    duplicated = 0;
+    corrupted = 0;
   }
 
 let n t = t.n
 let now t = t.clock
 let packets t = t.packets
 let lost t = t.lost
+let duplicated t = t.duplicated
+let corrupted t = t.corrupted
+
+let drop t ~src ~dst reason =
+  t.lost <- t.lost + 1;
+  Tm.Counter.incr m_lost;
+  if Tracer.enabled () then
+    Tracer.instant ~cat:"net" ~pid:src ~tick:t.clock ~a:src ~b:dst reason
+
+(* Draw a transit delay and enqueue one delivery of [payload]. The delay
+   is FIFO-adjusted per directed channel, so duplicates and spiked
+   packets still respect in-order delivery when [fifo] is on. *)
+let enqueue t ~src ~dst ~factor payload =
+  let delay =
+    t.min_delay +. (Rng.float t.rng *. (t.max_delay -. t.min_delay))
+  in
+  let arrival = t.clock +. (delay *. factor) in
+  let arrival =
+    if t.fifo then begin
+      let at = Float.max arrival (t.last_delivery.(src).(dst) +. 1e-9) in
+      t.last_delivery.(src).(dst) <- at;
+      at
+    end
+    else arrival
+  in
+  Heap.push t.queue ~priority:arrival { src; dst; sent_at = t.clock; payload }
 
 let send t ~src ~dst payload =
   if src < 0 || src >= t.n || dst < 0 || dst >= t.n || src = dst then
@@ -70,26 +113,40 @@ let send t ~src ~dst payload =
   Tm.Counter.incr m_packets;
   if Tracer.enabled () then
     Tracer.instant ~cat:"net" ~pid:src ~tick:t.clock ~a:src ~b:dst "send";
-  if t.loss > 0.0 && Rng.chance t.rng t.loss then begin
-    t.lost <- t.lost + 1;
-    Tm.Counter.incr m_lost;
-    if Tracer.enabled () then
-      Tracer.instant ~cat:"net" ~pid:src ~tick:t.clock ~a:src ~b:dst "drop"
-  end
+  (* Partition windows are deterministic (no random draw), so checking
+     them first keeps fault-free runs byte-identical to the seed. *)
+  let partitioned =
+    match t.faults with
+    | Some inj -> Injector.blocks inj ~now:t.clock ~src ~dst
+    | None -> false
+  in
+  if partitioned then drop t ~src ~dst "partition"
+  else if t.loss > 0.0 && Rng.chance t.rng t.loss then drop t ~src ~dst "drop"
   else begin
-    let delay =
-      t.min_delay +. (Rng.float t.rng *. (t.max_delay -. t.min_delay))
+    let payload =
+      match (t.faults, t.corrupt) with
+      | Some inj, Some flip when Injector.roll_corrupt inj ->
+          t.corrupted <- t.corrupted + 1;
+          Tm.Counter.incr m_corrupted;
+          if Tracer.enabled () then
+            Tracer.instant ~cat:"fault" ~pid:src ~tick:t.clock ~a:src ~b:dst
+              "corrupt";
+          flip payload
+      | _ -> payload
     in
-    let arrival = t.clock +. delay in
-    let arrival =
-      if t.fifo then begin
-        let at = Float.max arrival (t.last_delivery.(src).(dst) +. 1e-9) in
-        t.last_delivery.(src).(dst) <- at;
-        at
-      end
-      else arrival
+    let factor =
+      match t.faults with Some inj -> Injector.delay_factor inj | None -> 1.0
     in
-    Heap.push t.queue ~priority:arrival { src; dst; sent_at = t.clock; payload }
+    enqueue t ~src ~dst ~factor payload;
+    match t.faults with
+    | Some inj when Injector.roll_duplicate inj ->
+        t.duplicated <- t.duplicated + 1;
+        Tm.Counter.incr m_duplicated;
+        if Tracer.enabled () then
+          Tracer.instant ~cat:"fault" ~pid:src ~tick:t.clock ~a:src ~b:dst
+            "duplicate";
+        enqueue t ~src ~dst ~factor:1.0 payload
+    | _ -> ()
   end
 
 let timer t ~delay ~proc payload =

@@ -4,7 +4,13 @@
     with pseudo-random delivery delays (deterministic from the seed),
     optionally FIFO per directed channel. Protocols are callback-driven:
     {!run} drains the event queue, invoking the handler for each delivery;
-    the handler may {!send} further packets. *)
+    the handler may {!send} further packets.
+
+    A {!Synts_fault.Injector.t} can be attached at creation: the network
+    then additionally drops packets crossing a partition window,
+    duplicates or corrupts packets, and stretches transit delays, all
+    from the injector's own random stream — a fault plan never perturbs
+    the delays or losses a given seed produces without one. *)
 
 type 'p t
 
@@ -14,13 +20,18 @@ val create :
   ?max_delay:float ->
   ?fifo:bool ->
   ?loss:float ->
+  ?faults:Synts_fault.Injector.t ->
+  ?corrupt:('p -> 'p) ->
   n:int ->
   unit ->
   'p t
 (** [n] processes. Delays are uniform in [\[min_delay, max_delay\]]
     (defaults 1.0 and 10.0); [fifo] (default true) forces per-channel
     in-order delivery; [loss] (default 0) drops each packet independently
-    with that probability (timers never drop). *)
+    with that probability — [loss = 1.0] is allowed and drops everything
+    (timers never drop). [faults] enables plan-driven partition drops,
+    duplication, delay spikes and — when [corrupt] supplies a payload
+    mutator — bit-flip corruption. *)
 
 val n : 'p t -> int
 
@@ -36,12 +47,18 @@ val packets : 'p t -> int
 (** Packets sent so far (lost ones included — they consumed bandwidth). *)
 
 val lost : 'p t -> int
-(** Packets dropped by the network. *)
+(** Packets dropped by the network (random loss and partition windows). *)
+
+val duplicated : 'p t -> int
+(** Packets delivered twice by fault injection. *)
+
+val corrupted : 'p t -> int
+(** Packets whose payload was mutated by fault injection. *)
 
 val timer : 'p t -> delay:float -> proc:int -> 'p -> unit
 (** Schedule a local timer: after exactly [delay], the handler fires with
-    [src = dst = proc] and the payload. Timers are reliable and bypass
-    FIFO ordering. *)
+    [src = dst = proc] and the payload. Timers are reliable, bypass FIFO
+    ordering, and are immune to fault injection. *)
 
 val run : 'p t -> on_deliver:(src:int -> dst:int -> 'p -> unit) -> float
 (** Drain the queue; returns the makespan (time of the last delivery).

@@ -423,6 +423,49 @@ let test_pattern_broadcast_gather () =
   let o = clean (run ~seed:8 ~n programs) in
   Alcotest.(check int) "8 messages" 8 (Trace.message_count o.R.trace)
 
+(* ---------- Fault injection ---------- *)
+
+let test_crash_stop () =
+  (* P1 is fail-stopped before it runs: P0 blocks on it forever
+     (deadlocked, not crashed), P2 is unaffected and finishes. *)
+  let programs =
+    [|
+      (fun api -> ignore (api.R.send 1 42));
+      (fun api -> ignore (api.R.recv ()));
+      (fun api -> api.R.internal ());
+    |]
+  in
+  let o =
+    run ~n:3 ~faults:[ Synts_fault.Plan.Crash_stop { proc = 1; at = 0.0 } ]
+      programs
+  in
+  Alcotest.(check (list int)) "P1 crashed" [ 1 ] o.R.crashed;
+  Alcotest.(check (list int)) "P0 stuck on the corpse" [ 0 ] o.R.deadlocked;
+  Alcotest.(check int) "nothing delivered" 0 (Trace.message_count o.R.trace);
+  Alcotest.(check int) "P2's internal event survives" 1
+    (Trace.internal_count o.R.trace);
+  (* Crash_recover degrades to crash-stop here (no process image). *)
+  let o2 =
+    run ~n:3
+      ~faults:[ Synts_fault.Plan.Crash_recover { proc = 1; at = 0.0; after = 5.0 } ]
+      programs
+  in
+  Alcotest.(check (list int)) "recover degrades to stop" [ 1 ] o2.R.crashed;
+  (* Network-only clauses are ignored by the in-memory runtime. *)
+  let o3 =
+    clean (run ~n:3 ~faults:[ Synts_fault.Plan.Duplicate { prob = 1.0 } ] programs)
+  in
+  Alcotest.(check (list int)) "network clause is a no-op" [] o3.R.crashed;
+  Alcotest.(check int) "run completes" 1 (Trace.message_count o3.R.trace);
+  (* Plans are validated against n. *)
+  Alcotest.(check bool) "bad plan rejected" true
+    (try
+       ignore
+         (run ~n:3 ~faults:[ Synts_fault.Plan.Crash_stop { proc = 7; at = 0.0 } ]
+            programs);
+       false
+     with Invalid_argument _ -> true)
+
 let () =
   Alcotest.run "csp"
     [
@@ -476,6 +519,7 @@ let () =
           Alcotest.test_case "broadcast/gather" `Quick
             test_pattern_broadcast_gather;
         ] );
+      ( "faults", [ Alcotest.test_case "crash-stop" `Quick test_crash_stop ] );
       ( "rendezvous",
         [
           Alcotest.test_case "single message" `Quick test_single_message;

@@ -354,6 +354,51 @@ let test_lossy_costs_more_packets () =
     (lossy.Rendezvous.packets > 120);
   Alcotest.(check bool) "some were dropped" true (lossy.Rendezvous.lost > 0)
 
+let test_total_loss_terminates =
+  qtest ~count:80 "loss = 1.0 with finite retries terminates, nothing delivered"
+    QCheck2.Gen.(pair Gen.computation (int_bound 100000))
+    (fun (c, s) -> Printf.sprintf "%s net_seed=%d" (Gen.computation_print c) s)
+    (fun (c, seed) ->
+      let _, trace = Gen.build_computation c in
+      let scripts = Script.of_trace trace in
+      let o =
+        Rendezvous.run ~seed ~loss:1.0 ~retransmit:5.0 ~max_retransmits:4
+          scripts
+      in
+      (* Every process's fate is decided by its first communication
+         intent: senders exhaust their retries and give up, receivers
+         wait forever. Every planned message is reported undelivered. *)
+      let gave = ref [] and dead = ref [] in
+      Array.iteri
+        (fun p script ->
+          match
+            List.find_opt (fun a -> a <> Script.Internal) script
+          with
+          | Some (Script.Send_to _) -> gave := p :: !gave
+          | Some (Script.Recv_from _ | Script.Recv_any) -> dead := p :: !dead
+          | Some Script.Internal | None -> ())
+        scripts;
+      Trace.message_count o.Rendezvous.trace = 0
+      && o.Rendezvous.gave_up = List.rev !gave
+      && o.Rendezvous.deadlocked = List.rev !dead
+      && (!gave = [] || o.Rendezvous.lost > 0))
+
+let test_gave_up_distinct_from_deadlocked () =
+  (* P0's send to a receiver-less P1 times out: P0 aborts (gave_up), it
+     is NOT lumped in with the deadlocked. *)
+  let o =
+    Rendezvous.run ~loss:0.5 ~retransmit:5.0 ~max_retransmits:3
+      [| [ Script.Send_to 1 ]; [] |]
+  in
+  Alcotest.(check (list int)) "P0 gave up" [ 0 ] o.Rendezvous.gave_up;
+  Alcotest.(check (list int)) "nobody deadlocked" [] o.Rendezvous.deadlocked;
+  (* The same shape without loss is a deadlock, not an abort. *)
+  let o2 = Rendezvous.run [| [ Script.Send_to 1 ]; [] |] in
+  Alcotest.(check (list int)) "lossless: P0 deadlocked" [ 0 ]
+    o2.Rendezvous.deadlocked;
+  Alcotest.(check (list int)) "lossless: nobody gave up" []
+    o2.Rendezvous.gave_up
+
 let test_rendezvous_internal_events_kept =
   qtest ~count:80 "internal events survive the round trip" net_params
     net_print (fun (c, seed, fifo) ->
@@ -401,6 +446,9 @@ let () =
         [
           Alcotest.test_case "packet accounting" `Quick
             test_lossy_costs_more_packets;
+          Alcotest.test_case "gave-up vs deadlocked" `Quick
+            test_gave_up_distinct_from_deadlocked;
           test_lossy_completes_exactly_once;
+          test_total_loss_terminates;
         ] );
     ]

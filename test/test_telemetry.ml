@@ -172,6 +172,63 @@ let test_prometheus_export () =
       "ex_latency_count 2";
     ]
 
+let test_fault_counters_exported () =
+  (* A faulty run populates the fault-injection counters, and they show
+     up under their Prometheus names in both export formats. *)
+  Tm.set_enabled true;
+  Tm.reset ();
+  let g = Topology.build ~rng:(Rng.create 3) (Topology.Star 6) in
+  let d = Decomposition.best g in
+  let trace =
+    Workload.random (Rng.create 4) ~topology:g ~messages:60 ()
+  in
+  let plan =
+    [
+      Synts_fault.Plan.Crash_recover { proc = 2; at = 20.0; after = 30.0 };
+      Synts_fault.Plan.Duplicate { prob = 0.3 };
+      Synts_fault.Plan.Corrupt { prob = 0.3 };
+    ]
+  in
+  let o =
+    Synts_net.Rendezvous.run ~seed:6 ~loss:0.05
+      ~faults:(Synts_fault.Injector.create ~seed:6 plan)
+      ~decomposition:d
+      (Synts_net.Script.of_trace trace)
+  in
+  Alcotest.(check (list int)) "recovery happened" [ 2 ]
+    o.Synts_net.Rendezvous.recovered;
+  let snap = Tm.snapshot () in
+  let value name =
+    match List.assoc_opt name snap with
+    | Some (Tm.Counter_v n) -> n
+    | _ -> -1
+  in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " positive") true (value name > 0))
+    [
+      "net.packets_duplicated"; "net.packets_corrupted"; "proc.crashes";
+      "proc.recoveries"; "net.rendezvous.rejected_packets";
+    ];
+  let prom = Tm.to_prometheus snap and json = Tm.to_json snap in
+  let contains hay needle =
+    let n = String.length needle and t = String.length hay in
+    let rec at i = i + n <= t && (String.sub hay i n = needle || at (i + 1)) in
+    at 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("prometheus has " ^ needle) true
+        (contains prom needle))
+    [
+      "# TYPE net_packets_duplicated counter"; "net_packets_corrupted";
+      "proc_crashes 1"; "proc_recoveries 1";
+    ];
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("json has " ^ needle) true (contains json needle))
+    [ "net.packets_duplicated"; "proc.crashes"; "proc.recoveries" ]
+
 (* ---------- determinism ---------- *)
 
 (* The acceptance property: two identical seeded runs of the instrumented
@@ -223,7 +280,11 @@ let () =
           Alcotest.test_case "global switch" `Quick test_disabled;
         ] );
       ( "export",
-        [ Alcotest.test_case "prometheus" `Quick test_prometheus_export ] );
+        [
+          Alcotest.test_case "prometheus" `Quick test_prometheus_export;
+          Alcotest.test_case "fault counters" `Quick
+            test_fault_counters_exported;
+        ] );
       ( "determinism",
         [
           Alcotest.test_case "identical seeded runs, identical snapshots"
