@@ -415,7 +415,7 @@ let dilworth_pipeline_tests =
    rows price a ring store per span. *)
 let trace_overhead_tests =
   let module Tracer = Synts_trace.Tracer in
-  (* Session.message also maintains the frontier and incremental width
+  (* Session observes also maintain the frontier and incremental width
      (quadratic in the feed length), so the feed is kept short enough for
      the per-span ring-store delta to be measurable above that floor. *)
   let g = Topology.client_server ~servers:3 ~clients:20 in
@@ -426,8 +426,9 @@ let trace_overhead_tests =
     Array.iter
       (fun (m : Trace.message) ->
         ignore
-          (Synts_session.Session.message session ~src:m.Trace.src
-             ~dst:m.Trace.dst))
+          (Synts_session.Session.observe session
+             (Synts_session.Session.Message
+                { src = m.Trace.src; dst = m.Trace.dst })))
       (Trace.messages trace)
   in
   let gn = Topology.client_server ~servers:2 ~clients:10 in
@@ -446,6 +447,55 @@ let trace_overhead_tests =
       Test.make ~name:"session-feed-off" (Staged.stage feed);
       Test.make ~name:"rendezvous-recording" (Staged.stage (traced rendezvous));
       Test.make ~name:"rendezvous-off" (Staged.stage rendezvous);
+    ]
+
+(* B17: the serve-path sharded engine — the same ordered 1024-event
+   workload swept in 32-event batches by 1, 2 and 4 shard domains.
+   shards-1 runs the sweep inline on the caller's domain (the same
+   componentwise rule as the conformance oracle), so the 2/4-shard rows
+   price the coordinator handshake and slice reassembly against the
+   parallel component sweep.  The engines (and their worker domains)
+   persist across iterations; [finish] at the end of each feed keeps the
+   internal-event stream and resolved queue from growing run over run. *)
+let serve_engine_tests =
+  let module Ingest = Synts_ingest.Ingest in
+  let module Engine = Synts_server.Engine in
+  let g = Topology.client_server ~servers:4 ~clients:28 in
+  let d = Decomposition.best g in
+  let events =
+    Array.of_list (List.map Ingest.event_of_step (Trace.steps (trace_of g 1024)))
+  in
+  let batches =
+    let n = Array.length events and batch = 32 in
+    let rec cut i acc =
+      if i >= n then List.rev acc
+      else
+        let len = min batch (n - i) in
+        cut (i + len) (Array.sub events i len :: acc)
+    in
+    cut 0 []
+  in
+  (* Engines are created lazily on first run so their worker domains
+     only exist while this (last) group is being measured — idle
+     domains must not sit in the stop-the-world set while the
+     single-domain groups are timed. *)
+  let feed shards =
+    let eng =
+      lazy
+        (let e = Engine.create ~shards d in
+         at_exit (fun () -> Engine.stop e);
+         e)
+    in
+    fun () ->
+      let eng = Lazy.force eng in
+      List.iter (fun b -> ignore (Engine.observe_batch eng b)) batches;
+      ignore (Engine.finish eng)
+  in
+  Test.make_grouped ~name:"serve-engine-1024ev"
+    [
+      Test.make ~name:"shards-1" (Staged.stage (feed 1));
+      Test.make ~name:"shards-2" (Staged.stage (feed 2));
+      Test.make ~name:"shards-4" (Staged.stage (feed 4));
     ]
 
 let all_groups =
@@ -467,6 +517,7 @@ let all_groups =
     ("slab-kernel-2000msg", slab_kernel_tests);
     ("dilworth-pipeline-300msg", dilworth_pipeline_tests);
     ("trace-overhead", trace_overhead_tests);
+    ("serve-engine-1024ev", serve_engine_tests);
   ]
 
 (* ---------- measurement + reporting ---------- *)

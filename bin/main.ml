@@ -33,65 +33,9 @@ module Trace_report = Synts_trace.Report
 
 open Cmdliner
 
-(* A topology argument is either a generator spec or @FILE pointing at a
-   saved adjacency list. *)
-type topo_arg = Spec of Topology.spec | From_file of string
-
-let topo_to_string = function
-  | Spec spec -> Topology.spec_to_string spec
-  | From_file path -> "@" ^ path
-
-let realize_topology seed = function
-  | Spec spec -> Topology.build ~rng:(Rng.create seed) spec
-  | From_file path -> (
-      match Topology.load_graph path with
-      | Ok g -> g
-      | Error e ->
-          prerr_endline e;
-          exit 1)
-
-let topology_conv =
-  let parse s =
-    if String.length s > 1 && s.[0] = '@' then
-      Ok (From_file (String.sub s 1 (String.length s - 1)))
-    else
-      Topology.spec_of_string s
-      |> Result.map (fun spec -> Spec spec)
-      |> Result.map_error (fun e -> `Msg e)
-  in
-  let print ppf t = Format.pp_print_string ppf (topo_to_string t) in
-  Arg.conv (parse, print)
-
-let seed_t =
-  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
-
-(* ---------- telemetry output ---------- *)
-
-let metrics_format_conv =
-  Arg.enum [ ("json", `Json); ("prom", `Prom); ("text", `Text) ]
-
-let metrics_t =
-  Arg.(
-    value
-    & opt (some metrics_format_conv) None
-    & info [ "metrics" ] ~docv:"FMT"
-        ~doc:
-          "Dump the telemetry snapshot after the run, as $(b,json), \
-           $(b,prom) (Prometheus text format) or $(b,text) (one line per \
-           metric, histograms with p50/p90/p99).")
-
-let dump_metrics fmt =
-  let snap = Telemetry.snapshot () in
-  match fmt with
-  | `Prom -> print_string (Telemetry.to_prometheus snap)
-  | `Json -> print_string (Telemetry.to_json snap)
-  | `Text -> Format.printf "%a" Telemetry.pp snap
-
-let check_loss loss =
-  if loss < 0.0 || loss > 1.0 then begin
-    prerr_endline "synts: --loss must be in [0, 1]";
-    exit 1
-  end
+(* The flags every subcommand shares (--seed, --metrics, --format,
+   topology arguments) live in one place: Synts_cli.Cli.Flags. *)
+include Synts_cli.Cli.Flags
 
 (* ---------- trace output ---------- *)
 
@@ -486,14 +430,10 @@ let monitor_cmd =
             Synts_session.Session.adaptive ?window ~n:(Trace.n trace) ()
           else Synts_session.Session.of_topology ?window (Trace.topology trace)
         in
-        List.iter
-          (fun step ->
-            match step with
-            | Trace.Send (src, dst) ->
-                ignore (Synts_session.Session.message session ~src ~dst)
-            | Trace.Local p ->
-                ignore (Synts_session.Session.internal session ~proc:p))
-          (Trace.steps trace);
+        ignore
+          (Synts_ingest.Ingest.feed_trace
+             (Synts_session.Session.ingest session)
+             trace);
         let resolved = Synts_session.Session.finish_events session in
         Format.printf "monitored %d messages, %d internal events@."
           (Synts_session.Session.messages_observed session)
@@ -521,6 +461,189 @@ let monitor_cmd =
     Term.(const run $ file_t $ adaptive_t $ window_t)
 
 (* ---------- protocol ---------- *)
+
+(* ---------- serve / load ---------- *)
+
+let address_conv =
+  let parse s =
+    Synts_server.Server.address_of_string s
+    |> Result.map_error (fun e -> `Msg e)
+  in
+  Arg.conv (parse, Synts_server.Server.pp_address)
+
+let address_arg ~name ~doc default =
+  Arg.(value & opt address_conv default & info [ name ] ~docv:"ADDR" ~doc)
+
+let shards_t =
+  Arg.(
+    value & opt int 1
+    & info [ "shards" ] ~docv:"K"
+        ~doc:
+          "Worker domains stamping in parallel, each owning a slice of the \
+           timestamp components (clamped to the decomposition size).")
+
+let serve_cmd =
+  let addr_t =
+    address_arg ~name:"listen"
+      ~doc:
+        "Listen address: $(i,HOST:PORT) for TCP, anything else is a Unix \
+         socket path."
+      (Synts_server.Server.Unix_socket "synts.sock")
+  in
+  let check_t =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Log every ingested event so clients can request a bit-exact \
+             replay through the single-domain oracle ($(b,synts load \
+             --verify)).")
+  in
+  let topology_t =
+    Arg.(
+      required
+      & pos 0 (some topology_conv) None
+      & info [] ~docv:"TOPO" ~doc:"Topology the observed system runs on.")
+  in
+  let run seed topo address shards check metrics =
+    let g = realize_topology seed topo in
+    let d = Decomposition.best g in
+    Format.printf "synts serve: %s (N=%d, d=%d) on %a, %d shard(s)%s@."
+      (topo_to_string topo)
+      (Decomposition.graph_vertices d)
+      (Decomposition.size d) Synts_server.Server.pp_address address
+      (max 1 (min shards (max 1 (Decomposition.size d))))
+      (if check then ", oracle checking on" else "");
+    Synts_server.Server.serve ~shards ~check address d;
+    Format.printf "synts serve: shut down@.";
+    Option.iter dump_metrics metrics
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc:"Run the sharded streaming stamping daemon.")
+    Term.(const run $ seed_t $ topology_t $ addr_t $ shards_t $ check_t
+          $ metrics_t)
+
+let load_cmd =
+  let addr_t =
+    address_arg ~name:"connect"
+      ~doc:"Daemon address (must match the server's $(b,--listen))."
+      (Synts_server.Server.Unix_socket "synts.sock")
+  in
+  let clients_t =
+    Arg.(
+      value & opt int 4
+      & info [ "clients" ] ~docv:"N" ~doc:"Concurrent client connections.")
+  in
+  let batches_t =
+    Arg.(
+      value & opt int 64
+      & info [ "batches" ] ~docv:"B" ~doc:"Observe batches per client.")
+  in
+  let batch_t =
+    Arg.(
+      value & opt int 32
+      & info [ "batch" ] ~docv:"K" ~doc:"Events per batch.")
+  in
+  let internal_t =
+    Arg.(
+      value & opt float 0.1
+      & info [ "internal" ] ~docv:"P"
+          ~doc:"Internal-event probability in the generated workload.")
+  in
+  let spawn_t =
+    Arg.(
+      value & flag
+      & info [ "spawn" ]
+          ~doc:
+            "Run the daemon in-process (own domain) on the $(b,--connect) \
+             address instead of dialling an external one; shut it down \
+             when the run ends.")
+  in
+  let verify_t =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:
+            "After the run, ask the server to replay its whole arrival \
+             log through the single-domain oracle and exit non-zero on \
+             any mismatch (the server needs $(b,--check); implied for \
+             $(b,--spawn)).")
+  in
+  let topology_t =
+    Arg.(
+      required
+      & pos 0 (some topology_conv) None
+      & info [] ~docv:"TOPO"
+          ~doc:"Topology (must match the server's decomposition).")
+  in
+  let run seed topo address clients batches batch internal spawn shards verify
+      format metrics =
+    check_loss internal;
+    let g = realize_topology seed topo in
+    let d = Decomposition.best g in
+    let handle =
+      if spawn then
+        Some (Synts_server.Server.spawn ~shards ~check:(verify || spawn)
+                address d)
+      else None
+    in
+    let report =
+      Synts_server.Load.run ~clients ~batches ~batch ~internal_prob:internal
+        ~seed address d
+    in
+    let verified =
+      if verify then begin
+        let c = Synts_server.Client.connect address in
+        let r = Synts_server.Client.verify_server c in
+        Synts_server.Client.close c;
+        Some r
+      end
+      else None
+    in
+    (match handle with
+    | Some h ->
+        let c = Synts_server.Client.connect address in
+        Synts_server.Client.shutdown c;
+        Synts_server.Server.join h
+    | None -> ());
+    (match format with
+    | `Text ->
+        Format.printf "%a@." Synts_server.Load.pp_report report;
+        Option.iter
+          (function
+            | Ok (ok, checked) ->
+                Format.printf "oracle check    %s (%d messages)@."
+                  (if ok then "exact" else "MISMATCH")
+                  checked
+            | Error e -> Format.printf "oracle check    unavailable: %s@." e)
+          verified
+    | `Json ->
+        let verified_json =
+          match verified with
+          | None -> "null"
+          | Some (Ok (ok, _)) -> string_of_bool ok
+          | Some (Error _) -> "null"
+        in
+        Format.printf
+          {|{"clients":%d,"batches":%d,"events":%d,"messages":%d,"seconds":%.6f,"events_per_sec":%.1f,"p50_ms":%.4f,"p95_ms":%.4f,"p99_ms":%.4f,"verified":%s}@.|}
+          report.Synts_server.Load.clients report.Synts_server.Load.batches
+          report.Synts_server.Load.events report.Synts_server.Load.messages
+          report.Synts_server.Load.seconds
+          report.Synts_server.Load.events_per_sec
+          report.Synts_server.Load.p50_ms report.Synts_server.Load.p95_ms
+          report.Synts_server.Load.p99_ms verified_json);
+    Option.iter dump_metrics metrics;
+    match verified with
+    | Some (Ok (false, _)) | Some (Error _) -> exit 1
+    | _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:"Drive a stamping daemon with a seeded multi-client workload.")
+    Term.(
+      const run $ seed_t $ topology_t $ addr_t $ clients_t $ batches_t
+      $ batch_t $ internal_t $ spawn_t $ shards_t $ verify_t
+      $ report_format_t $ metrics_t)
 
 let protocol_cmd =
   let file_t =
@@ -635,12 +758,7 @@ let lint_cmd =
       & info [ "internal" ] ~docv:"P"
           ~doc:"Internal-event probability for the generated workload.")
   in
-  let format_t =
-    Arg.(
-      value
-      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
-      & info [ "format"; "f" ] ~docv:"FMT" ~doc:"Report as $(b,text) or $(b,json).")
-  in
+  let format_t = report_format_t in
   let fail_on_t =
     Arg.(
       value
@@ -1288,6 +1406,7 @@ let () =
           (Cmd.info "synts" ~version:"1.0.0" ~doc)
           [
             figures_cmd; experiments_cmd; decompose_cmd; simulate_cmd;
-            analyze_cmd; monitor_cmd; protocol_cmd; verify_cmd; lint_cmd;
-            metrics_cmd; trace_cmd; chaos_cmd; bench_diff_cmd;
+            analyze_cmd; monitor_cmd; serve_cmd; load_cmd; protocol_cmd;
+            verify_cmd; lint_cmd; metrics_cmd; trace_cmd; chaos_cmd;
+            bench_diff_cmd;
           ]))

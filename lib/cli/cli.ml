@@ -1,0 +1,69 @@
+module Rng = Synts_util.Rng
+module Topology = Synts_graph.Topology
+module Telemetry = Synts_telemetry.Telemetry
+open Cmdliner
+
+module Flags = struct
+  type topo_arg = Spec of Topology.spec | From_file of string
+
+  let topo_to_string = function
+    | Spec spec -> Topology.spec_to_string spec
+    | From_file path -> "@" ^ path
+
+  let realize_topology seed = function
+    | Spec spec -> Topology.build ~rng:(Rng.create seed) spec
+    | From_file path -> (
+        match Topology.load_graph path with
+        | Ok g -> g
+        | Error e ->
+            prerr_endline e;
+            exit 1)
+
+  let topology_conv =
+    let parse s =
+      if String.length s > 1 && s.[0] = '@' then
+        Ok (From_file (String.sub s 1 (String.length s - 1)))
+      else
+        Topology.spec_of_string s
+        |> Result.map (fun spec -> Spec spec)
+        |> Result.map_error (fun e -> `Msg e)
+    in
+    let print ppf t = Format.pp_print_string ppf (topo_to_string t) in
+    Arg.conv (parse, print)
+
+  let seed_t =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+  let metrics_format_conv =
+    Arg.enum [ ("json", `Json); ("prom", `Prom); ("text", `Text) ]
+
+  let metrics_t =
+    Arg.(
+      value
+      & opt (some metrics_format_conv) None
+      & info [ "metrics" ] ~docv:"FMT"
+          ~doc:
+            "Dump the telemetry snapshot after the run, as $(b,json), \
+             $(b,prom) (Prometheus text format) or $(b,text) (one line per \
+             metric, histograms with p50/p90/p99).")
+
+  let dump_metrics fmt =
+    let snap = Telemetry.snapshot () in
+    match fmt with
+    | `Prom -> print_string (Telemetry.to_prometheus snap)
+    | `Json -> print_string (Telemetry.to_json snap)
+    | `Text -> Format.printf "%a" Telemetry.pp snap
+
+  let report_format_t =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format"; "f" ] ~docv:"FMT"
+          ~doc:"Report as $(b,text) or $(b,json).")
+
+  let check_loss loss =
+    if loss < 0.0 || loss > 1.0 then begin
+      prerr_endline "synts: --loss must be in [0, 1]";
+      exit 1
+    end
+end

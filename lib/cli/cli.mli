@@ -1,0 +1,39 @@
+(** Shared command-line pieces for the [synts] subcommands.
+
+    Every subcommand that takes a topology, a seed, or telemetry/report
+    output used to declare its own copy of these flags; [Flags] is the
+    single definition ([serve], [load], [simulate], [chaos], [lint], ...
+    all pull from here), so names, defaults and help text cannot drift
+    between subcommands. *)
+
+module Flags : sig
+  (** A topology argument: a generator spec, or [@FILE] pointing at a
+      saved adjacency list. *)
+  type topo_arg =
+    | Spec of Synts_graph.Topology.spec
+    | From_file of string
+
+  val topo_to_string : topo_arg -> string
+
+  val realize_topology : int -> topo_arg -> Synts_graph.Graph.t
+  (** Build the graph ([Spec] generators are seeded); prints the error
+      and exits 1 on an unreadable file. *)
+
+  val topology_conv : topo_arg Cmdliner.Arg.conv
+
+  val seed_t : int Cmdliner.Term.t
+  (** [--seed SEED], default 42. *)
+
+  val metrics_format_conv : [ `Json | `Prom | `Text ] Cmdliner.Arg.conv
+
+  val metrics_t : [ `Json | `Prom | `Text ] option Cmdliner.Term.t
+  (** [--metrics FMT]: dump the telemetry snapshot after the run. *)
+
+  val dump_metrics : [ `Json | `Prom | `Text ] -> unit
+
+  val report_format_t : [ `Json | `Text ] Cmdliner.Term.t
+  (** [--format text|json] (default text) for report-style output. *)
+
+  val check_loss : float -> unit
+  (** Exit 1 unless the probability is in [0, 1]. *)
+end

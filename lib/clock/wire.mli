@@ -7,6 +7,18 @@
     Singhal–Kshemkalyani transmission: only [(index, value)] pairs that
     changed since the peer last saw the vector. *)
 
+val put_varint : Buffer.t -> int -> unit
+(** Append one LEB128 varint (non-negative; raises [Invalid_argument]
+    otherwise). Exposed so higher protocols — the [synts serve] message
+    codec — share one integer encoding. *)
+
+val varint_bytes : int -> int
+(** Encoded size of one varint, without building it. *)
+
+val read_varint : string -> int -> (int * int) option
+(** [read_varint s off] is [Some (value, next_offset)], or [None] on
+    truncation / overflow past 63 bits. *)
+
 val encode : Vector.t -> string
 (** Length-prefixed varint encoding. *)
 
@@ -21,14 +33,44 @@ val checksum : string -> int
 (** 32-bit FNV-1a digest of a byte string. Any single-bit flip of the
     input changes the digest. *)
 
-val encode_framed : Vector.t -> string
-(** {!encode} prefixed with a varint {!checksum} of the body, so the
-    receiving end can reject corrupted payloads. *)
+(** {1 Checksum framing}
+
+    Frames are versioned. Version 1 (current) is
+    [magic byte · version byte · varint checksum · body]; version 0 (the
+    original frame, still emitted by [~version:0] and always accepted on
+    decode) omits the two-byte prefix. A frame carrying an {e unknown}
+    version is rejected with a descriptive ["unsupported wire version"]
+    error — how [synts serve] turns away mismatched clients — rather
+    than a misleading checksum failure. *)
+
+val magic : char
+(** First byte of every versioned frame ([0xD7]). *)
+
+val current_version : int
+(** The frame version this build emits (1). *)
+
+val frame : ?version:int -> string -> string
+(** Wrap an arbitrary body in a checksum frame. [version] defaults to
+    {!current_version}; [0] emits the legacy prefix-free frame; other
+    values raise [Invalid_argument]. *)
+
+val unframe : string -> (string, string) result
+(** Validate and strip a frame of either version, returning the body.
+    Errors: ["checksum mismatch"] (bit-flip corruption),
+    ["unsupported wire version N ..."], ["truncated checksum frame"]. *)
+
+val frame_version : string -> int
+(** The version a frame announces: the version byte after {!magic},
+    or [0] for legacy frames. *)
+
+val encode_framed : ?version:int -> Vector.t -> string
+(** [frame ?version (encode v)] — a vector in a checksum frame. *)
 
 val decode_framed : string -> (Vector.t, string) result
-(** Inverse of {!encode_framed}; [Error "checksum mismatch"] when the
-    body does not hash to the stored digest (bit-flip corruption),
-    other errors as {!decode}. *)
+(** Inverse of {!encode_framed}, accepting both frame versions;
+    [Error "checksum mismatch"] when the body does not hash to the
+    stored digest (bit-flip corruption), other errors as {!decode} or
+    {!unframe}. *)
 
 val encode_diff : prev:Vector.t -> Vector.t -> string
 (** Sparse encoding of the entries where [v] differs from [prev] (count,

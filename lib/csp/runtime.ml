@@ -1,4 +1,5 @@
 module Rng = Synts_util.Rng
+module Ingest = Synts_ingest.Ingest
 module Trace = Synts_sync.Trace
 module Vector = Synts_clock.Vector
 module Edge_clock = Synts_core.Edge_clock
@@ -115,8 +116,8 @@ struct
     assert (Vector.equal ts ts');
     ts
 
-  let run ?(seed = 0) ?decomposition ?on_stamp ?max_steps ?(faults = []) ~n
-      programs =
+  let run ?(seed = 0) ?decomposition ?on_stamp ?sink ?max_steps ?(faults = [])
+      ~n programs =
     if Array.length programs <> n then
       invalid_arg "Runtime.run: need exactly one program per process";
     (match Plan.validate ~n faults with
@@ -179,6 +180,9 @@ struct
       unblock dst;
       let id = !messages in
       incr messages;
+      Option.iter
+        (fun s -> ignore (Ingest.observe s (Ingest.Message { src; dst })))
+        sink;
       let ts =
         match clocks with
         | None -> None
@@ -212,6 +216,9 @@ struct
       | Wants_internal k ->
           steps := Trace.Local pid :: !steps;
           Tm.Counter.incr m_internal;
+          Option.iter
+            (fun s -> ignore (Ingest.observe s (Ingest.Internal { proc = pid })))
+            sink;
           if Tracer.enabled () then
             Tracer.instant ~cat:"csp" ~pid
               ~tick:(float_of_int !dispatches)
@@ -347,7 +354,7 @@ struct
 
   exception Replay_divergence of string
 
-  let replay ?decomposition ?on_stamp ~trace programs =
+  let replay ?decomposition ?on_stamp ?sink ~trace programs =
     let n = Trace.n trace in
     if Array.length programs <> n then
       invalid_arg "Runtime.replay: need exactly one program per process";
@@ -377,13 +384,22 @@ struct
         (match step with
         | Trace.Local p -> (
             match wants.(p) with
-            | Some (Wants_internal k) -> settle p (Effect.Deep.continue k ())
+            | Some (Wants_internal k) ->
+                Option.iter
+                  (fun s ->
+                    ignore (Ingest.observe s (Ingest.Internal { proc = p })))
+                  sink;
+                settle p (Effect.Deep.continue k ())
             | _ -> diverge "P%d: trace expects an internal event" p)
         | Trace.Send (src, dst) -> (
             match (wants.(src), wants.(dst)) with
             | Some (Wants_send (d, m, ks)), Some (Wants_recv (filter, kr))
               when d = dst
                    && (match filter with None -> true | Some p -> p = src) ->
+                Option.iter
+                  (fun s ->
+                    ignore (Ingest.observe s (Ingest.Message { src; dst })))
+                  sink;
                 let ts =
                   match clocks with
                   | None -> None

@@ -50,6 +50,7 @@ end) : sig
     ?seed:int ->
     ?decomposition:Synts_graph.Decomposition.t ->
     ?on_stamp:(src:int -> dst:int -> Synts_clock.Vector.t -> unit) ->
+    ?sink:Synts_ingest.Ingest.sink ->
     ?max_steps:int ->
     ?faults:Synts_fault.Plan.t ->
     n:int ->
@@ -62,7 +63,15 @@ end) : sig
       {!Step_limit_exceeded} beyond it. [on_stamp] observes every
       message's timestamp as its rendezvous completes (only called when
       timestamping is on) — the hook point for running the runtime under a
-      sanitizer such as [Synts_lint.Lint.Sanitizer].
+      sanitizer such as [Synts_lint.Lint.Sanitizer], which needs the
+      runtime's own stamps rather than an independent re-stamping.
+
+      [sink] is the {!Synts_ingest.Ingest.S} convergence path: every
+      rendezvous is forwarded as [Message {src; dst}] and every internal
+      event as [Internal {proc}], in scheduler order, so any ingest
+      implementation — a {!Synts_session.Session}, the sharded
+      [synts serve] engine, or a remote server client — can shadow the
+      run and stamp the same computation.
 
       [faults] (default empty; validated against [n]) applies the crash
       clauses of a fault plan, with crash times read as scheduler
@@ -93,6 +102,7 @@ end) : sig
   val replay :
     ?decomposition:Synts_graph.Decomposition.t ->
     ?on_stamp:(src:int -> dst:int -> Synts_clock.Vector.t -> unit) ->
+    ?sink:Synts_ingest.Ingest.sink ->
     trace:Synts_sync.Trace.t ->
     (api -> unit) array ->
     outcome

@@ -112,7 +112,7 @@ let backoff_cap = 64.0
 
 let run ?(seed = 0) ?min_delay ?max_delay ?fifo ?(loss = 0.0)
     ?(retransmit = 40.0) ?(max_retransmits = 60) ?faults ?(checksum = true)
-    ?decomposition scripts =
+    ?decomposition ?sink scripts =
   let n = Array.length scripts in
   if n < 1 then invalid_arg "Rendezvous.run: need at least one process";
   (match faults with
@@ -124,7 +124,9 @@ let run ?(seed = 0) ?min_delay ?max_delay ?fifo ?(loss = 0.0)
   (* Timestamps only cross the (simulated) wire in encoded form when
      faults are in play: corruption needs bytes to flip. *)
   let wired = faults <> None && decomposition <> None in
-  let encode_vec = if checksum then Wire.encode_framed else Wire.encode in
+  let encode_vec =
+    if checksum then fun v -> Wire.encode_framed v else Wire.encode
+  in
   let decode_vec = if checksum then Wire.decode_framed else Wire.decode in
   let make_body v =
     match v with Some vec when wired -> Wired (encode_vec vec) | v -> Plain v
@@ -197,6 +199,11 @@ let run ?(seed = 0) ?min_delay ?max_delay ?fifo ?(loss = 0.0)
      store and send the ACK. *)
   let consume_req receiver ~src ~seq payload =
     steps := Trace.Send (src, receiver.pid) :: !steps;
+    Option.iter
+      (fun s ->
+        ignore
+          (Synts_ingest.Ingest.(observe s (Message { src; dst = receiver.pid }))))
+      sink;
     Tm.Counter.incr m_messages;
     let ack_payload, timestamp =
       match (receiver.clock, payload) with
@@ -243,6 +250,11 @@ let run ?(seed = 0) ?min_delay ?max_delay ?fifo ?(loss = 0.0)
     | [] -> p.status <- Finished
     | Script.Internal :: rest ->
         steps := Trace.Local p.pid :: !steps;
+        Option.iter
+          (fun s ->
+            ignore
+              (Synts_ingest.Ingest.(observe s (Internal { proc = p.pid }))))
+          sink;
         p.script <- rest;
         advance p
     | Script.Send_to dst :: rest ->

@@ -77,11 +77,19 @@ val run :
   ?faults:Synts_fault.Injector.t ->
   ?checksum:bool ->
   ?decomposition:Synts_graph.Decomposition.t ->
+  ?sink:Synts_ingest.Ingest.sink ->
   Script.t array ->
   outcome
 (** Execute the scripts (index = process id) over the simulated network.
     Deterministic from [seed] (and the injector's own seed when faults
     are supplied).
+
+    [sink] shadows the run through the unified
+    {!Synts_ingest.Ingest.S} interface: each rendezvous instant is
+    forwarded as [Message {src; dst}] and each internal step as
+    [Internal {proc}], in induced-computation order, so a session or the
+    sharded [synts serve] engine can independently stamp the same
+    computation the protocol layer executes.
 
     With [loss > 0] (default 0; [1.0] allowed — everything drops), each
     packet independently drops with that probability; senders then

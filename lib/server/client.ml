@@ -1,0 +1,157 @@
+module Wire = Synts_clock.Wire
+module Ingest = Synts_ingest.Ingest
+module Tm = Synts_telemetry.Telemetry
+
+let m_rpcs =
+  Tm.Counter.v ~help:"Request/reply round trips by serve clients"
+    "server.client.rpcs"
+
+let m_retransmits =
+  Tm.Counter.v ~help:"Requests retransmitted after a corruption error"
+    "server.client.retransmits"
+
+let m_latency =
+  Tm.Histogram.v
+    ~help:"Round-trip latency of serve client requests (milliseconds)"
+    ~buckets:[| 0.05; 0.1; 0.25; 0.5; 1.; 2.5; 5.; 10.; 25.; 50.; 100. |]
+    "server.client.rpc_ms"
+
+type t = {
+  fd : Unix.file_descr;
+  mutable seq : int;  (* next Observe sequence number *)
+  processes : int;
+  dimension : int;
+  shards : int;
+  mutable closed : bool;
+}
+
+let connect_fd = function
+  | Server.Unix_socket path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      fd
+  | Server.Tcp (host, port) ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      let addr =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      in
+      Unix.connect fd (Unix.ADDR_INET (addr, port));
+      fd
+
+let roundtrip fd req =
+  Tm.Counter.incr m_rpcs;
+  let t0 = Unix.gettimeofday () in
+  Frame.send fd (Wire.frame (Protocol.encode_request req));
+  let reply =
+    match Frame.recv fd with
+    | `Eof -> failwith "server closed the connection"
+    | `Frame f -> f
+  in
+  Tm.Histogram.observe m_latency (1000. *. (Unix.gettimeofday () -. t0));
+  match Wire.unframe reply with
+  | Error e -> failwith ("corrupt reply frame: " ^ e)
+  | Ok body -> (
+      match Protocol.decode_response body with
+      | Error e -> failwith ("bad reply: " ^ e)
+      | Ok resp -> resp)
+
+let connect address =
+  let fd = connect_fd address in
+  match roundtrip fd Protocol.Hello with
+  | Protocol.Welcome { processes; dimension; shards } ->
+      { fd; seq = 0; processes; dimension; shards; closed = false }
+  | Protocol.Error_r e ->
+      Unix.close fd;
+      failwith ("server rejected hello: " ^ e)
+  | other ->
+      Unix.close fd;
+      Format.kasprintf failwith "unexpected hello reply: %a"
+        Protocol.pp_response other
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let shards t = t.shards
+let processes t = t.processes
+let dimension t = t.dimension
+
+let corruption_error e =
+  let prefix p = String.length e >= String.length p
+                 && String.sub e 0 (String.length p) = p in
+  prefix "bad frame" || prefix "bad request"
+
+let observe_batch t events =
+  let seq = t.seq in
+  t.seq <- seq + 1;
+  let req = Protocol.Observe { seq; events } in
+  let rec attempt tries =
+    match roundtrip t.fd req with
+    | Protocol.Outcomes outcomes -> outcomes
+    | Protocol.Error_r e when corruption_error e && tries < 5 ->
+        (* The frame was damaged in transit; the server consumed no
+           sequence number, and if it did see the request the dedup
+           cache answers the retry identically. *)
+        Tm.Counter.incr m_retransmits;
+        attempt (tries + 1)
+    | Protocol.Error_r e -> failwith e
+    | other ->
+        Format.kasprintf failwith "unexpected observe reply: %a"
+          Protocol.pp_response other
+  in
+  attempt 0
+
+let observe t ev = (observe_batch t [| ev |]).(0)
+
+let resolved_rpc t req name =
+  match roundtrip t.fd req with
+  | Protocol.Resolved resolved -> resolved
+  | Protocol.Error_r e -> failwith e
+  | other ->
+      Format.kasprintf failwith "unexpected %s reply: %a" name
+        Protocol.pp_response other
+
+let drain t = resolved_rpc t Protocol.Drain "drain"
+let finish t = resolved_rpc t Protocol.Finish "finish"
+
+let verify_server t =
+  match roundtrip t.fd Protocol.Verify with
+  | Protocol.Verified { ok; checked } -> Ok (ok, checked)
+  | Protocol.Error_r e -> Error e
+  | other -> Format.asprintf "unexpected verify reply: %a"
+               Protocol.pp_response other
+             |> Result.error
+
+let server_stats t =
+  match roundtrip t.fd Protocol.Stats with
+  | Protocol.Stats_r { clients; batches; messages; internal } ->
+      Ok (clients, batches, messages, internal)
+  | Protocol.Error_r e -> Error e
+  | other -> Format.asprintf "unexpected stats reply: %a"
+               Protocol.pp_response other
+             |> Result.error
+
+let shutdown t =
+  (match roundtrip t.fd Protocol.Shutdown with
+  | Protocol.Bye -> ()
+  | Protocol.Error_r e -> failwith e
+  | other ->
+      Format.kasprintf failwith "unexpected shutdown reply: %a"
+        Protocol.pp_response other);
+  close t
+
+module Sink = struct
+  type nonrec t = t
+
+  let observe = observe
+  let observe_batch = observe_batch
+  let drain = drain
+  let finish = finish
+  let processes = processes
+  let dimension = dimension
+end
+
+let ingest t = Ingest.sink (module Sink) t

@@ -1,0 +1,54 @@
+(** Blocking client for a [synts serve] daemon.
+
+    A connected client is one more {!Synts_ingest.Ingest.S}
+    implementation: code written against the unified interface runs
+    unchanged whether its sink is an in-process {!Synts_session.Session},
+    the sharded {!Engine}, or this client talking to a remote daemon.
+
+    Each request/reply round-trip is timed into the
+    [server.client.rpc_ms] telemetry histogram. {!observe_batch}
+    retransmits on a [bad frame]/[bad request] error reply — safe
+    because the server deduplicates by sequence number and answers a
+    replayed sequence from its cache. *)
+
+type t
+
+val connect : Server.address -> t
+(** Connect and perform the [Hello]/[Welcome] exchange. Raises
+    [Failure] on protocol errors (including a version-mismatch
+    rejection) and [Unix.Unix_error] on transport errors. *)
+
+val close : t -> unit
+(** Close the connection (the server keeps running). *)
+
+val shards : t -> int
+(** The server's effective shard count, from [Welcome]. *)
+
+val processes : t -> int
+val dimension : t -> int
+
+val observe : t -> Synts_ingest.Ingest.event -> Synts_ingest.Ingest.outcome
+val observe_batch :
+  t -> Synts_ingest.Ingest.event array -> Synts_ingest.Ingest.outcome array
+(** One [Observe] round trip (retransmitted on corruption errors, at
+    most 5 times). Raises [Failure] on a server-side error such as a
+    channel outside the decomposition. *)
+
+val drain :
+  t -> (Synts_ingest.Ingest.ticket * Synts_core.Internal_events.stamp) list
+
+val finish :
+  t -> (Synts_ingest.Ingest.ticket * Synts_core.Internal_events.stamp) list
+
+val verify_server : t -> (bool * int, string) result
+(** Ask a [--check] server to replay its whole arrival log through the
+    single-domain oracle; [Ok (ok, messages_checked)]. *)
+
+val server_stats : t -> (int * int * int * int, string) result
+(** [(clients, batches, messages, internal)]. *)
+
+val shutdown : t -> unit
+(** Request daemon shutdown, await [Bye], close the connection. *)
+
+module Sink : Synts_ingest.Ingest.S with type t = t
+val ingest : t -> Synts_ingest.Ingest.sink

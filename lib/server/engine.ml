@@ -1,0 +1,271 @@
+module Decomposition = Synts_graph.Decomposition
+module Vector = Synts_clock.Vector
+module Stamp_store = Synts_clock.Stamp_store
+module Event_stream = Synts_core.Event_stream
+module Ingest = Synts_ingest.Ingest
+module Tm = Synts_telemetry.Telemetry
+
+let m_batches =
+  Tm.Counter.v ~help:"Batches stamped by the sharded engine"
+    "server.engine.batches"
+
+let m_events =
+  Tm.Counter.v ~help:"Events stamped by the sharded engine"
+    "server.engine.events"
+
+let m_shards =
+  Tm.Gauge.v ~help:"Worker shards of the most recently created engine"
+    "server.engine.shards"
+
+(* Coordinator/worker handshake: the coordinator bumps [gen] to publish a
+   batch, workers sweep their slab and bump [done_count]. The mutex
+   hand-offs give the happens-before edges that make the coordinator's
+   post-barrier slab reads safe. *)
+type shared = {
+  mutex : Mutex.t;
+  go : Condition.t;
+  finished : Condition.t;
+  mutable gen : int;
+  mutable batch : (Ingest.event array * int array) option;
+  mutable done_count : int;
+  mutable stopping : bool;
+}
+
+type t = {
+  decomposition : Decomposition.t;
+  n : int;
+  dim : int;
+  plan : Shard.t;
+  slabs : Stamp_store.t array;
+      (* One slab per shard: rows [0..n-1] are per-process clock slices,
+         one output row per batch event is pushed above them and the slab
+         is truncated back after assembly. *)
+  shared : shared option;  (* None when the sweep runs inline. *)
+  domains : unit Domain.t array;
+  mutable events : Event_stream.t;
+  resolved : (int * Synts_core.Internal_events.stamp) Queue.t;
+  mutable ticket_base : int;
+  mutable issued : int;
+  mutable stopped : bool;
+}
+
+(* One shard's pass over a batch: componentwise merge + increment on the
+   columns it owns, endpoints adopt the stamp. Identical event order on
+   every shard is what makes the reassembled stamps bit-identical to the
+   single-domain oracle. *)
+let sweep plan shard slab events groups =
+  Array.iteri
+    (fun i ev ->
+      match ev with
+      | Ingest.Internal _ -> ignore (Stamp_store.push_zero slab)
+      | Ingest.Message { src; dst } ->
+          let r = Stamp_store.push_merge slab ~a:src ~b:dst in
+          let g = groups.(i) in
+          if Shard.owner plan g = shard then
+            Stamp_store.row_incr slab r (Shard.slot plan g);
+          Stamp_store.blit_rows slab ~src:r ~dst:src;
+          Stamp_store.blit_rows slab ~src:r ~dst:dst)
+    events
+
+let worker plan shard slab shared =
+  let rec loop last =
+    Mutex.lock shared.mutex;
+    while shared.gen = last && not shared.stopping do
+      Condition.wait shared.go shared.mutex
+    done;
+    if shared.stopping then Mutex.unlock shared.mutex
+    else begin
+      let gen = shared.gen in
+      let events, groups = Option.get shared.batch in
+      Mutex.unlock shared.mutex;
+      sweep plan shard slab events groups;
+      Mutex.lock shared.mutex;
+      shared.done_count <- shared.done_count + 1;
+      Condition.broadcast shared.finished;
+      Mutex.unlock shared.mutex;
+      loop gen
+    end
+  in
+  loop 0
+
+let create ?(shards = 1) d =
+  if shards < 1 then invalid_arg "Engine.create: shards must be >= 1";
+  let n = Decomposition.graph_vertices d in
+  let dim = max 1 (Decomposition.size d) in
+  let plan = Shard.plan ~dimension:dim ~shards in
+  let k = Shard.shards plan in
+  Tm.Gauge.set m_shards k;
+  let slabs =
+    Array.init k (fun s ->
+        let slab =
+          Stamp_store.create ~capacity:(max 64 (2 * n))
+            (Array.length (Shard.components plan s))
+        in
+        for _ = 1 to n do
+          ignore (Stamp_store.push_zero slab)
+        done;
+        slab)
+  in
+  let shared =
+    if k = 1 then None
+    else
+      Some
+        {
+          mutex = Mutex.create ();
+          go = Condition.create ();
+          finished = Condition.create ();
+          gen = 0;
+          batch = None;
+          done_count = 0;
+          stopping = false;
+        }
+  in
+  let domains =
+    match shared with
+    | None -> [||]
+    | Some sh ->
+        (* Shard 0 sweeps on the coordinator's domain; 1..k-1 get workers. *)
+        Array.init (k - 1) (fun i ->
+            Domain.spawn (fun () -> worker plan (i + 1) slabs.(i + 1) sh))
+  in
+  {
+    decomposition = d;
+    n;
+    dim;
+    plan;
+    slabs;
+    shared;
+    domains;
+    events = Event_stream.create ~dimension:dim ~n;
+    resolved = Queue.create ();
+    ticket_base = 0;
+    issued = 0;
+    stopped = false;
+  }
+
+let shards t = Shard.shards t.plan
+let processes t = t.n
+let dimension t = t.dim
+
+let validate t events =
+  Array.map
+    (fun ev ->
+      match ev with
+      | Ingest.Internal { proc } ->
+          if proc < 0 || proc >= t.n then
+            invalid_arg
+              (Printf.sprintf "Engine: internal event on unknown process %d"
+                 proc);
+          -1
+      | Ingest.Message { src; dst } -> (
+          try Decomposition.group_of_edge t.decomposition src dst
+          with Not_found ->
+            invalid_arg
+              (Printf.sprintf
+                 "Engine: channel (%d, %d) outside the decomposition" src dst)))
+    events
+
+let observe_batch t events =
+  if t.stopped then invalid_arg "Engine: stopped";
+  let len = Array.length events in
+  if len = 0 then [||]
+  else begin
+    (* Validate the whole batch up front so a bad event mutates nothing. *)
+    let groups = validate t events in
+    Tm.Counter.incr m_batches;
+    Tm.Counter.add m_events len;
+    (match t.shared with
+    | None -> sweep t.plan 0 t.slabs.(0) events groups
+    | Some sh ->
+        Mutex.lock sh.mutex;
+        sh.batch <- Some (events, groups);
+        sh.done_count <- 0;
+        sh.gen <- sh.gen + 1;
+        Condition.broadcast sh.go;
+        Mutex.unlock sh.mutex;
+        sweep t.plan 0 t.slabs.(0) events groups;
+        Mutex.lock sh.mutex;
+        while sh.done_count < Array.length t.domains do
+          Condition.wait sh.finished sh.mutex
+        done;
+        sh.batch <- None;
+        Mutex.unlock sh.mutex);
+    let k = Shard.shards t.plan in
+    let enqueue resolved =
+      List.iter
+        (fun (ticket, stamp) ->
+          Queue.push (t.ticket_base + ticket, stamp) t.resolved)
+        resolved
+    in
+    let outcomes =
+      Array.mapi
+        (fun i ev ->
+          match ev with
+          | Ingest.Internal { proc } ->
+              let ticket = Event_stream.record_internal t.events ~proc in
+              t.issued <- t.issued + 1;
+              Ingest.Deferred (t.ticket_base + ticket)
+          | Ingest.Message { src; dst } ->
+              let v = Array.make t.dim 0 in
+              for s = 0 to k - 1 do
+                let comps = Shard.components t.plan s in
+                let slab = t.slabs.(s) in
+                for j = 0 to Array.length comps - 1 do
+                  v.(comps.(j)) <- Stamp_store.unsafe_cell slab (t.n + i) j
+                done
+              done;
+              enqueue (Event_stream.record_message t.events ~proc:src v);
+              enqueue (Event_stream.record_message t.events ~proc:dst v);
+              Ingest.Stamped v)
+        events
+    in
+    Array.iter (fun slab -> Stamp_store.truncate slab t.n) t.slabs;
+    outcomes
+  end
+
+let observe t ev = (observe_batch t [| ev |]).(0)
+
+let drain t =
+  let out = List.of_seq (Queue.to_seq t.resolved) in
+  Queue.clear t.resolved;
+  out
+
+let finish t =
+  let flushed =
+    List.map
+      (fun (ticket, stamp) -> (t.ticket_base + ticket, stamp))
+      (Event_stream.finish t.events)
+  in
+  let out = drain t @ flushed in
+  (* Event_stream.finish retires the stream; tickets keep increasing
+     across the replacement via the base offset. *)
+  t.ticket_base <- t.ticket_base + t.issued;
+  t.issued <- 0;
+  t.events <- Event_stream.create ~dimension:t.dim ~n:t.n;
+  out
+
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    match t.shared with
+    | None -> ()
+    | Some sh ->
+        Mutex.lock sh.mutex;
+        sh.stopping <- true;
+        Condition.broadcast sh.go;
+        Mutex.unlock sh.mutex;
+        Array.iter Domain.join t.domains
+  end
+
+module Sink = struct
+  type nonrec t = t
+
+  let observe = observe
+  let observe_batch = observe_batch
+  let drain = drain
+  let finish = finish
+  let processes = processes
+  let dimension = dimension
+end
+
+let ingest t = Ingest.sink (module Sink) t

@@ -1,0 +1,63 @@
+(** The sharded streaming stamping engine behind [synts serve].
+
+    An engine conforms to {!Synts_ingest.Ingest.S}, so everything that
+    feeds a {!Synts_session.Session} can feed an engine unchanged — but
+    batches are stamped by [shards] OCaml domains in parallel, each
+    owning a disjoint slice of the timestamp components (see {!Shard}).
+
+    Exactness is by construction, not by luck: the online stamping rule
+    is componentwise, every shard sweeps the {e same} ordered batch over
+    its own {!Synts_clock.Stamp_store} slab (per-process clock slices in
+    the first [n] rows, one output row per batch event above them), and
+    the coordinator reassembles full vectors from the disjoint slices.
+    The result is bit-identical to the deterministic single-domain sweep
+    — property-tested against {!Synts_core.Online.stamper}, which stays
+    in-tree as the conformance oracle. With [shards = 1] (or a
+    single-component decomposition) no domain is spawned and the sweep
+    runs inline on the caller's domain.
+
+    Internal events never touch the clocks, so they are resolved on the
+    coordinator through {!Synts_core.Event_stream} using the reassembled
+    message stamps; tickets and resolved stamps behave exactly as a
+    session's. *)
+
+type t
+
+val create : ?shards:int -> Synts_graph.Decomposition.t -> t
+(** [create ~shards d] builds an engine over decomposition [d] with at
+    most [shards] (default 1, clamped to the component count) worker
+    domains. [shards < 1] raises [Invalid_argument]. *)
+
+val shards : t -> int
+(** Effective shard count after clamping. *)
+
+val processes : t -> int
+val dimension : t -> int
+
+val observe : t -> Synts_ingest.Ingest.event -> Synts_ingest.Ingest.outcome
+(** A batch of one — see {!observe_batch}. *)
+
+val observe_batch :
+  t -> Synts_ingest.Ingest.event array -> Synts_ingest.Ingest.outcome array
+(** Stamp one ordered batch: every shard sweeps it in parallel, then the
+    outcomes are assembled in event order. [Message] events outside the
+    decomposition raise [Invalid_argument] (before any state changes). *)
+
+val drain :
+  t -> (Synts_ingest.Ingest.ticket * Synts_core.Internal_events.stamp) list
+
+val finish :
+  t -> (Synts_ingest.Ingest.ticket * Synts_core.Internal_events.stamp) list
+(** Flush pending internal events ([succ = +∞]) and reset the internal
+    event stream; message clocks are {e not} reset. Tickets keep
+    increasing across a [finish]. *)
+
+val stop : t -> unit
+(** Join the worker domains. Idempotent; the engine must not be used
+    afterwards. *)
+
+module Sink : Synts_ingest.Ingest.S with type t = t
+(** The {!Synts_ingest.Ingest.S} conformance. *)
+
+val ingest : t -> Synts_ingest.Ingest.sink
+(** This engine as a packed ingest sink. *)

@@ -1,0 +1,74 @@
+let max_frame = 16 * 1024 * 1024
+
+let put_len b off len =
+  Bytes.set b off (Char.chr ((len lsr 24) land 0xff));
+  Bytes.set b (off + 1) (Char.chr ((len lsr 16) land 0xff));
+  Bytes.set b (off + 2) (Char.chr ((len lsr 8) land 0xff));
+  Bytes.set b (off + 3) (Char.chr (len land 0xff))
+
+let get_len b off =
+  (Char.code (Bytes.get b off) lsl 24)
+  lor (Char.code (Bytes.get b (off + 1)) lsl 16)
+  lor (Char.code (Bytes.get b (off + 2)) lsl 8)
+  lor Char.code (Bytes.get b (off + 3))
+
+let write_all fd b =
+  let len = Bytes.length b in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write fd b !off (len - !off)
+  done
+
+let send fd s =
+  let len = String.length s in
+  if len > max_frame then failwith "frame too large";
+  let b = Bytes.create (4 + len) in
+  put_len b 0 len;
+  Bytes.blit_string s 0 b 4 len;
+  write_all fd b
+
+(* Read exactly [len] bytes; [`Eof] only when the stream closes cleanly
+   before the first byte. *)
+let read_exact fd len ~allow_eof =
+  let b = Bytes.create len in
+  let off = ref 0 in
+  let eof = ref false in
+  while !off < len && not !eof do
+    let k = Unix.read fd b !off (len - !off) in
+    if k = 0 then
+      if !off = 0 && allow_eof then eof := true
+      else failwith "connection closed mid-frame"
+    else off := !off + k
+  done;
+  if !eof then `Eof else `Bytes b
+
+let recv fd =
+  match read_exact fd 4 ~allow_eof:true with
+  | `Eof -> `Eof
+  | `Bytes hdr -> (
+      let len = get_len hdr 0 in
+      if len > max_frame then failwith "frame too large";
+      match read_exact fd len ~allow_eof:false with
+      | `Eof -> assert false
+      | `Bytes body -> `Frame (Bytes.to_string body))
+
+type buffer = Buffer.t
+
+let buffer () = Buffer.create 4096
+let feed buf b len = Buffer.add_subbytes buf b 0 len
+
+let next buf =
+  let have = Buffer.length buf in
+  if have < 4 then None
+  else begin
+    let len = get_len (Buffer.to_bytes buf) 0 in
+    if len > max_frame then failwith "frame too large";
+    if have < 4 + len then None
+    else begin
+      let all = Buffer.contents buf in
+      let frame = String.sub all 4 len in
+      Buffer.clear buf;
+      Buffer.add_substring buf all (4 + len) (have - 4 - len);
+      Some frame
+    end
+  end

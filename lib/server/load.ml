@@ -1,0 +1,107 @@
+module Decomposition = Synts_graph.Decomposition
+module Rng = Synts_util.Rng
+module Ingest = Synts_ingest.Ingest
+
+type report = {
+  clients : int;
+  batches : int;
+  events : int;
+  messages : int;
+  seconds : float;
+  events_per_sec : float;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+}
+
+let edges_of d =
+  List.concat_map Decomposition.edges_of_group (Decomposition.groups d)
+  |> Array.of_list
+
+let quantile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then Float.nan
+  else sorted.(min (n - 1) (int_of_float (p *. float_of_int (n - 1) +. 0.5)))
+
+type worker = {
+  mutable latencies : float list;
+  mutable sent_messages : int;
+  mutable failure : exn option;
+}
+
+let run ?(clients = 4) ?(batches = 64) ?(batch = 32) ?(internal_prob = 0.1)
+    ?(seed = 0) address d =
+  if clients < 1 then invalid_arg "Load.run: clients must be >= 1";
+  if batches < 1 || batch < 1 then
+    invalid_arg "Load.run: batches and batch must be >= 1";
+  let edges = edges_of d in
+  if Array.length edges = 0 then
+    invalid_arg "Load.run: decomposition has no channels";
+  let n = Decomposition.graph_vertices d in
+  let workers =
+    Array.init clients (fun _ ->
+        { latencies = []; sent_messages = 0; failure = None })
+  in
+  let body c w =
+    let rng = Rng.create ((seed * 0x9e3779b1) lxor c) in
+    try
+      let client = Client.connect address in
+      Fun.protect
+        ~finally:(fun () -> Client.close client)
+        (fun () ->
+          for _ = 1 to batches do
+            let events =
+              Array.init batch (fun _ ->
+                  if internal_prob > 0. && Rng.chance rng internal_prob then
+                    Ingest.Internal { proc = Rng.int rng n }
+                  else begin
+                    let u, v = Rng.pick_array rng edges in
+                    w.sent_messages <- w.sent_messages + 1;
+                    if Rng.bool rng then Ingest.Message { src = u; dst = v }
+                    else Ingest.Message { src = v; dst = u }
+                  end)
+            in
+            let t0 = Unix.gettimeofday () in
+            ignore (Client.observe_batch client events);
+            w.latencies <-
+              (1000. *. (Unix.gettimeofday () -. t0)) :: w.latencies
+          done;
+          ignore (Client.finish client))
+    with e -> w.failure <- Some e
+  in
+  let t0 = Unix.gettimeofday () in
+  let threads =
+    Array.mapi (fun c w -> Thread.create (fun () -> body c w) ()) workers
+  in
+  Array.iter Thread.join threads;
+  let seconds = Unix.gettimeofday () -. t0 in
+  Array.iter
+    (fun w -> match w.failure with Some e -> raise e | None -> ())
+    workers;
+  let latencies =
+    Array.of_list (List.concat_map (fun w -> w.latencies) (Array.to_list workers))
+  in
+  Array.sort compare latencies;
+  let events = clients * batches * batch in
+  {
+    clients;
+    batches;
+    events;
+    messages = Array.fold_left (fun acc w -> acc + w.sent_messages) 0 workers;
+    seconds;
+    events_per_sec = (if seconds > 0. then float_of_int events /. seconds else 0.);
+    p50_ms = quantile latencies 0.50;
+    p95_ms = quantile latencies 0.95;
+    p99_ms = quantile latencies 0.99;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>clients        %d@,\
+     batches/client %d@,\
+     events         %d (%d messages)@,\
+     wall clock     %.3f s@,\
+     throughput     %.0f events/s@,\
+     batch latency  p50 %.3f ms   p95 %.3f ms   p99 %.3f ms@]"
+    r.clients r.batches r.events r.messages r.seconds r.events_per_sec r.p50_ms
+    r.p95_ms r.p99_ms

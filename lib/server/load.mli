@@ -1,0 +1,41 @@
+(** Multi-client load generator for a [synts serve] daemon — the engine
+    behind [synts load].
+
+    Spawns [clients] POSIX threads, each holding its own connection and
+    driving a seeded pseudo-random workload of [batches] × [batch]
+    events (messages on the decomposition's channels, plus internal
+    events with probability [internal_prob]). Per-batch round-trip
+    latencies are collected per thread and aggregated into p50/p95/p99;
+    the same latencies also land in the [server.client.rpc_ms]
+    telemetry histogram. Workloads are deterministic from [seed], so
+    the same seed drives the same byte stream at the server — which is
+    what lets a [--check] server's {!Client.verify_server} assert
+    exactness after a load run. *)
+
+type report = {
+  clients : int;
+  batches : int;  (* per client *)
+  events : int;  (* total sent *)
+  messages : int;  (* total message events among them *)
+  seconds : float;  (* wall clock for the whole run *)
+  events_per_sec : float;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;  (* per-batch round-trip latency quantiles *)
+}
+
+val run :
+  ?clients:int ->
+  ?batches:int ->
+  ?batch:int ->
+  ?internal_prob:float ->
+  ?seed:int ->
+  Server.address ->
+  Synts_graph.Decomposition.t ->
+  report
+(** Drive the daemon at [address]. Defaults: 4 clients × 64 batches of
+    32 events, [internal_prob = 0.1], [seed = 0]. The decomposition
+    must be the one the server was started with (it defines the legal
+    channels). Re-raises the first client thread's failure, if any. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,41 @@
+(** Binary request/response codec for the [synts serve] wire protocol.
+
+    Messages are byte strings: a one-byte tag followed by LEB128 varints
+    ({!Synts_clock.Wire.put_varint} — the same integer encoding vectors
+    use) and length-prefixed vector payloads. On the socket every message
+    travels inside a versioned {!Synts_clock.Wire.frame} under a 4-byte
+    big-endian length prefix (see {!Frame}), so corruption is caught by
+    the checksum before decoding and version mismatches are rejected
+    with a clear error.
+
+    [Observe] carries a client-chosen sequence number: the server
+    answers a replayed (duplicated or retransmitted) sequence from its
+    reply cache instead of stamping twice, which is what keeps
+    at-least-once delivery exact — see {!Service}. *)
+
+type request =
+  | Hello
+  | Observe of { seq : int; events : Synts_ingest.Ingest.event array }
+  | Drain
+  | Finish
+  | Verify
+  | Stats
+  | Shutdown
+
+type response =
+  | Welcome of { processes : int; dimension : int; shards : int }
+  | Outcomes of Synts_ingest.Ingest.outcome array
+  | Resolved of
+      (Synts_ingest.Ingest.ticket * Synts_core.Internal_events.stamp) list
+  | Verified of { ok : bool; checked : int }
+  | Stats_r of { clients : int; batches : int; messages : int; internal : int }
+  | Error_r of string
+  | Bye
+
+val encode_request : request -> string
+val decode_request : string -> (request, string) result
+val encode_response : response -> string
+val decode_response : string -> (response, string) result
+
+val pp_request : Format.formatter -> request -> unit
+val pp_response : Format.formatter -> response -> unit

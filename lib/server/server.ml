@@ -1,0 +1,128 @@
+module Wire = Synts_clock.Wire
+module Tm = Synts_telemetry.Telemetry
+
+let m_accepted =
+  Tm.Counter.v ~help:"Connections accepted by the serve daemon"
+    "server.connections"
+
+type address = Unix_socket of string | Tcp of string * int
+
+let pp_address ppf = function
+  | Unix_socket path -> Format.fprintf ppf "unix:%s" path
+  | Tcp (host, port) -> Format.fprintf ppf "%s:%d" host port
+
+let address_of_string s =
+  match String.rindex_opt s ':' with
+  | Some i -> (
+      let host = String.sub s 0 i
+      and port = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt port with
+      | Some p when p > 0 && p < 65536 ->
+          Ok (Tcp ((if host = "" then "127.0.0.1" else host), p))
+      | _ -> Error (Printf.sprintf "bad port in address %S" s))
+  | None ->
+      if s = "" then Error "empty address" else Ok (Unix_socket s)
+
+let resolve host =
+  try Unix.inet_addr_of_string host
+  with Failure _ -> (
+    try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    with Not_found -> failwith (Printf.sprintf "unknown host %S" host))
+
+let bind_listen address =
+  match address with
+  | Unix_socket path ->
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 64;
+      fd
+  | Tcp (host, port) ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (resolve host, port));
+      Unix.listen fd 64;
+      fd
+
+(* The only [Bye] the service ever frames answers [Shutdown]. *)
+let bye = Protocol.encode_response Protocol.Bye
+
+let is_bye reply =
+  match Wire.unframe reply with Ok body -> body = bye | Error _ -> false
+
+let loop service listen_fd address =
+  let conns : (Unix.file_descr, Service.conn * Frame.buffer) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let scratch = Bytes.create 65536 in
+  let running = ref true in
+  let close_conn fd =
+    (match Hashtbl.find_opt conns fd with
+    | Some (conn, _) -> Service.detach service conn
+    | None -> ());
+    Hashtbl.remove conns fd;
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  in
+  let serve_fd fd =
+    let conn, buf = Hashtbl.find conns fd in
+    match Unix.read fd scratch 0 (Bytes.length scratch) with
+    | 0 -> close_conn fd
+    | len ->
+        Frame.feed buf scratch len;
+        let rec drain () =
+          match Frame.next buf with
+          | None -> ()
+          | Some frame ->
+              let reply = Service.handle_raw service conn frame in
+              Frame.send fd reply;
+              if is_bye reply then running := false else drain ()
+        in
+        (try drain ()
+         with Failure _ ->
+           (* Desynchronised stream (oversized length prefix): the
+              connection is unrecoverable, the daemon is not. *)
+           close_conn fd)
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+        close_conn fd
+  in
+  while !running do
+    let fds = listen_fd :: Hashtbl.fold (fun fd _ acc -> fd :: acc) conns [] in
+    match Unix.select fds [] [] (-1.0) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | readable, _, _ ->
+        List.iter
+          (fun fd ->
+            if fd = listen_fd then begin
+              let client, _ = Unix.accept listen_fd in
+              Tm.Counter.incr m_accepted;
+              Hashtbl.replace conns client
+                (Service.attach service, Frame.buffer ())
+            end
+            else if Hashtbl.mem conns fd then
+              try serve_fd fd
+              with Unix.Unix_error _ | Failure _ -> close_conn fd)
+          readable
+  done;
+  Hashtbl.iter (fun fd _ -> try Unix.close fd with Unix.Unix_error _ -> ()) conns;
+  Hashtbl.reset conns;
+  (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+  (match address with
+  | Unix_socket path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Tcp _ -> ());
+  Service.stop service
+
+let serve ?shards ?check address d =
+  let listen_fd = bind_listen address in
+  let service = Service.create ?shards ?check d in
+  loop service listen_fd address
+
+type handle = unit Domain.t
+
+let spawn ?shards ?check address d =
+  (* Bind before spawning so the caller can connect immediately. *)
+  let listen_fd = bind_listen address in
+  Domain.spawn (fun () ->
+      let service = Service.create ?shards ?check d in
+      loop service listen_fd address)
+
+let join = Domain.join

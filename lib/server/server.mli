@@ -1,0 +1,34 @@
+(** The [synts serve] daemon: a select loop over Unix or TCP sockets.
+
+    One single-threaded loop owns the listening socket and every client
+    connection; stamping parallelism lives below it, in the engine's
+    worker domains. Clients speak the {!Frame} transport carrying
+    {!Protocol} messages; all protocol logic is in {!Service}.
+
+    A {!Protocol.Shutdown} request from any client answers [Bye],
+    closes every connection, stops the engine and returns. *)
+
+type address = Unix_socket of string | Tcp of string * int
+
+val pp_address : Format.formatter -> address -> unit
+
+val address_of_string : string -> (address, string) result
+(** ["host:port"] is TCP; anything else is a Unix socket path. *)
+
+val serve :
+  ?shards:int -> ?check:bool -> address -> Synts_graph.Decomposition.t -> unit
+(** Bind, listen and serve until a [Shutdown] request. Raises
+    [Unix.Unix_error] when the address cannot be bound. A pre-existing
+    Unix socket path is unlinked first and removed again on exit. *)
+
+type handle
+(** A daemon running in its own domain (in-process [synts serve] — used
+    by [synts load --spawn] and the smoke tests). *)
+
+val spawn :
+  ?shards:int -> ?check:bool -> address -> Synts_graph.Decomposition.t -> handle
+(** Bind in the calling domain — the address is connectable as soon as
+    this returns — then serve from a fresh domain. *)
+
+val join : handle -> unit
+(** Wait for the daemon to exit (i.e. for a [Shutdown] request). *)

@@ -1,0 +1,180 @@
+module Decomposition = Synts_graph.Decomposition
+module Online = Synts_core.Online
+module Wire = Synts_clock.Wire
+module Ingest = Synts_ingest.Ingest
+module Tm = Synts_telemetry.Telemetry
+
+let m_requests =
+  Tm.Counter.v ~help:"Requests handled by the serve service" "server.requests"
+
+let m_errors =
+  Tm.Counter.v ~help:"Requests answered with an error" "server.errors"
+
+let m_dups =
+  Tm.Counter.v ~help:"Duplicate Observe requests answered from the reply cache"
+    "server.duplicates"
+
+type conn = {
+  id : int;
+  mutable last_seq : int;  (* -1 until the first Observe *)
+  mutable cached : Protocol.response option;
+      (* reply to [last_seq], replayed on duplicate delivery *)
+}
+
+type t = {
+  engine : Engine.t;
+  decomposition : Decomposition.t;
+  check : bool;
+  mutable log : Ingest.event list;  (* reversed arrival order; check mode *)
+  mutable stamped : Synts_clock.Vector.t list;  (* reversed; check mode *)
+  conns : (int, conn) Hashtbl.t;
+  mutable next_conn : int;
+  mutable batches : int;
+  mutable messages : int;
+  mutable internal : int;
+}
+
+let create ?shards ?(check = false) d =
+  {
+    engine = Engine.create ?shards d;
+    decomposition = d;
+    check;
+    log = [];
+    stamped = [];
+    conns = Hashtbl.create 8;
+    next_conn = 0;
+    batches = 0;
+    messages = 0;
+    internal = 0;
+  }
+
+let attach t =
+  let conn = { id = t.next_conn; last_seq = -1; cached = None } in
+  t.next_conn <- t.next_conn + 1;
+  Hashtbl.replace t.conns conn.id conn;
+  conn
+
+let detach t conn = Hashtbl.remove t.conns conn.id
+let clients t = Hashtbl.length t.conns
+let engine t = t.engine
+let stop t = Engine.stop t.engine
+
+let record t events outcomes =
+  Array.iter
+    (function
+      | Ingest.Message _ -> t.messages <- t.messages + 1
+      | Ingest.Internal _ -> t.internal <- t.internal + 1)
+    events;
+  t.batches <- t.batches + 1;
+  if t.check then begin
+    Array.iter (fun ev -> t.log <- ev :: t.log) events;
+    Array.iter
+      (function
+        | Ingest.Stamped v -> t.stamped <- v :: t.stamped
+        | Ingest.Deferred _ -> ())
+      outcomes
+  end
+
+(* Replay the whole arrival log through the deterministic single-domain
+   oracle and compare message stamps bit-for-bit. Internal-event stamps
+   are functions of the surrounding message stamps, so message equality
+   is the whole exactness claim. *)
+let verify t =
+  let oracle = Online.stamper t.decomposition in
+  let stamped = ref (List.rev t.stamped) in
+  let checked = ref 0 in
+  let ok = ref true in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Ingest.Internal _ -> ()
+      | Ingest.Message { src; dst } -> (
+          incr checked;
+          let expect = oracle ~src ~dst in
+          match !stamped with
+          | got :: rest ->
+              stamped := rest;
+              if got <> expect then ok := false
+          | [] -> ok := false))
+    (List.rev t.log);
+  if !stamped <> [] then ok := false;
+  Protocol.Verified { ok = !ok; checked = !checked }
+
+let handle t conn (req : Protocol.request) : Protocol.response =
+  Tm.Counter.incr m_requests;
+  match req with
+  | Hello ->
+      Welcome
+        {
+          processes = Engine.processes t.engine;
+          dimension = Engine.dimension t.engine;
+          shards = Engine.shards t.engine;
+        }
+  | Observe { seq; events } ->
+      if seq < 0 then begin
+        Tm.Counter.incr m_errors;
+        Error_r "negative sequence number"
+      end
+      else if seq <= conn.last_seq then
+        if seq = conn.last_seq then begin
+          (* At-least-once delivery: a dup or retransmission is answered
+             from the cache, never stamped twice. *)
+          Tm.Counter.incr m_dups;
+          Option.value conn.cached ~default:(Protocol.Error_r "no cached reply")
+        end
+        else begin
+          Tm.Counter.incr m_errors;
+          Error_r (Printf.sprintf "stale sequence %d (last was %d)" seq
+                     conn.last_seq)
+        end
+      else if seq > conn.last_seq + 1 then begin
+        Tm.Counter.incr m_errors;
+        Error_r
+          (Printf.sprintf "sequence gap: got %d, expected %d" seq
+             (conn.last_seq + 1))
+      end
+      else begin
+        match Engine.observe_batch t.engine events with
+        | outcomes ->
+            record t events outcomes;
+            let resp = Protocol.Outcomes outcomes in
+            conn.last_seq <- seq;
+            conn.cached <- Some resp;
+            resp
+        | exception Invalid_argument e ->
+            (* Validation rejected the batch before any state change; the
+               sequence is not consumed, so a corrected retry may reuse
+               it. *)
+            Tm.Counter.incr m_errors;
+            Error_r e
+      end
+  | Drain -> Resolved (Engine.drain t.engine)
+  | Finish -> Resolved (Engine.finish t.engine)
+  | Verify ->
+      if not t.check then begin
+        Tm.Counter.incr m_errors;
+        Error_r "verification disabled (start the server with --check)"
+      end
+      else verify t
+  | Stats ->
+      Stats_r
+        {
+          clients = clients t;
+          batches = t.batches;
+          messages = t.messages;
+          internal = t.internal;
+        }
+  | Shutdown -> Bye
+
+let handle_raw t conn raw =
+  let reply resp = Wire.frame (Protocol.encode_response resp) in
+  match Wire.unframe raw with
+  | Error e ->
+      Tm.Counter.incr m_errors;
+      reply (Error_r ("bad frame: " ^ e))
+  | Ok body -> (
+      match Protocol.decode_request body with
+      | Error e ->
+          Tm.Counter.incr m_errors;
+          reply (Error_r ("bad request: " ^ e))
+      | Ok req -> reply (handle t conn req))

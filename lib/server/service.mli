@@ -1,0 +1,52 @@
+(** Transport-independent core of the [synts serve] daemon.
+
+    A service owns one sharded {!Engine} and the per-connection protocol
+    state; the socket layer ({!Server}) only moves framed bytes. Keeping
+    the core transport-free is what lets the property tests drive the
+    full request path — encode, frame, (possibly corrupt), unframe,
+    decode, stamp — without opening a socket.
+
+    {2 At-least-once exactness}
+
+    Each connection's [Observe] requests carry a client sequence number.
+    The service stamps a sequence once and caches the reply: a duplicate
+    delivery (network dup, or a client retransmitting after a corrupted
+    frame was rejected) is answered from the cache, never re-stamped —
+    so the fault injector's dup/corrupt clauses cannot skew timestamps.
+    A sequence older than the cached one is answered with [Error_r]
+    ("stale"), as is a gap (the client skipped a sequence). *)
+
+type t
+
+val create : ?shards:int -> ?check:bool -> Synts_graph.Decomposition.t -> t
+(** [check] (default false) additionally logs every ingested event in
+    arrival order so {!Protocol.Verify} can replay the whole stream
+    through the single-domain {!Synts_core.Online.stamper} oracle and
+    compare stamps bit-for-bit. *)
+
+type conn
+
+val attach : t -> conn
+(** Register a connection (fresh sequence/cache state). *)
+
+val detach : t -> conn -> unit
+
+val clients : t -> int
+(** Currently attached connections. *)
+
+val handle : t -> conn -> Protocol.request -> Protocol.response
+(** Execute one decoded request. Never raises: engine
+    [Invalid_argument]s surface as [Error_r]. [Shutdown] answers [Bye];
+    the caller decides what to do with its transport. *)
+
+val handle_raw : t -> conn -> string -> string
+(** The byte-level path: {!Synts_clock.Wire.unframe}, decode, {!handle},
+    encode, re-frame. Malformed or corrupted input yields a framed
+    [Error_r] {e without} touching the connection's sequence state, so a
+    retransmission of the damaged request still lands in the dedup
+    window. *)
+
+val stop : t -> unit
+(** Stop the engine's worker domains. *)
+
+val engine : t -> Engine.t

@@ -1,0 +1,30 @@
+type t = {
+  dimension : int;
+  shards : int;
+  owner : int array;  (* component -> shard *)
+  slot : int array;  (* component -> column within its owner's slab *)
+  components : int array array;  (* shard -> owned components, ascending *)
+}
+
+let plan ~dimension ~shards =
+  if dimension < 1 then invalid_arg "Shard.plan: dimension must be >= 1";
+  if shards < 1 then invalid_arg "Shard.plan: shards must be >= 1";
+  let k = min shards dimension in
+  let owner = Array.init dimension (fun g -> g mod k) in
+  let counts = Array.make k 0 in
+  let slot =
+    Array.init dimension (fun g ->
+        let s = owner.(g) in
+        let j = counts.(s) in
+        counts.(s) <- j + 1;
+        j)
+  in
+  let components = Array.init k (fun s -> Array.make counts.(s) 0) in
+  Array.iteri (fun g s -> components.(s).(slot.(g)) <- g) owner;
+  { dimension; shards = k; owner; slot; components }
+
+let dimension t = t.dimension
+let shards t = t.shards
+let owner t g = t.owner.(g)
+let components t s = t.components.(s)
+let slot t g = t.slot.(g)

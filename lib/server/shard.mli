@@ -1,0 +1,36 @@
+(** Edge-group partition plan for the sharded stamping engine.
+
+    The online stamping rule is componentwise: component [j] of a
+    message's timestamp is [max(clock_src.(j), clock_dst.(j))], plus one
+    when [j] is the message's edge group. Components therefore shard
+    perfectly — a plan assigns every edge-group index to one shard, each
+    shard sweeps the same event stream updating only its own components,
+    and the full stamps are reassembled by gathering the disjoint slices.
+
+    The effective shard count is clamped to
+    [max 1 (min requested dimension)] — more shards than components
+    would leave workers with nothing to do ([min(β(G), N−2)] components
+    is the paper's bound, so small topologies clamp hard: [N = 2] has a
+    single group and always runs one shard). *)
+
+type t
+
+val plan : dimension:int -> shards:int -> t
+(** Partition [dimension] component indices round-robin across
+    [shards] shards (both clamped to ≥ 1 effective; requested values
+    < 1 raise [Invalid_argument]). *)
+
+val dimension : t -> int
+val shards : t -> int
+(** Effective shard count: [max 1 (min requested dimension)]. *)
+
+val owner : t -> int -> int
+(** [owner t g] is the shard that owns component [g]. *)
+
+val components : t -> int -> int array
+(** [components t s] are the component indices shard [s] owns, ascending.
+    The arrays over all shards partition [0 .. dimension-1]. *)
+
+val slot : t -> int -> int
+(** [slot t g] is component [g]'s index within
+    [components t (owner t g)] — its column in the owner's slab. *)

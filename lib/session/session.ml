@@ -150,15 +150,19 @@ let finish_events t =
   Tm.Counter.incr m_flushes;
   drain_events t @ Event_stream.finish t.events
 
-type event = Message of { src : int; dst : int } | Internal of { proc : int }
+type event = Synts_ingest.Ingest.event =
+  | Message of { src : int; dst : int }
+  | Internal of { proc : int }
 
-type outcome =
+type outcome = Synts_ingest.Ingest.outcome =
   | Stamped of Vector.t
   | Deferred of Event_stream.ticket
 
 let observe t = function
   | Message { src; dst } -> Stamped (message t ~src ~dst)
   | Internal { proc } -> Deferred (internal t ~proc)
+
+let observe_batch t events = Array.map (observe t) events
 
 let messages_observed t = t.observed
 let width t = Synts_poset.Incremental_width.width t.width
@@ -217,3 +221,18 @@ let decomposition t =
   match t.stamper with
   | Static (d, _) -> d
   | Adaptive s -> Adaptive_stamper.decomposition s
+
+(* The Ingest.S conformance: a session is one sink among the in-process
+   engine and the remote server client. *)
+module Sink = struct
+  type nonrec t = t
+
+  let observe = observe
+  let observe_batch = observe_batch
+  let drain = drain_events
+  let finish = finish_events
+  let processes = processes
+  let dimension = dimension
+end
+
+let ingest t = Synts_ingest.Ingest.sink (module Sink) t

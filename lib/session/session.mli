@@ -31,38 +31,51 @@ val dimension : t -> int
 
 (** {1 Observation}
 
-    Two equivalent styles, pick whichever fits the embedder:
+    Sessions ingest the {!Synts_ingest.Ingest} event stream: {!observe}
+    is {e the} entry point, and {!ingest} packs a session as a
+    first-class {!Synts_ingest.Ingest.sink} so embedders written against
+    the unified interface run against a session, the sharded
+    [synts serve] engine or a remote server client interchangeably.
 
-    - {b typed calls} — {!message} and {!internal}, one per event kind,
-      when the integration point already distinguishes them;
-    - {b one stream} — {!observe} with the {!event} variant, when the
-      embedder forwards a single heterogeneous event feed (a log tailer,
-      a network tap). [observe t (Message {src; dst})] is exactly
-      [message t ~src ~dst] and [observe t (Internal {proc})] is exactly
-      [internal t ~proc]; the {!outcome} carries what each returns.
+    The pre-[Ingest] typed calls {!message} and {!internal} remain for
+    source compatibility but are deprecated. *)
 
-    Neither style is deprecated; both stay supported. *)
+type event = Synts_ingest.Ingest.event =
+  | Message of { src : int; dst : int }
+  | Internal of { proc : int }
+(** One element of a unified observation stream (re-exported from
+    {!Synts_ingest.Ingest} — the constructors are the same). *)
 
-val message : t -> src:int -> dst:int -> Synts_clock.Vector.t
-(** Observe the next message; returns its timestamp. Raises
-    [Invalid_argument] for channels outside a fixed decomposition. *)
-
-val internal : t -> proc:int -> Synts_core.Event_stream.ticket
-(** Observe an internal event; its stamp is deferred until the process's
-    next message ({!drain_events}). *)
-
-type event = Message of { src : int; dst : int } | Internal of { proc : int }
-(** One element of a unified observation stream. *)
-
-type outcome =
+type outcome = Synts_ingest.Ingest.outcome =
   | Stamped of Synts_clock.Vector.t
-      (** A message's timestamp, as returned by {!message}. *)
+      (** A message's timestamp, available immediately. *)
   | Deferred of Synts_core.Event_stream.ticket
-      (** An internal event's ticket, as returned by {!internal};
-          redeemed via {!drain_events}/{!finish_events}. *)
+      (** An internal event's ticket, redeemed via
+          {!drain_events}/{!finish_events}. *)
 
 val observe : t -> event -> outcome
-(** The unified entry point over both event kinds. *)
+(** The unified entry point over both event kinds. [Message] raises
+    [Invalid_argument] for channels outside a fixed decomposition. *)
+
+val observe_batch : t -> event array -> outcome array
+(** {!observe} over a contiguous run of events, in order. *)
+
+module Sink : Synts_ingest.Ingest.S with type t = t
+(** The {!Synts_ingest.Ingest.S} conformance ([drain] and [finish] map
+    to {!drain_events} and {!finish_events}). *)
+
+val ingest : t -> Synts_ingest.Ingest.sink
+(** This session as a packed ingest sink. *)
+
+val message : t -> src:int -> dst:int -> Synts_clock.Vector.t
+  [@@deprecated "use observe (Message {src; dst}) — the Ingest.S entry point"]
+(** Observe the next message; returns its timestamp. Deprecated alias of
+    [observe t (Message {src; dst})]. *)
+
+val internal : t -> proc:int -> Synts_core.Event_stream.ticket
+  [@@deprecated "use observe (Internal {proc}) — the Ingest.S entry point"]
+(** Observe an internal event. Deprecated alias of
+    [observe t (Internal {proc})]. *)
 
 val drain_events :
   t -> (Synts_core.Event_stream.ticket * Synts_core.Internal_events.stamp) list

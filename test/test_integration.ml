@@ -149,7 +149,12 @@ let test_session_mirrors_runtime () =
   let mirrored =
     Array.map
       (fun (m : Trace.message) ->
-        Session.message session ~src:m.Trace.src ~dst:m.Trace.dst)
+        match
+          Session.observe session
+            (Session.Message { src = m.Trace.src; dst = m.Trace.dst })
+        with
+        | Session.Stamped v -> v
+        | Session.Deferred _ -> assert false)
       (Trace.messages o.R.trace)
   in
   Alcotest.(check bool) "stamps identical" true

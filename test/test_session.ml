@@ -15,6 +15,18 @@ module Gen = Synts_test_support.Gen
 let qtest ?(count = 150) name gen print f =
   QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name ~print gen f)
 
+(* Observations go through the unified Ingest entry point; these helpers
+   unwrap the outcome kind each event type guarantees. *)
+let message session ~src ~dst =
+  match Session.observe session (Session.Message { src; dst }) with
+  | Session.Stamped v -> v
+  | Session.Deferred _ -> assert false
+
+let internal session ~proc =
+  match Session.observe session (Session.Internal { proc }) with
+  | Session.Deferred ticket -> ticket
+  | Session.Stamped _ -> assert false
+
 (* Feed a whole trace through a session, returning message stamps (by
    message id) and all internal-event stamps (by internal id). *)
 let feed session trace =
@@ -36,11 +48,11 @@ let feed session trace =
     (fun step ->
       match step with
       | Trace.Send (src, dst) ->
-          msg_stamps.(!mid) <- Session.message session ~src ~dst;
+          msg_stamps.(!mid) <- message session ~src ~dst;
           incr mid;
           absorb (Session.drain_events session)
       | Trace.Local p ->
-          let ticket = Session.internal session ~proc:p in
+          let ticket = internal session ~proc:p in
           Hashtbl.replace tickets ticket !iid;
           incr iid)
     (Trace.steps trace);
@@ -136,9 +148,9 @@ let test_session_width_leq_dimension =
 let test_session_stats () =
   let session = Session.of_topology (Topology.star 4) in
   (* Star topology: every pair ordered. *)
-  ignore (Session.message session ~src:0 ~dst:1);
-  ignore (Session.message session ~src:2 ~dst:0);
-  ignore (Session.message session ~src:0 ~dst:3);
+  ignore (message session ~src:0 ~dst:1);
+  ignore (message session ~src:2 ~dst:0);
+  ignore (message session ~src:0 ~dst:3);
   Alcotest.(check (float 0.0)) "no concurrency on a hub" 0.0
     (Session.concurrency_ratio session);
   Alcotest.(check int) "chain of 3" 3 (Session.longest_chain session);
@@ -146,11 +158,11 @@ let test_session_stats () =
 
 let test_session_adaptive_dimension_grows () =
   let session = Session.adaptive ~n:6 () in
-  ignore (Session.message session ~src:0 ~dst:1);
+  ignore (message session ~src:0 ~dst:1);
   Alcotest.(check int) "one group" 1 (Session.dimension session);
-  let v1 = Session.message session ~src:2 ~dst:3 in
+  let v1 = message session ~src:2 ~dst:3 in
   Alcotest.(check int) "two groups" 2 (Session.dimension session);
-  let v2 = Session.message session ~src:4 ~dst:5 in
+  let v2 = message session ~src:4 ~dst:5 in
   Alcotest.(check bool) "padded concurrent" true
     (Session.concurrent session v1 v2);
   Alcotest.(check int) "snapshot size" 3
@@ -158,7 +170,7 @@ let test_session_adaptive_dimension_grows () =
 
 let test_session_rejects_unknown_channel () =
   let session = Session.of_topology (Topology.star 3) in
-  match Session.message session ~src:1 ~dst:2 with
+  match message session ~src:1 ~dst:2 with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "channel outside the topology accepted"
 

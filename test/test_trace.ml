@@ -254,9 +254,8 @@ let record_session_spans trace g =
       let session = Session.of_topology g in
       List.iter
         (fun step ->
-          match step with
-          | Trace.Send (src, dst) -> ignore (Session.message session ~src ~dst)
-          | Trace.Local proc -> ignore (Session.internal session ~proc))
+          ignore
+            (Session.observe session (Synts_ingest.Ingest.event_of_step step)))
         (Trace.steps trace);
       let spans = Tracer.to_list () in
       Tracer.clear ();
@@ -327,9 +326,8 @@ let seeded_tracelog seed =
       let session = Session.of_decomposition d in
       List.iter
         (fun step ->
-          match step with
-          | Trace.Send (src, dst) -> ignore (Session.message session ~src ~dst)
-          | Trace.Local proc -> ignore (Session.internal session ~proc))
+          ignore
+            (Session.observe session (Synts_ingest.Ingest.event_of_step step)))
         (Trace.steps trace);
       ignore (Session.finish_events session);
       let scripts = Synts_net.Script.of_trace trace in
@@ -375,11 +373,11 @@ let test_session_pending_cap () =
   let before = Tm.Counter.value (Tm.Counter.v "session.dropped_events") in
   let session = Session.of_topology ~pending_cap:2 (Topology.path 2) in
   for _ = 1 to 3 do
-    ignore (Session.internal session ~proc:0)
+    ignore (Session.observe session (Session.Internal { proc = 0 }))
   done;
   (* The message resolves all three pending internals on P0; the queue
      holds two, so the oldest resolved stamp is evicted, counted. *)
-  ignore (Session.message session ~src:0 ~dst:1);
+  ignore (Session.observe session (Session.Message { src = 0; dst = 1 }));
   Alcotest.(check int) "one eviction" 1 (Session.dropped_events session);
   Alcotest.(check int) "telemetry counter" 1
     (Tm.Counter.value (Tm.Counter.v "session.dropped_events") - before);
