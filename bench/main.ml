@@ -498,6 +498,25 @@ let serve_engine_tests =
       Test.make ~name:"shards-4" (Staged.stage (feed 4));
     ]
 
+(* B18: the model checker's exploration engine — the default N=3
+   scenario swept exhaustively with and without DPOR (the dpor row must
+   stay well under the naive row: the 6x state reduction is the claim),
+   plus a crash/recover exploration pricing the fault-injection branch
+   of the transition relation. *)
+let model_explore_tests =
+  let module Protocol = Synts_model.Protocol in
+  let module Checker = Synts_model.Checker in
+  let clean = Protocol.compile_exn Protocol.default in
+  let faulty = Protocol.compile_exn { Protocol.default with faults = 1 } in
+  let explore ~dpor model () = ignore (Checker.check ~dpor model) in
+  Test.make_grouped ~name:"model-explore"
+    [
+      Test.make ~name:"n3e6-dpor" (Staged.stage (explore ~dpor:true clean));
+      Test.make ~name:"n3e6-naive" (Staged.stage (explore ~dpor:false clean));
+      Test.make ~name:"n3e6-faults1-dpor"
+        (Staged.stage (explore ~dpor:true faulty));
+    ]
+
 let all_groups =
   [
     ("decomposition", decomposition_tests);
@@ -517,6 +536,7 @@ let all_groups =
     ("slab-kernel-2000msg", slab_kernel_tests);
     ("dilworth-pipeline-300msg", dilworth_pipeline_tests);
     ("trace-overhead", trace_overhead_tests);
+    ("model-explore", model_explore_tests);
     ("serve-engine-1024ev", serve_engine_tests);
   ]
 

@@ -795,6 +795,33 @@ let lint_cmd =
         end;
         let findings =
           match file with
+          | Some path when Synts_model.Witness.is_witness_text
+                             (In_channel.with_open_text path
+                                In_channel.input_all) -> (
+              (* A model-checker witness: re-derive the verdict from its
+                 raw materials. Deadlock witnesses carry the system to
+                 re-explore; protocol witnesses carry the schedule and the
+                 stamps under suspicion. *)
+              let text = In_channel.with_open_text path In_channel.input_all in
+              match Synts_model.Witness.of_string text with
+              | Error e ->
+                  [
+                    Synts_lint.Rules.finding "trace/parse"
+                      Synts_lint.Finding.Global
+                      (Printf.sprintf "%s: %s" path e);
+                  ]
+              | Ok w when w.Synts_model.Witness.rule = "model/deadlock" ->
+                  Lint.audit_scripts w.Synts_model.Witness.scripts
+              | Ok w -> (
+                  match Synts_model.Witness.trace w with
+                  | Error e ->
+                      [
+                        Synts_lint.Rules.finding "trace/parse"
+                          Synts_lint.Finding.Global
+                          (Printf.sprintf "%s: %s" path e);
+                      ]
+                  | Ok trace ->
+                      Lint.audit_stamped trace w.Synts_model.Witness.stamps))
           | Some path -> (
               let text = In_channel.with_open_text path In_channel.input_all in
               match Synts_sync.Trace_io.of_string text with
@@ -848,6 +875,282 @@ let lint_cmd =
     Term.(
       const run $ seed_t $ file_t $ gen_topology_t $ messages_t $ internal_t
       $ format_t $ fail_on_t $ explain_t $ metrics_t)
+
+(* ---------- model ---------- *)
+
+let model_cmd =
+  let module Protocol = Synts_model.Protocol in
+  let module Checker = Synts_model.Checker in
+  let module Witness = Synts_model.Witness in
+  let file_t =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "A synts-model config file, or a process-system file (P<id>: \
+             intents) to check directly. Omitted: the built-in \
+             deadlock-free scenario for --procs/--events.")
+  in
+  let procs_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "procs"; "n" ] ~docv:"N" ~doc:"Process count (default 3).")
+  in
+  let events_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "events"; "e" ] ~docv:"E"
+          ~doc:"Scenario rendezvous count (default 6).")
+  in
+  let faults_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "faults" ] ~docv:"K"
+          ~doc:
+            "Crash/recover pairs the explorer may inject anywhere in the \
+             schedule (default 0).")
+  in
+  let mutate_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "mutate" ] ~docv:"MUTATION"
+          ~doc:
+            "Seed a protocol bug: $(b,skip-increment), $(b,stale-ack) or \
+             $(b,forget-checkpoint). The checker must find and shrink a \
+             witness.")
+  in
+  let dpor_t =
+    Arg.(
+      value
+      & vflag true
+          [
+            ( true,
+              info [ "dpor" ]
+                ~doc:
+                  "Sleep-set partial-order reduction plus state hashing \
+                   (default)." );
+            ( false,
+              info [ "no-dpor" ]
+                ~doc:
+                  "Plain schedule-tree enumeration: no sleep sets, no \
+                   state hashing — the baseline the reduction factor is \
+                   measured against." );
+          ])
+  in
+  let compare_t =
+    Arg.(
+      value & flag
+      & info [ "compare-dpor" ]
+          ~doc:
+            "Run both with and without reduction and report the state \
+             reduction factor.")
+  in
+  let budget_t =
+    Arg.(
+      value
+      & opt int Checker.default_budget
+      & info [ "budget" ] ~docv:"STATES"
+          ~doc:"State budget per exploration (truncates beyond it).")
+  in
+  let witness_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "witness" ] ~docv:"FILE"
+          ~doc:
+            "Write the shrunk counterexample (synts-witness format) here; \
+             feed it back to $(b,synts lint) for an independent verdict.")
+  in
+  let confirm_witness w =
+    if w.Witness.rule = "model/deadlock" then begin
+      let fs = Lint.audit_scripts w.Witness.scripts in
+      let has id =
+        List.exists (fun f -> f.Synts_lint.Finding.rule = id) fs
+      in
+      if has "csp/deadlock" then Some "csp lint confirms: csp/deadlock"
+      else if has "csp/may-deadlock" then
+        Some "csp lint confirms: csp/may-deadlock"
+      else Some "csp lint does NOT reproduce the deadlock"
+    end
+    else
+      match Checker.replay w with
+      | Error e -> Some ("replay failed: " ^ e)
+      | Ok r ->
+          Some
+            (Printf.sprintf
+               "sanitizer finds %d error(s); CSP runtime disagrees on %d/%d \
+                stamps"
+               (Synts_lint.Finding.errors r.Checker.sanitizer)
+               r.Checker.runtime_divergences r.Checker.runtime_messages)
+  in
+  let run file procs events faults mutate dpor compare budget witness_path
+      format metrics =
+    if metrics <> None then begin
+      Telemetry.set_enabled true;
+      Telemetry.reset ()
+    end;
+    let fail msg =
+      prerr_endline ("synts model: " ^ msg);
+      exit 2
+    in
+    let base =
+      match file with
+      | None -> Protocol.default
+      | Some path -> (
+          let text = In_channel.with_open_text path In_channel.input_all in
+          match Protocol.of_string text with
+          | Ok cfg -> cfg
+          | Error model_err -> (
+              match Synts_net.Script.parse_system text with
+              | Ok scripts ->
+                  {
+                    Protocol.default with
+                    Protocol.system = Some scripts;
+                    procs = Array.length scripts;
+                  }
+              | Error _ -> fail (path ^ ": " ^ model_err)))
+    in
+    let override v field = Option.fold ~none:field ~some:Fun.id v in
+    let mutation =
+      match mutate with
+      | None -> base.Protocol.mutation
+      | Some s -> (
+          match Protocol.mutation_of_string s with
+          | Ok m -> Some m
+          | Error e -> fail e)
+    in
+    let cfg =
+      {
+        base with
+        Protocol.procs = override procs base.Protocol.procs;
+        events = override events base.Protocol.events;
+        faults = override faults base.Protocol.faults;
+        mutation;
+      }
+    in
+    let m =
+      match Protocol.compile cfg with Ok m -> m | Error e -> fail e
+    in
+    let naive =
+      if compare then Some (Checker.check ~budget ~dpor:false m) else None
+    in
+    let r = Checker.check ~budget ~dpor m in
+    let reduction =
+      Option.map
+        (fun (nv : Checker.report) ->
+          float_of_int nv.Checker.stats.Synts_explorer.Explorer.expanded
+          /. float_of_int (max 1 r.Checker.stats.Synts_explorer.Explorer.expanded))
+        naive
+    in
+    Option.iter
+      (fun path ->
+        match r.Checker.violation with
+        | Some v -> Witness.save path v.Checker.witness
+        | None -> ())
+      witness_path;
+    let confirmation =
+      Option.bind r.Checker.violation (fun v ->
+          confirm_witness v.Checker.witness)
+    in
+    (match format with
+    | `Json ->
+        let stats_json (x : Checker.report) =
+          let s = x.Checker.stats in
+          Printf.sprintf
+            {|{"dpor":%b,"states":%d,"transitions":%d,"hash_hits":%d,"sleep_pruned":%d,"terminals":%d,"truncated":%b}|}
+            x.Checker.dpor s.Synts_explorer.Explorer.expanded
+            s.Synts_explorer.Explorer.transitions
+            s.Synts_explorer.Explorer.hash_hits
+            s.Synts_explorer.Explorer.sleep_pruned x.Checker.terminals
+            s.Synts_explorer.Explorer.truncated
+        in
+        let violation_json =
+          match r.Checker.violation with
+          | None -> "null"
+          | Some v ->
+              Printf.sprintf {|{"rule":%S,"detail":%S,"schedule_length":%d}|}
+                v.Checker.rule v.Checker.detail
+                (Witness.events v.Checker.witness)
+        in
+        Printf.printf
+          {|{"procs":%d,"faults":%d,"mutation":%s,"budget":%d,"run":%s,%s"oracle_checked":%d,"violation":%s}|}
+          (Protocol.n m) cfg.Protocol.faults
+          (match cfg.Protocol.mutation with
+          | None -> "null"
+          | Some mu -> Printf.sprintf "%S" (Protocol.mutation_to_string mu))
+          budget (stats_json r)
+          (match (naive, reduction) with
+          | Some nv, Some f ->
+              Printf.sprintf {|"baseline":%s,"reduction":%.2f,|}
+                (stats_json nv) f
+          | _ -> "")
+          r.Checker.oracle_checked violation_json;
+        print_newline ()
+    | `Text ->
+        Format.printf "model: %d processes, %d fault budget, mutation %s@."
+          (Protocol.n m) cfg.Protocol.faults
+          (match cfg.Protocol.mutation with
+          | None -> "none"
+          | Some mu -> Protocol.mutation_to_string mu);
+        Format.printf
+          "decomposition: %d vector component(s) over the script topology@."
+          (Decomposition.size (Protocol.decomposition m));
+        let report_line label (x : Checker.report) =
+          let s = x.Checker.stats in
+          Format.printf
+            "%s: %d states, %d transitions (%d hash hits, %d sleep-set \
+             pruned), %d terminal schedule(s)%s@."
+            label s.Synts_explorer.Explorer.expanded
+            s.Synts_explorer.Explorer.transitions
+            s.Synts_explorer.Explorer.hash_hits
+            s.Synts_explorer.Explorer.sleep_pruned x.Checker.terminals
+            (if s.Synts_explorer.Explorer.truncated then
+               " [budget exhausted]"
+             else "")
+        in
+        Option.iter (report_line "no-dpor ") naive;
+        report_line (if r.Checker.dpor then "dpor     " else "no-dpor ") r;
+        Option.iter
+          (fun f -> Format.printf "reduction: %.1fx fewer states with DPOR@." f)
+          reduction;
+        (match r.Checker.violation with
+        | None ->
+            Format.printf
+              "verdict: no schedule violates exactness, agreement or \
+               deadlock-freedom (%d terminal(s), %d oracle-checked)@."
+              r.Checker.terminals r.Checker.oracle_checked
+        | Some v ->
+            Format.printf "VIOLATION %s: %s@." v.Checker.rule v.Checker.detail;
+            Format.printf "witness: %d action(s) after shrinking@."
+              (Witness.events v.Checker.witness);
+            Option.iter
+              (fun path -> Format.printf "witness written to %s@." path)
+              witness_path;
+            Option.iter (Format.printf "cross-check: %s@.") confirmation));
+    Option.iter
+      (fun fmt ->
+        print_newline ();
+        dump_metrics fmt)
+      metrics;
+    if r.Checker.violation <> None then exit 1
+  in
+  Cmd.v
+    (Cmd.info "model"
+       ~doc:
+         "Exhaustively model-check the Fig. 5 msg/ack protocol: explore \
+          every rendezvous interleaving, wildcard matching choice and \
+          crash/recover placement of a small configuration, verifying \
+          stamp exactness, sender/receiver agreement and \
+          deadlock-freedom; shrink any violation to a minimal witness \
+          schedule replayable through the CSP runtime and synts lint.")
+    Term.(
+      const run $ file_t $ procs_t $ events_t $ faults_t $ mutate_t $ dpor_t
+      $ compare_t $ budget_t $ witness_t $ report_format_t $ metrics_t)
 
 (* ---------- verify ---------- *)
 
@@ -1407,6 +1710,6 @@ let () =
           [
             figures_cmd; experiments_cmd; decompose_cmd; simulate_cmd;
             analyze_cmd; monitor_cmd; serve_cmd; load_cmd; protocol_cmd;
-            verify_cmd; lint_cmd; metrics_cmd; trace_cmd; chaos_cmd;
+            verify_cmd; lint_cmd; model_cmd; metrics_cmd; trace_cmd; chaos_cmd;
             bench_diff_cmd;
           ]))

@@ -62,29 +62,42 @@ let blocked scripts state =
     (fun p -> state.(p) < Array.length scripts.(p))
     (List.init (Array.length scripts) Fun.id)
 
-(* Memoized DFS over matching states; returns the raw verdicts plus an
-   example stuck state for witness extraction. *)
+(* Memoized search over matching states via the shared exploration
+   engine (one engine, two clients: this deadlock analysis and the
+   synts.model checker); returns the raw verdicts plus an example stuck
+   state for witness extraction. State hashing reproduces the old
+   memoized DFS exactly; sleep sets stay off so verdict order (and the
+   stuck example chosen) is unchanged. *)
+module Explorer = Synts_explorer.Explorer
+
 let explore_states ?(budget = default_budget) raw_scripts =
   let scripts = to_arrays raw_scripts in
-  let seen = Hashtbl.create 256 in
   let completed = ref false in
   let stuck_state = ref None in
-  let truncated = ref false in
-  let rec dfs state =
-    let state = normalize scripts state in
-    if not (Hashtbl.mem seen state) then
-      if Hashtbl.length seen >= budget then truncated := true
-      else begin
-        Hashtbl.replace seen state ();
-        if finished scripts state then completed := true
-        else
-          match transitions scripts state with
-          | [] -> if !stuck_state = None then stuck_state := Some state
-          | moves -> List.iter (fun mv -> dfs (apply state mv)) moves
-      end
+  let sys =
+    {
+      Explorer.initial = normalize scripts (Array.make (Array.length scripts) 0);
+      enabled = transitions scripts;
+      step = (fun state mv -> normalize scripts (apply state mv));
+      key =
+        (fun state ->
+          String.concat ","
+            (List.map string_of_int (Array.to_list state)));
+      action_key = (fun (p, q) -> Printf.sprintf "%d>%d" p q);
+      independent =
+        (fun (p, q) (r, s) -> p <> r && p <> s && q <> r && q <> s);
+    }
   in
-  dfs (Array.make (Array.length scripts) 0);
-  (scripts, !completed, !stuck_state, !truncated)
+  let stats =
+    Explorer.run ~budget ~hashing:true ~dpor:false
+      ~visit:(fun state ~path:_ ~enabled ->
+        if finished scripts state then completed := true
+        else if enabled = [] && !stuck_state = None then
+          stuck_state := Some state;
+        Explorer.Continue)
+      sys
+  in
+  (scripts, !completed, !stuck_state, stats.Explorer.truncated)
 
 let explore ?budget raw_scripts =
   let scripts, completed, stuck_state, truncated =

@@ -43,6 +43,14 @@ let audit ?decomposition trace =
 
 let audit_scripts scripts = Csp_lint.check scripts
 
+let audit_stamped ?decomposition trace stamps =
+  let d =
+    match decomposition with
+    | Some d -> d
+    | None -> Decomposition.best (Trace.topology trace)
+  in
+  audit ~decomposition:d trace @ Sanitizer.check_trace d trace stamps
+
 type fail_on = [ `Error | `Warning | `Never ]
 
 let exit_code ~fail_on findings =

@@ -30,6 +30,16 @@ val audit :
 val audit_scripts : Synts_net.Script.t array -> Finding.t list
 (** The CSP family alone, for process-system files. *)
 
+val audit_stamped :
+  ?decomposition:Synts_graph.Decomposition.t ->
+  Synts_sync.Trace.t ->
+  Synts_clock.Vector.t array ->
+  Finding.t list
+(** {!audit} plus {!Sanitizer.check_trace} over {e externally observed}
+    stamps (per message id) — the entry point for auditing a recorded run
+    or a model-checker witness, where the timestamps under suspicion come
+    from outside rather than from a fresh stamping. *)
+
 type fail_on = [ `Error | `Warning | `Never ]
 
 val exit_code : fail_on:fail_on -> Finding.t list -> int

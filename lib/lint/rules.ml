@@ -250,6 +250,76 @@ let all =
       paper = "None (analysis engineering).";
     };
     {
+      id = "model/exactness";
+      severity = e;
+      summary = "a schedule exists whose stamps do not encode the poset";
+      rationale =
+        "The model checker found a reachable schedule of the Figure 5 \
+         msg/ack protocol in which some message pair's timestamps \
+         disagree with the causal relation - a related pair left \
+         unordered or a concurrent pair ordered, breaking Equation (1). \
+         Because the checker quantifies over every interleaving, \
+         matching choice and fault placement, this is a protocol bug, \
+         not scheduler luck; the witness schedule replays the failure \
+         deterministically.";
+      paper = "Paper Fig. 5 and Theorem 4 (Equation (1)).";
+    };
+    {
+      id = "model/agreement";
+      severity = e;
+      summary = "a schedule exists where sender and receiver stamps differ";
+      rationale =
+        "In Figure 5 both endpoints of a rendezvous derive the message's \
+         timestamp from the same two vectors: the sender merges the \
+         acknowledged pre-merge receiver vector, the receiver merges the \
+         piggybacked sender vector, and both increment the channel's \
+         group component - so the two derivations are equal by \
+         construction. A schedule where they differ (e.g. an ack carrying \
+         a post-merge vector) gives the two parties inconsistent views of \
+         the same message and poisons every later comparison.";
+      paper = "Paper Fig. 5 lines 03-07 (agreement invariant).";
+    };
+    {
+      id = "model/deadlock";
+      severity = e;
+      summary = "the model reached a state with work left and nothing enabled";
+      rationale =
+        "Exhaustive exploration of the rendezvous/matching/fault state \
+         space reached a state where some process still has script steps \
+         but no transition is enabled. Unlike the budget-bounded \
+         csp/deadlock heuristic, this verdict quantifies over every \
+         schedule of the model, so the witness schedule is a definite \
+         hang of the system under test.";
+      paper = "Paper Sec. 2 model; crown-free topologies deadlock-free.";
+    };
+    {
+      id = "model/recovery-loss";
+      severity = e;
+      summary = "a crash/recover schedule loses or corrupts stamp history";
+      rationale =
+        "The PR 5 crash/recover extension checkpoints each process's \
+         vector at every completed rendezvous, so a recovering process \
+         resumes with exactly the causal history it had - Figure 5 stamps \
+         stay exact under any crash placement. A violation here means \
+         recovery restored too little (lost history makes later stamps \
+         miss orderings) or too much (duplicated history orders \
+         concurrent messages); the witness names the crashed process and \
+         the offending message pair.";
+      paper = "Paper Fig. 5 under the PR 5 crash/recover extension.";
+    };
+    {
+      id = "model/state-budget";
+      severity = i;
+      summary = "model exploration was truncated by its state budget";
+      rationale =
+        "The schedule space grows exponentially with events and fault \
+         budget; past the configured state budget the checker degrades \
+         from proof over all schedules to evidence over the explored \
+         ones. Raise --budget, shrink --procs/--events, or keep --dpor \
+         on (sleep sets plus state hashing) to restore exhaustiveness.";
+      paper = "None (analysis engineering).";
+    };
+    {
       id = "san/dimension";
       severity = e;
       summary = "an observed timestamp has the wrong number of components";

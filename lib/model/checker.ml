@@ -1,0 +1,380 @@
+module Explorer = Synts_explorer.Explorer
+module Script = Synts_net.Script
+module Vector = Synts_clock.Vector
+module Trace = Synts_sync.Trace
+module Decomposition = Synts_graph.Decomposition
+module Validate = Synts_check.Validate
+module Finding = Synts_lint.Finding
+module Rules = Synts_lint.Rules
+module Sanitizer = Synts_lint.Sanitizer
+module Runtime = Synts_csp.Runtime
+module Tm = Synts_telemetry.Telemetry
+
+let default_budget = 250_000
+
+(* Terminal states fully re-validated against the brute-force oracle
+   poset, per run. The incremental per-message check covers every state;
+   this is an independent spot-check of the checker itself. *)
+let oracle_limit = 64
+
+let m_runs = Tm.Counter.v ~help:"Model-checker runs" "model.runs"
+let m_states = Tm.Counter.v ~help:"Model states expanded" "model.states"
+
+let m_transitions =
+  Tm.Counter.v ~help:"Model transitions taken" "model.transitions"
+
+let m_hash_hits =
+  Tm.Counter.v ~help:"Model states deduplicated by hashing" "model.hash_hits"
+
+let m_sleep_pruned =
+  Tm.Counter.v ~help:"Model transitions pruned by sleep sets"
+    "model.sleep_pruned"
+
+let m_violations =
+  Tm.Counter.v ~help:"Model-checker violations found" "model.violations"
+
+type violation = { rule : string; detail : string; witness : Witness.t }
+
+type report = {
+  config : Protocol.config;
+  dpor : bool;
+  budget : int;
+  stats : Explorer.stats;
+  terminals : int;
+  oracle_checked : int;
+  violation : violation option;
+}
+
+let rule_of (v : Protocol.violation) =
+  match v.kind with
+  | Protocol.Deadlock _ -> "model/deadlock"
+  | Protocol.Disagreement _ -> "model/agreement"
+  | Protocol.Missed_order _ | Protocol.False_order _ ->
+      if v.recovery then "model/recovery-loss" else "model/exactness"
+
+(* Keep a crash/recover only while it can still influence a stamp: once a
+   process has no rendezvous or internal event left in the schedule, its
+   fault transitions are dead weight (and would not re-execute, since
+   Crash needs script steps remaining). *)
+let drop_idle_faults actions =
+  let arr = Array.of_list actions in
+  let len = Array.length arr in
+  let live i p =
+    let rec scan j =
+      j < len
+      &&
+      match arr.(j) with
+      | (Protocol.Rendezvous _ | Protocol.Internal _) as a ->
+          List.mem p (Protocol.participants a) || scan (j + 1)
+      | _ -> scan (j + 1)
+    in
+    scan (i + 1)
+  in
+  List.filteri
+    (fun i a ->
+      match a with
+      | Protocol.Crash p | Protocol.Recover p -> live i p
+      | _ -> true)
+    actions
+
+let count_crashes actions =
+  List.length
+    (List.filter (function Protocol.Crash _ -> true | _ -> false) actions)
+
+(* Re-execute a candidate schedule as a self-contained model: scripts
+   projected from its own trace, decomposition re-derived from that
+   trace's topology — exactly the decomposition `synts lint` will use on
+   the witness. Returns None when the schedule does not reproduce a
+   violation on its own. *)
+let rederive ~procs ~mutation shrunk =
+  let steps = Protocol.steps_of_actions shrunk in
+  match Trace.of_steps ~n:procs steps with
+  | Error _ -> None
+  | Ok tr -> (
+      let scripts = Script.of_trace tr in
+      let cfg =
+        {
+          Protocol.procs;
+          events = 0;
+          faults = count_crashes shrunk;
+          mutation;
+          system = Some scripts;
+        }
+      in
+      match Protocol.compile cfg with
+      | Error _ -> None
+      | Ok m2 -> (
+          match Protocol.run_schedule m2 shrunk with
+          | st -> (
+              match Protocol.violation st with
+              | Some v2 -> Some (v2, st, m2)
+              | None -> None)
+          | exception Invalid_argument _ -> None))
+
+(* Backward causal-cone shrinking. Seeds are the violating action plus,
+   for pairwise stamp violations, the action that produced the partner
+   message; the cone then absorbs every earlier action sharing a process
+   with it. The kept actions are per-process prefixes whose causal pasts
+   are fully kept, so re-execution reproduces the kept stamps exactly. *)
+let shrink (v : Protocol.violation) actions =
+  let arr = Array.of_list actions in
+  let len = Array.length arr in
+  let msg_action =
+    (* message id -> index of the rendezvous that completed it *)
+    let tbl = Hashtbl.create 16 in
+    let id = ref 0 in
+    Array.iteri
+      (fun i a ->
+        match a with
+        | Protocol.Rendezvous _ ->
+            Hashtbl.replace tbl !id i;
+            incr id
+        | _ -> ())
+      arr;
+    tbl
+  in
+  let partner =
+    match v.kind with
+    | Protocol.Missed_order { earlier; _ } -> Hashtbl.find_opt msg_action earlier
+    | Protocol.False_order { a; _ } -> Hashtbl.find_opt msg_action a
+    | _ -> None
+  in
+  let seeds = (len - 1) :: Option.to_list partner in
+  let keep = Array.make len false in
+  let s = ref 0 in
+  let mask ps = List.fold_left (fun acc p -> acc lor (1 lsl p)) 0 ps in
+  for i = len - 1 downto 0 do
+    let ps = mask (Protocol.participants arr.(i)) in
+    if List.mem i seeds || !s land ps <> 0 then begin
+      keep.(i) <- true;
+      s := !s lor ps
+    end
+  done;
+  (* Internal events never touch a vector; they only pad the witness. *)
+  List.filteri (fun i _ -> keep.(i)) actions
+  |> List.filter (function Protocol.Internal _ -> false | _ -> true)
+  |> drop_idle_faults
+
+let build_witness m (v : Protocol.violation) actions =
+  let procs = Protocol.n m in
+  let mutation = (Protocol.config m).Protocol.mutation in
+  match v.kind with
+  | Protocol.Deadlock _ ->
+      (* A deadlock needs the whole system as context: the witness keeps
+         the original scripts, which `synts lint` re-explores. *)
+      let st = Protocol.run_schedule m actions in
+      {
+        rule = rule_of v;
+        detail = v.detail;
+        witness =
+          {
+            Witness.rule = rule_of v;
+            detail = v.detail;
+            procs;
+            mutation;
+            scripts = Protocol.scripts m;
+            actions;
+            stamps = Protocol.stamps st;
+          };
+      }
+  | _ -> (
+      let attempt schedule =
+        Option.map
+          (fun ((v2 : Protocol.violation), st, m2) ->
+            {
+              rule = rule_of v2;
+              detail = v2.detail;
+              witness =
+                {
+                  Witness.rule = rule_of v2;
+                  detail = v2.detail;
+                  procs;
+                  mutation;
+                  scripts = Protocol.scripts m2;
+                  actions = schedule;
+                  stamps = Protocol.stamps st;
+                };
+            })
+          (rederive ~procs ~mutation schedule)
+      in
+      let shrunk = shrink v actions in
+      match attempt shrunk with
+      | Some w -> w
+      | None -> (
+          match attempt (drop_idle_faults actions) with
+          | Some w -> w
+          | None ->
+              (* Last resort: the schedule as explored, stamps from the
+                 original model. *)
+              let st = Protocol.run_schedule m actions in
+              {
+                rule = rule_of v;
+                detail = v.detail;
+                witness =
+                  {
+                    Witness.rule = rule_of v;
+                    detail = v.detail;
+                    procs;
+                    mutation;
+                    scripts = Protocol.scripts m;
+                    actions;
+                    stamps = Protocol.stamps st;
+                  };
+              }))
+
+let check ?(budget = default_budget) ?(dpor = true) m =
+  let sys = Protocol.system m in
+  let terminals = ref 0 and oracle_checked = ref 0 in
+  let found = ref None in
+  let visit st ~path ~enabled =
+    match Protocol.violation st with
+    | Some v ->
+        found := Some (v, List.rev path);
+        Explorer.Stop
+    | None ->
+        if Protocol.finished m st then begin
+          incr terminals;
+          if !oracle_checked < oracle_limit then begin
+            incr oracle_checked;
+            let chron = List.rev path in
+            match
+              Trace.of_steps ~n:(Protocol.n m)
+                (Protocol.steps_of_actions chron)
+            with
+            | Error _ -> Explorer.Continue
+            | Ok tr ->
+                let verdict =
+                  Validate.message_timestamps tr (Protocol.stamps st)
+                in
+                if Validate.ok verdict then Explorer.Continue
+                else begin
+                  let kind, detail =
+                    match verdict.Validate.examples with
+                    | (i, j) :: _ when verdict.Validate.missed_orders > 0 ->
+                        ( Protocol.Missed_order { earlier = i; later = j },
+                          Printf.sprintf
+                            "oracle poset orders messages #%d and #%d but \
+                             the stamps do not" i j )
+                    | (i, j) :: _ ->
+                        ( Protocol.False_order { a = i; b = j },
+                          Printf.sprintf
+                            "stamps order messages #%d and #%d but the \
+                             oracle poset does not" i j )
+                    | [] ->
+                        ( Protocol.False_order { a = 0; b = 0 },
+                          "oracle poset disagrees with the stamps" )
+                  in
+                  found :=
+                    Some
+                      ( { Protocol.kind; recovery = false; detail },
+                        chron );
+                  Explorer.Stop
+                end
+          end
+          else Explorer.Continue
+        end
+        else if enabled = [] then begin
+          let blocked = Protocol.blocked m st in
+          found :=
+            Some
+              ( {
+                  Protocol.kind = Protocol.Deadlock { blocked };
+                  recovery = false;
+                  detail =
+                    Printf.sprintf "schedule deadlocks with %s blocked"
+                      (String.concat ", "
+                         (List.map (Printf.sprintf "P%d") blocked));
+                },
+                List.rev path );
+          Explorer.Stop
+        end
+        else Explorer.Continue
+  in
+  (* --no-dpor is the honest baseline: no sleep sets and no state
+     hashing, i.e. plain enumeration of the schedule tree. *)
+  let stats = Explorer.run ~budget ~hashing:dpor ~dpor ~visit sys in
+  let violation = Option.map (fun (v, a) -> build_witness m v a) !found in
+  Tm.Counter.incr m_runs;
+  Tm.Counter.add m_states stats.Explorer.expanded;
+  Tm.Counter.add m_transitions stats.Explorer.transitions;
+  Tm.Counter.add m_hash_hits stats.Explorer.hash_hits;
+  Tm.Counter.add m_sleep_pruned stats.Explorer.sleep_pruned;
+  if violation <> None then Tm.Counter.incr m_violations;
+  {
+    config = Protocol.config m;
+    dpor;
+    budget;
+    stats;
+    terminals = !terminals;
+    oracle_checked = !oracle_checked;
+    violation;
+  }
+
+let findings r =
+  let fs = ref [] in
+  if r.stats.Explorer.truncated then
+    fs :=
+      Rules.finding "model/state-budget" Finding.Global
+        (Printf.sprintf
+           "state budget %d exhausted after %d states; verdicts cover only \
+            the explored schedules" r.budget r.stats.Explorer.expanded)
+      :: !fs;
+  (match r.violation with
+  | Some v -> fs := Rules.finding v.rule Finding.Global v.detail :: !fs
+  | None -> ());
+  !fs
+
+(* -- cross-validation ------------------------------------------------ *)
+
+type replay = {
+  sanitizer : Finding.t list;
+  runtime_messages : int;
+  runtime_divergences : int;
+}
+
+module R = Runtime.Make (struct
+  type msg = unit
+end)
+
+let replay (w : Witness.t) =
+  match Witness.trace w with
+  | Error e -> Error e
+  | Ok tr -> (
+      let d = Decomposition.best (Trace.topology tr) in
+      let sanitizer = Sanitizer.check_trace d tr w.Witness.stamps in
+      let programs =
+        Array.map
+          (fun script (api : R.api) ->
+            List.iter
+              (function
+                | Script.Send_to q -> ignore (api.send q ())
+                | Script.Recv_from q -> ignore (api.recv_from q)
+                | Script.Recv_any -> ignore (api.recv ())
+                | Script.Internal -> api.internal ())
+              script)
+          (Script.of_trace tr)
+      in
+      let collected = ref [] in
+      match
+        R.replay ~decomposition:d
+          ~on_stamp:(fun ~src:_ ~dst:_ v -> collected := v :: !collected)
+          ~trace:tr programs
+      with
+      | (_ : R.outcome) ->
+          let rt = Array.of_list (List.rev !collected) in
+          let n_rt = Array.length rt
+          and n_w = Array.length w.Witness.stamps in
+          let divergences = ref (abs (n_rt - n_w)) in
+          for i = 0 to min n_rt n_w - 1 do
+            let wv = w.Witness.stamps.(i) in
+            if Vector.size rt.(i) <> Vector.size wv then incr divergences
+            else if not (Vector.equal rt.(i) wv) then incr divergences
+          done;
+          Ok
+            {
+              sanitizer;
+              runtime_messages = n_rt;
+              runtime_divergences = !divergences;
+            }
+      | exception R.Replay_divergence e ->
+          Error ("runtime replay diverged: " ^ e))

@@ -1,0 +1,71 @@
+(** The [synts.model] checker: exhaustive schedule exploration of the
+    Figure 5 protocol.
+
+    {!check} drives the {!Synts_explorer.Explorer} engine over a compiled
+    {!Protocol} model and verifies, on every explored transition and
+    state:
+
+    - {b exactness} — each new message's stamp orders it against every
+      completed message exactly as the causal relation prescribes
+      (Equation (1)), with a brute-force oracle-poset re-validation of
+      the first {!val-check} terminals as an independent spot-check;
+    - {b agreement} — sender and receiver derive the same stamp
+      (Figure 5);
+    - {b deadlock-freedom} — no reachable state has work remaining and
+      nothing enabled;
+    - {b crash/recover} — stamp violations touching a crashed process are
+      classified as recovery loss (PR 5 checkpoint contract).
+
+    The first violation stops the search and is shrunk to a minimal
+    witness schedule (backward causal cone), re-executed stand-alone to
+    confirm it reproduces, and packaged as a {!Witness.t}. {!replay}
+    cross-validates a witness against the {e real} CSP runtime and the
+    lint sanitizer — the checker never gets to grade its own homework. *)
+
+type violation = {
+  rule : string;  (** [model/*] rule id. *)
+  detail : string;
+  witness : Witness.t;  (** Shrunk, re-derived counterexample. *)
+}
+
+type report = {
+  config : Protocol.config;
+  dpor : bool;
+  budget : int;
+  stats : Synts_explorer.Explorer.stats;
+  terminals : int;  (** Completed schedules reached (distinct states). *)
+  oracle_checked : int;
+      (** Terminals re-validated against the brute-force oracle poset. *)
+  violation : violation option;
+}
+
+val default_budget : int
+(** 250_000 expanded states. *)
+
+val check : ?budget:int -> ?dpor:bool -> Protocol.t -> report
+(** Explore every schedule of the model. [dpor] (default on) enables
+    sleep-set partial-order reduction {e and} state hashing; with
+    [~dpor:false] the engine enumerates the plain schedule tree — the
+    honest "all interleavings" baseline the reduction factor is measured
+    against. Deterministic. *)
+
+val findings : report -> Synts_lint.Finding.t list
+(** The report as lint findings: the violation under its [model/*] rule,
+    plus [model/state-budget] when the search was truncated. *)
+
+type replay = {
+  sanitizer : Synts_lint.Finding.t list;
+      (** {!Synts_lint.Sanitizer.check_trace} over the witness stamps —
+          the independent Figure 5 shadow. *)
+  runtime_messages : int;
+  runtime_divergences : int;
+      (** Messages whose stamp from the {e real} CSP runtime (replaying
+          the witness trace) differs from the witness's stamp. *)
+}
+
+val replay : Witness.t -> (replay, string) result
+(** Cross-validate a witness: run the sanitizer over its stamps and
+    replay its trace through {!Synts_csp.Runtime} under the same
+    (re-derived) decomposition. A protocol-violation witness must show
+    sanitizer errors and runtime divergences; a clean replay means the
+    witness does not actually exhibit a bug. *)

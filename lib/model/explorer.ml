@@ -1,0 +1,104 @@
+type ('s, 'a) system = {
+  initial : 's;
+  enabled : 's -> 'a list;
+  step : 's -> 'a -> 's;
+  key : 's -> string;
+  action_key : 'a -> string;
+  independent : 'a -> 'a -> bool;
+}
+
+type decision = Continue | Prune | Stop
+
+type stats = {
+  expanded : int;
+  transitions : int;
+  hash_hits : int;
+  sleep_pruned : int;
+  truncated : bool;
+}
+
+exception Stop_search
+
+let run ?(budget = 1_000_000) ?(hashing = true) ?(dpor = false) ~visit sys =
+  let expanded = ref 0
+  and transitions = ref 0
+  and hash_hits = ref 0
+  and sleep_pruned = ref 0
+  and truncated = ref false in
+  (* Canonical state key -> sorted action keys of the sleep set the state
+     was last expanded with. *)
+  let visited : (string, string list) Hashtbl.t = Hashtbl.create 1024 in
+  let sleep_keys sleep =
+    List.sort_uniq compare (List.map sys.action_key sleep)
+  in
+  let subset small big = List.for_all (fun x -> List.mem x big) small in
+  let expand state path sleep explore =
+    if !expanded >= budget then begin
+      truncated := true;
+      `Over_budget
+    end
+    else begin
+      incr expanded;
+      let en = sys.enabled state in
+      (match visit state ~path ~enabled:en with
+      | Stop -> raise Stop_search
+      | Prune -> ()
+      | Continue ->
+          if dpor then begin
+            (* Godefroid sleep sets: an explored action sleeps for its
+               later siblings and stays asleep along independent paths. *)
+            let cur = ref sleep in
+            List.iter
+              (fun a ->
+                let ak = sys.action_key a in
+                if List.exists (fun b -> sys.action_key b = ak) !cur then
+                  incr sleep_pruned
+                else begin
+                  incr transitions;
+                  explore (sys.step state a) (a :: path)
+                    (List.filter (fun b -> sys.independent a b) !cur);
+                  cur := a :: !cur
+                end)
+              en
+          end
+          else
+            List.iter
+              (fun a ->
+                incr transitions;
+                explore (sys.step state a) (a :: path) [])
+              en);
+      `Expanded
+    end
+  in
+  let rec explore state path sleep =
+    if not hashing then ignore (expand state path sleep explore)
+    else begin
+      let k = sys.key state in
+      let sk = sleep_keys sleep in
+      match Hashtbl.find_opt visited k with
+      | Some stored when subset stored sk ->
+          (* Everything we would explore here was already explored under
+             weaker (or equal) sleep constraints. *)
+          incr hash_hits
+      | Some stored ->
+          (* Reached again with a weaker sleep constraint: re-expand with
+             the intersection so actions slept on either visit alone are
+             covered, and remember the refinement. *)
+          let sleep =
+            List.filter (fun a -> List.mem (sys.action_key a) stored) sleep
+          in
+          if expand state path sleep explore = `Expanded then
+            Hashtbl.replace visited k (sleep_keys sleep)
+      | None ->
+          if expand state path sleep explore = `Expanded then
+            Hashtbl.replace visited k sk
+    end
+  in
+  (try explore sys.initial [] [] with Stop_search -> ());
+  {
+    expanded = !expanded;
+    transitions = !transitions;
+    hash_hits = !hash_hits;
+    sleep_pruned = !sleep_pruned;
+    truncated = !truncated;
+  }

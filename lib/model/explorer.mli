@@ -1,0 +1,72 @@
+(** A generic explicit-state exploration engine.
+
+    One state-space engine, many clients: the [synts.model] checker of the
+    Figure 5 protocol and [Synts_lint.Csp_lint]'s rendezvous deadlock
+    analysis both drive this module. A client describes its transition
+    system as a {!system} record — initial state, enabled actions, a pure
+    successor function, a canonical state key — and the engine runs a
+    deterministic depth-first search over it with two optional, orthogonal
+    reductions:
+
+    - {b state hashing} ([hashing], default on): states are memoized by
+      their canonical key, so schedules that reconverge on the same state
+      are explored once. Sound whenever the key captures everything the
+      client's [visit] verdicts and the future behaviour depend on.
+    - {b sleep sets} ([dpor], default off): dynamic partial-order
+      reduction in the Godefroid style. After exploring action [a] from a
+      state, [a] is put to sleep for the exploration of its siblings and
+      stays asleep along any path of actions independent of it, pruning
+      the redundant interleavings of commuting actions. Requires
+      [independent] to be a valid independence relation: independent
+      enabled actions must commute (same resulting state either order)
+      and neither may disable the other. Combined with hashing, the
+      visited table stores the sleep set each state was first expanded
+      with and re-expands a state only when reached with a strictly
+      weaker sleep constraint (Godefroid's state-caching refinement), so
+      the combination stays sound.
+
+    The explored state graph must be acyclic (true for bounded scripts:
+    indices only advance); the engine does not detect cycles. *)
+
+type ('s, 'a) system = {
+  initial : 's;
+  enabled : 's -> 'a list;
+      (** Enabled actions, in a deterministic order (the DFS follows it). *)
+  step : 's -> 'a -> 's;  (** Pure successor; must not mutate ['s]. *)
+  key : 's -> string;
+      (** Canonical state key for hashing; two states with equal keys must
+          have identical futures (and identical [visit] verdicts). *)
+  action_key : 'a -> string;  (** Canonical action identity (sleep sets). *)
+  independent : 'a -> 'a -> bool;
+      (** Commutation test for DPOR; must be symmetric. Ignored unless
+          [dpor] is on. *)
+}
+
+type decision =
+  | Continue  (** Expand this state's successors. *)
+  | Prune  (** Keep searching, but not below this state. *)
+  | Stop  (** Abort the whole search (e.g. first violation found). *)
+
+type stats = {
+  expanded : int;
+      (** States expanded — distinct states when hashing, schedule-tree
+          nodes when not. The "explored states" count reported to users. *)
+  transitions : int;  (** [step] calls taken. *)
+  hash_hits : int;  (** Revisits pruned by the visited table. *)
+  sleep_pruned : int;  (** Enabled transitions skipped by sleep sets. *)
+  truncated : bool;  (** The state budget was exhausted. *)
+}
+
+val run :
+  ?budget:int ->
+  ?hashing:bool ->
+  ?dpor:bool ->
+  visit:('s -> path:'a list -> enabled:'a list -> decision) ->
+  ('s, 'a) system ->
+  stats
+(** Depth-first exploration from [sys.initial]. [visit] is called once per
+    expanded state, with the action path from the initial state ({e newest
+    first}) and the enabled actions; its {!decision} controls expansion.
+    [budget] (default [1_000_000]) bounds the number of expanded states;
+    exceeding it sets [truncated] and prunes the remaining frontier.
+    Deterministic: same system, same traversal. *)

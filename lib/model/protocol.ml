@@ -1,0 +1,520 @@
+module Script = Synts_net.Script
+module Vector = Synts_clock.Vector
+module Graph = Synts_graph.Graph
+module Decomposition = Synts_graph.Decomposition
+module Trace = Synts_sync.Trace
+module Explorer = Synts_explorer.Explorer
+
+type mutation = Skip_increment | Stale_ack | Forget_checkpoint
+
+let mutations =
+  [
+    ("skip-increment", Skip_increment);
+    ("stale-ack", Stale_ack);
+    ("forget-checkpoint", Forget_checkpoint);
+  ]
+
+let mutation_to_string m = fst (List.find (fun (_, x) -> x = m) mutations)
+
+let mutation_of_string s =
+  match List.assoc_opt s mutations with
+  | Some m -> Ok m
+  | None ->
+      Error
+        (Printf.sprintf "unknown mutation %S (expected one of %s)" s
+           (String.concat ", " (List.map fst mutations)))
+
+type config = {
+  procs : int;
+  events : int;
+  faults : int;
+  mutation : mutation option;
+  system : Script.t array option;
+}
+
+let default =
+  { procs = 3; events = 6; faults = 0; mutation = None; system = None }
+
+let scenario ~procs:n ~events =
+  if n < 2 then invalid_arg "Protocol.scenario: need at least 2 processes";
+  if events < 0 then invalid_arg "Protocol.scenario: negative event count";
+  (* Round-robin senders over P0..P(n-2), each distributing its messages
+     round-robin over the higher-numbered processes but emitting them in
+     ascending destination order. Near destinations finish their inbound
+     receives early and start their own sends while lower senders are
+     still running, so several senders compete for the same wildcard
+     receives (matching nondeterminism) and, for n >= 4, disjoint pairs
+     rendezvous concurrently (DPOR independence). *)
+  let sends = Array.make_matrix n n 0 in
+  let count = Array.make n 0 in
+  for e = 0 to events - 1 do
+    let src = e mod (n - 1) in
+    let k = count.(src) in
+    count.(src) <- k + 1;
+    let dst = src + 1 + (k mod (n - 1 - src)) in
+    sends.(src).(dst) <- sends.(src).(dst) + 1
+  done;
+  let recvs = Array.make n 0 in
+  Array.iteri
+    (fun _ row -> Array.iteri (fun d c -> recvs.(d) <- recvs.(d) + c) row)
+    sends;
+  (* All receives before all sends, sends only upward: the lowest process
+     with work remaining always has an enabled action, so the layering is
+     deadlock-free under every schedule and matching. Each send is
+     followed by an internal event — local work whose placement is the
+     runtime's third source of schedule nondeterminism (and the only
+     commutation that exists at n = 3). *)
+  Array.init n (fun p ->
+      List.init recvs.(p) (fun _ -> Script.Recv_any)
+      @ List.concat
+          (List.concat_map
+             (fun d ->
+               List.init sends.(p).(d) (fun _ ->
+                   [ Script.Send_to d; Script.Internal ]))
+             (List.init (n - 1 - p) (fun i -> p + 1 + i))))
+
+(* -- config file codec ---------------------------------------------- *)
+
+let header = "synts-model 1"
+
+let to_string cfg =
+  let b = Buffer.create 128 in
+  Buffer.add_string b header;
+  Buffer.add_char b '\n';
+  Buffer.add_string b (Printf.sprintf "procs %d\n" cfg.procs);
+  Buffer.add_string b (Printf.sprintf "events %d\n" cfg.events);
+  Buffer.add_string b (Printf.sprintf "faults %d\n" cfg.faults);
+  (match cfg.mutation with
+  | Some m -> Buffer.add_string b ("mutate " ^ mutation_to_string m ^ "\n")
+  | None -> ());
+  (match cfg.system with
+  | Some scripts ->
+      Buffer.add_string b (Script.system_to_string scripts);
+      Buffer.add_char b '\n'
+  | None -> ());
+  Buffer.contents b
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let significant l =
+    let l = String.trim l in
+    l <> "" && l.[0] <> '#'
+    && not (String.length l >= 2 && l.[0] = '/' && l.[1] = '/')
+  in
+  match List.filter significant lines with
+  | [] -> Error (Printf.sprintf "empty input (expected %S header)" header)
+  | first :: rest when String.trim first = header ->
+      let cfg = ref default in
+      let sys_lines = ref [] in
+      let err = ref None in
+      List.iter
+        (fun line ->
+          if !err = None then
+            let line = String.trim line in
+            if String.length line > 0 && line.[0] = 'P' then
+              sys_lines := line :: !sys_lines
+            else
+              let fail msg = err := Some msg in
+              match String.index_opt line ' ' with
+              | None -> fail (Printf.sprintf "malformed line %S" line)
+              | Some i -> (
+                  let k = String.sub line 0 i in
+                  let v =
+                    String.trim
+                      (String.sub line (i + 1) (String.length line - i - 1))
+                  in
+                  let int_field set =
+                    match int_of_string_opt v with
+                    | Some x when x >= 0 -> set x
+                    | _ ->
+                        fail
+                          (Printf.sprintf "%s wants a non-negative integer, \
+                                           got %S" k v)
+                  in
+                  match k with
+                  | "procs" -> int_field (fun x -> cfg := { !cfg with procs = x })
+                  | "events" ->
+                      int_field (fun x -> cfg := { !cfg with events = x })
+                  | "faults" ->
+                      int_field (fun x -> cfg := { !cfg with faults = x })
+                  | "mutate" -> (
+                      match mutation_of_string v with
+                      | Ok m -> cfg := { !cfg with mutation = Some m }
+                      | Error e -> fail e)
+                  | _ -> fail (Printf.sprintf "unknown key %S" k)))
+        rest;
+      (match (!err, !sys_lines) with
+      | Some e, _ -> Error e
+      | None, [] -> Ok !cfg
+      | None, ls -> (
+          match Script.parse_system (String.concat "\n" (List.rev ls)) with
+          | Ok scripts ->
+              Ok
+                {
+                  !cfg with
+                  system = Some scripts;
+                  procs = Array.length scripts;
+                }
+          | Error e -> Error e))
+  | first :: _ ->
+      Error
+        (Printf.sprintf "not a model config: expected %S, got %S" header
+           (String.trim first))
+
+let load path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | text -> of_string text
+  | exception Sys_error e -> Error e
+
+(* -- transition system ---------------------------------------------- *)
+
+type action =
+  | Rendezvous of { src : int; dst : int }
+  | Internal of int
+  | Crash of int
+  | Recover of int
+
+let action_to_string = function
+  | Rendezvous { src; dst } -> Printf.sprintf "P%d -> P%d" src dst
+  | Internal p -> Printf.sprintf "internal P%d" p
+  | Crash p -> Printf.sprintf "crash P%d" p
+  | Recover p -> Printf.sprintf "recover P%d" p
+
+let participants = function
+  | Rendezvous { src; dst } -> [ src; dst ]
+  | Internal p | Crash p | Recover p -> [ p ]
+
+let steps_of_actions actions =
+  List.filter_map
+    (function
+      | Rendezvous { src; dst } -> Some (Trace.Send (src, dst))
+      | Internal p -> Some (Trace.Local p)
+      | Crash _ | Recover _ -> None)
+    actions
+
+type violation_kind =
+  | Missed_order of { earlier : int; later : int }
+  | False_order of { a : int; b : int }
+  | Disagreement of { msg : int }
+  | Deadlock of { blocked : int list }
+
+type violation = { kind : violation_kind; recovery : bool; detail : string }
+
+type t = {
+  cfg : config;
+  raw_scripts : Script.t array;
+  scripts : Script.intent array array;
+  n : int;
+  decomp : Decomposition.t;
+  dim : int;
+}
+
+let config m = m.cfg
+let scripts m = m.raw_scripts
+let decomposition m = m.decomp
+let n m = m.n
+
+let compile cfg =
+  let raw_scripts =
+    match cfg.system with
+    | Some s -> s
+    | None -> scenario ~procs:cfg.procs ~events:cfg.events
+  in
+  let n = Array.length raw_scripts in
+  if n < 1 then Error "model needs at least one process"
+  else if n > 62 then Error "model supports at most 62 processes"
+  else if cfg.faults < 0 then Error "negative fault budget"
+  else begin
+    let bad = ref None in
+    Array.iteri
+      (fun p script ->
+        List.iter
+          (fun intent ->
+            match intent with
+            | Script.Send_to q | Script.Recv_from q ->
+                if (q < 0 || q >= n || q = p) && !bad = None then
+                  bad :=
+                    Some
+                      (Printf.sprintf
+                         "P%d names peer P%d, which is %s — fix the system \
+                          (synts lint reports this as csp/peer-range)" p q
+                         (if q = p then "itself" else "outside 0..N-1"))
+            | _ -> ())
+          script)
+      raw_scripts;
+    match !bad with
+    | Some e -> Error e
+    | None ->
+        let edges = ref [] in
+        Array.iteri
+          (fun p script ->
+            List.iter
+              (function
+                | Script.Send_to q -> edges := (p, q) :: !edges
+                | _ -> ())
+              script)
+          raw_scripts;
+        let topology = Graph.of_edges n !edges in
+        let decomp = Decomposition.best topology in
+        Ok
+          {
+            cfg;
+            raw_scripts;
+            scripts = Array.map Array.of_list raw_scripts;
+            n;
+            decomp;
+            dim = Decomposition.size decomp;
+          }
+  end
+
+let compile_exn cfg =
+  match compile cfg with Ok m -> m | Error e -> invalid_arg e
+
+type pstate = { idx : int; up : bool; vec : Vector.t; chk : Vector.t }
+type msg = { stamp : Vector.t; mask : int }
+
+type state = {
+  ps : pstate array;
+  msgs : msg list;  (* newest first; ids are completion order *)
+  nmsgs : int;
+  crashes_left : int;
+  ever_crashed : int;
+  viol : violation option;
+}
+
+let violation st = st.viol
+let message_count st = st.nmsgs
+let stamps st = Array.of_list (List.rev_map (fun o -> o.stamp) st.msgs)
+
+let initial m =
+  {
+    ps =
+      Array.init m.n (fun _ ->
+          { idx = 0; up = true; vec = Vector.zero m.dim; chk = Vector.zero m.dim });
+    msgs = [];
+    nmsgs = 0;
+    crashes_left = m.cfg.faults;
+    ever_crashed = 0;
+    viol = None;
+  }
+
+let head m st p =
+  let idx = st.ps.(p).idx in
+  if idx < Array.length m.scripts.(p) then Some m.scripts.(p).(idx) else None
+
+let finished m st =
+  let ok = ref true in
+  Array.iteri
+    (fun p s ->
+      if s.idx < Array.length m.scripts.(p) || not s.up then ok := false)
+    st.ps;
+  !ok
+
+let blocked m st =
+  List.filter
+    (fun p -> st.ps.(p).idx < Array.length m.scripts.(p))
+    (List.init m.n Fun.id)
+
+let raw_enabled m st =
+  begin
+    let rdv = ref [] and internals = ref [] in
+    let crashes = ref [] and recovers = ref [] in
+    for p = m.n - 1 downto 0 do
+      let s = st.ps.(p) in
+      if not s.up then recovers := Recover p :: !recovers
+      else begin
+        (match head m st p with
+        | Some Script.Internal -> internals := Internal p :: !internals
+        | Some (Script.Send_to q) when st.ps.(q).up -> (
+            match head m st q with
+            | Some (Script.Recv_from r) when r = p ->
+                rdv := Rendezvous { src = p; dst = q } :: !rdv
+            | Some Script.Recv_any ->
+                rdv := Rendezvous { src = p; dst = q } :: !rdv
+            | _ -> ())
+        | _ -> ());
+        if st.crashes_left > 0 && s.idx < Array.length m.scripts.(p) then
+          crashes := Crash p :: !crashes
+      end
+    done;
+    !rdv @ !internals @ !crashes @ !recovers
+  end
+
+let enabled m st = if st.viol <> None then [] else raw_enabled m st
+let bit p = 1 lsl p
+
+let rendezvous m st ~src:p ~dst:q =
+  let sp = st.ps.(p) and sq = st.ps.(q) in
+  let g = Decomposition.group_of_edge m.decomp p q in
+  let bump v = if m.cfg.mutation <> Some Skip_increment then Vector.incr v g in
+  (* Receiver: merge the piggybacked sender vector, bump the group. *)
+  let ts_recv = Vector.merge sq.vec sp.vec in
+  bump ts_recv;
+  (* Fig. 5 line 04: the ack carries the receiver's pre-merge vector.
+     The stale-ack mutation ships the post-merge timestamp instead. *)
+  let ack =
+    match m.cfg.mutation with Some Stale_ack -> ts_recv | _ -> sq.vec
+  in
+  let ts_send = Vector.merge sp.vec ack in
+  bump ts_send;
+  let id = st.nmsgs in
+  let bits = bit p lor bit q in
+  let recovery = st.ever_crashed land bits <> 0 in
+  let viol = ref st.viol in
+  let set kind detail =
+    if !viol = None then viol := Some { kind; recovery; detail }
+  in
+  let disagrees = not (Vector.equal ts_send ts_recv) in
+  if disagrees then
+    set
+      (Disagreement { msg = id })
+      (Printf.sprintf
+         "message #%d (P%d -> P%d): sender derived %s but receiver derived %s"
+         id p q (Vector.to_string ts_send) (Vector.to_string ts_recv));
+  (* Record the sender's derivation when the two disagree: it is the
+     deviant one, so the violation survives serialization to a
+     (trace, stamps) witness that the sanitizer re-checks. *)
+  let stamp = if disagrees then ts_send else ts_recv in
+  if !viol = None then
+    (* Exactness against every completed message: a prior message is in
+       the new one's causal past iff its past already reached P{p,q}. *)
+    List.iteri
+      (fun i o ->
+        if !viol = None then begin
+          let i = st.nmsgs - 1 - i in
+          let related = o.mask land bits <> 0 in
+          match (Vector.compare_order o.stamp stamp, related) with
+          | `Lt, true | `Concurrent, false -> ()
+          | _, true ->
+              set
+                (Missed_order { earlier = i; later = id })
+                (Printf.sprintf
+                   "message #%d causally precedes #%d but stamps %s !< %s" i
+                   id
+                   (Vector.to_string o.stamp)
+                   (Vector.to_string stamp))
+          | _, false ->
+              set
+                (False_order { a = i; b = id })
+                (Printf.sprintf
+                   "messages #%d and #%d are concurrent but stamps %s / %s \
+                    are ordered" i id
+                   (Vector.to_string o.stamp)
+                   (Vector.to_string stamp))
+        end)
+      st.msgs;
+  let ps = Array.copy st.ps in
+  ps.(p) <- { idx = sp.idx + 1; up = true; vec = ts_send; chk = Vector.copy ts_send };
+  ps.(q) <- { idx = sq.idx + 1; up = true; vec = ts_recv; chk = Vector.copy ts_recv };
+  let msgs =
+    { stamp; mask = bits }
+    :: List.map
+         (fun o ->
+           if o.mask land bits <> 0 then { o with mask = o.mask lor bits }
+           else o)
+         st.msgs
+  in
+  { st with ps; msgs; nmsgs = id + 1; viol = !viol }
+
+let step m st = function
+  | Rendezvous { src; dst } -> rendezvous m st ~src ~dst
+  | Internal p ->
+      let ps = Array.copy st.ps in
+      ps.(p) <- { (ps.(p)) with idx = ps.(p).idx + 1 };
+      { st with ps }
+  | Crash p ->
+      let ps = Array.copy st.ps in
+      (* Fail-stop: the volatile vector is lost; the checkpoint survives. *)
+      ps.(p) <- { (ps.(p)) with up = false; vec = Vector.zero m.dim };
+      {
+        st with
+        ps;
+        crashes_left = st.crashes_left - 1;
+        ever_crashed = st.ever_crashed lor bit p;
+      }
+  | Recover p ->
+      let ps = Array.copy st.ps in
+      let vec =
+        match m.cfg.mutation with
+        | Some Forget_checkpoint -> Vector.zero m.dim
+        | _ -> Vector.copy ps.(p).chk
+      in
+      ps.(p) <- { (ps.(p)) with up = true; vec };
+      { st with ps }
+
+let key st =
+  let b = Buffer.create 160 in
+  if st.viol <> None then Buffer.add_string b "V!";
+  Array.iter
+    (fun s ->
+      Buffer.add_string b (string_of_int s.idx);
+      Buffer.add_char b (if s.up then 'u' else 'd');
+      Array.iter
+        (fun x ->
+          Buffer.add_char b '.';
+          Buffer.add_string b (string_of_int x))
+        s.vec;
+      Buffer.add_char b ';';
+      Array.iter
+        (fun x ->
+          Buffer.add_char b '.';
+          Buffer.add_string b (string_of_int x))
+        s.chk;
+      Buffer.add_char b '|')
+    st.ps;
+  Buffer.add_string b (string_of_int st.crashes_left);
+  Buffer.add_char b '/';
+  Buffer.add_string b (string_of_int st.ever_crashed);
+  (* Completed messages as a canonical multiset: future verdicts depend
+     on their stamps and causal-past masks, not on their id order. *)
+  let sigs =
+    List.sort compare
+      (List.map (fun o -> (Array.to_list o.stamp, o.mask)) st.msgs)
+  in
+  List.iter
+    (fun (s, mask) ->
+      Buffer.add_char b '!';
+      List.iter
+        (fun x ->
+          Buffer.add_string b (string_of_int x);
+          Buffer.add_char b ',')
+        s;
+      Buffer.add_string b (string_of_int mask))
+    sigs;
+  Buffer.contents b
+
+let action_key = function
+  | Rendezvous { src; dst } -> Printf.sprintf "r%d>%d" src dst
+  | Internal p -> Printf.sprintf "i%d" p
+  | Crash p -> Printf.sprintf "c%d" p
+  | Recover p -> Printf.sprintf "v%d" p
+
+let independent a b =
+  let pa = participants a and pb = participants b in
+  List.for_all (fun p -> not (List.mem p pb)) pa
+  &&
+  (* Two crashes share the global fault budget: one can disable the
+     other, so they are never independent. *)
+  match (a, b) with Crash _, Crash _ -> false | _ -> true
+
+let system m =
+  {
+    Explorer.initial = initial m;
+    enabled = enabled m;
+    step = step m;
+    key;
+    action_key;
+    independent;
+  }
+
+let run_schedule m actions =
+  List.fold_left
+    (fun st a ->
+      (* A shrunk witness can trip its violation before its last action;
+         keep executing so every kept message's stamp is recomputed. *)
+      if List.mem a (raw_enabled m st) then step m st a
+      else
+        invalid_arg
+          (Printf.sprintf "Protocol.run_schedule: %S is not enabled"
+             (action_to_string a)))
+    (initial m) actions

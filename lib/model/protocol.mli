@@ -1,0 +1,143 @@
+(** The Figure 5 msg/ack protocol as an explicit-state model.
+
+    A model instance is a small system of per-process communication
+    scripts (either the built-in deadlock-free {!scenario} or an explicit
+    {!Synts_net.Script} system) running the paper's edge-group protocol:
+    every rendezvous merges the two endpoint vectors and increments the
+    channel's group component, exactly as Figure 5 prescribes, and both
+    endpoints checkpoint their vector when the rendezvous completes (the
+    PR 5 crash/recover semantics). The transition system exposes every
+    source of nondeterminism the runtime has — which enabled rendezvous
+    fires next, which pending sender a wildcard receive matches, and
+    where crash/recover transitions strike — so the {!Checker} can
+    quantify over {e all} schedules rather than the sampled ones.
+
+    Protocol {!mutation}s seed known bugs (for counterexample tests and
+    the [synts model] CLI): each breaks one line of Figure 5 or of the
+    crash/recover extension. *)
+
+type mutation =
+  | Skip_increment
+      (** Drop Figure 5 line 06: the channel's group component is never
+          incremented, so related messages get non-increasing stamps. *)
+  | Stale_ack
+      (** Violate Figure 5 line 04: the receiver acknowledges with its
+          {e post}-merge vector, so sender and receiver derive different
+          stamps for the same message. *)
+  | Forget_checkpoint
+      (** Break the PR 5 recovery contract: a recovering process resumes
+          from a zero vector instead of its checkpoint, losing its causal
+          history. *)
+
+val mutations : (string * mutation) list
+(** CLI-name / constructor pairs (["skip-increment"], ["stale-ack"],
+    ["forget-checkpoint"]). *)
+
+val mutation_to_string : mutation -> string
+val mutation_of_string : string -> (mutation, string) result
+
+type config = {
+  procs : int;  (** N; scenario configs need [2 <= procs]. *)
+  events : int;  (** Rendezvous count of the built-in scenario. *)
+  faults : int;  (** Crash/recover pairs the explorer may inject. *)
+  mutation : mutation option;
+  system : Synts_net.Script.t array option;
+      (** Explicit scripts; when present, [procs]/[events] are derived
+          from it and the scenario generator is not used. *)
+}
+
+val default : config
+(** [{procs = 3; events = 6; faults = 0; mutation = None; system = None}]. *)
+
+val scenario : procs:int -> events:int -> Synts_net.Script.t array
+(** The canonical staged-relay workload: process [p < procs-1] sends
+    [events]-round-robin many messages, distributed over the
+    higher-numbered processes and emitted in ascending destination order;
+    every process performs all its (wildcard) receives before its sends,
+    and every send is followed by an internal event. The layering makes
+    the system deadlock-free under {e every} schedule, while wildcard
+    receives with competing senders, overlapping sender lifetimes and
+    free-floating internal events give the full nondeterminism menu the
+    runtime has. *)
+
+val to_string : config -> string
+(** The [synts-model 1] config file format (inverse of {!of_string}):
+    header line, [procs]/[events]/[faults]/[mutate] key-value lines, and
+    an optional embedded [P<id>: intents] system. *)
+
+val of_string : string -> (config, string) result
+val load : string -> (config, string) result
+
+(** {1 The transition system} *)
+
+type action =
+  | Rendezvous of { src : int; dst : int }
+  | Internal of int
+  | Crash of int
+  | Recover of int
+
+val action_to_string : action -> string
+val participants : action -> int list
+
+val steps_of_actions : action list -> Synts_sync.Trace.step list
+(** Chronological actions to trace steps; crash/recover transitions are
+    not trace steps and are dropped. *)
+
+(** A violation detected while taking a transition. Message ids index the
+    completion order of the schedule explored. *)
+type violation_kind =
+  | Missed_order of { earlier : int; later : int }
+      (** [earlier ↦ later] but the stamps do not order them (Eq. 1 ⇐
+          direction broken). *)
+  | False_order of { a : int; b : int }
+      (** Concurrent messages whose stamps are ordered or equal (Eq. 1 ⇒
+          direction broken). *)
+  | Disagreement of { msg : int }
+      (** Sender and receiver computed different stamps for one message
+          (the Figure 5 agreement invariant). *)
+  | Deadlock of { blocked : int list }
+      (** No transition is enabled but processes still have work. Raised
+          by the checker, not by {!step}. *)
+
+type violation = { kind : violation_kind; recovery : bool; detail : string }
+(** [recovery] marks violations whose message involves a process that
+    crashed earlier — stamp loss across crash/recover rather than a
+    plain protocol bug. *)
+
+type t
+(** A compiled model: scripts, topology, decomposition, mutation. *)
+
+val compile : config -> (t, string) result
+val compile_exn : config -> t
+val config : t -> config
+val scripts : t -> Synts_net.Script.t array
+val decomposition : t -> Synts_graph.Decomposition.t
+val n : t -> int
+
+type state
+
+val system : t -> (state, action) Synts_explorer.Explorer.system
+(** The explorer client: deterministic enabled-action order, pure steps,
+    a canonical key covering everything future verdicts depend on
+    (script positions, vectors, checkpoints, crash state, and the
+    stamp/causal-past summary of completed messages), and the
+    disjoint-participants independence relation for DPOR. *)
+
+val violation : state -> violation option
+(** Set on the state a violating transition produced. *)
+
+val finished : t -> state -> bool
+(** Every script ran to completion and every process is up. *)
+
+val blocked : t -> state -> int list
+(** Processes with script steps remaining. *)
+
+val message_count : state -> int
+
+val stamps : state -> Synts_clock.Vector.t array
+(** Stamps of the completed messages, indexed by completion order. *)
+
+val run_schedule : t -> action list -> state
+(** Execute a chronological action sequence directly (no exploration) —
+    used to re-derive a witness's stamps and violation. Raises
+    [Invalid_argument] if an action is not enabled when reached. *)

@@ -1,0 +1,186 @@
+module Script = Synts_net.Script
+module Vector = Synts_clock.Vector
+module Trace = Synts_sync.Trace
+
+type t = {
+  rule : string;
+  detail : string;
+  procs : int;
+  mutation : Protocol.mutation option;
+  scripts : Script.t array;
+  actions : Protocol.action list;
+  stamps : Vector.t array;
+}
+
+let header = "synts-witness 1"
+
+let trace w =
+  Trace.of_steps ~n:w.procs (Protocol.steps_of_actions w.actions)
+
+let events w = List.length w.actions
+
+let is_witness_text text =
+  let rec first = function
+    | [] -> ""
+    | l :: rest ->
+        let l = String.trim l in
+        if l = "" || l.[0] = '#' then first rest else l
+  in
+  first (String.split_on_char '\n' text) = header
+
+let oneline s =
+  String.map (function '\n' | '\r' -> ' ' | c -> c) s
+
+let action_line = function
+  | Protocol.Rendezvous { src; dst } -> Printf.sprintf "a s %d %d" src dst
+  | Protocol.Internal p -> Printf.sprintf "a i %d" p
+  | Protocol.Crash p -> Printf.sprintf "a c %d" p
+  | Protocol.Recover p -> Printf.sprintf "a v %d" p
+
+let vec_to_csv v =
+  String.concat "," (List.map string_of_int (Array.to_list v))
+
+let to_string w =
+  let b = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  line "%s" header;
+  line "rule %s" w.rule;
+  line "detail %s" (oneline w.detail);
+  line "procs %d" w.procs;
+  (match w.mutation with
+  | Some m -> line "mutate %s" (Protocol.mutation_to_string m)
+  | None -> ());
+  Array.iteri
+    (fun p s ->
+      line "script P%d:%s" p
+        (if s = [] then ""
+         else
+           " "
+           ^ String.concat " . "
+               (List.map
+                  (function
+                    | Script.Send_to q -> Printf.sprintf "!%d" q
+                    | Script.Recv_from q -> Printf.sprintf "?%d" q
+                    | Script.Recv_any -> "?*"
+                    | Script.Internal -> "#")
+                  s)))
+    w.scripts;
+  List.iter (fun a -> line "%s" (action_line a)) w.actions;
+  Array.iteri (fun id v -> line "stamp %d %s" id (vec_to_csv v)) w.stamps;
+  Buffer.contents b
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let significant l =
+    let l = String.trim l in
+    l <> "" && l.[0] <> '#'
+  in
+  match List.filter significant lines with
+  | [] -> Error (Printf.sprintf "empty input (expected %S header)" header)
+  | first :: rest when String.trim first = header -> (
+      let rule = ref "" and detail = ref "" and procs = ref 0 in
+      let mutation = ref None in
+      let script_lines = ref [] and actions = ref [] and stamps = ref [] in
+      let err = ref None in
+      let fail fmt = Printf.ksprintf (fun s -> if !err = None then err := Some s) fmt in
+      let split line =
+        match String.index_opt line ' ' with
+        | None -> (line, "")
+        | Some i ->
+            ( String.sub line 0 i,
+              String.trim (String.sub line (i + 1) (String.length line - i - 1))
+            )
+      in
+      let int_of s k =
+        match int_of_string_opt s with
+        | Some x -> k x
+        | None -> fail "expected an integer, got %S" s
+      in
+      List.iter
+        (fun line ->
+          if !err = None then
+            let line = String.trim line in
+            let k, v = split line in
+            match k with
+            | "rule" -> rule := v
+            | "detail" -> detail := v
+            | "procs" -> int_of v (fun x -> procs := x)
+            | "mutate" -> (
+                match Protocol.mutation_of_string v with
+                | Ok m -> mutation := Some m
+                | Error e -> fail "%s" e)
+            | "script" -> script_lines := v :: !script_lines
+            | "a" -> (
+                match String.split_on_char ' ' v with
+                | [ "s"; a; b ] ->
+                    int_of a (fun src ->
+                        int_of b (fun dst ->
+                            actions := Protocol.Rendezvous { src; dst } :: !actions))
+                | [ "i"; a ] -> int_of a (fun p -> actions := Protocol.Internal p :: !actions)
+                | [ "c"; a ] -> int_of a (fun p -> actions := Protocol.Crash p :: !actions)
+                | [ "v"; a ] -> int_of a (fun p -> actions := Protocol.Recover p :: !actions)
+                | _ -> fail "malformed action line %S" line)
+            | "stamp" -> (
+                match String.split_on_char ' ' v with
+                | [ id; csv ] ->
+                    int_of id (fun id ->
+                        let comps = if csv = "" then [] else String.split_on_char ',' csv in
+                        let vec = Array.make (List.length comps) 0 in
+                        List.iteri
+                          (fun i c -> int_of c (fun x -> vec.(i) <- x))
+                          comps;
+                        stamps := (id, vec) :: !stamps)
+                | [ id ] -> int_of id (fun id -> stamps := (id, [||]) :: !stamps)
+                | _ -> fail "malformed stamp line %S" line)
+            | _ -> fail "unknown key %S" k)
+        rest;
+      match !err with
+      | Some e -> Error e
+      | None -> (
+          let scripts_r =
+            match !script_lines with
+            | [] -> Ok (Array.make (max !procs 0) [])
+            | ls -> Script.parse_system (String.concat "\n" (List.rev ls))
+          in
+          match scripts_r with
+          | Error e -> Error e
+          | Ok scripts ->
+              let procs = max !procs (Array.length scripts) in
+              let scripts =
+                if Array.length scripts < procs then
+                  Array.init procs (fun p ->
+                      if p < Array.length scripts then scripts.(p) else [])
+                else scripts
+              in
+              let stamps = List.sort compare (List.rev !stamps) in
+              (* Stamp ids must be 0..k-1 in order. *)
+              let ok =
+                List.for_all2
+                  (fun i (id, _) -> i = id)
+                  (List.init (List.length stamps) Fun.id)
+                  stamps
+              in
+              if not ok then Error "stamp ids are not contiguous from 0"
+              else if !rule = "" then Error "missing rule line"
+              else
+                Ok
+                  {
+                    rule = !rule;
+                    detail = !detail;
+                    procs;
+                    mutation = !mutation;
+                    scripts;
+                    actions = List.rev !actions;
+                    stamps = Array.of_list (List.map snd stamps);
+                  }))
+  | first :: _ ->
+      Error
+        (Printf.sprintf "not a witness: expected %S, got %S" header
+           (String.trim first))
+
+let save path w = Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc (to_string w))
+
+let load path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | text -> of_string text
+  | exception Sys_error e -> Error e

@@ -1,0 +1,38 @@
+(** Counterexample schedules, serialized.
+
+    A witness is the checker's shrunk evidence for one violation: the
+    schedule (including crash/recover transitions), the stamps the
+    protocol derived along it, the mutation that was active, and the
+    process system it ran against. The [synts-witness 1] text format
+    carries all of it, so a witness file is self-contained: [synts lint]
+    re-derives the verdict from the raw materials (sanitizer replay of
+    the stamps for protocol violations, rendezvous exploration of the
+    scripts for deadlocks) without trusting the checker. *)
+
+type t = {
+  rule : string;  (** The [model/*] rule id the schedule violates. *)
+  detail : string;  (** One-line description of the violation. *)
+  procs : int;
+  mutation : Protocol.mutation option;
+  scripts : Synts_net.Script.t array;
+      (** The system the schedule belongs to (shrunk projection for stamp
+          violations, the full system for deadlocks). *)
+  actions : Protocol.action list;  (** Chronological schedule. *)
+  stamps : Synts_clock.Vector.t array;
+      (** Stamps of the schedule's messages, by completion order. *)
+}
+
+val trace : t -> (Synts_sync.Trace.t, string) result
+(** The schedule as a synchronous trace (crash/recover dropped). *)
+
+val events : t -> int
+(** Schedule length. *)
+
+val to_string : t -> string
+val of_string : string -> (t, string) result
+val save : string -> t -> unit
+val load : string -> (t, string) result
+
+val is_witness_text : string -> bool
+(** Does the text lead with the [synts-witness 1] header? (Format
+    sniffing for [synts lint].) *)

@@ -1,0 +1,304 @@
+(* The model checker: exhaustive schedule exploration of the Fig. 5
+   protocol must verify the clean protocol on every interleaving, find a
+   shrunk, independently-reproducible witness for each seeded mutation,
+   and earn its DPOR keep (>= 5x fewer states at the default config).
+
+   The explorer engine is also tested in the abstract (hashing,
+   sleep-set pruning, budgets, Stop) and via Csp_lint, whose deadlock
+   verdicts now ride on the same engine and must match the bundled
+   examples. *)
+
+module Explorer = Synts_explorer.Explorer
+module Protocol = Synts_model.Protocol
+module Checker = Synts_model.Checker
+module Witness = Synts_model.Witness
+module Script = Synts_net.Script
+module Vector = Synts_clock.Vector
+module Finding = Synts_lint.Finding
+module Lint = Synts_lint.Lint
+module Csp_lint = Synts_lint.Csp_lint
+
+let fired rule findings = List.exists (fun f -> f.Finding.rule = rule) findings
+
+(* ---------- the explorer engine, in the abstract ---------- *)
+
+(* Two independent counters, each stepping 0 -> depth: the schedule tree
+   has C(2*depth, depth) leaves but only (depth+1)^2 distinct states. *)
+let counters depth : (int * int, [ `A | `B ]) Explorer.system =
+  {
+    initial = (0, 0);
+    enabled =
+      (fun (a, b) ->
+        (if a < depth then [ `A ] else []) @ if b < depth then [ `B ] else []);
+    step = (fun (a, b) -> function `A -> (a + 1, b) | `B -> (a, b + 1));
+    key = (fun (a, b) -> Printf.sprintf "%d,%d" a b);
+    action_key = (function `A -> "a" | `B -> "b");
+    independent = (fun x y -> x <> y);
+  }
+
+let explore ?budget ?(hashing = true) ?(dpor = false) sys =
+  Explorer.run ?budget ~hashing ~dpor ~visit:(fun _ ~path:_ ~enabled:_ ->
+      Explorer.Continue)
+    sys
+
+let test_explorer_hashing () =
+  let sys = counters 4 in
+  let naive = explore ~hashing:false sys in
+  let hashed = explore ~hashing:true sys in
+  Alcotest.(check int) "naive tree leaves the grid" 251 naive.expanded;
+  Alcotest.(check int) "hashing collapses to the grid" 25 hashed.expanded;
+  Alcotest.(check bool) "no truncation" false hashed.truncated
+
+let test_explorer_dpor () =
+  let sys = counters 4 in
+  let hashed = explore ~hashing:true sys in
+  (* Sleep sets alone (no hashing) must visit each of the 25 grid states
+     exactly once — one representative interleaving per trace class — vs
+     the 251-node schedule tree. *)
+  let reduced = explore ~hashing:false ~dpor:true sys in
+  Alcotest.(check int) "one visit per state" 25 reduced.expanded;
+  Alcotest.(check int) "a spanning tree of transitions" 24 reduced.transitions;
+  Alcotest.(check bool) "siblings were pruned" true (reduced.sleep_pruned > 0);
+  (* Combined with hashing the verdict is identical, and redundant
+     transitions into already-visited states disappear too. *)
+  let both = explore ~hashing:true ~dpor:true sys in
+  Alcotest.(check int) "hashing+dpor states" 25 both.expanded;
+  Alcotest.(check bool)
+    "fewer step calls than hashing alone" true
+    (both.transitions < hashed.transitions)
+
+let test_explorer_budget () =
+  let stats = explore ~budget:5 (counters 4) in
+  Alcotest.(check bool) "budget trips truncation" true stats.truncated;
+  Alcotest.(check int) "budget is respected" 5 stats.expanded
+
+let test_explorer_stop () =
+  let visited = ref 0 in
+  let stats =
+    Explorer.run ~hashing:true
+      ~visit:(fun (a, _) ~path:_ ~enabled:_ ->
+        incr visited;
+        if a = 2 then Explorer.Stop else Explorer.Continue)
+      (counters 4)
+  in
+  Alcotest.(check bool)
+    "Stop aborts the search early" true
+    (stats.expanded < 25 && !visited = stats.expanded)
+
+(* ---------- the clean protocol verifies ---------- *)
+
+let compile cfg = Protocol.compile_exn cfg
+
+let test_clean_default () =
+  let report = Checker.check (compile Protocol.default) in
+  Alcotest.(check bool) "no violation" true (report.violation = None);
+  Alcotest.(check bool) "not truncated" false report.stats.truncated;
+  Alcotest.(check bool) "schedules completed" true (report.terminals > 0);
+  Alcotest.(check bool)
+    "oracle spot-checked terminals" true
+    (report.oracle_checked > 0)
+
+let test_clean_with_faults () =
+  let report =
+    Checker.check (compile { Protocol.default with faults = 1 })
+  in
+  Alcotest.(check bool) "crash/recover stays exact" true
+    (report.violation = None);
+  Alcotest.(check bool) "not truncated" false report.stats.truncated
+
+let test_dpor_reduction () =
+  let model = compile Protocol.default in
+  let naive = Checker.check ~dpor:false model in
+  let reduced = Checker.check ~dpor:true model in
+  Alcotest.(check bool) "both verdicts clean" true
+    (naive.violation = None && reduced.violation = None);
+  let ratio =
+    float_of_int naive.stats.expanded /. float_of_int reduced.stats.expanded
+  in
+  if ratio < 5.0 then
+    Alcotest.failf "DPOR reduction %.1fx < 5x (%d vs %d states)" ratio
+      naive.stats.expanded reduced.stats.expanded
+
+(* ---------- every mutation is caught, shrunk and reproduced ---------- *)
+
+let check_mutation ?(faults = 0) mutation expected_rule =
+  let cfg = { Protocol.default with mutation = Some mutation; faults } in
+  let report = Checker.check (compile cfg) in
+  match report.violation with
+  | None ->
+      Alcotest.failf "mutation %s not caught"
+        (Protocol.mutation_to_string mutation)
+  | Some v ->
+      Alcotest.(check string) "rule" expected_rule v.rule;
+      let w = v.witness in
+      Alcotest.(check bool) "witness has a schedule" true (w.actions <> []);
+      (* Shrinking must at least drop the padding internal events. *)
+      List.iter
+        (function
+          | Protocol.Internal _ -> Alcotest.fail "internal event in witness"
+          | _ -> ())
+        w.actions;
+      (* Independent cross-checks: the sanitizer's Fig. 5 shadow and the
+         real CSP runtime must both disagree with the witness stamps. *)
+      (match Checker.replay w with
+      | Error e -> Alcotest.failf "replay failed: %s" e
+      | Ok r ->
+          Alcotest.(check bool)
+            "sanitizer flags the witness" true
+            (Finding.errors r.sanitizer > 0);
+          Alcotest.(check bool)
+            "runtime stamps diverge" true (r.runtime_divergences > 0));
+      (* End to end: the serialized witness fails lint. *)
+      (match Witness.of_string (Witness.to_string w) with
+      | Error e -> Alcotest.failf "witness round-trip: %s" e
+      | Ok w' -> (
+          match Witness.trace w' with
+          | Error e -> Alcotest.failf "witness trace: %s" e
+          | Ok trace ->
+              Alcotest.(check bool)
+                "synts lint rejects the witness" true
+                (Finding.errors (Lint.audit_stamped trace w'.stamps) > 0)))
+
+let test_skip_increment () = check_mutation Skip_increment "model/exactness"
+let test_stale_ack () = check_mutation Stale_ack "model/agreement"
+
+let test_forget_checkpoint () =
+  check_mutation ~faults:1 Forget_checkpoint "model/recovery-loss"
+
+(* ---------- deadlocks ---------- *)
+
+let deadlock_scripts () =
+  match Script.parse_system "P0: ?1 . !1\nP1: ?0 . !0" with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "parse_system: %s" e
+
+let test_deadlock_found () =
+  let cfg = { Protocol.default with system = Some (deadlock_scripts ()) } in
+  let report = Checker.check (compile cfg) in
+  match report.violation with
+  | Some v ->
+      Alcotest.(check string) "rule" "model/deadlock" v.rule;
+      (* The witness carries the full scripts; lint's independent
+         rendezvous exploration must agree. *)
+      Alcotest.(check bool)
+        "lint confirms the deadlock" true
+        (fired "csp/deadlock" (Lint.audit_scripts v.witness.scripts))
+  | None -> Alcotest.fail "deadlock not found"
+
+(* ---------- config and witness formats round-trip ---------- *)
+
+let test_config_round_trip () =
+  let cfg =
+    {
+      Protocol.procs = 4;
+      events = 5;
+      faults = 2;
+      mutation = Some Protocol.Stale_ack;
+      system = None;
+    }
+  in
+  match Protocol.of_string (Protocol.to_string cfg) with
+  | Error e -> Alcotest.failf "of_string: %s" e
+  | Ok cfg' ->
+      Alcotest.(check bool) "config survives round-trip" true (cfg = cfg')
+
+let test_config_with_system () =
+  let cfg =
+    { Protocol.default with system = Some (deadlock_scripts ()); procs = 2 }
+  in
+  match Protocol.of_string (Protocol.to_string cfg) with
+  | Error e -> Alcotest.failf "of_string: %s" e
+  | Ok cfg' -> (
+      match cfg'.system with
+      | None -> Alcotest.fail "embedded system lost"
+      | Some s ->
+          Alcotest.(check int) "system size" 2 (Array.length s);
+          Alcotest.(check int) "procs derived" 2 cfg'.procs)
+
+let test_witness_round_trip () =
+  let report =
+    Checker.check
+      (compile { Protocol.default with mutation = Some Skip_increment })
+  in
+  match report.violation with
+  | None -> Alcotest.fail "no witness to round-trip"
+  | Some v -> (
+      let w = v.witness in
+      match Witness.of_string (Witness.to_string w) with
+      | Error e -> Alcotest.failf "of_string: %s" e
+      | Ok w' ->
+          Alcotest.(check string) "rule" w.rule w'.rule;
+          Alcotest.(check int) "procs" w.procs w'.procs;
+          Alcotest.(check bool) "mutation" true (w.mutation = w'.mutation);
+          Alcotest.(check int) "schedule length" (List.length w.actions)
+            (List.length w'.actions);
+          Alcotest.(check int) "stamp count" (Array.length w.stamps)
+            (Array.length w'.stamps);
+          Array.iteri
+            (fun i s ->
+              Alcotest.(check bool)
+                (Printf.sprintf "stamp %d" i)
+                true
+                (Vector.equal s w'.stamps.(i)))
+            w.stamps)
+
+(* ---------- Csp_lint rides the same engine ---------- *)
+
+let parse sys =
+  match Script.parse_system sys with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "parse_system: %s" e
+
+let test_csp_lint_parity () =
+  (* The bundled examples/traces/deadlock.system, inlined: both verdict
+     paths (definite deadlock; clean pipeline) must be unchanged by the
+     explorer refactor. *)
+  let dead = Csp_lint.explore (deadlock_scripts ()) in
+  Alcotest.(check bool) "deadlock.system never completes" false dead.completed;
+  Alcotest.(check bool) "a stuck state is reported" true (dead.stuck <> None);
+  let clean = Csp_lint.explore (parse "P0: !1 . !1\nP1: ?0 . ?0 . !2\nP2: ?1") in
+  Alcotest.(check bool) "pipeline completes" true clean.completed;
+  Alcotest.(check bool) "pipeline never sticks" true (clean.stuck = None);
+  let wild = Csp_lint.explore (parse "P0: !1\nP1: ?* . ?0\nP2: !1") in
+  Alcotest.(check bool) "wildcard race may deadlock" true
+    (wild.completed && wild.stuck <> None)
+
+let () =
+  Alcotest.run "model"
+    [
+      ( "explorer",
+        [
+          Alcotest.test_case "hashing merges states" `Quick
+            test_explorer_hashing;
+          Alcotest.test_case "sleep sets prune" `Quick test_explorer_dpor;
+          Alcotest.test_case "budget truncates" `Quick test_explorer_budget;
+          Alcotest.test_case "stop aborts" `Quick test_explorer_stop;
+        ] );
+      ( "clean",
+        [
+          Alcotest.test_case "default scenario verifies" `Quick
+            test_clean_default;
+          Alcotest.test_case "crash/recover verifies" `Quick
+            test_clean_with_faults;
+          Alcotest.test_case "dpor >= 5x reduction" `Quick test_dpor_reduction;
+        ] );
+      ( "mutations",
+        [
+          Alcotest.test_case "skip-increment" `Quick test_skip_increment;
+          Alcotest.test_case "stale-ack" `Quick test_stale_ack;
+          Alcotest.test_case "forget-checkpoint" `Quick test_forget_checkpoint;
+        ] );
+      ( "deadlock",
+        [ Alcotest.test_case "found and confirmed" `Quick test_deadlock_found ]
+      );
+      ( "formats",
+        [
+          Alcotest.test_case "config round-trip" `Quick test_config_round_trip;
+          Alcotest.test_case "config with system" `Quick
+            test_config_with_system;
+          Alcotest.test_case "witness round-trip" `Quick
+            test_witness_round_trip;
+        ] );
+      ( "csp-lint",
+        [ Alcotest.test_case "verdict parity" `Quick test_csp_lint_parity ] );
+    ]
