@@ -517,6 +517,29 @@ let model_explore_tests =
         (Staged.stage (explore ~dpor:true faulty));
     ]
 
+(* B19: the streaming offline pipeline vs the batch Figure 9 path. The
+   batch row is only feasible at small message counts (its closure bits
+   and realizer are O(M²)); the stream rows scale the same one-pass
+   pipeline to 12k and 100k messages with memory pinned by the live
+   window — the minor-words column is the bounded-memory claim, the
+   ns column the throughput crossover recorded in EXPERIMENTS.md.
+   Traces are generated lazily so the 100k workload is only built when
+   this group is measured. *)
+let offline_stream_tests =
+  let g = Topology.client_server ~servers:4 ~clients:60 in
+  let small = lazy (trace_of g 1200) in
+  let mid = lazy (trace_of g 12_000) in
+  let big = lazy (trace_of g 100_000) in
+  let batch t () = ignore (Offline.timestamp_trace (Lazy.force t)) in
+  let stream t () = ignore (Offline.stream_trace (Lazy.force t)) in
+  Test.make_grouped ~name:"offline-stream"
+    [
+      Test.make ~name:"batch-1200" (Staged.stage (batch small));
+      Test.make ~name:"stream-1200" (Staged.stage (stream small));
+      Test.make ~name:"stream-12k" (Staged.stage (stream mid));
+      Test.make ~name:"stream-100k" (Staged.stage (stream big));
+    ]
+
 let all_groups =
   [
     ("decomposition", decomposition_tests);
@@ -538,6 +561,7 @@ let all_groups =
     ("trace-overhead", trace_overhead_tests);
     ("model-explore", model_explore_tests);
     ("serve-engine-1024ev", serve_engine_tests);
+    ("offline-stream", offline_stream_tests);
   ]
 
 (* ---------- measurement + reporting ---------- *)

@@ -460,6 +460,172 @@ let monitor_cmd =
              statistics.")
     Term.(const run $ file_t $ adaptive_t $ window_t)
 
+(* ---------- offline ---------- *)
+
+let offline_cmd =
+  let file_t =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "A saved trace file (synts-trace format, see $(b,synts simulate \
+             --save)). Omit it and pass $(b,--topology) to stamp a \
+             generated workload instead.")
+  in
+  let gen_topology_t =
+    Arg.(
+      value
+      & opt (some topology_conv) None
+      & info [ "topology" ] ~docv:"TOPOLOGY"
+          ~doc:"Generate and stamp a random workload over this topology.")
+  in
+  let messages_t =
+    Arg.(
+      value & opt int 1000
+      & info [ "messages"; "m" ] ~docv:"M"
+          ~doc:"Message count for the generated workload.")
+  in
+  let internal_t =
+    Arg.(
+      value & opt float 0.1
+      & info [ "internal" ] ~docv:"P"
+          ~doc:"Internal-event probability for the generated workload.")
+  in
+  let stream_t =
+    Arg.(
+      value & flag
+      & info [ "stream" ]
+          ~doc:
+            "Stamp with the streaming Dilworth pipeline — one pass, memory \
+             bounded by $(b,--window) — instead of the batch Figure 9 \
+             path (closure + matching over the whole poset).")
+  in
+  let window_t =
+    Arg.(
+      value & opt int 1024
+      & info [ "window" ] ~docv:"W"
+          ~doc:"Live-window bound of the streaming pipeline (with \
+                $(b,--stream)).")
+  in
+  let check_t =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Also run the batch path and require the same \
+             precedes/concurrent verdict on every message pair \
+             (order-equivalence); exit non-zero on any mismatch. Only \
+             feasible at batch scale (a few thousand messages).")
+  in
+  let timings_t =
+    Arg.(
+      value & flag
+      & info [ "timings" ] ~doc:"Print wall-clock stamping throughput.")
+  in
+  let print_t =
+    Arg.(value & flag & info [ "print" ] ~doc:"Print every message stamp.")
+  in
+  let run seed file gen_topology messages internal stream window check timings
+      print_stamps tracefile =
+    if tracefile <> None then start_tracing ();
+    let tr =
+      match (file, gen_topology) with
+      | Some path, _ -> (
+          match Synts_sync.Trace_io.load path with
+          | Ok tr -> tr
+          | Error e ->
+              prerr_endline e;
+              exit 1)
+      | None, Some spec ->
+          check_loss internal;
+          let g = realize_topology seed spec in
+          Workload.random
+            (Rng.create (seed + 1))
+            ~topology:g ~messages ~internal_prob:internal ()
+      | None, None ->
+          prerr_endline "synts offline: provide a FILE or --topology SPEC";
+          exit 2
+    in
+    let m = Trace.message_count tr in
+    let t0 = Unix.gettimeofday () in
+    let stats = ref None in
+    let ts =
+      if stream then begin
+        let s = Offline.Stream.create ~window ~n:(Trace.n tr) () in
+        let out =
+          Array.map
+            (fun (msg : Trace.message) ->
+              Offline.Stream.observe s ~src:msg.Trace.src ~dst:msg.Trace.dst)
+            (Trace.messages tr)
+        in
+        stats := Some s;
+        out
+      end
+      else Offline.timestamp_trace tr
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    Format.printf
+      "%s: %d processes, %d messages, %s path, vector size %d (⌊N/2⌋ = %d)@."
+      (match file with Some p -> p | None -> "generated workload")
+      (Trace.n tr) m
+      (if stream then "streaming" else "batch")
+      (if Array.length ts > 0 then Vector.size ts.(m - 1) else 0)
+      (Offline.width_bound ~n:(Trace.n tr));
+    (match !stats with
+    | None -> ()
+    | Some s ->
+        Format.printf "width %d%s, retired %d, repairs %d@."
+          (Offline.Stream.width s)
+          (if Offline.Stream.exact_width s then "" else " (upper bound)")
+          (Offline.Stream.retired s)
+          (Offline.Stream.repairs s);
+        Format.printf "peak live memory: %d words (window %d)@."
+          (Offline.Stream.peak_live_words s)
+          window);
+    if timings then
+      Format.printf "stamped in %.3f s (%.0f stamps/s)@." dt
+        (if dt > 0. then float_of_int m /. dt else 0.);
+    if print_stamps then
+      Array.iter
+        (fun (msg : Trace.message) ->
+          Format.printf "m%-3d P%d->P%d  %s@." (msg.Trace.id + 1)
+            (msg.Trace.src + 1) (msg.Trace.dst + 1)
+            (Vector.to_string ts.(msg.Trace.id)))
+        (Trace.messages tr);
+    Option.iter write_trace tracefile;
+    if check then begin
+      let oracle =
+        if stream then Offline.timestamp_trace tr
+        else Offline.stream_trace ~window tr
+      in
+      let mismatches = ref 0 in
+      for i = 0 to m - 1 do
+        for j = i + 1 to m - 1 do
+          if
+            Offline.precedes ts.(i) ts.(j) <> Offline.precedes oracle.(i) oracle.(j)
+            || Offline.precedes ts.(j) ts.(i)
+               <> Offline.precedes oracle.(j) oracle.(i)
+          then incr mismatches
+        done
+      done;
+      Format.printf "order-equivalence stream vs batch: %s (%d pairs)@."
+        (if !mismatches = 0 then "exact"
+         else Printf.sprintf "%d MISMATCHES" !mismatches)
+        (m * (m - 1) / 2);
+      if !mismatches > 0 then exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "offline"
+       ~doc:
+         "Timestamp a completed trace with the offline algorithm — batch \
+          (Figure 9) or the bounded-memory streaming pipeline \
+          ($(b,--stream)).")
+    Term.(
+      const run $ seed_t $ file_t $ gen_topology_t $ messages_t $ internal_t
+      $ stream_t $ window_t $ check_t $ timings_t $ print_t $ trace_t)
+
 (* ---------- protocol ---------- *)
 
 (* ---------- serve / load ---------- *)
@@ -505,23 +671,48 @@ let serve_cmd =
       & pos 0 (some topology_conv) None
       & info [] ~docv:"TOPO" ~doc:"Topology the observed system runs on.")
   in
-  let run seed topo address shards check metrics =
+  let offline_t =
+    Arg.(
+      value & flag
+      & info [ "offline" ]
+          ~doc:
+            "Stamp with the streaming offline pipeline (bounded-memory \
+             rank vectors, order-equivalent to the batch Figure 9 path) \
+             instead of the sharded Fig. 5 engine. $(b,--check) then \
+             verifies order-equivalence against the batch oracle rather \
+             than bit-exactness.")
+  in
+  let window_t =
+    Arg.(
+      value & opt int 1024
+      & info [ "window" ] ~docv:"W"
+          ~doc:"Live-window bound of the offline pipeline (with \
+                $(b,--offline)).")
+  in
+  let run seed topo address shards check offline window metrics =
     let g = realize_topology seed topo in
     let d = Decomposition.best g in
-    Format.printf "synts serve: %s (N=%d, d=%d) on %a, %d shard(s)%s@."
-      (topo_to_string topo)
-      (Decomposition.graph_vertices d)
-      (Decomposition.size d) Synts_server.Server.pp_address address
-      (max 1 (min shards (max 1 (Decomposition.size d))))
-      (if check then ", oracle checking on" else "");
-    Synts_server.Server.serve ~shards ~check address d;
+    if offline then
+      Format.printf "synts serve: %s (N=%d) on %a, offline stream (window %d)%s@."
+        (topo_to_string topo)
+        (Decomposition.graph_vertices d)
+        Synts_server.Server.pp_address address window
+        (if check then ", equivalence checking on" else "")
+    else
+      Format.printf "synts serve: %s (N=%d, d=%d) on %a, %d shard(s)%s@."
+        (topo_to_string topo)
+        (Decomposition.graph_vertices d)
+        (Decomposition.size d) Synts_server.Server.pp_address address
+        (max 1 (min shards (max 1 (Decomposition.size d))))
+        (if check then ", oracle checking on" else "");
+    Synts_server.Server.serve ~shards ~check ~offline ~window address d;
     Format.printf "synts serve: shut down@.";
     Option.iter dump_metrics metrics
   in
   Cmd.v
     (Cmd.info "serve" ~doc:"Run the sharded streaming stamping daemon.")
     Term.(const run $ seed_t $ topology_t $ addr_t $ shards_t $ check_t
-          $ metrics_t)
+          $ offline_t $ window_t $ metrics_t)
 
 let load_cmd =
   let addr_t =
@@ -1709,7 +1900,8 @@ let () =
           (Cmd.info "synts" ~version:"1.0.0" ~doc)
           [
             figures_cmd; experiments_cmd; decompose_cmd; simulate_cmd;
-            analyze_cmd; monitor_cmd; serve_cmd; load_cmd; protocol_cmd;
+            analyze_cmd; monitor_cmd; offline_cmd; serve_cmd; load_cmd;
+            protocol_cmd;
             verify_cmd; lint_cmd; model_cmd; metrics_cmd; trace_cmd; chaos_cmd;
             bench_diff_cmd;
           ]))

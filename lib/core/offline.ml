@@ -60,5 +60,116 @@ let timestamp_trace trace =
 let dimension_used trace =
   max 1 (Dilworth.width (Message_poset.of_trace trace))
 
-let precedes = Vector.lt
-let concurrent = Vector.concurrent
+(* ---------- streaming pipeline ---------- *)
+
+module Streaming_chains = Synts_poset.Streaming_chains
+
+module Stream = struct
+  type t = {
+    chains : Streaming_chains.t;
+    n : int;
+    last : Vector.t option array;  (* per process, last message stamp *)
+    mutable messages : int;
+    mutable peak_live_words : int;
+  }
+
+  let create ?window ~n () =
+    if n < 1 then invalid_arg "Offline.Stream.create: n must be >= 1";
+    let chains = Streaming_chains.create ?window () in
+    {
+      chains;
+      n;
+      last = Array.make n None;
+      messages = 0;
+      peak_live_words = Streaming_chains.live_words chains;
+    }
+
+  let processes t = t.n
+  let messages t = t.messages
+  let dimension t = max 1 (Streaming_chains.chains t.chains)
+  let width t = Streaming_chains.width t.chains
+  let exact_width t = Streaming_chains.exact t.chains
+  let retired t = Streaming_chains.retired t.chains
+  let repairs t = Streaming_chains.repairs t.chains
+
+  let live_words t =
+    Streaming_chains.live_words t.chains + (2 * (t.n + 1)) + 8
+
+  let peak_live_words t = max t.peak_live_words (live_words t)
+
+  (* Each observe lands as up to four spans on the pipeline clock —
+     insert (chain placement), repair (the augmenting search, when the
+     patience tier missed), retire (window eviction, when it happened)
+     and emit (stamp materialisation) — so [synts trace report] shows
+     p50/p90/p99 per-phase cost of the streaming pipeline. *)
+  let trace_phases t (info : Streaming_chains.info) =
+    let span name dur =
+      if dur > 0.0 then begin
+        let tick = Tracer.pipeline_tick () in
+        Tracer.complete ~cat:"offline-stream" ~tick ~dur name;
+        Tracer.pipeline_advance dur
+      end
+    in
+    let dim = float_of_int (dimension t) in
+    span "insert" dim;
+    span "repair" (float_of_int info.Streaming_chains.visited);
+    span "retire" (float_of_int info.Streaming_chains.retired);
+    span "emit" dim
+
+  let observe t ~src ~dst =
+    if src < 0 || src >= t.n || dst < 0 || dst >= t.n || src = dst then
+      invalid_arg "Offline.Stream.observe: bad channel";
+    let preds =
+      match (t.last.(src), t.last.(dst)) with
+      | Some a, Some b -> [ a; b ]
+      | Some a, None | None, Some a -> [ a ]
+      | None, None -> []
+    in
+    let v = Streaming_chains.insert t.chains ~preds in
+    t.last.(src) <- Some v;
+    t.last.(dst) <- Some v;
+    t.messages <- t.messages + 1;
+    let words = live_words t in
+    if words > t.peak_live_words then t.peak_live_words <- words;
+    if Tracer.enabled () then
+      trace_phases t (Streaming_chains.last_info t.chains);
+    v
+
+  let pad v dim =
+    if Vector.size v >= dim then v
+    else begin
+      let w = Vector.zero dim in
+      Array.blit v 0 w 0 (Vector.size v);
+      w
+    end
+
+  let precedes t u v =
+    let dim = max (dimension t) (max (Vector.size u) (Vector.size v)) in
+    Vector.lt (pad u dim) (pad v dim)
+
+  let concurrent t u v =
+    let dim = max (dimension t) (max (Vector.size u) (Vector.size v)) in
+    Vector.concurrent (pad u dim) (pad v dim)
+end
+
+let stream_trace ?window trace =
+  let stream = Stream.create ?window ~n:(Synts_sync.Trace.n trace) () in
+  let stamps =
+    Array.map
+      (fun (m : Synts_sync.Trace.message) ->
+        Stream.observe stream ~src:m.Synts_sync.Trace.src
+          ~dst:m.Synts_sync.Trace.dst)
+      (Synts_sync.Trace.messages trace)
+  in
+  (* Early stamps may predate later chains; pad to one final width so the
+     result is directly comparable with Vector.lt, like the batch path. *)
+  let dim = Stream.dimension stream in
+  Array.map (fun v -> Stream.pad v dim) stamps
+
+let precedes u v =
+  let d = max (Vector.size u) (Vector.size v) in
+  Vector.lt (Stream.pad u d) (Stream.pad v d)
+
+let concurrent u v =
+  let d = max (Vector.size u) (Vector.size v) in
+  Vector.concurrent (Stream.pad u d) (Stream.pad v d)

@@ -22,5 +22,71 @@ val timestamp_trace : Synts_sync.Trace.t -> Synts_clock.Vector.t array
 val dimension_used : Synts_sync.Trace.t -> int
 (** The realizer size the offline algorithm would use on this trace. *)
 
+(** {1 Streaming pipeline}
+
+    The batch path above re-solves closure + matching over the whole
+    poset; [Stream] emits offline-style rank-vector stamps {e as messages
+    arrive}, with memory bounded by the live window of
+    {!Synts_poset.Streaming_chains} (O(window²/word + chains), not O(M²)
+    closure bits) — per-process state is just the last message stamp of
+    each process. Streamed stamps are {e order-equivalent} to
+    {!timestamp_trace} on any trace: same {!precedes} / {!concurrent}
+    verdicts, with the batch path kept as the property-test oracle. The
+    vector dimension is the streaming chain count: equal to the width
+    reached by the batch realizer on chain-friendly arrival orders, and
+    never more than a small factor above it — still bounded by the
+    messages seen, not by N. *)
+module Stream : sig
+  type t
+
+  val create : ?window:int -> n:int -> unit -> t
+  (** A streaming stamper over [n] processes. [window] is forwarded to
+      {!Synts_poset.Streaming_chains.create}. *)
+
+  val observe : t -> src:int -> dst:int -> Synts_clock.Vector.t
+  (** Stamp the next message of the linearization — O(live window) worst
+      case, O(chains) typical. The returned stamp is final. Raises
+      [Invalid_argument] on a bad channel. *)
+
+  val processes : t -> int
+  val messages : t -> int
+
+  val dimension : t -> int
+  (** Current stamp width (grows as chains open; ≥ 1). *)
+
+  val width : t -> int
+  (** The message poset's width — exact while {!exact_width}, an upper
+      bound after window retirement began. *)
+
+  val exact_width : t -> bool
+
+  val retired : t -> int
+  (** Elements evicted from the live window so far. *)
+
+  val repairs : t -> int
+  (** Insertions that ran the full augmenting-path repair. *)
+
+  val live_words : t -> int
+  (** Estimated heap words held live — bounded by the window, independent
+      of {!messages}. *)
+
+  val peak_live_words : t -> int
+
+  val precedes : t -> Synts_clock.Vector.t -> Synts_clock.Vector.t -> bool
+  val concurrent : t -> Synts_clock.Vector.t -> Synts_clock.Vector.t -> bool
+  (** Zero-padded comparisons, valid across the stream's whole lifetime
+      (stamps emitted at different dimensions compare correctly). *)
+end
+
+val stream_trace :
+  ?window:int -> Synts_sync.Trace.t -> Synts_clock.Vector.t array
+(** All message stamps of a trace through the streaming pipeline, padded
+    to the final dimension (directly comparable with {!precedes} /
+    {!concurrent}, like {!timestamp_trace} — the two are order-equivalent
+    message for message). *)
+
 val precedes : Synts_clock.Vector.t -> Synts_clock.Vector.t -> bool
 val concurrent : Synts_clock.Vector.t -> Synts_clock.Vector.t -> bool
+(** Strict vector order / incomparability with implicit zero-padding, so
+    batch stamps, streamed stamps and stamps emitted at different stream
+    dimensions are all directly comparable. *)

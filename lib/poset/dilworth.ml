@@ -1,12 +1,9 @@
-let comparability_edges p =
+(* CSR front end over the order relation's bit-rows: the seed materialised
+   every comparable pair as an O(M²) [(int * int) list] before matching;
+   the CSR is built by two row sweeps with no intermediate list. *)
+let comparability_csr p =
   let n = Poset.size p in
-  let acc = ref [] in
-  for i = n - 1 downto 0 do
-    let row = ref [] in
-    Poset.row_iter p i (fun j -> row := (i, j) :: !row);
-    acc := List.rev_append !row !acc
-  done;
-  !acc
+  Matching.csr_of_rows ~left:n ~right:n ~iter:(fun u f -> Poset.row_iter p u f)
 
 (* The split bipartite graph's adjacency IS the order relation's
    bit-matrix: left u's neighbours are u's successors. Feeding the rows
@@ -35,11 +32,11 @@ let chains_of_matching n { Matching.pair_left; pair_right; size = _ } =
 
 let min_chain_partition p = chains_of_matching (Poset.size p) (matching p)
 
-(* Seed pipeline (edge list + CSR solver), kept as the equivalence oracle
-   for the bit-row path. *)
+(* Seed pipeline (CSR solver), kept as the equivalence oracle for the
+   bit-row path. *)
 let min_chain_partition_reference p =
   let n = Poset.size p in
-  chains_of_matching n (Matching.maximum ~left:n ~right:n (comparability_edges p))
+  chains_of_matching n (Matching.maximum_csr ~left:n ~right:n (comparability_csr p))
 
 let width p =
   let n = Poset.size p in

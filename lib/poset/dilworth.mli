@@ -8,9 +8,11 @@
     the split bipartite graph of the order relation; the maximum antichain
     falls out of König's theorem. *)
 
-val comparability_edges : Poset.t -> (int * int) list
-(** All pairs [(i, j)] with [i < j] in the order — the split bipartite
-    graph's edges. *)
+val comparability_csr : Poset.t -> Matching.csr
+(** The split bipartite graph's adjacency as a CSR, built straight from
+    the order relation's bit-rows — replaces the seed's materialised
+    O(M²) [(int * int) list] of comparable pairs. Feed it to
+    {!Matching.maximum_csr}. *)
 
 val matching : Poset.t -> Matching.result
 (** The maximum matching of the split bipartite graph of the order

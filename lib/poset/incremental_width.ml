@@ -31,23 +31,21 @@ let grow t =
     t.pair_right <- copy t.pair_right (-1)
   end
 
-(* Kuhn's augmenting search from the right side: right node [r] looks for
-   an adjacent left node that is free or whose matched right can be
-   re-routed. Adjacency of right r = ancestors(r). *)
-let rec augment t visited r =
-  ISet.exists
-    (fun u ->
-      (not visited.(u))
-      && begin
-           visited.(u) <- true;
-           if t.pair_left.(u) = -1 || augment t visited t.pair_left.(u) then begin
-             t.pair_left.(u) <- r;
-             t.pair_right.(r) <- u;
-             true
-           end
-           else false
-         end)
-    (t.ancestors.(r))
+(* Kuhn's augmenting search from the right side ({!Matching.augment_from}):
+   right node [r] looks for an adjacent left node that is free or whose
+   matched right can be re-routed. Adjacency of right r = ancestors(r). *)
+let augment t visited r =
+  Matching.augment_from
+    ~find:(fun r f ->
+      ISet.exists
+        (fun u ->
+          (not visited.(u))
+          && begin
+               visited.(u) <- true;
+               f u
+             end)
+        t.ancestors.(r))
+    ~pair_left:t.pair_left ~pair_right:t.pair_right r
 
 let add t ~preds =
   List.iter

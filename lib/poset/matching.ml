@@ -64,6 +64,28 @@ let maximum_rows ~left ~right ~iter ~find =
   done;
   { pair_left; pair_right; size = !size }
 
+(* One Kuhn augmenting search from right vertex [r], shared by the
+   incremental maintainers (Incremental_width, Streaming_chains): adding a
+   single right vertex grows the maximum matching by at most one, so one
+   search restores maximality. [find r f] iterates [r]'s not-yet-visited
+   left neighbours (marking each visited before applying [f]) and stops at
+   the first acceptance; visited bookkeeping stays with the caller so the
+   kernel works over int sets, bitsets, or epoch arrays alike. A left
+   vertex whose [pair_left] is negative-but-not-free (the streaming
+   structure marks partners of retired elements with [-2]) is treated as
+   unavailable: its matched edge can no longer be re-routed. *)
+let augment_from ~find ~pair_left ~pair_right r =
+  let rec go r =
+    find r (fun u ->
+        if pair_left.(u) = -1 || (pair_left.(u) >= 0 && go pair_left.(u)) then begin
+          pair_left.(u) <- r;
+          pair_right.(r) <- u;
+          true
+        end
+        else false)
+  in
+  go r
+
 let min_vertex_cover_rows ~left ~right ~iter { pair_left; pair_right; size = _ }
     =
   (* König: alternate BFS from unmatched left vertices; cover = unvisited
@@ -149,6 +171,41 @@ let csr_find csr u f =
     if f csr.cells.(!k) then found := true else incr k
   done;
   !found
+
+(* CSR straight from an abstract row iterator (two passes: degrees, then
+   fill). Rows visit neighbours in increasing order already, so no sort
+   and no dedup — and, unlike {!build_csr}, no O(E) intermediate pair
+   list. This is the front end {!Dilworth.comparability_csr} uses to keep
+   the edge-list solver available as an oracle without materialising the
+   O(n²) comparability pairs. *)
+let csr_of_rows ~left ~right ~iter =
+  let starts = Array.make (left + 1) 0 in
+  for u = 0 to left - 1 do
+    let deg = ref 0 in
+    iter u (fun v ->
+        if v < 0 || v >= right then
+          invalid_arg "Matching: edge endpoint out of range";
+        incr deg);
+    starts.(u + 1) <- starts.(u) + !deg
+  done;
+  let cells = Array.make (max 1 starts.(left)) 0 in
+  let ends = Array.make left 0 in
+  for u = 0 to left - 1 do
+    let k = ref starts.(u) in
+    iter u (fun v ->
+        cells.(!k) <- v;
+        incr k);
+    ends.(u) <- !k
+  done;
+  { starts; ends; cells }
+
+let edge_count csr =
+  let total = ref 0 in
+  Array.iteri (fun u e -> total := !total + e - csr.starts.(u)) csr.ends;
+  !total
+
+let maximum_csr ~left ~right csr =
+  maximum_rows ~left ~right ~iter:(csr_iter csr) ~find:(csr_find csr)
 
 let maximum ~left ~right edges =
   let csr = build_csr ~left ~right edges in

@@ -27,6 +27,42 @@ val maximum_rows :
     solver with no materialised edge list. Deterministic: identical to
     {!maximum} on the same graph. *)
 
+val augment_from :
+  find:(int -> (int -> bool) -> bool) ->
+  pair_left:int array ->
+  pair_right:int array ->
+  int ->
+  bool
+(** [augment_from ~find ~pair_left ~pair_right r] runs one Kuhn
+    augmenting-path search from right vertex [r] and applies it in place;
+    true iff the matching grew. When elements arrive in linear-extension
+    order, adding one right vertex grows the maximum matching by at most
+    one, so a single search restores maximality — the incremental
+    maintainers ({!Incremental_width}, {!Streaming_chains}) call this once
+    per insertion. [find r f] must visit [r]'s {e not-yet-visited} left
+    neighbours, marking each visited before applying [f], and stop at the
+    first acceptance (the caller owns the visited set; it must be fresh
+    per call). Left vertices with a negative non-[-1] [pair_left] entry
+    are treated as matched-but-frozen (partner retired) and never
+    re-routed. *)
+
+type csr
+(** A compressed-sparse-row adjacency: left vertex → ascending right
+    neighbours. *)
+
+val csr_of_rows :
+  left:int -> right:int -> iter:(int -> (int -> unit) -> unit) -> csr
+(** Build a CSR directly from a row iterator (same contract as
+    {!maximum_rows}'s [iter]: ascending, duplicate-free) in two passes —
+    degrees, then fill — with no intermediate edge list. Raises
+    [Invalid_argument] on out-of-range neighbours. *)
+
+val maximum_csr : left:int -> right:int -> csr -> result
+(** {!maximum_rows} over a CSR adjacency. Identical to {!maximum} on the
+    same graph. *)
+
+val edge_count : csr -> int
+
 val maximum : left:int -> right:int -> (int * int) list -> result
 (** [maximum ~left ~right edges] computes a maximum matching of the
     bipartite graph with [left] left vertices, [right] right vertices and

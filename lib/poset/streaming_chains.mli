@@ -1,0 +1,108 @@
+(** Streaming minimum-chain-partition maintenance (ROADMAP item 2).
+
+    Elements arrive in a linear-extension order, as in
+    {!Incremental_width}, but here each insertion also {e places} the
+    element on a chain and emits a final rank-vector stamp, with memory
+    bounded by a live window instead of the O(M²) closure of the batch
+    pipeline ({!Dilworth} over {!Poset}).
+
+    {2 The invariants}
+
+    {b Append-only placement.} An element may only be appended to a chain
+    whose current tail is strictly below it, so every chain is totally
+    ordered and the down-set of any element meets each chain in a
+    {e prefix}. Placement is patience-style: extend the most recently
+    grown extendable chain (preferring the chain of the element's matched
+    predecessor), open a new chain only when no tail is below the new
+    element.
+
+    {b Chain-count stamps.} The stamp of [m] is
+    [V_m.(c) = |{x ∈ chain c : x ≤ m}|], computed in O(chains) from the
+    componentwise maximum of the predecessors' stamps — no closure row is
+    consulted. By the prefix property this is exact, final at emission,
+    and {e order-equivalent} for any append-only placement:
+    [m1 < m2 ⟺ stamp_lt V_m1 V_m2] (with implicit zero padding), whatever
+    the chain count. The chain count only sets the vector dimension; on
+    message posets of synchronous computations it tracks the paper's
+    ⌊N/2⌋ width bound (Theorem 8) that the batch realizer achieves.
+
+    {b Bounded frontier.} Per-element state (ancestor bitset rows, the
+    incremental Hopcroft–Karp matching of {!Matching.augment_from} — one
+    augmenting search per insertion) lives in a recycled window of
+    [window] slots. When the window fills, the oldest live prefix is
+    retired: its closure rows are dropped and its matched edges frozen.
+    Stamps are unaffected; {!width} decays from exact (Dilworth, while
+    {!exact}) to an upper bound, because a frozen edge can no longer be
+    re-routed. Memory is O(window²/word + chains), independent of the
+    number of elements inserted — see {!live_words}. *)
+
+type t
+
+type stamp = int array
+(** [stamp.(c)] = number of chain-[c] elements at or below the element.
+    Stamps emitted earlier may be shorter than the current {!chains};
+    compare with {!stamp_lt}, which zero-pads. *)
+
+type info = {
+  chain : int;  (** Chain the element was appended to. *)
+  opened : bool;  (** The insertion opened a new chain. *)
+  matched : bool;  (** The matching grew (the width did not). *)
+  visited : int;  (** Left vertices visited by the repair search. *)
+  retired : int;  (** Elements retired to make room. *)
+}
+(** Per-insertion attribution, for profiling (the [synts trace] phases
+    insert / repair / retire / emit). *)
+
+val create : ?window:int -> unit -> t
+(** [window] (default 1024, ≥ 2) bounds the live slots retained for the
+    incremental matching. Inserting more than [window] live elements
+    retires the oldest prefix — stamps stay exact, {!width} becomes an
+    upper bound. *)
+
+val insert : t -> preds:stamp list -> stamp
+(** Insert the next element of the linear extension, given the stamps of
+    a generating set of its predecessors (immediate predecessors suffice:
+    any set whose down-sets union to the element's full strict down-set).
+    Returns the element's final stamp. O(live + chains) plus one
+    augmenting-path search. Raises [Invalid_argument] if a stamp could
+    not have been emitted by this structure. *)
+
+val size : t -> int
+(** Elements inserted so far. *)
+
+val chains : t -> int
+(** Chains opened so far = dimension of the next stamp. *)
+
+val width : t -> int
+(** [size − matching]: the poset's width while {!exact}, an upper bound
+    on it after the first retirement. *)
+
+val exact : t -> bool
+(** No retirement has occurred yet, so {!width} is exact (equals
+    {!Dilworth.width} of the inserted prefix). *)
+
+val chain_length : t -> int -> int
+(** Elements placed on a chain so far. *)
+
+val live : t -> int
+(** Live (unretired) elements in the window. *)
+
+val retired : t -> int
+(** Elements retired so far. *)
+
+val repairs : t -> int
+(** Insertions that needed the full augmenting-path search (the patience
+    tier found no free ancestor). *)
+
+val live_words : t -> int
+(** Estimated heap words held live by the structure — O(window²/word_size
+    + chains), independent of {!size}. The streaming pipeline's memory
+    claim is benchmarked against this. *)
+
+val last_info : t -> info
+(** Attribution of the most recent {!insert}. *)
+
+val stamp_lt : stamp -> stamp -> bool
+(** Strict vector order with implicit zero padding of the shorter stamp.
+    For elements [x, y] inserted into one structure:
+    [x < y ⟺ stamp_lt (stamp x) (stamp y)]. *)

@@ -111,18 +111,18 @@ let loop service listen_fd address =
   | Tcp _ -> ());
   Service.stop service
 
-let serve ?shards ?check address d =
+let serve ?shards ?check ?offline ?window address d =
   let listen_fd = bind_listen address in
-  let service = Service.create ?shards ?check d in
+  let service = Service.create ?shards ?check ?offline ?window d in
   loop service listen_fd address
 
 type handle = unit Domain.t
 
-let spawn ?shards ?check address d =
+let spawn ?shards ?check ?offline ?window address d =
   (* Bind before spawning so the caller can connect immediately. *)
   let listen_fd = bind_listen address in
   Domain.spawn (fun () ->
-      let service = Service.create ?shards ?check d in
+      let service = Service.create ?shards ?check ?offline ?window d in
       loop service listen_fd address)
 
 let join = Domain.join

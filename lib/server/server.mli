@@ -16,17 +16,31 @@ val address_of_string : string -> (address, string) result
 (** ["host:port"] is TCP; anything else is a Unix socket path. *)
 
 val serve :
-  ?shards:int -> ?check:bool -> address -> Synts_graph.Decomposition.t -> unit
+  ?shards:int ->
+  ?check:bool ->
+  ?offline:bool ->
+  ?window:int ->
+  address ->
+  Synts_graph.Decomposition.t ->
+  unit
 (** Bind, listen and serve until a [Shutdown] request. Raises
     [Unix.Unix_error] when the address cannot be bound. A pre-existing
-    Unix socket path is unlinked first and removed again on exit. *)
+    Unix socket path is unlinked first and removed again on exit.
+    [offline]/[window] select the streaming-offline backend — see
+    {!Service.create}. *)
 
 type handle
 (** A daemon running in its own domain (in-process [synts serve] — used
     by [synts load --spawn] and the smoke tests). *)
 
 val spawn :
-  ?shards:int -> ?check:bool -> address -> Synts_graph.Decomposition.t -> handle
+  ?shards:int ->
+  ?check:bool ->
+  ?offline:bool ->
+  ?window:int ->
+  address ->
+  Synts_graph.Decomposition.t ->
+  handle
 (** Bind in the calling domain — the address is connectable as soon as
     this returns — then serve from a fresh domain. *)
 

@@ -21,8 +21,17 @@ type conn = {
       (* reply to [last_seq], replayed on duplicate delivery *)
 }
 
+(* The stamping backend behind the protocol: the sharded Fig. 5 engine,
+   or the streaming offline pipeline. Both are driven through their
+   packed {!Ingest.sink}; only shard count, shutdown and the verify
+   oracle are backend-specific. *)
+type backend =
+  | Sharded of Engine.t
+  | Offline_stream of Synts_ingest.Offline_sink.t
+
 type t = {
-  engine : Engine.t;
+  backend : backend;
+  sink : Ingest.sink;
   decomposition : Decomposition.t;
   check : bool;
   mutable log : Ingest.event list;  (* reversed arrival order; check mode *)
@@ -34,9 +43,22 @@ type t = {
   mutable internal : int;
 }
 
-let create ?shards ?(check = false) d =
+let create ?shards ?(check = false) ?(offline = false) ?window d =
+  let backend =
+    if offline then
+      Offline_stream
+        (Synts_ingest.Offline_sink.create ?window
+           ~n:(Decomposition.graph_vertices d) ())
+    else Sharded (Engine.create ?shards d)
+  in
+  let sink =
+    match backend with
+    | Sharded e -> Engine.ingest e
+    | Offline_stream s -> Synts_ingest.Offline_sink.ingest s
+  in
   {
-    engine = Engine.create ?shards d;
+    backend;
+    sink;
     decomposition = d;
     check;
     log = [];
@@ -56,8 +78,11 @@ let attach t =
 
 let detach t conn = Hashtbl.remove t.conns conn.id
 let clients t = Hashtbl.length t.conns
-let engine t = t.engine
-let stop t = Engine.stop t.engine
+let shards t =
+  match t.backend with Sharded e -> Engine.shards e | Offline_stream _ -> 1
+
+let stop t =
+  match t.backend with Sharded e -> Engine.stop e | Offline_stream _ -> ()
 
 let record t events outcomes =
   Array.iter
@@ -75,11 +100,11 @@ let record t events outcomes =
       outcomes
   end
 
-(* Replay the whole arrival log through the deterministic single-domain
-   oracle and compare message stamps bit-for-bit. Internal-event stamps
-   are functions of the surrounding message stamps, so message equality
-   is the whole exactness claim. *)
-let verify t =
+(* Sharded mode: replay the whole arrival log through the deterministic
+   single-domain oracle and compare message stamps bit-for-bit.
+   Internal-event stamps are functions of the surrounding message
+   stamps, so message equality is the whole exactness claim. *)
+let verify_sharded t =
   let oracle = Online.stamper t.decomposition in
   let stamped = ref (List.rev t.stamped) in
   let checked = ref 0 in
@@ -100,15 +125,59 @@ let verify t =
   if !stamped <> [] then ok := false;
   Protocol.Verified { ok = !ok; checked = !checked }
 
+(* Offline-stream mode: the streamed stamps are not bit-identical to any
+   single oracle — the claim is order-equivalence. Rebuild the message
+   trace from the arrival log, batch-timestamp it with the Figure 9
+   pipeline, and require the same precedes/concurrent verdict on every
+   message pair. *)
+let verify_offline t =
+  let module Offline = Synts_core.Offline in
+  let steps =
+    List.rev
+      (List.filter_map
+         (function
+           | Ingest.Message { src; dst } ->
+               Some (Synts_sync.Trace.Send (src, dst))
+           | Ingest.Internal _ -> None)
+         t.log)
+  in
+  let streamed = Array.of_list (List.rev t.stamped) in
+  let checked = ref 0 in
+  let ok = ref (List.length steps = Array.length streamed) in
+  if !ok && steps <> [] then begin
+    let trace =
+      Synts_sync.Trace.of_steps_exn ~n:(Ingest.processes t.sink) steps
+    in
+    let batch = Offline.timestamp_trace trace in
+    let m = Array.length batch in
+    for i = 0 to m - 1 do
+      for j = i + 1 to m - 1 do
+        incr checked;
+        if
+          Offline.precedes streamed.(i) streamed.(j)
+          <> Offline.precedes batch.(i) batch.(j)
+          || Offline.precedes streamed.(j) streamed.(i)
+             <> Offline.precedes batch.(j) batch.(i)
+        then ok := false
+      done
+    done
+  end;
+  Protocol.Verified { ok = !ok; checked = !checked }
+
+let verify t =
+  match t.backend with
+  | Sharded _ -> verify_sharded t
+  | Offline_stream _ -> verify_offline t
+
 let handle t conn (req : Protocol.request) : Protocol.response =
   Tm.Counter.incr m_requests;
   match req with
   | Hello ->
       Welcome
         {
-          processes = Engine.processes t.engine;
-          dimension = Engine.dimension t.engine;
-          shards = Engine.shards t.engine;
+          processes = Ingest.processes t.sink;
+          dimension = Ingest.dimension t.sink;
+          shards = shards t;
         }
   | Observe { seq; events } ->
       if seq < 0 then begin
@@ -134,7 +203,7 @@ let handle t conn (req : Protocol.request) : Protocol.response =
              (conn.last_seq + 1))
       end
       else begin
-        match Engine.observe_batch t.engine events with
+        match Ingest.observe_batch t.sink events with
         | outcomes ->
             record t events outcomes;
             let resp = Protocol.Outcomes outcomes in
@@ -148,8 +217,8 @@ let handle t conn (req : Protocol.request) : Protocol.response =
             Tm.Counter.incr m_errors;
             Error_r e
       end
-  | Drain -> Resolved (Engine.drain t.engine)
-  | Finish -> Resolved (Engine.finish t.engine)
+  | Drain -> Resolved (Ingest.drain t.sink)
+  | Finish -> Resolved (Ingest.finish t.sink)
   | Verify ->
       if not t.check then begin
         Tm.Counter.incr m_errors;

@@ -18,11 +18,28 @@
 
 type t
 
-val create : ?shards:int -> ?check:bool -> Synts_graph.Decomposition.t -> t
+val create :
+  ?shards:int ->
+  ?check:bool ->
+  ?offline:bool ->
+  ?window:int ->
+  Synts_graph.Decomposition.t ->
+  t
 (** [check] (default false) additionally logs every ingested event in
     arrival order so {!Protocol.Verify} can replay the whole stream
-    through the single-domain {!Synts_core.Online.stamper} oracle and
-    compare stamps bit-for-bit. *)
+    against a mode-specific oracle. With [offline] false (the default)
+    the backend is the sharded Fig. 5 {!Engine} and verification
+    replays through the single-domain {!Synts_core.Online.stamper},
+    comparing stamps bit-for-bit. With [offline] true the backend is
+    the streaming Dilworth pipeline
+    ({!Synts_ingest.Offline_sink}, live window [window]): stamps are
+    offline-style rank vectors, and verification instead
+    batch-timestamps the logged trace with
+    {!Synts_core.Offline.timestamp_trace} and requires the same
+    precedes/concurrent verdict on every message pair
+    (order-equivalence — the streamed vectors are not bit-identical to
+    the batch ones). [shards] is ignored in offline mode (reported as
+    1 in [Welcome]). *)
 
 type conn
 
@@ -47,6 +64,8 @@ val handle_raw : t -> conn -> string -> string
     window. *)
 
 val stop : t -> unit
-(** Stop the engine's worker domains. *)
+(** Stop the backend (joins the engine's worker domains; a no-op for the
+    offline-stream backend, which runs inline). *)
 
-val engine : t -> Engine.t
+val shards : t -> int
+(** Worker domains of the sharded backend; 1 in offline-stream mode. *)

@@ -40,6 +40,7 @@ let m_dropped =
 type stamper =
   | Static of Decomposition.t * (src:int -> dst:int -> Vector.t)
   | Adaptive of Adaptive_stamper.t
+  | Streaming of Synts_core.Offline.Stream.t
 
 type t = {
   n : int;
@@ -84,18 +85,25 @@ let of_topology ?window ?pending_cap g =
 let adaptive ?window ?pending_cap ~n () =
   make ?window ?pending_cap ~n (Adaptive (Adaptive_stamper.create n)) 1
 
+let offline_stream ?window ?stream_window ?pending_cap ~n () =
+  make ?window ?pending_cap ~n
+    (Streaming (Synts_core.Offline.Stream.create ?window:stream_window ~n ()))
+    1
+
 let processes t = t.n
 
 let dimension t =
   match t.stamper with
   | Static (d, _) -> Decomposition.size d
   | Adaptive s -> max 1 (Adaptive_stamper.dimension s)
+  | Streaming s -> Synts_core.Offline.Stream.dimension s
 
 let message t ~src ~dst =
   let v =
     match t.stamper with
     | Static (_, stamp) -> stamp ~src ~dst
     | Adaptive s -> Adaptive_stamper.stamp s ~src ~dst
+    | Streaming s -> Synts_core.Offline.Stream.observe s ~src ~dst
   in
   Tm.Counter.incr m_stamps;
   Tm.Gauge.set_max m_dimension (Vector.size v);
@@ -221,6 +229,10 @@ let decomposition t =
   match t.stamper with
   | Static (d, _) -> d
   | Adaptive s -> Adaptive_stamper.decomposition s
+  | Streaming _ ->
+      invalid_arg
+        "Session.decomposition: streaming-offline sessions stamp from the \
+         observed order, not a decomposition"
 
 (* The Ingest.S conformance: a session is one sink among the in-process
    engine and the remote server client. *)

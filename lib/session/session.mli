@@ -25,6 +25,20 @@ val of_decomposition :
 val adaptive : ?window:int -> ?pending_cap:int -> n:int -> unit -> t
 (** Unknown topology: channels register on first use. *)
 
+val offline_stream :
+  ?window:int -> ?stream_window:int -> ?pending_cap:int -> n:int -> unit -> t
+(** Offline-quality stamps, live: messages are stamped by the streaming
+    Dilworth pipeline ({!Synts_core.Offline.Stream}) instead of the
+    Fig. 5 online rule — rank vectors over the incrementally maintained
+    chain partition, order-equivalent to the batch
+    {!Synts_core.Offline.timestamp_trace} of the observed linearization,
+    with no topology decomposition needed. {!dimension} starts at 1 and
+    grows with the chain count (near the poset's width, cf. the paper's
+    ⌊N/2⌋); all comparison entry points zero-pad as with {!adaptive}
+    sessions. [stream_window] bounds the pipeline's live matching window
+    ({!Synts_poset.Streaming_chains.create}). {!decomposition} raises
+    [Invalid_argument] for these sessions. *)
+
 val processes : t -> int
 val dimension : t -> int
 (** Current vector size (constant unless adaptive). *)
@@ -35,10 +49,7 @@ val dimension : t -> int
     is {e the} entry point, and {!ingest} packs a session as a
     first-class {!Synts_ingest.Ingest.sink} so embedders written against
     the unified interface run against a session, the sharded
-    [synts serve] engine or a remote server client interchangeably.
-
-    The pre-[Ingest] typed calls {!message} and {!internal} remain for
-    source compatibility but are deprecated. *)
+    [synts serve] engine or a remote server client interchangeably. *)
 
 type event = Synts_ingest.Ingest.event =
   | Message of { src : int; dst : int }
@@ -66,16 +77,6 @@ module Sink : Synts_ingest.Ingest.S with type t = t
 
 val ingest : t -> Synts_ingest.Ingest.sink
 (** This session as a packed ingest sink. *)
-
-val message : t -> src:int -> dst:int -> Synts_clock.Vector.t
-  [@@deprecated "use observe (Message {src; dst}) — the Ingest.S entry point"]
-(** Observe the next message; returns its timestamp. Deprecated alias of
-    [observe t (Message {src; dst})]. *)
-
-val internal : t -> proc:int -> Synts_core.Event_stream.ticket
-  [@@deprecated "use observe (Internal {proc}) — the Ingest.S entry point"]
-(** Observe an internal event. Deprecated alias of
-    [observe t (Internal {proc})]. *)
 
 val drain_events :
   t -> (Synts_core.Event_stream.ticket * Synts_core.Internal_events.stamp) list
@@ -112,4 +113,6 @@ val happened_before :
 (** Padded comparisons, valid across the session's whole lifetime. *)
 
 val decomposition : t -> Synts_graph.Decomposition.t
-(** The current decomposition (a snapshot when adaptive). *)
+(** The current decomposition (a snapshot when adaptive). Raises
+    [Invalid_argument] for {!offline_stream} sessions, which stamp from
+    the observed order without one. *)

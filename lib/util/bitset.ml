@@ -86,6 +86,47 @@ let iter f t =
       done
   done
 
+let exists f t =
+  let found = ref false in
+  let w = ref 0 in
+  let nwords = Array.length t.words in
+  while (not !found) && !w < nwords do
+    let word = ref t.words.(!w) in
+    while (not !found) && !word <> 0 do
+      (* Isolate the lowest set bit, test it, then strip it. *)
+      let b =
+        let rec lowest i x = if x land 1 <> 0 then i else lowest (i + 1) (x lsr 1) in
+        lowest 0 !word
+      in
+      if f ((!w * bits_per_word) + b) then found := true
+      else word := !word land (!word - 1)
+    done;
+    incr w
+  done;
+  !found
+
+let exists_diff f a b =
+  same_capacity a b;
+  let found = ref false in
+  let w = ref 0 in
+  let nwords = Array.length a.words in
+  while (not !found) && !w < nwords do
+    (* Re-mask after every call: [f] may add elements to [b] (e.g. a
+       visited set growing during a recursive search), and those must not
+       be presented again. *)
+    let word = ref (a.words.(!w) land lnot b.words.(!w)) in
+    while (not !found) && !word <> 0 do
+      let b' =
+        let rec lowest i x = if x land 1 <> 0 then i else lowest (i + 1) (x lsr 1) in
+        lowest 0 !word
+      in
+      if f ((!w * bits_per_word) + b') then found := true
+      else word := a.words.(!w) land lnot b.words.(!w) land (!word land (!word - 1))
+    done;
+    incr w
+  done;
+  !found
+
 let fold f t init =
   let acc = ref init in
   iter (fun i -> acc := f i !acc) t;

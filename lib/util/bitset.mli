@@ -53,6 +53,20 @@ val equal : t -> t -> bool
 val iter : (int -> unit) -> t -> unit
 (** Iterate elements in increasing order. *)
 
+val exists : (int -> bool) -> t -> bool
+(** Short-circuiting search in increasing order: true as soon as [f]
+    accepts an element. The augmenting-path searches of the incremental
+    matching kernels use this as their adjacency scan. *)
+
+val exists_diff : (int -> bool) -> t -> t -> bool
+(** [exists_diff f a b] is {!exists} over [a \ b] without materialising
+    the difference — visited bits are skipped at word granularity. [f]
+    may add elements to [b] while the search runs (the membership is
+    re-read after every call), which is how the streaming matching kernel
+    marks nodes visited: each element of [a] is then presented at most
+    once per search {e across all rows} sharing the same [b].
+    Capacities must match. *)
+
 val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
 (** Fold over elements in increasing order. *)
 

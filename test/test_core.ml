@@ -166,6 +166,61 @@ let test_offline_fig6 () =
   let trace = Examples.fig6 () in
   Alcotest.(check int) "dimension used" 2 (Offline.dimension_used trace)
 
+(* ---------- streaming offline pipeline ---------- *)
+
+(* The streaming pipeline's contract: same ↦ / concurrent verdict as the
+   batch Figure 9 path on every message pair, on any trace. *)
+let stream_order_equivalent ?window trace =
+  let batch = Offline.timestamp_trace trace in
+  let streamed = Offline.stream_trace ?window trace in
+  let k = Array.length batch in
+  Array.length streamed = k
+  &&
+  let ok = ref true in
+  for i = 0 to k - 1 do
+    for j = 0 to k - 1 do
+      if
+        i <> j
+        && Offline.precedes streamed.(i) streamed.(j)
+           <> Offline.precedes batch.(i) batch.(j)
+      then ok := false
+    done
+  done;
+  !ok
+
+let test_stream_order_equivalent =
+  qtest ~count:200 "streamed stamps are order-equivalent to batch"
+    Gen.computation Gen.computation_print (fun c ->
+      let _, trace = Gen.build_computation c in
+      stream_order_equivalent trace)
+
+let test_stream_order_equivalent_small_window =
+  qtest ~count:200 "order-equivalence survives window retirement"
+    Gen.computation Gen.computation_print (fun c ->
+      let _, trace = Gen.build_computation c in
+      stream_order_equivalent ~window:4 trace)
+
+let test_stream_exact =
+  qtest ~count:200 "streamed stamps encode the poset exactly"
+    Gen.computation Gen.computation_print (fun c ->
+      let _, trace = Gen.build_computation c in
+      Validate.ok (Validate.message_timestamps trace (Offline.stream_trace trace)))
+
+let test_stream_accounting =
+  qtest ~count:100 "stream statistics: width bound, message count, memory"
+    Gen.computation Gen.computation_print (fun c ->
+      let _, trace = Gen.build_computation c in
+      let s = Offline.Stream.create ~n:(Trace.n trace) () in
+      Array.iter
+        (fun (m : Trace.message) ->
+          ignore (Offline.Stream.observe s ~src:m.Trace.src ~dst:m.Trace.dst))
+        (Trace.messages trace);
+      let w = Dilworth.width (Message_poset.of_trace trace) in
+      Offline.Stream.messages s = Trace.message_count trace
+      && Offline.Stream.dimension s >= max 1 w
+      && (not (Offline.Stream.exact_width s) || Offline.Stream.width s = w)
+      && Offline.Stream.peak_live_words s >= Offline.Stream.live_words s - 1)
+
 (* ---------- Theorem 5 end-to-end ---------- *)
 
 let test_theorem5_end_to_end =
@@ -410,6 +465,13 @@ let () =
           test_theorem8_width_bound;
           test_offline_exact;
           test_offline_size;
+        ] );
+      ( "offline-stream",
+        [
+          test_stream_order_equivalent;
+          test_stream_order_equivalent_small_window;
+          test_stream_exact;
+          test_stream_accounting;
         ] );
       ( "theorem5", [ test_theorem5_end_to_end ] );
       ( "theorem9-internal",

@@ -367,6 +367,31 @@ let test_chaos_prefix_valid_and_exact =
           && Array.for_all2 Vector.equal ts
                (Online.timestamp_trace d o.Rendezvous.trace))
 
+(* The streaming offline pipeline must stay order-equivalent to the batch
+   Figure 9 path on fault-plan replays too: the trace delivered under
+   crashes, partitions, dups and corruption is still a valid synchronous
+   trace, and the equivalence claim has no carve-out for it. *)
+let test_chaos_stream_order_equivalent =
+  qtest ~count:120 "streamed offline stamps stay order-equivalent under faults"
+    chaos_params chaos_print (fun params ->
+      let _, _, _, _, o = chaos_run params in
+      let module Offline = Synts_core.Offline in
+      let trace = o.Rendezvous.trace in
+      let batch = Offline.timestamp_trace trace in
+      let streamed = Offline.stream_trace ~window:16 trace in
+      let k = Array.length batch in
+      let ok = ref (Array.length streamed = k) in
+      for i = 0 to k - 1 do
+        for j = 0 to k - 1 do
+          if
+            !ok && i <> j
+            && Offline.precedes streamed.(i) streamed.(j)
+               <> Offline.precedes batch.(i) batch.(j)
+          then ok := false
+        done
+      done;
+      !ok)
+
 let test_chaos_accounting =
   qtest ~count:120 "outcome accounting: crash lists match the plan"
     chaos_params chaos_print (fun params ->
@@ -508,6 +533,7 @@ let () =
           Alcotest.test_case "stored-ACK replay" `Quick
             test_dup_replay_stored_ack;
           test_chaos_prefix_valid_and_exact;
+          test_chaos_stream_order_equivalent;
           test_chaos_accounting;
           test_chaos_deterministic;
         ] );

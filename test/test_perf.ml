@@ -212,21 +212,25 @@ let test_width_antichain_consistent =
       && Dilworth.is_antichain p anti
       && Dilworth.is_chain_partition p chains)
 
-let test_matching_rows_matches_edge_list =
-  qtest "maximum_rows over bit-rows = maximum over edge list" Gen.poset
-    poset_print (fun p ->
+let test_matching_rows_matches_csr =
+  qtest "maximum_rows over bit-rows = maximum_csr over comparability CSR"
+    Gen.poset poset_print (fun p ->
       let n = Poset.size p in
       let via_rows =
         Matching.maximum_rows ~left:n ~right:n
           ~iter:(fun u f -> Poset.row_iter p u f)
           ~find:(fun u f -> Poset.row_find p u f)
       in
-      let via_edges =
-        Matching.maximum ~left:n ~right:n (Dilworth.comparability_edges p)
-      in
-      via_rows.Matching.size = via_edges.Matching.size
-      && via_rows.Matching.pair_left = via_edges.Matching.pair_left
-      && via_rows.Matching.pair_right = via_edges.Matching.pair_right)
+      let csr = Dilworth.comparability_csr p in
+      let via_csr = Matching.maximum_csr ~left:n ~right:n csr in
+      let edges = ref 0 in
+      for u = 0 to n - 1 do
+        Poset.row_iter p u (fun _ -> incr edges)
+      done;
+      Matching.edge_count csr = !edges
+      && via_rows.Matching.size = via_csr.Matching.size
+      && via_rows.Matching.pair_left = via_csr.Matching.pair_left
+      && via_rows.Matching.pair_right = via_csr.Matching.pair_right)
 
 let test_row_find_matches_row_iter =
   qtest "Poset.row_find agrees with row_iter membership" Gen.poset
@@ -345,7 +349,7 @@ let () =
         [
           test_chain_partition_matches_reference;
           test_width_antichain_consistent;
-          test_matching_rows_matches_edge_list;
+          test_matching_rows_matches_csr;
           test_row_find_matches_row_iter;
           test_of_total_order_fast_path;
           Alcotest.test_case "of_total_order validation" `Quick

@@ -382,6 +382,94 @@ let test_incremental_width_matches_batch =
         order;
       !ok)
 
+(* ---------- Streaming chains ---------- *)
+
+module Streaming_chains = Synts_poset.Streaming_chains
+
+let test_streaming_known () =
+  let t = Streaming_chains.create () in
+  Alcotest.(check int) "empty size" 0 (Streaming_chains.size t);
+  Alcotest.(check int) "empty chains" 0 (Streaming_chains.chains t);
+  Alcotest.(check int) "empty width" 0 (Streaming_chains.width t);
+  Alcotest.(check bool) "empty exact" true (Streaming_chains.exact t);
+  (* A pure chain: each element covers the previous one. *)
+  let t = Streaming_chains.create () in
+  let last = ref [] in
+  for k = 1 to 10 do
+    let s = Streaming_chains.insert t ~preds:!last in
+    Alcotest.(check int) (Printf.sprintf "chain rank %d" k) k s.(0);
+    (match !last with
+    | [ prev ] ->
+        Alcotest.(check bool) "chain stamps increase" true
+          (Streaming_chains.stamp_lt prev s)
+    | _ -> ());
+    last := [ s ]
+  done;
+  Alcotest.(check int) "one chain" 1 (Streaming_chains.chains t);
+  Alcotest.(check int) "chain width" 1 (Streaming_chains.width t);
+  (* A pure antichain: no predecessors, ever. *)
+  let t = Streaming_chains.create () in
+  let stamps = Array.init 8 (fun _ -> Streaming_chains.insert t ~preds:[]) in
+  Alcotest.(check int) "antichain chains" 8 (Streaming_chains.chains t);
+  Alcotest.(check int) "antichain width" 8 (Streaming_chains.width t);
+  Array.iteri
+    (fun i u ->
+      Array.iteri
+        (fun j v ->
+          if i <> j then
+            Alcotest.(check bool) "antichain incomparable" false
+              (Streaming_chains.stamp_lt u v))
+        stamps)
+    stamps;
+  (* The minimum window still works (every insert retires). *)
+  let t = Streaming_chains.create ~window:2 () in
+  let last = ref [] in
+  for _ = 1 to 20 do
+    let s = Streaming_chains.insert t ~preds:!last in
+    last := [ s ]
+  done;
+  Alcotest.(check int) "tiny-window chain" 1 (Streaming_chains.chains t);
+  Alcotest.(check bool) "tiny window retired" false (Streaming_chains.exact t)
+
+(* Insert a random poset in linear-extension order and require the emitted
+   stamps to encode exactly the poset order — the core claim that makes the
+   streaming offline pipeline sound. *)
+let streaming_encodes ?window p =
+  let n = Poset.size p in
+  let order = Poset.linear_extension p in
+  let t = Streaming_chains.create ?window () in
+  let stamp = Array.make n [||] in
+  Array.iteri
+    (fun idx v ->
+      let preds =
+        List.filter_map
+          (fun u -> if Poset.lt p u v then Some stamp.(u) else None)
+          (Array.to_list (Array.sub order 0 idx))
+      in
+      stamp.(v) <- Streaming_chains.insert t ~preds)
+    order;
+  let ok = ref true in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v && Streaming_chains.stamp_lt stamp.(u) stamp.(v) <> Poset.lt p u v
+      then ok := false
+    done
+  done;
+  (* Exact width while nothing was retired; an upper bound afterwards. *)
+  (if Streaming_chains.exact t then begin
+     if Streaming_chains.width t <> Dilworth.width p then ok := false
+   end
+   else if Streaming_chains.width t < Dilworth.width p then ok := false);
+  !ok
+
+let test_streaming_encodes_poset =
+  qtest ~count:200 "streaming stamps encode the poset" Gen.poset poset_print
+    (fun p -> streaming_encodes p)
+
+let test_streaming_encodes_poset_small_window =
+  qtest ~count:200 "streaming stamps encode the poset under retirement"
+    Gen.poset poset_print (fun p -> streaming_encodes ~window:8 p)
+
 let () =
   Alcotest.run "poset"
     [
@@ -389,6 +477,12 @@ let () =
         [
           Alcotest.test_case "known" `Quick test_incremental_width_known;
           test_incremental_width_matches_batch;
+        ] );
+      ( "streaming-chains",
+        [
+          Alcotest.test_case "boundaries" `Quick test_streaming_known;
+          test_streaming_encodes_poset;
+          test_streaming_encodes_poset_small_window;
         ] );
       ( "poset",
         [

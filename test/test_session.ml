@@ -174,6 +174,69 @@ let test_session_rejects_unknown_channel () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "channel outside the topology accepted"
 
+(* ---------- streaming-offline sessions ---------- *)
+
+let test_session_offline_stream_exact =
+  qtest ~count:200 "offline-stream session stamps encode the poset"
+    Gen.computation Gen.computation_print (fun c ->
+      let _, trace = Gen.build_computation c in
+      let session = Session.offline_stream ~n:(Trace.n trace) () in
+      let msg_stamps, _ = feed session trace in
+      let poset = Oracle.message_poset trace in
+      let ok = ref true in
+      Array.iteri
+        (fun i vi ->
+          Array.iteri
+            (fun j vj ->
+              if i <> j && Poset.lt poset i j <> Session.precedes session vi vj
+              then ok := false)
+            msg_stamps)
+        msg_stamps;
+      !ok
+      && Session.messages_observed session = Trace.message_count trace
+      && Session.width session <= Session.dimension session)
+
+let test_offline_stream_no_decomposition () =
+  let session = Session.offline_stream ~n:4 () in
+  ignore (message session ~src:0 ~dst:1);
+  ignore (message session ~src:2 ~dst:3);
+  Alcotest.(check int) "two chains" 2 (Session.dimension session);
+  match Session.decomposition session with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "offline-stream session produced a decomposition"
+
+(* The packed Offline_sink drives like any other Ingest.S conformer:
+   message stamps order-equivalent to batch offline, internal events
+   resolved through the shared event stream. *)
+let test_offline_sink_conformance =
+  qtest ~count:150 "Offline_sink conforms to Ingest.S" Gen.computation
+    Gen.computation_print (fun c ->
+      let module Ingest = Synts_ingest.Ingest in
+      let module Offline_sink = Synts_ingest.Offline_sink in
+      let module Offline = Synts_core.Offline in
+      let _, trace = Gen.build_computation c in
+      let t = Offline_sink.create ~n:(Trace.n trace) () in
+      let sink = Offline_sink.ingest t in
+      let outcomes = Ingest.feed_trace sink trace in
+      let streamed = Ingest.message_stamps outcomes in
+      let resolved = Ingest.finish sink in
+      let batch = Offline.timestamp_trace trace in
+      let k = Array.length batch in
+      let ok = ref (Array.length streamed = k) in
+      for i = 0 to k - 1 do
+        for j = 0 to k - 1 do
+          if
+            !ok && i <> j
+            && Offline.precedes streamed.(i) streamed.(j)
+               <> Offline.precedes batch.(i) batch.(j)
+          then ok := false
+        done
+      done;
+      !ok
+      && List.length resolved = Trace.internal_count trace
+      && Ingest.processes sink = Trace.n trace
+      && Ingest.dimension sink = Offline.Stream.dimension (Offline_sink.stream t))
+
 let () =
   Alcotest.run "session"
     [
@@ -190,5 +253,12 @@ let () =
           test_session_internal_events;
           test_session_width;
           test_session_width_leq_dimension;
+        ] );
+      ( "offline-stream",
+        [
+          Alcotest.test_case "no decomposition" `Quick
+            test_offline_stream_no_decomposition;
+          test_session_offline_stream_exact;
+          test_offline_sink_conformance;
         ] );
     ]
