@@ -540,6 +540,70 @@ let offline_stream_tests =
       Test.make ~name:"stream-100k" (Staged.stage (stream big));
     ]
 
+(* B20: observability overhead — the daemon's request path (per-batch
+   stamp-latency histogram, per-connection counters, dedup tallies) with
+   the telemetry switch off, on, and on while an admin scraper polls
+   Stats + Metrics between passes. The acceptance bar from the
+   observability PR is <= 5% between the instrumented/idle rows and the
+   uninstrumented row; `synts bench-diff` guards the committed baseline. *)
+let obs_overhead_tests =
+  let module Ingest = Synts_ingest.Ingest in
+  let module Service = Synts_server.Service in
+  let module Protocol = Synts_server.Protocol in
+  let module Admin = Synts_obs.Admin in
+  let module Admin_service = Synts_server.Admin_service in
+  let g = Topology.client_server ~servers:4 ~clients:28 in
+  let d = Decomposition.best g in
+  let events =
+    Array.of_list
+      (List.map Ingest.event_of_step (Trace.steps (trace_of g 1024)))
+  in
+  let batches =
+    let n = Array.length events and batch = 32 in
+    let rec cut i acc =
+      if i >= n then List.rev acc
+      else
+        let len = min batch (n - i) in
+        cut (i + len) (Array.sub events i len :: acc)
+    in
+    cut 0 []
+  in
+  (* One long-lived service per row (created lazily so its registry and
+     connection only exist while this group is measured); the sequence
+     number keeps increasing across iterations, as a real client's
+     would. *)
+  let feed ~telemetry ~scrape =
+    let state =
+      lazy
+        (let s = Service.create d in
+         at_exit (fun () -> Service.stop s);
+         (s, Service.attach s, ref 0))
+    in
+    fun () ->
+      let s, conn, seq = Lazy.force state in
+      Telemetry.set_enabled telemetry;
+      List.iter
+        (fun b ->
+          ignore
+            (Service.handle s conn (Protocol.Observe { seq = !seq; events = b }));
+          incr seq)
+        batches;
+      if scrape then begin
+        ignore (Admin_service.handle s Admin.Stats);
+        ignore (Admin_service.handle s (Admin.Metrics Admin.Prom))
+      end;
+      Telemetry.set_enabled true
+  in
+  Test.make_grouped ~name:"obs-overhead"
+    [
+      Test.make ~name:"service-uninstrumented"
+        (Staged.stage (feed ~telemetry:false ~scrape:false));
+      Test.make ~name:"service-instrumented"
+        (Staged.stage (feed ~telemetry:true ~scrape:false));
+      Test.make ~name:"service-admin-scrape"
+        (Staged.stage (feed ~telemetry:true ~scrape:true));
+    ]
+
 let all_groups =
   [
     ("decomposition", decomposition_tests);
@@ -562,6 +626,7 @@ let all_groups =
     ("model-explore", model_explore_tests);
     ("serve-engine-1024ev", serve_engine_tests);
     ("offline-stream", offline_stream_tests);
+    ("obs-overhead", obs_overhead_tests);
   ]
 
 (* ---------- measurement + reporting ---------- *)

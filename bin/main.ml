@@ -689,7 +689,17 @@ let serve_cmd =
           ~doc:"Live-window bound of the offline pipeline (with \
                 $(b,--offline)).")
   in
-  let run seed topo address shards check offline window metrics =
+  let admin_t =
+    Arg.(
+      value
+      & opt (some address_conv) None
+      & info [ "admin" ] ~docv:"ADDR"
+          ~doc:
+            "Also listen on ADDR for the introspection channel — a \
+             second frame family answering $(b,health), $(b,metrics), \
+             $(b,stats) and $(b,tracedump), scraped by $(b,synts top).")
+  in
+  let run seed topo address shards check offline window admin metrics =
     let g = realize_topology seed topo in
     let d = Decomposition.best g in
     if offline then
@@ -705,14 +715,19 @@ let serve_cmd =
         (Decomposition.size d) Synts_server.Server.pp_address address
         (max 1 (min shards (max 1 (Decomposition.size d))))
         (if check then ", oracle checking on" else "");
-    Synts_server.Server.serve ~shards ~check ~offline ~window address d;
+    Option.iter
+      (fun a ->
+        Format.printf "admin channel on %a (synts top --connect)@."
+          Synts_server.Server.pp_address a)
+      admin;
+    Synts_server.Server.serve ~shards ~check ~offline ~window ?admin address d;
     Format.printf "synts serve: shut down@.";
     Option.iter dump_metrics metrics
   in
   Cmd.v
     (Cmd.info "serve" ~doc:"Run the sharded streaming stamping daemon.")
     Term.(const run $ seed_t $ topology_t $ addr_t $ shards_t $ check_t
-          $ offline_t $ window_t $ metrics_t)
+          $ offline_t $ window_t $ admin_t $ metrics_t)
 
 let load_cmd =
   let addr_t =
@@ -816,13 +831,15 @@ let load_cmd =
           | Some (Error _) -> "null"
         in
         Format.printf
-          {|{"clients":%d,"batches":%d,"events":%d,"messages":%d,"seconds":%.6f,"events_per_sec":%.1f,"p50_ms":%.4f,"p95_ms":%.4f,"p99_ms":%.4f,"verified":%s}@.|}
+          {|{"clients":%d,"batches":%d,"events":%d,"messages":%d,"seconds":%.6f,"events_per_sec":%.1f,"p50_ms":%.4f,"p95_ms":%.4f,"p99_ms":%.4f,"server_dropped":%d,"server_pending":%d,"verified":%s}@.|}
           report.Synts_server.Load.clients report.Synts_server.Load.batches
           report.Synts_server.Load.events report.Synts_server.Load.messages
           report.Synts_server.Load.seconds
           report.Synts_server.Load.events_per_sec
           report.Synts_server.Load.p50_ms report.Synts_server.Load.p95_ms
-          report.Synts_server.Load.p99_ms verified_json);
+          report.Synts_server.Load.p99_ms
+          report.Synts_server.Load.server_dropped
+          report.Synts_server.Load.server_pending verified_json);
     Option.iter dump_metrics metrics;
     match verified with
     | Some (Ok (false, _)) | Some (Error _) -> exit 1
@@ -835,6 +852,218 @@ let load_cmd =
       const run $ seed_t $ topology_t $ addr_t $ clients_t $ batches_t
       $ batch_t $ internal_t $ spawn_t $ shards_t $ verify_t
       $ report_format_t $ metrics_t)
+
+(* ---------- top ---------- *)
+
+(* One rendered frame of `synts top`: health header, event totals with
+   rates derived from the previous sample, latency quantiles, per-shard
+   load (with skew), per-connection counters and — for the offline
+   backend — the streaming pipeline's watermarks. *)
+let render_top ppf ~prev ~dt (ok, hbackend, procs, dim, hshards)
+    (s : Synts_obs.Admin.stats) =
+  let open Synts_obs.Admin in
+  let events = s.messages + s.internal in
+  let rate now before =
+    match before with
+    | Some b when dt > 0. -> float_of_int (now - b) /. dt
+    | _ -> 0.
+  in
+  let ev_rate =
+    rate events
+      (Option.map (fun (p : stats) -> p.messages + p.internal) prev)
+  in
+  let msg_rate =
+    rate s.messages (Option.map (fun (p : stats) -> p.messages) prev)
+  in
+  Format.fprintf ppf "synts top — %s  %s  N=%d  d=%d  shards=%d@." hbackend
+    (if ok then "up" else "DOWN")
+    procs dim hshards;
+  Format.fprintf ppf
+    "events    %d total (%d messages, %d internal)  %.0f ev/s  %.0f msg/s@."
+    events s.messages s.internal ev_rate msg_rate;
+  Format.fprintf ppf
+    "batches   %d  clients %d  dedup %d  errors %d  dropped %d  pending %d@."
+    s.batches s.clients s.dedup_hits s.errors s.dropped s.pending;
+  Format.fprintf ppf "stamp lat p50 %.3f ms  p90 %.3f ms  p99 %.3f ms@."
+    s.p50_ms s.p90_ms s.p99_ms;
+  (match s.shards with
+  | [] -> ()
+  | shards ->
+      let cells = List.map (fun sh -> sh.s_cells) shards in
+      let total = List.fold_left ( + ) 0 cells in
+      let peak = List.fold_left max 0 cells in
+      let skew =
+        if total = 0 then 1.
+        else
+          float_of_int peak
+          /. (float_of_int total /. float_of_int (List.length shards))
+      in
+      Format.fprintf ppf "shards    load skew %.2fx@." skew;
+      List.iter
+        (fun sh ->
+          Format.fprintf ppf
+            "  s%-2d     %3.0f%%  events %d  cells %d  messages %d@." sh.shard
+            (if total = 0 then 0.
+             else 100. *. float_of_int sh.s_cells /. float_of_int total)
+            sh.s_events sh.s_cells sh.s_messages)
+        shards);
+  (match s.stream with
+  | None -> ()
+  | Some st ->
+      Format.fprintf ppf
+        "stream    chains %d  live %d  retired %d  width %d%s  repairs %d@."
+        st.chains st.live st.retired st.width
+        (if st.exact then "" else " (bound)")
+        st.repairs);
+  match s.conns with
+  | [] -> ()
+  | conns ->
+      Format.fprintf ppf "conns     %d active@." (List.length conns);
+      List.iter
+        (fun c ->
+          Format.fprintf ppf
+            "  c%-2d     in %d  out %d  dedup %d  last_seq %d@." c.conn
+            c.events_in c.stamps_out c.dedup_hits c.last_seq)
+        conns
+
+let top_cmd =
+  let module Admin_client = Synts_server.Admin_client in
+  let connect_t =
+    address_arg ~name:"connect"
+      ~doc:"Admin address of the daemon (its $(b,--admin))."
+      (Synts_server.Server.Unix_socket "synts-admin.sock")
+  in
+  let interval_t =
+    Arg.(
+      value & opt float 1.0
+      & info [ "interval"; "i" ] ~docv:"SECS" ~doc:"Refresh interval.")
+  in
+  let once_t =
+    Arg.(
+      value & flag
+      & info [ "once" ]
+          ~doc:"Render a single sample and exit (no screen clearing).")
+  in
+  let spawn_t =
+    Arg.(
+      value & flag
+      & info [ "spawn" ]
+          ~doc:
+            "Self-contained mode (the obs smoke tier): run the daemon \
+             in-process with the admin channel on $(b,--connect) and the \
+             data plane on $(b,--data), drive a seeded load, exercise all \
+             four admin verbs, then render and exit — non-zero unless the \
+             daemon reports healthy and stamped a non-zero message count.")
+  in
+  let data_t =
+    address_arg ~name:"data"
+      ~doc:"Data-plane listen address for $(b,--spawn)."
+      (Synts_server.Server.Unix_socket "synts-top.sock")
+  in
+  let topo_t =
+    Arg.(
+      value
+      & pos 0 (some topology_conv) None
+      & info [] ~docv:"TOPO" ~doc:"Topology for $(b,--spawn).")
+  in
+  let clients_t =
+    Arg.(
+      value & opt int 3
+      & info [ "clients" ] ~docv:"N"
+          ~doc:"Client connections for the $(b,--spawn) load.")
+  in
+  let batches_t =
+    Arg.(
+      value & opt int 16
+      & info [ "batches" ] ~docv:"B"
+          ~doc:"Batches per client for the $(b,--spawn) load.")
+  in
+  let batch_t =
+    Arg.(
+      value & opt int 8
+      & info [ "batch" ] ~docv:"K"
+          ~doc:"Events per batch for the $(b,--spawn) load.")
+  in
+  let sample admin =
+    let a = Admin_client.connect admin in
+    Fun.protect
+      ~finally:(fun () -> Admin_client.close a)
+      (fun () -> (Admin_client.health a, Admin_client.stats a))
+  in
+  let run seed topo admin interval once spawn data shards clients batches
+      batch =
+    if spawn then begin
+      let topo =
+        match topo with
+        | Some t -> t
+        | None ->
+            prerr_endline "synts top --spawn: a TOPO argument is required";
+            exit 2
+      in
+      let g = realize_topology seed topo in
+      let d = Decomposition.best g in
+      start_tracing ();
+      let handle =
+        Synts_server.Server.spawn ~shards ~check:false ~admin data d
+      in
+      let finish () =
+        let c = Synts_server.Client.connect data in
+        Synts_server.Client.shutdown c;
+        Synts_server.Server.join handle
+      in
+      (try
+         ignore
+           (Synts_server.Load.run ~clients ~batches ~batch ~seed data d)
+       with e ->
+         finish ();
+         raise e);
+      let a = Admin_client.connect admin in
+      let health = Admin_client.health a in
+      let prom = Admin_client.metrics a Synts_obs.Admin.Prom in
+      let json = Admin_client.metrics a Synts_obs.Admin.Json in
+      let stats = Admin_client.stats a in
+      let t_dropped, t_spans, _jsonl = Admin_client.tracedump a in
+      Admin_client.close a;
+      finish ();
+      render_top Format.std_formatter ~prev:None ~dt:0. health stats;
+      Format.printf "metrics   %d prometheus bytes, %d json bytes@."
+        (String.length prom) (String.length json);
+      Format.printf "tracedump %d spans (%d dropped)@." t_spans t_dropped;
+      let ok, _, _, _, _ = health in
+      if (not ok) || stats.Synts_obs.Admin.messages = 0 then begin
+        prerr_endline "synts top --spawn: daemon unhealthy or stamped nothing";
+        exit 1
+      end
+    end
+    else begin
+      let prev = ref None and t_prev = ref (Unix.gettimeofday ()) in
+      let rec loop () =
+        let health, stats = sample admin in
+        let now = Unix.gettimeofday () in
+        let dt = now -. !t_prev in
+        if not once then print_string "\027[H\027[2J";
+        render_top Format.std_formatter ~prev:!prev ~dt health stats;
+        Format.print_flush ();
+        if not once then begin
+          prev := Some stats;
+          t_prev := now;
+          Unix.sleepf interval;
+          loop ()
+        end
+      in
+      loop ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live daemon introspection: poll a $(b,synts serve --admin) \
+          channel and render event rates, stamp-latency quantiles, \
+          per-shard load skew, per-connection counters, loss/backpressure \
+          and the streaming pipeline's watermarks.")
+    Term.(
+      const run $ seed_t $ topo_t $ connect_t $ interval_t $ once_t $ spawn_t
+      $ data_t $ shards_t $ clients_t $ batches_t $ batch_t)
 
 let protocol_cmd =
   let file_t =
@@ -1901,7 +2130,7 @@ let () =
           [
             figures_cmd; experiments_cmd; decompose_cmd; simulate_cmd;
             analyze_cmd; monitor_cmd; offline_cmd; serve_cmd; load_cmd;
-            protocol_cmd;
+            top_cmd; protocol_cmd;
             verify_cmd; lint_cmd; model_cmd; metrics_cmd; trace_cmd; chaos_cmd;
             bench_diff_cmd;
           ]))

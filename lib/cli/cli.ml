@@ -1,6 +1,7 @@
 module Rng = Synts_util.Rng
 module Topology = Synts_graph.Topology
 module Telemetry = Synts_telemetry.Telemetry
+module Log = Synts_obs.Log
 open Cmdliner
 
 module Flags = struct
@@ -10,14 +11,17 @@ module Flags = struct
     | Spec spec -> Topology.spec_to_string spec
     | From_file path -> "@" ^ path
 
+  (* Fatal CLI diagnostics go through the structured logger (the one
+     sanctioned stderr path in lib/) so they carry level + component
+     like every other record. *)
+  let die msg =
+    Log.error ~component:"cli" msg;
+    exit 1
+
   let realize_topology seed = function
     | Spec spec -> Topology.build ~rng:(Rng.create seed) spec
     | From_file path -> (
-        match Topology.load_graph path with
-        | Ok g -> g
-        | Error e ->
-            prerr_endline e;
-            exit 1)
+        match Topology.load_graph path with Ok g -> g | Error e -> die e)
 
   let topology_conv =
     let parse s =
@@ -62,8 +66,5 @@ module Flags = struct
           ~doc:"Report as $(b,text) or $(b,json).")
 
   let check_loss loss =
-    if loss < 0.0 || loss > 1.0 then begin
-      prerr_endline "synts: --loss must be in [0, 1]";
-      exit 1
-    end
+    if loss < 0.0 || loss > 1.0 then die "--loss must be in [0, 1]"
 end

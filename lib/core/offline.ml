@@ -89,6 +89,7 @@ module Stream = struct
   let dimension t = max 1 (Streaming_chains.chains t.chains)
   let width t = Streaming_chains.width t.chains
   let exact_width t = Streaming_chains.exact t.chains
+  let live t = Streaming_chains.live t.chains
   let retired t = Streaming_chains.retired t.chains
   let repairs t = Streaming_chains.repairs t.chains
 

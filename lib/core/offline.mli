@@ -60,6 +60,9 @@ module Stream : sig
 
   val exact_width : t -> bool
 
+  val live : t -> int
+  (** Elements currently held in the live window. *)
+
   val retired : t -> int
   (** Elements evicted from the live window so far. *)
 

@@ -22,6 +22,7 @@ let create ?window ~n () =
 let stream t = t.stream
 let processes t = t.n
 let dimension t = Stream.dimension t.stream
+let pending t = Queue.length t.resolved
 
 let observe t event =
   match event with

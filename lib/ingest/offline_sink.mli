@@ -25,6 +25,10 @@ val create : ?window:int -> n:int -> unit -> t
 val stream : t -> Synts_core.Offline.Stream.t
 (** The underlying stream, for width / memory / repair statistics. *)
 
+val pending : t -> int
+(** Resolved stamps queued awaiting {!drain} — the backpressure signal
+    the admin channel reports. *)
+
 val observe : t -> Ingest.event -> Ingest.outcome
 val observe_batch : t -> Ingest.event array -> Ingest.outcome array
 

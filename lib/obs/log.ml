@@ -1,0 +1,84 @@
+type level = Debug | Info | Warn | Error
+
+let level_name = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let severity = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+type sink =
+  | Silent
+  | Text of out_channel
+  | Jsonl of out_channel
+  | Custom of (string -> unit)
+
+let current_level = ref Info
+let current_sink = ref (Text stderr)
+let emitted = ref 0
+let set_level l = current_level := l
+let level () = !current_level
+let set_sink s = current_sink := s
+let records () = !emitted
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render_text lvl ~tick ~component ~kv msg =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf
+    (Printf.sprintf "[%s] tick=%d %s: %s"
+       (String.uppercase_ascii (level_name lvl))
+       tick component msg);
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf " %s=%s" k v))
+    kv;
+  Buffer.contents buf
+
+let render_jsonl lvl ~tick ~component ~kv msg =
+  let buf = Buffer.create 96 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"level\": \"%s\", \"tick\": %d, \"component\": \"%s\", \
+                     \"msg\": \"%s\""
+       (level_name lvl) tick (json_escape component) (json_escape msg));
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf ", \"%s\": \"%s\"" (json_escape k) (json_escape v)))
+    kv;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let log ?tick lvl ~component ?(kv = []) msg =
+  if severity lvl >= severity !current_level then begin
+    incr emitted;
+    let tick = match tick with Some t -> t | None -> !emitted in
+    match !current_sink with
+    | Silent -> ()
+    | Text oc ->
+        output_string oc (render_text lvl ~tick ~component ~kv msg);
+        output_char oc '\n';
+        flush oc
+    | Jsonl oc ->
+        output_string oc (render_jsonl lvl ~tick ~component ~kv msg);
+        output_char oc '\n';
+        flush oc
+    | Custom f -> f (render_text lvl ~tick ~component ~kv msg)
+  end
+
+let debug ?tick ~component ?kv msg = log ?tick Debug ~component ?kv msg
+let info ?tick ~component ?kv msg = log ?tick Info ~component ?kv msg
+let warn ?tick ~component ?kv msg = log ?tick Warn ~component ?kv msg
+let error ?tick ~component ?kv msg = log ?tick Error ~component ?kv msg

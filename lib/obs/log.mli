@@ -1,0 +1,69 @@
+(** Structured, leveled logging for the whole stack.
+
+    Every record carries a severity {!level}, a component name
+    (["server"], ["engine"], ["cli"], …), a {e logical tick} and a list
+    of [key=value] pairs — never a wall-clock timestamp, so two seeded
+    runs emit byte-identical logs. Ticks come from the caller when the
+    caller has a meaningful clock (the daemon's batch counter, the
+    simulator's virtual time); otherwise a process-wide monotone record
+    counter supplies one, which keeps ordering without breaking
+    determinism.
+
+    Sinks are pluggable: human-readable text on a channel (the default,
+    on [stderr]), JSONL on a channel (one object per record, the same
+    shape the tracer's [Tracelog] uses), a custom callback, or silence.
+    This module is the {e one} sanctioned path to stderr inside [lib/] —
+    a CI lint (see the repository root [dune]) keeps every other file
+    free of raw [prerr_endline] / [Printf.eprintf] prints. *)
+
+type level = Debug | Info | Warn | Error
+
+val level_name : level -> string
+(** ["debug"], ["info"], ["warn"], ["error"]. *)
+
+val set_level : level -> unit
+(** Drop records below this severity (default {!Info}). *)
+
+val level : unit -> level
+
+type sink =
+  | Silent  (** Drop everything (still counts records). *)
+  | Text of out_channel  (** [\[LEVEL\] tick=N component: msg k=v …]. *)
+  | Jsonl of out_channel  (** One JSON object per record. *)
+  | Custom of (string -> unit)  (** Receives the rendered text line. *)
+
+val set_sink : sink -> unit
+(** Default: [Text stderr]. *)
+
+val records : unit -> int
+(** Records emitted (post level-filter) since process start — doubles as
+    the default tick source. *)
+
+val log :
+  ?tick:int -> level -> component:string -> ?kv:(string * string) list ->
+  string -> unit
+(** Emit one record. [tick] defaults to the process-wide record
+    counter. Key order in [kv] is preserved verbatim. *)
+
+val debug :
+  ?tick:int -> component:string -> ?kv:(string * string) list -> string -> unit
+
+val info :
+  ?tick:int -> component:string -> ?kv:(string * string) list -> string -> unit
+
+val warn :
+  ?tick:int -> component:string -> ?kv:(string * string) list -> string -> unit
+
+val error :
+  ?tick:int -> component:string -> ?kv:(string * string) list -> string -> unit
+
+val render_text :
+  level -> tick:int -> component:string -> kv:(string * string) list ->
+  string -> string
+(** The text-sink line, without the trailing newline — exposed so tests
+    pin the format. *)
+
+val render_jsonl :
+  level -> tick:int -> component:string -> kv:(string * string) list ->
+  string -> string
+(** The JSONL-sink line, without the trailing newline. *)

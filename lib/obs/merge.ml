@@ -1,0 +1,44 @@
+module Tm = Synts_telemetry.Telemetry
+
+let value a b =
+  match (a, b) with
+  | Tm.Counter_v x, Tm.Counter_v y -> Tm.Counter_v (x + y)
+  | Tm.Gauge_v x, Tm.Gauge_v y -> Tm.Gauge_v (if x >= y then x else y)
+  | ( Tm.Histogram_v
+        { buckets = ba; inf = ia; sum = sa; count = ca; min = mina; max = maxa },
+      Tm.Histogram_v
+        { buckets = bb; inf = ib; sum = sb; count = cb; min = minb; max = maxb }
+    ) ->
+      let ka = Array.length ba and kb = Array.length bb in
+      if ka <> kb then invalid_arg "Obs.Merge: histogram bucket-count mismatch";
+      let buckets =
+        Array.init ka (fun i ->
+            let la, na = ba.(i) and lb, nb = bb.(i) in
+            if la <> lb then
+              invalid_arg "Obs.Merge: histogram bucket-bounds mismatch";
+            (la, na + nb))
+      in
+      Tm.Histogram_v
+        {
+          buckets;
+          inf = ia + ib;
+          sum = sa +. sb;
+          count = ca + cb;
+          min = Float.min mina minb;
+          max = Float.max maxa maxb;
+        }
+  | _ -> invalid_arg "Obs.Merge: metric kind mismatch"
+
+let snapshots snaps =
+  let table : (string, Tm.value) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun snap ->
+      List.iter
+        (fun (name, v) ->
+          match Hashtbl.find_opt table name with
+          | None -> Hashtbl.replace table name v
+          | Some prior -> Hashtbl.replace table name (value prior v))
+        snap)
+    snaps;
+  Hashtbl.fold (fun name v acc -> (name, v) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)

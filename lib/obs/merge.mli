@@ -1,0 +1,33 @@
+(** Deterministic cross-domain snapshot aggregation.
+
+    The sharded engine keeps one {!Synts_telemetry.Telemetry.registry}
+    per worker domain so hot-path recording never crosses a domain
+    boundary; the admin channel (and the property tests) then merge the
+    per-shard {e snapshots} into one logical view. Merge semantics, per
+    metric name:
+
+    - {b counters} add — each shard counted disjoint work;
+    - {b gauges} take the maximum — watermark semantics;
+    - {b histograms} require identical bucket bounds, then add per-bucket
+      counts, the overflow bucket, [sum] and [count] pointwise, and
+      combine [min]/[max] with min-of-mins / max-of-maxes (the empty
+      histogram's [+inf]/[-inf] sentinels are the identities).
+
+    The same name registered at different kinds (or histogram bounds)
+    across inputs raises [Invalid_argument] — that is a bug in the
+    instrumentation, not data. The result is name-sorted, so merging is
+    itself deterministic: the per-shard counter layout is designed to be
+    shard-count invariant, and [test/test_obs.ml] checks that merging a
+    k-shard run's registries is {e structurally equal} to the 1-shard
+    oracle registry's snapshot. *)
+
+val snapshots :
+  Synts_telemetry.Telemetry.snapshot list -> Synts_telemetry.Telemetry.snapshot
+(** Merge any number of snapshots; [snapshots [] = []] and
+    [snapshots [s] = s] (re-sorted). *)
+
+val value :
+  Synts_telemetry.Telemetry.value -> Synts_telemetry.Telemetry.value ->
+  Synts_telemetry.Telemetry.value
+(** Merge two values of the same metric. Raises [Invalid_argument] on a
+    kind or bucket-bounds mismatch. *)

@@ -1,4 +1,24 @@
 module Bitset = Synts_util.Bitset
+module Tm = Synts_telemetry.Telemetry
+
+(* Watermark gauges on the default registry — the live-introspection
+   hooks the admin channel and `synts top` read. Values are functions of
+   the inserted prefix, so seeded runs keep byte-identical snapshots. *)
+let m_chains =
+  Tm.Gauge.v ~help:"Chains opened by the streaming Dilworth pipeline"
+    "poset.stream.chains"
+
+let m_live =
+  Tm.Gauge.v ~help:"Peak live-window occupancy of the streaming pipeline"
+    "poset.stream.live"
+
+let m_retired =
+  Tm.Gauge.v ~help:"Elements retired from the streaming live window"
+    "poset.stream.retired"
+
+let m_width =
+  Tm.Gauge.v ~help:"Width estimate of the streaming pipeline"
+    "poset.stream.width"
 
 type stamp = int array
 
@@ -319,6 +339,11 @@ let insert t ~preds =
       visited = !visits;
       retired = t.retired - retired_now;
     };
+  Tm.Gauge.set m_chains t.dim;
+  (* live occupancy = inserted minus retired; peak-hold watermark *)
+  Tm.Gauge.set_max m_live (t.size - t.retired);
+  Tm.Gauge.set m_retired t.retired;
+  Tm.Gauge.set m_width (t.size - t.matching);
   out
 
 (* Strict stamp order with implicit zero-padding: stamps emitted before a

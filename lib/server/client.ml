@@ -125,10 +125,20 @@ let verify_server t =
                Protocol.pp_response other
              |> Result.error
 
+type stats = {
+  clients : int;
+  batches : int;
+  messages : int;
+  internal : int;
+  dropped : int;
+  pending : int;
+}
+
 let server_stats t =
   match roundtrip t.fd Protocol.Stats with
-  | Protocol.Stats_r { clients; batches; messages; internal } ->
-      Ok (clients, batches, messages, internal)
+  | Protocol.Stats_r { clients; batches; messages; internal; dropped; pending }
+    ->
+      Ok { clients; batches; messages; internal; dropped; pending }
   | Protocol.Error_r e -> Error e
   | other -> Format.asprintf "unexpected stats reply: %a"
                Protocol.pp_response other

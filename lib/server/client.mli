@@ -44,8 +44,16 @@ val verify_server : t -> (bool * int, string) result
 (** Ask a [--check] server to replay its whole arrival log through the
     single-domain oracle; [Ok (ok, messages_checked)]. *)
 
-val server_stats : t -> (int * int * int * int, string) result
-(** [(clients, batches, messages, internal)]. *)
+type stats = {
+  clients : int;
+  batches : int;
+  messages : int;
+  internal : int;
+  dropped : int;  (** Server-side resolved-stamp drops (loss). *)
+  pending : int;  (** Server-side resolved stamps awaiting drain. *)
+}
+
+val server_stats : t -> (stats, string) result
 
 val shutdown : t -> unit
 (** Request daemon shutdown, await [Bye], close the connection. *)

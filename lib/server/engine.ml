@@ -17,6 +17,58 @@ let m_shards =
   Tm.Gauge.v ~help:"Worker shards of the most recently created engine"
     "server.engine.shards"
 
+let m_dropped =
+  Tm.Counter.v ~help:"Resolved stamps dropped to engine queue overflow"
+    "server.engine.dropped_events"
+
+(* Per-shard instrumentation. Each worker domain records only into its
+   own registry, so the hot sweep never contends on a metric cell, and
+   the counters are chosen to be {e shard-count invariant}: summed over
+   the k shards of a run they equal the single-shard oracle's values
+   (cells: each shard writes |owned components| cells per event, which
+   sums to the dimension; owned messages: exactly one shard owns each
+   edge group; owned-group histogram: one observation per message, made
+   by its owner). That invariance is what lets [Obs.Merge] reconstruct
+   the 1-domain registry bit-identically — property-tested in
+   [test/test_obs.ml]. *)
+type shard_stats = {
+  registry : Tm.registry;
+  c_cells : Tm.Counter.t;
+  c_owned : Tm.Counter.t;
+  h_groups : Tm.Histogram.t;
+  c_internal : Tm.Counter.t option;  (* coordinator shard only *)
+  mutable swept_events : int;
+  scratch : int array;
+      (* per-group owned-message tallies for the current batch, flushed
+         into [h_groups] with one bucket walk per distinct group *)
+}
+
+let make_shard_stats ~coordinator ~dim =
+  let registry = Tm.create_registry () in
+  {
+    registry;
+    c_cells =
+      Tm.Counter.v ~registry ~help:"Clock cells written by this shard"
+        "server.engine.cells";
+    c_owned =
+      Tm.Counter.v ~registry
+        ~help:"Messages whose edge group this shard owns"
+        "server.engine.owned_messages";
+    h_groups =
+      Tm.Histogram.v ~registry
+        ~help:"Edge-group ids stamped by this shard (load-skew profile)"
+        "server.engine.owned_groups";
+    c_internal =
+      (if coordinator then
+         Some
+           (Tm.Counter.v ~registry
+              ~help:"Internal events resolved on the coordinator"
+              "server.engine.internal_events")
+       else None);
+    swept_events = 0;
+    scratch = Array.make dim 0;
+  }
+
 (* Coordinator/worker handshake: the coordinator bumps [gen] to publish a
    batch, workers sweep their slab and bump [done_count]. The mutex
    hand-offs give the happens-before edges that make the coordinator's
@@ -42,8 +94,11 @@ type t = {
          is truncated back after assembly. *)
   shared : shared option;  (* None when the sweep runs inline. *)
   domains : unit Domain.t array;
+  stats : shard_stats array;  (* one per shard, same indexing as slabs *)
   mutable events : Event_stream.t;
   resolved : (int * Synts_core.Internal_events.stamp) Queue.t;
+  pending_cap : int;
+  mutable dropped : int;
   mutable ticket_base : int;
   mutable issued : int;
   mutable stopped : bool;
@@ -53,21 +108,46 @@ type t = {
    columns it owns, endpoints adopt the stamp. Identical event order on
    every shard is what makes the reassembled stamps bit-identical to the
    single-domain oracle. *)
-let sweep plan shard slab events groups =
+let sweep plan shard slab stats events groups =
+  (* The hot loop pays only plain int bumps for telemetry; everything
+     registry-visible is flushed once per batch below. Flushing group
+     tallies via [observe_n] keeps the histogram structurally identical
+     to per-message observes (group ids are small integers, so the
+     [x *. n] sums are exact) — the merge property depends on that. *)
+  let owned = ref 0 and internals = ref 0 in
+  let scratch = stats.scratch in
   Array.iteri
     (fun i ev ->
       match ev with
-      | Ingest.Internal _ -> ignore (Stamp_store.push_zero slab)
+      | Ingest.Internal _ ->
+          ignore (Stamp_store.push_zero slab);
+          incr internals
       | Ingest.Message { src; dst } ->
           let r = Stamp_store.push_merge slab ~a:src ~b:dst in
           let g = groups.(i) in
-          if Shard.owner plan g = shard then
+          if Shard.owner plan g = shard then begin
             Stamp_store.row_incr slab r (Shard.slot plan g);
+            incr owned;
+            scratch.(g) <- scratch.(g) + 1
+          end;
           Stamp_store.blit_rows slab ~src:r ~dst:src;
           Stamp_store.blit_rows slab ~src:r ~dst:dst)
-    events
+    events;
+  let len = Array.length events in
+  stats.swept_events <- stats.swept_events + len;
+  Tm.Counter.add stats.c_cells
+    (len * Array.length (Shard.components plan shard));
+  Tm.Counter.add stats.c_owned !owned;
+  Array.iteri
+    (fun g n ->
+      if n > 0 then begin
+        Tm.Histogram.observe_n stats.h_groups (float_of_int g) n;
+        scratch.(g) <- 0
+      end)
+    scratch;
+  Option.iter (fun c -> Tm.Counter.add c !internals) stats.c_internal
 
-let worker plan shard slab shared =
+let worker plan shard slab stats shared =
   let rec loop last =
     Mutex.lock shared.mutex;
     while shared.gen = last && not shared.stopping do
@@ -78,7 +158,7 @@ let worker plan shard slab shared =
       let gen = shared.gen in
       let events, groups = Option.get shared.batch in
       Mutex.unlock shared.mutex;
-      sweep plan shard slab events groups;
+      sweep plan shard slab stats events groups;
       Mutex.lock shared.mutex;
       shared.done_count <- shared.done_count + 1;
       Condition.broadcast shared.finished;
@@ -88,8 +168,9 @@ let worker plan shard slab shared =
   in
   loop 0
 
-let create ?(shards = 1) d =
+let create ?(shards = 1) ?(pending_cap = 65536) d =
   if shards < 1 then invalid_arg "Engine.create: shards must be >= 1";
+  if pending_cap < 1 then invalid_arg "Engine.create: pending_cap must be >= 1";
   let n = Decomposition.graph_vertices d in
   let dim = max 1 (Decomposition.size d) in
   let plan = Shard.plan ~dimension:dim ~shards in
@@ -120,13 +201,17 @@ let create ?(shards = 1) d =
           stopping = false;
         }
   in
+  let stats =
+    Array.init k (fun s -> make_shard_stats ~coordinator:(s = 0) ~dim)
+  in
   let domains =
     match shared with
     | None -> [||]
     | Some sh ->
         (* Shard 0 sweeps on the coordinator's domain; 1..k-1 get workers. *)
         Array.init (k - 1) (fun i ->
-            Domain.spawn (fun () -> worker plan (i + 1) slabs.(i + 1) sh))
+            Domain.spawn (fun () ->
+                worker plan (i + 1) slabs.(i + 1) stats.(i + 1) sh))
   in
   {
     decomposition = d;
@@ -136,8 +221,11 @@ let create ?(shards = 1) d =
     slabs;
     shared;
     domains;
+    stats;
     events = Event_stream.create ~dimension:dim ~n;
     resolved = Queue.create ();
+    pending_cap;
+    dropped = 0;
     ticket_base = 0;
     issued = 0;
     stopped = false;
@@ -146,6 +234,22 @@ let create ?(shards = 1) d =
 let shards t = Shard.shards t.plan
 let processes t = t.n
 let dimension t = t.dim
+let pending t = Queue.length t.resolved
+let dropped t = t.dropped
+
+let telemetry_snapshots t =
+  Array.to_list
+    (Array.map (fun s -> Tm.snapshot ~registry:s.registry ()) t.stats)
+
+let shard_loads t =
+  Array.mapi
+    (fun i s ->
+      ( i,
+        s.swept_events,
+        Tm.Counter.value s.c_cells,
+        Tm.Counter.value s.c_owned ))
+    t.stats
+  |> Array.to_list
 
 let validate t events =
   Array.map
@@ -175,7 +279,7 @@ let observe_batch t events =
     Tm.Counter.incr m_batches;
     Tm.Counter.add m_events len;
     (match t.shared with
-    | None -> sweep t.plan 0 t.slabs.(0) events groups
+    | None -> sweep t.plan 0 t.slabs.(0) t.stats.(0) events groups
     | Some sh ->
         Mutex.lock sh.mutex;
         sh.batch <- Some (events, groups);
@@ -183,7 +287,7 @@ let observe_batch t events =
         sh.gen <- sh.gen + 1;
         Condition.broadcast sh.go;
         Mutex.unlock sh.mutex;
-        sweep t.plan 0 t.slabs.(0) events groups;
+        sweep t.plan 0 t.slabs.(0) t.stats.(0) events groups;
         Mutex.lock sh.mutex;
         while sh.done_count < Array.length t.domains do
           Condition.wait sh.finished sh.mutex
@@ -191,9 +295,17 @@ let observe_batch t events =
         sh.batch <- None;
         Mutex.unlock sh.mutex);
     let k = Shard.shards t.plan in
+    (* Bounded like a session's pending queue: when a client never
+       drains, the oldest resolved stamp is dropped (and counted) rather
+       than growing the daemon without bound. *)
     let enqueue resolved =
       List.iter
         (fun (ticket, stamp) ->
+          if Queue.length t.resolved >= t.pending_cap then begin
+            ignore (Queue.pop t.resolved);
+            t.dropped <- t.dropped + 1;
+            Tm.Counter.incr m_dropped
+          end;
           Queue.push (t.ticket_base + ticket, stamp) t.resolved)
         resolved
     in

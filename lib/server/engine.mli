@@ -23,16 +23,38 @@
 
 type t
 
-val create : ?shards:int -> Synts_graph.Decomposition.t -> t
+val create : ?shards:int -> ?pending_cap:int -> Synts_graph.Decomposition.t -> t
 (** [create ~shards d] builds an engine over decomposition [d] with at
     most [shards] (default 1, clamped to the component count) worker
-    domains. [shards < 1] raises [Invalid_argument]. *)
+    domains. [pending_cap] (default 65536, mirroring
+    {!Synts_session.Session}) bounds the resolved-stamp queue: beyond it
+    the oldest entry is dropped and counted in {!dropped}. [shards < 1]
+    or [pending_cap < 1] raises [Invalid_argument]. *)
 
 val shards : t -> int
 (** Effective shard count after clamping. *)
 
 val processes : t -> int
 val dimension : t -> int
+
+val pending : t -> int
+(** Resolved stamps currently queued awaiting {!drain} — the engine's
+    backpressure signal. *)
+
+val dropped : t -> int
+(** Resolved stamps discarded to the [pending_cap] bound since creation
+    (also the ["server.engine.dropped_events"] counter). *)
+
+val telemetry_snapshots : t -> Synts_telemetry.Telemetry.snapshot list
+(** One snapshot per shard, in shard order, from the per-shard private
+    registries (each worker domain records only into its own, so the hot
+    sweep is contention-free). The per-shard counters are shard-count
+    invariant: merging these snapshots with [Obs.Merge.snapshots]
+    reconstructs the single-shard oracle registry bit-identically. *)
+
+val shard_loads : t -> (int * int * int * int) list
+(** [(shard, events swept, cells written, messages owned)] per shard —
+    the admin channel's load-skew rows. *)
 
 val observe : t -> Synts_ingest.Ingest.event -> Synts_ingest.Ingest.outcome
 (** A batch of one — see {!observe_batch}. *)

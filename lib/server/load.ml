@@ -12,6 +12,8 @@ type report = {
   p50_ms : float;
   p95_ms : float;
   p99_ms : float;
+  server_dropped : int;
+  server_pending : int;
 }
 
 let edges_of d =
@@ -83,6 +85,18 @@ let run ?(clients = 4) ?(batches = 64) ?(batch = 32) ?(internal_prob = 0.1)
   in
   Array.sort compare latencies;
   let events = clients * batches * batch in
+  (* One post-run Stats round trip: loss (drops) and backpressure
+     (pending) are server-side facts the latency quantiles can't show. *)
+  let server_dropped, server_pending =
+    match
+      let c = Client.connect address in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () -> Client.server_stats c)
+    with
+    | Ok (s : Client.stats) -> (s.dropped, s.pending)
+    | Error _ | (exception _) -> (0, 0)
+  in
   {
     clients;
     batches;
@@ -93,6 +107,8 @@ let run ?(clients = 4) ?(batches = 64) ?(batch = 32) ?(internal_prob = 0.1)
     p50_ms = quantile latencies 0.50;
     p95_ms = quantile latencies 0.95;
     p99_ms = quantile latencies 0.99;
+    server_dropped;
+    server_pending;
   }
 
 let pp_report ppf r =
@@ -102,6 +118,7 @@ let pp_report ppf r =
      events         %d (%d messages)@,\
      wall clock     %.3f s@,\
      throughput     %.0f events/s@,\
-     batch latency  p50 %.3f ms   p95 %.3f ms   p99 %.3f ms@]"
+     batch latency  p50 %.3f ms   p95 %.3f ms   p99 %.3f ms@,\
+     server loss    %d dropped, %d pending@]"
     r.clients r.batches r.events r.messages r.seconds r.events_per_sec r.p50_ms
-    r.p95_ms r.p99_ms
+    r.p95_ms r.p99_ms r.server_dropped r.server_pending

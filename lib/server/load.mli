@@ -22,6 +22,9 @@ type report = {
   p50_ms : float;
   p95_ms : float;
   p99_ms : float;  (* per-batch round-trip latency quantiles *)
+  server_dropped : int;
+      (* resolved stamps the server discarded to its queue bound — loss *)
+  server_pending : int;  (* resolved stamps still queued — backpressure *)
 }
 
 val run :

@@ -17,7 +17,14 @@ type response =
   | Outcomes of Ingest.outcome array
   | Resolved of (Ingest.ticket * Internal_events.stamp) list
   | Verified of { ok : bool; checked : int }
-  | Stats_r of { clients : int; batches : int; messages : int; internal : int }
+  | Stats_r of {
+      clients : int;
+      batches : int;
+      messages : int;
+      internal : int;
+      dropped : int;
+      pending : int;
+    }
   | Error_r of string
   | Bye
 
@@ -179,12 +186,14 @@ let encode_response r =
       Buffer.add_char buf '\x03';
       Buffer.add_char buf (if ok then '\x01' else '\x00');
       Wire.put_varint buf checked
-  | Stats_r { clients; batches; messages; internal } ->
+  | Stats_r { clients; batches; messages; internal; dropped; pending } ->
       Buffer.add_char buf '\x04';
       Wire.put_varint buf clients;
       Wire.put_varint buf batches;
       Wire.put_varint buf messages;
-      Wire.put_varint buf internal
+      Wire.put_varint buf internal;
+      Wire.put_varint buf dropped;
+      Wire.put_varint buf pending
   | Error_r msg ->
       Buffer.add_char buf '\x05';
       put_string buf msg
@@ -255,8 +264,10 @@ let decode_response s =
           let batches, off = varint s off in
           let messages, off = varint s off in
           let internal, off = varint s off in
+          let dropped, off = varint s off in
+          let pending, off = varint s off in
           finish_at s off "Stats_r";
-          Ok (Stats_r { clients; batches; messages; internal })
+          Ok (Stats_r { clients; batches; messages; internal; dropped; pending })
       | 5 ->
           let msg, off = get_string s off in
           finish_at s off "Error_r";
@@ -286,8 +297,10 @@ let pp_response ppf = function
   | Resolved r -> Format.fprintf ppf "Resolved(%d)" (List.length r)
   | Verified { ok; checked } ->
       Format.fprintf ppf "Verified{ok=%b; checked=%d}" ok checked
-  | Stats_r { clients; batches; messages; internal } ->
-      Format.fprintf ppf "Stats{clients=%d; batches=%d; msgs=%d; internal=%d}"
-        clients batches messages internal
+  | Stats_r { clients; batches; messages; internal; dropped; pending } ->
+      Format.fprintf ppf
+        "Stats{clients=%d; batches=%d; msgs=%d; internal=%d; dropped=%d; \
+         pending=%d}"
+        clients batches messages internal dropped pending
   | Error_r e -> Format.fprintf ppf "Error(%s)" e
   | Bye -> Format.fprintf ppf "Bye"

@@ -28,7 +28,14 @@ type response =
   | Resolved of
       (Synts_ingest.Ingest.ticket * Synts_core.Internal_events.stamp) list
   | Verified of { ok : bool; checked : int }
-  | Stats_r of { clients : int; batches : int; messages : int; internal : int }
+  | Stats_r of {
+      clients : int;
+      batches : int;
+      messages : int;
+      internal : int;
+      dropped : int;  (** Resolved stamps lost to backend queue overflow. *)
+      pending : int;  (** Resolved stamps awaiting [Drain] — backpressure. *)
+    }
   | Error_r of string
   | Bye
 

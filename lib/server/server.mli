@@ -20,6 +20,7 @@ val serve :
   ?check:bool ->
   ?offline:bool ->
   ?window:int ->
+  ?admin:address ->
   address ->
   Synts_graph.Decomposition.t ->
   unit
@@ -27,7 +28,10 @@ val serve :
     [Unix.Unix_error] when the address cannot be bound. A pre-existing
     Unix socket path is unlinked first and removed again on exit.
     [offline]/[window] select the streaming-offline backend — see
-    {!Service.create}. *)
+    {!Service.create}. [admin] additionally listens on a second address
+    speaking the {!Synts_obs.Admin} frame family
+    ([health]/[metrics]/[stats]/[tracedump], answered by
+    {!Admin_service} on the same loop, between data-plane requests). *)
 
 type handle
 (** A daemon running in its own domain (in-process [synts serve] — used
@@ -38,6 +42,7 @@ val spawn :
   ?check:bool ->
   ?offline:bool ->
   ?window:int ->
+  ?admin:address ->
   address ->
   Synts_graph.Decomposition.t ->
   handle

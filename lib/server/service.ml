@@ -19,6 +19,9 @@ type conn = {
   mutable last_seq : int;  (* -1 until the first Observe *)
   mutable cached : Protocol.response option;
       (* reply to [last_seq], replayed on duplicate delivery *)
+  mutable events_in : int;
+  mutable stamps_out : int;
+  mutable dedup_hits : int;
 }
 
 (* The stamping backend behind the protocol: the sharded Fig. 5 engine,
@@ -41,6 +44,12 @@ type t = {
   mutable batches : int;
   mutable messages : int;
   mutable internal : int;
+  mutable dedup : int;
+  mutable errors : int;
+  registry : Tm.registry;
+      (* Service-private, so concurrent daemons (benches spawn several)
+         don't pool their latency histograms. *)
+  stamp_ms : Tm.Histogram.t;
 }
 
 let create ?shards ?(check = false) ?(offline = false) ?window d =
@@ -56,6 +65,14 @@ let create ?shards ?(check = false) ?(offline = false) ?window d =
     | Sharded e -> Engine.ingest e
     | Offline_stream s -> Synts_ingest.Offline_sink.ingest s
   in
+  let registry = Tm.create_registry () in
+  let stamp_ms =
+    Tm.Histogram.v ~registry
+      ~help:"Server-side batch stamping latency (milliseconds)"
+      ~buckets:[| 0.01; 0.025; 0.05; 0.1; 0.25; 0.5; 1.; 2.5; 5.; 10.; 25.;
+                  50.; 100. |]
+      "server.stamp_ms"
+  in
   {
     backend;
     sink;
@@ -68,10 +85,23 @@ let create ?shards ?(check = false) ?(offline = false) ?window d =
     batches = 0;
     messages = 0;
     internal = 0;
+    dedup = 0;
+    errors = 0;
+    registry;
+    stamp_ms;
   }
 
 let attach t =
-  let conn = { id = t.next_conn; last_seq = -1; cached = None } in
+  let conn =
+    {
+      id = t.next_conn;
+      last_seq = -1;
+      cached = None;
+      events_in = 0;
+      stamps_out = 0;
+      dedup_hits = 0;
+    }
+  in
   t.next_conn <- t.next_conn + 1;
   Hashtbl.replace t.conns conn.id conn;
   conn
@@ -83,6 +113,44 @@ let shards t =
 
 let stop t =
   match t.backend with Sharded e -> Engine.stop e | Offline_stream _ -> ()
+
+let backend t = t.backend
+
+let backend_name t =
+  match t.backend with
+  | Sharded e -> Printf.sprintf "sharded:%d" (Engine.shards e)
+  | Offline_stream _ -> "offline-stream"
+
+let batches t = t.batches
+let messages_total t = t.messages
+let internal_total t = t.internal
+let dedup_hits t = t.dedup
+let errors t = t.errors
+
+let pending t =
+  match t.backend with
+  | Sharded e -> Engine.pending e
+  | Offline_stream s -> Synts_ingest.Offline_sink.pending s
+
+let dropped t =
+  match t.backend with Sharded e -> Engine.dropped e | Offline_stream _ -> 0
+
+let stamp_quantiles t =
+  let q p = Tm.Histogram.quantile t.stamp_ms p in
+  (q 0.5, q 0.9, q 0.99)
+
+let conn_stats t =
+  Hashtbl.fold
+    (fun _ c acc ->
+      (c.id, c.events_in, c.stamps_out, c.dedup_hits, c.last_seq) :: acc)
+    t.conns []
+  |> List.sort compare
+
+let telemetry_snapshots t =
+  Tm.snapshot ~registry:t.registry ()
+  :: (match t.backend with
+     | Sharded e -> Engine.telemetry_snapshots e
+     | Offline_stream _ -> [])
 
 let record t events outcomes =
   Array.iter
@@ -171,6 +239,11 @@ let verify t =
 
 let handle t conn (req : Protocol.request) : Protocol.response =
   Tm.Counter.incr m_requests;
+  let err e =
+    Tm.Counter.incr m_errors;
+    t.errors <- t.errors + 1;
+    Protocol.Error_r e
+  in
   match req with
   | Hello ->
       Welcome
@@ -180,32 +253,36 @@ let handle t conn (req : Protocol.request) : Protocol.response =
           shards = shards t;
         }
   | Observe { seq; events } ->
-      if seq < 0 then begin
-        Tm.Counter.incr m_errors;
-        Error_r "negative sequence number"
-      end
+      if seq < 0 then err "negative sequence number"
       else if seq <= conn.last_seq then
         if seq = conn.last_seq then begin
           (* At-least-once delivery: a dup or retransmission is answered
              from the cache, never stamped twice. *)
           Tm.Counter.incr m_dups;
+          t.dedup <- t.dedup + 1;
+          conn.dedup_hits <- conn.dedup_hits + 1;
           Option.value conn.cached ~default:(Protocol.Error_r "no cached reply")
         end
-        else begin
-          Tm.Counter.incr m_errors;
-          Error_r (Printf.sprintf "stale sequence %d (last was %d)" seq
-                     conn.last_seq)
-        end
-      else if seq > conn.last_seq + 1 then begin
-        Tm.Counter.incr m_errors;
-        Error_r
+        else
+          err
+            (Printf.sprintf "stale sequence %d (last was %d)" seq conn.last_seq)
+      else if seq > conn.last_seq + 1 then
+        err
           (Printf.sprintf "sequence gap: got %d, expected %d" seq
              (conn.last_seq + 1))
-      end
       else begin
+        let t0 = Unix.gettimeofday () in
         match Ingest.observe_batch t.sink events with
         | outcomes ->
+            Tm.Histogram.observe t.stamp_ms
+              (1000. *. (Unix.gettimeofday () -. t0));
             record t events outcomes;
+            conn.events_in <- conn.events_in + Array.length events;
+            Array.iter
+              (function
+                | Ingest.Stamped _ -> conn.stamps_out <- conn.stamps_out + 1
+                | Ingest.Deferred _ -> ())
+              outcomes;
             let resp = Protocol.Outcomes outcomes in
             conn.last_seq <- seq;
             conn.cached <- Some resp;
@@ -214,16 +291,13 @@ let handle t conn (req : Protocol.request) : Protocol.response =
             (* Validation rejected the batch before any state change; the
                sequence is not consumed, so a corrected retry may reuse
                it. *)
-            Tm.Counter.incr m_errors;
-            Error_r e
+            err e
       end
   | Drain -> Resolved (Ingest.drain t.sink)
   | Finish -> Resolved (Ingest.finish t.sink)
   | Verify ->
-      if not t.check then begin
-        Tm.Counter.incr m_errors;
-        Error_r "verification disabled (start the server with --check)"
-      end
+      if not t.check then
+        err "verification disabled (start the server with --check)"
       else verify t
   | Stats ->
       Stats_r
@@ -232,18 +306,21 @@ let handle t conn (req : Protocol.request) : Protocol.response =
           batches = t.batches;
           messages = t.messages;
           internal = t.internal;
+          dropped = dropped t;
+          pending = pending t;
         }
   | Shutdown -> Bye
 
 let handle_raw t conn raw =
   let reply resp = Wire.frame (Protocol.encode_response resp) in
+  let err e =
+    Tm.Counter.incr m_errors;
+    t.errors <- t.errors + 1;
+    reply (Protocol.Error_r e)
+  in
   match Wire.unframe raw with
-  | Error e ->
-      Tm.Counter.incr m_errors;
-      reply (Error_r ("bad frame: " ^ e))
+  | Error e -> err ("bad frame: " ^ e)
   | Ok body -> (
       match Protocol.decode_request body with
-      | Error e ->
-          Tm.Counter.incr m_errors;
-          reply (Error_r ("bad request: " ^ e))
+      | Error e -> err ("bad request: " ^ e)
       | Ok req -> reply (handle t conn req))

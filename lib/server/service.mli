@@ -69,3 +69,48 @@ val stop : t -> unit
 
 val shards : t -> int
 (** Worker domains of the sharded backend; 1 in offline-stream mode. *)
+
+(** {2 Introspection}
+
+    The accessors behind the admin channel ({!Admin_service}). All are
+    cheap reads of coordinator-side state — safe to call between
+    requests on the serve loop's thread. *)
+
+type backend =
+  | Sharded of Engine.t
+  | Offline_stream of Synts_ingest.Offline_sink.t
+
+val backend : t -> backend
+
+val backend_name : t -> string
+(** ["sharded:k"] or ["offline-stream"]. *)
+
+val batches : t -> int
+val messages_total : t -> int
+val internal_total : t -> int
+
+val dedup_hits : t -> int
+(** Observe requests answered from a reply cache (sequence replays). *)
+
+val errors : t -> int
+(** Requests answered with [Error_r], including bad frames. *)
+
+val pending : t -> int
+(** Resolved stamps queued in the backend awaiting [Drain]. *)
+
+val dropped : t -> int
+(** Resolved stamps the backend discarded to its queue bound. *)
+
+val stamp_quantiles : t -> float * float * float
+(** [(p50, p90, p99)] server-side batch stamping latency in
+    milliseconds, from the service-private [server.stamp_ms]
+    histogram. *)
+
+val conn_stats : t -> (int * int * int * int * int) list
+(** Per-connection [(id, events in, stamps out, dedup hits, last seq)],
+    sorted by id. *)
+
+val telemetry_snapshots : t -> Synts_telemetry.Telemetry.snapshot list
+(** The service-private registry snapshot followed by the engine's
+    per-shard registry snapshots (empty tail in offline mode) — merge
+    with [Obs.Merge.snapshots] for the admin [metrics] view. *)

@@ -10,6 +10,8 @@ type histogram = {
   counts : int array;  (* length = Array.length bounds + 1, last = +inf *)
   mutable h_sum : float;
   mutable h_count : int;
+  mutable h_min : float;  (* +inf while empty: merge identity *)
+  mutable h_max : float;  (* -inf while empty: merge identity *)
 }
 
 type metric =
@@ -98,6 +100,8 @@ module Histogram = struct
           counts = Array.make (Array.length buckets + 1) 0;
           h_sum = 0.0;
           h_count = 0;
+          h_min = Float.infinity;
+          h_max = Float.neg_infinity;
         }
     in
     match register registry name help fresh with
@@ -113,11 +117,29 @@ module Histogram = struct
       done;
       t.counts.(!i) <- t.counts.(!i) + 1;
       t.h_sum <- t.h_sum +. x;
-      t.h_count <- t.h_count + 1
+      t.h_count <- t.h_count + 1;
+      if x < t.h_min then t.h_min <- x;
+      if x > t.h_max then t.h_max <- x
+    end
+
+  let observe_n t x n =
+    if !on && n > 0 then begin
+      let k = Array.length t.bounds in
+      let i = ref 0 in
+      while !i < k && x > t.bounds.(!i) do
+        incr i
+      done;
+      t.counts.(!i) <- t.counts.(!i) + n;
+      t.h_sum <- t.h_sum +. (x *. float_of_int n);
+      t.h_count <- t.h_count + n;
+      if x < t.h_min then t.h_min <- x;
+      if x > t.h_max then t.h_max <- x
     end
 
   let count t = t.h_count
   let sum t = t.h_sum
+  let min_value t = if t.h_count = 0 then 0.0 else t.h_min
+  let max_value t = if t.h_count = 0 then 0.0 else t.h_max
 
   (* Shared with [quantile_of_value]: [counts] holds one entry per finite
      bound plus the +inf bucket; ranks past the finite buckets clamp to
@@ -172,6 +194,8 @@ type value =
       inf : int;
       sum : float;
       count : int;
+      min : float;  (* +inf while count = 0 *)
+      max : float;  (* -inf while count = 0 *)
     }
 
 type snapshot = (string * value) list
@@ -199,6 +223,8 @@ let snapshot ?(registry = default) () =
                 inf = h.counts.(Array.length h.bounds);
                 sum = h.h_sum;
                 count = h.h_count;
+                min = h.h_min;
+                max = h.h_max;
               }
       in
       (name, v) :: acc)
@@ -214,7 +240,9 @@ let reset ?(registry = default) () =
       | M_histogram h ->
           Array.fill h.counts 0 (Array.length h.counts) 0;
           h.h_sum <- 0.0;
-          h.h_count <- 0)
+          h.h_count <- 0;
+          h.h_min <- Float.infinity;
+          h.h_max <- Float.neg_infinity)
     registry.table
 
 let metric_names ?(registry = default) () =
@@ -251,7 +279,7 @@ let to_prometheus ?(registry = default) snap =
       | Gauge_v g ->
           Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" pname);
           Buffer.add_string buf (Printf.sprintf "%s %d\n" pname g)
-      | Histogram_v { buckets; inf; sum; count } ->
+      | Histogram_v { buckets; inf; sum; count; min; max } ->
           Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" pname);
           let cumulative = ref 0 in
           Array.iter
@@ -266,7 +294,16 @@ let to_prometheus ?(registry = default) snap =
                (!cumulative + inf));
           Buffer.add_string buf
             (Printf.sprintf "%s_sum %s\n" pname (ftoa sum));
-          Buffer.add_string buf (Printf.sprintf "%s_count %d\n" pname count)))
+          Buffer.add_string buf (Printf.sprintf "%s_count %d\n" pname count);
+          (* min/max are gauges in exposition terms; the sentinel
+             infinities of an empty histogram render as 0 so scrape
+             output stays finite and deterministic. *)
+          Buffer.add_string buf
+            (Printf.sprintf "%s_min %s\n" pname
+               (ftoa (if count = 0 then 0.0 else min)));
+          Buffer.add_string buf
+            (Printf.sprintf "%s_max %s\n" pname
+               (ftoa (if count = 0 then 0.0 else max)))))
     snap;
   Buffer.contents buf
 
@@ -299,12 +336,14 @@ let to_json ?(registry = default) snap =
       | Gauge_v g ->
           Buffer.add_string buf
             (Printf.sprintf "{\"type\": \"gauge\", \"value\": %d}" g)
-      | Histogram_v { buckets; inf; sum; count } ->
+      | Histogram_v { buckets; inf; sum; count; min; max } ->
           Buffer.add_string buf
             (Printf.sprintf
                "{\"type\": \"histogram\", \"count\": %d, \"sum\": %s, \
-                \"buckets\": ["
-               count (ftoa sum));
+                \"min\": %s, \"max\": %s, \"buckets\": ["
+               count (ftoa sum)
+               (ftoa (if count = 0 then 0.0 else min))
+               (ftoa (if count = 0 then 0.0 else max)));
           Array.iteri
             (fun i (le, c) ->
               if i > 0 then Buffer.add_string buf ", ";
@@ -323,13 +362,17 @@ let pp ppf snap =
       match v with
       | Counter_v c -> Format.fprintf ppf "%-42s %d@." name c
       | Gauge_v g -> Format.fprintf ppf "%-42s %d (gauge)@." name g
-      | Histogram_v { sum; count; _ } ->
+      | Histogram_v { sum; count; min; max; _ } ->
           let q p =
             match quantile_of_value v p with
             | Some x -> ftoa x
             | None -> "-"
           in
           Format.fprintf ppf
-            "%-42s count=%d sum=%s p50=%s p90=%s p99=%s (histogram)@." name
-            count (ftoa sum) (q 0.5) (q 0.9) (q 0.99))
+            "%-42s count=%d sum=%s min=%s max=%s p50=%s p90=%s p99=%s \
+             (histogram)@."
+            name count (ftoa sum)
+            (ftoa (if count = 0 then 0.0 else min))
+            (ftoa (if count = 0 then 0.0 else max))
+            (q 0.5) (q 0.9) (q 0.99))
     snap

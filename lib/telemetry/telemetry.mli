@@ -79,8 +79,20 @@ module Histogram : sig
       at first registration (later [v] calls ignore the argument). *)
 
   val observe : t -> float -> unit
+
+  val observe_n : t -> float -> int -> unit
+  (** [observe_n t x n] records [n] observations of [x] with one bucket
+      walk — what hot loops use to aggregate per-batch. For integral [x]
+      (and any [x] where [x *. n] is exact) the result is structurally
+      identical to [n] calls of {!observe}, which is what the cross-shard
+      merge property relies on. *)
+
   val count : t -> int
   val sum : t -> float
+
+  val min_value : t -> float
+  val max_value : t -> float
+  (** Smallest / largest observation so far; [0.] while empty. *)
 
   val quantile : t -> float -> float
   (** [quantile h q] estimates the [q]-quantile ([0 ≤ q ≤ 1]) of the
@@ -118,6 +130,10 @@ type value =
       inf : int;  (** Count above the last bound. *)
       sum : float;
       count : int;
+      min : float;
+          (** Smallest observation; [+inf] while [count = 0] so it is the
+              identity under {!Synts_obs.Merge} (exports render 0). *)
+      max : float;  (** Largest observation; [-inf] while [count = 0]. *)
     }
 
 type snapshot = (string * value) list
@@ -137,7 +153,8 @@ val metric_names : ?registry:registry -> unit -> (string * string) list
 val to_prometheus : ?registry:registry -> snapshot -> string
 (** Prometheus text exposition format. Dotted names are mapped to
     underscores; histogram buckets are emitted cumulatively with an
-    final [+Inf] bucket, as the format requires. *)
+    final [+Inf] bucket, as the format requires, followed by
+    [_sum]/[_count]/[_min]/[_max] summary lines. *)
 
 val to_json : ?registry:registry -> snapshot -> string
 (** A single JSON object keyed by metric name. *)

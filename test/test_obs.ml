@@ -1,0 +1,392 @@
+module Topology = Synts_graph.Topology
+module Decomposition = Synts_graph.Decomposition
+module Trace = Synts_sync.Trace
+module Wire = Synts_clock.Wire
+module Ingest = Synts_ingest.Ingest
+module Telemetry = Synts_telemetry.Telemetry
+module Log = Synts_obs.Log
+module Merge = Synts_obs.Merge
+module Admin = Synts_obs.Admin
+module Engine = Synts_server.Engine
+module Service = Synts_server.Service
+module Protocol = Synts_server.Protocol
+module Injector = Synts_fault.Injector
+module Plan = Synts_fault.Plan
+module Gen = Synts_test_support.Gen
+
+let qtest ?(count = 100) name gen print f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name ~print gen f)
+
+let events_of_trace trace =
+  Array.of_list (List.map Ingest.event_of_step (Trace.steps trace))
+
+(* ---------- structured log records ---------- *)
+
+let test_log_render_text () =
+  Alcotest.(check string) "text line"
+    "[WARN] tick=7 engine: queue full cap=65536 dropped=3"
+    (Log.render_text Log.Warn ~tick:7 ~component:"engine"
+       ~kv:[ ("cap", "65536"); ("dropped", "3") ]
+       "queue full")
+
+let test_log_render_jsonl () =
+  Alcotest.(check string) "jsonl line"
+    "{\"level\": \"info\", \"tick\": 3, \"component\": \"server\", \"msg\": \
+     \"said \\\"hi\\\"\", \"batches\": \"2\"}"
+    (Log.render_jsonl Log.Info ~tick:3 ~component:"server"
+       ~kv:[ ("batches", "2") ]
+       "said \"hi\"")
+
+(* Severity filtering and the monotone default tick, observed through a
+   custom sink. Defaults are restored so other tests keep stderr text. *)
+let test_log_filtering () =
+  let lines = ref [] in
+  Log.set_sink (Custom (fun l -> lines := l :: !lines));
+  Log.set_level Log.Warn;
+  Fun.protect
+    ~finally:(fun () ->
+      Log.set_level Log.Info;
+      Log.set_sink (Text stderr))
+    (fun () ->
+      let before = Log.records () in
+      Log.info ~component:"x" "dropped by level";
+      Log.warn ~component:"x" ~tick:1 "kept";
+      Log.error ~component:"y" "kept too";
+      Alcotest.(check int) "two records" (before + 2) (Log.records ());
+      Alcotest.(check int) "two lines" 2 (List.length !lines);
+      Alcotest.(check bool) "filtered out" false
+        (List.exists
+           (fun l ->
+             let n = String.length "dropped by level" in
+             let m = String.length l in
+             let rec at i =
+               (i + n <= m && String.sub l i n = "dropped by level")
+               || (i + n <= m && at (i + 1))
+             in
+             at 0)
+           !lines))
+
+(* ---------- merge semantics ---------- *)
+
+let hist ?(bounds = [| 1.; 2. |]) counts inf sum count min max =
+  Telemetry.Histogram_v
+    {
+      buckets = Array.map2 (fun b c -> (b, c)) bounds counts;
+      inf;
+      sum;
+      count;
+      min;
+      max;
+    }
+
+let empty_hist = hist [| 0; 0 |] 0 0. 0 Float.infinity Float.neg_infinity
+
+let test_merge_values () =
+  Alcotest.(check bool) "counters add" true
+    (Merge.value (Telemetry.Counter_v 3) (Telemetry.Counter_v 4)
+    = Telemetry.Counter_v 7);
+  Alcotest.(check bool) "gauges max" true
+    (Merge.value (Telemetry.Gauge_v 3) (Telemetry.Gauge_v 9)
+    = Telemetry.Gauge_v 9);
+  Alcotest.(check bool) "histograms add pointwise" true
+    (Merge.value
+       (hist [| 1; 0 |] 2 7.5 3 0.5 6.)
+       (hist [| 0; 2 |] 1 4.0 3 1.5 2.)
+    = hist [| 1; 2 |] 3 11.5 6 0.5 6.);
+  Alcotest.(check bool) "empty histogram is the identity" true
+    (Merge.value empty_hist (hist [| 1; 1 |] 0 2.5 2 0.5 2.)
+    = hist [| 1; 1 |] 0 2.5 2 0.5 2.)
+
+let test_merge_mismatch () =
+  Alcotest.check_raises "kind mismatch"
+    (Invalid_argument "Obs.Merge: metric kind mismatch") (fun () ->
+      ignore (Merge.value (Telemetry.Counter_v 1) (Telemetry.Gauge_v 1)));
+  match
+    Merge.value
+      (hist ~bounds:[| 1.; 2. |] [| 0; 0 |] 0 0. 0 Float.infinity
+         Float.neg_infinity)
+      (hist ~bounds:[| 1.; 3. |] [| 0; 0 |] 0 0. 0 Float.infinity
+         Float.neg_infinity)
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "bucket-bounds mismatch must raise"
+
+let test_merge_snapshots_sorted () =
+  let merged =
+    Merge.snapshots
+      [
+        [ ("z.late", Telemetry.Counter_v 1); ("a.early", Telemetry.Gauge_v 2) ];
+        [ ("m.mid", Telemetry.Counter_v 5); ("z.late", Telemetry.Counter_v 4) ];
+      ]
+  in
+  Alcotest.(check bool) "sorted, summed" true
+    (merged
+    = [
+        ("a.early", Telemetry.Gauge_v 2);
+        ("m.mid", Telemetry.Counter_v 5);
+        ("z.late", Telemetry.Counter_v 5);
+      ]);
+  Alcotest.(check bool) "empty" true (Merge.snapshots [] = [])
+
+(* ---------- admin codec ---------- *)
+
+let request_gen =
+  QCheck2.Gen.oneofl
+    [
+      Admin.Health;
+      Admin.Metrics Admin.Prom;
+      Admin.Metrics Admin.Json;
+      Admin.Stats;
+      Admin.Tracedump;
+    ]
+
+(* Finite floats only: the 8-byte BE IEEE encoding roundtrips any bits,
+   but structural equality on NaN would be vacuously false. *)
+let qfloat =
+  QCheck2.Gen.(map (fun i -> float_of_int i /. 16.) (int_bound 100000))
+
+let shard_stat_gen =
+  QCheck2.Gen.(
+    map
+      (fun (shard, s_events, s_cells, s_messages) ->
+        { Admin.shard; s_events; s_cells; s_messages })
+      (quad (int_bound 16) (int_bound 10000) (int_bound 10000)
+         (int_bound 10000)))
+
+let conn_stat_gen =
+  QCheck2.Gen.(
+    map2
+      (fun (conn, events_in, stamps_out) (dedup_hits, last_seq) ->
+        { Admin.conn; events_in; stamps_out; dedup_hits; last_seq })
+      (triple (int_bound 64) (int_bound 10000) (int_bound 10000))
+      (pair (int_bound 100) (int_range (-1) 10000)))
+
+let stream_stat_gen =
+  QCheck2.Gen.(
+    map2
+      (fun (chains, live, retired) (width, exact, repairs) ->
+        { Admin.chains; live; retired; width; exact; repairs })
+      (triple (int_bound 100) (int_bound 1000) (int_bound 1000))
+      (triple (int_bound 100) bool (int_bound 50)))
+
+let stats_gen =
+  QCheck2.Gen.(
+    map
+      (fun ( (backend, clients, batches, messages),
+             (internal, dedup_hits, errors, dropped),
+             (pending, p50_ms, p90_ms, p99_ms),
+             (shards, conns, stream) ) ->
+        {
+          Admin.backend;
+          clients;
+          batches;
+          messages;
+          internal;
+          dedup_hits;
+          errors;
+          dropped;
+          pending;
+          p50_ms;
+          p90_ms;
+          p99_ms;
+          shards;
+          conns;
+          stream;
+        })
+      (quad
+         (quad (string_size (int_bound 12)) (int_bound 64) (int_bound 10000)
+            (int_bound 10000))
+         (quad (int_bound 10000) (int_bound 100) (int_bound 100)
+            (int_bound 100))
+         (quad (int_bound 10000) qfloat qfloat qfloat)
+         (triple
+            (list_size (int_bound 4) shard_stat_gen)
+            (list_size (int_bound 4) conn_stat_gen)
+            (option stream_stat_gen))))
+
+let response_gen =
+  QCheck2.Gen.(
+    oneof
+      [
+        map2
+          (fun (ok, processes, dimension) (backend, shards) ->
+            Admin.Health_r { ok; backend; processes; dimension; shards })
+          (triple bool (int_bound 1000) (int_bound 100))
+          (pair (string_size (int_bound 12)) (int_bound 16));
+        map (fun s -> Admin.Metrics_r s) (string_size (int_bound 64));
+        map (fun s -> Admin.Stats_r s) stats_gen;
+        map2
+          (fun (dropped, spans) jsonl ->
+            Admin.Tracedump_r { dropped; spans; jsonl })
+          (pair (int_bound 100) (int_bound 1000))
+          (string_size (int_bound 64));
+        map (fun e -> Admin.Error_r e) (string_size (int_bound 40));
+      ])
+
+let test_request_roundtrip =
+  qtest ~count:100 "admin request codec roundtrips" request_gen
+    (Format.asprintf "%a" Admin.pp_request) (fun req ->
+      Admin.decode_request (Admin.encode_request req) = Ok req)
+
+let test_response_roundtrip =
+  qtest ~count:300 "admin response codec roundtrips" response_gen
+    (Format.asprintf "%a" Admin.pp_response) (fun resp ->
+      Admin.decode_response (Admin.encode_response resp) = Ok resp)
+
+(* The family header: data-plane bodies and future family versions are
+   rejected with a decode error, not misparsed. *)
+let test_family_rejection () =
+  (match Admin.decode_request (Protocol.encode_request Protocol.Stats) with
+  | Error _ -> ()
+  | Ok r ->
+      Alcotest.fail
+        (Format.asprintf "data-plane body decoded as %a" Admin.pp_request r));
+  let future =
+    let b = Bytes.of_string (Admin.encode_request Admin.Health) in
+    Bytes.set b 1 (Char.chr (Admin.current_version + 1));
+    Bytes.to_string b
+  in
+  match Admin.decode_request future with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "future version accepted"
+
+(* ---------- cross-shard merge ≡ single-shard oracle ---------- *)
+
+let run_engine ~shards ~batch events d =
+  let e = Engine.create ~shards d in
+  Fun.protect
+    ~finally:(fun () -> Engine.stop e)
+    (fun () ->
+      let total = Array.length events in
+      let off = ref 0 in
+      while !off < total do
+        let len = min batch (total - !off) in
+        ignore (Engine.observe_batch e (Array.sub events !off len));
+        off := !off + len
+      done;
+      ignore (Engine.finish e);
+      Engine.telemetry_snapshots e)
+
+let merge_gen = QCheck2.Gen.(pair Gen.computation (int_range 2 4))
+
+let merge_print (c, shards) =
+  Printf.sprintf "%s shards=%d" (Gen.computation_print c) shards
+
+(* The per-shard counters are designed to be shard-count invariant:
+   merging the k-shard registries must reconstruct the 1-shard oracle
+   registry structurally — same names, same counts, same histogram
+   buckets — whatever the batching. *)
+let test_merge_matches_oracle =
+  qtest ~count:60 "k-shard registries merge to the 1-shard oracle" merge_gen
+    merge_print (fun (c, shards) ->
+      let g, trace = Gen.build_computation c in
+      let d = Decomposition.best g in
+      let events = events_of_trace trace in
+      let merged =
+        Merge.snapshots (run_engine ~shards ~batch:7 events d)
+      in
+      let oracle =
+        Merge.snapshots (run_engine ~shards:1 ~batch:1024 events d)
+      in
+      merged = oracle)
+
+(* The same property through the byte-level service path with a fault
+   injector duplicating and corrupting deliveries: seq dedup and the
+   wire checksum keep the engine's effective stream clean, so the merged
+   shard registries still equal the clean single-shard oracle. *)
+let faulty_gen = QCheck2.Gen.(triple Gen.computation (int_range 2 4) Gen.rng_seed)
+
+let faulty_print (c, shards, seed) =
+  Printf.sprintf "%s shards=%d inj_seed=%d" (Gen.computation_print c) shards
+    seed
+
+let test_merge_under_faults =
+  qtest ~count:25 "merge survives dup/corrupt delivery" faulty_gen
+    faulty_print (fun (c, shards, seed) ->
+      let g, trace = Gen.build_computation c in
+      let d = Decomposition.best g in
+      let events = events_of_trace trace in
+      let oracle =
+        Merge.snapshots (run_engine ~shards:1 ~batch:9 events d)
+      in
+      let service = Service.create ~shards d in
+      Fun.protect
+        ~finally:(fun () -> Service.stop service)
+        (fun () ->
+          let conn = Service.attach service in
+          let inj =
+            Injector.create ~seed
+              [ Plan.Duplicate { prob = 0.3 }; Plan.Corrupt { prob = 0.3 } ]
+          in
+          let deliver raw =
+            let wire =
+              if Injector.roll_corrupt inj then Injector.flip_bit inj raw
+              else raw
+            in
+            let reply = Service.handle_raw service conn wire in
+            if Injector.roll_duplicate inj then
+              Service.handle_raw service conn wire
+            else reply
+          in
+          let decode reply =
+            match Wire.unframe reply with
+            | Error e -> failwith ("reply frame: " ^ e)
+            | Ok body -> (
+                match Protocol.decode_response body with
+                | Error e -> failwith ("reply decode: " ^ e)
+                | Ok r -> r)
+          in
+          let total = Array.length events in
+          let seq = ref 0 and off = ref 0 in
+          while !off < total do
+            let len = min 9 (total - !off) in
+            let req =
+              Protocol.Observe
+                { seq = !seq; events = Array.sub events !off len }
+            in
+            let raw = Wire.frame (Protocol.encode_request req) in
+            let rec attempt tries =
+              if tries > 64 then failwith "no progress against injector";
+              match decode (deliver raw) with
+              | Protocol.Outcomes _ -> ()
+              | Protocol.Error_r _ -> attempt (tries + 1)
+              | other ->
+                  Format.kasprintf failwith "unexpected %a"
+                    Protocol.pp_response other
+            in
+            attempt 0;
+            incr seq;
+            off := !off + len
+          done;
+          (* Head of the list is the service's own registry (latency,
+             dedup) — nondeterministic; the merge property is about the
+             engine's per-shard registries behind it. *)
+          let shard_snaps = List.tl (Service.telemetry_snapshots service) in
+          Merge.snapshots shard_snaps = oracle))
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "log",
+        [
+          Alcotest.test_case "text rendering" `Quick test_log_render_text;
+          Alcotest.test_case "jsonl rendering" `Quick test_log_render_jsonl;
+          Alcotest.test_case "level filter + ticks" `Quick test_log_filtering;
+        ] );
+      ( "merge",
+        [
+          Alcotest.test_case "value semantics" `Quick test_merge_values;
+          Alcotest.test_case "mismatches raise" `Quick test_merge_mismatch;
+          Alcotest.test_case "snapshots sort and sum" `Quick
+            test_merge_snapshots_sorted;
+        ] );
+      ( "admin codec",
+        [
+          test_request_roundtrip;
+          test_response_roundtrip;
+          Alcotest.test_case "family header rejection" `Quick
+            test_family_rejection;
+        ] );
+      ( "cross-shard",
+        [ test_merge_matches_oracle; test_merge_under_faults ] );
+    ]

@@ -199,11 +199,13 @@ let response_gen =
         map2
           (fun ok checked -> Protocol.Verified { ok; checked })
           bool (int_bound 10000);
-        map
-          (fun (clients, batches, messages, internal) ->
-            Protocol.Stats_r { clients; batches; messages; internal })
+        map2
+          (fun (clients, batches, messages, internal) (dropped, pending) ->
+            Protocol.Stats_r
+              { clients; batches; messages; internal; dropped; pending })
           (quad (int_bound 100) (int_bound 1000) (int_bound 1000)
-             (int_bound 1000));
+             (int_bound 1000))
+          (pair (int_bound 1000) (int_bound 1000));
         map (fun e -> Protocol.Error_r e) (string_size (int_bound 40));
         return Protocol.Bye;
       ])
@@ -427,7 +429,7 @@ let test_socket_roundtrip () =
             (Trace.message_count trace) checked
       | Error e -> Alcotest.fail ("verify: " ^ e));
       (match Client.server_stats clients.(0) with
-      | Ok (n_clients, _, messages, _) ->
+      | Ok ({ clients = n_clients; messages; _ } : Client.stats) ->
           Alcotest.(check int) "three clients" 3 n_clients;
           Alcotest.(check int) "message count" (Trace.message_count trace)
             messages

@@ -50,7 +50,10 @@ let test_histogram () =
   Alcotest.(check int) "count" 7 (Tm.Histogram.count h);
   Alcotest.(check (float 1e-9)) "sum" 37.6 (Tm.Histogram.sum h);
   match Tm.snapshot ~registry:r () with
-  | [ ("t.hist", Tm.Histogram_v { buckets; inf; sum = _; count }) ] ->
+  | [ ("t.hist", Tm.Histogram_v { buckets; inf; sum = _; count; min; max }) ]
+    ->
+      Alcotest.(check (float 1e-9)) "min tracked" 0.5 min;
+      Alcotest.(check (float 1e-9)) "max tracked" 10.1 max;
       (* Upper bounds are inclusive: 1.0 lands in le=1, 10.0 in le=10. *)
       Alcotest.(check (list (pair (float 0.) int)))
         "per-bucket counts"
@@ -115,7 +118,7 @@ let test_span () =
   let b = Tm.Span.start s ~tick:100. in
   Tm.Span.stop b ~tick:140.;
   match Tm.snapshot ~registry:r () with
-  | [ ("t.span", Tm.Histogram_v { buckets; inf; sum; count }) ] ->
+  | [ ("t.span", Tm.Histogram_v { buckets; inf; sum; count; _ }) ] ->
       Alcotest.(check int) "two observations" 2 count;
       Alcotest.(check (float 1e-9)) "durations summed" 43. sum;
       Alcotest.(check (list (pair (float 0.) int)))
@@ -170,6 +173,8 @@ let test_prometheus_export () =
       "ex_latency_bucket{le=\"+Inf\"} 2";
       "ex_latency_sum 10.5";
       "ex_latency_count 2";
+      "ex_latency_min 1.5";
+      "ex_latency_max 9";
     ]
 
 let test_fault_counters_exported () =
