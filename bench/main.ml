@@ -604,6 +604,57 @@ let obs_overhead_tests =
         (Staged.stage (feed ~telemetry:true ~scrape:true));
     ]
 
+(* B22: churn overhead — the epoch-tagged churn harness on a static
+   membership vs. the same run with three membership deltas (each one a
+   reshard: incremental repair, remap append, per-process view
+   catch-up, stale-frame translation on receipt), plus the raw
+   membership maintenance cost alone (build + 4 deltas on a 32-ring,
+   exercising the incremental-repair path without the protocol).
+   Exactness checking is off in the harness rows so the delta is pure
+   protocol + epoch machinery. *)
+let churn_tests =
+  let g = Topology.ring 8 in
+  let plan =
+    match
+      Synts_fault.Plan.of_string "join:8:8-0,8-4@20; leave:3@45; flap:5@70+10"
+    with
+    | Ok p -> p
+    | Error e -> failwith e
+  in
+  let harness ?faults () =
+    match
+      Synts_fault.Churn.run ~seed:7 ?faults ~check:false ~graph:g
+        ~messages:200 ()
+    with
+    | Ok _ -> ()
+    | Error e -> failwith e
+  in
+  let module Membership = Synts_graph.Membership in
+  let deltas =
+    [
+      Membership.Join { proc = 32; edges = [ (32, 0); (32, 16) ] };
+      Membership.Leave 5;
+      Membership.Add_edge (2, 7);
+      Membership.Remove_edge (10, 11);
+    ]
+  in
+  Test.make_grouped ~name:"churn-overhead"
+    [
+      Test.make ~name:"static-200msg" (Staged.stage (fun () -> harness ()));
+      Test.make ~name:"churn-200msg"
+        (Staged.stage (fun () ->
+             harness ~faults:(Synts_fault.Injector.create ~seed:7 plan) ()));
+      Test.make ~name:"membership-4-deltas"
+        (Staged.stage (fun () ->
+             let m = Membership.of_graph (Topology.ring 32) in
+             List.iter
+               (fun d ->
+                 match Membership.apply m d with
+                 | Ok _ -> ()
+                 | Error e -> failwith e)
+               deltas));
+    ]
+
 let all_groups =
   [
     ("decomposition", decomposition_tests);
@@ -617,6 +668,7 @@ let all_groups =
     ("internal-events", stream_tests);
     ("network-600msg", network_tests);
     ("fault-overhead", fault_tests);
+    ("churn-overhead", churn_tests);
     ("scaling-1000msg", scaling_tests);
     ("telemetry-overhead", telemetry_tests);
     ("stamper-drivers-1000msg", stamper_tests);

@@ -24,8 +24,12 @@ module Validate = Synts_check.Validate
 module Experiments = Synts_experiments.Experiments
 module Telemetry = Synts_telemetry.Telemetry
 module Lint = Synts_lint.Lint
+module Finding = Synts_lint.Finding
+module Epoch_lint = Synts_lint.Epoch_lint
 module Fault_plan = Synts_fault.Plan
 module Injector = Synts_fault.Injector
+module Churn = Synts_fault.Churn
+module Membership = Synts_graph.Membership
 module Tracer = Synts_trace.Tracer
 module Tracelog = Synts_trace.Tracelog
 module Chrome = Synts_trace.Chrome
@@ -1517,9 +1521,20 @@ let model_cmd =
           (match cfg.Protocol.mutation with
           | None -> "none"
           | Some mu -> Protocol.mutation_to_string mu);
-        Format.printf
-          "decomposition: %d vector component(s) over the script topology@."
-          (Decomposition.size (Protocol.decomposition m));
+        (match cfg.Protocol.churn with
+        | [] ->
+            Format.printf
+              "decomposition: %d vector component(s) over the script \
+               topology@."
+              (Decomposition.size (Protocol.decomposition m))
+        | churn ->
+            Format.printf
+              "churn: %d delta(s), %d epoch(s) —%s@." (List.length churn)
+              (List.length churn + 1)
+              (String.concat ""
+                 (List.map
+                    (fun (at, spec) -> Printf.sprintf " @%d %s" at spec)
+                    churn)));
         let report_line label (x : Checker.report) =
           let s = x.Checker.stats in
           Format.printf
@@ -1945,6 +1960,13 @@ let chaos_cmd =
       & info [ "max-retransmits" ] ~docv:"K"
           ~doc:"Attempts before a sender gives up on a rendezvous.")
   in
+  let chaos_format_t =
+    (* -f is taken by --fault here, so no short alias. *)
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT" ~doc:"Report as $(b,text) or $(b,json).")
+  in
   let no_checksum_t =
     Arg.(
       value & flag
@@ -1955,7 +1977,7 @@ let chaos_cmd =
              (the lint verdict catches the divergence).")
   in
   let run seed topo messages internal loss fault_specs plan_spec retransmit
-      max_retransmits no_checksum metrics tracefile =
+      max_retransmits no_checksum format metrics tracefile =
     check_loss loss;
     check_loss internal;
     let parse_clauses = function
@@ -1990,6 +2012,13 @@ let chaos_cmd =
     | Error e ->
         prerr_endline ("synts chaos: " ^ e);
         exit 2);
+    if Fault_plan.has_churn plan then begin
+      prerr_endline
+        "synts chaos: the plan contains membership churn clauses \
+         (join/leave/flap) — the packet-level chaos runner keeps a fixed \
+         topology; run the plan under `synts churn` instead";
+      exit 2
+    end;
     let workload =
       Workload.random (Rng.create (seed + 1)) ~topology:g ~messages
         ~internal_prob:internal ()
@@ -2003,34 +2032,6 @@ let chaos_cmd =
     in
     let delivered = Trace.message_count o.trace in
     let planned = Trace.message_count workload in
-    let pp_procs = function
-      | [] -> ""
-      | ps ->
-          Printf.sprintf " [%s]"
-            (String.concat " " (List.map (Printf.sprintf "P%d") ps))
-    in
-    Format.printf "chaos %s  seed %d  plan: %s@." (topo_to_string topo) seed
-      (if plan = [] then "(none)" else Fault_plan.to_string plan);
-    Format.printf "messages  : %d delivered, %d undelivered (%d planned)@."
-      delivered (planned - delivered) planned;
-    Format.printf "packets   : %d sent, %d lost, %d duplicated, %d corrupted@."
-      o.packets o.lost o.duplicated o.corrupted;
-    Format.printf
-      "processes : %d gave up%s, %d crashed%s, %d recovered%s, %d \
-       deadlocked%s@."
-      (List.length o.gave_up) (pp_procs o.gave_up) (List.length o.crashed)
-      (pp_procs o.crashed)
-      (List.length o.recovered)
-      (pp_procs o.recovered)
-      (List.length o.deadlocked)
-      (pp_procs o.deadlocked);
-    Format.printf "faults    : %s@."
-      (match Injector.fired injector with
-      | [] -> "(none injected)"
-      | fired ->
-          String.concat " "
-            (List.map (fun (k, c) -> Printf.sprintf "%s=%d" k c) fired));
-    Format.printf "makespan  : %.1f@." o.makespan;
     let stamps = Option.value ~default:[||] o.timestamps in
     let oracle = Online.timestamp_trace d o.trace in
     let mismatches = ref 0 in
@@ -2039,10 +2040,6 @@ let chaos_cmd =
         if i >= Array.length oracle || not (Vector.equal v oracle.(i)) then
           incr mismatches)
       stamps;
-    Format.printf "stamps    : %d/%d match the offline oracle%s@."
-      (Array.length stamps - !mismatches)
-      (Array.length stamps)
-      (if !mismatches = 0 then "" else " — EXACTNESS LOST");
     let findings =
       Synts_lint.Sanitizer.check_trace d o.trace stamps
       @ List.map
@@ -2054,14 +2051,95 @@ let chaos_cmd =
           (Injector.unobserved injector)
     in
     if metrics <> None then Lint.record findings;
-    Format.printf "@.%a@." Lint.pp_report findings;
+    (* Exit-code contract (doc/CLI.md): 0 clean; 1 exactness loss — the
+       delivered stamps diverge from the offline oracle or a sanitizer
+       rule fired at error severity; 2 plan parse/validation or usage
+       errors (raised above, before the run); 3 any other error-severity
+       finding. *)
+    let exactness_lost =
+      !mismatches > 0
+      || List.exists
+           (fun f ->
+             f.Finding.severity = Finding.Error
+             && String.length f.Finding.rule >= 4
+             && String.sub f.Finding.rule 0 4 = "san/")
+           findings
+    in
+    let code =
+      if exactness_lost then 1 else if Finding.errors findings > 0 then 3 else 0
+    in
+    (match format with
+    | `Json ->
+        let breakdown_json =
+          String.concat ","
+            (List.map
+               (fun (kind, consulted, fired) ->
+                 Printf.sprintf
+                   {|{"kind":%S,"consulted":%d,"fired":%d,"observed":%b}|}
+                   kind consulted fired (fired > 0))
+               (Injector.breakdown injector))
+        in
+        let procs_json ps =
+          String.concat "," (List.map string_of_int ps)
+        in
+        Printf.printf
+          {|{"topology":%S,"seed":%d,"plan":%S,"messages":{"planned":%d,"delivered":%d,"undelivered":%d},"packets":{"sent":%d,"lost":%d,"duplicated":%d,"corrupted":%d},"processes":{"gave_up":[%s],"crashed":[%s],"recovered":[%s],"deadlocked":[%s]},"faults":[%s],"makespan":%.1f,"stamps":{"total":%d,"oracle_matched":%d,"exact":%b},"lint":%s,"exactness_lost":%b,"exit_code":%d}|}
+          (topo_to_string topo) seed
+          (Fault_plan.to_string plan)
+          planned delivered (planned - delivered) o.packets o.lost
+          o.duplicated o.corrupted (procs_json o.gave_up)
+          (procs_json o.crashed) (procs_json o.recovered)
+          (procs_json o.deadlocked) breakdown_json o.makespan
+          (Array.length stamps)
+          (Array.length stamps - !mismatches)
+          (!mismatches = 0) (Lint.to_json findings) exactness_lost code;
+        print_newline ()
+    | `Text ->
+        let pp_procs = function
+          | [] -> ""
+          | ps ->
+              Printf.sprintf " [%s]"
+                (String.concat " " (List.map (Printf.sprintf "P%d") ps))
+        in
+        Format.printf "chaos %s  seed %d  plan: %s@." (topo_to_string topo)
+          seed
+          (if plan = [] then "(none)" else Fault_plan.to_string plan);
+        Format.printf "messages  : %d delivered, %d undelivered (%d planned)@."
+          delivered (planned - delivered) planned;
+        Format.printf
+          "packets   : %d sent, %d lost, %d duplicated, %d corrupted@."
+          o.packets o.lost o.duplicated o.corrupted;
+        Format.printf
+          "processes : %d gave up%s, %d crashed%s, %d recovered%s, %d \
+           deadlocked%s@."
+          (List.length o.gave_up) (pp_procs o.gave_up) (List.length o.crashed)
+          (pp_procs o.crashed)
+          (List.length o.recovered)
+          (pp_procs o.recovered)
+          (List.length o.deadlocked)
+          (pp_procs o.deadlocked);
+        Format.printf "faults    : %s@."
+          (match Injector.breakdown injector with
+          | [] -> "(none injected)"
+          | bk ->
+              String.concat " "
+                (List.map
+                   (fun (k, consulted, fired) ->
+                     Printf.sprintf "%s=%d/%d" k fired consulted)
+                   bk));
+        Format.printf "makespan  : %.1f@." o.makespan;
+        Format.printf "stamps    : %d/%d match the offline oracle%s@."
+          (Array.length stamps - !mismatches)
+          (Array.length stamps)
+          (if !mismatches = 0 then "" else " — EXACTNESS LOST");
+        Format.printf "@.%a@." Lint.pp_report findings);
     (match metrics with
     | None -> ()
     | Some fmt ->
         print_newline ();
         dump_metrics fmt);
     Option.iter write_trace tracefile;
-    exit (Lint.exit_code ~fail_on:`Error findings)
+    exit code
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -2070,11 +2148,215 @@ let chaos_cmd =
           recoveries, partitions, duplication, corruption, delay spikes) \
           and report delivered/aborted/recovered tallies, timestamp \
           exactness against the offline oracle, and lint findings. \
-          Deterministic from --seed.")
+          Deterministic from --seed. Exit codes: 0 clean, 1 exactness \
+          lost, 2 plan parse/validation or usage error, 3 other \
+          error-severity findings. Plans with membership churn clauses \
+          are rejected (exit 2) — run those under $(b,synts churn).")
     Term.(
       const run $ seed_t $ topology_t $ messages_t $ internal_t $ loss_t
       $ fault_t $ plan_t $ retransmit_t $ max_retransmits_t $ no_checksum_t
-      $ metrics_t $ trace_t)
+      $ chaos_format_t $ metrics_t $ trace_t)
+
+(* ---------- churn ---------- *)
+
+let churn_cmd =
+  let messages_t =
+    Arg.(
+      value & opt int 60
+      & info [ "messages"; "m" ] ~docv:"M" ~doc:"Message count.")
+  in
+  let fault_t =
+    Arg.(
+      value & opt_all string []
+      & info [ "fault"; "f" ] ~docv:"CLAUSE"
+          ~doc:
+            "One plan clause; repeatable. Beyond the $(b,synts chaos) \
+             grammar this command executes the churn clauses: \
+             $(b,join:P:U-V,..\\@T), $(b,join:P\\@T), $(b,leave:P\\@T), \
+             $(b,flap:P\\@T+D), composable with $(b,crash:P\\@T), \
+             $(b,recover:P\\@T+D) and $(b,partition:A,B\\@T1-T2).")
+  in
+  let plan_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "plan" ] ~docv:"PLAN"
+          ~doc:
+            "A whole plan as one string of $(b,;)-separated clauses \
+             (combined with any $(b,--fault) clauses).")
+  in
+  let no_check_t =
+    Arg.(
+      value & flag
+      & info [ "no-check" ]
+          ~doc:
+            "Skip the internal exactness check (translating every \
+             delivered stamp into the final epoch and comparing all \
+             ordered pairs against the tracked causal past).")
+  in
+  let churn_format_t =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT" ~doc:"Report as $(b,text) or $(b,json).")
+  in
+  let run seed topo messages fault_specs plan_spec no_check format metrics =
+    let parse_clauses = function
+      | Ok acc, spec -> (
+          match Fault_plan.of_string spec with
+          | Ok fs -> Ok (acc @ fs)
+          | Error e -> Error e)
+      | (Error _ as e), _ -> e
+    in
+    let plan =
+      match
+        List.fold_left
+          (fun acc s -> parse_clauses (acc, s))
+          (Ok [])
+          (Option.to_list plan_spec @ fault_specs)
+      with
+      | Ok p -> p
+      | Error e ->
+          prerr_endline ("synts churn: " ^ e);
+          exit 2
+    in
+    if metrics <> None then begin
+      Telemetry.set_enabled true;
+      Telemetry.reset ()
+    end;
+    let g = realize_topology seed topo in
+    (match Fault_plan.validate ~n:(Graph.n g) plan with
+    | Ok () -> ()
+    | Error e ->
+        prerr_endline ("synts churn: " ^ e);
+        exit 2);
+    let injector = Injector.create ~seed plan in
+    let mem, o =
+      match
+        Churn.run ~seed ~faults:injector ~check:(not no_check) ~graph:g
+          ~messages ()
+      with
+      | Ok r -> r
+      | Error e ->
+          prerr_endline ("synts churn: " ^ e);
+          exit 3
+    in
+    let findings =
+      Epoch_lint.audit mem
+      @ List.map
+          (fun kind ->
+            Synts_lint.Rules.finding "fault/unobserved"
+              Synts_lint.Finding.Global
+              (Printf.sprintf
+                 "plan declares %s faults but none fired during the run" kind))
+          (Injector.unobserved injector)
+    in
+    if metrics <> None then Lint.record findings;
+    (* Exit-code contract, shared with synts chaos (doc/CLI.md): 0
+       clean; 1 exactness loss — a checked ordered pair's stamp order
+       disagreed with causality across an epoch boundary; 2 plan
+       parse/validation errors, including deltas the membership rejected
+       at runtime; 3 other error-severity findings (epoch/* audit). *)
+    let exactness_lost = o.Churn.mismatches > 0 in
+    let code =
+      if exactness_lost then 1
+      else if o.Churn.delta_failures > 0 then 2
+      else if Finding.errors findings > 0 then 3
+      else 0
+    in
+    (match format with
+    | `Json ->
+        let breakdown_json =
+          String.concat ","
+            (List.map
+               (fun (kind, consulted, fired) ->
+                 Printf.sprintf
+                   {|{"kind":%S,"consulted":%d,"fired":%d,"observed":%b}|}
+                   kind consulted fired (fired > 0))
+               (Injector.breakdown injector))
+        in
+        Printf.printf
+          {|{"topology":%S,"seed":%d,"plan":%S,"messages":{"requested":%d,"delivered":%d,"skipped":%d,"blocked":%d},"epochs":{"final":%d,"width":%d,"deltas_applied":%d,"delta_failures":%d,"repairs":%d,"recomputes":%d,"live_components":%d,"frozen_components":%d},"frames":{"translated":%d,"view_syncs":%d},"processes":{"crashes":%d,"recoveries":%d},"faults":[%s],"exactness":{"checked":%b,"comparisons":%d,"mismatches":%d,"exact":%b},"lint":%s,"exactness_lost":%b,"exit_code":%d}|}
+          (topo_to_string topo) seed
+          (Fault_plan.to_string plan)
+          messages o.Churn.delivered o.Churn.skipped o.Churn.blocked
+          o.Churn.final_epoch o.Churn.final_width o.Churn.deltas_applied
+          o.Churn.delta_failures (Membership.repairs mem)
+          (Membership.recomputes mem)
+          (Membership.live_components mem)
+          (Membership.frozen_components mem)
+          o.Churn.translated_frames o.Churn.view_syncs o.Churn.crashes
+          o.Churn.recoveries breakdown_json (not no_check)
+          o.Churn.comparisons o.Churn.mismatches (Churn.exact o)
+          (Lint.to_json findings) exactness_lost code;
+        print_newline ()
+    | `Text ->
+        Format.printf "churn %s  seed %d  plan: %s@." (topo_to_string topo)
+          seed
+          (if plan = [] then "(none)" else Fault_plan.to_string plan);
+        Format.printf
+          "messages  : %d delivered, %d skipped (no live channel), %d \
+           blocked (partition) of %d requested@."
+          o.Churn.delivered o.Churn.skipped o.Churn.blocked messages;
+        Format.printf
+          "epochs    : reached epoch %d (width %d), %d delta(s) applied, %d \
+           rejected@."
+          o.Churn.final_epoch o.Churn.final_width o.Churn.deltas_applied
+          o.Churn.delta_failures;
+        Format.printf
+          "membership: %d live + %d frozen component(s), %d incremental \
+           repair(s), %d full recompute(s)@."
+          (Membership.live_components mem)
+          (Membership.frozen_components mem)
+          (Membership.repairs mem) (Membership.recomputes mem);
+        Format.printf
+          "frames    : %d stale-epoch frame(s) translated on receipt, %d \
+           view catch-up(s)@."
+          o.Churn.translated_frames o.Churn.view_syncs;
+        Format.printf "processes : %d crash(es), %d recovery(ies)@."
+          o.Churn.crashes o.Churn.recoveries;
+        Format.printf "faults    : %s@."
+          (match Injector.breakdown injector with
+          | [] -> "(none injected)"
+          | bk ->
+              String.concat " "
+                (List.map
+                   (fun (k, consulted, fired) ->
+                     Printf.sprintf "%s=%d/%d" k fired consulted)
+                   bk));
+        (if no_check then
+           Format.printf "exactness : (unchecked — --no-check)@."
+         else
+           Format.printf
+             "exactness : %d ordered pair(s) checked across epochs, %d \
+              mismatch(es)%s@."
+             o.Churn.comparisons o.Churn.mismatches
+             (if o.Churn.mismatches = 0 then "" else " — EXACTNESS LOST"));
+        Format.printf "@.%a@." Lint.pp_report findings);
+    (match metrics with
+    | None -> ()
+    | Some fmt ->
+        print_newline ();
+        dump_metrics fmt);
+    exit code
+  in
+  Cmd.v
+    (Cmd.info "churn"
+       ~doc:
+         "Run the Figure 5 protocol under membership churn: join/leave/flap \
+          clauses open new epochs (incremental decomposition repair, full \
+          recompute only past the min(beta(G), N-2) clamp), stamps travel \
+          as epoch-tagged frames and stale frames are translated through \
+          the remap chain on receipt; composable with crashes, recoveries \
+          and partitions from the same plan grammar. The run is audited by \
+          the epoch/* lint rules and (unless --no-check) checked for \
+          cross-epoch exactness against the tracked causal past. Exit \
+          codes: 0 clean, 1 exactness lost, 2 plan parse/validation error \
+          (including deltas rejected at runtime), 3 other error-severity \
+          findings. Deterministic from --seed.")
+    Term.(
+      const run $ seed_t $ topology_t $ messages_t $ fault_t $ plan_t
+      $ no_check_t $ churn_format_t $ metrics_t)
 
 let bench_diff_cmd =
   let module Bench_io = Synts_bench_io.Bench_io in
@@ -2132,5 +2414,5 @@ let () =
             analyze_cmd; monitor_cmd; offline_cmd; serve_cmd; load_cmd;
             top_cmd; protocol_cmd;
             verify_cmd; lint_cmd; model_cmd; metrics_cmd; trace_cmd; chaos_cmd;
-            bench_diff_cmd;
+            churn_cmd; bench_diff_cmd;
           ]))

@@ -133,6 +133,33 @@ let frame_version s =
 let encode_framed ?version v = frame ?version (encode v)
 let decode_framed s = Result.bind (unframe s) decode
 
+(* ---------- epoch-tagged vectors ----------
+
+   Under churn a vector is only meaningful relative to the epoch whose
+   slot layout it uses, so the wire shape is [varint epoch · encode v].
+   A receiver on a newer epoch decodes the old frame and translates it
+   through the membership remap chain instead of rejecting it — stale
+   frames degrade to one table lookup, not a connection error. *)
+
+let encode_epoch ~epoch v =
+  if epoch < 0 then invalid_arg "Wire.encode_epoch: negative epoch";
+  let buf = Buffer.create (Array.length v + 2) in
+  put_varint buf epoch;
+  put_varint buf (Array.length v);
+  Array.iter (put_varint buf) v;
+  Buffer.contents buf
+
+let decode_epoch s =
+  match get_varint s 0 with
+  | exception Exit -> Error "truncated epoch tag"
+  | epoch, off ->
+      Result.map
+        (fun v -> (epoch, v))
+        (decode (String.sub s off (String.length s - off)))
+
+let encode_epoch_framed ?version ~epoch v = frame ?version (encode_epoch ~epoch v)
+let decode_epoch_framed s = Result.bind (unframe s) decode_epoch
+
 let encode_diff ~prev v =
   if Array.length prev <> Array.length v then
     invalid_arg "Wire.encode_diff: size mismatch";

@@ -72,6 +72,26 @@ val decode_framed : string -> (Vector.t, string) result
     stored digest (bit-flip corruption), other errors as {!decode} or
     {!unframe}. *)
 
+(** {1 Epoch-tagged vectors}
+
+    Under churn ({!Synts_graph.Membership}) a stamp is only meaningful
+    together with the epoch whose slot layout it uses; these frames
+    carry [varint epoch] before the vector so a receiver on a newer
+    epoch can decode a stale frame and translate it through the remap
+    chain instead of rejecting it. *)
+
+val encode_epoch : epoch:int -> Vector.t -> string
+(** [varint epoch · encode v]. Raises [Invalid_argument] when [epoch]
+    is negative. *)
+
+val decode_epoch : string -> (int * Vector.t, string) result
+(** Inverse of {!encode_epoch}. *)
+
+val encode_epoch_framed : ?version:int -> epoch:int -> Vector.t -> string
+(** {!encode_epoch} inside a checksum frame (see {!frame}). *)
+
+val decode_epoch_framed : string -> (int * Vector.t, string) result
+
 val encode_diff : prev:Vector.t -> Vector.t -> string
 (** Sparse encoding of the entries where [v] differs from [prev] (count,
     then (index, value) varint pairs). Sizes must match. *)

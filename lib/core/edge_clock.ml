@@ -21,19 +21,34 @@ let m_component_updates =
   Tm.Counter.v ~help:"Vector components written during merge-and-increment"
     "core.edge_clock.component_updates"
 
-type t = { pid : int; v : Vector.t; decomposition : Decomposition.t }
+let m_rebases =
+  Tm.Counter.v ~help:"Edge-clock epoch rebases (vector remapped in place)"
+    "core.edge_clock.rebases"
+
+type t = {
+  pid : int;
+  mutable v : Vector.t;
+  mutable group_of : int -> int -> int;  (* raises Not_found off-topology *)
+  mutable epoch : int;
+}
 
 let create decomposition ~pid =
   if pid < 0 || pid >= Decomposition.graph_vertices decomposition then
     invalid_arg "Edge_clock.create: pid out of range";
-  { pid; v = Vector.zero (Decomposition.size decomposition); decomposition }
+  {
+    pid;
+    v = Vector.zero (Decomposition.size decomposition);
+    group_of = Decomposition.group_of_edge decomposition;
+    epoch = 0;
+  }
 
 let pid t = t.pid
 let vector t = Vector.copy t.v
 let dimension t = Vector.size t.v
+let epoch t = t.epoch
 
 let group t peer =
-  match Decomposition.group_of_edge t.decomposition t.pid peer with
+  match t.group_of t.pid peer with
   | g -> g
   | exception Not_found ->
       invalid_arg
@@ -64,13 +79,36 @@ let on_ack t ~dst ack =
   Tm.Counter.incr m_acks;
   merge_and_increment t dst ack
 
-type checkpoint = { c_pid : int; c_v : Vector.t }
+let translate ~dim ~map v =
+  let out = Array.make dim 0 in
+  Array.iteri (fun s x -> if map.(s) >= 0 then out.(map.(s)) <- x) v;
+  out
 
-let checkpoint t = { c_pid = t.pid; c_v = Vector.copy t.v }
+let rebase t ~epoch ~dim ~map ~group_of =
+  if epoch < t.epoch then invalid_arg "Edge_clock.rebase: epoch went backwards";
+  if Array.length map <> Vector.size t.v then
+    invalid_arg "Edge_clock.rebase: remap width does not match the vector";
+  t.v <- translate ~dim ~map t.v;
+  t.group_of <- group_of;
+  t.epoch <- epoch;
+  Tm.Counter.incr m_rebases
+
+type checkpoint = { c_pid : int; c_v : Vector.t; c_epoch : int }
+
+let checkpoint t = { c_pid = t.pid; c_v = Vector.copy t.v; c_epoch = t.epoch }
+let checkpoint_epoch ck = ck.c_epoch
 
 let restore t ck =
-  if ck.c_pid <> t.pid || Vector.size ck.c_v <> Vector.size t.v then
-    invalid_arg "Edge_clock.restore: checkpoint from a different clock";
+  if ck.c_pid <> t.pid || Vector.size ck.c_v <> Vector.size t.v
+     || ck.c_epoch <> t.epoch
+  then invalid_arg "Edge_clock.restore: checkpoint from a different clock";
   Vector.blit_into ~dst:t.v ck.c_v
+
+let restore_rebased t ck ~map =
+  if ck.c_pid <> t.pid then
+    invalid_arg "Edge_clock.restore_rebased: checkpoint from a different clock";
+  if Array.length map <> Vector.size ck.c_v then
+    invalid_arg "Edge_clock.restore_rebased: remap width mismatch";
+  t.v <- translate ~dim:(Vector.size t.v) ~map ck.c_v
 
 let reset t = Array.fill t.v 0 (Vector.size t.v) 0

@@ -24,7 +24,11 @@ val vector : t -> Synts_clock.Vector.t
 (** A copy of the current local vector [v_i]. *)
 
 val dimension : t -> int
-(** Number of components = decomposition size. *)
+(** Number of components = decomposition size (grows across {!rebase}). *)
+
+val epoch : t -> int
+(** The membership epoch whose slot layout the vector uses; [0] at
+    {!create} and for any static-topology run. *)
 
 val on_send : t -> dst:int -> Synts_clock.Vector.t
 (** Figure 5 lines 01–02: the payload to piggyback on a message to [dst].
@@ -45,6 +49,31 @@ val on_ack : t -> dst:int -> Synts_clock.Vector.t -> Synts_clock.Vector.t
     receiver's pre-merge vector) for a message this process sent to [dst];
     returns the message's timestamp and updates the local vector. *)
 
+(** {1 Epochs} — rebasing the clock across membership changes.
+
+    When the topology changes under a running clock
+    ({!Synts_graph.Membership}), the vector layout changes with it. A
+    {!rebase} translates the live vector into the new epoch's layout in
+    place — surviving slots move by the remap, retired slots are
+    dropped, new slots start at zero — and swaps in the new epoch's
+    channel→slot function, so the Figure 5 protocol continues without
+    losing any counts a live component still carries. *)
+
+val rebase :
+  t ->
+  epoch:int ->
+  dim:int ->
+  map:int array ->
+  group_of:(int -> int -> int) ->
+  unit
+(** Move the clock to [epoch] with vector width [dim]. [map] is the
+    composed remap from the clock's current epoch ([map.(s)] = new slot
+    of old slot [s], [-1] = retired) — typically
+    [Membership.remap_to_current]. [group_of u v] must give the new
+    epoch's slot for channel [(u,v)] (raising [Not_found] off-topology).
+    Raises [Invalid_argument] when [epoch] goes backwards or [map] does
+    not match the current width. *)
+
 (** {1 Checkpoint / restore} — crash recovery of the Figure 5 state.
 
     The entire protocol state of a process is its vector [v_i]: a
@@ -54,14 +83,29 @@ val on_ack : t -> dst:int -> Synts_clock.Vector.t -> Synts_clock.Vector.t
     crash-recover fault injection exactness-preserving. *)
 
 type checkpoint
-(** Immutable snapshot of one clock's vector. *)
+(** Immutable snapshot of one clock's vector, tagged with the epoch it
+    was taken in. *)
 
 val checkpoint : t -> checkpoint
+
+val checkpoint_epoch : checkpoint -> int
+(** The epoch the snapshot's layout belongs to — compare against the
+    live clock's {!epoch} to decide between {!restore} and
+    {!restore_rebased}. *)
 
 val restore : t -> checkpoint -> unit
 (** Overwrite the live vector with the snapshot. Raises
     [Invalid_argument] when the checkpoint came from a clock with a
-    different [pid] or dimension. *)
+    different [pid], dimension, or epoch (a stale-epoch checkpoint needs
+    {!restore_rebased}). *)
+
+val restore_rebased : t -> checkpoint -> map:int array -> unit
+(** Restore a checkpoint taken in an older epoch into the clock's
+    current layout: [map] is the composed remap from the checkpoint's
+    epoch to the clock's epoch ([Membership.remap_to_current]); the
+    clock's epoch and dimension are unchanged. Raises
+    [Invalid_argument] on a [pid] mismatch or when [map] does not match
+    the checkpoint's width. *)
 
 val reset : t -> unit
 (** Zero the vector — what a crash does to the volatile state. A process

@@ -1,0 +1,68 @@
+module Membership = Synts_graph.Membership
+
+type t = {
+  m : Membership.t;
+  mutable vecs : int array array;  (* one per universe slot, current width *)
+}
+
+let create m =
+  let width = Membership.width m in
+  { m; vecs = Array.init (Membership.processes m) (fun _ -> Array.make width 0) }
+
+let of_graph g = create (Membership.of_graph g)
+let membership t = t.m
+let epoch t = Membership.epoch t.m
+let width t = Membership.width t.m
+
+let stamp t ~src ~dst =
+  let slot =
+    match Membership.slot_of_edge t.m src dst with
+    | s -> s
+    | exception Not_found ->
+        invalid_arg
+          (Printf.sprintf
+             "Epoch_stamper.stamp: channel (%d,%d) is not in epoch %d" src dst
+             (Membership.epoch t.m))
+  in
+  let a = t.vecs.(src) and b = t.vecs.(dst) in
+  let ts = Array.init (Array.length a) (fun i -> max a.(i) b.(i)) in
+  ts.(slot) <- ts.(slot) + 1;
+  t.vecs.(src) <- Array.copy ts;
+  t.vecs.(dst) <- Array.copy ts;
+  ts
+
+(* Rebase every vector through one delta's remap: surviving slots move,
+   retired slots drop, fresh slots are zero. The universe may also have
+   grown (a join of a new process): new slots get zero vectors. *)
+let rebase t (r : Membership.remap) =
+  let dim = Membership.width t.m in
+  let procs = Membership.processes t.m in
+  let old = t.vecs in
+  t.vecs <-
+    Array.init procs (fun p ->
+        let out = Array.make dim 0 in
+        if p < Array.length old then
+          Array.iteri
+            (fun s x -> if r.map.(s) >= 0 then out.(r.map.(s)) <- x)
+            old.(p);
+        out)
+
+let apply t delta =
+  match Membership.apply t.m delta with
+  | Error _ as e -> e
+  | Ok r ->
+      rebase t r;
+      Ok r
+
+let compact t ~retire_before =
+  let r = Membership.compact t.m ~retire_before in
+  rebase t r;
+  r
+
+let vector t p = Array.copy t.vecs.(p)
+let checkpoint t p = (Membership.epoch t.m, Array.copy t.vecs.(p))
+
+let restore t p (e, v) =
+  t.vecs.(p) <- Membership.translate t.m ~from_epoch:e v
+
+let reset t p = Array.fill t.vecs.(p) 0 (Array.length t.vecs.(p)) 0

@@ -1,0 +1,56 @@
+(** The Figure 5 protocol lifted over a churning membership.
+
+    A single-domain, whole-system stamper that owns a
+    {!Synts_graph.Membership.t} and one vector per process, all kept in
+    the membership's {e current} epoch. Messages are stamped exactly as
+    in {!Online.stamper} — componentwise max of the endpoints, then
+    increment the channel's slot — and every applied delta atomically
+    rebases all live vectors through the returned remap. Because the
+    per-epoch remaps are identity injections (until {!compact}), a run
+    with churn produces stamps whose comparison outcomes are identical
+    to rebuilding the decomposition from scratch each epoch; this module
+    is the oracle the churn property tests and [synts serve]'s
+    epoch-aware verification replay against. *)
+
+type t
+
+val create : Synts_graph.Membership.t -> t
+(** Takes ownership of the membership (deltas must flow through
+    {!apply}, not around it). Every process starts with a zero vector at
+    the current width. *)
+
+val of_graph : Synts_graph.Graph.t -> t
+
+val membership : t -> Synts_graph.Membership.t
+val epoch : t -> int
+val width : t -> int
+
+val stamp : t -> src:int -> dst:int -> int array
+(** Stamp one message on channel [(src, dst)] in the current epoch:
+    both endpoints adopt the resulting vector; a fresh copy is returned.
+    Raises [Invalid_argument] when the channel is not in the current
+    topology. *)
+
+val apply :
+  t -> Synts_graph.Membership.delta -> (Synts_graph.Membership.remap, string) result
+(** Apply a topology delta and rebase every process vector into the new
+    epoch's layout. On [Error] nothing changes. *)
+
+val compact :
+  t -> retire_before:int -> Synts_graph.Membership.remap
+(** {!Synts_graph.Membership.compact} plus the same vector rebase. *)
+
+val vector : t -> int -> int array
+(** Copy of process [p]'s current vector (current epoch layout). *)
+
+val checkpoint : t -> int -> int * int array
+(** [(epoch, vector)] snapshot of one process — the durable state a
+    crash-recover scheme persists. *)
+
+val restore : t -> int -> int * int array -> unit
+(** Restore a possibly stale-epoch snapshot: the vector is translated
+    through the membership's remap chain into the current epoch. Raises
+    [Invalid_argument] on a future epoch or wrong snapshot width. *)
+
+val reset : t -> int -> unit
+(** Zero process [p]'s vector — volatile-state loss on crash. *)

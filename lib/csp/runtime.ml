@@ -133,9 +133,7 @@ struct
           | Plan.Crash_stop { proc; at } | Plan.Crash_recover { proc; at; _ }
             ->
               Some (proc, at)
-          | Plan.Partition _ | Plan.Duplicate _ | Plan.Corrupt _
-          | Plan.Delay_spike _ ->
-              None)
+          | _ -> None)
         faults
     in
     let rng = Rng.create seed in

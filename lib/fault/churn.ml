@@ -1,0 +1,312 @@
+module Graph = Synts_graph.Graph
+module Membership = Synts_graph.Membership
+module Wire = Synts_clock.Wire
+module Rng = Synts_util.Rng
+
+type outcome = {
+  delivered : int;
+  skipped : int;
+  blocked : int;
+  deltas_applied : int;
+  delta_failures : int;
+  translated_frames : int;
+  view_syncs : int;
+  crashes : int;
+  recoveries : int;
+  final_epoch : int;
+  final_width : int;
+  comparisons : int;
+  mismatches : int;
+  stamps : (int * int array) array;
+  final_stamps : int array array;
+}
+
+let exact o = o.comparisons > 0 && o.mismatches = 0
+
+(* One simulated process: its own (possibly stale) view of the epoch,
+   the vector in that view's layout, an epoch-tagged durable checkpoint,
+   and — when checking — its causal past as one byte per message id. *)
+type pstate = {
+  mutable view : int;
+  mutable vec : int array;
+  mutable alive : bool;
+  mutable ckpt : int * int array;
+  mutable past : Bytes.t;
+}
+
+exception Wire_error of string
+
+let lt a b =
+  let le = ref true and ne = ref false in
+  Array.iteri
+    (fun i x ->
+      if x > b.(i) then le := false;
+      if x <> b.(i) then ne := true)
+    a;
+  !le && !ne
+
+let run ?(seed = 0) ?faults ?(check = true) ~graph ~messages () =
+  let m = Membership.of_graph graph in
+  let rng = Rng.create seed in
+  let fresh_p () =
+    {
+      view = Membership.epoch m;
+      vec = Array.make (Membership.width m) 0;
+      alive = true;
+      ckpt = (Membership.epoch m, Array.make (Membership.width m) 0);
+      past = (if check then Bytes.make messages '\000' else Bytes.empty);
+    }
+  in
+  let ps = ref (Array.init (Membership.processes m) (fun _ -> fresh_p ())) in
+  let grow () =
+    let n = Membership.processes m in
+    if n > Array.length !ps then begin
+      let old = !ps in
+      ps := Array.init n (fun i -> if i < Array.length old then old.(i) else fresh_p ())
+    end
+  in
+  let skipped = ref 0
+  and blocked = ref 0
+  and deltas_applied = ref 0
+  and delta_failures = ref 0
+  and translated_frames = ref 0
+  and view_syncs = ref 0
+  and crashes = ref 0
+  and recoveries = ref 0 in
+  let stamps = Array.make messages (0, [||]) in
+  let msg_past = Array.make messages Bytes.empty in
+  let delivered = ref 0 in
+  (* Event queues, all keyed on virtual time = attempt index. *)
+  let churn_q =
+    ref (match faults with None -> [] | Some inj -> Injector.churn inj)
+  in
+  let crash_q =
+    ref (match faults with None -> [] | Some inj -> Injector.crashes inj)
+  in
+  let rejoin_q = ref [] (* (at, proc, edges) from flap clauses *)
+  and recover_q = ref [] (* (at, proc) *) in
+  let apply_delta ?clause delta =
+    match Membership.apply m delta with
+    | Ok _ ->
+        incr deltas_applied;
+        grow ();
+        Option.iter
+          (fun f -> Option.iter (fun inj -> Injector.note_churn inj f) faults)
+          clause
+    | Error _ -> incr delta_failures
+  in
+  let fire_churn now =
+    let due, later = List.partition (fun (at, _) -> at <= now) !churn_q in
+    churn_q := later;
+    List.iter
+      (fun (_, (f : Plan.fault)) ->
+        match f with
+        | Plan.Join_proc { proc; edges; _ } ->
+            apply_delta ~clause:f (Membership.Join { proc; edges })
+        | Plan.Leave_proc { proc; _ } ->
+            apply_delta ~clause:f (Membership.Leave proc)
+        | Plan.Flap { proc; at; after } ->
+            if Membership.is_active m proc then begin
+              let edges =
+                List.map
+                  (fun nb -> (proc, nb))
+                  (Graph.neighbors (Membership.graph m) proc)
+              in
+              apply_delta ~clause:f (Membership.Leave proc);
+              rejoin_q := (at +. after, proc, edges) :: !rejoin_q
+            end
+            else incr delta_failures
+        | _ -> ())
+      due;
+    let due, later = List.partition (fun (at, _, _) -> at <= now) !rejoin_q in
+    rejoin_q := later;
+    List.iter
+      (fun (_, proc, edges) ->
+        let edges =
+          List.filter
+            (fun (u, v) ->
+              let peer = if u = proc then v else u in
+              Membership.is_active m peer)
+            edges
+        in
+        apply_delta (Membership.Join { proc; edges }))
+      due
+  in
+  let fire_crashes now =
+    let due, later = List.partition (fun (_, at, _) -> at <= now) !crash_q in
+    crash_q := later;
+    List.iter
+      (fun (proc, at, recover) ->
+        if proc >= 0 && proc < Array.length !ps && !ps.(proc).alive then begin
+          let p = !ps.(proc) in
+          p.alive <- false;
+          Array.fill p.vec 0 (Array.length p.vec) 0;
+          incr crashes;
+          Option.iter Injector.note_crash faults;
+          Option.iter
+            (fun after -> recover_q := (at +. after, proc) :: !recover_q)
+            recover
+        end)
+      due;
+    let due, later = List.partition (fun (at, _) -> at <= now) !recover_q in
+    recover_q := later;
+    List.iter
+      (fun (_, proc) ->
+        let p = !ps.(proc) in
+        if not p.alive then begin
+          p.alive <- true;
+          let e, v = p.ckpt in
+          (* The checkpoint may be several epochs stale; the process
+             resumes with its old view and catches up on first contact. *)
+          p.view <- e;
+          p.vec <- Array.copy v;
+          incr recoveries;
+          Option.iter Injector.note_recovery faults
+        end)
+      due
+  in
+  let sync p =
+    let e = Membership.epoch m in
+    if p.view < e then begin
+      p.vec <- Membership.translate m ~from_epoch:p.view p.vec;
+      p.view <- e;
+      incr view_syncs
+    end
+  in
+  let max_scheduled =
+    List.fold_left max 0.0
+      (List.map fst !churn_q
+      @ List.map
+          (fun (_, at, rec_) ->
+            at +. Option.value ~default:0.0 rec_)
+          !crash_q
+      @ List.concat_map
+          (fun (_, (f : Plan.fault)) ->
+            match f with Plan.Flap { at; after; _ } -> [ at +. after ] | _ -> [])
+          !churn_q)
+  in
+  let step_limit = (messages * 4) + int_of_float max_scheduled + 8 in
+  (match
+     let step = ref 0 in
+     while !delivered < messages && !step < step_limit do
+       let now = float_of_int !step in
+       incr step;
+       fire_churn now;
+       fire_crashes now;
+       let candidates =
+         List.filter
+           (fun (u, v) -> !ps.(u).alive && !ps.(v).alive)
+           (Graph.edges (Membership.graph m))
+       in
+       if candidates = [] then incr skipped
+       else begin
+         let src, dst = List.nth candidates (Rng.int rng (List.length candidates)) in
+         let vetoed =
+           match faults with
+           | Some inj -> Injector.blocks inj ~now ~src ~dst
+           | None -> false
+         in
+         if vetoed then incr blocked
+         else begin
+           let e_now = Membership.epoch m in
+           let sp = !ps.(src) and dp = !ps.(dst) in
+           (* REQ: the sender frames its vector under its own view. *)
+           let frame = Wire.encode_epoch_framed ~epoch:sp.view sp.vec in
+           sync dp;
+           let ef, vf =
+             match Wire.decode_epoch_framed frame with
+             | Ok r -> r
+             | Error e -> raise (Wire_error ("REQ frame: " ^ e))
+           in
+           let vf =
+             if ef < e_now then begin
+               incr translated_frames;
+               Membership.translate m ~from_epoch:ef vf
+             end
+             else vf
+           in
+           (* ACK carries the receiver's pre-merge vector (Fig. 5 l. 04). *)
+           let ack = Wire.encode_epoch_framed ~epoch:dp.view dp.vec in
+           let slot = Membership.slot_of_edge m src dst in
+           let ts = Array.init (Array.length vf) (fun i -> max vf.(i) dp.vec.(i)) in
+           ts.(slot) <- ts.(slot) + 1;
+           dp.vec <- Array.copy ts;
+           dp.ckpt <- (e_now, Array.copy ts);
+           (* Sender processes the ACK, catching up to the epoch first. *)
+           sync sp;
+           let ea, va =
+             match Wire.decode_epoch_framed ack with
+             | Ok r -> r
+             | Error e -> raise (Wire_error ("ACK frame: " ^ e))
+           in
+           let va =
+             if ea < e_now then begin
+               incr translated_frames;
+               Membership.translate m ~from_epoch:ea va
+             end
+             else va
+           in
+           let ts' = Array.init (Array.length va) (fun i -> max va.(i) sp.vec.(i)) in
+           ts'.(slot) <- ts'.(slot) + 1;
+           if ts' <> ts then
+             raise (Wire_error "sender and receiver derived different timestamps");
+           sp.vec <- Array.copy ts;
+           sp.ckpt <- (e_now, Array.copy ts);
+           let k = !delivered in
+           stamps.(k) <- (e_now, ts);
+           if check then begin
+             let merged = Bytes.copy sp.past in
+             Bytes.iteri
+               (fun i c -> if c <> '\000' then Bytes.set merged i '\001')
+               dp.past;
+             Bytes.set merged k '\001';
+             msg_past.(k) <- merged;
+             sp.past <- merged;
+             dp.past <- merged
+           end;
+           incr delivered
+         end
+       end
+     done
+   with
+  | () -> Ok ()
+  | exception Wire_error e -> Error e)
+  |> function
+  | Error _ as e -> e
+  | Ok () ->
+      let n = !delivered in
+      let stamps = Array.sub stamps 0 n in
+      let final_stamps =
+        Array.map (fun (e, v) -> Membership.translate m ~from_epoch:e v) stamps
+      in
+      let comparisons = ref 0 and mismatches = ref 0 in
+      if check then
+        for i = 0 to n - 1 do
+          for j = 0 to n - 1 do
+            if i <> j then begin
+              incr comparisons;
+              let causal = Bytes.get msg_past.(j) i <> '\000' in
+              if lt final_stamps.(i) final_stamps.(j) <> causal then
+                incr mismatches
+            end
+          done
+        done;
+      Ok
+        ( m,
+          {
+            delivered = n;
+            skipped = !skipped;
+            blocked = !blocked;
+            deltas_applied = !deltas_applied;
+            delta_failures = !delta_failures;
+            translated_frames = !translated_frames;
+            view_syncs = !view_syncs;
+            crashes = !crashes;
+            recoveries = !recoveries;
+            final_epoch = Membership.epoch m;
+            final_width = Membership.width m;
+            comparisons = !comparisons;
+            mismatches = !mismatches;
+            stamps;
+            final_stamps;
+          } )

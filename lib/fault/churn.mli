@@ -1,0 +1,61 @@
+(** Distributed churn harness: the Figure 5 protocol under membership
+    churn, crashes and partitions, with per-process {e stale} epoch
+    views.
+
+    Unlike {!Synts_core.Epoch_stamper} (which rebases every vector the
+    instant a delta applies), this harness models what a real deployment
+    sees: each process keeps its own view of the epoch and only catches
+    up when it next communicates. Stamps travel as epoch-tagged checksum
+    frames ({!Synts_clock.Wire.encode_epoch_framed}); a receiver on a
+    newer epoch decodes the stale frame and translates it through the
+    membership remap chain instead of rejecting it. Crashes lose
+    volatile state and recover from epoch-tagged checkpoints (possibly
+    several epochs stale — exercised deliberately); partition windows
+    veto send attempts.
+
+    Virtual time is the attempt index: the [@T] of a plan clause fires
+    before the [⌈T⌉]-th send attempt, so windows expire even when no
+    message can be delivered.
+
+    With [~check] (default true) the run verifies exactness internally:
+    all delivered stamps are translated into the final epoch and every
+    ordered pair is compared against an independently tracked causal
+    past — Eq. 1 of the paper, across epoch boundaries. *)
+
+type outcome = {
+  delivered : int;  (** messages delivered (≤ requested) *)
+  skipped : int;  (** attempts with no live channel available *)
+  blocked : int;  (** attempts vetoed by a partition window *)
+  deltas_applied : int;
+  delta_failures : int;  (** churn clauses whose delta did not validate *)
+  translated_frames : int;  (** stale-epoch frames translated on receipt *)
+  view_syncs : int;  (** process views caught up to the current epoch *)
+  crashes : int;
+  recoveries : int;
+  final_epoch : int;
+  final_width : int;
+  comparisons : int;  (** ordered stamp pairs checked (0 when unchecked) *)
+  mismatches : int;  (** pairs where stamp order ≠ causality *)
+  stamps : (int * int array) array;
+      (** per delivered message, [(epoch, stamp)] as stamped *)
+  final_stamps : int array array;
+      (** the same stamps translated into the final epoch *)
+}
+
+val exact : outcome -> bool
+(** [comparisons > 0 && mismatches = 0] — the run was checked and every
+    comparison outcome matched causality. *)
+
+val run :
+  ?seed:int ->
+  ?faults:Injector.t ->
+  ?check:bool ->
+  graph:Synts_graph.Graph.t ->
+  messages:int ->
+  unit ->
+  (Synts_graph.Membership.t * outcome, string) result
+(** Run [messages] random rendezvous over the churning topology seeded
+    from [graph]. [seed] drives workload choice (channel picks),
+    independent of the injector's stream. Returns the final membership
+    (for lint auditing) with the outcome; [Error] only on internal wire
+    failures, which a fault-free frame path never produces. *)

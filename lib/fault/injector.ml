@@ -9,8 +9,13 @@ type t = {
   spike_factor : float;
   partitions : (int list * float * float) list;
   crash_schedule : (int * float * float option) list;
+  churn_schedule : (float * Plan.fault) list;
   tally : (string, int) Hashtbl.t;
+  rolls : (string, int) Hashtbl.t;
 }
+
+let bump tbl k =
+  Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k))
 
 let create ?(seed = 0) plan =
   let dup_prob = ref 0.0
@@ -18,7 +23,11 @@ let create ?(seed = 0) plan =
   and spike_prob = ref 0.0
   and spike_factor = ref 1.0
   and partitions = ref []
-  and crash_schedule = ref [] in
+  and crash_schedule = ref []
+  and churn_schedule = ref [] in
+  let tally = Hashtbl.create 8 and rolls = Hashtbl.create 8 in
+  List.iter (fun k -> Hashtbl.replace tally k 0; Hashtbl.replace rolls k 0)
+    (Plan.kinds plan);
   List.iter
     (fun (f : Plan.fault) ->
       match f with
@@ -30,12 +39,16 @@ let create ?(seed = 0) plan =
       | Partition { island; from_; until_ } ->
           partitions := (island, from_, until_) :: !partitions
       | Crash_stop { proc; at } ->
+          bump rolls "crash";
           crash_schedule := (proc, at, None) :: !crash_schedule
       | Crash_recover { proc; at; after } ->
-          crash_schedule := (proc, at, Some after) :: !crash_schedule)
+          bump rolls "crash";
+          bump rolls "recovery";
+          crash_schedule := (proc, at, Some after) :: !crash_schedule
+      | Join_proc { at; _ } | Leave_proc { at; _ } | Flap { at; _ } ->
+          bump rolls (Plan.kind f);
+          churn_schedule := (at, f) :: !churn_schedule)
     plan;
-  let tally = Hashtbl.create 8 in
-  List.iter (fun k -> Hashtbl.replace tally k 0) (Plan.kinds plan);
   {
     plan;
     rng = Rng.create seed;
@@ -45,41 +58,53 @@ let create ?(seed = 0) plan =
     spike_factor = !spike_factor;
     partitions = List.rev !partitions;
     crash_schedule = List.rev !crash_schedule;
+    churn_schedule =
+      List.stable_sort
+        (fun (a, _) (b, _) -> compare a b)
+        (List.rev !churn_schedule);
     tally;
+    rolls;
   }
 
 let plan t = t.plan
-
-let note t k =
-  Hashtbl.replace t.tally k (1 + Option.value ~default:0 (Hashtbl.find_opt t.tally k))
+let note t k = bump t.tally k
+let consult t k = bump t.rolls k
 
 let roll_duplicate t =
   t.dup_prob > 0.0
-  && Rng.chance t.rng t.dup_prob
+  && (consult t "duplicate";
+      Rng.chance t.rng t.dup_prob)
   &&
   (note t "duplicate";
    true)
 
 let roll_corrupt t =
   t.corrupt_prob > 0.0
-  && Rng.chance t.rng t.corrupt_prob
+  && (consult t "corrupt";
+      Rng.chance t.rng t.corrupt_prob)
   &&
   (note t "corrupt";
    true)
 
 let delay_factor t =
-  if t.spike_prob > 0.0 && Rng.chance t.rng t.spike_prob then begin
-    note t "delay-spike";
-    t.spike_factor
+  if t.spike_prob > 0.0 then begin
+    consult t "delay-spike";
+    if Rng.chance t.rng t.spike_prob then begin
+      note t "delay-spike";
+      t.spike_factor
+    end
+    else 1.0
   end
   else 1.0
 
 let blocks t ~now ~src ~dst =
-  let separated (island, from_, until_) =
-    now >= from_ && now < until_
-    && List.mem src island <> List.mem dst island
-  in
-  List.exists separated t.partitions
+  t.partitions <> []
+  && (consult t "partition";
+      let separated (island, from_, until_) =
+        now >= from_ && now < until_
+        && List.mem src island <> List.mem dst island
+      in
+      List.exists separated t.partitions)
   &&
   (note t "partition";
    true)
@@ -96,12 +121,22 @@ let flip_bit t s =
   end
 
 let crashes t = t.crash_schedule
+let churn t = t.churn_schedule
 let note_crash t = note t "crash"
 let note_recovery t = note t "recovery"
+let note_churn t f = note t (Plan.kind f)
 
-let fired t =
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.tally []
+let sorted tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let fired t = sorted t.tally
+
+let breakdown t =
+  List.map
+    (fun (k, fired) ->
+      (k, Option.value ~default:0 (Hashtbl.find_opt t.rolls k), fired))
+    (sorted t.tally)
 
 let unobserved t =
   List.filter_map (fun (k, v) -> if v = 0 then Some k else None) (fired t)

@@ -38,21 +38,39 @@ val flip_bit : t -> string -> string
 (** Corrupt a payload: flip one uniformly chosen bit. Returns the
     string unchanged only when it is empty. *)
 
-(** {1 Crash schedule} *)
+(** {1 Crash and churn schedules} *)
 
 val crashes : t -> (int * float * float option) list
 (** [(proc, at, recover_after)] per crash clause, in plan order. *)
+
+val churn : t -> (float * Plan.fault) list
+(** The plan's churn clauses ([Join_proc]/[Leave_proc]/[Flap]) sorted
+    by trigger time (stable for ties). Executed by the {!Churn}
+    harness; the packet-level runners ignore them. *)
 
 val note_crash : t -> unit
 val note_recovery : t -> unit
 (** Called by the runtime when a crash / recovery event takes effect,
     so the tallies cover faults the injector does not decide itself. *)
 
+val note_churn : t -> Plan.fault -> unit
+(** Record that a churn clause's delta was actually applied (tallied
+    under its kind: ["join"], ["leave"] or ["flap"]). *)
+
 (** {1 Observation tallies} *)
 
 val fired : t -> (string * int) list
 (** How often each declared fault kind actually fired, sorted by kind
     name. Kinds that never fired are present with count 0. *)
+
+val breakdown : t -> (string * int * int) list
+(** [(kind, consulted, fired)] per declared kind, sorted by kind name:
+    [consulted] counts decision points — packets rolled for the
+    probabilistic kinds ([duplicate]/[corrupt]/[delay-spike]), send
+    attempts checked against partition windows, and scheduled instances
+    for [crash]/[recovery] and the churn kinds — while [fired] counts
+    the decisions that actually took effect. The [synts chaos --format
+    json] report exposes this as the per-kind injection breakdown. *)
 
 val unobserved : t -> string list
 (** Declared kinds with a zero tally, sorted. *)

@@ -5,6 +5,9 @@ type fault =
   | Duplicate of { prob : float }
   | Corrupt of { prob : float }
   | Delay_spike of { prob : float; factor : float }
+  | Join_proc of { proc : int; edges : (int * int) list; at : float }
+  | Leave_proc of { proc : int; at : float }
+  | Flap of { proc : int; at : float; after : float }
 
 type t = fault list
 
@@ -14,6 +17,15 @@ let kind = function
   | Duplicate _ -> "duplicate"
   | Corrupt _ -> "corrupt"
   | Delay_spike _ -> "delay-spike"
+  | Join_proc _ -> "join"
+  | Leave_proc _ -> "leave"
+  | Flap _ -> "flap"
+
+let is_churn = function
+  | Join_proc _ | Leave_proc _ | Flap _ -> true
+  | _ -> false
+
+let has_churn plan = List.exists is_churn plan
 
 let kinds plan =
   let seen = Hashtbl.create 8 in
@@ -81,7 +93,32 @@ let validate ~n plan =
               err "fault plan: spike probability %g outside [0, 1]" prob
             else if factor < 1.0 then
               err "fault plan: spike factor %g must be >= 1" factor
-            else go ~dup ~corrupt ~spike:true crashed rest)
+            else go ~dup ~corrupt ~spike:true crashed rest
+        (* Churn processes may lie outside 0..n-1: a join can introduce a
+           process the initial topology has never seen. Whether a given
+           delta is applicable is a runtime membership question, checked
+           (and tolerated) when the clause fires. *)
+        | Join_proc { proc; edges; at } ->
+            if proc < 0 || at < 0.0 then
+              err "fault plan: bad join clause (process %d, at %g)" proc at
+            else if
+              List.exists
+                (fun (u, v) -> u < 0 || v < 0 || u = v || (u <> proc && v <> proc))
+                edges
+            then
+              err "fault plan: join edges must link process %d to a peer" proc
+            else go ~dup ~corrupt ~spike crashed rest
+        | Leave_proc { proc; at } ->
+            if proc < 0 || at < 0.0 then
+              err "fault plan: bad leave clause (process %d, at %g)" proc at
+            else go ~dup ~corrupt ~spike crashed rest
+        | Flap { proc; at; after } ->
+            if proc < 0 || at < 0.0 then
+              err "fault plan: bad flap clause (process %d, at %g)" proc at
+            else if after <= 0.0 then
+              err "fault plan: flap rejoin delay must be positive (process %d)"
+                proc
+            else go ~dup ~corrupt ~spike crashed rest)
   in
   go ~dup:false ~corrupt:false ~spike:false [] plan
 
@@ -96,6 +133,14 @@ let fault_to_string = function
   | Duplicate { prob } -> Printf.sprintf "dup:%g" prob
   | Corrupt { prob } -> Printf.sprintf "corrupt:%g" prob
   | Delay_spike { prob; factor } -> Printf.sprintf "spike:%g*%g" prob factor
+  | Join_proc { proc; edges = []; at } -> Printf.sprintf "join:%d@%g" proc at
+  | Join_proc { proc; edges; at } ->
+      Printf.sprintf "join:%d:%s@%g" proc
+        (String.concat ","
+           (List.map (fun (u, v) -> Printf.sprintf "%d-%d" u v) edges))
+        at
+  | Leave_proc { proc; at } -> Printf.sprintf "leave:%d@%g" proc at
+  | Flap { proc; at; after } -> Printf.sprintf "flap:%d@%g+%g" proc at after
 
 let scan spec fmt k =
   match Scanf.sscanf spec fmt k with
@@ -135,6 +180,43 @@ let fault_of_string spec =
                 let island = List.filter_map Fun.id island in
                 scan window "%f-%f%!" (fun from_ until_ ->
                     Partition { island; from_; until_ })))
+      | "join" -> (
+          match String.rindex_opt body '@' with
+          | None -> Error (Printf.sprintf "fault plan: clause %S has no '@'" spec)
+          | Some j -> (
+              let left = String.sub body 0 j in
+              let at = String.sub body (j + 1) (String.length body - j - 1) in
+              let proc_part, edges_part =
+                match String.index_opt left ':' with
+                | None -> (left, None)
+                | Some k ->
+                    ( String.sub left 0 k,
+                      Some (String.sub left (k + 1) (String.length left - k - 1))
+                    )
+              in
+              let edges =
+                match edges_part with
+                | None -> Ok []
+                | Some s ->
+                    String.split_on_char ',' s
+                    |> List.map (fun e ->
+                           scan (String.trim e) "%d-%d%!" (fun u v -> (u, v)))
+                    |> List.fold_left
+                         (fun acc e ->
+                           match (acc, e) with
+                           | Ok acc, Ok e -> Ok (e :: acc)
+                           | (Error _ as err), _ | _, (Error _ as err) -> err)
+                         (Ok [])
+                    |> Result.map List.rev
+              in
+              match (edges, int_of_string_opt (String.trim proc_part)) with
+              | Error _, _ | _, None ->
+                  Error (Printf.sprintf "fault plan: cannot parse clause %S" spec)
+              | Ok edges, Some proc ->
+                  scan at "%f%!" (fun at -> Join_proc { proc; edges; at })))
+      | "leave" -> scan body "%d@%f%!" (fun proc at -> Leave_proc { proc; at })
+      | "flap" ->
+          scan body "%d@%f+%f%!" (fun proc at after -> Flap { proc; at; after })
       | "dup" -> scan body "%f%!" (fun prob -> Duplicate { prob })
       | "corrupt" -> scan body "%f%!" (fun prob -> Corrupt { prob })
       | "spike" ->

@@ -17,9 +17,19 @@
     dup:PROB           duplicate each delivered packet with prob. PROB
     corrupt:PROB       flip one payload bit with probability PROB
     spike:PROB*F       multiply a packet's delay by F with prob. PROB
+    join:P:U-V,..@T    process P joins at time T with the given channels
+    join:P@T           ... with no channels yet
+    leave:P@T          process P leaves (all its channels drop) at T
+    flap:P@T+D         P leaves at T and rejoins D later with the
+                       channels it had (peers that left meanwhile are
+                       skipped)
     v}
 
-    Example: ["recover:2@25+30; dup:0.1; spike:0.2*5"]. *)
+    Example: ["recover:2@25+30; dup:0.1; spike:0.2*5"]. The churn
+    clauses ([join]/[leave]/[flap]) drive membership epochs
+    ({!Synts_graph.Membership}) and are executed by the [synts churn]
+    harness ({!Churn}); the packet-level chaos runner rejects plans
+    containing them. *)
 
 type fault =
   | Crash_stop of { proc : int; at : float }
@@ -40,6 +50,16 @@ type fault =
   | Delay_spike of { prob : float; factor : float }
       (** Each packet's transit delay is multiplied by [factor] with
           probability [prob] (a congestion burst). *)
+  | Join_proc of { proc : int; edges : (int * int) list; at : float }
+      (** Membership delta: [proc] joins at [at] with the listed
+          channels (each incident to [proc]). [proc] may name a process
+          the initial topology has never seen. *)
+  | Leave_proc of { proc : int; at : float }
+      (** Membership delta: [proc] and all its channels leave at [at]. *)
+  | Flap of { proc : int; at : float; after : float }
+      (** [proc] leaves at [at] and rejoins [after] later with the
+          channels it held at departure (restricted to peers still
+          active at rejoin time). *)
 
 type t = fault list
 
@@ -47,12 +67,24 @@ val validate : n:int -> t -> (unit, string) result
 (** Check a plan against a system of [n] processes: process ids in
     range, probabilities in [[0,1]], windows well ordered, spike factor
     ≥ 1, at most one [Duplicate]/[Corrupt]/[Delay_spike] clause and at
-    most one crash per process. *)
+    most one crash per process. Churn clauses are checked for shape only
+    (their process ids may exceed [n-1] — joins grow the system);
+    whether a delta applies is a runtime membership question. *)
 
 val kinds : t -> string list
 (** The fault kinds the plan declares, deduplicated, in first-appearance
     order. Kinds: ["crash"], ["recovery"], ["partition"],
-    ["duplicate"], ["corrupt"], ["delay-spike"]. *)
+    ["duplicate"], ["corrupt"], ["delay-spike"], ["join"], ["leave"],
+    ["flap"]. *)
+
+val kind : fault -> string
+(** The kind name of one clause (as in {!kinds}; a [Crash_recover] is
+    ["crash"] — its recovery leg is tallied separately). *)
+
+val is_churn : fault -> bool
+val has_churn : t -> bool
+(** Whether the plan contains membership churn clauses — such plans run
+    under [synts churn], not the packet-level chaos runner. *)
 
 val fault_to_string : fault -> string
 val fault_of_string : string -> (fault, string) result

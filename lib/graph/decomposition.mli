@@ -76,6 +76,14 @@ val min_size_lower_bound : Graph.t -> int
 (** Any matching is a set of edges that must lie in pairwise-distinct
     groups, so a greedy maximal matching size lower-bounds the optimum. *)
 
+val group_of_edge_set : int -> Graph.edge list -> group option
+(** [group_of_edge_set n edges] is the single star or triangle on [n]
+    vertices covering exactly [edges], when one exists. An edge set fits
+    one group iff it is pairwise-intersecting (a common vertex, or the
+    three edges of a triangle) — the compatibility test the incremental
+    {!Membership} maintenance uses before absorbing an edge into an
+    existing clock component. *)
+
 val best : Graph.t -> t
 (** Smallest of {!paper}, greedy/matching vertex-cover stars and
     {!sequential} — the recommended polynomial-time construction. *)

@@ -1,0 +1,83 @@
+module Membership = Synts_graph.Membership
+
+let audit m =
+  let fs = ref [] in
+  let add rule epoch msg =
+    fs := Rules.finding rule (Finding.Epoch epoch) msg :: !fs
+  in
+  let history = Membership.history m in
+  List.iter
+    (fun (i : Membership.epoch_info) ->
+      if i.live > i.bound then
+        add "epoch/size-bound" i.epoch
+          (Printf.sprintf
+             "%d live components after %s, min(beta(G), N-2) allows %d"
+             i.live i.delta i.bound))
+    history;
+  (* Which target epochs were opened by a compaction (the only remaps
+     allowed to retire or renumber slots). *)
+  let compacted =
+    List.filter_map
+      (fun (i : Membership.epoch_info) ->
+        if i.compacted then Some i.epoch else None)
+      history
+  in
+  let remaps = Membership.remaps m in
+  let prev_to = ref None in
+  List.iteri
+    (fun i (r : Membership.remap) ->
+      let ep = r.from_epoch in
+      if ep <> i then
+        add "epoch/remap-consistency" ep
+          (Printf.sprintf "remap %d claims source epoch %d" i ep);
+      if Array.length r.map <> r.from_dim then
+        add "epoch/remap-consistency" ep
+          (Printf.sprintf "remap %d->%d has %d entries for width %d" ep (ep + 1)
+             (Array.length r.map) r.from_dim);
+      (match !prev_to with
+      | Some d when d <> r.from_dim ->
+          add "epoch/remap-consistency" ep
+            (Printf.sprintf
+               "remap %d->%d starts from width %d but the previous step ended \
+                at %d"
+               ep (ep + 1) r.from_dim d)
+      | _ -> ());
+      prev_to := Some r.to_dim;
+      let is_compaction = List.mem (ep + 1) compacted in
+      let seen = Hashtbl.create 16 in
+      Array.iteri
+        (fun s target ->
+          if target < 0 then begin
+            if not is_compaction then
+              add "epoch/remap-consistency" ep
+                (Printf.sprintf
+                   "slot %d retired outside a compaction (remap %d->%d)" s ep
+                   (ep + 1))
+          end
+          else if target >= r.to_dim then
+            add "epoch/remap-consistency" ep
+              (Printf.sprintf "slot %d maps to %d, past target width %d" s
+                 target r.to_dim)
+          else begin
+            if Hashtbl.mem seen target then
+              add "epoch/remap-consistency" ep
+                (Printf.sprintf "slots alias: %d and %d both map to %d"
+                   (Hashtbl.find seen target) s target);
+            Hashtbl.replace seen target s;
+            if (not is_compaction) && target <> s then
+              add "epoch/remap-consistency" ep
+                (Printf.sprintf
+                   "slot %d renumbered to %d outside a compaction (remap \
+                    %d->%d)"
+                   s target ep (ep + 1))
+          end)
+        r.map)
+    remaps;
+  (match !prev_to with
+  | Some d when d <> Membership.width m ->
+      add "epoch/remap-consistency" (Membership.epoch m)
+        (Printf.sprintf
+           "remap chain ends at width %d but the membership is at width %d" d
+           (Membership.width m))
+  | _ -> ());
+  List.rev !fs

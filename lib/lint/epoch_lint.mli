@@ -1,0 +1,21 @@
+(** Audit of a churn-tolerant membership's epoch history (paper Thms.
+    5-7 and Eq. (1), applied per epoch).
+
+    Two rule families over {!Synts_graph.Membership} state:
+
+    - [epoch/size-bound]: every epoch's live-component count must stay
+      within the min(beta(G), N-2) clamp the membership recorded for
+      that epoch's topology — incremental repair is not allowed to leak
+      width a from-scratch rebuild would avoid.
+    - [epoch/remap-consistency]: the per-epoch remap chain must be a
+      width-consistent injection — consecutive steps agree on widths,
+      no two surviving slots alias, nothing maps past the target width,
+      and only compaction epochs may retire slots or renumber them.
+
+    The audit is read-only and cheap (linear in epochs x width), so
+    [synts churn] runs it after every harness run and [synts serve]
+    can run it on demand. *)
+
+val audit : Synts_graph.Membership.t -> Finding.t list
+(** Findings anchored at [Finding.Epoch e]. Empty on a healthy
+    membership. *)

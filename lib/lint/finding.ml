@@ -16,6 +16,7 @@ type location =
   | Step of int
   | Channel of int * int
   | Group of int
+  | Epoch of int
 
 type t = {
   rule : string;
@@ -44,6 +45,7 @@ let pp_location ppf = function
   | Step i -> Format.fprintf ppf "step %d" i
   | Channel (u, v) -> Format.fprintf ppf "channel (%d,%d)" u v
   | Group g -> Format.fprintf ppf "group %d" g
+  | Epoch e -> Format.fprintf ppf "epoch %d" e
 
 let pp ppf f =
   Format.fprintf ppf "%s[%s] %a: %s"
@@ -75,6 +77,7 @@ let location_json = function
   | Step i -> Printf.sprintf {|{"kind":"step","index":%d}|} i
   | Channel (u, v) -> Printf.sprintf {|{"kind":"channel","u":%d,"v":%d}|} u v
   | Group g -> Printf.sprintf {|{"kind":"group","index":%d}|} g
+  | Epoch e -> Printf.sprintf {|{"kind":"epoch","index":%d}|} e
 
 let to_json fs =
   let one f =

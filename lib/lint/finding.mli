@@ -25,6 +25,7 @@ type location =
   | Step of int  (** An index into the global step sequence. *)
   | Channel of int * int  (** A (normalized) topology edge. *)
   | Group of int  (** A decomposition group index. *)
+  | Epoch of int  (** A membership epoch. *)
 
 type t = {
   rule : string;  (** Rule id, e.g. ["trace/self-message"]. *)

@@ -2,6 +2,7 @@ module Finding = Finding
 module Rules = Rules
 module Trace_lint = Trace_lint
 module Decomp_lint = Decomp_lint
+module Epoch_lint = Epoch_lint
 module Csp_lint = Csp_lint
 module Sanitizer = Sanitizer
 module Trace = Synts_sync.Trace

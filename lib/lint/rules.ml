@@ -183,6 +183,33 @@ let all =
       paper = "Paper Theorems 5-7; matching bound.";
     };
     {
+      id = "epoch/size-bound";
+      severity = w;
+      summary = "a membership epoch's live components exceed min(beta(G), N-2)";
+      rationale =
+        "Under churn the incremental maintenance must keep every epoch's \
+         decomposition within the same min(beta(G), N-2) guarantee a \
+         from-scratch rebuild would achieve (falling back to a full \
+         recompute when local repair cannot). An epoch above the bound \
+         means the repair heuristic leaked width: timestamps carry more \
+         components than the topology of that epoch justifies.";
+      paper = "Paper Theorems 5-7, applied per membership epoch.";
+    };
+    {
+      id = "epoch/remap-consistency";
+      severity = e;
+      summary = "the epoch remap chain is not a width-consistent injection";
+      rationale =
+        "Exact comparison of stamps across epochs relies on the remap \
+         chain: each step must map every old slot either to a distinct \
+         slot below the new width or retire it (compaction only), and \
+         consecutive steps must agree on the widths they hand each other. \
+         A hole in the chain silently aliases or drops clock components, \
+         so translated stamps stop being comparable and Equation (1) \
+         fails without any visible protocol error.";
+      paper = "Eq. (1) exactness across membership epochs.";
+    };
+    {
       id = "csp/peer-range";
       severity = e;
       summary = "a script intent targets an invalid process";

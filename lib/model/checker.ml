@@ -99,6 +99,7 @@ let rederive ~procs ~mutation shrunk =
           faults = count_crashes shrunk;
           mutation;
           system = Some scripts;
+          churn = [];
         }
       in
       match Protocol.compile cfg with

@@ -2,6 +2,7 @@ module Script = Synts_net.Script
 module Vector = Synts_clock.Vector
 module Graph = Synts_graph.Graph
 module Decomposition = Synts_graph.Decomposition
+module Membership = Synts_graph.Membership
 module Trace = Synts_sync.Trace
 module Explorer = Synts_explorer.Explorer
 
@@ -30,10 +31,21 @@ type config = {
   faults : int;
   mutation : mutation option;
   system : Script.t array option;
+  churn : (int * string) list;
+      (* (threshold, rendered membership delta): the delta is applied as
+         soon as [threshold] messages have completed, in listed order
+         for equal thresholds. *)
 }
 
 let default =
-  { procs = 3; events = 6; faults = 0; mutation = None; system = None }
+  {
+    procs = 3;
+    events = 6;
+    faults = 0;
+    mutation = None;
+    system = None;
+    churn = [];
+  }
 
 let scenario ~procs:n ~events =
   if n < 2 then invalid_arg "Protocol.scenario: need at least 2 processes";
@@ -87,6 +99,10 @@ let to_string cfg =
   (match cfg.mutation with
   | Some m -> Buffer.add_string b ("mutate " ^ mutation_to_string m ^ "\n")
   | None -> ());
+  List.iter
+    (fun (k, spec) ->
+      Buffer.add_string b (Printf.sprintf "churn @%d %s\n" k spec))
+    cfg.churn;
   (match cfg.system with
   | Some scripts ->
       Buffer.add_string b (Script.system_to_string scripts);
@@ -141,6 +157,28 @@ let of_string text =
                       match mutation_of_string v with
                       | Ok m -> cfg := { !cfg with mutation = Some m }
                       | Error e -> fail e)
+                  | "churn" -> (
+                      let bad () =
+                        fail
+                          (Printf.sprintf
+                             "churn wants \"@N <delta>\", got %S" v)
+                      in
+                      match String.index_opt v ' ' with
+                      | Some i when String.length v > 1 && v.[0] = '@' -> (
+                          match int_of_string_opt (String.sub v 1 (i - 1)) with
+                          | Some at when at >= 0 -> (
+                              let spec =
+                                String.trim
+                                  (String.sub v (i + 1)
+                                     (String.length v - i - 1))
+                              in
+                              match Membership.delta_of_string spec with
+                              | Ok _ ->
+                                  cfg :=
+                                    { !cfg with churn = !cfg.churn @ [ (at, spec) ] }
+                              | Error e -> fail e)
+                          | _ -> bad ())
+                      | _ -> bad ())
                   | _ -> fail (Printf.sprintf "unknown key %S" k)))
         rest;
       (match (!err, !sys_lines) with
@@ -206,7 +244,10 @@ type t = {
   scripts : Script.intent array array;
   n : int;
   decomp : Decomposition.t;
-  dim : int;
+  dim : int;  (* stamping width: final-epoch membership width under churn *)
+  churn : (int * Membership.delta) list;  (* sorted by threshold *)
+  egraphs : Graph.t array;  (* per-epoch topologies; singleton churn-free *)
+  eslots : (int * int, int) Hashtbl.t array;  (* per-epoch channel->slot *)
 }
 
 let config m = m.cfg
@@ -244,7 +285,7 @@ let compile cfg =
       raw_scripts;
     match !bad with
     | Some e -> Error e
-    | None ->
+    | None -> (
         let edges = ref [] in
         Array.iteri
           (fun p script ->
@@ -256,15 +297,140 @@ let compile cfg =
           raw_scripts;
         let topology = Graph.of_edges n !edges in
         let decomp = Decomposition.best topology in
-        Ok
-          {
-            cfg;
-            raw_scripts;
-            scripts = Array.map Array.of_list raw_scripts;
-            n;
-            decomp;
-            dim = Decomposition.size decomp;
-          }
+        let scripts = Array.map Array.of_list raw_scripts in
+        (* channel -> slot table of one membership epoch, both
+           orientations *)
+        let snap m =
+          let g = Membership.graph m in
+          let h = Hashtbl.create 16 in
+          List.iter
+            (fun (u, v) ->
+              let s = Membership.slot_of_edge m u v in
+              Hashtbl.replace h (u, v) s;
+              Hashtbl.replace h (v, u) s)
+            (Graph.edges g);
+          (g, h)
+        in
+        match cfg.churn with
+        | [] ->
+            (* Static topology: stamp straight off the decomposition, as
+               Figure 5 assumes. *)
+            let table = Hashtbl.create 16 in
+            List.iter
+              (fun (u, v) ->
+                let s = Decomposition.group_of_edge decomp u v in
+                Hashtbl.replace table (u, v) s;
+                Hashtbl.replace table (v, u) s)
+              (Graph.edges topology);
+            Ok
+              {
+                cfg;
+                raw_scripts;
+                scripts;
+                n;
+                decomp;
+                dim = Decomposition.size decomp;
+                churn = [];
+                egraphs = [| topology |];
+                eslots = [| table |];
+              }
+        | clauses -> (
+            (* Churn: precompute the whole epoch sequence. Epochs advance
+               deterministically with the completed-message count, so the
+               transition system stays pure; since the per-epoch remaps
+               are identity injections (no compaction here), every epoch's
+               slots embed unchanged in final-width vectors and all
+               stamping runs at the final width from the start. *)
+            let parse (at, spec) =
+              match Membership.delta_of_string spec with
+              | Ok d -> Ok (at, spec, d)
+              | Error e -> Error (Printf.sprintf "churn @%d %s: %s" at spec e)
+            in
+            let rec parse_all = function
+              | [] -> Ok []
+              | c :: rest -> (
+                  match parse c with
+                  | Error _ as e -> e
+                  | Ok p -> Result.map (fun ps -> p :: ps) (parse_all rest))
+            in
+            match
+              parse_all
+                (List.stable_sort
+                   (fun (a, _) (b, _) -> compare a b)
+                   clauses)
+            with
+            | Error e -> Error e
+            | Ok parsed -> (
+                let joiners =
+                  List.sort_uniq compare
+                    (List.filter_map
+                       (fun (_, _, d) ->
+                         match d with
+                         | Membership.Join { proc; _ } -> Some proc
+                         | _ -> None)
+                       parsed)
+                in
+                let n0 = n - List.length joiners in
+                if joiners <> List.init (List.length joiners) (fun i -> n0 + i)
+                then
+                  Error
+                    (Printf.sprintf
+                       "churn joins must use the highest process ids \
+                        (P%d..P%d): earlier joiners would start outside \
+                        the membership universe" n0 (n - 1))
+                else begin
+                  let added_later =
+                    List.concat_map
+                      (fun (_, _, d) ->
+                        match d with
+                        | Membership.Join { edges; _ } ->
+                            List.map
+                              (fun (u, v) -> Graph.normalize_edge u v)
+                              edges
+                        | Membership.Add_edge (u, v) ->
+                            [ Graph.normalize_edge u v ]
+                        | _ -> [])
+                      parsed
+                  in
+                  let e0 =
+                    List.filter
+                      (fun (u, v) ->
+                        u < n0 && v < n0
+                        && not (List.mem (u, v) added_later))
+                      (List.sort_uniq compare
+                         (List.map
+                            (fun (u, v) -> Graph.normalize_edge u v)
+                            !edges))
+                  in
+                  let mem = Membership.of_graph (Graph.of_edges n0 e0) in
+                  let snaps = ref [ snap mem ] and bad = ref None in
+                  List.iter
+                    (fun (at, spec, d) ->
+                      if !bad = None then
+                        match Membership.apply mem d with
+                        | Ok _ -> snaps := snap mem :: !snaps
+                        | Error e ->
+                            bad :=
+                              Some
+                                (Printf.sprintf "churn @%d %s: %s" at spec e))
+                    parsed;
+                  match !bad with
+                  | Some e -> Error e
+                  | None ->
+                      let snaps = Array.of_list (List.rev !snaps) in
+                      Ok
+                        {
+                          cfg;
+                          raw_scripts;
+                          scripts;
+                          n;
+                          decomp;
+                          dim = max 1 (Membership.width mem);
+                          churn = List.map (fun (at, _, d) -> (at, d)) parsed;
+                          egraphs = Array.map fst snaps;
+                          eslots = Array.map snd snaps;
+                        }
+                end)))
   end
 
 let compile_exn cfg =
@@ -298,6 +464,16 @@ let initial m =
     viol = None;
   }
 
+(* The membership epoch the state is in: deterministic in the number of
+   completed messages, so churn stays compatible with pure steps and
+   state hashing. *)
+let epoch_of m st =
+  List.length (List.filter (fun (at, _) -> at <= st.nmsgs) m.churn)
+
+let channel_up m st p q =
+  let g = m.egraphs.(epoch_of m st) in
+  p < Graph.n g && q < Graph.n g && Graph.has_edge g p q
+
 let head m st p =
   let idx = st.ps.(p).idx in
   if idx < Array.length m.scripts.(p) then Some m.scripts.(p).(idx) else None
@@ -325,7 +501,7 @@ let raw_enabled m st =
       else begin
         (match head m st p with
         | Some Script.Internal -> internals := Internal p :: !internals
-        | Some (Script.Send_to q) when st.ps.(q).up -> (
+        | Some (Script.Send_to q) when st.ps.(q).up && channel_up m st p q -> (
             match head m st q with
             | Some (Script.Recv_from r) when r = p ->
                 rdv := Rendezvous { src = p; dst = q } :: !rdv
@@ -345,7 +521,7 @@ let bit p = 1 lsl p
 
 let rendezvous m st ~src:p ~dst:q =
   let sp = st.ps.(p) and sq = st.ps.(q) in
-  let g = Decomposition.group_of_edge m.decomp p q in
+  let g = Hashtbl.find m.eslots.(epoch_of m st) (p, q) in
   let bump v = if m.cfg.mutation <> Some Skip_increment then Vector.incr v g in
   (* Receiver: merge the piggybacked sender vector, bump the group. *)
   let ts_recv = Vector.merge sq.vec sp.vec in
@@ -498,6 +674,17 @@ let independent a b =
   match (a, b) with Crash _, Crash _ -> false | _ -> true
 
 let system m =
+  (* Under churn a completed rendezvous can cross an epoch threshold and
+     change both enabledness and the slot every later rendezvous
+     increments, so no pair involving a rendezvous commutes: DPOR falls
+     back to conservative (correct, just less pruning). *)
+  let independent =
+    if m.churn = [] then independent
+    else fun a b ->
+      match (a, b) with
+      | Rendezvous _, _ | _, Rendezvous _ -> false
+      | _ -> independent a b
+  in
   {
     Explorer.initial = initial m;
     enabled = enabled m;

@@ -44,10 +44,21 @@ type config = {
   system : Synts_net.Script.t array option;
       (** Explicit scripts; when present, [procs]/[events] are derived
           from it and the scenario generator is not used. *)
+  churn : (int * string) list;
+      (** Membership deltas ([churn @N <delta>] lines): after the [N]th
+          completed message the rendered {!Synts_graph.Membership.delta}
+          is applied, opening a new epoch. The epoch is a deterministic
+          function of the completed-message count, so the transition
+          system stays pure. Joining processes must take the highest
+          process ids; their sends/receives only become enabled once
+          their epoch opens. All stamps run at the final epoch's width
+          (churn remaps are identity injections, so earlier epochs'
+          vectors are the final-width ones with frozen slots at 0). *)
 }
 
 val default : config
-(** [{procs = 3; events = 6; faults = 0; mutation = None; system = None}]. *)
+(** [{procs = 3; events = 6; faults = 0; mutation = None; system = None;
+    churn = []}]. *)
 
 val scenario : procs:int -> events:int -> Synts_net.Script.t array
 (** The canonical staged-relay workload: process [p < procs-1] sends

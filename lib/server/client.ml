@@ -19,9 +19,10 @@ let m_latency =
 type t = {
   fd : Unix.file_descr;
   mutable seq : int;  (* next Observe sequence number *)
-  processes : int;
-  dimension : int;
+  mutable processes : int;  (* grows when a churn delta joins a process *)
+  mutable dimension : int;  (* follows the server's current epoch *)
   shards : int;
+  mutable epoch : int;
   mutable closed : bool;
 }
 
@@ -59,8 +60,8 @@ let roundtrip fd req =
 let connect address =
   let fd = connect_fd address in
   match roundtrip fd Protocol.Hello with
-  | Protocol.Welcome { processes; dimension; shards } ->
-      { fd; seq = 0; processes; dimension; shards; closed = false }
+  | Protocol.Welcome { processes; dimension; shards; epoch } ->
+      { fd; seq = 0; processes; dimension; shards; epoch; closed = false }
   | Protocol.Error_r e ->
       Unix.close fd;
       failwith ("server rejected hello: " ^ e)
@@ -78,6 +79,19 @@ let close t =
 let shards t = t.shards
 let processes t = t.processes
 let dimension t = t.dimension
+let epoch t = t.epoch
+
+let churn t delta =
+  match roundtrip t.fd (Protocol.Churn delta) with
+  | Protocol.Epoch_r { epoch; processes; dimension } ->
+      t.epoch <- epoch;
+      t.processes <- processes;
+      t.dimension <- dimension;
+      Ok (epoch, processes, dimension)
+  | Protocol.Error_r e -> Error e
+  | other ->
+      Format.asprintf "unexpected churn reply: %a" Protocol.pp_response other
+      |> Result.error
 
 let corruption_error e =
   let prefix p = String.length e >= String.length p
@@ -97,7 +111,12 @@ let observe_batch t events =
            cache answers the retry identically. *)
         Tm.Counter.incr m_retransmits;
         attempt (tries + 1)
-    | Protocol.Error_r e -> failwith e
+    | Protocol.Error_r e ->
+        (* A rejected batch (e.g. a channel the current epoch retired)
+           consumes no sequence number server-side — hand ours back too,
+           so the session survives the failure in lockstep. *)
+        t.seq <- seq;
+        failwith e
     | other ->
         Format.kasprintf failwith "unexpected observe reply: %a"
           Protocol.pp_response other

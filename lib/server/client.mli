@@ -26,6 +26,18 @@ val shards : t -> int
 
 val processes : t -> int
 val dimension : t -> int
+(** Process count and stamp dimension as of the last [Welcome] or
+    [Epoch_r] — both can grow when churn deltas are applied. *)
+
+val epoch : t -> int
+(** The server's membership epoch as last reported to this client. *)
+
+val churn : t -> string -> (int * int * int, string) result
+(** [churn t delta] asks the server to apply a rendered membership delta
+    ([join:P:U-V,...] / [leave:P] / [add:U-V] / [drop:U-V]). On [Ok
+    (epoch, processes, dimension)] the client's cached layout is updated
+    in place; in-flight sequence state is untouched (the server reshards
+    without dropping connections). *)
 
 val observe : t -> Synts_ingest.Ingest.event -> Synts_ingest.Ingest.outcome
 val observe_batch :

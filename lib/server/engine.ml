@@ -84,7 +84,9 @@ type shared = {
 }
 
 type t = {
-  decomposition : Decomposition.t;
+  group_of_edge : int -> int -> int;
+      (* The channel -> component-slot map of the current membership
+         epoch; raises [Not_found] off-topology. *)
   n : int;
   dim : int;
   plan : Shard.t;
@@ -168,22 +170,41 @@ let worker plan shard slab stats shared =
   in
   loop 0
 
-let create ?(shards = 1) ?(pending_cap = 65536) d =
+let make ~shards ~pending_cap ~init ~first_ticket ~n ~dim ~group_of_edge =
   if shards < 1 then invalid_arg "Engine.create: shards must be >= 1";
   if pending_cap < 1 then invalid_arg "Engine.create: pending_cap must be >= 1";
-  let n = Decomposition.graph_vertices d in
-  let dim = max 1 (Decomposition.size d) in
+  if n < 0 then invalid_arg "Engine.create: negative process count";
+  if dim < 1 then invalid_arg "Engine.create: dimension must be >= 1";
+  if first_ticket < 0 then invalid_arg "Engine.create: negative first ticket";
+  (match init with
+  | None -> ()
+  | Some rows ->
+      if Array.length rows <> n then
+        invalid_arg "Engine.create: init needs one row per process";
+      Array.iter
+        (fun r ->
+          if Array.length r <> dim then
+            invalid_arg "Engine.create: init row width mismatch")
+        rows);
   let plan = Shard.plan ~dimension:dim ~shards in
   let k = Shard.shards plan in
   Tm.Gauge.set m_shards k;
   let slabs =
     Array.init k (fun s ->
+        let comps = Shard.components plan s in
         let slab =
-          Stamp_store.create ~capacity:(max 64 (2 * n))
-            (Array.length (Shard.components plan s))
+          Stamp_store.create ~capacity:(max 64 (2 * n)) (Array.length comps)
         in
-        for _ = 1 to n do
-          ignore (Stamp_store.push_zero slab)
+        for p = 0 to n - 1 do
+          ignore (Stamp_store.push_zero slab);
+          match init with
+          | None -> ()
+          | Some rows ->
+              Array.iteri
+                (fun j c ->
+                  if rows.(p).(c) <> 0 then
+                    Stamp_store.row_set slab p j rows.(p).(c))
+                comps
         done;
         slab)
   in
@@ -214,7 +235,7 @@ let create ?(shards = 1) ?(pending_cap = 65536) d =
                 worker plan (i + 1) slabs.(i + 1) stats.(i + 1) sh))
   in
   {
-    decomposition = d;
+    group_of_edge;
     n;
     dim;
     plan;
@@ -226,16 +247,43 @@ let create ?(shards = 1) ?(pending_cap = 65536) d =
     resolved = Queue.create ();
     pending_cap;
     dropped = 0;
-    ticket_base = 0;
+    ticket_base = first_ticket;
     issued = 0;
     stopped = false;
   }
+
+let create ?(shards = 1) ?(pending_cap = 65536) d =
+  make ~shards ~pending_cap ~init:None ~first_ticket:0
+    ~n:(Decomposition.graph_vertices d)
+    ~dim:(max 1 (Decomposition.size d))
+    ~group_of_edge:(fun u v -> Decomposition.group_of_edge d u v)
+
+let of_layout ?(shards = 1) ?(pending_cap = 65536) ?init ?(first_ticket = 0) ~n
+    ~dim ~group_of_edge () =
+  make ~shards ~pending_cap ~init ~first_ticket ~n ~dim ~group_of_edge
 
 let shards t = Shard.shards t.plan
 let processes t = t.n
 let dimension t = t.dim
 let pending t = Queue.length t.resolved
 let dropped t = t.dropped
+let next_ticket t = t.ticket_base + t.issued
+
+(* Reassemble the per-process clock rows from the disjoint shard slices —
+   the state a membership reshard carries into the next engine. Only safe
+   between batches (same discipline as observe_batch itself). *)
+let process_vectors t =
+  let k = Shard.shards t.plan in
+  Array.init t.n (fun p ->
+      let v = Array.make t.dim 0 in
+      for s = 0 to k - 1 do
+        let comps = Shard.components t.plan s in
+        let slab = t.slabs.(s) in
+        for j = 0 to Array.length comps - 1 do
+          v.(comps.(j)) <- Stamp_store.unsafe_cell slab p j
+        done
+      done;
+      v)
 
 let telemetry_snapshots t =
   Array.to_list
@@ -262,7 +310,7 @@ let validate t events =
                  proc);
           -1
       | Ingest.Message { src; dst } -> (
-          try Decomposition.group_of_edge t.decomposition src dst
+          try t.group_of_edge src dst
           with Not_found ->
             invalid_arg
               (Printf.sprintf

@@ -31,6 +31,28 @@ val create : ?shards:int -> ?pending_cap:int -> Synts_graph.Decomposition.t -> t
     the oldest entry is dropped and counted in {!dropped}. [shards < 1]
     or [pending_cap < 1] raises [Invalid_argument]. *)
 
+val of_layout :
+  ?shards:int ->
+  ?pending_cap:int ->
+  ?init:int array array ->
+  ?first_ticket:int ->
+  n:int ->
+  dim:int ->
+  group_of_edge:(int -> int -> int) ->
+  unit ->
+  t
+(** An engine over an explicit layout instead of a static decomposition —
+    the constructor a membership reshard uses. [group_of_edge] maps a
+    channel to its component slot (raising [Not_found] off-topology;
+    typically [Synts_graph.Membership.slot_of_edge] of the epoch's
+    membership). [init] (default all zeros) seeds the per-process clock
+    rows — the previous engine's {!process_vectors} translated into the
+    new epoch — and must be [n] rows of width [dim]. [first_ticket]
+    (default 0) continues the previous engine's ticket numbering
+    ({!next_ticket}) so clients see one monotone ticket space across
+    epochs. [dim < 1], [n < 0] or ill-shaped [init] raise
+    [Invalid_argument]. *)
+
 val shards : t -> int
 (** Effective shard count after clamping. *)
 
@@ -44,6 +66,17 @@ val pending : t -> int
 val dropped : t -> int
 (** Resolved stamps discarded to the [pending_cap] bound since creation
     (also the ["server.engine.dropped_events"] counter). *)
+
+val next_ticket : t -> int
+(** The ticket the next deferred internal event would get — pass it as
+    [first_ticket] to the successor engine when resharding so the ticket
+    space stays monotone. *)
+
+val process_vectors : t -> int array array
+(** The per-process clock vectors, reassembled from the shard slices.
+    Row [p] is process [p]'s current clock (width {!dimension}). Only
+    meaningful between batches; this is the state {!of_layout}'s [init]
+    carries across a membership epoch change. *)
 
 val telemetry_snapshots : t -> Synts_telemetry.Telemetry.snapshot list
 (** One snapshot per shard, in shard order, from the per-shard private

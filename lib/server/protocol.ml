@@ -10,10 +10,11 @@ type request =
   | Finish
   | Verify
   | Stats
+  | Churn of string
   | Shutdown
 
 type response =
-  | Welcome of { processes : int; dimension : int; shards : int }
+  | Welcome of { processes : int; dimension : int; shards : int; epoch : int }
   | Outcomes of Ingest.outcome array
   | Resolved of (Ingest.ticket * Internal_events.stamp) list
   | Verified of { ok : bool; checked : int }
@@ -25,6 +26,7 @@ type response =
       dropped : int;
       pending : int;
     }
+  | Epoch_r of { epoch : int; processes : int; dimension : int }
   | Error_r of string
   | Bye
 
@@ -93,7 +95,10 @@ let encode_request r =
   | Finish -> Buffer.add_char buf '\x03'
   | Verify -> Buffer.add_char buf '\x04'
   | Stats -> Buffer.add_char buf '\x05'
-  | Shutdown -> Buffer.add_char buf '\x06');
+  | Shutdown -> Buffer.add_char buf '\x06'
+  | Churn delta ->
+      Buffer.add_char buf '\x07';
+      put_string buf delta);
   Buffer.contents buf
 
 let decode_request s =
@@ -141,6 +146,10 @@ let decode_request s =
       | 6 ->
           finish_at s off "Shutdown";
           Ok Shutdown
+      | 7 ->
+          let delta, off = get_string s off in
+          finish_at s off "Churn";
+          Ok (Churn delta)
       | t -> fail "unknown request tag %d" t
     end
   with Fail e -> Error e
@@ -150,11 +159,12 @@ let decode_request s =
 let encode_response r =
   let buf = Buffer.create 64 in
   (match r with
-  | Welcome { processes; dimension; shards } ->
+  | Welcome { processes; dimension; shards; epoch } ->
       Buffer.add_char buf '\x00';
       Wire.put_varint buf processes;
       Wire.put_varint buf dimension;
-      Wire.put_varint buf shards
+      Wire.put_varint buf shards;
+      Wire.put_varint buf epoch
   | Outcomes outcomes ->
       Buffer.add_char buf '\x01';
       Wire.put_varint buf (Array.length outcomes);
@@ -197,7 +207,12 @@ let encode_response r =
   | Error_r msg ->
       Buffer.add_char buf '\x05';
       put_string buf msg
-  | Bye -> Buffer.add_char buf '\x06');
+  | Bye -> Buffer.add_char buf '\x06'
+  | Epoch_r { epoch; processes; dimension } ->
+      Buffer.add_char buf '\x07';
+      Wire.put_varint buf epoch;
+      Wire.put_varint buf processes;
+      Wire.put_varint buf dimension);
   Buffer.contents buf
 
 let decode_response s =
@@ -210,8 +225,9 @@ let decode_response s =
           let processes, off = varint s off in
           let dimension, off = varint s off in
           let shards, off = varint s off in
+          let epoch, off = varint s off in
           finish_at s off "Welcome";
-          Ok (Welcome { processes; dimension; shards })
+          Ok (Welcome { processes; dimension; shards; epoch })
       | 1 ->
           let count, off = varint s off in
           let off = ref off in
@@ -275,6 +291,12 @@ let decode_response s =
       | 6 ->
           finish_at s off "Bye";
           Ok Bye
+      | 7 ->
+          let epoch, off = varint s off in
+          let processes, off = varint s off in
+          let dimension, off = varint s off in
+          finish_at s off "Epoch_r";
+          Ok (Epoch_r { epoch; processes; dimension })
       | t -> fail "unknown response tag %d" t
     end
   with Fail e -> Error e
@@ -287,12 +309,13 @@ let pp_request ppf = function
   | Finish -> Format.fprintf ppf "Finish"
   | Verify -> Format.fprintf ppf "Verify"
   | Stats -> Format.fprintf ppf "Stats"
+  | Churn delta -> Format.fprintf ppf "Churn{%s}" delta
   | Shutdown -> Format.fprintf ppf "Shutdown"
 
 let pp_response ppf = function
-  | Welcome { processes; dimension; shards } ->
-      Format.fprintf ppf "Welcome{n=%d; d=%d; shards=%d}" processes dimension
-        shards
+  | Welcome { processes; dimension; shards; epoch } ->
+      Format.fprintf ppf "Welcome{n=%d; d=%d; shards=%d; epoch=%d}" processes
+        dimension shards epoch
   | Outcomes o -> Format.fprintf ppf "Outcomes(%d)" (Array.length o)
   | Resolved r -> Format.fprintf ppf "Resolved(%d)" (List.length r)
   | Verified { ok; checked } ->
@@ -302,5 +325,7 @@ let pp_response ppf = function
         "Stats{clients=%d; batches=%d; msgs=%d; internal=%d; dropped=%d; \
          pending=%d}"
         clients batches messages internal dropped pending
+  | Epoch_r { epoch; processes; dimension } ->
+      Format.fprintf ppf "Epoch{e=%d; n=%d; d=%d}" epoch processes dimension
   | Error_r e -> Format.fprintf ppf "Error(%s)" e
   | Bye -> Format.fprintf ppf "Bye"

@@ -20,10 +20,14 @@ type request =
   | Finish
   | Verify
   | Stats
+  | Churn of string
+      (** A rendered {!Synts_graph.Membership.delta}
+          ([join:P:U-V,...] / [leave:P] / [add:U-V] / [drop:U-V]) to
+          apply to the server's membership; answered with [Epoch_r]. *)
   | Shutdown
 
 type response =
-  | Welcome of { processes : int; dimension : int; shards : int }
+  | Welcome of { processes : int; dimension : int; shards : int; epoch : int }
   | Outcomes of Synts_ingest.Ingest.outcome array
   | Resolved of
       (Synts_ingest.Ingest.ticket * Synts_core.Internal_events.stamp) list
@@ -36,6 +40,10 @@ type response =
       dropped : int;  (** Resolved stamps lost to backend queue overflow. *)
       pending : int;  (** Resolved stamps awaiting [Drain] — backpressure. *)
     }
+  | Epoch_r of { epoch : int; processes : int; dimension : int }
+      (** Reply to [Churn]: the epoch the delta opened and the (possibly
+          grown) process count and stamp dimension clients must use from
+          now on. *)
   | Error_r of string
   | Bye
 

@@ -1,8 +1,15 @@
 module Decomposition = Synts_graph.Decomposition
+module Graph = Synts_graph.Graph
+module Membership = Synts_graph.Membership
 module Online = Synts_core.Online
+module Epoch_stamper = Synts_core.Epoch_stamper
 module Wire = Synts_clock.Wire
 module Ingest = Synts_ingest.Ingest
 module Tm = Synts_telemetry.Telemetry
+
+let m_churn =
+  Tm.Counter.v ~help:"Membership deltas applied by the serve service"
+    "server.churn.deltas"
 
 let m_requests =
   Tm.Counter.v ~help:"Requests handled by the serve service" "server.requests"
@@ -32,12 +39,25 @@ type backend =
   | Sharded of Engine.t
   | Offline_stream of Synts_ingest.Offline_sink.t
 
+(* Check-mode arrival log: events interleaved with the membership deltas
+   applied between them, so the verify replay crosses the same epoch
+   boundaries at the same points the live engines did. *)
+type log_item = Ev of Ingest.event | Delta of Membership.delta
+
 type t = {
-  backend : backend;
-  sink : Ingest.sink;
-  decomposition : Decomposition.t;
+  mutable backend : backend;
+      (* Re-pointed at a fresh engine on every applied churn delta; the
+         connection table is untouched, so clients ride across epochs. *)
+  mutable sink : Ingest.sink;
+  decomposition : Decomposition.t;  (* epoch-0 layout *)
+  membership : Membership.t option;  (* None for the offline backend *)
+  requested_shards : int;
+  mutable carry :
+    (Ingest.ticket * Synts_core.Internal_events.stamp) list;
+      (* Resolved stamps flushed out of a retired engine at an epoch
+         boundary, owed to the client's next Drain/Finish. *)
   check : bool;
-  mutable log : Ingest.event list;  (* reversed arrival order; check mode *)
+  mutable log : log_item list;  (* reversed arrival order; check mode *)
   mutable stamped : Synts_clock.Vector.t list;  (* reversed; check mode *)
   conns : (int, conn) Hashtbl.t;
   mutable next_conn : int;
@@ -52,6 +72,14 @@ type t = {
   stamp_ms : Tm.Histogram.t;
 }
 
+(* The graph a decomposition covers, rebuilt from its own groups — the
+   membership's epoch-0 topology, guaranteed to match the decomposition
+   exactly. *)
+let graph_of_decomposition d =
+  Graph.of_edges
+    (Decomposition.graph_vertices d)
+    (List.concat_map Decomposition.edges_of_group (Decomposition.groups d))
+
 let create ?shards ?(check = false) ?(offline = false) ?window d =
   let backend =
     if offline then
@@ -59,6 +87,10 @@ let create ?shards ?(check = false) ?(offline = false) ?window d =
         (Synts_ingest.Offline_sink.create ?window
            ~n:(Decomposition.graph_vertices d) ())
     else Sharded (Engine.create ?shards d)
+  in
+  let membership =
+    if offline then None
+    else Some (Membership.create (graph_of_decomposition d) d)
   in
   let sink =
     match backend with
@@ -77,6 +109,9 @@ let create ?shards ?(check = false) ?(offline = false) ?window d =
     backend;
     sink;
     decomposition = d;
+    membership;
+    requested_shards = (match shards with Some k -> k | None -> 1);
+    carry = [];
     check;
     log = [];
     stamped = [];
@@ -160,7 +195,7 @@ let record t events outcomes =
     events;
   t.batches <- t.batches + 1;
   if t.check then begin
-    Array.iter (fun ev -> t.log <- ev :: t.log) events;
+    Array.iter (fun ev -> t.log <- Ev ev :: t.log) events;
     Array.iter
       (function
         | Ingest.Stamped v -> t.stamped <- v :: t.stamped
@@ -168,8 +203,61 @@ let record t events outcomes =
       outcomes
   end
 
-(* Sharded mode: replay the whole arrival log through the deterministic
-   single-domain oracle and compare message stamps bit-for-bit.
+let epoch t =
+  match t.membership with Some m -> Membership.epoch m | None -> 0
+
+let membership t = t.membership
+
+let take_carry t =
+  let out = t.carry in
+  t.carry <- [];
+  out
+
+(* Apply one membership delta: retire the current engine (flushing its
+   resolved queue into [carry] so nothing owed to the client is lost),
+   translate the per-process clock vectors into the new epoch's layout,
+   and stand up a fresh engine seeded with them, continuing the ticket
+   space. Connections are not touched — the reshard is invisible to the
+   protocol layer except for the new epoch in [Epoch_r]/[Welcome]. *)
+let apply_churn t delta =
+  match (t.backend, t.membership) with
+  | Offline_stream _, _ | _, None ->
+      Error "churn requires the sharded backend (run without --offline)"
+  | Sharded e, Some m -> (
+      let from_epoch = Membership.epoch m in
+      let w_old = Membership.width m in
+      match Membership.apply m delta with
+      | Error _ as err -> err
+      | Ok _remap ->
+          let flushed = Engine.finish e in
+          if flushed <> [] then t.carry <- t.carry @ flushed;
+          let vecs = Engine.process_vectors e in
+          let first_ticket = Engine.next_ticket e in
+          Engine.stop e;
+          let n' = Membership.processes m in
+          let w' = Membership.width m in
+          let dim' = max 1 w' in
+          let init =
+            Array.init n' (fun p ->
+                if p < Array.length vecs && w_old > 0 && w' > 0 then
+                  Membership.translate m ~from_epoch vecs.(p)
+                else Array.make dim' 0)
+          in
+          let e' =
+            Engine.of_layout ~shards:t.requested_shards ~init ~first_ticket
+              ~n:n' ~dim:dim'
+              ~group_of_edge:(fun u v -> Membership.slot_of_edge m u v)
+              ()
+          in
+          t.backend <- Sharded e';
+          t.sink <- Engine.ingest e';
+          Tm.Counter.incr m_churn;
+          if t.check then t.log <- Delta delta :: t.log;
+          Ok (Membership.epoch m, n', dim'))
+
+(* Sharded mode, no churn: replay the whole arrival log through the
+   deterministic single-domain oracle and compare message stamps
+   bit-for-bit.
    Internal-event stamps are functions of the surrounding message
    stamps, so message equality is the whole exactness claim. *)
 let verify_sharded t =
@@ -178,10 +266,10 @@ let verify_sharded t =
   let checked = ref 0 in
   let ok = ref true in
   List.iter
-    (fun ev ->
-      match ev with
-      | Ingest.Internal _ -> ()
-      | Ingest.Message { src; dst } -> (
+    (fun item ->
+      match item with
+      | Delta _ | Ev (Ingest.Internal _) -> ()
+      | Ev (Ingest.Message { src; dst }) -> (
           incr checked;
           let expect = oracle ~src ~dst in
           match !stamped with
@@ -189,6 +277,42 @@ let verify_sharded t =
               stamped := rest;
               if got <> expect then ok := false
           | [] -> ok := false))
+    (List.rev t.log);
+  if !stamped <> [] then ok := false;
+  Protocol.Verified { ok = !ok; checked = !checked }
+
+(* Sharded mode with churn in the log: replay events {e and} membership
+   deltas in arrival order through the single-domain epoch-aware oracle
+   ({!Epoch_stamper} over a fresh membership seeded from the epoch-0
+   decomposition), crossing the same epoch boundaries at the same
+   points. Stamps must match bit-for-bit epoch by epoch. *)
+let verify_epochs t =
+  let st =
+    Epoch_stamper.create
+      (Membership.create (graph_of_decomposition t.decomposition)
+         t.decomposition)
+  in
+  let stamped = ref (List.rev t.stamped) in
+  let checked = ref 0 in
+  let ok = ref true in
+  List.iter
+    (fun item ->
+      match item with
+      | Ev (Ingest.Internal _) -> ()
+      | Delta d -> (
+          match Epoch_stamper.apply st d with
+          | Ok _ -> ()
+          | Error _ -> ok := false)
+      | Ev (Ingest.Message { src; dst }) -> (
+          incr checked;
+          match Epoch_stamper.stamp st ~src ~dst with
+          | expect -> (
+              match !stamped with
+              | got :: rest ->
+                  stamped := rest;
+                  if got <> expect then ok := false
+              | [] -> ok := false)
+          | exception Invalid_argument _ -> ok := false))
     (List.rev t.log);
   if !stamped <> [] then ok := false;
   Protocol.Verified { ok = !ok; checked = !checked }
@@ -204,9 +328,9 @@ let verify_offline t =
     List.rev
       (List.filter_map
          (function
-           | Ingest.Message { src; dst } ->
+           | Ev (Ingest.Message { src; dst }) ->
                Some (Synts_sync.Trace.Send (src, dst))
-           | Ingest.Internal _ -> None)
+           | Ev (Ingest.Internal _) | Delta _ -> None)
          t.log)
   in
   let streamed = Array.of_list (List.rev t.stamped) in
@@ -232,9 +356,12 @@ let verify_offline t =
   end;
   Protocol.Verified { ok = !ok; checked = !checked }
 
+let has_churn_log t =
+  List.exists (function Delta _ -> true | Ev _ -> false) t.log
+
 let verify t =
   match t.backend with
-  | Sharded _ -> verify_sharded t
+  | Sharded _ -> if has_churn_log t then verify_epochs t else verify_sharded t
   | Offline_stream _ -> verify_offline t
 
 let handle t conn (req : Protocol.request) : Protocol.response =
@@ -251,6 +378,7 @@ let handle t conn (req : Protocol.request) : Protocol.response =
           processes = Ingest.processes t.sink;
           dimension = Ingest.dimension t.sink;
           shards = shards t;
+          epoch = epoch t;
         }
   | Observe { seq; events } ->
       if seq < 0 then err "negative sequence number"
@@ -293,8 +421,16 @@ let handle t conn (req : Protocol.request) : Protocol.response =
                it. *)
             err e
       end
-  | Drain -> Resolved (Ingest.drain t.sink)
-  | Finish -> Resolved (Ingest.finish t.sink)
+  | Drain -> Resolved (take_carry t @ Ingest.drain t.sink)
+  | Finish -> Resolved (take_carry t @ Ingest.finish t.sink)
+  | Churn spec -> (
+      match Membership.delta_of_string spec with
+      | Error e -> err (Printf.sprintf "bad churn delta %S: %s" spec e)
+      | Ok delta -> (
+          match apply_churn t delta with
+          | Ok (epoch, processes, dimension) ->
+              Epoch_r { epoch; processes; dimension }
+          | Error e -> err e))
   | Verify ->
       if not t.check then
         err "verification disabled (start the server with --check)"

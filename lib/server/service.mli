@@ -81,6 +81,20 @@ type backend =
   | Offline_stream of Synts_ingest.Offline_sink.t
 
 val backend : t -> backend
+(** The {e current} backend — a [Protocol.Churn] request retires the
+    sharded engine and replaces it with one laid out for the new epoch
+    (per-process clocks translated, ticket space continued), so do not
+    cache the result across requests. *)
+
+val epoch : t -> int
+(** Current membership epoch (0 for the offline backend, which does not
+    support churn). *)
+
+val membership : t -> Synts_graph.Membership.t option
+(** The churn-tolerant membership behind the sharded backend ([None] in
+    offline mode) — read-only introspection for the admin channel and
+    the [epoch/*] lint rules; deltas must flow through
+    [Protocol.Churn]. *)
 
 val backend_name : t -> string
 (** ["sharded:k"] or ["offline-stream"]. *)

@@ -195,6 +195,7 @@ let test_config_round_trip () =
       faults = 2;
       mutation = Some Protocol.Stale_ack;
       system = None;
+      churn = [ (2, "join:4:4-0"); (4, "leave:1") ];
     }
   in
   match Protocol.of_string (Protocol.to_string cfg) with
@@ -241,6 +242,58 @@ let test_witness_round_trip () =
                 true
                 (Vector.equal s w'.stamps.(i)))
             w.stamps)
+
+(* ---------- churn across epoch boundaries ---------- *)
+
+(* The bundled examples/model/churn.model, inlined: N = 3 plus P3
+   joining on 3-0/3-2 after the 2nd message, P1 leaving after the 4th.
+   The scripts force a message chain except for one msg-3/msg-4
+   commutation, and the leaver is scripted to finish before its
+   threshold, so every schedule completes. *)
+let churn_config ?mutation () =
+  let system =
+    match
+      Script.parse_system
+        "P0: !1 . ?3\nP1: ?0 . !2 . ?2\nP2: ?1 . !1 . ?3\nP3: !0 . !2"
+    with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  {
+    Protocol.default with
+    system = Some system;
+    procs = 4;
+    mutation;
+    churn = [ (2, "join:3:3-0,3-2"); (4, "leave:1") ];
+  }
+
+let test_churn_clean () =
+  let report = Checker.check (compile (churn_config ())) in
+  Alcotest.(check bool) "stamps stay exact across epochs" true
+    (report.violation = None);
+  Alcotest.(check bool) "not truncated" false report.stats.truncated;
+  Alcotest.(check bool) "no schedule deadlocks" true (report.terminals > 0);
+  Alcotest.(check bool)
+    "oracle spot-checked terminals" true
+    (report.oracle_checked > 0)
+
+let test_churn_catches_mutation () =
+  (* The oracle must still bite when epochs change under it. *)
+  let report =
+    Checker.check (compile (churn_config ~mutation:Protocol.Skip_increment ()))
+  in
+  Alcotest.(check bool) "skip-increment caught under churn" true
+    (report.violation <> None)
+
+let test_churn_rejects_low_joiner () =
+  (* A joiner that is not a top process id would start inside the
+     epoch-0 universe — compile must refuse, not mis-stamp. *)
+  let cfg = { (churn_config ()) with churn = [ (2, "join:1:1-0") ] } in
+  match Protocol.compile cfg with
+  | Ok _ -> Alcotest.fail "low joiner id accepted"
+  | Error e ->
+      Alcotest.(check bool) "error names the id rule" true
+        (String.length e > 0)
 
 (* ---------- Csp_lint rides the same engine ---------- *)
 
@@ -298,6 +351,14 @@ let () =
             test_config_with_system;
           Alcotest.test_case "witness round-trip" `Quick
             test_witness_round_trip;
+        ] );
+      ( "churn",
+        [
+          Alcotest.test_case "join+leave verifies" `Quick test_churn_clean;
+          Alcotest.test_case "mutation caught under churn" `Quick
+            test_churn_catches_mutation;
+          Alcotest.test_case "low joiner id rejected" `Quick
+            test_churn_rejects_low_joiner;
         ] );
       ( "csp-lint",
         [ Alcotest.test_case "verdict parity" `Quick test_csp_lint_parity ] );

@@ -166,6 +166,7 @@ let request_gen =
         return Protocol.Finish;
         return Protocol.Verify;
         return Protocol.Stats;
+        map (fun s -> Protocol.Churn s) (string_size (int_bound 30));
         return Protocol.Shutdown;
       ])
 
@@ -181,10 +182,11 @@ let response_gen =
   QCheck2.Gen.(
     oneof
       [
-        map
-          (fun (processes, dimension, shards) ->
-            Protocol.Welcome { processes; dimension; shards })
-          (triple (int_bound 100) (int_bound 100) (int_bound 16));
+        map2
+          (fun (processes, dimension, shards) epoch ->
+            Protocol.Welcome { processes; dimension; shards; epoch })
+          (triple (int_bound 100) (int_bound 100) (int_bound 16))
+          (int_bound 50);
         map
           (fun outcomes -> Protocol.Outcomes outcomes)
           (array_size (int_bound 20)
@@ -206,6 +208,10 @@ let response_gen =
           (quad (int_bound 100) (int_bound 1000) (int_bound 1000)
              (int_bound 1000))
           (pair (int_bound 1000) (int_bound 1000));
+        map
+          (fun (epoch, processes, dimension) ->
+            Protocol.Epoch_r { epoch; processes; dimension })
+          (triple (int_bound 50) (int_bound 100) (int_bound 100));
         map (fun e -> Protocol.Error_r e) (string_size (int_bound 40));
         return Protocol.Bye;
       ])
@@ -376,6 +382,157 @@ let test_service_rejects_gap_and_stale () =
       | Protocol.Error_r _ -> ()
       | _ -> Alcotest.fail "negative seq accepted")
 
+(* ---------- service: churn / engine resharding ---------- *)
+
+(* One scripted epoch crossing: the engine is retired and rebuilt, yet
+   the connection's sequence state, the ticket space and the pending
+   internal events all survive, and the epoch-aware verify replay agrees
+   with every stamp on both sides of the boundary. *)
+let test_service_churn_reshard () =
+  let d = Decomposition.best (Topology.ring 4) in
+  let service = Service.create ~shards:2 ~check:true d in
+  Fun.protect
+    ~finally:(fun () -> Service.stop service)
+    (fun () ->
+      let conn = Service.attach service in
+      let seq = ref (-1) in
+      let observe events =
+        incr seq;
+        match Service.handle service conn (Protocol.Observe { seq = !seq; events }) with
+        | Protocol.Outcomes out -> out
+        | other ->
+            Format.kasprintf (fun s -> Alcotest.fail s) "observe: %a" Protocol.pp_response
+              other
+      in
+      let msg src dst = Ingest.Message { src; dst } in
+      ignore (observe [| msg 0 1; msg 1 2; msg 2 3 |]);
+      (* A deferred internal event whose resolution must survive the
+         reshard via the carry queue. *)
+      let ticket =
+        match observe [| Ingest.Internal { proc = 0 } |] with
+        | [| Ingest.Deferred k |] -> k
+        | _ -> Alcotest.fail "internal not deferred"
+      in
+      (match Service.handle service conn (Protocol.Churn "join:4:4-0,4-2") with
+      | Protocol.Epoch_r { epoch; processes; dimension } ->
+          Alcotest.(check int) "epoch advanced" 1 epoch;
+          Alcotest.(check int) "universe grew" 5 processes;
+          Alcotest.(check bool) "width kept or grew" true (dimension >= 2)
+      | other ->
+          Format.kasprintf (fun s -> Alcotest.fail s) "churn: %a" Protocol.pp_response other);
+      (* The flushed internal event is owed on the next drain. *)
+      (match Service.handle service conn Protocol.Drain with
+      | Protocol.Resolved resolved ->
+          Alcotest.(check bool) "carried ticket resolved" true
+            (List.mem_assoc ticket resolved)
+      | other ->
+          Format.kasprintf (fun s -> Alcotest.fail s) "drain: %a" Protocol.pp_response other);
+      (* Same connection keeps observing, now on a new-epoch channel. *)
+      ignore (observe [| msg 4 0; msg 0 1; msg 4 2 |]);
+      (match Service.handle service conn (Protocol.Churn "leave:3") with
+      | Protocol.Epoch_r { epoch; _ } ->
+          Alcotest.(check int) "second epoch" 2 epoch
+      | other ->
+          Format.kasprintf (fun s -> Alcotest.fail s) "churn: %a" Protocol.pp_response other);
+      ignore (observe [| msg 0 1; msg 1 2; msg 4 0 |]);
+      (* The retired channel is rejected by the new epoch's layout
+         without consuming the sequence. *)
+      incr seq;
+      (match
+         Service.handle service conn
+           (Protocol.Observe { seq = !seq; events = [| msg 2 3 |] })
+       with
+      | Protocol.Error_r _ -> decr seq
+      | other ->
+          Format.kasprintf (fun s -> Alcotest.fail s) "stale channel: %a"
+            Protocol.pp_response other);
+      (match Service.handle service conn Protocol.Hello with
+      | Protocol.Welcome { epoch; processes; _ } ->
+          Alcotest.(check int) "welcome epoch" 2 epoch;
+          Alcotest.(check int) "welcome n" 5 processes
+      | other ->
+          Format.kasprintf (fun s -> Alcotest.fail s) "hello: %a" Protocol.pp_response other);
+      match Service.handle service conn Protocol.Verify with
+      | Protocol.Verified { ok; checked } ->
+          Alcotest.(check bool) "epoch-aware verify" true ok;
+          Alcotest.(check int) "all messages checked" 9 checked
+      | other ->
+          Format.kasprintf (fun s -> Alcotest.fail s) "verify: %a" Protocol.pp_response other)
+
+(* Random interleavings of observes and a fixed valid delta script: the
+   engine sequence must stay exact against the epoch-aware oracle no
+   matter where the epoch boundaries land in the arrival order. *)
+let churn_service_gen = QCheck2.Gen.(pair Gen.rng_seed (int_range 10 60))
+
+let test_service_churn_random =
+  qtest ~count:50 "random epoch boundaries keep verify exact"
+    churn_service_gen
+    (fun (seed, msgs) -> Printf.sprintf "seed=%d msgs=%d" seed msgs)
+    (fun (seed, msgs) ->
+      let g0 = Topology.ring 5 in
+      let d = Decomposition.best g0 in
+      let service = Service.create ~shards:2 ~check:true d in
+      Fun.protect
+        ~finally:(fun () -> Service.stop service)
+        (fun () ->
+          let conn = Service.attach service in
+          let rng = Rng.create seed in
+          (* Valid in sequence on ring 5; the mirror edge list tracks the
+             live topology so observes always hit a current channel. *)
+          let script =
+            ref
+              [
+                ("join:5:5-0,5-2", [ (5, 0); (5, 2) ], []);
+                ("drop:1-2", [], [ (1, 2) ]);
+                ("leave:3", [], [ (2, 3); (3, 4) ]);
+                ("add:2-4", [ (2, 4) ], []);
+              ]
+          in
+          let edges = ref [ (0, 1); (1, 2); (2, 3); (3, 4); (0, 4) ] in
+          let seq = ref (-1) in
+          let sent = ref 0 in
+          for _ = 1 to msgs do
+            (match !script with
+            | (spec, added, removed) :: rest when Rng.chance rng 0.15 -> (
+                match Service.handle service conn (Protocol.Churn spec) with
+                | Protocol.Epoch_r _ ->
+                    script := rest;
+                    edges :=
+                      added
+                      @ List.filter
+                          (fun (u, v) ->
+                            not
+                              (List.exists
+                                 (fun (a, b) ->
+                                   (a = u && b = v) || (a = v && b = u))
+                                 removed))
+                          !edges
+                | other ->
+                    Format.kasprintf failwith "churn %s: %a" spec
+                      Protocol.pp_response other)
+            | _ -> ());
+            let u, v = List.nth !edges (Rng.int rng (List.length !edges)) in
+            let src, dst = if Rng.bool rng then (u, v) else (v, u) in
+            incr seq;
+            incr sent;
+            match
+              Service.handle service conn
+                (Protocol.Observe
+                   {
+                     seq = !seq;
+                     events = [| Ingest.Message { src; dst } |];
+                   })
+            with
+            | Protocol.Outcomes _ -> ()
+            | other ->
+                Format.kasprintf failwith "observe: %a" Protocol.pp_response
+                  other
+          done;
+          match Service.handle service conn Protocol.Verify with
+          | Protocol.Verified { ok; checked } -> ok && checked = !sent
+          | other ->
+              Format.kasprintf failwith "verify: %a" Protocol.pp_response other))
+
 (* ---------- sockets: daemon round trip ---------- *)
 
 let test_socket_roundtrip () =
@@ -465,6 +622,12 @@ let () =
             test_service_dup_replies_cached;
           Alcotest.test_case "gap and stale rejected" `Quick
             test_service_rejects_gap_and_stale;
+        ] );
+      ( "churn",
+        [
+          Alcotest.test_case "reshard across epochs" `Quick
+            test_service_churn_reshard;
+          test_service_churn_random;
         ] );
       ("socket", [ Alcotest.test_case "daemon round trip" `Quick
                      test_socket_roundtrip ]);
